@@ -1,0 +1,379 @@
+//! Deterministic automata: subset construction, minimisation, equivalence.
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::HashMap;
+use xvu_tree::Sym;
+
+/// A (possibly partial) deterministic finite automaton over a fixed-size
+/// alphabet.
+///
+/// Transitions are a dense `state × symbol-index` table; `None` means the
+/// word is rejected (implicit dead state). Used for the typing-based path
+/// selector (paper §5 suggests typing nodes by the states of a
+/// deterministic content-model automaton) and for language-equivalence
+/// checks in tests.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    start: StateId,
+    accepting: Vec<bool>,
+    /// `trans[q][sym.index()]`
+    trans: Vec<Vec<Option<StateId>>>,
+    alphabet_len: usize,
+}
+
+impl Dfa {
+    /// Determinises an NFA by subset construction. `alphabet_len` bounds the
+    /// symbol indices used by the NFA.
+    pub fn determinize(nfa: &Nfa, alphabet_len: usize) -> Dfa {
+        let mut subset_ids: HashMap<Vec<u32>, StateId> = HashMap::new();
+        let mut accepting = Vec::new();
+        let mut trans: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut worklist: Vec<Vec<u32>> = Vec::new();
+
+        let start_set = vec![nfa.start().0];
+        subset_ids.insert(start_set.clone(), StateId(0));
+        accepting.push(nfa.is_accepting(nfa.start()));
+        trans.push(vec![None; alphabet_len]);
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let src = subset_ids[&set];
+            // successor subsets per symbol
+            let mut succ: HashMap<Sym, Vec<u32>> = HashMap::new();
+            for &q in &set {
+                for &(y, t) in nfa.transitions_from(StateId(q)) {
+                    let entry = succ.entry(y).or_default();
+                    if !entry.contains(&t.0) {
+                        entry.push(t.0);
+                    }
+                }
+            }
+            for (y, mut target_set) in succ {
+                target_set.sort_unstable();
+                let id = match subset_ids.get(&target_set) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StateId(subset_ids.len() as u32);
+                        subset_ids.insert(target_set.clone(), id);
+                        accepting
+                            .push(target_set.iter().any(|&q| nfa.is_accepting(StateId(q))));
+                        trans.push(vec![None; alphabet_len]);
+                        worklist.push(target_set);
+                        id
+                    }
+                };
+                trans[src.index()][y.index()] = Some(id);
+            }
+        }
+
+        Dfa {
+            start: StateId(0),
+            accepting,
+            trans,
+            alphabet_len,
+        }
+    }
+
+    /// Number of states (not counting the implicit dead state).
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q.index()]
+    }
+
+    /// Single deterministic step; `None` = dead.
+    #[inline]
+    pub fn step(&self, q: StateId, y: Sym) -> Option<StateId> {
+        self.trans[q.index()].get(y.index()).copied().flatten()
+    }
+
+    /// Runs the automaton on `word`, returning the reached state (or `None`
+    /// if the run dies).
+    pub fn run(&self, word: &[Sym]) -> Option<StateId> {
+        let mut q = self.start;
+        for &y in word {
+            q = self.step(q, y)?;
+        }
+        Some(q)
+    }
+
+    /// The sequence of states visited *before* each letter (length
+    /// `word.len() + 1`, last entry is the state after the whole word).
+    ///
+    /// This is the document typing `Θ` of paper §5: the type of the `i`-th
+    /// child is the automaton state reached after its left siblings.
+    pub fn run_trace(&self, word: &[Sym]) -> Option<Vec<StateId>> {
+        let mut states = Vec::with_capacity(word.len() + 1);
+        let mut q = self.start;
+        states.push(q);
+        for &y in word {
+            q = self.step(q, y)?;
+            states.push(q);
+        }
+        Some(states)
+    }
+
+    /// Word membership.
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        self.run(word).is_some_and(|q| self.is_accepting(q))
+    }
+
+    /// Moore minimisation (over the completed automaton; the dead state is
+    /// re-dropped afterwards). Only reachable states are kept.
+    pub fn minimize(&self) -> Dfa {
+        // Complete: add explicit dead state at index n.
+        let n = self.num_states();
+        let dead = n;
+        let total = n + 1;
+        let step = |q: usize, a: usize| -> usize {
+            if q == dead {
+                dead
+            } else {
+                self.trans[q][a].map_or(dead, |t| t.index())
+            }
+        };
+        let accepting = |q: usize| q != dead && self.accepting[q];
+
+        // Initial partition: accepting vs not.
+        let mut class: Vec<usize> = (0..total).map(|q| usize::from(accepting(q))).collect();
+        let mut n_classes = 2;
+        loop {
+            // signature = (class, class-of-successor per symbol)
+            let mut sig_ids: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut new_class = vec![0usize; total];
+            for q in 0..total {
+                let mut sig = Vec::with_capacity(self.alphabet_len + 1);
+                sig.push(class[q]);
+                for a in 0..self.alphabet_len {
+                    sig.push(class[step(q, a)]);
+                }
+                let next_id = sig_ids.len();
+                let id = *sig_ids.entry(sig).or_insert(next_id);
+                new_class[q] = id;
+            }
+            let n_new = sig_ids.len();
+            class = new_class;
+            if n_new == n_classes {
+                break;
+            }
+            n_classes = n_new;
+        }
+
+        // Rebuild, dropping the dead class and unreachable classes.
+        let dead_class = class[dead];
+        let mut remap: HashMap<usize, StateId> = HashMap::new();
+        let mut accepting_out = Vec::new();
+        let mut trans_out: Vec<Vec<Option<StateId>>> = Vec::new();
+        let mut order = vec![class[self.start.index()]];
+        remap.insert(order[0], StateId(0));
+        accepting_out.push(self.accepting[self.start.index()]);
+        trans_out.push(vec![None; self.alphabet_len]);
+        let mut i = 0;
+        while i < order.len() {
+            let cls = order[i];
+            // find a representative original state of this class
+            let rep = (0..n)
+                .find(|&q| class[q] == cls)
+                .expect("class has a live representative");
+            for a in 0..self.alphabet_len {
+                let tgt_cls = class[step(rep, a)];
+                if tgt_cls == dead_class {
+                    continue;
+                }
+                let next_id = remap.len();
+                let id = *remap.entry(tgt_cls).or_insert_with(|| {
+                    order.push(tgt_cls);
+                    let rep2 = (0..n)
+                        .find(|&q| class[q] == tgt_cls)
+                        .expect("live representative");
+                    accepting_out.push(self.accepting[rep2]);
+                    trans_out.push(vec![None; self.alphabet_len]);
+                    StateId(next_id as u32)
+                });
+                trans_out[i][a] = Some(id);
+            }
+            i += 1;
+        }
+
+        Dfa {
+            start: StateId(0),
+            accepting: accepting_out,
+            trans: trans_out,
+            alphabet_len: self.alphabet_len,
+        }
+    }
+
+    /// Language inclusion `L(self) ⊆ L(other)` via synchronous product
+    /// search: a reachable pair where `self` accepts and `other` does not
+    /// is a counterexample.
+    pub fn subset_of(&self, other: &Dfa) -> bool {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "alphabets must match"
+        );
+        let mut seen: HashMap<(Option<u32>, Option<u32>), ()> = HashMap::new();
+        let mut stack = vec![(Some(self.start.0), Some(other.start.0))];
+        seen.insert(stack[0], ());
+        while let Some((p, q)) = stack.pop() {
+            let p_acc = p.is_some_and(|p| self.accepting[p as usize]);
+            let q_acc = q.is_some_and(|q| other.accepting[q as usize]);
+            if p_acc && !q_acc {
+                return false;
+            }
+            if p.is_none() {
+                // self is dead: it accepts nothing further
+                continue;
+            }
+            for a in 0..self.alphabet_len {
+                let y = Sym::from_index(a);
+                let pn = p.and_then(|p| self.step(StateId(p), y)).map(|s| s.0);
+                let qn = q.and_then(|q| other.step(StateId(q), y)).map(|s| s.0);
+                if pn.is_some() && seen.insert((pn, qn), ()).is_none() {
+                    stack.push((pn, qn));
+                }
+            }
+        }
+        true
+    }
+
+    /// Language equivalence via synchronous product search.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        assert_eq!(
+            self.alphabet_len, other.alphabet_len,
+            "alphabets must match"
+        );
+        // Pair states, None = dead.
+        let mut seen: HashMap<(Option<u32>, Option<u32>), ()> = HashMap::new();
+        let mut stack = vec![(Some(self.start.0), Some(other.start.0))];
+        seen.insert(stack[0], ());
+        while let Some((p, q)) = stack.pop() {
+            let p_acc = p.is_some_and(|p| self.accepting[p as usize]);
+            let q_acc = q.is_some_and(|q| other.accepting[q as usize]);
+            if p_acc != q_acc {
+                return false;
+            }
+            if p.is_none() && q.is_none() {
+                continue;
+            }
+            for a in 0..self.alphabet_len {
+                let y = Sym::from_index(a);
+                let pn = p.and_then(|p| self.step(StateId(p), y)).map(|s| s.0);
+                let qn = q.and_then(|q| other.step(StateId(q), y)).map(|s| s.0);
+                if (pn.is_some() || qn.is_some()) && seen.insert((pn, qn), ()).is_none() {
+                    stack.push((pn, qn));
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::glushkov;
+    use crate::regex::parse_regex;
+    use xvu_tree::Alphabet;
+
+    fn dfa(alpha: &mut Alphabet, re: &str) -> Dfa {
+        let e = parse_regex(alpha, re).unwrap();
+        let n = glushkov(&e);
+        let len = alpha.len();
+        Dfa::determinize(&n, len)
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Sym> {
+        s.split_whitespace()
+            .map(|l| alpha.get(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let mut alpha = Alphabet::new();
+        let d = dfa(&mut alpha, "(a.(b+c).d)*");
+        assert!(d.accepts(&w(&alpha, "")));
+        assert!(d.accepts(&w(&alpha, "a b d a c d")));
+        assert!(!d.accepts(&w(&alpha, "a b")));
+    }
+
+    #[test]
+    fn run_trace_types_each_prefix() {
+        let mut alpha = Alphabet::new();
+        let d = dfa(&mut alpha, "a.b");
+        let trace = d.run_trace(&w(&alpha, "a b")).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0], d.start());
+        assert!(d.is_accepting(trace[2]));
+        assert!(d.run_trace(&w(&alpha, "b")).is_none());
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        let mut alpha = Alphabet::new();
+        // (a+b).(a+b) — Glushkov gives 5 states; minimal DFA has 3.
+        let d = dfa(&mut alpha, "(a+b).(a+b)");
+        let m = d.minimize();
+        assert!(m.num_states() <= 3);
+        assert!(m.accepts(&w(&alpha, "a b")));
+        assert!(m.accepts(&w(&alpha, "b b")));
+        assert!(!m.accepts(&w(&alpha, "a")));
+        assert!(!m.accepts(&w(&alpha, "a a a")));
+    }
+
+    #[test]
+    fn minimize_preserves_language_randomish() {
+        let mut alpha = Alphabet::new();
+        let d = dfa(&mut alpha, "(a.b*)*.c?");
+        let m = d.minimize();
+        for s in ["", "c", "a", "a b b", "a b c", "a a c", "b", "c c", "a c b"] {
+            let word = w(&alpha, s);
+            assert_eq!(d.accepts(&word), m.accepts(&word), "word {s:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_distinguishes_languages() {
+        let mut alpha = Alphabet::new();
+        let d1 = dfa(&mut alpha, "(a.b)*");
+        let d2 = dfa(&mut alpha, "(a.b)*.a?");
+        let d3 = dfa(&mut alpha, "((a.b)*)*");
+        assert!(!d1.equivalent(&d2));
+        assert!(d1.equivalent(&d3));
+        assert!(d1.equivalent(&d1.minimize()));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let mut alpha = Alphabet::new();
+        let small = dfa(&mut alpha, "(a.b)*");
+        let big = dfa(&mut alpha, "(a.b?)*");
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+        assert!(small.subset_of(&small));
+        let empty = dfa(&mut alpha, "empty");
+        assert!(empty.subset_of(&small));
+        assert!(!small.subset_of(&empty));
+        // equivalence = mutual inclusion
+        let same = dfa(&mut alpha, "((a.b)*)*");
+        assert!(small.subset_of(&same) && same.subset_of(&small));
+    }
+
+    #[test]
+    fn empty_language_dfa() {
+        let mut alpha = Alphabet::new();
+        alpha.intern("a");
+        let d = dfa(&mut alpha, "empty");
+        assert!(!d.accepts(&[]));
+        let e = dfa(&mut alpha, "a.empty");
+        assert!(d.equivalent(&e));
+    }
+}

@@ -1,0 +1,28 @@
+//! Errors for regex parsing and automaton construction.
+
+use std::fmt;
+
+/// Errors raised by this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AutomatonError {
+    /// Parse error in regular-expression syntax.
+    Parse {
+        /// Byte offset of the error in the input.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A state identifier was out of range for the automaton.
+    UnknownState(u32),
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::Parse { at, msg } => write!(f, "regex parse error at byte {at}: {msg}"),
+            AutomatonError::UnknownState(s) => write!(f, "unknown automaton state q{s}"),
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}

@@ -1,0 +1,316 @@
+//! Glushkov (position-automaton) construction.
+//!
+//! Produces an ε-free NFA with `positions + 1` states from a [`Regex`]:
+//! state `0` is the start, state `p ≥ 1` represents the `p`-th symbol
+//! occurrence of the expression (in left-to-right order). This is the
+//! textbook construction used for DTD content models; for 1-unambiguous
+//! (deterministic) content models — the class W3C DTDs require — the result
+//! is a DFA.
+
+use crate::nfa::{Nfa, StateId};
+use crate::regex::Regex;
+use xvu_tree::Sym;
+
+/// Builds the Glushkov automaton of `e`. `L(glushkov(e)) = L(e)`.
+pub fn glushkov(e: &Regex) -> Nfa {
+    let mut lin = Linearizer {
+        syms: Vec::new(),
+    };
+    let info = lin.walk(e);
+    let n_positions = lin.syms.len();
+    let mut nfa = Nfa::new(n_positions + 1, StateId(0));
+
+    // start --y(p)--> p for p ∈ first(e)
+    for &p in &info.first {
+        nfa.add_transition(StateId(0), lin.syms[p], pos_state(p));
+    }
+    // p --y(q)--> q for q ∈ follow(p)
+    for (p, follows) in info.follow.iter().enumerate() {
+        for &q in follows {
+            nfa.add_transition(pos_state(p), lin.syms[q], pos_state(q));
+        }
+    }
+    // accepting: last(e), plus start iff nullable
+    if info.nullable {
+        nfa.set_accepting(StateId(0), true);
+    }
+    for &p in &info.last {
+        nfa.set_accepting(pos_state(p), true);
+    }
+    nfa
+}
+
+#[inline]
+fn pos_state(p: usize) -> StateId {
+    StateId((p + 1) as u32)
+}
+
+struct Linearizer {
+    /// Symbol at each position (0-based).
+    syms: Vec<Sym>,
+}
+
+/// Glushkov bookkeeping for a subexpression: positions are global indices
+/// into `Linearizer::syms`.
+struct Info {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+    /// `follow[p]` is only populated for positions introduced so far; kept
+    /// globally sized by the caller merging child results.
+    follow: Vec<Vec<usize>>,
+}
+
+impl Info {
+    fn empty(null: bool, n_positions: usize) -> Info {
+        Info {
+            nullable: null,
+            first: Vec::new(),
+            last: Vec::new(),
+            follow: vec![Vec::new(); n_positions],
+        }
+    }
+}
+
+impl Linearizer {
+    fn walk(&mut self, e: &Regex) -> Info {
+        match e {
+            Regex::Empty => {
+                // L = ∅: no positions, not nullable. (The resulting
+                // automaton accepts nothing.)
+                let mut i = Info::empty(false, self.syms.len());
+                // Mark emptiness: we model ∅ as "not nullable, no first".
+                i.nullable = false;
+                i
+            }
+            Regex::Epsilon => Info::empty(true, self.syms.len()),
+            Regex::Sym(s) => {
+                let p = self.syms.len();
+                self.syms.push(*s);
+                let mut i = Info::empty(false, self.syms.len());
+                i.first.push(p);
+                i.last.push(p);
+                i
+            }
+            Regex::Concat(parts) => {
+                if parts.is_empty() {
+                    return Info::empty(true, self.syms.len());
+                }
+                let mut acc: Option<Info> = None;
+                for part in parts {
+                    let right = self.walk(part);
+                    acc = Some(match acc {
+                        None => right,
+                        Some(left) => concat_info(left, right, self.syms.len()),
+                    });
+                }
+                acc.expect("non-empty parts")
+            }
+            Regex::Alt(parts) => {
+                if parts.is_empty() {
+                    // Alt of nothing = ∅
+                    return Info::empty(false, self.syms.len());
+                }
+                let mut acc: Option<Info> = None;
+                for part in parts {
+                    let right = self.walk(part);
+                    acc = Some(match acc {
+                        None => right,
+                        Some(left) => alt_info(left, right, self.syms.len()),
+                    });
+                }
+                acc.expect("non-empty parts")
+            }
+            Regex::Star(inner) => {
+                let mut i = self.walk(inner);
+                // follow(last) ⊇ first
+                for &l in &i.last.clone() {
+                    for &f in &i.first {
+                        if !i.follow[l].contains(&f) {
+                            i.follow[l].push(f);
+                        }
+                    }
+                }
+                i.nullable = true;
+                i
+            }
+            Regex::Opt(inner) => {
+                let mut i = self.walk(inner);
+                i.nullable = true;
+                i
+            }
+        }
+    }
+}
+
+fn resize_follow(f: &mut Vec<Vec<usize>>, n: usize) {
+    if f.len() < n {
+        f.resize(n, Vec::new());
+    }
+}
+
+fn concat_info(mut left: Info, right: Info, n_positions: usize) -> Info {
+    resize_follow(&mut left.follow, n_positions);
+    let mut follow = left.follow;
+    for (p, fs) in right.follow.into_iter().enumerate() {
+        for q in fs {
+            if !follow[p].contains(&q) {
+                follow[p].push(q);
+            }
+        }
+    }
+    // follow(last(left)) ⊇ first(right)
+    for &l in &left.last {
+        for &f in &right.first {
+            if !follow[l].contains(&f) {
+                follow[l].push(f);
+            }
+        }
+    }
+    let mut first = left.first;
+    if left.nullable {
+        first.extend(right.first.iter().copied());
+    }
+    let mut last = right.last;
+    if right.nullable {
+        last.extend(left.last.iter().copied());
+    }
+    Info {
+        nullable: left.nullable && right.nullable,
+        first,
+        last,
+        follow,
+    }
+}
+
+fn alt_info(mut left: Info, right: Info, n_positions: usize) -> Info {
+    resize_follow(&mut left.follow, n_positions);
+    let mut follow = left.follow;
+    for (p, fs) in right.follow.into_iter().enumerate() {
+        for q in fs {
+            if !follow[p].contains(&q) {
+                follow[p].push(q);
+            }
+        }
+    }
+    let mut first = left.first;
+    first.extend(right.first.iter().copied());
+    let mut last = left.last;
+    last.extend(right.last.iter().copied());
+    Info {
+        nullable: left.nullable || right.nullable,
+        first,
+        last,
+        follow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse_regex;
+    use xvu_tree::Alphabet;
+
+    fn accepts(alpha: &Alphabet, nfa: &Nfa, s: &str) -> bool {
+        let word: Vec<Sym> = s
+            .split_whitespace()
+            .map(|l| alpha.get(l).expect("interned"))
+            .collect();
+        nfa.accepts(&word)
+    }
+
+    #[test]
+    fn d0_rule_r() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.(b+c).d)*").unwrap();
+        let m = glushkov(&e);
+        assert!(accepts(&alpha, &m, ""));
+        assert!(accepts(&alpha, &m, "a b d"));
+        assert!(accepts(&alpha, &m, "a c d"));
+        assert!(accepts(&alpha, &m, "a b d a c d a b d"));
+        assert!(!accepts(&alpha, &m, "a b"));
+        assert!(!accepts(&alpha, &m, "a b c d"));
+        assert!(!accepts(&alpha, &m, "d"));
+    }
+
+    #[test]
+    fn d0_rule_d() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "((a+b).c)*").unwrap();
+        let m = glushkov(&e);
+        assert!(accepts(&alpha, &m, ""));
+        assert!(accepts(&alpha, &m, "a c"));
+        assert!(accepts(&alpha, &m, "b c a c"));
+        assert!(!accepts(&alpha, &m, "a"));
+        assert!(!accepts(&alpha, &m, "c"));
+        assert!(!accepts(&alpha, &m, "a c b"));
+    }
+
+    #[test]
+    fn epsilon_and_empty() {
+        let mut alpha = Alphabet::new();
+        let m = glushkov(&parse_regex(&mut alpha, "eps").unwrap());
+        assert!(m.accepts(&[]));
+        assert_eq!(m.num_states(), 1);
+
+        let m = glushkov(&parse_regex(&mut alpha, "empty").unwrap());
+        assert!(!m.accepts(&[]));
+        assert!(m.language_is_empty());
+    }
+
+    #[test]
+    fn option_and_star_nullability() {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let m = glushkov(&parse_regex(&mut alpha, "a?").unwrap());
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[a]));
+        assert!(!m.accepts(&[a, a]));
+
+        let m = glushkov(&parse_regex(&mut alpha, "a*").unwrap());
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn concat_with_nullable_left() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "a*.b").unwrap();
+        let m = glushkov(&e);
+        let (a, b) = (alpha.get("a").unwrap(), alpha.get("b").unwrap());
+        assert!(m.accepts(&[b]));
+        assert!(m.accepts(&[a, a, b]));
+        assert!(!m.accepts(&[a]));
+        assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    fn glushkov_of_deterministic_content_model_is_deterministic() {
+        // (a.(b+c).d)* is 1-unambiguous ⇒ Glushkov automaton deterministic.
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.(b+c).d)*").unwrap();
+        assert!(glushkov(&e).is_deterministic());
+        // a.a is also fine; (a+a.b) is not 1-unambiguous.
+        let e = parse_regex(&mut alpha, "a+a.b").unwrap();
+        assert!(!glushkov(&e).is_deterministic());
+    }
+
+    #[test]
+    fn nested_stars() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.b*)*").unwrap();
+        let m = glushkov(&e);
+        let (a, b) = (alpha.get("a").unwrap(), alpha.get("b").unwrap());
+        assert!(m.accepts(&[]));
+        assert!(m.accepts(&[a]));
+        assert!(m.accepts(&[a, b, b, a, b]));
+        assert!(!m.accepts(&[b]));
+    }
+
+    #[test]
+    fn state_count_is_positions_plus_one() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.(b+c).d)*").unwrap();
+        assert_eq!(glushkov(&e).num_states(), 5);
+    }
+}

@@ -1,0 +1,37 @@
+//! Regular expressions and finite automata over interned alphabets.
+//!
+//! DTD content models (paper §2) are finite automata
+//! `M = (Σ, Q, q0, δ, F)`; the paper's constructions walk these automata
+//! state by state, so the representation here keeps the transition relation
+//! explicit and cheaply iterable per state.
+//!
+//! Provided machinery:
+//!
+//! * [`Regex`] — regular-expression ASTs with the paper's concrete syntax
+//!   (`(a.(b+c).d)*`), a parser and a printer;
+//! * [`Nfa`] — nondeterministic automata, built from regexes via the
+//!   Glushkov construction (ε-free by construction), with membership,
+//!   trimming, symbol erasure (used to derive view DTDs), and language
+//!   emptiness;
+//! * [`Dfa`] — subset-construction determinisation, completion, Moore
+//!   minimisation, and language equivalence (used by tests and by the
+//!   typing-based path selector of paper §5);
+//! * [`min_cost_word`] — cheapest accepted word under per-symbol costs
+//!   (Dijkstra), the engine behind minimal-tree sizes and all graph weights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod error;
+mod glushkov;
+mod mincost;
+mod nfa;
+mod regex;
+
+pub use dfa::Dfa;
+pub use error::AutomatonError;
+pub use glushkov::glushkov;
+pub use mincost::{min_cost_word, MinCostWord, INFINITE};
+pub use nfa::{Nfa, StateId};
+pub use regex::{parse_regex, Regex};

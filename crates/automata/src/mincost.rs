@@ -1,0 +1,186 @@
+//! Cheapest accepted word under per-symbol costs.
+//!
+//! This is the computational core of the paper's weight calculations:
+//!
+//! * the *minimal size of a tree satisfying `D` with root label `a`* is
+//!   `1 +` the cost of the cheapest word of `D(a)` where each letter `y`
+//!   costs the minimal size of a `y`-rooted tree (fixpoint in `xvu-dtd`);
+//! * inversion-graph and propagation-graph edge weights reuse the same
+//!   notion.
+//!
+//! Costs use saturating `u64` arithmetic; [`INFINITE`] marks letters that
+//! cannot be completed into any tree (unsatisfiable labels). The paper's
+//! exponential-minimal-tree DTD family makes saturation a real concern, not
+//! a theoretical nicety.
+
+use crate::nfa::{Nfa, StateId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use xvu_tree::Sym;
+
+/// Sentinel cost for "no finite completion exists".
+pub const INFINITE: u64 = u64::MAX;
+
+/// Result of a cheapest-word search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCostWord {
+    /// Total cost (sum of per-letter costs; `0` for the empty word).
+    pub cost: u64,
+    /// A witness word achieving the cost.
+    pub word: Vec<Sym>,
+}
+
+/// Computes the cheapest word in `L(M)` where letter `y` costs
+/// `costs[y.index()]`. Letters with cost [`INFINITE`] are unusable.
+///
+/// Returns `None` iff no accepted word over finite-cost letters exists.
+/// Costs accumulate with saturating addition: a path whose total saturates
+/// to [`INFINITE`] is treated as unreachable (the distinction is
+/// meaningless at that magnitude — no real tree has `2^64` nodes).
+/// Runs Dijkstra over the automaton states — `O(|δ| log |Q|)`.
+pub fn min_cost_word(nfa: &Nfa, costs: &[u64]) -> Option<MinCostWord> {
+    let n = nfa.num_states();
+    let mut dist = vec![INFINITE; n];
+    // predecessor: (previous state, symbol taken)
+    let mut pred: Vec<Option<(StateId, Sym)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[nfa.start().index()] = 0;
+    heap.push(Reverse((0, nfa.start().0)));
+
+    while let Some(Reverse((d, q))) = heap.pop() {
+        if d > dist[q as usize] {
+            continue;
+        }
+        for &(y, t) in nfa.transitions_from(StateId(q)) {
+            let c = costs
+                .get(y.index())
+                .copied()
+                .expect("cost table covers the alphabet");
+            if c == INFINITE {
+                continue;
+            }
+            let nd = d.saturating_add(c);
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                pred[t.index()] = Some((StateId(q), y));
+                heap.push(Reverse((nd, t.0)));
+            }
+        }
+    }
+
+    // best accepting state
+    let goal = nfa
+        .accepting_states()
+        .filter(|q| dist[q.index()] != INFINITE)
+        .min_by_key(|q| dist[q.index()])?;
+
+    // reconstruct witness
+    let mut word = Vec::new();
+    let mut cur = goal;
+    while let Some((p, y)) = pred[cur.index()] {
+        word.push(y);
+        cur = p;
+    }
+    debug_assert_eq!(cur, nfa.start());
+    word.reverse();
+    Some(MinCostWord {
+        cost: dist[goal.index()],
+        word,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::glushkov;
+    use crate::regex::parse_regex;
+    use xvu_tree::Alphabet;
+
+    fn build(alpha: &mut Alphabet, re: &str) -> Nfa {
+        glushkov(&parse_regex(alpha, re).unwrap())
+    }
+
+    #[test]
+    fn empty_word_when_nullable() {
+        let mut alpha = Alphabet::new();
+        let m = build(&mut alpha, "(a.b)*");
+        let costs = vec![1; alpha.len()];
+        let r = min_cost_word(&m, &costs).unwrap();
+        assert_eq!(r.cost, 0);
+        assert!(r.word.is_empty());
+    }
+
+    #[test]
+    fn picks_cheaper_alternative() {
+        let mut alpha = Alphabet::new();
+        let m = build(&mut alpha, "a.(b+c).d");
+        let (b, c) = (alpha.get("b").unwrap(), alpha.get("c").unwrap());
+        let mut costs = vec![1; alpha.len()];
+        costs[b.index()] = 10;
+        costs[c.index()] = 2;
+        let r = min_cost_word(&m, &costs).unwrap();
+        assert_eq!(r.cost, 1 + 2 + 1);
+        assert!(r.word.contains(&c));
+        assert!(!r.word.contains(&b));
+        assert!(m.accepts(&r.word));
+    }
+
+    #[test]
+    fn infinite_letters_are_avoided() {
+        let mut alpha = Alphabet::new();
+        let m = build(&mut alpha, "a.b+c");
+        let (a, c) = (alpha.get("a").unwrap(), alpha.get("c").unwrap());
+        let mut costs = vec![1; alpha.len()];
+        costs[a.index()] = INFINITE;
+        let r = min_cost_word(&m, &costs).unwrap();
+        assert_eq!(r.word, vec![c]);
+    }
+
+    #[test]
+    fn none_when_language_needs_infinite_letters() {
+        let mut alpha = Alphabet::new();
+        let m = build(&mut alpha, "a.b");
+        let a = alpha.get("a").unwrap();
+        let mut costs = vec![1; alpha.len()];
+        costs[a.index()] = INFINITE;
+        assert!(min_cost_word(&m, &costs).is_none());
+    }
+
+    #[test]
+    fn none_on_empty_language() {
+        let mut alpha = Alphabet::new();
+        alpha.intern("a");
+        let m = build(&mut alpha, "empty");
+        let costs = vec![1; alpha.len()];
+        assert!(min_cost_word(&m, &costs).is_none());
+    }
+
+    #[test]
+    fn witness_is_accepted_and_cost_consistent() {
+        let mut alpha = Alphabet::new();
+        let m = build(&mut alpha, "(a.(b+c).d)*");
+        let mut costs = vec![0; alpha.len()];
+        for (i, c) in costs.iter_mut().enumerate() {
+            *c = (i as u64 + 1) * 3;
+        }
+        let r = min_cost_word(&m, &costs).unwrap();
+        assert!(m.accepts(&r.word));
+        let recomputed: u64 = r.word.iter().map(|y| costs[y.index()]).sum();
+        assert_eq!(recomputed, r.cost);
+    }
+
+    #[test]
+    fn saturating_costs_do_not_wrap_around() {
+        let mut alpha = Alphabet::new();
+        // Wrapping addition would make the two-letter word look *cheap*
+        // (cost ≈ 0) and return it; saturation must instead treat it as
+        // unreachable, so no word is found at all.
+        let m = build(&mut alpha, "a.a");
+        let costs = vec![u64::MAX - 1; alpha.len()];
+        assert!(min_cost_word(&m, &costs).is_none());
+        // A single near-infinite letter stays representable.
+        let m = build(&mut alpha, "a");
+        let r = min_cost_word(&m, &costs).unwrap();
+        assert_eq!(r.cost, u64::MAX - 1);
+    }
+}

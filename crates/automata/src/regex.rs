@@ -1,0 +1,385 @@
+//! Regular-expression ASTs and the paper's concrete syntax.
+//!
+//! DTD rules in the paper map symbols to regular expressions such as
+//! `r → (a·(b+c)·d)*`. The concrete syntax accepted here:
+//!
+//! ```text
+//! alt   ::= cat (('+' | '|') cat)*          alternation
+//! cat   ::= rep ('.' rep)*                  concatenation
+//! rep   ::= atom ('*' | '?')*               iteration / option
+//! atom  ::= label | 'eps' | 'empty' | '(' alt ')'
+//! label ::= [A-Za-z_][A-Za-z0-9_-]*  (except the keywords)
+//! ```
+//!
+//! `eps` is the empty word, `empty` the empty language.
+
+use crate::error::AutomatonError;
+use std::fmt::Write as _;
+use xvu_tree::{Alphabet, Sym};
+
+/// A regular expression over alphabet symbols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language `∅`.
+    Empty,
+    /// The empty word `ε`.
+    Epsilon,
+    /// A single symbol.
+    Sym(Sym),
+    /// Concatenation `e1 · e2 · …` (empty sequence = ε).
+    Concat(Vec<Regex>),
+    /// Alternation `e1 + e2 + …` (empty sequence = ∅).
+    Alt(Vec<Regex>),
+    /// Kleene star `e*`.
+    Star(Box<Regex>),
+    /// Option `e?` (= `e + ε`).
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Convenience constructor: a single symbol.
+    pub fn sym(s: Sym) -> Regex {
+        Regex::Sym(s)
+    }
+
+    /// Convenience constructor: concatenation of the given parts.
+    pub fn concat(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        Regex::Concat(parts.into_iter().collect())
+    }
+
+    /// Convenience constructor: alternation of the given parts.
+    pub fn alt(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        Regex::Alt(parts.into_iter().collect())
+    }
+
+    /// Convenience constructor: Kleene star.
+    pub fn star(e: Regex) -> Regex {
+        Regex::Star(Box::new(e))
+    }
+
+    /// Convenience constructor: option.
+    pub fn opt(e: Regex) -> Regex {
+        Regex::Opt(Box::new(e))
+    }
+
+    /// Whether the empty word belongs to the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+        }
+    }
+
+    /// Number of symbol occurrences (the Glushkov position count).
+    pub fn positions(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon => 0,
+            Regex::Sym(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().map(Regex::positions).sum(),
+            Regex::Star(e) | Regex::Opt(e) => e.positions(),
+        }
+    }
+
+    /// Renders the regex in the concrete syntax (fully parenthesised where
+    /// needed; parses back to an equal AST up to redundant nesting).
+    pub fn to_syntax(&self, alpha: &Alphabet) -> String {
+        let mut out = String::new();
+        self.write(alpha, &mut out, 0);
+        out
+    }
+
+    // prec: 0 = alt context, 1 = concat context, 2 = atom context
+    fn write(&self, alpha: &Alphabet, out: &mut String, prec: u8) {
+        match self {
+            Regex::Empty => out.push_str("empty"),
+            Regex::Epsilon => out.push_str("eps"),
+            Regex::Sym(s) => out.push_str(alpha.name(*s)),
+            Regex::Concat(parts) => {
+                if parts.is_empty() {
+                    out.push_str("eps");
+                    return;
+                }
+                let need_parens = prec >= 2;
+                if need_parens {
+                    out.push('(');
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        out.push('.');
+                    }
+                    p.write(alpha, out, 2);
+                }
+                if need_parens {
+                    out.push(')');
+                }
+            }
+            Regex::Alt(parts) => {
+                if parts.is_empty() {
+                    out.push_str("empty");
+                    return;
+                }
+                let need_parens = prec >= 1;
+                if need_parens {
+                    out.push('(');
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        out.push('+');
+                    }
+                    p.write(alpha, out, 1);
+                }
+                if need_parens {
+                    out.push(')');
+                }
+            }
+            Regex::Star(e) => {
+                e.write(alpha, out, 2);
+                let _ = write!(out, "*");
+            }
+            Regex::Opt(e) => {
+                e.write(alpha, out, 2);
+                let _ = write!(out, "?");
+            }
+        }
+    }
+}
+
+/// Parses the concrete regex syntax, interning labels into `alpha`.
+pub fn parse_regex(alpha: &mut Alphabet, input: &str) -> Result<Regex, AutomatonError> {
+    let mut p = Parser {
+        alpha,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let e = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    alpha: &'a mut Alphabet,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn alt(&mut self) -> Result<Regex, AutomatonError> {
+        let mut parts = vec![self.cat()?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'+') | Some(b'|') => {
+                    self.pos += 1;
+                    parts.push(self.cat()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn cat(&mut self) -> Result<Regex, AutomatonError> {
+        let mut parts = vec![self.rep()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                parts.push(self.rep()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Regex::Concat(parts)
+        })
+    }
+
+    fn rep(&mut self) -> Result<Regex, AutomatonError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    e = Regex::star(e);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    e = Regex::opt(e);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Regex, AutomatonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.alt()?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                let label = self.label();
+                match label.as_str() {
+                    "eps" => Ok(Regex::Epsilon),
+                    "empty" => Ok(Regex::Empty),
+                    _ => Ok(Regex::Sym(self.alpha.intern(&label))),
+                }
+            }
+            _ => Err(self.err("expected a label, 'eps', 'empty', or '('")),
+        }
+    }
+
+    fn label(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .to_owned()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> AutomatonError {
+        AutomatonError::Parse {
+            at: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_d0_rule() {
+        // r → (a·(b+c)·d)*
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.(b+c).d)*").unwrap();
+        let (a, b, c, d) = (
+            alpha.get("a").unwrap(),
+            alpha.get("b").unwrap(),
+            alpha.get("c").unwrap(),
+            alpha.get("d").unwrap(),
+        );
+        let expected = Regex::star(Regex::concat([
+            Regex::sym(a),
+            Regex::alt([Regex::sym(b), Regex::sym(c)]),
+            Regex::sym(d),
+        ]));
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn parse_keywords() {
+        let mut alpha = Alphabet::new();
+        assert_eq!(parse_regex(&mut alpha, "eps").unwrap(), Regex::Epsilon);
+        assert_eq!(parse_regex(&mut alpha, "empty").unwrap(), Regex::Empty);
+        assert!(alpha.is_empty(), "keywords must not be interned");
+    }
+
+    #[test]
+    fn precedence_star_binds_tightest() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "a.b*+c").unwrap();
+        // (a.(b*)) + c
+        let (a, b, c) = (
+            alpha.get("a").unwrap(),
+            alpha.get("b").unwrap(),
+            alpha.get("c").unwrap(),
+        );
+        let expected = Regex::alt([
+            Regex::concat([Regex::sym(a), Regex::star(Regex::sym(b))]),
+            Regex::sym(c),
+        ]);
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn pipe_is_alternation_too() {
+        let mut alpha = Alphabet::new();
+        let e1 = parse_regex(&mut alpha, "a|b").unwrap();
+        let e2 = parse_regex(&mut alpha, "a+b").unwrap();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn nullable_cases() {
+        let mut alpha = Alphabet::new();
+        assert!(parse_regex(&mut alpha, "a*").unwrap().nullable());
+        assert!(parse_regex(&mut alpha, "a?").unwrap().nullable());
+        assert!(parse_regex(&mut alpha, "eps").unwrap().nullable());
+        assert!(!parse_regex(&mut alpha, "a.b*").unwrap().nullable());
+        assert!(parse_regex(&mut alpha, "a*+b").unwrap().nullable());
+        assert!(!parse_regex(&mut alpha, "empty").unwrap().nullable());
+    }
+
+    #[test]
+    fn positions_counts_occurrences() {
+        let mut alpha = Alphabet::new();
+        let e = parse_regex(&mut alpha, "(a.(b+c).d)*").unwrap();
+        assert_eq!(e.positions(), 4);
+        let e = parse_regex(&mut alpha, "a.a.a").unwrap();
+        assert_eq!(e.positions(), 3);
+    }
+
+    #[test]
+    fn syntax_round_trip() {
+        let mut alpha = Alphabet::new();
+        for src in [
+            "(a.(b+c).d)*",
+            "a.b*+c?",
+            "eps",
+            "empty",
+            "((a+b).c)*",
+            "a?",
+            "a.b.c",
+        ] {
+            let e = parse_regex(&mut alpha, src).unwrap();
+            let printed = e.to_syntax(&alpha);
+            let e2 = parse_regex(&mut alpha, &printed).unwrap();
+            assert_eq!(e, e2, "round trip failed for {src:?} → {printed:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut alpha = Alphabet::new();
+        for bad in ["", "(", "a+", "a..b", "*", "(a", "a)"] {
+            assert!(parse_regex(&mut alpha, bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_insertlets` — invisible-fragment materialisation via
+//!   insertlet instantiation vs on-the-fly minimal-witness construction
+//!   (the motivation for §5's insertlet packages);
+//! * `ablation_selector` — cost of the three path-selection strategies;
+//! * `ablation_dfa` — NFA-backed content models vs determinised+minimised
+//!   ones in the full pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use xvu_automata::{Dfa, Nfa, StateId};
+use xvu_bench::hospital_instance;
+use xvu_dtd::{exponential_dtd, min_sizes, minimal_witness, Dtd, InsertletPackage};
+use xvu_propagate::{propagate, Config, Instance, Selector};
+use xvu_tree::{Alphabet, NodeIdGen};
+
+fn bench_insertlets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_insertlets");
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    for n in [10usize, 14] {
+        let mut alpha = Alphabet::new();
+        let dtd = exponential_dtd(&mut alpha, n);
+        let sizes = min_sizes(&dtd, alpha.len());
+        let a = alpha.get("a").unwrap();
+        let mut gen = NodeIdGen::new();
+        group.bench_with_input(BenchmarkId::new("witness", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = NodeIdGen::new();
+                black_box(minimal_witness(&dtd, &sizes, a, &mut g, 1 << 40).unwrap().size())
+            })
+        });
+        let pkg = {
+            let mut p = InsertletPackage::new();
+            let w = minimal_witness(&dtd, &sizes, a, &mut gen, 1 << 40).unwrap();
+            p.insert(&dtd, &sizes, a, w).unwrap();
+            p
+        };
+        group.bench_with_input(BenchmarkId::new("insertlet", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = NodeIdGen::new();
+                black_box(pkg.instantiate(&dtd, &sizes, a, &mut g, 1 << 40).unwrap().size())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let oi = hospital_instance(6, 50);
+    let mut group = c.benchmark_group("ablation_selector");
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    for sel in [
+        Selector::First,
+        Selector::PreferNop,
+        Selector::PreferTypePreserving,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sel:?}")),
+            &sel,
+            |b, &sel| {
+                b.iter(|| {
+                    let inst = oi.instance();
+                    let cfg = Config {
+                        selector: sel,
+                        ..Config::default()
+                    };
+                    black_box(
+                        propagate(&inst, &InsertletPackage::new(), &cfg)
+                            .unwrap()
+                            .cost,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Rebuilds a DTD with determinised + minimised content models.
+fn determinized(dtd: &Dtd, alphabet_len: usize) -> Dtd {
+    let mut out = Dtd::new();
+    for label in dtd.ruled_labels() {
+        let dfa = Dfa::determinize(dtd.content_model(label), alphabet_len).minimize();
+        // convert the DFA back to an Nfa for the Dtd container
+        let mut nfa = Nfa::new(dfa.num_states().max(1), StateId(0));
+        for q in 0..dfa.num_states() {
+            if dfa.is_accepting(StateId(q as u32)) {
+                nfa.set_accepting(StateId(q as u32), true);
+            }
+            for a in 0..alphabet_len {
+                let y = xvu_tree::Sym::from_index(a);
+                if let Some(t) = dfa.step(StateId(q as u32), y) {
+                    nfa.add_transition(StateId(q as u32), y, t);
+                }
+            }
+        }
+        out.set_rule_nfa(label, nfa);
+    }
+    out
+}
+
+fn bench_dfa(c: &mut Criterion) {
+    let oi = hospital_instance(6, 50);
+    let det = determinized(&oi.dtd, oi.alpha.len());
+    let mut group = c.benchmark_group("ablation_dfa");
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    group.bench_function("glushkov_nfa", |b| {
+        b.iter(|| {
+            let inst = oi.instance();
+            black_box(
+                propagate(&inst, &InsertletPackage::new(), &Config::default())
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.bench_function("minimized_dfa", |b| {
+        b.iter(|| {
+            let inst =
+                Instance::new(&det, &oi.ann, &oi.doc, &oi.update, oi.alpha.len()).unwrap();
+            black_box(
+                propagate(&inst, &InsertletPackage::new(), &Config::default())
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertlets, bench_selectors, bench_dfa);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Baseline comparison (experiment E10): the repair-based approach of
+//! paper §6.2 vs the propagation-graph algorithm, on the `D3` pitfall
+//! instance and on a larger view where the candidate space blows up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use xvu_dtd::InsertletPackage;
+use xvu_edit::UpdateBuilder;
+use xvu_propagate::{propagate, Config, Instance};
+use xvu_repair::{repair_based_update, RepairConfig};
+use xvu_tree::{parse_term_with_ids, NodeIdGen};
+use xvu_view::extract_view;
+use xvu_workload::paper::{d3_repair_pitfall, running_example};
+
+fn bench_d3(c: &mut Criterion) {
+    let (fx, t, s, _gen) = d3_repair_pitfall();
+    let mut group = c.benchmark_group("baseline_d3");
+    group.measurement_time(Duration::from_millis(800));
+    group.bench_function("repair", |b| {
+        b.iter(|| {
+            black_box(
+                repair_based_update(
+                    &fx.dtd,
+                    &fx.ann,
+                    fx.alpha.len(),
+                    &t,
+                    &s,
+                    &RepairConfig::default(),
+                )
+                .unwrap()
+                .distance,
+            )
+        })
+    });
+    group.bench_function("propagation", |b| {
+        b.iter(|| {
+            let inst = Instance::new(&fx.dtd, &fx.ann, &t, &s, fx.alpha.len()).unwrap();
+            black_box(
+                propagate(&inst, &InsertletPackage::new(), &Config::default())
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_larger_view(c: &mut Criterion) {
+    // The running example's schema with a wider document: repair has to
+    // enumerate + score many padding variants while propagation stays
+    // graph-polynomial.
+    let fx = running_example();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = NodeIdGen::starting_at(100);
+    let mut term = String::from("r#0(");
+    for i in 0..6 {
+        if i > 0 {
+            term.push_str(", ");
+        }
+        term.push_str(&format!(
+            "a#{}, b#{}, d#{}(a#{}, c#{})",
+            100 + 10 * i,
+            101 + 10 * i,
+            102 + 10 * i,
+            103 + 10 * i,
+            104 + 10 * i
+        ));
+    }
+    term.push(')');
+    let t = parse_term_with_ids(&mut alpha, &mut gen, &term).unwrap();
+    assert!(fx.dtd.is_valid(&t));
+    let view = extract_view(&fx.ann, &t);
+    // delete the first (a, d) group in the view
+    let kids: Vec<_> = view.children(view.root()).to_vec();
+    let mut b = UpdateBuilder::new(&view);
+    b.delete(kids[0]).unwrap();
+    b.delete(kids[1]).unwrap();
+    let s = b.finish();
+
+    let mut group = c.benchmark_group("baseline_wide");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("repair", |bch| {
+        bch.iter(|| {
+            black_box(
+                repair_based_update(
+                    &fx.dtd,
+                    &fx.ann,
+                    alpha.len(),
+                    &t,
+                    &s,
+                    &RepairConfig {
+                        candidate_cap: 100,
+                        ..RepairConfig::default()
+                    },
+                )
+                .unwrap()
+                .distance,
+            )
+        })
+    });
+    group.bench_function("propagation", |bch| {
+        bch.iter(|| {
+            let inst = Instance::new(&fx.dtd, &fx.ann, &t, &s, alpha.len()).unwrap();
+            black_box(
+                propagate(&inst, &InsertletPackage::new(), &Config::default())
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_d3, bench_larger_view);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Micro-benchmarks on the paper's own fixtures (experiments E3–E8).
+//!
+//! * `inversion/fig6` — building + solving the Fig. 6 inversion graph;
+//! * `propagation/paper` — the full running-example pipeline (Fig. 7);
+//! * `counting/d2_k` — counting the `2^k` optimal propagations of `D2`;
+//! * `minsize/exponential_n` — the minimal-size fixpoint on the
+//!   exponential DTD family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use xvu_dtd::{exponential_dtd, min_sizes, InsertletPackage};
+use xvu_edit::parse_script;
+use xvu_propagate::{
+    count_optimal_propagations, propagate, Config, CostModel, Instance, InversionForest,
+    PropagationForest,
+};
+use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+use xvu_workload::paper::{self, running_example};
+
+fn bench_inversion(c: &mut Criterion) {
+    let fx = running_example();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = fx.gen.clone();
+    let frag = parse_term_with_ids(&mut alpha, &mut gen, "d#11(c#13, c#14)").unwrap();
+    let sizes = min_sizes(&fx.dtd, alpha.len());
+    let pkg = InsertletPackage::new();
+
+    let mut group = c.benchmark_group("inversion");
+    group.measurement_time(Duration::from_millis(800));
+    group.bench_function("fig6_build_and_cost", |b| {
+        b.iter(|| {
+            let cm = CostModel {
+                sizes: &sizes,
+                insertlets: &pkg,
+            };
+            let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
+            black_box(forest.min_inverse_size())
+        })
+    });
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let fx = running_example();
+    let mut group = c.benchmark_group("propagation");
+    group.measurement_time(Duration::from_millis(800));
+    group.bench_function("paper_running_example", |b| {
+        b.iter(|| {
+            let inst =
+                Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+            let prop =
+                propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+            black_box(prop.cost)
+        })
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    group.measurement_time(Duration::from_millis(800));
+    for k in [4usize, 16, 64] {
+        let fx = paper::d2_exponential_choices();
+        let mut alpha = fx.alpha.clone();
+        let mut gen = NodeIdGen::new();
+        let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0").unwrap();
+        let mut s = String::from("nop:r#0(");
+        for i in 0..k {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("ins:a#{}", i + 1));
+        }
+        s.push(')');
+        let update = parse_script(&mut alpha, &s).unwrap();
+        let dtd = fx.dtd.clone();
+        let ann = fx.ann.clone();
+        let alen = alpha.len();
+        group.bench_with_input(BenchmarkId::new("d2_count", k), &k, |b, _| {
+            b.iter(|| {
+                let inst = Instance::new(&dtd, &ann, &source, &update, alen).unwrap();
+                let sizes = min_sizes(&dtd, alen);
+                let pkg = InsertletPackage::new();
+                let cm = CostModel {
+                    sizes: &sizes,
+                    insertlets: &pkg,
+                };
+                let forest = PropagationForest::build(&inst, &cm).unwrap();
+                black_box(count_optimal_propagations(&forest))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minsize");
+    group.measurement_time(Duration::from_millis(800));
+    for n in [8usize, 32, 60] {
+        let mut alpha = Alphabet::new();
+        let dtd = exponential_dtd(&mut alpha, n);
+        let alen = alpha.len();
+        group.bench_with_input(BenchmarkId::new("exponential_fixpoint", n), &n, |b, _| {
+            b.iter(|| black_box(min_sizes(&dtd, alen)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inversion,
+    bench_propagation,
+    bench_counting,
+    bench_minsize
+);
+criterion_main!(benches);

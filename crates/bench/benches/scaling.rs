@@ -1,0 +1,97 @@
+//! Scaling benchmarks (experiment E9): the pipeline is polynomial —
+//! near-linear in practice — in the source size, the DTD size, and the
+//! update size, as Theorem 6 promises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use xvu_bench::{hospital_instance, random_instance};
+
+fn bench_doc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_doc");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for (d, p) in [(2usize, 6usize), (4, 30), (8, 150), (16, 750)] {
+        let oi = hospital_instance(d, p);
+        let nodes = oi.doc.size();
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &oi, |b, oi| {
+            b.iter(|| black_box(oi.propagate().cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtd_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_dtd");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for labels in [4usize, 8, 16, 32] {
+        let oi = random_instance(labels, 400, 3, 1234);
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &oi, |b, oi| {
+            b.iter(|| black_box(oi.propagate().cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_update");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for ops in [1usize, 4, 16] {
+        let oi = random_instance(8, 400, ops, 99);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &oi, |b, oi| {
+            b.iter(|| black_box(oi.propagate().cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursive_depth(c: &mut Criterion) {
+    // The outline schema is recursive: propagation recurses through a
+    // depth-proportional chain of Nop-skeleton graphs. This group tracks
+    // cost as a function of nesting depth at constant node count order.
+    use xvu_propagate::{propagate, Config, Instance};
+    use xvu_tree::NodeIdGen;
+    use xvu_workload::scenario::{add_section, outline, outline_doc};
+
+    let mut group = c.benchmark_group("scaling_recursion_depth");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for depth in [2usize, 4, 6, 8] {
+        let o = outline();
+        let mut gen = NodeIdGen::new();
+        // fanout balances the node count across depths (~2^8 sections)
+        let fanout = match depth {
+            2 => 16,
+            4 => 4,
+            6 => 2,
+            _ => 2,
+        };
+        let doc = outline_doc(&o, depth, fanout, &mut gen);
+        let path: Vec<usize> = vec![0; depth];
+        let update = add_section(&o, &doc, &path, &mut gen);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let inst =
+                    Instance::new(&o.dtd, &o.ann, &doc, &update, o.alpha.len()).unwrap();
+                black_box(
+                    propagate(&inst, &Default::default(), &Config::default())
+                        .unwrap()
+                        .cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_doc_scaling,
+    bench_dtd_scaling,
+    bench_update_scaling,
+    bench_recursive_depth
+);
+criterion_main!(benches);

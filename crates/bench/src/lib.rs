@@ -1,0 +1,157 @@
+//! Shared helpers for the benchmark harness and the `experiments` binary.
+//!
+//! Everything here is deterministic: scaled hospital instances, generated
+//! random instances, and the D2/D3/exponential fixtures, packaged so both
+//! Criterion benches and the table-printing binary drive identical
+//! workloads.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+use xvu_dtd::{Dtd, InsertletPackage};
+use xvu_edit::Script;
+use xvu_propagate::{propagate, Config, Instance, Propagation};
+use xvu_tree::{Alphabet, DocTree, NodeIdGen};
+use xvu_view::Annotation;
+use xvu_workload::scenario::{admit_patient, hospital, hospital_doc, Hospital};
+use xvu_workload::{
+    generate_annotation, generate_doc, generate_dtd, generate_update, DocGenConfig, DtdGenConfig,
+    UpdateGenConfig,
+};
+
+/// A fully assembled, owned problem instance (the borrow-free bundle the
+/// benches iterate over).
+pub struct OwnedInstance {
+    /// The alphabet.
+    pub alpha: Alphabet,
+    /// The schema.
+    pub dtd: Dtd,
+    /// The view definition.
+    pub ann: Annotation,
+    /// The source document.
+    pub doc: DocTree,
+    /// The view update.
+    pub update: Script,
+}
+
+impl OwnedInstance {
+    /// Runs the full propagation pipeline once.
+    pub fn propagate(&self) -> Propagation {
+        let inst = Instance::new(&self.dtd, &self.ann, &self.doc, &self.update, self.alpha.len())
+            .expect("valid instance");
+        propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("Theorem 5")
+    }
+
+    /// Builds the validated [`Instance`] view of this bundle.
+    pub fn instance(&self) -> Instance<'_> {
+        Instance::new(&self.dtd, &self.ann, &self.doc, &self.update, self.alpha.len())
+            .expect("valid instance")
+    }
+}
+
+/// A hospital admission at the given scale (`departments ×
+/// patients_per_dept`, 8 source nodes per patient).
+pub fn hospital_instance(departments: usize, patients_per_dept: usize) -> OwnedInstance {
+    let Hospital { alpha, dtd, ann } = hospital();
+    let h = Hospital {
+        alpha: alpha.clone(),
+        dtd: dtd.clone(),
+        ann: ann.clone(),
+    };
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, departments, patients_per_dept, &mut gen);
+    let update = admit_patient(&h, &doc, departments / 2, &mut gen);
+    OwnedInstance {
+        alpha,
+        dtd,
+        ann,
+        doc,
+        update,
+    }
+}
+
+/// A random generated instance: `labels`-symbol DTD, document of roughly
+/// `max_nodes`, `ops`-operation update. Deterministic in `seed`.
+pub fn random_instance(labels: usize, max_nodes: usize, ops: usize, seed: u64) -> OwnedInstance {
+    let mut alpha = Alphabet::new();
+    let dtd = generate_dtd(
+        &mut alpha,
+        &DtdGenConfig {
+            labels,
+            ..DtdGenConfig::default()
+        },
+        seed,
+    );
+    let ann = generate_annotation(&alpha, 0.3, seed ^ 101, &[]);
+    let root = alpha.get("l0").expect("root");
+    let mut gen = NodeIdGen::new();
+    let doc = generate_doc(
+        &dtd,
+        alpha.len(),
+        root,
+        &DocGenConfig {
+            max_nodes,
+            max_depth: 8,
+            max_children: 10,
+            stop_bias: 0.05,
+        },
+        seed ^ 202,
+        &mut gen,
+    );
+    let update = generate_update(
+        &dtd,
+        &ann,
+        alpha.len(),
+        &doc,
+        &UpdateGenConfig {
+            ops,
+            ..UpdateGenConfig::default()
+        },
+        seed ^ 303,
+        &mut gen,
+    );
+    OwnedInstance {
+        alpha,
+        dtd,
+        ann,
+        doc,
+        update,
+    }
+}
+
+/// Median wall-clock time of `runs` executions of `f`.
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_instance_propagates() {
+        let inst = hospital_instance(2, 3);
+        let p = inst.propagate();
+        assert_eq!(p.cost, 3);
+    }
+
+    #[test]
+    fn random_instance_propagates() {
+        let inst = random_instance(8, 300, 3, 7);
+        let p = inst.propagate();
+        assert!(p.cost < 10_000);
+    }
+}

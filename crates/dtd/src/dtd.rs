@@ -1,0 +1,248 @@
+//! The DTD type and tree validation.
+
+use crate::error::DtdError;
+use std::collections::HashMap;
+use xvu_automata::{glushkov, Nfa, Regex, StateId};
+use xvu_tree::{DocTree, NodeId, Sym};
+
+/// A Document Type Definition: `D : Σ → NFA`.
+///
+/// Labels without an explicit rule have the default content model `ε`
+/// (leaves only) — the paper's convention "if for a symbol `a` no rule is
+/// given, then `a → ε` is assumed". No root label is imposed, so arbitrary
+/// tree fragments can be validated.
+#[derive(Clone, Debug)]
+pub struct Dtd {
+    rules: HashMap<Sym, Nfa>,
+    /// Shared default automaton accepting exactly the empty word.
+    eps: Nfa,
+}
+
+/// A single validation violation: the node whose child word is not in its
+/// label's content model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending node.
+    pub node: NodeId,
+    /// Its label.
+    pub label: Sym,
+    /// Its child-label word.
+    pub child_word: Vec<Sym>,
+}
+
+impl Default for Dtd {
+    fn default() -> Dtd {
+        Dtd::new()
+    }
+}
+
+impl Dtd {
+    /// An empty DTD: every label is a leaf (`a → ε` for all `a`).
+    pub fn new() -> Dtd {
+        let mut eps = Nfa::new(1, StateId(0));
+        eps.set_accepting(StateId(0), true);
+        Dtd {
+            rules: HashMap::new(),
+            eps,
+        }
+    }
+
+    /// Sets the content model of `label` from a regular expression
+    /// (Glushkov construction).
+    pub fn set_rule(&mut self, label: Sym, content: &Regex) {
+        self.set_rule_nfa(label, glushkov(content));
+    }
+
+    /// Sets the content model of `label` directly as an automaton.
+    pub fn set_rule_nfa(&mut self, label: Sym, nfa: Nfa) {
+        self.rules.insert(label, nfa);
+    }
+
+    /// Whether `label` has an explicit rule.
+    pub fn has_rule(&self, label: Sym) -> bool {
+        self.rules.contains_key(&label)
+    }
+
+    /// The content model of `label` — the automaton `D(a)`. Labels without
+    /// an explicit rule yield the `ε` automaton.
+    pub fn content_model(&self, label: Sym) -> &Nfa {
+        self.rules.get(&label).unwrap_or(&self.eps)
+    }
+
+    /// Iterates over labels with explicit rules.
+    pub fn ruled_labels(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.rules.keys().copied()
+    }
+
+    /// The paper's size measure: sum of the sizes of all automata used.
+    pub fn size(&self) -> usize {
+        self.rules.values().map(Nfa::size).sum()
+    }
+
+    /// Labels whose content-model automaton is nondeterministic.
+    ///
+    /// W3C DTDs require 1-unambiguous content models (whose Glushkov
+    /// automata are deterministic); the paper's typing-based selection
+    /// (§5) also assumes determinism. This reports violations for
+    /// diagnostics — the propagation machinery itself works for arbitrary
+    /// NFAs.
+    pub fn nondeterministic_labels(&self) -> Vec<Sym> {
+        let mut labels: Vec<Sym> = self
+            .rules
+            .iter()
+            .filter(|(_, nfa)| !nfa.is_deterministic())
+            .map(|(&l, _)| l)
+            .collect();
+        labels.sort();
+        labels
+    }
+
+    /// Checks whether a single node's children satisfy its content model.
+    pub fn node_is_valid(&self, t: &DocTree, n: NodeId) -> bool {
+        let word = t.child_word(n);
+        self.content_model(t.label(n)).accepts(&word)
+    }
+
+    /// Whether `t ∈ L(D)` (every node's child word is in its content
+    /// model). `L(D)` contains only non-empty trees, which the tree type
+    /// guarantees structurally.
+    pub fn is_valid(&self, t: &DocTree) -> bool {
+        t.preorder().all(|n| self.node_is_valid(t, n))
+    }
+
+    /// Validates `t`, returning the first violation in document order.
+    pub fn validate(&self, t: &DocTree) -> Result<(), DtdError> {
+        match self.first_violation(t) {
+            None => Ok(()),
+            Some(v) => Err(DtdError::Invalid {
+                node: v.node,
+                label: v.label,
+            }),
+        }
+    }
+
+    /// The first violation in document order, if any.
+    pub fn first_violation(&self, t: &DocTree) -> Option<Violation> {
+        t.preorder().find_map(|n| {
+            let word = t.child_word(n);
+            if self.content_model(t.label(n)).accepts(&word) {
+                None
+            } else {
+                Some(Violation {
+                    node: n,
+                    label: t.label(n),
+                    child_word: word,
+                })
+            }
+        })
+    }
+
+    /// All violations in document order (diagnostics).
+    pub fn violations(&self, t: &DocTree) -> Vec<Violation> {
+        t.preorder()
+            .filter_map(|n| {
+                let word = t.child_word(n);
+                if self.content_model(t.label(n)).accepts(&word) {
+                    None
+                } else {
+                    Some(Violation {
+                        node: n,
+                        label: t.label(n),
+                        child_word: word,
+                    })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+    use xvu_tree::{parse_term, Alphabet, NodeIdGen};
+
+    /// The paper's DTD `D0`: `r → (a·(b+c)·d)*`, `d → ((a+b)·c)*`.
+    fn d0(alpha: &mut Alphabet) -> Dtd {
+        parse_dtd(
+            alpha,
+            "r -> (a.(b+c).d)*\n\
+             d -> ((a+b).c)*",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn t0_satisfies_d0() {
+        // Paper Fig. 1: t0 = r(a, b, d(a, c), a, c, d(b, c))
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let t0 = parse_term(&mut alpha, &mut gen, "r(a, b, d(a, c), a, c, d(b, c))").unwrap();
+        assert!(dtd.is_valid(&t0));
+        dtd.validate(&t0).unwrap();
+    }
+
+    #[test]
+    fn invalid_tree_is_rejected_with_location() {
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        // r(a, b) is missing the closing d.
+        let t = parse_term(&mut alpha, &mut gen, "r(a, b)").unwrap();
+        let v = dtd.first_violation(&t).unwrap();
+        assert_eq!(v.node, t.root());
+        assert!(!dtd.is_valid(&t));
+    }
+
+    #[test]
+    fn default_rule_is_epsilon() {
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        // 'a' has no rule, so a(c) is invalid while a alone is fine.
+        let bad = parse_term(&mut alpha, &mut gen, "r(a(c), b, d)").unwrap();
+        assert!(!dtd.is_valid(&bad));
+        let a_leaf = parse_term(&mut alpha, &mut gen, "a").unwrap();
+        assert!(dtd.is_valid(&a_leaf));
+    }
+
+    #[test]
+    fn fragments_validate_without_root_constraint() {
+        // Paper: "We omit this requirement as this will allow us to easily
+        // consider tree fragments that satisfy the DTD."
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let frag = parse_term(&mut alpha, &mut gen, "d(a, c, b, c)").unwrap();
+        assert!(dtd.is_valid(&frag));
+    }
+
+    #[test]
+    fn violations_lists_every_bad_node() {
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, "r(d(a), d(b))").unwrap();
+        // root bad (word d d), both d children bad (words a and b).
+        assert_eq!(dtd.violations(&t).len(), 3);
+    }
+
+    #[test]
+    fn nondeterminism_is_reported() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> a.b + a.c\nd -> (a.b)*").unwrap();
+        let r = alpha.get("r").unwrap();
+        assert_eq!(dtd.nondeterministic_labels(), vec![r]);
+        let clean = d0(&mut alpha);
+        assert!(clean.nondeterministic_labels().is_empty());
+    }
+
+    #[test]
+    fn size_sums_automata() {
+        let mut alpha = Alphabet::new();
+        let dtd = d0(&mut alpha);
+        assert!(dtd.size() > 0);
+        assert_eq!(Dtd::new().size(), 0);
+    }
+}

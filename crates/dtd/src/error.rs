@@ -1,0 +1,75 @@
+//! Errors for DTD parsing, validation, and witness construction.
+
+use std::fmt;
+use xvu_tree::{NodeId, Sym};
+
+/// Errors raised by this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtdError {
+    /// Parse error in DTD rule syntax.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A label has two rules.
+    DuplicateRule(String),
+    /// The label admits no finite tree (unsatisfiable content model chain).
+    Unsatisfiable(Sym),
+    /// A minimal witness tree would exceed the node budget.
+    ///
+    /// The paper notes minimal trees can be exponential in `|D|`; callers
+    /// are expected to fall back to insertlets.
+    WitnessBudgetExceeded {
+        /// The label whose witness was requested.
+        label: Sym,
+        /// The requested budget.
+        budget: u64,
+        /// The true minimal size (saturating).
+        needed: u64,
+    },
+    /// An insertlet tree is invalid for its label.
+    BadInsertlet {
+        /// The label the insertlet was registered for.
+        label: Sym,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A tree failed validation.
+    Invalid {
+        /// The first offending node.
+        node: NodeId,
+        /// Its label.
+        label: Sym,
+    },
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::Parse { line, msg } => write!(f, "DTD parse error on line {line}: {msg}"),
+            DtdError::DuplicateRule(l) => write!(f, "duplicate DTD rule for label {l:?}"),
+            DtdError::Unsatisfiable(s) => {
+                write!(f, "label {s:?} admits no finite tree under this DTD")
+            }
+            DtdError::WitnessBudgetExceeded {
+                label,
+                budget,
+                needed,
+            } => write!(
+                f,
+                "minimal witness for {label:?} needs {needed} nodes, budget is {budget}"
+            ),
+            DtdError::BadInsertlet { label, reason } => {
+                write!(f, "invalid insertlet for {label:?}: {reason}")
+            }
+            DtdError::Invalid { node, label } => write!(
+                f,
+                "tree violates the DTD at node {node} (label {label:?}): child word not in content model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}

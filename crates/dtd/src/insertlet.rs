@@ -1,0 +1,288 @@
+//! Insertlet packages (paper §5).
+//!
+//! > "An insertlet package for `D` is a collection `W = (W_a)_{a∈Σ}`
+//! > containing for every `a ∈ Σ` an insertlet `W_a`, i.e. a minimal tree
+//! > satisfying `D` with root label `a`. We remark that in practice it will
+//! > not be necessary to specify an insertlet for every symbol."
+//!
+//! Insertlets decouple propagation from witness materialisation: the
+//! algorithm looks fragments up instead of constructing them, which bounds
+//! the output size by `|W|` and keeps the whole pipeline polynomial even
+//! for DTDs whose minimal trees are exponential.
+
+use crate::dtd::Dtd;
+use crate::error::DtdError;
+use crate::minsize::{minimal_witness, MinSizes};
+use std::collections::HashMap;
+use xvu_tree::{DocTree, NodeIdGen, Sym};
+
+/// A collection of default document fragments, one per label, each a tree
+/// satisfying the DTD with the matching root label.
+///
+/// Registration validates fragments; by default they must also be
+/// *size-minimal* (the paper's definition). [`InsertletPackage::insert_non_minimal`]
+/// relaxes minimality for administrators who prefer richer defaults — the
+/// propagation cost model then charges the actual fragment size, so
+/// "optimal" means optimal w.r.t. the chosen fragments.
+#[derive(Clone, Debug, Default)]
+pub struct InsertletPackage {
+    templates: HashMap<Sym, DocTree>,
+}
+
+impl InsertletPackage {
+    /// An empty package.
+    pub fn new() -> InsertletPackage {
+        InsertletPackage::default()
+    }
+
+    /// Registers a size-minimal insertlet for `label`.
+    ///
+    /// Rejects fragments whose root label differs, that violate the DTD, or
+    /// that are larger than the minimal size.
+    pub fn insert(
+        &mut self,
+        dtd: &Dtd,
+        sizes: &MinSizes,
+        label: Sym,
+        tree: DocTree,
+    ) -> Result<(), DtdError> {
+        self.check(dtd, label, &tree)?;
+        if tree.size() as u64 > sizes.get(label) {
+            return Err(DtdError::BadInsertlet {
+                label,
+                reason: format!(
+                    "insertlet has {} nodes but the minimal tree has {}",
+                    tree.size(),
+                    sizes.get(label)
+                ),
+            });
+        }
+        self.templates.insert(label, tree);
+        Ok(())
+    }
+
+    /// Registers an insertlet that is valid but possibly larger than
+    /// minimal.
+    pub fn insert_non_minimal(
+        &mut self,
+        dtd: &Dtd,
+        label: Sym,
+        tree: DocTree,
+    ) -> Result<(), DtdError> {
+        self.check(dtd, label, &tree)?;
+        self.templates.insert(label, tree);
+        Ok(())
+    }
+
+    fn check(&self, dtd: &Dtd, label: Sym, tree: &DocTree) -> Result<(), DtdError> {
+        if tree.label(tree.root()) != label {
+            return Err(DtdError::BadInsertlet {
+                label,
+                reason: "root label does not match".to_owned(),
+            });
+        }
+        if let Err(e) = dtd.validate(tree) {
+            return Err(DtdError::BadInsertlet {
+                label,
+                reason: format!("fragment violates the DTD: {e}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether a fragment is registered for `label`.
+    pub fn contains(&self, label: Sym) -> bool {
+        self.templates.contains_key(&label)
+    }
+
+    /// The registered template for `label` (identifiers are the template's
+    /// own; use [`InsertletPackage::instantiate`] to obtain fresh copies).
+    pub fn template(&self, label: Sym) -> Option<&DocTree> {
+        self.templates.get(&label)
+    }
+
+    /// The size charged for inserting a `label` fragment: the insertlet
+    /// size when registered, the minimal size otherwise.
+    pub fn charge(&self, sizes: &MinSizes, label: Sym) -> u64 {
+        match self.templates.get(&label) {
+            Some(t) => t.size() as u64,
+            None => sizes.get(label),
+        }
+    }
+
+    /// Instantiates a fresh-identifier copy of the fragment for `label`,
+    /// falling back to on-the-fly minimal-witness construction (bounded by
+    /// `witness_budget`) when no insertlet is registered.
+    pub fn instantiate(
+        &self,
+        dtd: &Dtd,
+        sizes: &MinSizes,
+        label: Sym,
+        gen: &mut NodeIdGen,
+        witness_budget: u64,
+    ) -> Result<DocTree, DtdError> {
+        match self.templates.get(&label) {
+            Some(t) => Ok(t.with_fresh_ids(gen)),
+            None => minimal_witness(dtd, sizes, label, gen, witness_budget),
+        }
+    }
+
+    /// Builds a complete package of computed minimal witnesses for every
+    /// satisfiable label in `0..alphabet_len`, bounded per label by
+    /// `witness_budget`. Labels whose minimal tree exceeds the budget are
+    /// skipped (propagation will error only if it actually needs them).
+    pub fn minimal_package(
+        dtd: &Dtd,
+        sizes: &MinSizes,
+        alphabet_len: usize,
+        gen: &mut NodeIdGen,
+        witness_budget: u64,
+    ) -> InsertletPackage {
+        let mut pkg = InsertletPackage::new();
+        for i in 0..alphabet_len {
+            let label = Sym::from_index(i);
+            if !sizes.is_satisfiable(label) || sizes.get(label) > witness_budget {
+                continue;
+            }
+            if let Ok(w) = minimal_witness(dtd, sizes, label, gen, witness_budget) {
+                pkg.templates.insert(label, w);
+            }
+        }
+        pkg
+    }
+
+    /// Number of registered fragments.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the package is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Total node count across fragments — the `|W|` of Theorem 6.
+    pub fn total_size(&self) -> usize {
+        self.templates.values().map(DocTree::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minsize::min_sizes;
+    use crate::parser::parse_dtd;
+    use xvu_tree::{parse_term, Alphabet};
+
+    fn setup() -> (Alphabet, Dtd, MinSizes) {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> a.(b+c).d\nd -> (a+b).c").unwrap();
+        let sizes = min_sizes(&dtd, alpha.len());
+        (alpha, dtd, sizes)
+    }
+
+    #[test]
+    fn insert_valid_minimal_fragment() {
+        let (mut alpha, dtd, sizes) = setup();
+        let mut gen = NodeIdGen::starting_at(100);
+        let frag = parse_term(&mut alpha, &mut gen, "d(b, c)").unwrap();
+        let d = alpha.get("d").unwrap();
+        let mut pkg = InsertletPackage::new();
+        pkg.insert(&dtd, &sizes, d, frag).unwrap();
+        assert!(pkg.contains(d));
+        assert_eq!(pkg.charge(&sizes, d), 3);
+    }
+
+    #[test]
+    fn reject_wrong_root_label() {
+        let (mut alpha, dtd, sizes) = setup();
+        let mut gen = NodeIdGen::starting_at(100);
+        let frag = parse_term(&mut alpha, &mut gen, "a").unwrap();
+        let d = alpha.get("d").unwrap();
+        let err = InsertletPackage::new()
+            .insert(&dtd, &sizes, d, frag)
+            .unwrap_err();
+        assert!(matches!(err, DtdError::BadInsertlet { .. }));
+    }
+
+    #[test]
+    fn reject_invalid_fragment() {
+        let (mut alpha, dtd, sizes) = setup();
+        let mut gen = NodeIdGen::starting_at(100);
+        let frag = parse_term(&mut alpha, &mut gen, "d(c)").unwrap();
+        let d = alpha.get("d").unwrap();
+        let err = InsertletPackage::new()
+            .insert(&dtd, &sizes, d, frag)
+            .unwrap_err();
+        assert!(matches!(err, DtdError::BadInsertlet { .. }));
+    }
+
+    #[test]
+    fn reject_oversized_when_minimal_required() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> a*").unwrap();
+        let sizes = min_sizes(&dtd, alpha.len());
+        let mut gen = NodeIdGen::new();
+        let frag = parse_term(&mut alpha, &mut gen, "r(a, a)").unwrap();
+        let r = alpha.get("r").unwrap();
+        let mut pkg = InsertletPackage::new();
+        let err = pkg.insert(&dtd, &sizes, r, frag.clone()).unwrap_err();
+        assert!(matches!(err, DtdError::BadInsertlet { .. }));
+        // but the relaxed entry point accepts it, and charges its size
+        pkg.insert_non_minimal(&dtd, r, frag).unwrap();
+        assert_eq!(pkg.charge(&sizes, r), 3);
+    }
+
+    #[test]
+    fn instantiate_uses_fresh_ids() {
+        let (mut alpha, dtd, sizes) = setup();
+        let mut gen = NodeIdGen::starting_at(100);
+        let frag = parse_term(&mut alpha, &mut gen, "d(b, c)").unwrap();
+        let d = alpha.get("d").unwrap();
+        let mut pkg = InsertletPackage::new();
+        pkg.insert(&dtd, &sizes, d, frag).unwrap();
+        let t1 = pkg.instantiate(&dtd, &sizes, d, &mut gen, 100).unwrap();
+        let t2 = pkg.instantiate(&dtd, &sizes, d, &mut gen, 100).unwrap();
+        assert!(t1.isomorphic(&t2));
+        for id in t1.node_ids() {
+            assert!(!t2.contains(id));
+        }
+    }
+
+    #[test]
+    fn instantiate_falls_back_to_witness() {
+        let (alpha, dtd, sizes) = setup();
+        let d = alpha.get("d").unwrap();
+        let pkg = InsertletPackage::new();
+        let mut gen = NodeIdGen::starting_at(500);
+        let t = pkg.instantiate(&dtd, &sizes, d, &mut gen, 100).unwrap();
+        assert_eq!(t.size() as u64, sizes.get(d));
+        assert!(dtd.is_valid(&t));
+    }
+
+    #[test]
+    fn minimal_package_covers_satisfiable_labels() {
+        let (alpha, dtd, sizes) = setup();
+        let mut gen = NodeIdGen::starting_at(1000);
+        let pkg = InsertletPackage::minimal_package(&dtd, &sizes, alpha.len(), &mut gen, 1_000);
+        assert_eq!(pkg.len(), alpha.len());
+        assert!(pkg.total_size() > 0);
+        for s in alpha.syms() {
+            assert_eq!(pkg.charge(&sizes, s), sizes.get(s));
+        }
+    }
+
+    #[test]
+    fn minimal_package_skips_over_budget_labels() {
+        let mut alpha = Alphabet::new();
+        let dtd = crate::minsize::exponential_dtd(&mut alpha, 10);
+        let sizes = min_sizes(&dtd, alpha.len());
+        let mut gen = NodeIdGen::new();
+        let pkg = InsertletPackage::minimal_package(&dtd, &sizes, alpha.len(), &mut gen, 50);
+        let a = alpha.get("a").unwrap();
+        assert!(!pkg.contains(a));
+        // small members are still covered: a0..a4 have sizes ≤ 31 ≤ 50
+        let a4 = alpha.get("a4").unwrap();
+        assert!(pkg.contains(a4));
+    }
+}

@@ -1,0 +1,38 @@
+//! Document Type Definitions for the element-only tree model.
+//!
+//! A DTD (paper §2) is a function `D : Σ → NFA` mapping each label to an
+//! automaton over `Σ` constraining the sequences of children of nodes with
+//! that label. A tree `t` satisfies `D` iff at every node the word of child
+//! labels belongs to the content model of the node's label. Deliberately
+//! per the paper, no root label is required — tree *fragments* validate
+//! too — and labels without an explicit rule default to `ε` (leaf-only).
+//!
+//! On top of validation this crate provides the quantities the paper's
+//! constructions consume:
+//!
+//! * [`MinSizes`] — the minimal size of a tree satisfying `D` with a given
+//!   root label, computed as a fixpoint over cheapest content words
+//!   ([`min_sizes`]). This is the weight of every "invisible insert" edge,
+//!   and its finiteness is exactly DTD label satisfiability.
+//! * [`minimal_witness`] — materialises a size-minimal tree for a label.
+//!   Minimal trees can be **exponential** in `|D|` (paper §5), so
+//!   materialisation takes an explicit node budget.
+//! * [`InsertletPackage`] — the paper's *insertlets*: administrator-chosen
+//!   default fragments used instead of computed witnesses, making the
+//!   end-to-end algorithm polynomial in `|D| + |t| + |S| + |W|`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtd;
+mod error;
+mod insertlet;
+mod minsize;
+mod parser;
+
+pub use dtd::{Dtd, Violation};
+pub use minsize::INFINITE_SIZE;
+pub use error::DtdError;
+pub use insertlet::InsertletPackage;
+pub use minsize::{exponential_dtd, min_sizes, minimal_witness, MinSizes};
+pub use parser::parse_dtd;

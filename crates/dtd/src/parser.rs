@@ -1,0 +1,101 @@
+//! Textual DTD rule syntax.
+//!
+//! One rule per line, in the paper's notation with ASCII arrows:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! r -> (a.(b+c).d)*
+//! d -> ((a+b).c)*
+//! ```
+//!
+//! Labels mentioned only on right-hand sides get the default `ε` rule.
+
+use crate::dtd::Dtd;
+use crate::error::DtdError;
+use xvu_automata::parse_regex;
+use xvu_tree::Alphabet;
+
+/// Parses a multi-line DTD description. Labels are interned into `alpha`.
+pub fn parse_dtd(alpha: &mut Alphabet, src: &str) -> Result<Dtd, DtdError> {
+    let mut dtd = Dtd::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (lhs, rhs) = line.split_once("->").ok_or_else(|| DtdError::Parse {
+            line: lineno + 1,
+            msg: "expected 'label -> regex'".to_owned(),
+        })?;
+        let lhs = lhs.trim();
+        if lhs.is_empty() || !lhs.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(DtdError::Parse {
+                line: lineno + 1,
+                msg: format!("bad label {lhs:?}"),
+            });
+        }
+        let label = alpha.intern(lhs);
+        if dtd.has_rule(label) {
+            return Err(DtdError::DuplicateRule(lhs.to_owned()));
+        }
+        let re = parse_regex(alpha, rhs.trim()).map_err(|e| DtdError::Parse {
+            line: lineno + 1,
+            msg: e.to_string(),
+        })?;
+        dtd.set_rule(label, &re);
+    }
+    Ok(dtd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_dtd() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(
+            &mut alpha,
+            "# paper D0\n\
+             r -> (a.(b+c).d)*\n\
+             \n\
+             d -> ((a+b).c)*\n",
+        )
+        .unwrap();
+        let r = alpha.get("r").unwrap();
+        let d = alpha.get("d").unwrap();
+        let a = alpha.get("a").unwrap();
+        assert!(dtd.has_rule(r));
+        assert!(dtd.has_rule(d));
+        assert!(!dtd.has_rule(a));
+    }
+
+    #[test]
+    fn rejects_missing_arrow() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r (a)*").unwrap_err();
+        assert!(matches!(err, DtdError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_rules() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r -> a\nr -> b").unwrap_err();
+        assert_eq!(err, DtdError::DuplicateRule("r".to_owned()));
+    }
+
+    #[test]
+    fn rejects_bad_regex_with_line_number() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r -> a\nd -> (a").unwrap_err();
+        assert!(matches!(err, DtdError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r r -> a").unwrap_err();
+        assert!(matches!(err, DtdError::Parse { .. }));
+    }
+}

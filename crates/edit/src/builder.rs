@@ -1,0 +1,270 @@
+//! High-level construction of view updates.
+//!
+//! [`UpdateBuilder`] turns a sequence of positional operations — *delete
+//! this subtree*, *insert this tree here* — into a well-formed editing
+//! script, the representation the propagation machinery consumes. This is
+//! the API an application (or an interactive editor) would use; raw scripts
+//! remain available for full control.
+
+use crate::error::EditError;
+use crate::op::{EditOp, ELabel};
+use crate::script::{ins_script, nop_script, Script};
+use xvu_tree::{DocTree, NodeId};
+
+/// Builds an editing script for a view by accumulating operations.
+///
+/// Starts from the identity script `Nop(view)`; operations are applied in
+/// call order:
+///
+/// * [`UpdateBuilder::delete`] marks a whole existing subtree deleted. If
+///   the subtree contains nodes inserted earlier in the same builder, those
+///   insertions are cancelled (removed from the script) rather than marked.
+/// * [`UpdateBuilder::insert`] grafts a new subtree (all `Ins`) at a
+///   position in the *current* child list of a node, counting both
+///   surviving and deleted children.
+#[derive(Debug)]
+pub struct UpdateBuilder {
+    script: Script,
+}
+
+impl UpdateBuilder {
+    /// Starts building an update of `view`.
+    pub fn new(view: &DocTree) -> UpdateBuilder {
+        UpdateBuilder {
+            script: nop_script(view),
+        }
+    }
+
+    /// Marks the subtree rooted at `n` for deletion.
+    pub fn delete(&mut self, n: NodeId) -> Result<&mut Self, EditError> {
+        if !self.script.contains(n) {
+            return Err(EditError::UnknownNode(n));
+        }
+        if n == self.script.root() {
+            return Err(EditError::CannotDeleteRoot);
+        }
+        // Partition the subtree: Ins nodes are cancelled, others marked Del.
+        let nodes: Vec<NodeId> = self.script.preorder_from(n).collect();
+        let mut to_cancel: Vec<NodeId> = Vec::new();
+        for &m in &nodes {
+            if self.script.label(m).op == EditOp::Ins {
+                // cancel the topmost inserted ancestor only
+                let parent_is_ins = self
+                    .script
+                    .parent(m)
+                    .is_some_and(|p| self.script.label(p).op == EditOp::Ins);
+                if !parent_is_ins || m == n {
+                    to_cancel.push(m);
+                }
+            }
+        }
+        if to_cancel.first() == Some(&n) {
+            // Deleting a freshly inserted subtree = removing it outright.
+            self.script.detach_subtree(n)?;
+            return Ok(self);
+        }
+        for m in to_cancel {
+            self.script.detach_subtree(m)?;
+        }
+        for m in self.script.preorder_from(n).collect::<Vec<_>>() {
+            let l = self.script.label(m);
+            debug_assert_ne!(l.op, EditOp::Ins);
+            self.set_op(m, EditOp::Del);
+        }
+        let _ = self.script.label(n).label;
+        Ok(self)
+    }
+
+    /// Inserts `sub` (a document tree with fresh identifiers) as the
+    /// `position`-th child of `parent` in the current script.
+    pub fn insert(
+        &mut self,
+        parent: NodeId,
+        position: usize,
+        sub: DocTree,
+    ) -> Result<&mut Self, EditError> {
+        if !self.script.contains(parent) {
+            return Err(EditError::UnknownNode(parent));
+        }
+        if self.script.label(parent).op == EditOp::Del {
+            return Err(EditError::InsertUnderDeleted(parent));
+        }
+        self.script
+            .attach_subtree(parent, position, ins_script(&sub))?;
+        Ok(self)
+    }
+
+    /// The script under construction.
+    pub fn script(&self) -> &Script {
+        &self.script
+    }
+
+    /// Finishes and returns the script.
+    pub fn finish(self) -> Script {
+        self.script
+    }
+
+    fn set_op(&mut self, n: NodeId, op: EditOp) {
+        // Tree has no label-mutation API by design (labels are part of the
+        // persistent structure); rebuild via map. For builder-sized scripts
+        // this is fine; the propagation engine never calls this path.
+        let target = n;
+        self.script = self.script.map_labels(|id, &l| {
+            if id == target {
+                ELabel { op, label: l.label }
+            } else {
+                l
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{cost, input_tree, output_tree, validate_script};
+    use crate::term::script_to_term;
+    use xvu_tree::{parse_term_with_ids, to_term_with_ids, Alphabet, NodeIdGen};
+
+    fn view(alpha: &mut Alphabet) -> DocTree {
+        let mut gen = NodeIdGen::new();
+        parse_term_with_ids(alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))").unwrap()
+    }
+
+    #[test]
+    fn rebuild_paper_s0_via_builder() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(11);
+        let d_new = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "d#11(c#13, c#14)",
+        )
+        .unwrap();
+        let a_new = parse_term_with_ids(&mut alpha, &mut gen, "a#12").unwrap();
+        let c_new = parse_term_with_ids(&mut alpha, &mut gen, "c#15").unwrap();
+
+        let mut b = UpdateBuilder::new(&v);
+        b.delete(xvu_tree::NodeId(1)).unwrap();
+        b.delete(xvu_tree::NodeId(3)).unwrap();
+        // after the deletions the root's child list is a1,d3,a4,d6 (marked);
+        // insert d11 and a12 between a4 and d6 (positions 3 and 4)
+        b.insert(xvu_tree::NodeId(0), 3, d_new).unwrap();
+        b.insert(xvu_tree::NodeId(0), 4, a_new).unwrap();
+        b.insert(xvu_tree::NodeId(6), 1, c_new).unwrap();
+        let s = b.finish();
+
+        validate_script(&s).unwrap();
+        assert_eq!(input_tree(&s).unwrap(), v);
+        assert_eq!(
+            to_term_with_ids(&output_tree(&s).unwrap(), &alpha),
+            "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))"
+        );
+        assert_eq!(cost(&s), 8);
+        assert_eq!(
+            script_to_term(&s, &alpha),
+            "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+             ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))"
+        );
+    }
+
+    #[test]
+    fn delete_root_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut b = UpdateBuilder::new(&v);
+        assert_eq!(
+            b.delete(v.root()).unwrap_err(),
+            EditError::CannotDeleteRoot
+        );
+    }
+
+    #[test]
+    fn delete_unknown_node_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut b = UpdateBuilder::new(&v);
+        assert_eq!(
+            b.delete(NodeId(999)).unwrap_err(),
+            EditError::UnknownNode(NodeId(999))
+        );
+    }
+
+    #[test]
+    fn deleting_own_insertion_cancels_it() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(50);
+        let sub = parse_term_with_ids(&mut alpha, &mut gen, "a#50").unwrap();
+        let mut b = UpdateBuilder::new(&v);
+        b.insert(NodeId(0), 0, sub).unwrap();
+        assert!(b.script().contains(NodeId(50)));
+        b.delete(NodeId(50)).unwrap();
+        assert!(!b.script().contains(NodeId(50)));
+        let s = b.finish();
+        assert_eq!(cost(&s), 0);
+        assert_eq!(input_tree(&s).unwrap(), v);
+        assert_eq!(output_tree(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn deleting_subtree_with_insertions_cancels_them() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(60);
+        let sub = parse_term_with_ids(&mut alpha, &mut gen, "c#60").unwrap();
+        let mut b = UpdateBuilder::new(&v);
+        b.insert(NodeId(3), 1, sub).unwrap(); // insert under d#3
+        b.delete(NodeId(3)).unwrap(); // then delete d#3 entirely
+        let s = b.finish();
+        validate_script(&s).unwrap();
+        assert!(!s.contains(NodeId(60)));
+        // d#3 and its original child c#8 are Del
+        assert_eq!(s.label(NodeId(3)).op, EditOp::Del);
+        assert_eq!(s.label(NodeId(8)).op, EditOp::Del);
+        assert_eq!(input_tree(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn insert_under_deleted_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(70);
+        let sub = parse_term_with_ids(&mut alpha, &mut gen, "c#70").unwrap();
+        let mut b = UpdateBuilder::new(&v);
+        b.delete(NodeId(3)).unwrap();
+        assert_eq!(
+            b.insert(NodeId(3), 0, sub).unwrap_err(),
+            EditError::InsertUnderDeleted(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn insert_positions_count_deleted_children() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(80);
+        let sub = parse_term_with_ids(&mut alpha, &mut gen, "a#80").unwrap();
+        let mut b = UpdateBuilder::new(&v);
+        b.delete(NodeId(1)).unwrap();
+        // position 1 = right after the deleted a#1
+        b.insert(NodeId(0), 1, sub).unwrap();
+        let s = b.finish();
+        let out = output_tree(&s).unwrap();
+        let kids: Vec<u64> = out.children(out.root()).iter().map(|n| n.0).collect();
+        assert_eq!(kids, vec![80, 3, 4, 6]);
+    }
+
+    #[test]
+    fn double_delete_is_idempotent() {
+        let mut alpha = Alphabet::new();
+        let v = view(&mut alpha);
+        let mut b = UpdateBuilder::new(&v);
+        b.delete(NodeId(3)).unwrap();
+        b.delete(NodeId(3)).unwrap();
+        let s = b.finish();
+        validate_script(&s).unwrap();
+        assert_eq!(s.label(NodeId(3)).op, EditOp::Del);
+    }
+}

@@ -1,0 +1,262 @@
+//! Sequential composition of editing scripts.
+//!
+//! When an editing session produces `S1` (on `t`) followed by `S2` (on
+//! `Out(S1)`), the composition `S2 ∘ S1` is a single script with
+//! `In = In(S1)` and `Out = Out(S2)` whose per-node operations combine
+//! pointwise:
+//!
+//! | in `S1` | in `S2` | composed |
+//! |---------|---------|----------|
+//! | `Nop`   | `Nop`   | `Nop` |
+//! | `Nop`   | `Del`   | `Del` |
+//! | `Del`   | —       | `Del` |
+//! | `Ins`   | `Nop`   | `Ins` |
+//! | `Ins`   | `Del`   | *dropped* (inserted then deleted — never existed) |
+//! | —       | `Ins`   | `Ins` |
+//!
+//! Whole-subtree discipline is preserved automatically: descendants of a
+//! dropped node are dropped, and the table is closed under the paper's
+//! Ins/Del closure rules. Child order interleaves the `S1` order (for
+//! nodes that exist in `Out(S1)`, which both scripts agree on) with `S2`'s
+//! placement of its insertions.
+
+use crate::error::EditError;
+use crate::op::{EditOp, ELabel};
+use crate::script::{output_tree, validate_script, Script};
+use xvu_tree::{NodeId, Tree};
+
+/// Composes two scripts: `s2` must be an update of `Out(s1)`.
+///
+/// Returns the composed script with `In = In(s1)`, `Out = Out(s2)`, and
+/// cost at most `cost(s1) + cost(s2)` (cancellations only reduce it).
+pub fn compose(s1: &Script, s2: &Script) -> Result<Script, EditError> {
+    validate_script(s1)?;
+    validate_script(s2)?;
+    let mid = output_tree(s1).ok_or(EditError::EmptyOutput)?;
+    let in2 = crate::script::input_tree(s2).ok_or(EditError::EmptyInput)?;
+    if mid != in2 {
+        return Err(EditError::NotAnUpdateOf(
+            "In(S2) differs from Out(S1)".to_owned(),
+        ));
+    }
+
+    let root = s1.root();
+    debug_assert_eq!(root, s2.root(), "roots agree since Out(S1) = In(S2)");
+    let root_label = s1.label(root).label;
+    let mut out: Script = Tree::leaf_with_id(root, ELabel::nop(root_label));
+    build(s1, s2, root, root, &mut out)?;
+    Ok(out)
+}
+
+/// Fills in the composed children of node `n` (present in both scripts).
+fn build(s1: &Script, s2: &Script, n: NodeId, out_parent: NodeId, out: &mut Script) -> Result<(), EditError> {
+    // Children of n in S1 (all input-order material incl. deletions) and
+    // in S2 (output-order material incl. its insertions). Nodes present
+    // in both are exactly the children of n in Out(S1) = In(S2).
+    let c1 = s1.children(n);
+    let c2 = s2.children(n);
+    let in_s1_out = |id: NodeId| s1.contains(id) && s1.label(id).op != EditOp::Del;
+
+    // Merge: walk S2's order; before each S2-common node, flush the
+    // S1-only (deleted-in-S1) nodes that precede it in S1's order.
+    let mut i1 = 0usize;
+    for &m2 in c2 {
+        if in_s1_out(m2) {
+            // flush S1 nodes strictly before m2
+            while i1 < c1.len() && c1[i1] != m2 {
+                let m1 = c1[i1];
+                // m1 either was deleted by S1, or was Ins in S1 and
+                // appears later in S2's order — the latter cannot happen
+                // since common nodes keep relative order; so m1 is
+                // Del-in-S1 (or Nop deleted?? no: if m1 in Out(S1) it is
+                // in S2's children too and order is preserved).
+                attach_s1_deleted(s1, m1, out_parent, out)?;
+                i1 += 1;
+            }
+            debug_assert!(i1 < c1.len(), "common child must appear in S1");
+            i1 += 1;
+            // combine ops
+            let op1 = s1.label(m2).op;
+            let op2 = s2.label(m2).op;
+            match (op1, op2) {
+                (EditOp::Ins, EditOp::Del) => {
+                    // inserted then deleted: vanishes entirely (drop the
+                    // whole subtree; descendants of Ins are Ins and of
+                    // Del are Del, so the cancellation is subtree-wide).
+                }
+                (EditOp::Ins, EditOp::Nop) => {
+                    // stays an insertion, but S2 may have edited *inside*
+                    // it (inserted deeper nodes): take S2's subtree as
+                    // the final inserted content.
+                    let sub = subtree_as(s2, m2, EditOp::Ins)?;
+                    let pos = out.children(out_parent).len();
+                    out.attach_subtree(out_parent, pos, sub)?;
+                }
+                (EditOp::Nop, EditOp::Del) | (EditOp::Del, _) => {
+                    // deleted overall: delete the *S1-input* subtree.
+                    attach_s1_deleted(s1, m2, out_parent, out)?;
+                }
+                (EditOp::Nop, EditOp::Nop) => {
+                    let l = s1.label(m2).label;
+                    let id = out
+                        .add_child_with_id(out_parent, m2, ELabel::nop(l))
+                        .map(|_| m2)?;
+                    build(s1, s2, m2, id, out)?;
+                }
+                (_, EditOp::Ins) => unreachable!("common node cannot be Ins in S2"),
+            }
+        } else {
+            // S2-only: a fresh insertion by S2.
+            let sub = subtree_as(s2, m2, EditOp::Ins)?;
+            let pos = out.children(out_parent).len();
+            out.attach_subtree(out_parent, pos, sub)?;
+        }
+    }
+    // trailing S1-deleted children
+    while i1 < c1.len() {
+        attach_s1_deleted(s1, c1[i1], out_parent, out)?;
+        i1 += 1;
+    }
+    Ok(())
+}
+
+/// Attaches the S1-input subtree at `m` as all-`Del` (skipping nodes S1
+/// itself inserted — they are not part of `In(S1)` and, being deleted
+/// overall, vanish).
+fn attach_s1_deleted(
+    s1: &Script,
+    m: NodeId,
+    out_parent: NodeId,
+    out: &mut Script,
+) -> Result<(), EditError> {
+    if s1.label(m).op == EditOp::Ins {
+        // Inserted by S1 and (transitively) deleted afterwards: vanishes.
+        return Ok(());
+    }
+    let l = s1.label(m).label;
+    out.add_child_with_id(out_parent, m, ELabel::del(l))?;
+    for &c in s1.children(m) {
+        attach_s1_deleted(s1, c, m, out)?;
+    }
+    Ok(())
+}
+
+/// Clones the subtree of `s` at `m`, forcing every node's op to `op`.
+fn subtree_as(s: &Script, m: NodeId, op: EditOp) -> Result<Script, EditError> {
+    let sub = s.subtree(m);
+    Ok(sub.map_labels(|_, l| ELabel { op, label: l.label }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{apply, cost, input_tree};
+    use crate::term::parse_script;
+    use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+
+    fn t(alpha: &mut Alphabet, s: &str) -> xvu_tree::DocTree {
+        let mut gen = NodeIdGen::new();
+        parse_term_with_ids(alpha, &mut gen, s).unwrap()
+    }
+
+    #[test]
+    fn compose_insert_then_delete_other() {
+        let mut alpha = Alphabet::new();
+        // S1: insert b#5 after a#1;  S2: delete a#1.
+        let s1 = parse_script(&mut alpha, "nop:r#0(nop:a#1, ins:b#5)").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(del:a#1, nop:b#5)").unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        validate_script(&c).unwrap();
+        let src = t(&mut alpha, "r#0(a#1)");
+        let out = apply(&c, &src).unwrap();
+        assert_eq!(out, t(&mut alpha, "r#0(b#5)"));
+        assert_eq!(cost(&c), 2); // del a1 + ins b5
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut alpha = Alphabet::new();
+        let s1 = parse_script(&mut alpha, "nop:r#0(nop:a#1, ins:b#5(ins:c#6))").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(nop:a#1, del:b#5(del:c#6))").unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        assert_eq!(cost(&c), 0, "insert∘delete must cancel");
+        let src = t(&mut alpha, "r#0(a#1)");
+        assert_eq!(apply(&c, &src).unwrap(), src);
+        assert!(!c.contains(NodeId(5)));
+    }
+
+    #[test]
+    fn delete_then_insert_is_both() {
+        let mut alpha = Alphabet::new();
+        let s1 = parse_script(&mut alpha, "nop:r#0(del:a#1)").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(ins:a#9)").unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        validate_script(&c).unwrap();
+        assert_eq!(cost(&c), 2);
+        let src = t(&mut alpha, "r#0(a#1)");
+        let out = apply(&c, &src).unwrap();
+        assert_eq!(out, t(&mut alpha, "r#0(a#9)"));
+    }
+
+    #[test]
+    fn s2_edits_inside_s1_insertion() {
+        let mut alpha = Alphabet::new();
+        // S1 inserts d#5; S2 inserts c#6 under it.
+        let s1 = parse_script(&mut alpha, "nop:r#0(ins:d#5)").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(nop:d#5(ins:c#6))").unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        validate_script(&c).unwrap();
+        let src = t(&mut alpha, "r#0");
+        let out = apply(&c, &src).unwrap();
+        assert_eq!(out, t(&mut alpha, "r#0(d#5(c#6))"));
+        assert_eq!(cost(&c), 2);
+    }
+
+    #[test]
+    fn mismatched_scripts_are_rejected() {
+        let mut alpha = Alphabet::new();
+        let s1 = parse_script(&mut alpha, "nop:r#0(nop:a#1)").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(nop:a#2)").unwrap();
+        assert!(matches!(
+            compose(&s1, &s2),
+            Err(EditError::NotAnUpdateOf(_))
+        ));
+    }
+
+    #[test]
+    fn composition_agrees_with_sequential_application() {
+        let mut alpha = Alphabet::new();
+        let src = t(&mut alpha, "r#0(a#1, b#2(c#3), a#4)");
+        let s1 = parse_script(
+            &mut alpha,
+            "nop:r#0(del:a#1, nop:b#2(nop:c#3, ins:d#10), nop:a#4)",
+        )
+        .unwrap();
+        let mid = apply(&s1, &src).unwrap();
+        let s2 = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:b#2(del:c#3, nop:d#10), del:a#4, ins:a#11)",
+        )
+        .unwrap();
+        let end = apply(&s2, &mid).unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        validate_script(&c).unwrap();
+        assert_eq!(input_tree(&c).unwrap(), src);
+        assert_eq!(apply(&c, &src).unwrap(), end);
+        // cost: del a1, ins d10, del c3, del a4, ins a11 = 5
+        assert_eq!(cost(&c), 5);
+    }
+
+    #[test]
+    fn nested_cancellation_under_kept_nodes() {
+        let mut alpha = Alphabet::new();
+        let src = t(&mut alpha, "r#0(b#2(c#3))");
+        let s1 = parse_script(&mut alpha, "nop:r#0(nop:b#2(nop:c#3, ins:d#10))").unwrap();
+        let s2 = parse_script(&mut alpha, "nop:r#0(nop:b#2(nop:c#3, del:d#10))").unwrap();
+        let c = compose(&s1, &s2).unwrap();
+        assert_eq!(cost(&c), 0);
+        assert_eq!(apply(&c, &src).unwrap(), src);
+    }
+
+    use xvu_tree::NodeId;
+}

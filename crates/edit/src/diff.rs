@@ -1,0 +1,234 @@
+//! Deriving an editing script from before/after trees.
+//!
+//! Because node identifiers are persistent, two trees related by
+//! subtree-insert/delete operations can be *diffed* exactly: shared
+//! identifiers are `Nop`, identifiers only in the old tree are `Del`,
+//! identifiers only in the new tree are `Ins`. This gives applications a
+//! third way to produce updates (besides raw scripts and the positional
+//! [`crate::UpdateBuilder`]): copy the view, mutate the copy with plain
+//! tree operations, and call [`diff`].
+//!
+//! The edit model has no moves or relabels, so a shared identifier must
+//! keep its label and its parent; violations are reported as typed errors
+//! rather than guessed around.
+
+use crate::error::EditError;
+use crate::op::ELabel;
+use crate::script::Script;
+use xvu_tree::{DocTree, NodeId, Tree};
+
+/// Computes the editing script transforming `old` into `new`, matching
+/// nodes by identifier. `apply(&diff(old, new)?, old) == new` always holds
+/// for the returned script.
+///
+/// Errors:
+/// * the roots differ (identifier or label) — scripts cannot replace the
+///   root;
+/// * a shared identifier changed label (relabeling is outside the paper's
+///   update model);
+/// * a shared identifier changed parent or its siblings were reordered
+///   (moves are outside the model);
+pub fn diff(old: &DocTree, new: &DocTree) -> Result<Script, EditError> {
+    if old.root() != new.root() || old.label(old.root()) != new.label(new.root()) {
+        return Err(EditError::NotAnUpdateOf(
+            "trees have different roots".to_owned(),
+        ));
+    }
+    let root = old.root();
+    let mut script: Script = Tree::leaf_with_id(root, ELabel::nop(old.label(root)));
+    merge(old, new, root, &mut script)?;
+    Ok(script)
+}
+
+fn merge(old: &DocTree, new: &DocTree, n: NodeId, script: &mut Script) -> Result<(), EditError> {
+    let c_old = old.children(n);
+    let c_new = new.children(n);
+    let in_old = |id: NodeId| old.contains(id);
+    let in_new = |id: NodeId| new.contains(id);
+
+    // Common children must keep their relative order (no moves).
+    let common_old: Vec<NodeId> = c_old.iter().copied().filter(|&c| in_new(c)).collect();
+    let common_new: Vec<NodeId> = c_new.iter().copied().filter(|&c| in_old(c)).collect();
+    if common_old != common_new {
+        return Err(EditError::NotAnUpdateOf(format!(
+            "children of {n} were moved or reordered: {common_old:?} vs {common_new:?}"
+        )));
+    }
+    // A "common child" per the above is common *as an identifier in the
+    // other tree*; it must actually be a child of n there too, otherwise
+    // it moved across parents.
+    for &c in &common_old {
+        if new.parent(c) != Some(n) || old.parent(c) != Some(n) {
+            return Err(EditError::NotAnUpdateOf(format!(
+                "node {c} changed parent (moves are not expressible)"
+            )));
+        }
+        if old.label(c) != new.label(c) {
+            return Err(EditError::NotAnUpdateOf(format!(
+                "node {c} changed label (relabeling is not expressible)"
+            )));
+        }
+    }
+
+    let mut i_old = 0usize;
+    for &m in c_new {
+        if in_old(m) {
+            // flush old-only children before m
+            while i_old < c_old.len() && c_old[i_old] != m {
+                attach_deleted(old, new, c_old[i_old], n, script)?;
+                i_old += 1;
+            }
+            debug_assert!(i_old < c_old.len());
+            i_old += 1;
+            script.add_child_with_id(n, m, ELabel::nop(old.label(m)))?;
+            merge(old, new, m, script)?;
+        } else {
+            attach_inserted(old, new, m, n, script)?;
+        }
+    }
+    while i_old < c_old.len() {
+        attach_deleted(old, new, c_old[i_old], n, script)?;
+        i_old += 1;
+    }
+    Ok(())
+}
+
+/// Attaches the old subtree at `m` as all-`Del`, verifying none of its
+/// descendants resurfaces in `new` (which would be a move).
+fn attach_deleted(
+    old: &DocTree,
+    new: &DocTree,
+    m: NodeId,
+    parent: NodeId,
+    script: &mut Script,
+) -> Result<(), EditError> {
+    if new.contains(m) {
+        return Err(EditError::NotAnUpdateOf(format!(
+            "node {m} moved into a deleted region"
+        )));
+    }
+    script.add_child_with_id(parent, m, ELabel::del(old.label(m)))?;
+    for &c in old.children(m) {
+        attach_deleted(old, new, c, m, script)?;
+    }
+    Ok(())
+}
+
+/// Attaches the new subtree at `m` as all-`Ins`, verifying none of its
+/// descendants came from `old`.
+fn attach_inserted(
+    old: &DocTree,
+    new: &DocTree,
+    m: NodeId,
+    parent: NodeId,
+    script: &mut Script,
+) -> Result<(), EditError> {
+    if old.contains(m) {
+        return Err(EditError::NotAnUpdateOf(format!(
+            "node {m} moved into an inserted region"
+        )));
+    }
+    script.add_child_with_id(parent, m, ELabel::ins(new.label(m)))?;
+    for &c in new.children(m) {
+        attach_inserted(old, new, c, m, script)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{apply, cost, input_tree, output_tree};
+    use crate::term::parse_script;
+    use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+
+    fn t(alpha: &mut Alphabet, s: &str) -> DocTree {
+        let mut gen = NodeIdGen::new();
+        parse_term_with_ids(alpha, &mut gen, s).unwrap()
+    }
+
+    #[test]
+    fn diff_reconstructs_the_paper_update() {
+        let mut alpha = Alphabet::new();
+        let old = t(&mut alpha, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))");
+        let new = t(&mut alpha, "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))");
+        let s = diff(&old, &new).unwrap();
+        assert_eq!(input_tree(&s).unwrap(), old);
+        assert_eq!(output_tree(&s).unwrap(), new);
+        assert_eq!(apply(&s, &old).unwrap(), new);
+        // exactly the paper's S0
+        let expected = parse_script(
+            &mut alpha,
+            "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+             ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+        )
+        .unwrap();
+        assert_eq!(s, expected);
+        assert_eq!(cost(&s), 8);
+    }
+
+    #[test]
+    fn identical_trees_diff_to_identity() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(a#1, b#2(c#3))");
+        let s = diff(&a, &a).unwrap();
+        assert_eq!(cost(&s), 0);
+        assert_eq!(apply(&s, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn different_roots_are_rejected() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(a#1)");
+        let b = t(&mut alpha, "r#9(a#1)");
+        assert!(diff(&a, &b).is_err());
+        let c = t(&mut alpha, "x#0(a#1)");
+        assert!(diff(&a, &c).is_err());
+    }
+
+    #[test]
+    fn relabel_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(a#1)");
+        let b = t(&mut alpha, "r#0(b#1)");
+        let err = diff(&a, &b).unwrap_err();
+        assert!(matches!(err, EditError::NotAnUpdateOf(m) if m.contains("label")));
+    }
+
+    #[test]
+    fn reorder_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(a#1, b#2)");
+        let b = t(&mut alpha, "r#0(b#2, a#1)");
+        let err = diff(&a, &b).unwrap_err();
+        assert!(matches!(err, EditError::NotAnUpdateOf(m) if m.contains("reordered")));
+    }
+
+    #[test]
+    fn cross_parent_move_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(a#1(c#5), b#2)");
+        let b = t(&mut alpha, "r#0(a#1, b#2(c#5))");
+        assert!(diff(&a, &b).is_err());
+    }
+
+    #[test]
+    fn move_into_inserted_region_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r#0(c#5)");
+        let b = t(&mut alpha, "r#0(d#9(c#5))");
+        assert!(diff(&a, &b).is_err());
+    }
+
+    #[test]
+    fn mixed_edits_round_trip() {
+        let mut alpha = Alphabet::new();
+        let old = t(&mut alpha, "r#0(a#1(x#7, y#8), b#2, c#3)");
+        let new = t(&mut alpha, "r#0(a#1(y#8, z#20), n#21(m#22), c#3)");
+        let s = diff(&old, &new).unwrap();
+        crate::script::validate_script(&s).unwrap();
+        assert_eq!(apply(&s, &old).unwrap(), new);
+        // del x7, ins z20, del b2, ins n21, ins m22 = 5
+        assert_eq!(cost(&s), 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Errors for editing-script construction and application.
+
+use std::fmt;
+use xvu_tree::{NodeId, TreeError};
+
+/// Errors raised by this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// A descendant of an `Ins` node is not `Ins`.
+    InsClosureViolated(NodeId),
+    /// A descendant of a `Del` node is not `Del`.
+    DelClosureViolated(NodeId),
+    /// The script's input tree would be empty (root is `Ins`) where a
+    /// non-empty input is required.
+    EmptyInput,
+    /// The script's output tree would be empty (root is `Del`) where a
+    /// non-empty output is required.
+    EmptyOutput,
+    /// `apply` was given a tree different from the script's input tree.
+    InputMismatch,
+    /// An operation referred to a node not present in the script.
+    UnknownNode(NodeId),
+    /// The root of a view cannot be deleted (views are non-empty).
+    CannotDeleteRoot,
+    /// An insertion targeted a `Del`-marked node.
+    InsertUnderDeleted(NodeId),
+    /// A view update used a node identifier that exists in the source but
+    /// is hidden by the view (forbidden by the paper's well-formedness
+    /// requirement `N_S ∩ (N_t \ N_{A(t)}) = ∅`).
+    HiddenIdUsed(NodeId),
+    /// The script is not an update of the given view (`In(S) ≠ A(t)`).
+    NotAnUpdateOf(String),
+    /// Parse error in script term syntax.
+    Parse {
+        /// Byte offset of the error in the input.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Underlying tree-structure error.
+    Tree(TreeError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::InsClosureViolated(n) => {
+                write!(f, "node {n}: descendants of an inserting node must insert")
+            }
+            EditError::DelClosureViolated(n) => {
+                write!(f, "node {n}: descendants of a deleting node must delete")
+            }
+            EditError::EmptyInput => write!(f, "script has an empty input tree"),
+            EditError::EmptyOutput => write!(f, "script has an empty output tree"),
+            EditError::InputMismatch => {
+                write!(f, "script applied to a tree different from its input tree")
+            }
+            EditError::UnknownNode(n) => write!(f, "unknown script node {n}"),
+            EditError::CannotDeleteRoot => write!(f, "the view root cannot be deleted"),
+            EditError::InsertUnderDeleted(n) => {
+                write!(f, "cannot insert under deleted node {n}")
+            }
+            EditError::HiddenIdUsed(n) => write!(
+                f,
+                "update uses identifier {n} which is hidden in the source document"
+            ),
+            EditError::NotAnUpdateOf(msg) => write!(f, "not an update of the given view: {msg}"),
+            EditError::Parse { at, msg } => write!(f, "script parse error at byte {at}: {msg}"),
+            EditError::Tree(e) => write!(f, "tree error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<TreeError> for EditError {
+    fn from(e: TreeError) -> EditError {
+        EditError::Tree(e)
+    }
+}

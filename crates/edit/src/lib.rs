@@ -1,0 +1,50 @@
+//! Editing scripts over `E(Σ)` (paper §2, "Editing scripts").
+//!
+//! Updates insert and delete whole subtrees — the backbone operations of
+//! the XQuery Update facility. Following the paper, an update is
+//! represented as an *editing script*: a tree over the edit alphabet
+//! `E(Σ) = {Ins(a), Del(a), Nop(a)}` that simultaneously encodes the
+//! update, its input tree [`input_tree`], its output tree [`output_tree`],
+//! and the node-identifier correspondence between them (the alignment
+//! formalism of Jiang–Wang–Zhang). The **cost** of a script is its number
+//! of non-phantom nodes.
+//!
+//! Entry points:
+//!
+//! * [`Script`] = `Tree<ELabel>` with [`validate_script`] enforcing the
+//!   whole-subtree discipline (descendants of `Ins` insert, of `Del`
+//!   delete);
+//! * [`apply`] — runs a script against its input tree;
+//! * [`ins_script`] / [`del_script`] / [`nop_script`] — the paper's
+//!   `Ins(t)`, `Del(t)`, `Nop(t)` lifts;
+//! * [`UpdateBuilder`] — positional *delete-subtree* / *insert-subtree*
+//!   operations compiled to a script (the API an editor would use);
+//! * [`parse_script`] / [`script_to_term`] — term syntax
+//!   (`nop:r#0(del:a#1, ins:d#11(ins:c#13))`) used by fixtures and
+//!   diagnostics;
+//! * [`check_is_update_of`] / [`check_no_hidden_ids`] — the paper's
+//!   well-formedness requirements on view updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod compose;
+mod diff;
+mod error;
+mod op;
+mod script;
+mod term;
+mod update;
+
+pub use builder::UpdateBuilder;
+pub use compose::compose;
+pub use diff::diff;
+pub use error::EditError;
+pub use op::{EditOp, ELabel};
+pub use script::{
+    apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, validate_script,
+    Script,
+};
+pub use term::{parse_script, parse_script_with_gen, script_to_term};
+pub use update::{check_is_update_of, check_no_hidden_ids};

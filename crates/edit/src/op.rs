@@ -1,0 +1,102 @@
+//! The edit alphabet `E(Σ) = {Ins(a), Nop(a), Del(a) | a ∈ Σ}`.
+
+use std::fmt;
+use xvu_tree::Sym;
+
+/// The three editing operations of the paper.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum EditOp {
+    /// Insertion of a node (all descendants must insert too).
+    Ins,
+    /// Deletion of a node (all descendants must delete too).
+    Del,
+    /// The phantom operation — the node is untouched.
+    Nop,
+}
+
+impl EditOp {
+    /// Short lowercase name used by the script term syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            EditOp::Ins => "ins",
+            EditOp::Del => "del",
+            EditOp::Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for EditOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A letter of the edit alphabet: an operation applied to a `Σ`-label.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ELabel {
+    /// The operation.
+    pub op: EditOp,
+    /// The underlying document label.
+    pub label: Sym,
+}
+
+impl ELabel {
+    /// `Ins(label)`.
+    pub fn ins(label: Sym) -> ELabel {
+        ELabel {
+            op: EditOp::Ins,
+            label,
+        }
+    }
+
+    /// `Del(label)`.
+    pub fn del(label: Sym) -> ELabel {
+        ELabel {
+            op: EditOp::Del,
+            label,
+        }
+    }
+
+    /// `Nop(label)`.
+    pub fn nop(label: Sym) -> ELabel {
+        ELabel {
+            op: EditOp::Nop,
+            label,
+        }
+    }
+
+    /// Whether this letter survives into the output tree.
+    #[inline]
+    pub fn in_output(self) -> bool {
+        self.op != EditOp::Del
+    }
+
+    /// Whether this letter comes from the input tree.
+    #[inline]
+    pub fn in_input(self) -> bool {
+        self.op != EditOp::Ins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections() {
+        let s = Sym::from_index(0);
+        assert!(ELabel::ins(s).in_output());
+        assert!(!ELabel::ins(s).in_input());
+        assert!(!ELabel::del(s).in_output());
+        assert!(ELabel::del(s).in_input());
+        assert!(ELabel::nop(s).in_output());
+        assert!(ELabel::nop(s).in_input());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EditOp::Ins.to_string(), "ins");
+        assert_eq!(EditOp::Del.to_string(), "del");
+        assert_eq!(EditOp::Nop.to_string(), "nop");
+    }
+}

@@ -1,0 +1,245 @@
+//! Editing scripts: trees over `E(Σ)` and their projections.
+//!
+//! An editing script `S` is a tree over `E(Σ)` where descendants of
+//! inserting nodes insert and descendants of deleting nodes delete (only
+//! whole subtrees are inserted/deleted — the XQuery Update style). A script
+//! simultaneously represents the update, its input tree `In(S)` (the
+//! non-`Ins` nodes), its output tree `Out(S)` (the non-`Del` nodes), and
+//! the identifier correspondence between them.
+
+use crate::error::EditError;
+use crate::op::{EditOp, ELabel};
+use xvu_tree::{DocTree, NodeId, Tree};
+
+/// An editing script: a tree labeled with editing operations.
+pub type Script = Tree<ELabel>;
+
+/// Checks the paper's well-formedness requirements: all descendants of an
+/// `Ins` node are `Ins`, all descendants of a `Del` node are `Del`.
+pub fn validate_script(s: &Script) -> Result<(), EditError> {
+    for n in s.preorder() {
+        let op = s.label(n).op;
+        for &c in s.children(n) {
+            let cop = s.label(c).op;
+            match op {
+                EditOp::Ins if cop != EditOp::Ins => {
+                    return Err(EditError::InsClosureViolated(c))
+                }
+                EditOp::Del if cop != EditOp::Del => {
+                    return Err(EditError::DelClosureViolated(c))
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The cost of a script: the number of non-phantom (non-`Nop`) nodes.
+pub fn cost(s: &Script) -> usize {
+    s.preorder().filter(|&n| s.label(n).op != EditOp::Nop).count()
+}
+
+/// The input tree `In(S)` — the restriction of `S` to non-`Ins` nodes,
+/// with `Del(a)`/`Nop(a)` projected to `a`. `None` iff the root inserts
+/// (empty input).
+pub fn input_tree(s: &Script) -> Option<DocTree> {
+    project(s, ELabel::in_input)
+}
+
+/// The output tree `Out(S)` — the restriction of `S` to non-`Del` nodes.
+/// `None` iff the root deletes (empty output).
+pub fn output_tree(s: &Script) -> Option<DocTree> {
+    project(s, ELabel::in_output)
+}
+
+fn project(s: &Script, keep: impl Fn(ELabel) -> bool) -> Option<DocTree> {
+    let root = s.root();
+    if !keep(s.label(root)) {
+        return None;
+    }
+    let mut out = Tree::leaf_with_id(root, s.label(root).label);
+    fn rec(
+        s: &Script,
+        n: NodeId,
+        out: &mut DocTree,
+        keep: &impl Fn(ELabel) -> bool,
+    ) {
+        for &c in s.children(n) {
+            let l = s.label(c);
+            if keep(l) {
+                out.add_child_with_id(n, c, l.label)
+                    .expect("script node ids are unique");
+                rec(s, c, out, keep);
+            }
+        }
+    }
+    rec(s, root, &mut out, &keep);
+    Some(out)
+}
+
+/// Applies a script to a tree: checks `t = In(S)` (identifier-sensitive)
+/// and returns `Out(S)`.
+pub fn apply(s: &Script, t: &DocTree) -> Result<DocTree, EditError> {
+    validate_script(s)?;
+    let input = input_tree(s).ok_or(EditError::EmptyInput)?;
+    if &input != t {
+        return Err(EditError::InputMismatch);
+    }
+    output_tree(s).ok_or(EditError::EmptyOutput)
+}
+
+/// `Ins(t)`: the unique script with empty input and output `t` — all nodes
+/// insert, identifiers preserved.
+pub fn ins_script(t: &DocTree) -> Script {
+    t.map_labels(|_, &l| ELabel::ins(l))
+}
+
+/// `Del(t)`: the script deleting all of `t`.
+pub fn del_script(t: &DocTree) -> Script {
+    t.map_labels(|_, &l| ELabel::del(l))
+}
+
+/// `Nop(t)`: the identity script on `t`.
+pub fn nop_script(t: &DocTree) -> Script {
+    t.map_labels(|_, &l| ELabel::nop(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_script;
+    use xvu_tree::{parse_term_with_ids, to_term_with_ids, Alphabet, NodeIdGen};
+
+    /// The paper's view update S0 (Fig. 4).
+    pub(crate) fn s0(alpha: &mut Alphabet) -> Script {
+        parse_script(
+            alpha,
+            "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+             ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn s0_is_well_formed() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        validate_script(&s).unwrap();
+        assert_eq!(s.size(), 12);
+    }
+
+    #[test]
+    fn s0_input_is_fig3_view() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let input = input_tree(&s).unwrap();
+        assert_eq!(
+            to_term_with_ids(&input, &alpha),
+            "r#0(a#1, d#3(c#8), a#4, d#6(c#10))"
+        );
+    }
+
+    #[test]
+    fn s0_output_is_fig5() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let output = output_tree(&s).unwrap();
+        assert_eq!(
+            to_term_with_ids(&output, &alpha),
+            "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))"
+        );
+    }
+
+    #[test]
+    fn s0_cost_counts_non_phantom_nodes() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        // Del a1, Del d3, Del c8, Ins d11, Ins c13, Ins c14, Ins a12, Ins c15
+        assert_eq!(cost(&s), 8);
+    }
+
+    #[test]
+    fn apply_round_trips() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let view = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#0(a#1, d#3(c#8), a#4, d#6(c#10))",
+        )
+        .unwrap();
+        let out = apply(&s, &view).unwrap();
+        assert_eq!(out, output_tree(&s).unwrap());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_input() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(900);
+        // isomorphic to the view but different identifiers
+        let wrong = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#900(a#901, d#902(c#903), a#904, d#905(c#906))",
+        )
+        .unwrap();
+        assert_eq!(apply(&s, &wrong).unwrap_err(), EditError::InputMismatch);
+    }
+
+    #[test]
+    fn closure_violations_are_caught() {
+        let mut alpha = Alphabet::new();
+        let bad = parse_script(&mut alpha, "nop:r#0(ins:a#1(nop:b#2))").unwrap();
+        assert_eq!(
+            validate_script(&bad).unwrap_err(),
+            EditError::InsClosureViolated(NodeId(2))
+        );
+        let bad = parse_script(&mut alpha, "nop:r#0(del:a#1(ins:b#2))").unwrap();
+        assert_eq!(
+            validate_script(&bad).unwrap_err(),
+            EditError::DelClosureViolated(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn lifts() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#2)").unwrap();
+
+        let ins = ins_script(&t);
+        assert!(input_tree(&ins).is_none());
+        assert_eq!(output_tree(&ins).unwrap(), t);
+        assert_eq!(cost(&ins), 3);
+
+        let del = del_script(&t);
+        assert_eq!(input_tree(&del).unwrap(), t);
+        assert!(output_tree(&del).is_none());
+        assert_eq!(cost(&del), 3);
+
+        let nop = nop_script(&t);
+        assert_eq!(input_tree(&nop).unwrap(), t);
+        assert_eq!(output_tree(&nop).unwrap(), t);
+        assert_eq!(cost(&nop), 0);
+        assert_eq!(apply(&nop, &t).unwrap(), t);
+    }
+
+    #[test]
+    fn projections_preserve_order() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(
+            &mut alpha,
+            "nop:r#0(ins:a#10, nop:b#1, del:c#2, nop:d#3, ins:e#11)",
+        )
+        .unwrap();
+        let input = input_tree(&s).unwrap();
+        let in_kids: Vec<u64> = input.children(input.root()).iter().map(|n| n.0).collect();
+        assert_eq!(in_kids, vec![1, 2, 3]);
+        let output = output_tree(&s).unwrap();
+        let out_kids: Vec<u64> = output.children(output.root()).iter().map(|n| n.0).collect();
+        assert_eq!(out_kids, vec![10, 1, 3, 11]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Term syntax for editing scripts.
+//!
+//! Scripts are written as terms whose heads carry the operation:
+//!
+//! ```text
+//! nop:r#0(del:a#1, ins:d#11(ins:c#13))
+//! ```
+//!
+//! The `#id` part is optional (fresh identifiers are allocated), but paper
+//! fixtures always pin identifiers. The printer emits the same syntax.
+
+use crate::error::EditError;
+use crate::op::{EditOp, ELabel};
+use crate::script::Script;
+use xvu_tree::{Alphabet, NodeId, NodeIdGen, Tree};
+
+/// Parses the script term syntax, interning labels into `alpha`.
+/// Identifiers not given explicitly are allocated from an internal
+/// generator starting beyond the largest explicit identifier — for
+/// reproducible fixtures, pin all identifiers.
+pub fn parse_script(alpha: &mut Alphabet, input: &str) -> Result<Script, EditError> {
+    let mut gen = NodeIdGen::starting_at(1_000_000);
+    parse_script_with_gen(alpha, &mut gen, input)
+}
+
+/// Like [`parse_script`] but drawing fresh identifiers from `gen`.
+pub fn parse_script_with_gen(
+    alpha: &mut Alphabet,
+    gen: &mut NodeIdGen,
+    input: &str,
+) -> Result<Script, EditError> {
+    let mut p = Parser {
+        alpha,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let t = p.term(gen)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after script"));
+    }
+    Ok(t)
+}
+
+/// Renders a script in the term syntax with identifiers.
+pub fn script_to_term(s: &Script, alpha: &Alphabet) -> String {
+    let mut out = String::new();
+    write_node(s, alpha, s.root(), &mut out);
+    out
+}
+
+fn write_node(s: &Script, alpha: &Alphabet, n: NodeId, out: &mut String) {
+    let l = s.label(n);
+    out.push_str(l.op.name());
+    out.push(':');
+    out.push_str(alpha.name(l.label));
+    out.push('#');
+    out.push_str(&n.0.to_string());
+    let children = s.children(n);
+    if !children.is_empty() {
+        out.push('(');
+        for (i, &c) in children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_node(s, alpha, c, out);
+        }
+        out.push(')');
+    }
+}
+
+struct Parser<'a> {
+    alpha: &'a mut Alphabet,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn term(&mut self, gen: &mut NodeIdGen) -> Result<Script, EditError> {
+        self.skip_ws();
+        let op_name = self.ident()?;
+        let op = match op_name.as_str() {
+            "ins" => EditOp::Ins,
+            "del" => EditOp::Del,
+            "nop" => EditOp::Nop,
+            other => return Err(self.err(&format!("unknown operation {other:?}"))),
+        };
+        if self.peek() != Some(b':') {
+            return Err(self.err("expected ':' after operation"));
+        }
+        self.pos += 1;
+        let label_name = self.ident()?;
+        let label = self.alpha.intern(&label_name);
+        let id = if self.peek() == Some(b'#') {
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(self.err("expected digits after '#'"));
+            }
+            let raw: u64 = std::str::from_utf8(&self.bytes[start..self.pos])
+                .expect("ascii")
+                .parse()
+                .map_err(|_| self.err("identifier out of range"))?;
+            let id = NodeId(raw);
+            gen.bump_past(id);
+            id
+        } else {
+            gen.fresh()
+        };
+        let mut tree = Tree::leaf_with_id(id, ELabel { op, label });
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                let child = self.term(gen)?;
+                let pos = tree.children(tree.root()).len();
+                tree.attach_subtree(tree.root(), pos, child)?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ')'")),
+                }
+            }
+        }
+        Ok(tree)
+    }
+
+    fn ident(&mut self) -> Result<String, EditError> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.pos += 1,
+            _ => return Err(self.err("expected an identifier")),
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .to_owned())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> EditError {
+        EditError::Parse {
+            at: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let mut alpha = Alphabet::new();
+        let src = "nop:r#0(del:a#1, ins:d#11(ins:c#13, ins:c#14), nop:d#6(nop:c#10))";
+        let s = parse_script(&mut alpha, src).unwrap();
+        assert_eq!(script_to_term(&s, &alpha), src);
+    }
+
+    #[test]
+    fn ops_are_parsed() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r#0(ins:a#1, del:b#2)").unwrap();
+        assert_eq!(s.label(NodeId(0)).op, EditOp::Nop);
+        assert_eq!(s.label(NodeId(1)).op, EditOp::Ins);
+        assert_eq!(s.label(NodeId(2)).op, EditOp::Del);
+    }
+
+    #[test]
+    fn missing_ids_get_fresh_ones() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r(ins:a, del:b#5)").unwrap();
+        assert!(s.contains(NodeId(5)));
+        assert_eq!(s.size(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut alpha = Alphabet::new();
+        for bad in [
+            "",
+            "zap:r#0",
+            "nop r#0",
+            "nop:r#0(",
+            "nop:r#0(ins:a#1",
+            "nop:r#0(ins:a#1,)",
+            "nop:#0",
+        ] {
+            assert!(parse_script(&mut alpha, bad).is_err(), "{bad:?}");
+        }
+    }
+}

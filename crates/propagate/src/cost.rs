@@ -1,0 +1,75 @@
+//! The cost model for graph weights.
+//!
+//! Edge weights must equal the number of non-phantom nodes the edge
+//! contributes to the constructed script — that is what makes "cheapest
+//! path" coincide with "cost-minimal propagation" (Theorems 2 and 4).
+//! Inserting an invisible `y`-fragment therefore costs the size of the
+//! fragment that will actually be materialised: the insertlet when one is
+//! registered, the minimal witness otherwise.
+
+use xvu_automata::INFINITE;
+use xvu_dtd::{InsertletPackage, MinSizes};
+use xvu_tree::Sym;
+
+/// Charges for inserting invisible fragments.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel<'a> {
+    /// Minimal tree sizes per label.
+    pub sizes: &'a MinSizes,
+    /// Registered default fragments.
+    pub insertlets: &'a InsertletPackage,
+}
+
+impl CostModel<'_> {
+    /// The cost of inserting a fresh `label`-rooted fragment;
+    /// [`INFINITE`] when the label is unsatisfiable.
+    #[inline]
+    pub fn charge(&self, label: Sym) -> u64 {
+        self.insertlets.charge(self.sizes, label)
+    }
+
+    /// Whether a fresh `label` fragment can be inserted at all.
+    #[inline]
+    pub fn insertable(&self, label: Sym) -> bool {
+        self.charge(label) != INFINITE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_dtd::{min_sizes, parse_dtd, InsertletPackage};
+    use xvu_tree::{parse_term, Alphabet, NodeIdGen};
+
+    #[test]
+    fn charge_prefers_insertlet_size() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> a*").unwrap();
+        let sizes = min_sizes(&dtd, alpha.len());
+        let r = alpha.get("r").unwrap();
+        let mut pkg = InsertletPackage::new();
+        let mut gen = NodeIdGen::new();
+        let big = parse_term(&mut alpha, &mut gen, "r(a, a, a)").unwrap();
+        pkg.insert_non_minimal(&dtd, r, big).unwrap();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        assert_eq!(cm.charge(r), 4);
+        assert!(cm.insertable(r));
+    }
+
+    #[test]
+    fn unsatisfiable_is_not_insertable() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "x -> x").unwrap();
+        let sizes = min_sizes(&dtd, alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let x = alpha.get("x").unwrap();
+        assert!(!cm.insertable(x));
+    }
+}

@@ -1,0 +1,120 @@
+//! Counting optimal propagations (paper §4, "Further results").
+//!
+//! The optimal graphs are acyclic, so the number of optimal propagations
+//! is finite with an exponential upper bound — and the bound is tight: for
+//! `D2: r → (a·(b+c))*` with `b, c` hidden, inserting `k` nodes labeled
+//! `a` admits exactly `2^k` optimal propagations (each inserted `a`
+//! independently needs one hidden `b` or `c`).
+//!
+//! Counts multiply through the recursive structure: a (vi)-edge
+//! contributes the count of the child's graph, a (iv)-edge the number of
+//! minimal inverses of the inserted fragment. Counts are path counts;
+//! when content models are deterministic (the W3C-required case) paths
+//! correspond one-to-one with propagations up to the choice of concrete
+//! minimal fragments.
+
+use crate::forest::PropagationForest;
+use crate::graph::PropEdge;
+use xvu_tree::NodeId;
+
+/// Counts the cost-minimal propagations captured by `G*` (saturating
+/// `u128`).
+pub fn count_optimal_propagations(forest: &PropagationForest) -> u128 {
+    count_node(forest, forest.root)
+}
+
+fn count_node(forest: &PropagationForest, n: NodeId) -> u128 {
+    let Some(opt) = forest.graphs[&n].optimal_subgraph() else {
+        return 0;
+    };
+    opt.count_paths(|e| match e {
+        PropEdge::InsVisible { child } => forest.inversions[child].count_min_inverses(),
+        PropEdge::NopVisible { child, .. } => count_node(forest, *child),
+        _ => 1,
+    })
+    .expect("optimal propagation graphs are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fixtures;
+    use crate::instance::Instance;
+    use xvu_dtd::{min_sizes, parse_dtd, InsertletPackage};
+    use xvu_edit::parse_script;
+    use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+    use xvu_view::parse_annotation;
+
+    #[test]
+    fn d2_family_counts_two_to_the_k() {
+        // D2: r → (a·(b+c))*, A2 hides b and c under r. Source: r (empty).
+        // Update: insert k a-children. Optimal propagations: 2^k.
+        for k in [1usize, 2, 3, 5, 8, 10] {
+            let mut alpha = Alphabet::new();
+            let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c))*").unwrap();
+            let ann = parse_annotation(&mut alpha, "hide r b\nhide r c").unwrap();
+            let mut gen = NodeIdGen::new();
+            let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0").unwrap();
+            let mut s = String::from("nop:r#0(");
+            for i in 0..k {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("ins:a#{}", i + 1));
+            }
+            s.push(')');
+            let update = parse_script(&mut alpha, &s).unwrap();
+            let inst = Instance::new(&dtd, &ann, &source, &update, alpha.len()).unwrap();
+            let sizes = min_sizes(&dtd, alpha.len());
+            let pkg = InsertletPackage::new();
+            let cm = CostModel {
+                sizes: &sizes,
+                insertlets: &pkg,
+            };
+            let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
+            assert_eq!(
+                count_optimal_propagations(&forest),
+                1u128 << k,
+                "k = {k}"
+            );
+            // each inserted a costs itself + one hidden sibling
+            assert_eq!(forest.optimal_cost(), 2 * k as u64);
+        }
+    }
+
+    #[test]
+    fn paper_example_count_is_positive_and_finite() {
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
+        let count = count_optimal_propagations(&forest);
+        // d#11's inverse: 2 choices (a/b) × 2 positions = 4; the c#15
+        // insert under d6 has 2 (a or b sibling); root path is unique in
+        // its optimal ops but padding choices multiply.
+        assert!(count >= 8, "count = {count}");
+        assert!(count < 1_000, "count = {count}");
+    }
+
+    #[test]
+    fn identity_update_has_exactly_one_propagation() {
+        let fx = fixtures::paper_running_example();
+        let view = xvu_view::extract_view(&fx.ann, &fx.t0);
+        let s = xvu_edit::nop_script(&view);
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &s, fx.alpha.len()).unwrap();
+        let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
+        assert_eq!(count_optimal_propagations(&forest), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's running example as a reusable fixture (test-only).
+//!
+//! * Figure 1 — the source tree `t0` (explicit node identifiers);
+//! * Figure 2 — the DTD `D0`: `r → (a·(b+c)·d)*`, `d → ((a+b)·c)*`;
+//! * Figure 3 — the annotation `A0`;
+//! * Figure 4 — the view update `S0`.
+
+use xvu_dtd::{parse_dtd, Dtd};
+use xvu_edit::{parse_script, Script};
+use xvu_tree::{parse_term_with_ids, Alphabet, DocTree, NodeIdGen};
+use xvu_view::{parse_annotation, Annotation};
+
+/// The assembled running example.
+pub struct PaperFixture {
+    /// Alphabet with `r, a, b, c, d` interned.
+    pub alpha: Alphabet,
+    /// Generator positioned beyond every fixture identifier.
+    pub gen: NodeIdGen,
+    /// `D0`.
+    pub dtd: Dtd,
+    /// `A0`.
+    pub ann: Annotation,
+    /// `t0` (Fig. 1).
+    pub t0: DocTree,
+    /// `S0` (Fig. 4).
+    pub s0: Script,
+}
+
+/// Builds the running example exactly as in the paper's figures.
+pub fn paper_running_example() -> PaperFixture {
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+    let t0 = parse_term_with_ids(
+        &mut alpha,
+        &mut gen,
+        "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+    )
+    .unwrap();
+    let s0 = parse_script(
+        &mut alpha,
+        "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+         ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+    )
+    .unwrap();
+    for id in s0.node_ids() {
+        gen.bump_past(id);
+    }
+    PaperFixture {
+        alpha,
+        gen,
+        dtd,
+        ann,
+        t0,
+        s0,
+    }
+}

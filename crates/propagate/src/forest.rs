@@ -1,0 +1,153 @@
+//! The collection `G(D, A, t, S)` of propagation graphs.
+//!
+//! Graphs are built bottom-up over `N_Δ` (post-order over the `Nop`
+//! skeleton of the update) so that every (vi)-edge weight — the cheapest
+//! propagation cost of the child — and every (iv)-edge weight — the
+//! minimal inverse size of an inserted fragment — is already memoised when
+//! a parent graph is constructed. This single-pass memoisation is what
+//! makes the whole construction polynomial.
+
+use crate::cost::CostModel;
+use crate::error::PropagateError;
+use crate::graph::{build_prop_graph, PropGraph};
+use crate::instance::Instance;
+use crate::inversion::InversionForest;
+use std::collections::HashMap;
+use xvu_edit::{output_tree, EditOp};
+use xvu_tree::NodeId;
+
+/// All propagation graphs of an instance, plus the auxiliary inversion
+/// forests for inserted fragments.
+#[derive(Clone, Debug)]
+pub struct PropagationForest {
+    /// `G_n` per preserved node `n ∈ N_Δ`.
+    pub graphs: HashMap<NodeId, PropGraph>,
+    /// Cheapest propagation-path cost per preserved node.
+    pub costs: HashMap<NodeId, u64>,
+    /// Inversion forest per top-level inserted script child (the (iv)-edge
+    /// machinery of §3).
+    pub inversions: HashMap<NodeId, InversionForest>,
+    /// The root of the update (always preserved).
+    pub root: NodeId,
+}
+
+impl PropagationForest {
+    /// Builds all graphs for a validated instance.
+    pub fn build(
+        inst: &Instance<'_>,
+        cost: &CostModel<'_>,
+    ) -> Result<PropagationForest, PropagateError> {
+        let mut graphs = HashMap::new();
+        let mut costs: HashMap<NodeId, u64> = HashMap::new();
+        let mut inversions = HashMap::new();
+
+        for n in post_order_nop(inst) {
+            // Inversion forests for the inserting children of n.
+            let mut inverse_sizes: HashMap<NodeId, u64> = HashMap::new();
+            for &c in inst.update.children(n) {
+                if inst.update.label(c).op == EditOp::Ins {
+                    let fragment = output_tree(&inst.update.subtree(c))
+                        .expect("an Ins subtree has a full output");
+                    let forest = InversionForest::build(inst.dtd, inst.ann, &fragment, cost)
+                        .map_err(|e| match e {
+                            // An impossible inversion of user-inserted
+                            // content means the update's output was not a
+                            // legal view — report it as such.
+                            PropagateError::InversionImpossible(node) => {
+                                PropagateError::OutputNotAView(format!(
+                                    "inserted fragment at {node} has no source completion"
+                                ))
+                            }
+                            other => other,
+                        })?;
+                    inverse_sizes.insert(c, forest.min_inverse_size());
+                    inversions.insert(c, forest);
+                }
+            }
+
+            let g = build_prop_graph(inst, n, cost, &costs, &inverse_sizes)?;
+            let best = g.best_cost().ok_or(PropagateError::NoPropagationPath(n))?;
+            costs.insert(n, best);
+            graphs.insert(n, g);
+        }
+
+        Ok(PropagationForest {
+            graphs,
+            costs,
+            inversions,
+            root: inst.update.root(),
+        })
+    }
+
+    /// The cost of the cheapest schema-compliant side-effect-free
+    /// propagation (Theorem 4's optimum).
+    pub fn optimal_cost(&self) -> u64 {
+        self.costs[&self.root]
+    }
+
+    /// Total vertex/edge census across all graphs (diagnostics and the
+    /// polynomial-size claims of the paper).
+    pub fn census(&self) -> (usize, usize) {
+        let v = self.graphs.values().map(|g| g.n_vertices()).sum();
+        let e = self.graphs.values().map(|g| g.n_edges()).sum();
+        (v, e)
+    }
+}
+
+/// `N_Δ` in post-order (children before parents).
+fn post_order_nop(inst: &Instance<'_>) -> Vec<NodeId> {
+    inst.update
+        .postorder()
+        .filter(|&n| inst.update.label(n).op == EditOp::Nop)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use xvu_dtd::{min_sizes, InsertletPackage};
+
+    #[test]
+    fn census_is_polynomial_in_inputs() {
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = PropagationForest::build(&inst, &cm).unwrap();
+        let (v, e) = forest.census();
+        // Generous sanity bound: |V| ≤ (k+1)(ℓ+1)|Q| summed over N_Δ.
+        assert!(v > 0 && v < 1000, "vertices: {v}");
+        assert!(e > 0 && e < 5000, "edges: {e}");
+        assert_eq!(forest.graphs.len(), 4); // N_Δ = {n0, n4, n6, n10}
+        assert_eq!(forest.inversions.len(), 3); // d#11, a#12, and c#15
+        assert_eq!(forest.optimal_cost(), 14);
+    }
+
+    #[test]
+    fn inserted_fragment_inverse_sizes() {
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = PropagationForest::build(&inst, &cm).unwrap();
+        // d#11(c13, c14): minimal inverse d(x,c,x,c) → 5 nodes.
+        assert_eq!(
+            forest.inversions[&xvu_tree::NodeId(11)].min_inverse_size(),
+            5
+        );
+        // a#12: a leaf, inverse is itself → 1 node.
+        assert_eq!(
+            forest.inversions[&xvu_tree::NodeId(12)].min_inverse_size(),
+            1
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Incremental revalidation and cross-view effect analysis.
+//!
+//! * [`revalidate_output`] — schema-checks the output of a script in time
+//!   proportional to the *changed* part: only nodes whose child word can
+//!   have changed (parents of non-`Nop` children, and inserted subtrees)
+//!   are re-checked, in the spirit of incremental validation ([13] in the
+//!   paper). Assumes the input tree was valid.
+//! * [`cross_view_effect`] — the paper's future-work question about
+//!   multiple views: given a propagation for view `A1`, compute the
+//!   editing script a *different* view `A2` observes. Persistent
+//!   identifiers make this an exact diff.
+
+use crate::error::PropagateError;
+use xvu_dtd::Dtd;
+use xvu_edit::{diff, input_tree, output_tree, EditOp, Script};
+use xvu_tree::NodeId;
+use xvu_view::{extract_view, Annotation};
+
+/// Validates `Out(script)` against `dtd`, assuming `In(script)` is valid.
+///
+/// Checks exactly:
+/// * every node with at least one non-`Nop` child (its child word
+///   changed), and
+/// * every node inside an inserted subtree (entirely new material).
+///
+/// Returns the first offending node, like [`Dtd::validate`].
+pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateError> {
+    let out = output_tree(script).ok_or_else(|| {
+        PropagateError::NotAPropagation("script output is empty".to_owned())
+    })?;
+    for n in script.preorder() {
+        let op = script.label(n).op;
+        if op == EditOp::Del {
+            continue;
+        }
+        let must_check = op == EditOp::Ins
+            || script
+                .children(n)
+                .iter()
+                .any(|&c| script.label(c).op != EditOp::Nop);
+        if must_check && !dtd.node_is_valid(&out, n) {
+            return Err(PropagateError::NotAPropagation(format!(
+                "incremental validation failed at node {n}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Number of nodes [`revalidate_output`] actually checks — for tests and
+/// diagnostics of the incremental saving.
+pub fn revalidation_workload(script: &Script) -> usize {
+    script
+        .preorder()
+        .filter(|&n| {
+            let op = script.label(n).op;
+            op != EditOp::Del
+                && (op == EditOp::Ins
+                    || script
+                        .children(n)
+                        .iter()
+                        .any(|&c| script.label(c).op != EditOp::Nop))
+        })
+        .count()
+}
+
+/// Computes the update that a *second* view `other` observes when
+/// `propagation` is applied to the source: the exact editing script from
+/// `other(In)` to `other(Out)`, matched by persistent identifiers.
+///
+/// Side-effect freedom is always relative to one view; this is the tool
+/// to quantify what a propagation chosen for view `A1` does to the users
+/// of view `A2` (the paper's multi-view future work).
+pub fn cross_view_effect(
+    other: &Annotation,
+    propagation: &Script,
+) -> Result<Script, PropagateError> {
+    let input = input_tree(propagation).ok_or_else(|| {
+        PropagateError::NotAPropagation("script input is empty".to_owned())
+    })?;
+    let out = output_tree(propagation).ok_or_else(|| {
+        PropagateError::NotAPropagation("script output is empty".to_owned())
+    })?;
+    let v_before = extract_view(other, &input);
+    let v_after = extract_view(other, &out);
+    diff(&v_before, &v_after).map_err(PropagateError::Edit)
+}
+
+/// Convenience: the set of identifiers the second view sees changing
+/// (non-`Nop` nodes of [`cross_view_effect`]).
+pub fn cross_view_touched(
+    other: &Annotation,
+    propagation: &Script,
+) -> Result<Vec<NodeId>, PropagateError> {
+    let effect = cross_view_effect(other, propagation)?;
+    Ok(effect
+        .preorder()
+        .filter(|&n| effect.label(n).op != EditOp::Nop)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{propagate, Config};
+    use crate::fixtures;
+    use crate::instance::Instance;
+    use xvu_dtd::InsertletPackage;
+    use xvu_edit::cost;
+    use xvu_view::parse_annotation;
+
+    #[test]
+    fn incremental_agrees_with_full_validation_on_sound_propagation() {
+        let fx = fixtures::paper_running_example();
+        let inst =
+            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        revalidate_output(&fx.dtd, &prop.script).unwrap();
+        // and it inspects strictly fewer nodes than the whole document
+        let out = xvu_edit::output_tree(&prop.script).unwrap();
+        assert!(revalidation_workload(&prop.script) < out.size());
+    }
+
+    #[test]
+    fn incremental_catches_violations() {
+        let mut fx = fixtures::paper_running_example();
+        // delete only a1: r's word becomes b d a c d — invalid.
+        let bad = xvu_edit::parse_script(
+            &mut fx.alpha,
+            "nop:r#0(del:a#1, nop:b#2, nop:d#3(nop:a#7, nop:c#8), nop:a#4, nop:c#5, \
+             nop:d#6(nop:b#9, nop:c#10))",
+        )
+        .unwrap();
+        let err = revalidate_output(&fx.dtd, &bad).unwrap_err();
+        assert!(matches!(err, PropagateError::NotAPropagation(_)));
+    }
+
+    #[test]
+    fn identity_script_revalidates_for_free() {
+        let fx = fixtures::paper_running_example();
+        let s = xvu_edit::nop_script(&fx.t0);
+        revalidate_output(&fx.dtd, &s).unwrap();
+        assert_eq!(revalidation_workload(&s), 0);
+    }
+
+    #[test]
+    fn cross_view_effect_of_the_paper_propagation() {
+        let mut fx = fixtures::paper_running_example();
+        let inst =
+            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+
+        // A fully-transparent second view sees the whole propagation.
+        let all = xvu_view::Annotation::all_visible();
+        let full_effect = cross_view_effect(&all, &prop.script).unwrap();
+        assert_eq!(cost(&full_effect) as u64, prop.cost);
+
+        // The original view sees exactly the user's update shape.
+        let own_effect = cross_view_effect(&fx.ann, &prop.script).unwrap();
+        assert_eq!(cost(&own_effect), cost(&fx.s0));
+
+        // A view that hides the d-subtrees' contents sees fewer changes.
+        let ann2 = parse_annotation(
+            &mut fx.alpha,
+            "hide d a\nhide d b\nhide d c",
+        )
+        .unwrap();
+        let partial = cross_view_effect(&ann2, &prop.script).unwrap();
+        assert!(cost(&partial) < cost(&full_effect));
+        let touched = cross_view_touched(&ann2, &prop.script).unwrap();
+        assert!(!touched.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! View-update problem instances.
+//!
+//! An instance bundles the paper's inputs — DTD `D`, annotation `A`,
+//! source document `t ∈ L(D)`, and view update `S` — together with the
+//! derived artefacts every stage needs (the view `A(t)`, the visible-node
+//! set, the view DTD), and validates all of the paper's well-formedness
+//! requirements up front:
+//!
+//! 1. `t ∈ L(D)`;
+//! 2. `S` is a well-formed editing script with `In(S) = A(t)`;
+//! 3. `Out(S)` satisfies the view DTD (i.e. `Out(S) ∈ A(L(D))`, checked
+//!    structurally via the derived DTD);
+//! 4. `N_S ∩ (N_t \ N_{A(t)}) = ∅` — the update never reuses hidden
+//!    identifiers;
+//! 5. every label inserted by `S` is visible under its parent (a
+//!    consequence of 3 made into a direct check for better diagnostics).
+
+use crate::error::PropagateError;
+use std::collections::HashSet;
+use xvu_dtd::Dtd;
+use xvu_edit::{
+    check_is_update_of, check_no_hidden_ids, output_tree, EditOp, Script,
+};
+use xvu_tree::{DocTree, NodeId, NodeIdGen};
+use xvu_view::{derive_view_dtd, extract_view, visible_nodes, Annotation};
+
+/// A validated view-update problem instance.
+#[derive(Clone, Debug)]
+pub struct Instance<'a> {
+    /// The document schema `D`.
+    pub dtd: &'a Dtd,
+    /// The view definition `A`.
+    pub ann: &'a Annotation,
+    /// The source document `t`.
+    pub source: &'a DocTree,
+    /// The user's view update `S`.
+    pub update: &'a Script,
+    /// Alphabet size (for symbol-indexed tables).
+    pub alphabet_len: usize,
+    /// The materialised view `A(t)` (= `In(S)`).
+    pub view: DocTree,
+    /// Identifiers of the visible nodes of `t`.
+    pub visible: HashSet<NodeId>,
+    /// The updated view `Out(S)`.
+    pub updated_view: DocTree,
+    /// The derived view DTD capturing `A(L(D))`.
+    pub view_dtd: Dtd,
+}
+
+impl<'a> Instance<'a> {
+    /// Validates and assembles an instance.
+    pub fn new(
+        dtd: &'a Dtd,
+        ann: &'a Annotation,
+        source: &'a DocTree,
+        update: &'a Script,
+        alphabet_len: usize,
+    ) -> Result<Instance<'a>, PropagateError> {
+        dtd.validate(source).map_err(PropagateError::SourceNotValid)?;
+
+        let view = extract_view(ann, source);
+        check_is_update_of(update, &view)?;
+
+        let visible = visible_nodes(ann, source);
+        let source_ids: HashSet<NodeId> = source.node_ids().collect();
+        check_no_hidden_ids(update, &source_ids, &visible)?;
+
+        let updated_view = output_tree(update).ok_or_else(|| {
+            PropagateError::InvalidInstance("update deletes the view root".to_owned())
+        })?;
+
+        let view_dtd = derive_view_dtd(dtd, ann, alphabet_len);
+        if let Some(v) = view_dtd.first_violation(&updated_view) {
+            return Err(PropagateError::OutputNotAView(format!(
+                "node {} (child word not derivable in any view)",
+                v.node
+            )));
+        }
+
+        // Inserted labels must be visible under their parents.
+        for n in update.preorder() {
+            let parent_label = update.label(n).label;
+            for &c in update.children(n) {
+                let cl = update.label(c);
+                if cl.op == EditOp::Ins
+                    && update.label(n).op != EditOp::Ins
+                    && !ann.is_visible(parent_label, cl.label)
+                {
+                    return Err(PropagateError::InsertedInvisibleLabel { node: c });
+                }
+            }
+        }
+
+        Ok(Instance {
+            dtd,
+            ann,
+            source,
+            update,
+            alphabet_len,
+            view,
+            visible,
+            updated_view,
+            view_dtd,
+        })
+    }
+
+    /// A fresh-identifier generator positioned beyond every identifier used
+    /// by the source document or the update.
+    pub fn id_gen(&self) -> NodeIdGen {
+        let mut gen = NodeIdGen::new();
+        for id in self.source.node_ids() {
+            gen.bump_past(id);
+        }
+        for id in self.update.node_ids() {
+            gen.bump_past(id);
+        }
+        gen
+    }
+
+    /// The preserved view nodes `N_Δ` (the `Nop` nodes of `S`), in
+    /// pre-order. These are exactly the nodes for which propagation graphs
+    /// are built; the root of `S` is always first.
+    pub fn n_delta(&self) -> Vec<NodeId> {
+        self.update
+            .preorder()
+            .filter(|&n| self.update.label(n).op == EditOp::Nop)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use xvu_edit::parse_script;
+    use xvu_tree::parse_term_with_ids;
+
+    #[test]
+    fn paper_instance_validates() {
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        assert_eq!(inst.view.size(), 7);
+        assert_eq!(inst.updated_view.size(), 9);
+        // N_Δ = {n0, n4, n6, n10}
+        let nd: Vec<u64> = inst.n_delta().iter().map(|n| n.0).collect();
+        assert_eq!(nd, vec![0, 4, 6, 10]);
+    }
+
+    #[test]
+    fn invalid_source_is_rejected() {
+        let mut fx = fixtures::paper_running_example();
+        // break the source: delete the trailing d sibling group
+        let mut gen = fx.gen.clone();
+        let bad = parse_term_with_ids(&mut fx.alpha, &mut gen, "r#100(a#101, b#102)").unwrap();
+        let s = parse_script(&mut fx.alpha, "nop:r#100(nop:a#101)").unwrap();
+        let err = Instance::new(&fx.dtd, &fx.ann, &bad, &s, fx.alpha.len()).unwrap_err();
+        assert!(matches!(err, PropagateError::SourceNotValid(_)));
+    }
+
+    #[test]
+    fn update_of_wrong_view_is_rejected() {
+        let mut fx = fixtures::paper_running_example();
+        let s = parse_script(&mut fx.alpha, "nop:r#0(nop:a#1)").unwrap();
+        let err = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &s, fx.alpha.len()).unwrap_err();
+        assert!(matches!(err, PropagateError::Edit(_)));
+    }
+
+    #[test]
+    fn hidden_id_reuse_is_rejected() {
+        let mut fx = fixtures::paper_running_example();
+        // node 2 (the b) and node 7 (a under d3) are hidden in t0; reuse 7
+        let s = parse_script(
+            &mut fx.alpha,
+            "nop:r#0(nop:a#1, nop:d#3(nop:c#8), nop:a#4, ins:d#7, nop:d#6(nop:c#10))",
+        )
+        .unwrap();
+        let err = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &s, fx.alpha.len()).unwrap_err();
+        assert!(matches!(
+            err,
+            PropagateError::Edit(xvu_edit::EditError::HiddenIdUsed(NodeId(7)))
+        ));
+    }
+
+    #[test]
+    fn non_view_output_is_rejected() {
+        let mut fx = fixtures::paper_running_example();
+        // delete a1 only: view word becomes d a d — not in (a·d)*
+        let s = parse_script(
+            &mut fx.alpha,
+            "nop:r#0(del:a#1, nop:d#3(nop:c#8), nop:a#4, nop:d#6(nop:c#10))",
+        )
+        .unwrap();
+        let err = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &s, fx.alpha.len()).unwrap_err();
+        assert!(matches!(err, PropagateError::OutputNotAView(_)));
+    }
+
+    #[test]
+    fn inserting_invisible_label_is_rejected() {
+        let mut fx = fixtures::paper_running_example();
+        // b is invisible under r; inserting it can never appear in a view.
+        let s = parse_script(
+            &mut fx.alpha,
+            "nop:r#0(nop:a#1, nop:d#3(nop:c#8), nop:a#4, nop:d#6(nop:c#10), ins:b#50)",
+        )
+        .unwrap();
+        let err = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &s, fx.alpha.len()).unwrap_err();
+        // caught either as a non-view output or as the direct check,
+        // whichever fires first — both are acceptable diagnoses.
+        assert!(matches!(
+            err,
+            PropagateError::OutputNotAView(_) | PropagateError::InsertedInvisibleLabel { .. }
+        ));
+    }
+
+    #[test]
+    fn id_gen_clears_all_used_ids() {
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let mut gen = inst.id_gen();
+        let fresh = gen.fresh();
+        assert!(!fx.t0.contains(fresh));
+        assert!(!fx.s0.contains(fresh));
+    }
+}

@@ -1,0 +1,86 @@
+//! **The view update problem for XML** — the paper's core contribution.
+//!
+//! Given a DTD `D`, an annotation-defined view `A`, a source document
+//! `t ∈ L(D)`, and a user update `S` of the view `A(t)`, this crate
+//! constructs propagations `S'` of `S` to the source that are
+//!
+//! * **schema compliant** — `Out(S') ∈ L(D)`, and
+//! * **side-effect free** — `A(Out(S')) = Out(S)`,
+//!
+//! using the paper's graph machinery:
+//!
+//! | paper | here |
+//! |-------|------|
+//! | inversion graphs `H(D,A,t')`, Theorems 1–2 | [`InversionForest`] |
+//! | propagation graphs `G(D,A,t,S)`, Theorems 3–4 | [`PropagationForest`] |
+//! | optimal subgraphs `H*`, `G*` | [`pathgraph::PathGraph::optimal_subgraph`] |
+//! | existence (Theorem 5) | exercised by the randomized test-suite |
+//! | the polynomial algorithm with `Φ` and insertlets (Theorem 6) | [`propagate`] + [`Selector`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xvu_dtd::{parse_dtd, InsertletPackage};
+//! use xvu_edit::parse_script;
+//! use xvu_propagate::{propagate, verify_propagation, Config, Instance};
+//! use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+//! use xvu_view::parse_annotation;
+//!
+//! let mut alpha = Alphabet::new();
+//! let mut gen = NodeIdGen::new();
+//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+//! let t0 = parse_term_with_ids(
+//!     &mut alpha, &mut gen,
+//!     "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+//! ).unwrap();
+//! // The user deletes the first (a, d) group and inserts a new one.
+//! let s0 = parse_script(
+//!     &mut alpha,
+//!     "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+//!      ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+//! ).unwrap();
+//!
+//! let inst = Instance::new(&dtd, &ann, &t0, &s0, alpha.len()).unwrap();
+//! let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+//! assert_eq!(prop.cost, 14); // the paper's Figure 7 optimum
+//! verify_propagation(&inst, &prop.script).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod complement;
+mod cost;
+mod count;
+mod enumerate;
+mod error;
+#[cfg(test)]
+mod fixtures;
+mod forest;
+mod graph;
+mod incremental;
+mod instance;
+mod inversion;
+pub mod pathgraph;
+mod segments;
+mod selection;
+mod typing;
+mod verify;
+
+pub use algorithm::{propagate, propagate_view_edit, Config, Propagation};
+pub use complement::{find_complement_preserving, invisible_impact, InvisibleImpact};
+pub use cost::CostModel;
+pub use count::count_optimal_propagations;
+pub use enumerate::{enumerate_optimal_propagations, enumerate_propagations_bounded};
+pub use error::PropagateError;
+pub use forest::PropagationForest;
+pub use graph::{build_prop_graph, PropEdge, PropGraph, PropVertex};
+pub use incremental::{cross_view_effect, cross_view_touched, revalidate_output, revalidation_workload};
+pub use instance::Instance;
+pub use inversion::{InvEdge, InvGraph, InversionForest, InvVertex};
+pub use segments::Segmentation;
+pub use selection::{Classify, EdgeClass, Selector};
+pub use typing::{typing_report, TypingReport};
+pub use verify::verify_propagation;

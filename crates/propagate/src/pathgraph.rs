@@ -1,0 +1,551 @@
+//! Generic weighted path graphs.
+//!
+//! Both of the paper's graph constructions — inversion graphs `H_n`
+//! (Section 3) and propagation graphs `G_n` (Section 4) — are directed,
+//! edge-weighted graphs with one start vertex, a set of goal vertices, and
+//! the same derived notions:
+//!
+//! * cheapest start→goal path cost (non-negative weights ⇒ Dijkstra),
+//! * the **optimal subgraph** induced by all cheapest paths (the paper's
+//!   `H*`/`G*`), obtained by keeping edge `(u,v,w)` iff
+//!   `dist(start,u) + w + dist(v,goal) = best`,
+//! * path counting and bounded enumeration over the optimal subgraph
+//!   (which is acyclic — asserted, per the paper's observation),
+//! * deterministic greedy path extraction under a pluggable edge
+//!   preference.
+//!
+//! This module implements those once, generically over vertex and edge
+//! payload types.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// A directed weighted edge with a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge<E> {
+    /// Source vertex index.
+    pub from: u32,
+    /// Target vertex index.
+    pub to: u32,
+    /// Non-negative weight.
+    pub weight: u64,
+    /// Domain payload (edge kind).
+    pub payload: E,
+}
+
+/// A directed weighted graph with a start vertex and goal vertices.
+#[derive(Clone, Debug)]
+pub struct PathGraph<V, E> {
+    vertices: Vec<V>,
+    edges: Vec<Edge<E>>,
+    /// `out[v]` lists edge indices leaving `v`, in insertion order
+    /// (insertion order is the deterministic tie-break everywhere).
+    out: Vec<Vec<u32>>,
+    start: u32,
+    goal: Vec<bool>,
+}
+
+impl<V, E> PathGraph<V, E> {
+    /// Creates a graph over the given vertices with a start vertex.
+    pub fn new(vertices: Vec<V>, start: u32) -> PathGraph<V, E> {
+        let n = vertices.len();
+        assert!((start as usize) < n, "start vertex out of range");
+        PathGraph {
+            vertices,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+            start,
+            goal: vec![false; n],
+        }
+    }
+
+    /// Adds an edge, returning its index.
+    pub fn add_edge(&mut self, from: u32, to: u32, weight: u64, payload: E) -> u32 {
+        assert!((to as usize) < self.vertices.len(), "edge target out of range");
+        let ix = self.edges.len() as u32;
+        self.edges.push(Edge {
+            from,
+            to,
+            weight,
+            payload,
+        });
+        self.out[from as usize].push(ix);
+        ix
+    }
+
+    /// Marks `v` as a goal vertex.
+    pub fn set_goal(&mut self, v: u32) {
+        self.goal[v as usize] = true;
+    }
+
+    /// The start vertex.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Whether `v` is a goal.
+    pub fn is_goal(&self, v: u32) -> bool {
+        self.goal[v as usize]
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex payload.
+    pub fn vertex(&self, v: u32) -> &V {
+        &self.vertices[v as usize]
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, e: u32) -> &Edge<E> {
+        &self.edges[e as usize]
+    }
+
+    /// Edge indices leaving `v`.
+    pub fn out_edges(&self, v: u32) -> &[u32] {
+        &self.out[v as usize]
+    }
+
+    /// Iterates over all edges with their indices.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, &Edge<E>)> {
+        self.edges.iter().enumerate().map(|(i, e)| (i as u32, e))
+    }
+
+    /// Goal vertices.
+    pub fn goals(&self) -> impl Iterator<Item = u32> + '_ {
+        self.goal
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g)
+            .map(|(v, _)| v as u32)
+    }
+
+    /// Dijkstra from the start vertex. Unreachable = [`UNREACHABLE`].
+    pub fn dist_from_start(&self) -> Vec<u64> {
+        self.dijkstra(std::iter::once(self.start), |v| {
+            self.out[v as usize].iter().map(|&e| {
+                let edge = &self.edges[e as usize];
+                (edge.to, edge.weight)
+            })
+        })
+    }
+
+    /// Reverse Dijkstra from all goal vertices: `dist[v]` = cheapest cost
+    /// from `v` to any goal.
+    pub fn dist_to_goal(&self) -> Vec<u64> {
+        // reverse adjacency
+        let mut rin: Vec<Vec<u32>> = vec![Vec::new(); self.vertices.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            rin[e.to as usize].push(i as u32);
+        }
+        self.dijkstra(self.goals(), move |v| {
+            rin[v as usize]
+                .clone()
+                .into_iter()
+                .map(|e| {
+                    let edge = &self.edges[e as usize];
+                    (edge.from, edge.weight)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+    }
+
+    fn dijkstra<I, N, It>(&self, sources: I, neighbours: N) -> Vec<u64>
+    where
+        I: Iterator<Item = u32>,
+        N: Fn(u32) -> It,
+        It: Iterator<Item = (u32, u64)>,
+    {
+        let mut dist = vec![UNREACHABLE; self.vertices.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for s in sources {
+            dist[s as usize] = 0;
+            heap.push(Reverse((0, s)));
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for (to, w) in neighbours(v) {
+                let nd = d.saturating_add(w);
+                if nd < dist[to as usize] && nd != UNREACHABLE {
+                    dist[to as usize] = nd;
+                    heap.push(Reverse((nd, to)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Cost of the cheapest start→goal path, `None` if no goal is
+    /// reachable.
+    pub fn best_cost(&self) -> Option<u64> {
+        let d = self.dist_from_start();
+        self.goals().map(|g| d[g as usize]).min().filter(|&c| c != UNREACHABLE)
+    }
+
+    /// A cheapest start→goal path as a sequence of edge indices (`None` if
+    /// unreachable). Works on cyclic graphs.
+    pub fn shortest_path(&self) -> Option<Vec<u32>> {
+        let mut dist = vec![UNREACHABLE; self.vertices.len()];
+        let mut pred: Vec<Option<u32>> = vec![None; self.vertices.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[self.start as usize] = 0;
+        heap.push(Reverse((0, self.start)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for &e in &self.out[v as usize] {
+                let edge = &self.edges[e as usize];
+                let nd = d.saturating_add(edge.weight);
+                if nd < dist[edge.to as usize] && nd != UNREACHABLE {
+                    dist[edge.to as usize] = nd;
+                    pred[edge.to as usize] = Some(e);
+                    heap.push(Reverse((nd, edge.to)));
+                }
+            }
+        }
+        let goal = self
+            .goals()
+            .filter(|&g| dist[g as usize] != UNREACHABLE)
+            .min_by_key(|&g| dist[g as usize])?;
+        let mut path = Vec::new();
+        let mut cur = goal;
+        while cur != self.start {
+            let e = pred[cur as usize].expect("predecessor on reached vertex");
+            path.push(e);
+            cur = self.edges[e as usize].from;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The subgraph induced by all cheapest start→goal paths — the paper's
+    /// `H*`/`G*`. Vertex indices are preserved (the subgraph keeps the full
+    /// vertex table; pruned vertices simply have no incident edges and the
+    /// start is unchanged). Returns `None` when no goal is reachable.
+    pub fn optimal_subgraph(&self) -> Option<PathGraph<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        let ds = self.dist_from_start();
+        let dg = self.dist_to_goal();
+        let best = self
+            .goals()
+            .map(|g| ds[g as usize])
+            .min()
+            .filter(|&c| c != UNREACHABLE)?;
+        let mut out = PathGraph::new(self.vertices.clone(), self.start);
+        for g in self.goals() {
+            // A goal lies on an optimal path iff reaching it costs `best`
+            // (continuing past a goal is never optimal: weights into any
+            // further goal are ≥ 0 and the path is already complete).
+            if ds[g as usize] == best {
+                out.set_goal(g);
+            }
+        }
+        for e in &self.edges {
+            let (u, v) = (e.from as usize, e.to as usize);
+            if ds[u] == UNREACHABLE || dg[v] == UNREACHABLE {
+                continue;
+            }
+            if ds[u].saturating_add(e.weight).saturating_add(dg[v]) == best {
+                out.add_edge(e.from, e.to, e.weight, e.payload.clone());
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether the graph (restricted to edges present) is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// A topological order of the vertices, `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let n = self.vertices.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to as usize] += 1;
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &e in &self.out[v as usize] {
+                let to = self.edges[e as usize].to as usize;
+                indeg[to] -= 1;
+                if indeg[to] == 0 {
+                    queue.push(to as u32);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Counts start→goal paths, weighting each path by the product of
+    /// per-edge `factor`s (saturating `u128`). Requires acyclicity (true
+    /// for optimal subgraphs); returns `None` on cyclic graphs, where the
+    /// count is infinite.
+    pub fn count_paths(&self, factor: impl Fn(&E) -> u128) -> Option<u128> {
+        let order = self.topo_order()?;
+        let mut ways = vec![0u128; self.vertices.len()];
+        ways[self.start as usize] = 1;
+        for &v in &order {
+            let wv = ways[v as usize];
+            if wv == 0 {
+                continue;
+            }
+            for &e in &self.out[v as usize] {
+                let edge = &self.edges[e as usize];
+                let contrib = wv.saturating_mul(factor(&edge.payload));
+                let slot = &mut ways[edge.to as usize];
+                *slot = slot.saturating_add(contrib);
+            }
+        }
+        Some(self.goals().fold(0u128, |acc, g| {
+            acc.saturating_add(ways[g as usize])
+        }))
+    }
+
+    /// Extracts one start→goal path by repeatedly letting `choose` pick
+    /// among the outgoing edges. Intended for **optimal subgraphs**, where
+    /// every edge lies on a cheapest path, so any local choice is globally
+    /// optimal; the walk stops at the first goal vertex reached.
+    ///
+    /// `choose` receives the graph and the candidate edge indices and must
+    /// return one of them. Returns `None` if a non-goal vertex has no
+    /// outgoing edges (impossible in an optimal subgraph).
+    pub fn walk(
+        &self,
+        mut choose: impl FnMut(&PathGraph<V, E>, &[u32]) -> u32,
+    ) -> Option<Vec<u32>> {
+        let mut path = Vec::new();
+        let mut cur = self.start;
+        let mut steps = 0usize;
+        // In an acyclic optimal subgraph paths are ≤ |E| long; the bound
+        // guards against misuse on cyclic graphs.
+        let max_steps = self.edges.len() + 1;
+        while !self.goal[cur as usize] {
+            let outs = &self.out[cur as usize];
+            if outs.is_empty() || steps > max_steps {
+                return None;
+            }
+            let e = choose(self, outs);
+            debug_assert!(outs.contains(&e), "selector returned a foreign edge");
+            path.push(e);
+            cur = self.edges[e as usize].to;
+            steps += 1;
+        }
+        Some(path)
+    }
+
+    /// Enumerates start→goal paths as edge-index sequences, up to `cap`
+    /// paths and `max_len` edges per path (the length bound makes
+    /// enumeration terminate even on cyclic full graphs, matching the
+    /// paper's observation that non-optimal propagations can be arbitrarily
+    /// long).
+    pub fn enumerate_paths(&self, cap: usize, max_len: usize) -> Vec<Vec<u32>> {
+        let mut result = Vec::new();
+        let mut stack = Vec::new();
+        self.enum_rec(self.start, &mut stack, &mut result, cap, max_len);
+        result
+    }
+
+    fn enum_rec(
+        &self,
+        v: u32,
+        stack: &mut Vec<u32>,
+        result: &mut Vec<Vec<u32>>,
+        cap: usize,
+        max_len: usize,
+    ) {
+        if result.len() >= cap {
+            return;
+        }
+        if self.goal[v as usize] {
+            result.push(stack.clone());
+            if result.len() >= cap {
+                return;
+            }
+            // goals may have continuations in full graphs; keep exploring
+        }
+        if stack.len() >= max_len {
+            return;
+        }
+        for &e in &self.out[v as usize] {
+            stack.push(e);
+            self.enum_rec(self.edges[e as usize].to, stack, result, cap, max_len);
+            stack.pop();
+            if result.len() >= cap {
+                return;
+            }
+        }
+    }
+
+    /// Sum of edge weights along a path (saturating).
+    pub fn path_cost(&self, path: &[u32]) -> u64 {
+        path.iter()
+            .fold(0u64, |acc, &e| acc.saturating_add(self.edges[e as usize].weight))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 → {1, 2} → 3, with an expensive detour 0→3.
+    fn diamond() -> PathGraph<&'static str, char> {
+        let mut g = PathGraph::new(vec!["s", "a", "b", "t"], 0);
+        g.add_edge(0, 1, 1, 'p');
+        g.add_edge(0, 2, 1, 'q');
+        g.add_edge(1, 3, 1, 'r');
+        g.add_edge(2, 3, 1, 's');
+        g.add_edge(0, 3, 5, 'x');
+        g.set_goal(3);
+        g
+    }
+
+    #[test]
+    fn dijkstra_and_best_cost() {
+        let g = diamond();
+        assert_eq!(g.best_cost(), Some(2));
+        let ds = g.dist_from_start();
+        assert_eq!(ds, vec![0, 1, 1, 2]);
+        let dg = g.dist_to_goal();
+        assert_eq!(dg, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn optimal_subgraph_drops_expensive_edge() {
+        let g = diamond();
+        let opt = g.optimal_subgraph().unwrap();
+        assert_eq!(opt.n_edges(), 4); // the weight-5 edge is pruned
+        assert!(opt.is_acyclic());
+        assert_eq!(opt.best_cost(), Some(2));
+    }
+
+    #[test]
+    fn count_paths_in_optimal_subgraph() {
+        let g = diamond().optimal_subgraph().unwrap();
+        assert_eq!(g.count_paths(|_| 1), Some(2));
+        // multiplicative factors
+        assert_eq!(g.count_paths(|&c| if c == 'p' { 3 } else { 1 }), Some(4));
+    }
+
+    #[test]
+    fn count_paths_on_cyclic_graph_is_none() {
+        let mut g: PathGraph<(), ()> = PathGraph::new(vec![(), ()], 0);
+        g.add_edge(0, 1, 1, ());
+        g.add_edge(1, 0, 1, ());
+        g.set_goal(1);
+        assert!(g.count_paths(|_| 1).is_none());
+        assert!(!g.is_acyclic());
+        // but shortest path still works
+        assert_eq!(g.shortest_path().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shortest_path_reconstructs_edges() {
+        let g = diamond();
+        let p = g.shortest_path().unwrap();
+        assert_eq!(g.path_cost(&p), 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(g.edge(p[0]).from, 0);
+        assert_eq!(g.edge(p[1]).to, 3);
+    }
+
+    #[test]
+    fn walk_with_preference() {
+        let g = diamond().optimal_subgraph().unwrap();
+        // prefer edges labelled 'q'
+        let p = g
+            .walk(|g, outs| {
+                *outs
+                    .iter()
+                    .find(|&&e| g.edge(e).payload == 'q')
+                    .unwrap_or(&outs[0])
+            })
+            .unwrap();
+        assert_eq!(g.edge(p[0]).payload, 'q');
+        assert_eq!(g.path_cost(&p), 2);
+    }
+
+    #[test]
+    fn walk_fails_on_dead_end() {
+        let mut g: PathGraph<(), ()> = PathGraph::new(vec![(), (), ()], 0);
+        g.add_edge(0, 1, 1, ());
+        g.set_goal(2); // unreachable
+        assert!(g.walk(|_, outs| outs[0]).is_none());
+    }
+
+    #[test]
+    fn enumerate_paths_respects_caps() {
+        let g = diamond();
+        let all = g.enumerate_paths(10, 10);
+        assert_eq!(all.len(), 3); // two cheap, one direct
+        let capped = g.enumerate_paths(2, 10);
+        assert_eq!(capped.len(), 2);
+        let short = g.enumerate_paths(10, 1);
+        assert_eq!(short.len(), 1); // only the direct 0→3 edge fits
+    }
+
+    #[test]
+    fn enumerate_on_cyclic_graph_terminates() {
+        let mut g: PathGraph<(), char> = PathGraph::new(vec![(), ()], 0);
+        g.add_edge(0, 0, 1, 'l');
+        g.add_edge(0, 1, 1, 'f');
+        g.set_goal(1);
+        let paths = g.enumerate_paths(100, 4);
+        // l^k f for k in 0..=3
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_goal_best_cost_none() {
+        let mut g: PathGraph<(), ()> = PathGraph::new(vec![(), ()], 0);
+        g.set_goal(1);
+        assert_eq!(g.best_cost(), None);
+        assert!(g.optimal_subgraph().is_none());
+        assert!(g.shortest_path().is_none());
+    }
+
+    #[test]
+    fn start_can_be_goal() {
+        let mut g: PathGraph<(), ()> = PathGraph::new(vec![()], 0);
+        g.set_goal(0);
+        assert_eq!(g.best_cost(), Some(0));
+        assert_eq!(g.shortest_path().unwrap().len(), 0);
+        assert_eq!(g.walk(|_, o| o[0]).unwrap().len(), 0);
+        let opt = g.optimal_subgraph().unwrap();
+        assert_eq!(opt.count_paths(|_| 1), Some(1));
+    }
+
+    #[test]
+    fn multiple_goals_pick_cheapest() {
+        let mut g: PathGraph<(), ()> = PathGraph::new(vec![(), (), ()], 0);
+        g.add_edge(0, 1, 5, ());
+        g.add_edge(0, 2, 2, ());
+        g.set_goal(1);
+        g.set_goal(2);
+        assert_eq!(g.best_cost(), Some(2));
+        let opt = g.optimal_subgraph().unwrap();
+        // vertex 1 remains a vertex but is not an optimal goal
+        assert!(!opt.is_goal(1));
+        assert!(opt.is_goal(2));
+        assert_eq!(opt.n_edges(), 1);
+    }
+}

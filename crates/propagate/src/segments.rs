@@ -1,0 +1,204 @@
+//! Segment decomposition of child sequences (paper §4).
+//!
+//! For a preserved node `n`, let `m_1 … m_k` be its children in the source
+//! `t` and `m'_1 … m'_ℓ` its children in the update script `S`. The
+//! **common nodes** `N_C = {c_0} ∪ ({m_i} ∩ {m'_j})` are the visible
+//! children that survive in the script (as `Nop` or `Del`); hidden source
+//! children appear only on the `t` side, freshly inserted nodes only on
+//! the `S` side. Both sequences are partitioned into *segments* between
+//! consecutive common nodes, and the propagation graph shuffles each pair
+//! of corresponding segments.
+//!
+//! This module computes the decomposition and its alignment invariants.
+
+use crate::error::PropagateError;
+use std::collections::HashSet;
+use xvu_tree::NodeId;
+
+/// The aligned segment decomposition of one preserved node's child
+/// sequences.
+#[derive(Clone, Debug)]
+pub struct Segmentation {
+    /// Children of `n` in the source `t`.
+    pub t_children: Vec<NodeId>,
+    /// Children of `n` in the script `S`.
+    pub s_children: Vec<NodeId>,
+    /// `t_anchor[i]` for `i ∈ 0..=k`: the number of common nodes among
+    /// `m_1 … m_i` — i.e. which segment position `i` belongs to.
+    pub t_anchor: Vec<u32>,
+    /// Same for the script side, `j ∈ 0..=ℓ`.
+    pub s_anchor: Vec<u32>,
+    /// `t_common[i]` for `i ∈ 1..=k`: whether `m_i` is a common node.
+    pub t_common: Vec<bool>,
+    /// `s_common[j]` for `j ∈ 1..=ℓ`.
+    pub s_common: Vec<bool>,
+    /// The common nodes in order (without `c_0`).
+    pub common: Vec<NodeId>,
+}
+
+impl Segmentation {
+    /// Computes the decomposition, verifying the alignment invariant: the
+    /// common nodes appear in the same order on both sides (guaranteed
+    /// when `In(S) = A(t)`, diagnosed otherwise).
+    pub fn new(
+        t_children: Vec<NodeId>,
+        s_children: Vec<NodeId>,
+    ) -> Result<Segmentation, PropagateError> {
+        let t_set: HashSet<NodeId> = t_children.iter().copied().collect();
+        let s_set: HashSet<NodeId> = s_children.iter().copied().collect();
+
+        let t_common: Vec<bool> = t_children.iter().map(|c| s_set.contains(c)).collect();
+        let s_common: Vec<bool> = s_children.iter().map(|c| t_set.contains(c)).collect();
+
+        let common_t: Vec<NodeId> = t_children
+            .iter()
+            .zip(&t_common)
+            .filter(|(_, &c)| c)
+            .map(|(&n, _)| n)
+            .collect();
+        let common_s: Vec<NodeId> = s_children
+            .iter()
+            .zip(&s_common)
+            .filter(|(_, &c)| c)
+            .map(|(&n, _)| n)
+            .collect();
+        if common_t != common_s {
+            return Err(PropagateError::InvalidInstance(format!(
+                "common children of a preserved node appear in different orders: \
+                 {common_t:?} in the source vs {common_s:?} in the update"
+            )));
+        }
+
+        let mut t_anchor = Vec::with_capacity(t_children.len() + 1);
+        t_anchor.push(0u32);
+        let mut acc = 0u32;
+        for &c in &t_common {
+            if c {
+                acc += 1;
+            }
+            t_anchor.push(acc);
+        }
+        let mut s_anchor = Vec::with_capacity(s_children.len() + 1);
+        s_anchor.push(0u32);
+        let mut acc = 0u32;
+        for &c in &s_common {
+            if c {
+                acc += 1;
+            }
+            s_anchor.push(acc);
+        }
+
+        Ok(Segmentation {
+            t_children,
+            s_children,
+            t_anchor,
+            s_anchor,
+            t_common,
+            s_common,
+            common: common_t,
+        })
+    }
+
+    /// Number of source children `k`.
+    pub fn k(&self) -> usize {
+        self.t_children.len()
+    }
+
+    /// Number of script children `ℓ`.
+    pub fn l(&self) -> usize {
+        self.s_children.len()
+    }
+
+    /// Whether the graph vertex `(i, ·, j)` exists: both positions lie in
+    /// the same segment.
+    #[inline]
+    pub fn aligned(&self, i: usize, j: usize) -> bool {
+        self.t_anchor[i] == self.s_anchor[j]
+    }
+
+    /// All aligned `(i, j)` position pairs, grouped by segment and in
+    /// lexicographic order within each segment. This enumerates exactly
+    /// the vertex blocks of the propagation graph — `Σ_c |seg_t(c)| ·
+    /// |seg_S(c)|` pairs — without scanning the full `(k+1) × (ℓ+1)`
+    /// grid (which is quadratic even when every child is common).
+    pub fn aligned_pairs(&self) -> Vec<(u32, u32)> {
+        let n_segments = self.common.len() + 1;
+        let mut t_by_anchor: Vec<Vec<u32>> = vec![Vec::new(); n_segments];
+        for (i, &a) in self.t_anchor.iter().enumerate() {
+            t_by_anchor[a as usize].push(i as u32);
+        }
+        let mut s_by_anchor: Vec<Vec<u32>> = vec![Vec::new(); n_segments];
+        for (j, &a) in self.s_anchor.iter().enumerate() {
+            s_by_anchor[a as usize].push(j as u32);
+        }
+        let mut pairs = Vec::new();
+        for c in 0..n_segments {
+            for &i in &t_by_anchor[c] {
+                for &j in &s_by_anchor[c] {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn paper_root_segmentation() {
+        // n0 in t0: children 1 2 3 4 5 6; in S0: 1 3 4 11 12 6.
+        // Common: 1, 3, 4, 6.
+        let seg = Segmentation::new(ids(&[1, 2, 3, 4, 5, 6]), ids(&[1, 3, 4, 11, 12, 6])).unwrap();
+        assert_eq!(seg.common, ids(&[1, 3, 4, 6]));
+        assert_eq!(seg.t_anchor, vec![0, 1, 1, 2, 3, 3, 4]);
+        assert_eq!(seg.s_anchor, vec![0, 1, 2, 3, 3, 3, 4]);
+        assert!(seg.aligned(0, 0));
+        assert!(seg.aligned(4, 3)); // both in segment after common #3 (n4)
+        assert!(seg.aligned(5, 5)); // hidden c5 | inserted a12, same segment
+        assert!(!seg.aligned(1, 2));
+        assert_eq!(seg.k(), 6);
+        assert_eq!(seg.l(), 6);
+    }
+
+    #[test]
+    fn misordered_common_nodes_are_rejected() {
+        let err = Segmentation::new(ids(&[1, 2]), ids(&[2, 1])).unwrap_err();
+        assert!(matches!(err, PropagateError::InvalidInstance(_)));
+    }
+
+    #[test]
+    fn no_common_nodes_single_segment() {
+        let seg = Segmentation::new(ids(&[1, 2]), ids(&[10, 11, 12])).unwrap();
+        assert!(seg.common.is_empty());
+        assert_eq!(seg.t_anchor, vec![0, 0, 0]);
+        assert_eq!(seg.s_anchor, vec![0, 0, 0, 0]);
+        for i in 0..=2 {
+            for j in 0..=3 {
+                assert!(seg.aligned(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let seg = Segmentation::new(vec![], vec![]).unwrap();
+        assert_eq!(seg.k(), 0);
+        assert_eq!(seg.l(), 0);
+        assert!(seg.aligned(0, 0));
+    }
+
+    #[test]
+    fn all_common_identity() {
+        let seg = Segmentation::new(ids(&[1, 2, 3]), ids(&[1, 2, 3])).unwrap();
+        assert_eq!(seg.common.len(), 3);
+        assert!(seg.aligned(2, 2));
+        assert!(!seg.aligned(2, 1));
+    }
+}

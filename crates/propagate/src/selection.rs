@@ -1,0 +1,142 @@
+//! Path-selection strategies (paper §5).
+//!
+//! The paper's algorithm is parameterised by a function `Φ` that selects
+//! one preferred path in every (optimal) inversion and propagation graph;
+//! any polynomial `Φ` yields a polynomial end-to-end algorithm (Theorem 6).
+//! Two concrete strategies are sketched in the paper and implemented here:
+//!
+//! * **edge-kind preference** — e.g. "prefer `Nop`-edges over `Ins`-edges",
+//!   which is exactly how the paper's Figure 10 path is chosen
+//!   ([`Selector::PreferNop`]);
+//! * **typing-based** — prefer edges that keep the automaton-state *type*
+//!   of preserved nodes unchanged between `In(S')` and `Out(S')`
+//!   ([`Selector::PreferTypePreserving`]; requires deterministic content
+//!   models, "a commonly enforced requirement for DTDs").
+//!
+//! Selection happens edge-by-edge while walking an **optimal subgraph**:
+//! there, every outgoing edge lies on some cheapest path, so local greedy
+//! choices are globally optimal and the tie-break order below makes the
+//! resulting propagation unique and deterministic.
+
+use crate::pathgraph::PathGraph;
+
+/// Coarse classification of graph edges, shared by inversion and
+/// propagation graphs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeClass {
+    /// Keeps existing material (visible or invisible `Nop`, and inversion
+    /// `Rec` edges, which carry existing view nodes).
+    Keep,
+    /// Deletes existing material.
+    Delete,
+    /// Inserts new material.
+    Insert,
+}
+
+/// Edge payloads that can be ranked by a [`Selector`].
+pub trait Classify {
+    /// The coarse class of the edge.
+    fn class(&self) -> EdgeClass;
+    /// A deterministic per-kind tie-break hint (e.g. inserted symbol
+    /// index). Lower is preferred.
+    fn tie_break(&self) -> u64;
+    /// Whether following this edge preserves the node's automaton-state
+    /// type (meaningful for `Keep` edges; `false` elsewhere).
+    fn preserves_type(&self) -> bool;
+}
+
+/// A deterministic path-selection strategy `Φ`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Selector {
+    /// Take the first edge in construction order. Fast, deterministic,
+    /// arbitrary.
+    First,
+    /// Prefer `Keep` over `Delete` over `Insert`, then smaller tie-break,
+    /// then construction order (the paper's Figure 10 preference).
+    #[default]
+    PreferNop,
+    /// Like [`Selector::PreferNop`] but rank type-preserving edges first
+    /// (paper §5's typing `Θ` based on deterministic content-model
+    /// states).
+    PreferTypePreserving,
+}
+
+impl Selector {
+    /// Picks one of the outgoing edge indices `outs` (non-empty) of `g`.
+    pub fn pick<V, E: Classify>(&self, g: &PathGraph<V, E>, outs: &[u32]) -> u32 {
+        assert!(!outs.is_empty(), "selector called with no candidates");
+        match self {
+            Selector::First => outs[0],
+            Selector::PreferNop => *outs
+                .iter()
+                .min_by_key(|&&e| {
+                    let p = &g.edge(e).payload;
+                    (p.class(), p.tie_break(), e)
+                })
+                .expect("non-empty"),
+            Selector::PreferTypePreserving => *outs
+                .iter()
+                .min_by_key(|&&e| {
+                    let p = &g.edge(e).payload;
+                    (!p.preserves_type(), p.class(), p.tie_break(), e)
+                })
+                .expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct E(EdgeClass, u64, bool);
+
+    impl Classify for E {
+        fn class(&self) -> EdgeClass {
+            self.0
+        }
+        fn tie_break(&self) -> u64 {
+            self.1
+        }
+        fn preserves_type(&self) -> bool {
+            self.2
+        }
+    }
+
+    fn graph() -> PathGraph<(), E> {
+        let mut g = PathGraph::new(vec![(), ()], 0);
+        g.add_edge(0, 1, 0, E(EdgeClass::Insert, 0, false)); // idx 0
+        g.add_edge(0, 1, 0, E(EdgeClass::Keep, 5, false)); // idx 1
+        g.add_edge(0, 1, 0, E(EdgeClass::Keep, 2, false)); // idx 2
+        g.add_edge(0, 1, 0, E(EdgeClass::Delete, 0, true)); // idx 3
+        g.set_goal(1);
+        g
+    }
+
+    #[test]
+    fn first_takes_construction_order() {
+        let g = graph();
+        assert_eq!(Selector::First.pick(&g, &[0, 1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn prefer_nop_ranks_keep_then_tiebreak() {
+        let g = graph();
+        // Keep edges are 1 and 2; tie-break 2 < 5 picks edge 2.
+        assert_eq!(Selector::PreferNop.pick(&g, &[0, 1, 2, 3]), 2);
+    }
+
+    #[test]
+    fn type_preserving_outranks_class() {
+        let g = graph();
+        // Only edge 3 preserves type, despite being a Delete.
+        assert_eq!(Selector::PreferTypePreserving.pick(&g, &[0, 1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn class_ordering_is_keep_delete_insert() {
+        assert!(EdgeClass::Keep < EdgeClass::Delete);
+        assert!(EdgeClass::Delete < EdgeClass::Insert);
+    }
+}

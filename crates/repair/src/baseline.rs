@@ -1,0 +1,155 @@
+//! The repair-based baseline (paper §6.2) — and why it is inadequate.
+//!
+//! The alternative approach the paper refutes: take the updated view
+//! `t' = Out(S)`, close the inverse set under isomorphism (dropping node
+//! identifiers), and *repair* the old source `t` to the nearest member —
+//! nearest by ordered tree edit distance. The information lost by dropping
+//! identifiers is positional: the example `D3: r → b·(c+ε)·(a·c)*` with
+//! `a, b` hidden shows the repair picks `r(b, c, a, c)` (distance 1)
+//! although the user appended the new `c` *after* the existing one, so
+//! `r(b, a, c, a, c)` is the faithful source — which is exactly what the
+//! propagation-graph solution produces.
+
+use crate::ted::tree_edit_distance;
+use xvu_dtd::{min_sizes, Dtd, InsertletPackage};
+use xvu_edit::{output_tree, Script};
+use xvu_propagate::{CostModel, InversionForest, PropagateError};
+use xvu_tree::{DocTree, NodeIdGen};
+use xvu_view::Annotation;
+
+/// The outcome of a repair-based update.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The chosen new source document (identifiers are fresh/meaningless —
+    /// this approach cannot preserve them, which is its flaw).
+    pub chosen: DocTree,
+    /// Tree edit distance from the old source to the chosen document.
+    pub distance: usize,
+    /// How many inverse candidates were scored.
+    pub candidates_considered: usize,
+}
+
+/// Knobs for [`repair_based_update`].
+#[derive(Clone, Debug)]
+pub struct RepairConfig {
+    /// Maximum number of inverse candidates to enumerate per view node.
+    pub candidate_cap: usize,
+    /// Maximum inversion-path length per view node (bounds padding).
+    pub max_path_len: usize,
+    /// Witness materialisation budget.
+    pub witness_budget: u64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> RepairConfig {
+        RepairConfig {
+            candidate_cap: 200,
+            max_path_len: 24,
+            witness_budget: 10_000,
+        }
+    }
+}
+
+/// Runs the repair-based view update: enumerate (bounded) inverses of the
+/// updated view, return the candidate closest to `source` by tree edit
+/// distance.
+pub fn repair_based_update(
+    dtd: &Dtd,
+    ann: &Annotation,
+    alphabet_len: usize,
+    source: &DocTree,
+    update: &Script,
+    cfg: &RepairConfig,
+) -> Result<RepairOutcome, PropagateError> {
+    let updated_view = output_tree(update).ok_or_else(|| {
+        PropagateError::InvalidInstance("update deletes the view root".to_owned())
+    })?;
+    let sizes = min_sizes(dtd, alphabet_len);
+    let insertlets = InsertletPackage::new();
+    let cost = CostModel {
+        sizes: &sizes,
+        insertlets: &insertlets,
+    };
+    let forest = InversionForest::build(dtd, ann, &updated_view, &cost)?;
+    let mut gen = NodeIdGen::starting_at(1_000_000_000);
+    let candidates = forest.enumerate_inverses(
+        dtd,
+        &cost,
+        &mut gen,
+        cfg.witness_budget,
+        cfg.candidate_cap,
+        cfg.max_path_len,
+    )?;
+    let scored = candidates
+        .into_iter()
+        .map(|c| {
+            let d = tree_edit_distance(source, &c);
+            (d, c)
+        })
+        .collect::<Vec<_>>();
+    let candidates_considered = scored.len();
+    let (distance, chosen) = scored
+        .into_iter()
+        .min_by_key(|(d, c)| (*d, c.size()))
+        .ok_or(PropagateError::InversionImpossible(updated_view.root()))?;
+    Ok(RepairOutcome {
+        chosen,
+        distance,
+        candidates_considered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_propagate::{propagate, Config, Instance};
+    use xvu_tree::{parse_term, to_term, Alphabet, NodeIdGen};
+    use xvu_workload::paper::d3_repair_pitfall;
+
+    #[test]
+    fn d3_repair_picks_the_wrong_source() {
+        // The paper's §6.2 argument, end to end.
+        let (fx, t, s, _gen) = d3_repair_pitfall();
+        let out = repair_based_update(&fx.dtd, &fx.ann, fx.alpha.len(), &t, &s, &RepairConfig::default())
+            .unwrap();
+        // Repair chooses the TED-closest inverse r(b, c, a, c)…
+        assert_eq!(to_term(&out.chosen, &fx.alpha), "r(b, c, a, c)");
+        assert_eq!(out.distance, 1);
+        assert!(out.candidates_considered >= 2);
+
+        // …whereas the propagation-graph solution yields r(b, a, c, a, c),
+        // keeping the existing hidden (a) group before the old c.
+        let inst = Instance::new(&fx.dtd, &fx.ann, &t, &s, fx.alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        let new_source = xvu_edit::output_tree(&prop.script).unwrap();
+        assert_eq!(to_term(&new_source, &fx.alpha), "r(b, a, c, a, c)");
+        // and the propagation preserves the identifier of the untouched c.
+        assert!(new_source.contains(xvu_tree::NodeId(3)));
+        // the repair's choice and the propagation's choice are different
+        // trees even up to isomorphism — the baseline is wrong, not just
+        // differently-labeled.
+        assert!(!out.chosen.isomorphic(&new_source));
+    }
+
+    #[test]
+    fn repair_is_exact_when_no_positional_ambiguity_exists() {
+        // With nothing hidden, the inverse is unique and repair agrees
+        // with propagation up to isomorphism.
+        let mut alpha = Alphabet::new();
+        let dtd = xvu_dtd::parse_dtd(&mut alpha, "r -> a*").unwrap();
+        let ann = xvu_view::Annotation::all_visible();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, "r(a, a)").unwrap();
+        // append an a in the (identity) view
+        let view = xvu_view::extract_view(&ann, &t);
+        let mut b = xvu_edit::UpdateBuilder::new(&view);
+        let new_a = parse_term(&mut alpha, &mut gen, "a").unwrap();
+        b.insert(view.root(), 2, new_a).unwrap();
+        let s = b.finish();
+        let out =
+            repair_based_update(&dtd, &ann, alpha.len(), &t, &s, &RepairConfig::default())
+                .unwrap();
+        assert_eq!(to_term(&out.chosen, &alpha), "r(a, a, a)");
+        assert_eq!(out.distance, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! The repair-based baseline for view updates (paper §6.2).
+//!
+//! The paper contrasts its propagation graphs with an obvious alternative
+//! built on XML repairing: close the inverses of the updated view under
+//! isomorphism and pick the tree-edit-distance-closest one to the old
+//! source. This crate implements that baseline from scratch —
+//! [`tree_edit_distance`] is a full Zhang–Shasha implementation — so the
+//! paper's inadequacy argument (the `D3` example, experiment E10) can be
+//! reproduced executable-y rather than rhetorically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod ted;
+
+pub use baseline::{repair_based_update, RepairConfig, RepairOutcome};
+pub use ted::{tree_edit_distance, tree_edit_distance_with, TedCosts};

@@ -1,0 +1,318 @@
+//! Zhang–Shasha tree edit distance for ordered labeled trees.
+//!
+//! The repair-based alternative the paper discusses (§6.2, citing [26])
+//! needs "the tree closest to the original tree" — the classic ordered
+//! tree edit distance with insert / delete / relabel operations. This is
+//! the Zhang–Shasha `O(n² · m²)`-worst-case dynamic program over leftmost
+//! leaves and keyroots, implemented from scratch.
+//!
+//! Identifiers are ignored: the distance compares labels and shape only,
+//! which is exactly the information loss the paper criticises.
+
+use xvu_tree::Tree;
+
+/// Operation costs for the edit distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TedCosts {
+    /// Cost of inserting a node.
+    pub insert: usize,
+    /// Cost of deleting a node.
+    pub delete: usize,
+    /// Cost of relabeling a node.
+    pub relabel: usize,
+}
+
+impl Default for TedCosts {
+    fn default() -> TedCosts {
+        TedCosts {
+            insert: 1,
+            delete: 1,
+            relabel: 1,
+        }
+    }
+}
+
+/// Computes the ordered tree edit distance between `t1` and `t2` with unit
+/// costs.
+pub fn tree_edit_distance<L: Eq + Copy>(t1: &Tree<L>, t2: &Tree<L>) -> usize {
+    tree_edit_distance_with(t1, t2, TedCosts::default())
+}
+
+/// Computes the ordered tree edit distance with explicit costs.
+pub fn tree_edit_distance_with<L: Eq + Copy>(
+    t1: &Tree<L>,
+    t2: &Tree<L>,
+    costs: TedCosts,
+) -> usize {
+    let a = Indexed::new(t1);
+    let b = Indexed::new(t2);
+    let (n, m) = (a.len(), b.len());
+    // treedist[i][j], 1-based over postorder indices
+    let mut td = vec![vec![0usize; m + 1]; n + 1];
+
+    for &i in &a.keyroots {
+        for &j in &b.keyroots {
+            forest_dist(&a, &b, i, j, &mut td, costs);
+        }
+    }
+    td[n][m]
+}
+
+/// Postorder-indexed view of a tree (1-based indices, Zhang–Shasha
+/// convention).
+struct Indexed<L> {
+    labels: Vec<L>,
+    /// `lml[i]` = postorder index of the leftmost leaf of node `i`.
+    lml: Vec<usize>,
+    keyroots: Vec<usize>,
+}
+
+impl<L: Copy> Indexed<L> {
+    fn new(t: &Tree<L>) -> Indexed<L> {
+        let order: Vec<_> = t.postorder().collect();
+        let index_of = |id: xvu_tree::NodeId| -> usize {
+            order.iter().position(|&n| n == id).expect("node in order") + 1
+        };
+        let mut labels = Vec::with_capacity(order.len() + 1);
+        let mut lml = vec![0usize; order.len() + 1];
+        labels.push(t.label(t.root())); // dummy at 0, never read
+        for (k, &id) in order.iter().enumerate() {
+            labels.push(t.label(id));
+            // leftmost leaf: descend first children
+            let mut cur = id;
+            while let Some(&first) = t.children(cur).first() {
+                cur = first;
+            }
+            lml[k + 1] = index_of(cur);
+        }
+        // keyroots: i is a keyroot iff no j > i has lml[j] == lml[i]
+        let mut keyroots = Vec::new();
+        for i in 1..=order.len() {
+            if !(i + 1..=order.len()).any(|j| lml[j] == lml[i]) {
+                keyroots.push(i);
+            }
+        }
+        Indexed {
+            labels,
+            lml,
+            keyroots,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len() - 1
+    }
+}
+
+fn forest_dist<L: Eq + Copy>(
+    a: &Indexed<L>,
+    b: &Indexed<L>,
+    i: usize,
+    j: usize,
+    td: &mut [Vec<usize>],
+    costs: TedCosts,
+) {
+    let (li, lj) = (a.lml[i], b.lml[j]);
+    let (ni, nj) = (i - li + 2, j - lj + 2);
+    // fd[x][y]: distance between forests a[li..li+x-1] and b[lj..lj+y-1]
+    let mut fd = vec![vec![0usize; nj]; ni];
+    for x in 1..ni {
+        fd[x][0] = fd[x - 1][0] + costs.delete;
+    }
+    for y in 1..nj {
+        fd[0][y] = fd[0][y - 1] + costs.insert;
+    }
+    for x in 1..ni {
+        let i1 = li + x - 1;
+        for y in 1..nj {
+            let j1 = lj + y - 1;
+            if a.lml[i1] == li && b.lml[j1] == lj {
+                let rel = if a.labels[i1] == b.labels[j1] {
+                    0
+                } else {
+                    costs.relabel
+                };
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[x - 1][y - 1] + rel);
+                td[i1][j1] = fd[x][y];
+            } else {
+                let fx = a.lml[i1] - li;
+                let fy = b.lml[j1] - lj;
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[fx][fy] + td[i1][j1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_tree::{parse_term, Alphabet, DocTree, NodeIdGen};
+
+    fn t(alpha: &mut Alphabet, s: &str) -> DocTree {
+        let mut gen = NodeIdGen::new();
+        parse_term(alpha, &mut gen, s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_distance_zero() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r(a, b(c), d)");
+        let b = t(&mut alpha, "r(a, b(c), d)");
+        assert_eq!(tree_edit_distance(&a, &b), 0);
+    }
+
+    #[test]
+    fn single_operations() {
+        let mut alpha = Alphabet::new();
+        let base = t(&mut alpha, "r(a, b)");
+        assert_eq!(tree_edit_distance(&base, &t(&mut alpha, "r(a, b, c)")), 1);
+        assert_eq!(tree_edit_distance(&base, &t(&mut alpha, "r(a)")), 1);
+        assert_eq!(tree_edit_distance(&base, &t(&mut alpha, "r(a, c)")), 1);
+        assert_eq!(tree_edit_distance(&base, &t(&mut alpha, "x(a, b)")), 1);
+    }
+
+    #[test]
+    fn paper_d3_distances() {
+        // t = r(b, a, c); candidates t1 = r(b, c, a, c), t2 = r(b, a, c, a, c)
+        let mut alpha = Alphabet::new();
+        let orig = t(&mut alpha, "r(b, a, c)");
+        let t1 = t(&mut alpha, "r(b, c, a, c)");
+        let t2 = t(&mut alpha, "r(b, a, c, a, c)");
+        assert_eq!(tree_edit_distance(&orig, &t1), 1);
+        assert_eq!(tree_edit_distance(&orig, &t2), 2);
+    }
+
+    #[test]
+    fn nested_restructure() {
+        let mut alpha = Alphabet::new();
+        // classic zhang-shasha example shape
+        let a = t(&mut alpha, "f(d(a, c(b)), e)");
+        let b = t(&mut alpha, "f(c(d(a, b)), e)");
+        assert_eq!(tree_edit_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn deep_chain_vs_leaf() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "a(a(a(a(a))))");
+        let b = t(&mut alpha, "a");
+        assert_eq!(tree_edit_distance(&a, &b), 4);
+    }
+
+    #[test]
+    fn symmetry_with_unit_costs() {
+        let mut alpha = Alphabet::new();
+        let pairs = [
+            ("r(a, b(c), d)", "r(b(c, a), d)"),
+            ("r", "r(a, b, c)"),
+            ("f(d(a, c(b)), e)", "f(c(d(a, b)), e)"),
+        ];
+        for (x, y) in pairs {
+            let a = t(&mut alpha, x);
+            let b = t(&mut alpha, y);
+            assert_eq!(
+                tree_edit_distance(&a, &b),
+                tree_edit_distance(&b, &a),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_small_trees() {
+        // Exhaustive cross-check against a naive recursive forest distance.
+        use std::collections::HashMap;
+
+        type Forest = Vec<BTree>;
+        #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+        struct BTree {
+            label: u32,
+            children: Vec<BTree>,
+        }
+
+        fn to_btree(t: &DocTree, n: xvu_tree::NodeId) -> BTree {
+            BTree {
+                label: t.label(n).index() as u32,
+                children: t.children(n).iter().map(|&c| to_btree(t, c)).collect(),
+            }
+        }
+        fn size(f: &[BTree]) -> usize {
+            f.iter().map(|t| 1 + size(&t.children)).sum()
+        }
+        fn fdist(f1: &[BTree], f2: &[BTree], memo: &mut HashMap<(Forest, Forest), usize>) -> usize {
+            if f1.is_empty() {
+                return size(f2);
+            }
+            if f2.is_empty() {
+                return size(f1);
+            }
+            let key = (f1.to_vec(), f2.to_vec());
+            if let Some(&d) = memo.get(&key) {
+                return d;
+            }
+            // rightmost trees
+            let (r1, rest1) = f1.split_last().unwrap();
+            let (r2, rest2) = f2.split_last().unwrap();
+            // delete root of r1
+            let mut del_f = rest1.to_vec();
+            del_f.extend(r1.children.iter().cloned());
+            let d_del = fdist(&del_f, f2, memo) + 1;
+            // insert root of r2
+            let mut ins_f = rest2.to_vec();
+            ins_f.extend(r2.children.iter().cloned());
+            let d_ins = fdist(f1, &ins_f, memo) + 1;
+            // match roots
+            let rel = usize::from(r1.label != r2.label);
+            let d_match =
+                fdist(rest1, rest2, memo) + fdist(&r1.children, &r2.children, memo) + rel;
+            let d = d_del.min(d_ins).min(d_match);
+            memo.insert(key, d);
+            d
+        }
+
+        let mut alpha = Alphabet::new();
+        let shapes = [
+            "r",
+            "r(a)",
+            "r(a, b)",
+            "r(b, a)",
+            "r(a(b), c)",
+            "r(c, a(b))",
+            "r(a(b, c))",
+            "r(a, a, a)",
+            "a(r)",
+            "r(b(a), b(a))",
+        ];
+        let trees: Vec<DocTree> = shapes.iter().map(|s| t(&mut alpha, s)).collect();
+        for x in &trees {
+            for y in &trees {
+                let fast = tree_edit_distance(x, y);
+                let mut memo = HashMap::new();
+                let slow = fdist(
+                    &[to_btree(x, x.root())],
+                    &[to_btree(y, y.root())],
+                    &mut memo,
+                );
+                assert_eq!(fast, slow, "mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn custom_costs() {
+        let mut alpha = Alphabet::new();
+        let a = t(&mut alpha, "r(a)");
+        let b = t(&mut alpha, "r(b)");
+        // relabel twice as expensive as delete+insert ⇒ distance 2
+        let costs = TedCosts {
+            insert: 1,
+            delete: 1,
+            relabel: 3,
+        };
+        assert_eq!(tree_edit_distance_with(&a, &b, costs), 2);
+    }
+}

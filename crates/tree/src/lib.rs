@@ -1,0 +1,56 @@
+//! Ordered, labeled trees with persistent node identifiers.
+//!
+//! This crate implements the tree data model of Section 2 of
+//! *"The View Update Problem for XML"* (Staworko, Boneva, Groz; EDBT/ICDT
+//! Workshops 2010). A tree over an alphabet `Σ` is a structure
+//! `t = (Σ, N_t, ↓_t, <_t, λ_t)` where `N_t` is a finite set of **node
+//! identifiers**, `↓_t` the descendant relation, `<_t` the following-sibling
+//! relation, and `λ_t : N_t → Σ` the labeling.
+//!
+//! Two properties of this model drive the design:
+//!
+//! * **Node identifiers are persistent and global.** Identifiers are the
+//!   bridge between a source document, its view, and the trees produced by
+//!   editing scripts; equality of trees is identifier-sensitive and must not
+//!   be confused with isomorphism. [`NodeId`]s are therefore explicit values
+//!   allocated from a [`NodeIdGen`], never implicit array indices.
+//! * **Trees are ordered and ranked-free.** Every node carries an ordered
+//!   sequence of children of arbitrary length; sibling order is semantically
+//!   meaningful (it is what DTD content models constrain).
+//!
+//! The tree type is generic in its label type: documents are
+//! `Tree<Sym>` (see [`Sym`], interned via [`Alphabet`]) while editing
+//! scripts in the `xvu-edit` crate reuse the same structure over an edit
+//! alphabet.
+//!
+//! # Example
+//!
+//! ```
+//! use xvu_tree::{Alphabet, NodeIdGen, parse_term};
+//!
+//! let mut alpha = Alphabet::new();
+//! let mut gen = NodeIdGen::new();
+//! let t = parse_term(&mut alpha, &mut gen, "r(a, b(c), a)").unwrap();
+//! assert_eq!(t.size(), 5);
+//! let r = alpha.get("r").unwrap();
+//! assert_eq!(t.label(t.root()), r);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+mod build;
+mod error;
+mod iter;
+mod node;
+mod term;
+mod tree;
+
+pub use alphabet::{Alphabet, Sym};
+pub use build::TreeBuilder;
+pub use error::TreeError;
+pub use iter::{Postorder, Preorder};
+pub use node::{Node, NodeId, NodeIdGen};
+pub use term::{parse_term, parse_term_with_ids, to_term, to_term_with_ids};
+pub use tree::{DocTree, Tree};

@@ -1,0 +1,282 @@
+//! Term syntax for document trees.
+//!
+//! The paper denotes trees as terms over `Σ` when node identifiers are
+//! irrelevant — e.g. `r(b, a, c)` — and as identifier-annotated pictures in
+//! figures. We support both:
+//!
+//! * `parse_term` reads plain terms, allocating fresh identifiers;
+//! * `parse_term_with_ids` additionally accepts `label#id` to pin explicit
+//!   identifiers (used to encode the paper's figures exactly).
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! term  ::= label ('#' nat)? ( '(' term (',' term)* ')' )?
+//! label ::= [A-Za-z_][A-Za-z0-9_-]*
+//! ```
+
+use crate::alphabet::Alphabet;
+use crate::error::TreeError;
+use crate::node::{NodeId, NodeIdGen};
+use crate::tree::{DocTree, Tree};
+
+/// Parses a plain term such as `r(a, b(c), a)`, interning labels and
+/// allocating fresh node identifiers from `gen`.
+pub fn parse_term(
+    alpha: &mut Alphabet,
+    gen: &mut NodeIdGen,
+    input: &str,
+) -> Result<DocTree, TreeError> {
+    let mut p = Parser::new(alpha, input, false);
+    let t = p.parse(gen)?;
+    Ok(t)
+}
+
+/// Parses a term in which every node may carry an explicit identifier,
+/// e.g. `r#0(a#1, b#2(c#7))`. Nodes without `#id` get fresh identifiers;
+/// `gen` is bumped past every explicit identifier so later fresh nodes never
+/// collide.
+pub fn parse_term_with_ids(
+    alpha: &mut Alphabet,
+    gen: &mut NodeIdGen,
+    input: &str,
+) -> Result<DocTree, TreeError> {
+    let mut p = Parser::new(alpha, input, true);
+    let t = p.parse(gen)?;
+    Ok(t)
+}
+
+/// Renders a tree as a plain term (identifiers omitted).
+pub fn to_term(tree: &DocTree, alpha: &Alphabet) -> String {
+    let mut out = String::new();
+    write_node(tree, alpha, tree.root(), false, &mut out);
+    out
+}
+
+/// Renders a tree as an identifier-annotated term (`label#id(...)`).
+pub fn to_term_with_ids(tree: &DocTree, alpha: &Alphabet) -> String {
+    let mut out = String::new();
+    write_node(tree, alpha, tree.root(), true, &mut out);
+    out
+}
+
+fn write_node(tree: &DocTree, alpha: &Alphabet, n: NodeId, ids: bool, out: &mut String) {
+    out.push_str(alpha.name(tree.label(n)));
+    if ids {
+        out.push('#');
+        out.push_str(&n.0.to_string());
+    }
+    let children = tree.children(n);
+    if !children.is_empty() {
+        out.push('(');
+        for (i, &c) in children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_node(tree, alpha, c, ids, out);
+        }
+        out.push(')');
+    }
+}
+
+struct Parser<'a> {
+    alpha: &'a mut Alphabet,
+    bytes: &'a [u8],
+    pos: usize,
+    allow_ids: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(alpha: &'a mut Alphabet, input: &'a str, allow_ids: bool) -> Parser<'a> {
+        Parser {
+            alpha,
+            bytes: input.as_bytes(),
+            pos: 0,
+            allow_ids,
+        }
+    }
+
+    fn parse(&mut self, gen: &mut NodeIdGen) -> Result<DocTree, TreeError> {
+        let t = self.term(gen)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing input after term"));
+        }
+        Ok(t)
+    }
+
+    fn term(&mut self, gen: &mut NodeIdGen) -> Result<DocTree, TreeError> {
+        self.skip_ws();
+        let label = self.label()?;
+        let sym = self.alpha.intern(&label);
+        let id = self.explicit_id(gen)?;
+        let mut tree = Tree::leaf_with_id(id, sym);
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                let child = self.term(gen)?;
+                let pos = tree.children(tree.root()).len();
+                tree.attach_subtree(tree.root(), pos, child)?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ')'")),
+                }
+            }
+        }
+        Ok(tree)
+    }
+
+    fn explicit_id(&mut self, gen: &mut NodeIdGen) -> Result<NodeId, TreeError> {
+        if self.allow_ids && self.peek() == Some(b'#') {
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return Err(self.err("expected digits after '#'"));
+            }
+            let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+            let raw: u64 = digits
+                .parse()
+                .map_err(|_| self.err("node identifier out of range"))?;
+            let id = NodeId(raw);
+            gen.bump_past(id);
+            Ok(id)
+        } else {
+            Ok(gen.fresh())
+        }
+    }
+
+    fn label(&mut self) -> Result<String, TreeError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.pos += 1,
+            _ => return Err(self.err("expected a label")),
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii")
+            .to_owned())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> TreeError {
+        TreeError::Parse {
+            at: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_term() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, "r(a, b(c), a)").unwrap();
+        assert_eq!(t.size(), 5);
+        let r = t.root();
+        assert_eq!(alpha.name(t.label(r)), "r");
+        let kids = t.children(r).to_vec();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(alpha.name(t.label(kids[1])), "b");
+        assert_eq!(t.children(kids[1]).len(), 1);
+    }
+
+    #[test]
+    fn parse_leaf() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, "  x ").unwrap();
+        assert_eq!(t.size(), 1);
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let src = "r(a, b(c, d), a)";
+        let t = parse_term(&mut alpha, &mut gen, src).unwrap();
+        assert_eq!(to_term(&t, &alpha), src);
+    }
+
+    #[test]
+    fn explicit_ids_are_honoured() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#7(c#10))").unwrap();
+        assert_eq!(t.root(), NodeId(0));
+        assert!(t.contains(NodeId(7)));
+        assert!(t.contains(NodeId(10)));
+        // gen must be bumped past 10
+        assert!(gen.peek().0 > 10);
+    }
+
+    #[test]
+    fn explicit_ids_round_trip() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let src = "r#0(a#1, b#7(c#10))";
+        let t = parse_term_with_ids(&mut alpha, &mut gen, src).unwrap();
+        assert_eq!(to_term_with_ids(&t, &alpha), src);
+    }
+
+    #[test]
+    fn duplicate_explicit_ids_rejected() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let r = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#1)");
+        assert!(matches!(r, Err(TreeError::DuplicateNodeId(_))));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        for bad in ["", "r(", "r(a,", "r(a))", "r(a b)", "(a)", "r#x"] {
+            let res = parse_term_with_ids(&mut alpha, &mut gen, bad);
+            assert!(res.is_err(), "input {bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn hash_in_plain_mode_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        assert!(parse_term(&mut alpha, &mut gen, "r#0").is_err());
+    }
+
+    #[test]
+    fn labels_allow_underscore_and_dash() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, "patient_record(lab-result)").unwrap();
+        assert_eq!(t.size(), 2);
+    }
+}

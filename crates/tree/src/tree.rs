@@ -1,0 +1,599 @@
+//! The tree structure itself.
+
+use crate::alphabet::Sym;
+use crate::error::TreeError;
+use crate::iter::{Postorder, Preorder};
+use crate::node::{Node, NodeId, NodeIdGen};
+use std::collections::HashMap;
+
+/// A document tree: labels are interned alphabet symbols.
+pub type DocTree = Tree<Sym>;
+
+/// An ordered, labeled, non-empty tree with persistent node identifiers.
+///
+/// The structure corresponds to `t = (Σ, N_t, ↓_t, <_t, λ_t)` from the
+/// paper: `N_t` is the key set of the node map, the descendant and sibling
+/// relations are induced by per-node parent/children links, and `λ_t` is the
+/// `label` field.
+///
+/// **Equality is identifier-sensitive**: `t == u` holds iff the trees have
+/// the same node-identifier set, the same labeling, and the same structure.
+/// Use [`Tree::isomorphic`] for identifier-oblivious comparison — the paper
+/// stresses that the two notions must not be confused.
+///
+/// The label type `L` is generic: documents use [`Sym`], editing scripts use
+/// an edit alphabet (`xvu-edit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tree<L> {
+    nodes: HashMap<NodeId, Node<L>>,
+    root: NodeId,
+}
+
+impl<L> Tree<L> {
+    /// Creates a single-node tree with a fresh identifier.
+    pub fn leaf(gen: &mut NodeIdGen, label: L) -> Tree<L> {
+        Tree::leaf_with_id(gen.fresh(), label)
+    }
+
+    /// Creates a single-node tree with an explicit identifier.
+    pub fn leaf_with_id(id: NodeId, label: L) -> Tree<L> {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            id,
+            Node {
+                id,
+                label,
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+        Tree { nodes, root: id }
+    }
+
+    /// The root node identifier.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The number of nodes, `|t|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether `id` is a node of this tree.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a node of this tree; use [`Tree::get`] for a
+    /// fallible lookup.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node<L> {
+        self.nodes
+            .get(&id)
+            .unwrap_or_else(|| panic!("node {id} not in tree"))
+    }
+
+    /// Fallible node lookup.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&Node<L>> {
+        self.nodes.get(&id)
+    }
+
+    /// The label of a node.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> L
+    where
+        L: Copy,
+    {
+        self.node(id).label
+    }
+
+    /// The ordered children of a node.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The sequence of child labels of `id` — the word that a DTD content
+    /// model constrains.
+    pub fn child_word(&self, id: NodeId) -> Vec<L>
+    where
+        L: Copy,
+    {
+        self.node(id)
+            .children
+            .iter()
+            .map(|&c| self.node(c).label)
+            .collect()
+    }
+
+    /// All node identifiers, in unspecified order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Pre-order (document-order) traversal from the root.
+    pub fn preorder(&self) -> Preorder<'_, L> {
+        Preorder::new(self, self.root)
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id`.
+    pub fn preorder_from(&self, id: NodeId) -> Preorder<'_, L> {
+        Preorder::new(self, id)
+    }
+
+    /// Post-order traversal from the root.
+    pub fn postorder(&self) -> Postorder<'_, L> {
+        Postorder::new(self, self.root)
+    }
+
+    /// Appends a fresh leaf child to `parent`, returning its identifier.
+    pub fn add_child(&mut self, parent: NodeId, gen: &mut NodeIdGen, label: L) -> NodeId {
+        let id = gen.fresh();
+        self.add_child_with_id(parent, id, label)
+            .expect("fresh id cannot collide");
+        id
+    }
+
+    /// Appends a leaf child with an explicit identifier.
+    pub fn add_child_with_id(
+        &mut self,
+        parent: NodeId,
+        id: NodeId,
+        label: L,
+    ) -> Result<(), TreeError> {
+        if !self.contains(parent) {
+            return Err(TreeError::UnknownNode(parent));
+        }
+        if self.contains(id) {
+            return Err(TreeError::DuplicateNodeId(id));
+        }
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                label,
+                parent: Some(parent),
+                children: Vec::new(),
+            },
+        );
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .children
+            .push(id);
+        Ok(())
+    }
+
+    /// Grafts `sub` as the `position`-th child of `parent`.
+    ///
+    /// The subtree keeps its identifiers; the identifier sets must be
+    /// disjoint.
+    pub fn attach_subtree(
+        &mut self,
+        parent: NodeId,
+        position: usize,
+        sub: Tree<L>,
+    ) -> Result<(), TreeError> {
+        if !self.contains(parent) {
+            return Err(TreeError::UnknownNode(parent));
+        }
+        let arity = self.node(parent).children.len();
+        if position > arity {
+            return Err(TreeError::PositionOutOfBounds {
+                node: parent,
+                position,
+                arity,
+            });
+        }
+        for id in sub.nodes.keys() {
+            if self.contains(*id) {
+                return Err(TreeError::DuplicateNodeId(*id));
+            }
+        }
+        let sub_root = sub.root;
+        for (id, mut node) in sub.nodes {
+            if id == sub_root {
+                node.parent = Some(parent);
+            }
+            self.nodes.insert(id, node);
+        }
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .children
+            .insert(position, sub_root);
+        Ok(())
+    }
+
+    /// Removes and returns the subtree rooted at `id`.
+    pub fn detach_subtree(&mut self, id: NodeId) -> Result<Tree<L>, TreeError> {
+        if !self.contains(id) {
+            return Err(TreeError::UnknownNode(id));
+        }
+        if id == self.root {
+            return Err(TreeError::CannotDetachRoot);
+        }
+        let parent = self.node(id).parent.expect("non-root has a parent");
+        let p = self.nodes.get_mut(&parent).expect("parent exists");
+        let pos = p
+            .children
+            .iter()
+            .position(|&c| c == id)
+            .expect("child listed in parent");
+        p.children.remove(pos);
+
+        let mut sub_nodes = HashMap::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = self.nodes.remove(&n).expect("descendant present");
+            stack.extend(node.children.iter().copied());
+            sub_nodes.insert(n, node);
+        }
+        sub_nodes
+            .get_mut(&id)
+            .expect("subtree root present")
+            .parent = None;
+        Ok(Tree {
+            nodes: sub_nodes,
+            root: id,
+        })
+    }
+
+    /// A clone of the subtree rooted at `id` (identifiers preserved) — the
+    /// paper's `t|_n`.
+    pub fn subtree(&self, id: NodeId) -> Tree<L>
+    where
+        L: Clone,
+    {
+        let mut nodes = HashMap::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let mut node = self.node(n).clone();
+            if n == id {
+                node.parent = None;
+            }
+            stack.extend(node.children.iter().copied());
+            nodes.insert(n, node);
+        }
+        Tree { nodes, root: id }
+    }
+
+    /// The number of nodes in the subtree rooted at `id`, `|t|_n|`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        let mut count = 0usize;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            count += 1;
+            stack.extend(self.node(n).children.iter().copied());
+        }
+        count
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Height of the tree (a leaf-only tree has height 0).
+    pub fn height(&self) -> usize {
+        self.preorder().map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// Maps the label of every node, preserving identifiers and structure.
+    pub fn map_labels<M>(&self, mut f: impl FnMut(NodeId, &L) -> M) -> Tree<M> {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|(&id, node)| {
+                (
+                    id,
+                    Node {
+                        id,
+                        label: f(id, &node.label),
+                        parent: node.parent,
+                        children: node.children.clone(),
+                    },
+                )
+            })
+            .collect();
+        Tree {
+            nodes,
+            root: self.root,
+        }
+    }
+
+    /// An isomorphic copy of this tree in which every node receives a fresh
+    /// identifier from `gen`.
+    ///
+    /// This is the "each time we use fresh nodes" operation of the paper's
+    /// graph traversals: template fragments (minimal witnesses, insertlets)
+    /// are instantiated with fresh identifiers on every insertion.
+    pub fn with_fresh_ids(&self, gen: &mut NodeIdGen) -> Tree<L>
+    where
+        L: Clone,
+    {
+        fn rec<L: Clone>(
+            src: &Tree<L>,
+            n: NodeId,
+            parent: Option<NodeId>,
+            gen: &mut NodeIdGen,
+            out: &mut HashMap<NodeId, Node<L>>,
+        ) -> NodeId {
+            let id = gen.fresh();
+            let mut children = Vec::with_capacity(src.children(n).len());
+            out.insert(
+                id,
+                Node {
+                    id,
+                    label: src.node(n).label.clone(),
+                    parent,
+                    children: Vec::new(),
+                },
+            );
+            for &c in src.children(n) {
+                children.push(rec(src, c, Some(id), gen, out));
+            }
+            out.get_mut(&id).expect("just inserted").children = children;
+            id
+        }
+        let mut nodes = HashMap::new();
+        let root = rec(self, self.root, None, gen, &mut nodes);
+        Tree { nodes, root }
+    }
+
+    /// Identifier-oblivious structural equality (same shape, same labels).
+    pub fn isomorphic(&self, other: &Tree<L>) -> bool
+    where
+        L: PartialEq,
+    {
+        fn rec<L: PartialEq>(a: &Tree<L>, an: NodeId, b: &Tree<L>, bn: NodeId) -> bool {
+            let na = a.node(an);
+            let nb = b.node(bn);
+            na.label == nb.label
+                && na.children.len() == nb.children.len()
+                && na
+                    .children
+                    .iter()
+                    .zip(nb.children.iter())
+                    .all(|(&ca, &cb)| rec(a, ca, b, cb))
+        }
+        rec(self, self.root, other, other.root)
+    }
+
+    /// Checks internal invariants: parent/child agreement, reachability of
+    /// exactly the node map from the root, no duplicate children.
+    ///
+    /// Intended for tests and debug assertions; all public mutators maintain
+    /// these invariants.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.node(self.root).parent.is_some() {
+            return Err(TreeError::Inconsistent("root has a parent".into()));
+        }
+        let mut seen = HashMap::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n, ()).is_some() {
+                return Err(TreeError::Inconsistent(format!(
+                    "node {n} reachable twice (cycle or shared child)"
+                )));
+            }
+            let node = self
+                .nodes
+                .get(&n)
+                .ok_or_else(|| TreeError::Inconsistent(format!("dangling child {n}")))?;
+            for &c in &node.children {
+                let child = self
+                    .nodes
+                    .get(&c)
+                    .ok_or_else(|| TreeError::Inconsistent(format!("dangling child {c}")))?;
+                if child.parent != Some(n) {
+                    return Err(TreeError::Inconsistent(format!(
+                        "child {c} does not point back to parent {n}"
+                    )));
+                }
+                stack.push(c);
+            }
+        }
+        if seen.len() != self.nodes.len() {
+            return Err(TreeError::Inconsistent(format!(
+                "{} nodes in map, {} reachable from root",
+                self.nodes.len(),
+                seen.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: usize) -> Sym {
+        Sym::from_index(i)
+    }
+
+    fn chain3() -> (DocTree, NodeId, NodeId, NodeId) {
+        // r(a(b))
+        let mut gen = NodeIdGen::new();
+        let mut t = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let a = t.add_child(r, &mut gen, sym(1));
+        let b = t.add_child(a, &mut gen, sym(2));
+        (t, r, a, b)
+    }
+
+    #[test]
+    fn leaf_tree_basics() {
+        let mut gen = NodeIdGen::new();
+        let t: DocTree = Tree::leaf(&mut gen, sym(0));
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.label(t.root()), sym(0));
+        assert!(t.children(t.root()).is_empty());
+        assert!(t.parent(t.root()).is_none());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn add_children_preserves_order() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let c1 = t.add_child(r, &mut gen, sym(1));
+        let c2 = t.add_child(r, &mut gen, sym(2));
+        assert_eq!(t.children(r), &[c1, c2]);
+        assert_eq!(t.child_word(r), vec![sym(1), sym(2)]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_preserves_ids_and_detaches_parent() {
+        let (t, _, a, b) = chain3();
+        let sub = t.subtree(a);
+        assert_eq!(sub.size(), 2);
+        assert_eq!(sub.root(), a);
+        assert!(sub.parent(a).is_none());
+        assert_eq!(sub.children(a), &[b]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_subtree_removes_descendants() {
+        let (mut t, r, a, b) = chain3();
+        let sub = t.detach_subtree(a).unwrap();
+        assert_eq!(t.size(), 1);
+        assert!(!t.contains(a));
+        assert!(!t.contains(b));
+        assert!(t.children(r).is_empty());
+        assert_eq!(sub.size(), 2);
+        t.validate().unwrap();
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_root_is_an_error() {
+        let (mut t, r, _, _) = chain3();
+        assert_eq!(t.detach_subtree(r), Err(TreeError::CannotDetachRoot));
+    }
+
+    #[test]
+    fn attach_subtree_at_position() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let c1 = t.add_child(r, &mut gen, sym(1));
+        let c3 = t.add_child(r, &mut gen, sym(3));
+        let sub: DocTree = Tree::leaf(&mut gen, sym(2));
+        let c2 = sub.root();
+        t.attach_subtree(r, 1, sub).unwrap();
+        assert_eq!(t.children(r), &[c1, c2, c3]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn attach_rejects_duplicate_ids() {
+        let (mut t, r, a, _) = chain3();
+        let dup: DocTree = Tree::leaf_with_id(a, sym(5));
+        assert_eq!(
+            t.attach_subtree(r, 0, dup),
+            Err(TreeError::DuplicateNodeId(a))
+        );
+    }
+
+    #[test]
+    fn attach_rejects_bad_position() {
+        let (mut t, r, _, _) = chain3();
+        let mut gen = NodeIdGen::starting_at(100);
+        let sub: DocTree = Tree::leaf(&mut gen, sym(4));
+        assert!(matches!(
+            t.attach_subtree(r, 5, sub),
+            Err(TreeError::PositionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn equality_is_identifier_sensitive() {
+        let mut g1 = NodeIdGen::new();
+        let mut g2 = NodeIdGen::starting_at(10);
+        let t1: DocTree = Tree::leaf(&mut g1, sym(0));
+        let t2: DocTree = Tree::leaf(&mut g2, sym(0));
+        assert_ne!(t1, t2);
+        assert!(t1.isomorphic(&t2));
+    }
+
+    #[test]
+    fn isomorphic_detects_label_and_shape_differences() {
+        let (t1, ..) = chain3();
+        let mut gen = NodeIdGen::starting_at(50);
+        let mut t2: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t2.root();
+        t2.add_child(r, &mut gen, sym(1));
+        assert!(!t1.isomorphic(&t2));
+    }
+
+    #[test]
+    fn subtree_size_and_depth() {
+        let (t, r, a, b) = chain3();
+        assert_eq!(t.subtree_size(r), 3);
+        assert_eq!(t.subtree_size(a), 2);
+        assert_eq!(t.subtree_size(b), 1);
+        assert_eq!(t.depth(r), 0);
+        assert_eq!(t.depth(b), 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn map_labels_preserves_structure() {
+        let (t, r, a, _) = chain3();
+        let mapped = t.map_labels(|_, &l| l.index() + 10);
+        assert_eq!(mapped.size(), 3);
+        assert_eq!(mapped.label(r), 10);
+        assert_eq!(mapped.label(a), 11);
+        assert_eq!(mapped.children(r), t.children(r));
+    }
+
+    #[test]
+    fn with_fresh_ids_is_isomorphic_and_disjoint() {
+        let (t, ..) = chain3();
+        let mut gen = NodeIdGen::starting_at(1000);
+        let u = t.with_fresh_ids(&mut gen);
+        assert!(t.isomorphic(&u));
+        assert_ne!(t, u);
+        for id in u.node_ids() {
+            assert!(!t.contains(id), "fresh copy reuses id {id}");
+        }
+        u.validate().unwrap();
+        // Sibling order must be preserved, not reversed.
+        let pre_t: Vec<_> = t.preorder().map(|n| t.label(n)).collect();
+        let pre_u: Vec<_> = u.preorder().map(|n| u.label(n)).collect();
+        assert_eq!(pre_t, pre_u);
+    }
+
+    #[test]
+    fn clone_equals_original() {
+        let (t, ..) = chain3();
+        let u = t.clone();
+        assert_eq!(t, u);
+    }
+}

@@ -1,0 +1,104 @@
+//! Stateful property tests: random sequences of tree operations maintain
+//! every structural invariant.
+
+use proptest::prelude::*;
+use xvu_tree::{Alphabet, NodeIdGen, Sym, Tree};
+
+/// One mutation step, interpreted against the current tree.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Add a leaf child under the node at (preorder index % size).
+    AddChild(usize, usize),
+    /// Detach the subtree at (preorder index % size), if not the root,
+    /// and reattach it under the root at position 0.
+    DetachReattach(usize),
+    /// Detach the subtree at (preorder index % size) and drop it.
+    DetachDrop(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<usize>(), 0usize..5).prop_map(|(n, l)| Op::AddChild(n, l)),
+        any::<usize>().prop_map(Op::DetachReattach),
+        any::<usize>().prop_map(Op::DetachDrop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_op_sequences_keep_invariants(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let alpha = Alphabet::from_labels(["a", "b", "c", "d", "e"]);
+        let mut gen = NodeIdGen::new();
+        let mut tree = Tree::leaf(&mut gen, alpha.get("a").unwrap());
+        let mut dropped = 0usize;
+        let mut added = 0usize;
+
+        for op in &ops {
+            let pre: Vec<_> = tree.preorder().collect();
+            match *op {
+                Op::AddChild(ix, l) => {
+                    let parent = pre[ix % pre.len()];
+                    tree.add_child(parent, &mut gen, Sym::from_index(l));
+                    added += 1;
+                }
+                Op::DetachReattach(ix) => {
+                    let n = pre[ix % pre.len()];
+                    if n != tree.root() {
+                        let sub = tree.detach_subtree(n).unwrap();
+                        let root = tree.root();
+                        tree.attach_subtree(root, 0, sub).unwrap();
+                    }
+                }
+                Op::DetachDrop(ix) => {
+                    let n = pre[ix % pre.len()];
+                    if n != tree.root() {
+                        let sub = tree.detach_subtree(n).unwrap();
+                        sub.validate().unwrap();
+                        dropped += sub.size();
+                    }
+                }
+            }
+            tree.validate().unwrap();
+        }
+
+        // conservation: initial 1 + added − dropped = final size
+        prop_assert_eq!(1 + added - dropped, tree.size());
+        // traversals agree with size
+        prop_assert_eq!(tree.preorder().count(), tree.size());
+        prop_assert_eq!(tree.postorder().count(), tree.size());
+        // subtree sizes at the root match the whole
+        prop_assert_eq!(tree.subtree_size(tree.root()), tree.size());
+        // a full clone round-trips equality
+        let copy = tree.clone();
+        prop_assert_eq!(&copy, &tree);
+        // fresh-id copies stay isomorphic
+        let fresh = tree.with_fresh_ids(&mut gen);
+        prop_assert!(fresh.isomorphic(&tree));
+        fresh.validate().unwrap();
+    }
+
+    /// `subtree` + `detach_subtree` agree (same shape and identifiers).
+    #[test]
+    fn subtree_and_detach_agree(ops in prop::collection::vec(arb_op(), 0..25), pick in any::<usize>()) {
+        let alpha = Alphabet::from_labels(["a", "b", "c"]);
+        let mut gen = NodeIdGen::new();
+        let mut tree = Tree::leaf(&mut gen, alpha.get("a").unwrap());
+        for op in &ops {
+            let pre: Vec<_> = tree.preorder().collect();
+            if let Op::AddChild(ix, l) = *op {
+                let parent = pre[ix % pre.len()];
+                tree.add_child(parent, &mut gen, Sym::from_index(l % 3));
+            }
+        }
+        let pre: Vec<_> = tree.preorder().collect();
+        let n = pre[pick % pre.len()];
+        if n != tree.root() {
+            let copied = tree.subtree(n);
+            let mut tree2 = tree.clone();
+            let detached = tree2.detach_subtree(n).unwrap();
+            prop_assert_eq!(copied, detached);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Annotations `A : Σ × Σ → {0,1}`.
+
+use std::collections::HashSet;
+use std::fmt;
+use xvu_tree::{Alphabet, Sym};
+
+/// An annotation selecting which children are visible under which parents.
+///
+/// `A(x, y) = 1` means "a `y`-labeled child of a visible `x`-labeled parent
+/// is visible"; `0` hides it (and, since visibility is upward closed, its
+/// whole subtree). Following the paper's convention for examples, pairs are
+/// **visible by default** and only the hidden pairs are stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Annotation {
+    hidden: HashSet<(Sym, Sym)>,
+}
+
+impl Annotation {
+    /// The all-visible annotation (the identity view).
+    pub fn all_visible() -> Annotation {
+        Annotation::default()
+    }
+
+    /// Sets `A(parent, child) = 0`.
+    pub fn hide(&mut self, parent: Sym, child: Sym) -> &mut Self {
+        self.hidden.insert((parent, child));
+        self
+    }
+
+    /// Sets `A(parent, child) = 1` (the default).
+    pub fn show(&mut self, parent: Sym, child: Sym) -> &mut Self {
+        self.hidden.remove(&(parent, child));
+        self
+    }
+
+    /// Evaluates `A(parent, child)`.
+    #[inline]
+    pub fn is_visible(&self, parent: Sym, child: Sym) -> bool {
+        !self.hidden.contains(&(parent, child))
+    }
+
+    /// Number of hidden pairs (the annotation's description size).
+    pub fn hidden_pairs(&self) -> usize {
+        self.hidden.len()
+    }
+
+    /// Iterates over the hidden `(parent, child)` pairs.
+    pub fn iter_hidden(&self) -> impl Iterator<Item = (Sym, Sym)> + '_ {
+        self.hidden.iter().copied()
+    }
+}
+
+/// Errors from [`parse_annotation`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnnotationParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for AnnotationParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "annotation parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AnnotationParseError {}
+
+/// Parses a textual annotation. One directive per line:
+///
+/// ```text
+/// # comments and blank lines are ignored
+/// hide r b
+/// hide r c
+/// show d c      # redundant (visible is the default) but allowed
+/// ```
+pub fn parse_annotation(
+    alpha: &mut Alphabet,
+    src: &str,
+) -> Result<Annotation, AnnotationParseError> {
+    let mut ann = Annotation::all_visible();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (verb, parent, child) = (parts.next(), parts.next(), parts.next());
+        if parts.next().is_some() {
+            return Err(AnnotationParseError {
+                line: lineno + 1,
+                msg: "expected 'hide|show parent child'".to_owned(),
+            });
+        }
+        match (verb, parent, child) {
+            (Some("hide"), Some(p), Some(c)) => {
+                let (p, c) = (alpha.intern(p), alpha.intern(c));
+                ann.hide(p, c);
+            }
+            (Some("show"), Some(p), Some(c)) => {
+                let (p, c) = (alpha.intern(p), alpha.intern(c));
+                ann.show(p, c);
+            }
+            _ => {
+                return Err(AnnotationParseError {
+                    line: lineno + 1,
+                    msg: format!("cannot parse directive {line:?}"),
+                })
+            }
+        }
+    }
+    Ok(ann)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_visible() {
+        let mut alpha = Alphabet::new();
+        let (r, a) = (alpha.intern("r"), alpha.intern("a"));
+        let ann = Annotation::all_visible();
+        assert!(ann.is_visible(r, a));
+        assert_eq!(ann.hidden_pairs(), 0);
+    }
+
+    #[test]
+    fn hide_and_show_round_trip() {
+        let mut alpha = Alphabet::new();
+        let (r, b) = (alpha.intern("r"), alpha.intern("b"));
+        let mut ann = Annotation::all_visible();
+        ann.hide(r, b);
+        assert!(!ann.is_visible(r, b));
+        ann.show(r, b);
+        assert!(ann.is_visible(r, b));
+    }
+
+    #[test]
+    fn parse_paper_a0() {
+        // A0(r,b) = A0(r,c) = 0, A0(d,a) = A0(d,b) = 0, rest 1.
+        let mut alpha = Alphabet::new();
+        let ann = parse_annotation(
+            &mut alpha,
+            "# paper A0\n\
+             hide r b\n\
+             hide r c\n\
+             hide d a\n\
+             hide d b\n",
+        )
+        .unwrap();
+        let g = |s: &str| alpha.get(s).unwrap();
+        assert!(ann.is_visible(g("r"), g("a")));
+        assert!(ann.is_visible(g("r"), g("d")));
+        assert!(!ann.is_visible(g("r"), g("b")));
+        assert!(!ann.is_visible(g("r"), g("c")));
+        assert!(!ann.is_visible(g("d"), g("a")));
+        assert!(!ann.is_visible(g("d"), g("b")));
+        assert!(ann.is_visible(g("d"), g("c")));
+        assert_eq!(ann.hidden_pairs(), 4);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let mut alpha = Alphabet::new();
+        for bad in ["hide r", "frobnicate r b", "hide r b c", "hide"] {
+            assert!(parse_annotation(&mut alpha, bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let mut alpha = Alphabet::new();
+        let ann = parse_annotation(&mut alpha, "hide r b # secret\n").unwrap();
+        assert_eq!(ann.hidden_pairs(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Annotation-defined XML views (paper §2).
+//!
+//! A view is obtained by *hiding* selected parts of a source document: an
+//! [`Annotation`] `A : Σ × Σ → {0,1}` decides, per (parent label, child
+//! label) pair, whether a child of a visible parent is visible. The root is
+//! always visible and visibility is upward closed, so hiding a node hides
+//! its whole subtree. This view class performs no restructuring; its
+//! flagship application is secure access to XML documents (security views).
+//!
+//! Provided operations:
+//!
+//! * [`visible_nodes`] / [`extract_view`] — compute `⟦A⟧_t` and `A(t)`,
+//!   preserving node identifiers (the identifiers are what ties views back
+//!   to their sources during update propagation);
+//! * [`derive_view_dtd`] — a DTD for the view language `A(L(D))`, used to
+//!   check that user updates produce legal views;
+//! * [`parse_annotation`] — a small textual syntax for annotations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annotation;
+mod view;
+mod viewdtd;
+
+pub use annotation::{parse_annotation, Annotation, AnnotationParseError};
+pub use view::{extract_view, hidden_count, visible_nodes};
+pub use viewdtd::derive_view_dtd;

@@ -1,0 +1,125 @@
+//! Deriving the view DTD from a source DTD and an annotation.
+//!
+//! The paper remarks (§2): *"a DTD capturing `A(L(D))` can be easily
+//! derived from `D` and `A`. For instance, the view DTD for `D0` and `A0`
+//! is `r → (a·d)*`, `d → c*`."*
+//!
+//! A visible node labeled `x` has as visible children exactly its children
+//! with `A(x, y) = 1`, in order; hidden children vanish with their
+//! subtrees. The view content model of `x` is therefore the image of
+//! `L(D(x))` under the morphism erasing invisible symbols — computed by
+//! [`xvu_automata::Nfa::erase_symbols`].
+
+use crate::annotation::Annotation;
+use xvu_dtd::Dtd;
+use xvu_tree::Sym;
+
+/// Derives a DTD for the view language `A(L(D))`.
+///
+/// The result has a rule for every label that has one in `dtd`; content
+/// models are erased and trimmed. Note that the derived DTD constrains
+/// *view* trees — it is what `Out(S) ∈ A(L(D))` is checked against.
+pub fn derive_view_dtd(dtd: &Dtd, ann: &Annotation, alphabet_len: usize) -> Dtd {
+    let mut out = Dtd::new();
+    for label in dtd.ruled_labels() {
+        let _ = alphabet_len; // alphabet length only documents intent here
+        let erased = dtd
+            .content_model(label)
+            .erase_symbols(|y: Sym| !ann.is_visible(label, y))
+            .trim();
+        out.set_rule_nfa(label, erased);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::parse_annotation;
+    use crate::view::extract_view;
+    use xvu_automata::{glushkov, parse_regex, Dfa};
+    use xvu_dtd::parse_dtd;
+    use xvu_tree::{parse_term, Alphabet, NodeIdGen};
+
+    #[test]
+    fn paper_view_dtd_for_d0_a0() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+        let ann =
+            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+
+        // Expected: r → (a·d)*, d → c*
+        let expect_r = glushkov(&parse_regex(&mut alpha, "(a.d)*").unwrap());
+        let expect_d = glushkov(&parse_regex(&mut alpha, "c*").unwrap());
+        let r = alpha.get("r").unwrap();
+        let d = alpha.get("d").unwrap();
+        let got_r = Dfa::determinize(view_dtd.content_model(r), alpha.len()).minimize();
+        let got_d = Dfa::determinize(view_dtd.content_model(d), alpha.len()).minimize();
+        assert!(got_r.equivalent(&Dfa::determinize(&expect_r, alpha.len()).minimize()));
+        assert!(got_d.equivalent(&Dfa::determinize(&expect_d, alpha.len()).minimize()));
+    }
+
+    #[test]
+    fn views_of_valid_documents_satisfy_view_dtd() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+        let ann =
+            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+
+        let mut gen = NodeIdGen::new();
+        for term in [
+            "r",
+            "r(a, b, d)",
+            "r(a, c, d(a, c), a, b, d(b, c, a, c))",
+            "r(a, b, d(a, c), a, c, d(b, c))",
+        ] {
+            let t = parse_term(&mut alpha, &mut gen, term).unwrap();
+            assert!(dtd.is_valid(&t), "source {term} must be valid");
+            let v = extract_view(&ann, &t);
+            assert!(view_dtd.is_valid(&v), "view of {term} must satisfy view DTD");
+        }
+    }
+
+    #[test]
+    fn view_dtd_rejects_non_view_trees() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+        let ann =
+            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+        let mut gen = NodeIdGen::new();
+        // d before a is not a view of any valid document
+        let bad = parse_term(&mut alpha, &mut gen, "r(d, a)").unwrap();
+        assert!(!view_dtd.is_valid(&bad));
+        // b must never appear in a view under r
+        let bad2 = parse_term(&mut alpha, &mut gen, "r(a, b, d)").unwrap();
+        assert!(!view_dtd.is_valid(&bad2));
+    }
+
+    #[test]
+    fn all_visible_gives_equivalent_dtd() {
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.b)*").unwrap();
+        let view_dtd = derive_view_dtd(&dtd, &Annotation::all_visible(), alpha.len());
+        let r = alpha.get("r").unwrap();
+        let d1 = Dfa::determinize(dtd.content_model(r), alpha.len());
+        let d2 = Dfa::determinize(view_dtd.content_model(r), alpha.len());
+        assert!(d1.equivalent(&d2));
+    }
+
+    #[test]
+    fn d3_example_view_dtd() {
+        // Paper §6.2: D3: r → b·(c+ε)·(a·c)*, A3 hides b and a under r.
+        // View DTD: r → c*.
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> b.(c+eps).(a.c)*").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r b\nhide r a").unwrap();
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+        let r = alpha.get("r").unwrap();
+        let expect = glushkov(&parse_regex(&mut alpha, "c*").unwrap());
+        let got = Dfa::determinize(view_dtd.content_model(r), alpha.len());
+        assert!(got.equivalent(&Dfa::determinize(&expect, alpha.len())));
+    }
+}

@@ -1,0 +1,58 @@
+//! Random annotations.
+//!
+//! Hides each `(parent, child)` label pair independently with probability
+//! `hide_prob`. Hiding is *harmless* for validity (any annotation defines
+//! a view), but a pair can make every update impossible only through the
+//! update generator's membership checks, so no rejection is needed here.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xvu_tree::{Alphabet, Sym};
+use xvu_view::Annotation;
+
+/// Generates an annotation over all label pairs of `alpha`. Deterministic
+/// in `seed`. `keep_root_label`, when set, is never hidden *under itself*
+/// — handy to keep recursive spines visible.
+pub fn generate_annotation(
+    alpha: &Alphabet,
+    hide_prob: f64,
+    seed: u64,
+    keep_pairs: &[(Sym, Sym)],
+) -> Annotation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ann = Annotation::all_visible();
+    for p in alpha.syms() {
+        for c in alpha.syms() {
+            if rng.random_bool(hide_prob) && !keep_pairs.contains(&(p, c)) {
+                ann.hide(p, c);
+            }
+        }
+    }
+    ann
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_and_probability() {
+        let alpha = Alphabet::from_labels(["a", "b", "c", "d", "e"]);
+        let a1 = generate_annotation(&alpha, 0.5, 3, &[]);
+        let a2 = generate_annotation(&alpha, 0.5, 3, &[]);
+        assert_eq!(a1, a2);
+        let none = generate_annotation(&alpha, 0.0, 3, &[]);
+        assert_eq!(none.hidden_pairs(), 0);
+        let all = generate_annotation(&alpha, 1.0, 3, &[]);
+        assert_eq!(all.hidden_pairs(), 25);
+    }
+
+    #[test]
+    fn keep_pairs_are_respected() {
+        let alpha = Alphabet::from_labels(["a", "b"]);
+        let a = alpha.get("a").unwrap();
+        let ann = generate_annotation(&alpha, 1.0, 7, &[(a, a)]);
+        assert!(ann.is_visible(a, a));
+        assert_eq!(ann.hidden_pairs(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Random DTD generation.
+//!
+//! Generates *layered* DTDs: label `ℓ_i`'s content model only mentions
+//! labels `ℓ_j` with `j > i` (plus `ε` branches), which guarantees every
+//! label is satisfiable and documents have bounded depth — the regime the
+//! paper's polynomial algorithm is exercised in. Rule shapes are random
+//! regexes built from concatenation, alternation, star, and option.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xvu_automata::Regex;
+use xvu_dtd::Dtd;
+use xvu_tree::{Alphabet, Sym};
+
+/// Knobs for [`generate_dtd`].
+#[derive(Clone, Debug)]
+pub struct DtdGenConfig {
+    /// Number of labels (≥ 2). Label 0 is the designated root.
+    pub labels: usize,
+    /// Maximum regex AST depth per rule.
+    pub rule_depth: usize,
+    /// Probability that an iterated subexpression gets a `*`.
+    pub star_prob: f64,
+    /// Probability that a subexpression gets a `?`.
+    pub opt_prob: f64,
+    /// How many labels of the last layer stay rule-less leaves (at least
+    /// one always does).
+    pub leaf_fraction: f64,
+}
+
+impl Default for DtdGenConfig {
+    fn default() -> DtdGenConfig {
+        DtdGenConfig {
+            labels: 8,
+            rule_depth: 3,
+            star_prob: 0.4,
+            opt_prob: 0.2,
+            leaf_fraction: 0.3,
+        }
+    }
+}
+
+/// Generates a satisfiable layered DTD with labels `l0 … l{n-1}`, interned
+/// into `alpha`. Deterministic in `seed`.
+pub fn generate_dtd(alpha: &mut Alphabet, cfg: &DtdGenConfig, seed: u64) -> Dtd {
+    assert!(cfg.labels >= 2, "need at least a root and a leaf");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let syms: Vec<Sym> = (0..cfg.labels)
+        .map(|i| alpha.intern(&format!("l{i}")))
+        .collect();
+
+    let mut dtd = Dtd::new();
+    let n_leaves = ((cfg.labels as f64 * cfg.leaf_fraction) as usize).max(1);
+    let ruled = cfg.labels - n_leaves;
+    for i in 0..ruled {
+        // successors: strictly later labels
+        let succ = &syms[i + 1..];
+        let re = random_regex(&mut rng, succ, cfg, cfg.rule_depth);
+        dtd.set_rule(syms[i], &re);
+    }
+    dtd
+}
+
+fn random_regex(rng: &mut StdRng, succ: &[Sym], cfg: &DtdGenConfig, depth: usize) -> Regex {
+    let leaf = |rng: &mut StdRng| -> Regex {
+        let s = succ[rng.random_range(0..succ.len())];
+        Regex::sym(s)
+    };
+    let mut e = if depth == 0 || succ.is_empty() {
+        if succ.is_empty() {
+            Regex::Epsilon
+        } else {
+            leaf(rng)
+        }
+    } else {
+        match rng.random_range(0..3) {
+            0 => {
+                // concat of 2..=3
+                let n = rng.random_range(2..=3);
+                Regex::concat((0..n).map(|_| random_regex(rng, succ, cfg, depth - 1)))
+            }
+            1 => {
+                // alternation of 2..=3 (one branch may be ε)
+                let n = rng.random_range(2..=3);
+                let mut parts: Vec<Regex> = (0..n)
+                    .map(|_| random_regex(rng, succ, cfg, depth - 1))
+                    .collect();
+                if rng.random_bool(0.25) {
+                    parts.push(Regex::Epsilon);
+                }
+                Regex::alt(parts)
+            }
+            _ => leaf(rng),
+        }
+    };
+    if rng.random_bool(cfg.star_prob) {
+        e = Regex::star(e);
+    } else if rng.random_bool(cfg.opt_prob) {
+        e = Regex::opt(e);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_dtd::min_sizes;
+
+    #[test]
+    fn generated_dtds_are_satisfiable() {
+        for seed in 0..30 {
+            let mut alpha = Alphabet::new();
+            let cfg = DtdGenConfig::default();
+            let dtd = generate_dtd(&mut alpha, &cfg, seed);
+            let sizes = min_sizes(&dtd, alpha.len());
+            for s in alpha.syms() {
+                assert!(
+                    sizes.is_satisfiable(s),
+                    "seed {seed}: label {:?} unsatisfiable",
+                    alpha.name(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a1 = Alphabet::new();
+        let mut a2 = Alphabet::new();
+        let cfg = DtdGenConfig::default();
+        let d1 = generate_dtd(&mut a1, &cfg, 42);
+        let d2 = generate_dtd(&mut a2, &cfg, 42);
+        for s in a1.syms() {
+            assert_eq!(
+                d1.content_model(s),
+                d2.content_model(s),
+                "rule for {:?}",
+                a1.name(s)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a1 = Alphabet::new();
+        let mut a2 = Alphabet::new();
+        let cfg = DtdGenConfig::default();
+        let d1 = generate_dtd(&mut a1, &cfg, 1);
+        let d2 = generate_dtd(&mut a2, &cfg, 2);
+        let differs = a1
+            .syms()
+            .any(|s| d1.content_model(s) != d2.content_model(s));
+        assert!(differs);
+    }
+
+    #[test]
+    fn leaf_labels_have_no_rules() {
+        let mut alpha = Alphabet::new();
+        let cfg = DtdGenConfig {
+            labels: 10,
+            ..DtdGenConfig::default()
+        };
+        let dtd = generate_dtd(&mut alpha, &cfg, 7);
+        let last = alpha.get("l9").unwrap();
+        assert!(!dtd.has_rule(last));
+    }
+}

@@ -1,0 +1,29 @@
+//! Workloads for the view-update pipeline: paper fixtures, deterministic
+//! random generators, and the hospital security-view scenario.
+//!
+//! * [`paper`] — the paper's figures and complexity families as reusable
+//!   fixtures;
+//! * [`generate_dtd`] — random satisfiable layered DTDs;
+//! * [`generate_doc`] — random documents satisfying a DTD;
+//! * [`generate_annotation`] — random annotations;
+//! * [`generate_update`] — random *valid* view updates (membership-checked
+//!   against the derived view DTD);
+//! * [`scenario`] — the hospital security-view macro-benchmark workload.
+//!
+//! Every generator is deterministic in its seed, making experiments and
+//! failures reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anngen;
+mod docgen;
+mod dtdgen;
+pub mod paper;
+pub mod scenario;
+mod updategen;
+
+pub use anngen::generate_annotation;
+pub use docgen::{generate_doc, DocGenConfig};
+pub use dtdgen::{generate_dtd, DtdGenConfig};
+pub use updategen::{generate_update, UpdateGenConfig};

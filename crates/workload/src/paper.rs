@@ -1,0 +1,147 @@
+//! The paper's figures as public, reusable fixtures.
+//!
+//! Everything an example, bench, or integration test needs to replay the
+//! running example (Figures 1–10) and the two complexity families:
+//!
+//! * [`running_example`] — `t0` (Fig. 1), `D0` (Fig. 2), `A0` (Fig. 3),
+//!   `S0` (Fig. 4);
+//! * [`d1_infinite_propagations`] — `D1: r → (a·b*)*`, `A1` hiding `b`
+//!   (the infinitely-many-propagations example of §4);
+//! * [`d2_exponential_choices`] — `D2: r → (a·(b+c))*`, `A2` hiding `b`
+//!   and `c` (the `2^k` optimal-propagations family);
+//! * [`d3_repair_pitfall`] — `D3: r → b·(c+ε)·(a·c)*`, `A3` hiding `a`
+//!   and `b` (the §6.2 example where repair-based propagation picks the
+//!   wrong source).
+
+use xvu_dtd::{parse_dtd, Dtd};
+use xvu_edit::{parse_script, Script};
+use xvu_tree::{parse_term_with_ids, Alphabet, DocTree, NodeIdGen};
+use xvu_view::{parse_annotation, Annotation};
+
+/// The assembled running example of the paper.
+#[derive(Clone, Debug)]
+pub struct RunningExample {
+    /// Alphabet with `r, a, b, c, d` interned.
+    pub alpha: Alphabet,
+    /// Generator positioned beyond every fixture identifier.
+    pub gen: NodeIdGen,
+    /// `D0` (Fig. 2).
+    pub dtd: Dtd,
+    /// `A0` (Fig. 3).
+    pub ann: Annotation,
+    /// `t0` (Fig. 1).
+    pub t0: DocTree,
+    /// `S0` (Fig. 4).
+    pub s0: Script,
+}
+
+/// Builds the running example exactly as in the paper's figures.
+pub fn running_example() -> RunningExample {
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*")
+        .expect("D0 is well-formed");
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
+        .expect("A0 is well-formed");
+    let t0 = parse_term_with_ids(
+        &mut alpha,
+        &mut gen,
+        "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+    )
+    .expect("t0 is well-formed");
+    let s0 = parse_script(
+        &mut alpha,
+        "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+         ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+    )
+    .expect("S0 is well-formed");
+    for id in s0.node_ids() {
+        gen.bump_past(id);
+    }
+    RunningExample {
+        alpha,
+        gen,
+        dtd,
+        ann,
+        t0,
+        s0,
+    }
+}
+
+/// A (DTD, annotation) pair with its alphabet.
+#[derive(Clone, Debug)]
+pub struct SchemaFixture {
+    /// The alphabet.
+    pub alpha: Alphabet,
+    /// The DTD.
+    pub dtd: Dtd,
+    /// The annotation.
+    pub ann: Annotation,
+}
+
+/// `D1: r → (a·b*)*` with `b` hidden under `r` — a single visible insert
+/// admits infinitely many propagations (arbitrarily much `b` padding).
+pub fn d1_infinite_propagations() -> SchemaFixture {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.b*)*").expect("D1 is well-formed");
+    let ann = parse_annotation(&mut alpha, "hide r b").expect("A1 is well-formed");
+    SchemaFixture { alpha, dtd, ann }
+}
+
+/// `D2: r → (a·(b+c))*` with `b, c` hidden — inserting `k` visible `a`s
+/// has exactly `2^k` optimal propagations (experiment E7).
+pub fn d2_exponential_choices() -> SchemaFixture {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c))*").expect("D2 is well-formed");
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c").expect("A2 is well-formed");
+    SchemaFixture { alpha, dtd, ann }
+}
+
+/// The §6.2 example: `D3: r → b·(c+ε)·(a·c)*`, `A3` hides `a` and `b`.
+/// Source `t = r(b, a, c)`, view `r(c)`; appending a second `c` in the
+/// view is correctly propagated by inserting a *new* `(a·c)` group after
+/// the existing one — while tree-edit-distance repair prefers the wrong
+/// source `r(b, c, a, c)`.
+pub fn d3_repair_pitfall() -> (SchemaFixture, DocTree, Script, NodeIdGen) {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> b.(c+eps).(a.c)*").expect("D3 is well-formed");
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r a").expect("A3 is well-formed");
+    let mut gen = NodeIdGen::new();
+    let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(b#1, a#2, c#3)")
+        .expect("t is well-formed");
+    // View is r#0(c#3); the user appends c#4.
+    let s = parse_script(&mut alpha, "nop:r#0(nop:c#3, ins:c#4)").expect("S is well-formed");
+    gen.bump_past(xvu_tree::NodeId(4));
+    (SchemaFixture { alpha, dtd, ann }, t, s, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_view::extract_view;
+
+    #[test]
+    fn running_example_is_consistent() {
+        let fx = running_example();
+        assert!(fx.dtd.is_valid(&fx.t0));
+        let view = extract_view(&fx.ann, &fx.t0);
+        assert_eq!(view.size(), 7);
+        assert_eq!(xvu_edit::input_tree(&fx.s0).unwrap(), view);
+    }
+
+    #[test]
+    fn d3_fixture_matches_paper() {
+        let (fx, t, s, _) = d3_repair_pitfall();
+        assert!(fx.dtd.is_valid(&t));
+        let view = extract_view(&fx.ann, &t);
+        assert_eq!(view.size(), 2); // r(c)
+        assert_eq!(xvu_edit::input_tree(&s).unwrap(), view);
+        assert_eq!(xvu_edit::output_tree(&s).unwrap().size(), 3); // r(c, c)
+    }
+
+    #[test]
+    fn schema_fixtures_parse() {
+        let _ = d1_infinite_propagations();
+        let _ = d2_exponential_choices();
+    }
+}

@@ -1,0 +1,294 @@
+//! The hospital security-view scenario.
+//!
+//! The paper motivates annotation views with secure access to XML
+//! databases (security views, [9, 10] in the paper). This module models
+//! the folklore hospital example: a registrar-facing view hides clinical
+//! and billing details while allowing admissions and discharges, whose
+//! updates must be propagated to the full record.
+//!
+//! Documents are generated deterministically at a chosen scale, making
+//! this the macro-benchmark workload (experiment E12).
+
+use xvu_dtd::{parse_dtd, Dtd};
+use xvu_edit::{Script, UpdateBuilder};
+use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen, Tree};
+use xvu_view::{extract_view, parse_annotation, Annotation};
+
+/// The hospital schema, annotation, and alphabet.
+#[derive(Clone, Debug)]
+pub struct Hospital {
+    /// Alphabet with the hospital labels interned.
+    pub alpha: Alphabet,
+    /// The document schema.
+    pub dtd: Dtd,
+    /// The registrar view: clinical and billing material hidden.
+    pub ann: Annotation,
+}
+
+/// Builds the hospital schema:
+///
+/// ```text
+/// hospital   → department*
+/// department → patient*
+/// patient    → name . insurance? . record
+/// record     → diagnosis* . treatment* . billing?
+/// ```
+///
+/// The registrar view hides `insurance` under `patient` and `diagnosis`,
+/// `treatment`, `billing` under `record`.
+pub fn hospital() -> Hospital {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(
+        &mut alpha,
+        "hospital -> department*\n\
+         department -> patient*\n\
+         patient -> name.insurance?.record\n\
+         record -> diagnosis*.treatment*.billing?",
+    )
+    .expect("hospital DTD is well-formed");
+    let ann = parse_annotation(
+        &mut alpha,
+        "hide patient insurance\n\
+         hide record diagnosis\n\
+         hide record treatment\n\
+         hide record billing",
+    )
+    .expect("hospital annotation is well-formed");
+    Hospital { alpha, dtd, ann }
+}
+
+/// Deterministically builds a hospital document with `departments`
+/// departments of `patients_per_dept` patients each; every patient has a
+/// full record (insurance, two diagnoses, one treatment, billing).
+pub fn hospital_doc(
+    h: &Hospital,
+    departments: usize,
+    patients_per_dept: usize,
+    gen: &mut NodeIdGen,
+) -> DocTree {
+    let g = |s: &str| h.alpha.get(s).expect("hospital label");
+    let mut t = Tree::leaf(gen, g("hospital"));
+    let root = t.root();
+    for _ in 0..departments {
+        let d = t.add_child(root, gen, g("department"));
+        for _ in 0..patients_per_dept {
+            let p = t.add_child(d, gen, g("patient"));
+            t.add_child(p, gen, g("name"));
+            t.add_child(p, gen, g("insurance"));
+            let r = t.add_child(p, gen, g("record"));
+            t.add_child(r, gen, g("diagnosis"));
+            t.add_child(r, gen, g("diagnosis"));
+            t.add_child(r, gen, g("treatment"));
+            t.add_child(r, gen, g("billing"));
+        }
+    }
+    debug_assert!(h.dtd.is_valid(&t));
+    t
+}
+
+/// An admission: inserts a new patient (name + empty record, as seen in
+/// the registrar view) into the given department *as seen in the view*.
+///
+/// Returns the update script for the view of `doc`.
+pub fn admit_patient(
+    h: &Hospital,
+    doc: &DocTree,
+    department_index: usize,
+    gen: &mut NodeIdGen,
+) -> Script {
+    let g = |s: &str| h.alpha.get(s).expect("hospital label");
+    let view = extract_view(&h.ann, doc);
+    let dept = view.children(view.root())[department_index];
+
+    let mut patient = Tree::leaf(gen, g("patient"));
+    let proot = patient.root();
+    patient.add_child(proot, gen, g("name"));
+    patient.add_child(proot, gen, g("record"));
+
+    let mut b = UpdateBuilder::new(&view);
+    let pos = view.children(dept).len();
+    b.insert(dept, pos, patient).expect("admission is view-valid");
+    b.finish()
+}
+
+/// A discharge: deletes the `patient_index`-th patient of the
+/// `department_index`-th department from the view.
+pub fn discharge_patient(
+    h: &Hospital,
+    doc: &DocTree,
+    department_index: usize,
+    patient_index: usize,
+) -> Script {
+    let view = extract_view(&h.ann, doc);
+    let dept = view.children(view.root())[department_index];
+    let patient: NodeId = view.children(dept)[patient_index];
+    let mut b = UpdateBuilder::new(&view);
+    b.delete(patient).expect("discharge is view-valid");
+    b.finish()
+}
+
+/// The recursive *outline* scenario: a document of nested sections.
+///
+/// ```text
+/// section → title . (section + para)*
+/// title   → ε        para → note?
+/// ```
+///
+/// The reviewer's view hides paragraph bodies (`para` under `section`),
+/// leaving the pure section skeleton. Unlike the hospital schema this one
+/// is **recursive**, exercising propagation through arbitrarily deep
+/// `Nop` chains and view DTDs with self-reference.
+#[derive(Clone, Debug)]
+pub struct Outline {
+    /// Alphabet with the outline labels interned.
+    pub alpha: Alphabet,
+    /// The document schema.
+    pub dtd: Dtd,
+    /// The skeleton view.
+    pub ann: Annotation,
+}
+
+/// Builds the outline schema and its skeleton view.
+pub fn outline() -> Outline {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(
+        &mut alpha,
+        "section -> title.(section+para)*\n\
+         para -> note?",
+    )
+    .expect("outline DTD is well-formed");
+    let ann = parse_annotation(&mut alpha, "hide section para")
+        .expect("outline annotation is well-formed");
+    Outline { alpha, dtd, ann }
+}
+
+/// Deterministically builds a complete outline of the given `depth` and
+/// `fanout`: every section has a title, `fanout` subsections (until depth
+/// runs out), and two paragraphs (one with a note).
+pub fn outline_doc(o: &Outline, depth: usize, fanout: usize, gen: &mut NodeIdGen) -> DocTree {
+    let g = |s: &str| o.alpha.get(s).expect("outline label");
+    fn build(
+        o: &Outline,
+        t: &mut DocTree,
+        parent: NodeId,
+        depth: usize,
+        fanout: usize,
+        gen: &mut NodeIdGen,
+    ) {
+        let g = |s: &str| o.alpha.get(s).expect("outline label");
+        t.add_child(parent, gen, g("title"));
+        if depth > 0 {
+            for _ in 0..fanout {
+                let sub = t.add_child(parent, gen, g("section"));
+                build(o, t, sub, depth - 1, fanout, gen);
+            }
+        }
+        let p1 = t.add_child(parent, gen, g("para"));
+        t.add_child(p1, gen, g("note"));
+        t.add_child(parent, gen, g("para"));
+    }
+    let mut t = Tree::leaf(gen, g("section"));
+    let root = t.root();
+    build(o, &mut t, root, depth, fanout, gen);
+    debug_assert!(o.dtd.is_valid(&t));
+    t
+}
+
+/// Inserts a fresh (title-only) section as the last child of the section
+/// at `path` (a sequence of subsection indices in the *view*).
+pub fn add_section(o: &Outline, doc: &DocTree, path: &[usize], gen: &mut NodeIdGen) -> Script {
+    let g = |s: &str| o.alpha.get(s).expect("outline label");
+    let view = extract_view(&o.ann, doc);
+    let mut node = view.root();
+    for &ix in path {
+        // children of a section in the view: title, then subsections
+        let sections: Vec<NodeId> = view
+            .children(node)
+            .iter()
+            .copied()
+            .filter(|&c| view.label(c) == g("section"))
+            .collect();
+        node = sections[ix];
+    }
+    let mut fresh = Tree::leaf(gen, g("section"));
+    let froot = fresh.root();
+    fresh.add_child(froot, gen, g("title"));
+    let mut b = UpdateBuilder::new(&view);
+    let pos = view.children(node).len();
+    b.insert(node, pos, fresh).expect("view-valid");
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_edit::{check_is_update_of, output_tree};
+    use xvu_view::derive_view_dtd;
+
+    #[test]
+    fn documents_scale_and_validate() {
+        let h = hospital();
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 3, 4, &mut gen);
+        // 1 + 3 + 3*4*8 nodes
+        assert_eq!(doc.size(), 1 + 3 + 96);
+        assert!(h.dtd.is_valid(&doc));
+        let view = extract_view(&h.ann, &doc);
+        // view: hospital + 3 depts + 12 × (patient, name, record)
+        assert_eq!(view.size(), 1 + 3 + 36);
+    }
+
+    #[test]
+    fn admission_is_a_valid_view_update() {
+        let h = hospital();
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 2, 2, &mut gen);
+        let view = extract_view(&h.ann, &doc);
+        let s = admit_patient(&h, &doc, 1, &mut gen);
+        check_is_update_of(&s, &view).unwrap();
+        let out = output_tree(&s).unwrap();
+        let view_dtd = derive_view_dtd(&h.dtd, &h.ann, h.alpha.len());
+        view_dtd.validate(&out).unwrap();
+        assert_eq!(out.size(), view.size() + 3);
+    }
+
+    #[test]
+    fn outline_documents_scale_and_validate() {
+        let o = outline();
+        let mut gen = NodeIdGen::new();
+        let doc = outline_doc(&o, 3, 2, &mut gen);
+        assert!(o.dtd.is_valid(&doc));
+        // 15 sections (complete binary tree of depth 3), each with
+        // title + 2 paras + 1 note = 4 extra nodes
+        assert_eq!(doc.size(), 15 + 15 * 4);
+        let view = extract_view(&o.ann, &doc);
+        // skeleton: sections + titles only
+        assert_eq!(view.size(), 15 * 2);
+    }
+
+    #[test]
+    fn add_section_deep_in_the_outline() {
+        let o = outline();
+        let mut gen = NodeIdGen::new();
+        let doc = outline_doc(&o, 3, 2, &mut gen);
+        let view = extract_view(&o.ann, &doc);
+        let s = add_section(&o, &doc, &[1, 0, 1], &mut gen);
+        check_is_update_of(&s, &view).unwrap();
+        let out = output_tree(&s).unwrap();
+        let view_dtd = derive_view_dtd(&o.dtd, &o.ann, o.alpha.len());
+        view_dtd.validate(&out).unwrap();
+        assert_eq!(out.size(), view.size() + 2);
+    }
+
+    #[test]
+    fn discharge_is_a_valid_view_update() {
+        let h = hospital();
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 2, 3, &mut gen);
+        let view = extract_view(&h.ann, &doc);
+        let s = discharge_patient(&h, &doc, 0, 2);
+        check_is_update_of(&s, &view).unwrap();
+        let out = output_tree(&s).unwrap();
+        assert_eq!(out.size(), view.size() - 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Random *valid* view updates.
+//!
+//! Produces editing scripts `S` with `In(S) = A(t)` and `Out(S) ∈ A(L(D))`
+//! by construction: operations are drafted against the current script and
+//! committed only if the affected node's child word stays in the **view
+//! DTD**'s content model. Inserted fragments are sampled from the view
+//! DTD, so they are legal view subtrees.
+
+use crate::docgen::{generate_doc, DocGenConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xvu_dtd::{min_sizes, Dtd};
+use xvu_edit::{EditOp, Script, UpdateBuilder};
+use xvu_tree::{DocTree, NodeId, NodeIdGen, Sym};
+use xvu_view::{derive_view_dtd, extract_view, Annotation};
+
+/// Knobs for [`generate_update`].
+#[derive(Clone, Debug)]
+pub struct UpdateGenConfig {
+    /// Number of committed operations to aim for.
+    pub ops: usize,
+    /// Depth of inserted fragments.
+    pub insert_depth: usize,
+    /// Probability that an operation is a deletion.
+    pub delete_bias: f64,
+    /// Attempts per operation before giving up on it.
+    pub attempts: usize,
+}
+
+impl Default for UpdateGenConfig {
+    fn default() -> UpdateGenConfig {
+        UpdateGenConfig {
+            ops: 4,
+            insert_depth: 2,
+            delete_bias: 0.4,
+            attempts: 25,
+        }
+    }
+}
+
+/// Generates a valid view update of `A(source)`. Deterministic in `seed`.
+/// The result may contain fewer than `cfg.ops` operations when the view
+/// language leaves no room (it is always at least a well-formed identity
+/// update).
+pub fn generate_update(
+    dtd: &Dtd,
+    ann: &Annotation,
+    alphabet_len: usize,
+    source: &DocTree,
+    cfg: &UpdateGenConfig,
+    seed: u64,
+    gen: &mut NodeIdGen,
+) -> Script {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let view = extract_view(ann, source);
+    let view_dtd = derive_view_dtd(dtd, ann, alphabet_len);
+    let view_sizes = min_sizes(&view_dtd, alphabet_len);
+    let insertable: Vec<Sym> = (0..alphabet_len)
+        .map(Sym::from_index)
+        .filter(|&s| view_sizes.is_satisfiable(s))
+        .collect();
+
+    let mut builder = UpdateBuilder::new(&view);
+    let mut committed = 0usize;
+    let mut attempts_left = cfg.ops * cfg.attempts;
+    while committed < cfg.ops && attempts_left > 0 {
+        attempts_left -= 1;
+        let try_delete = rng.random_bool(cfg.delete_bias);
+        let ok = if try_delete {
+            try_delete_op(&mut builder, &view_dtd, &mut rng)
+        } else {
+            try_insert_op(
+                &mut builder,
+                &view_dtd,
+                &insertable,
+                alphabet_len,
+                cfg,
+                &mut rng,
+                gen,
+            )
+        };
+        if ok {
+            committed += 1;
+        }
+    }
+    builder.finish()
+}
+
+/// Attempts one deletion: a random live non-root node whose removal keeps
+/// its parent's output word in the view language.
+fn try_delete_op(builder: &mut UpdateBuilder, view_dtd: &Dtd, rng: &mut StdRng) -> bool {
+    let script = builder.script();
+    let root = script.root();
+    let candidates: Vec<NodeId> = script
+        .preorder()
+        .filter(|&n| {
+            n != root
+                && script.label(n).op != EditOp::Del
+                && script
+                    .parent(n)
+                    .is_some_and(|p| script.label(p).op != EditOp::Del)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    // Scan victims in a random rotation; commit the first whose removal
+    // keeps the parent word in the view language.
+    let offset = rng.random_range(0..candidates.len());
+    for idx in 0..candidates.len() {
+        let victim = candidates[(offset + idx) % candidates.len()];
+        let parent = script.parent(victim).expect("non-root");
+        let parent_label = script.label(parent).label;
+        let new_word: Vec<Sym> = script
+            .children(parent)
+            .iter()
+            .filter(|&&c| c != victim && script.label(c).op != EditOp::Del)
+            .map(|&c| script.label(c).label)
+            .collect();
+        if view_dtd.content_model(parent_label).accepts(&new_word) {
+            return builder.delete(victim).is_ok();
+        }
+    }
+    false
+}
+
+/// Attempts one insertion: a random live parent, position, and label whose
+/// new output word stays in the view language; the fragment is sampled
+/// from the view DTD.
+fn try_insert_op(
+    builder: &mut UpdateBuilder,
+    view_dtd: &Dtd,
+    insertable: &[Sym],
+    alphabet_len: usize,
+    cfg: &UpdateGenConfig,
+    rng: &mut StdRng,
+    gen: &mut NodeIdGen,
+) -> bool {
+    if insertable.is_empty() {
+        return false;
+    }
+    let script = builder.script();
+    let parents: Vec<NodeId> = script
+        .preorder()
+        .filter(|&n| script.label(n).op != EditOp::Del)
+        .collect();
+    // Scan (parent, position, label) combinations in a random rotation;
+    // commit the first whose new word stays in the view language.
+    let p_off = rng.random_range(0..parents.len());
+    for p_idx in 0..parents.len() {
+        let parent = parents[(p_off + p_idx) % parents.len()];
+        let parent_label = script.label(parent).label;
+        let arity = script.children(parent).len();
+        let pos_off = rng.random_range(0..=arity);
+        for pos_idx in 0..=arity {
+            let pos = (pos_off + pos_idx) % (arity + 1);
+            let y_off = rng.random_range(0..insertable.len());
+            for y_idx in 0..insertable.len() {
+                let y = insertable[(y_off + y_idx) % insertable.len()];
+
+                // hypothetical output word of the parent
+                let mut word: Vec<Sym> = Vec::with_capacity(arity + 1);
+                let mut out_pos = 0usize;
+                for (i, &c) in script.children(parent).iter().enumerate() {
+                    if i == pos {
+                        out_pos = word.len();
+                    }
+                    if script.label(c).op != EditOp::Del {
+                        word.push(script.label(c).label);
+                    }
+                }
+                if pos == arity {
+                    out_pos = word.len();
+                }
+                word.insert(out_pos, y);
+                if !view_dtd.content_model(parent_label).accepts(&word) {
+                    continue;
+                }
+
+                let frag_cfg = DocGenConfig {
+                    max_depth: cfg.insert_depth,
+                    max_children: 4,
+                    max_nodes: 100,
+                    ..DocGenConfig::default()
+                };
+                let frag_seed = rng.random_range(0..u64::MAX);
+                let fragment =
+                    generate_doc(view_dtd, alphabet_len, y, &frag_cfg, frag_seed, gen);
+                return builder.insert(parent, pos, fragment).is_ok();
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anngen::generate_annotation;
+    use crate::dtdgen::{generate_dtd, DtdGenConfig};
+    use xvu_edit::{check_is_update_of, input_tree, output_tree};
+    use xvu_tree::Alphabet;
+
+    #[test]
+    fn generated_updates_are_valid_view_updates() {
+        let mut nontrivial = 0;
+        for seed in 0..25u64 {
+            let mut alpha = Alphabet::new();
+            let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+            let ann = generate_annotation(&alpha, 0.25, seed.wrapping_mul(7), &[]);
+            let root = alpha.get("l0").unwrap();
+            let mut gen = NodeIdGen::new();
+            let doc = generate_doc(
+                &dtd,
+                alpha.len(),
+                root,
+                &DocGenConfig::default(),
+                seed ^ 0xbeef,
+                &mut gen,
+            );
+            let view = extract_view(&ann, &doc);
+            let update = generate_update(
+                &dtd,
+                &ann,
+                alpha.len(),
+                &doc,
+                &UpdateGenConfig::default(),
+                seed ^ 0xf00d,
+                &mut gen,
+            );
+            check_is_update_of(&update, &view).unwrap();
+            assert_eq!(input_tree(&update).unwrap(), view);
+            let out = output_tree(&update).unwrap();
+            let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+            view_dtd
+                .validate(&out)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if xvu_edit::cost(&update) > 0 {
+                nontrivial += 1;
+            }
+        }
+        assert!(nontrivial >= 15, "only {nontrivial}/25 updates non-trivial");
+    }
+
+    #[test]
+    fn determinism() {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), 3);
+        let ann = generate_annotation(&alpha, 0.3, 5, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut g1 = NodeIdGen::new();
+        let doc = generate_doc(
+            &dtd,
+            alpha.len(),
+            root,
+            &DocGenConfig::default(),
+            77,
+            &mut g1,
+        );
+        let mut ga = g1.clone();
+        let mut gb = g1.clone();
+        let u1 = generate_update(
+            &dtd,
+            &ann,
+            alpha.len(),
+            &doc,
+            &UpdateGenConfig::default(),
+            9,
+            &mut ga,
+        );
+        let u2 = generate_update(
+            &dtd,
+            &ann,
+            alpha.len(),
+            &doc,
+            &UpdateGenConfig::default(),
+            9,
+            &mut gb,
+        );
+        assert_eq!(u1, u2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Reading real DTD `<!ELEMENT>` declarations.
+//!
+//! Maps standard DTD content-model syntax onto `xvu-dtd`:
+//!
+//! ```text
+//! <!ELEMENT r (a, (b | c), d)*>
+//! <!ELEMENT d ((a | b), c)*>
+//! <!ELEMENT a EMPTY>
+//! ```
+//!
+//! `,` is concatenation, `|` alternation, postfix `*`/`?`/`+` iteration
+//! (with `e+` desugared to `e·e*`), `EMPTY` is `ε`. `ANY` and `#PCDATA`
+//! are rejected — the element-only data model has neither mixed content
+//! nor unconstrained children (DESIGN.md, substitution table).
+
+use crate::error::XmlError;
+use xvu_automata::Regex;
+use xvu_dtd::Dtd;
+use xvu_tree::Alphabet;
+
+/// Parses the `<!ELEMENT …>` declarations of a DTD document (internal
+/// subset syntax; `<!ATTLIST>`/`<!ENTITY>` declarations and comments are
+/// skipped).
+pub fn read_dtd(alpha: &mut Alphabet, input: &str) -> Result<Dtd, XmlError> {
+    let mut dtd = Dtd::new();
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if input[pos..].starts_with("<!--") {
+            pos = input[pos + 4..]
+                .find("-->")
+                .map(|i| pos + 4 + i + 3)
+                .ok_or_else(|| XmlError::Parse {
+                    at: pos,
+                    msg: "unterminated comment".to_owned(),
+                })?;
+            continue;
+        }
+        if input[pos..].starts_with("<!ELEMENT") {
+            let end = input[pos..].find('>').ok_or_else(|| XmlError::Parse {
+                at: pos,
+                msg: "unterminated <!ELEMENT declaration".to_owned(),
+            })?;
+            let decl = &input[pos + "<!ELEMENT".len()..pos + end];
+            parse_element_decl(alpha, &mut dtd, decl, pos)?;
+            pos += end + 1;
+            continue;
+        }
+        if input[pos..].starts_with("<!") {
+            // other declarations: skip to '>'
+            let end = input[pos..].find('>').ok_or_else(|| XmlError::Parse {
+                at: pos,
+                msg: "unterminated declaration".to_owned(),
+            })?;
+            pos += end + 1;
+            continue;
+        }
+        return Err(XmlError::Parse {
+            at: pos,
+            msg: "expected a declaration".to_owned(),
+        });
+    }
+    Ok(dtd)
+}
+
+fn parse_element_decl(
+    alpha: &mut Alphabet,
+    dtd: &mut Dtd,
+    decl: &str,
+    offset: usize,
+) -> Result<(), XmlError> {
+    let decl = decl.trim();
+    let (name, model) = decl.split_once(char::is_whitespace).ok_or_else(|| {
+        XmlError::Parse {
+            at: offset,
+            msg: "expected '<!ELEMENT name model>'".to_owned(),
+        }
+    })?;
+    let label = alpha.intern(name.trim());
+    if dtd.has_rule(label) {
+        return Err(XmlError::Parse {
+            at: offset,
+            msg: format!("duplicate <!ELEMENT {name}>"),
+        });
+    }
+    let model = model.trim();
+    let re = match model {
+        "EMPTY" => Regex::Epsilon,
+        "ANY" => {
+            return Err(XmlError::Parse {
+                at: offset,
+                msg: "ANY content is not supported (element-only model)".to_owned(),
+            })
+        }
+        _ => {
+            let mut p = ModelParser {
+                alpha,
+                bytes: model.as_bytes(),
+                pos: 0,
+                offset,
+            };
+            let e = p.alt()?;
+            p.skip_ws();
+            if p.pos != p.bytes.len() {
+                return Err(XmlError::Parse {
+                    at: offset + p.pos,
+                    msg: "trailing content in content model".to_owned(),
+                });
+            }
+            e
+        }
+    };
+    dtd.set_rule(label, &re);
+    Ok(())
+}
+
+struct ModelParser<'a> {
+    alpha: &'a mut Alphabet,
+    bytes: &'a [u8],
+    pos: usize,
+    offset: usize,
+}
+
+impl ModelParser<'_> {
+    fn alt(&mut self) -> Result<Regex, XmlError> {
+        let mut parts = vec![self.seq()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                parts.push(self.seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn seq(&mut self) -> Result<Regex, XmlError> {
+        let mut parts = vec![self.rep()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                parts.push(self.rep()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Regex::Concat(parts)
+        })
+    }
+
+    fn rep(&mut self) -> Result<Regex, XmlError> {
+        let mut e = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    e = Regex::star(e);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    e = Regex::opt(e);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    // e+ = e · e*
+                    e = Regex::concat([e.clone(), Regex::star(e)]);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Regex, XmlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.alt()?;
+                self.skip_ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(b'#') => Err(self.err("#PCDATA is not supported (element-only model)")),
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':'
+                }) {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                Ok(Regex::sym(self.alpha.intern(name)))
+            }
+            _ => Err(self.err("expected a name or '('")),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError::Parse {
+            at: self.offset + self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_tree::{parse_term, NodeIdGen};
+
+    #[test]
+    fn paper_d0_in_dtd_syntax() {
+        let mut alpha = Alphabet::new();
+        let dtd = read_dtd(
+            &mut alpha,
+            "<!-- D0 from the paper -->\n\
+             <!ELEMENT r (a, (b | c), d)*>\n\
+             <!ELEMENT d ((a | b), c)*>\n\
+             <!ELEMENT a EMPTY>\n",
+        )
+        .unwrap();
+        let mut gen = NodeIdGen::new();
+        let t0 = parse_term(&mut alpha, &mut gen, "r(a, b, d(a, c), a, c, d(b, c))").unwrap();
+        assert!(dtd.is_valid(&t0));
+        let bad = parse_term(&mut alpha, &mut gen, "r(a, b)").unwrap();
+        assert!(!dtd.is_valid(&bad));
+    }
+
+    #[test]
+    fn plus_is_one_or_more() {
+        let mut alpha = Alphabet::new();
+        let dtd = read_dtd(&mut alpha, "<!ELEMENT r (a)+>").unwrap();
+        let mut gen = NodeIdGen::new();
+        assert!(!dtd.is_valid(&parse_term(&mut alpha, &mut gen, "r").unwrap()));
+        assert!(dtd.is_valid(&parse_term(&mut alpha, &mut gen, "r(a)").unwrap()));
+        assert!(dtd.is_valid(&parse_term(&mut alpha, &mut gen, "r(a, a, a)").unwrap()));
+    }
+
+    #[test]
+    fn attlist_and_entities_are_skipped() {
+        let mut alpha = Alphabet::new();
+        let dtd = read_dtd(
+            &mut alpha,
+            "<!ELEMENT r (a)*>\n<!ATTLIST r version CDATA #REQUIRED>\n<!ENTITY x \"y\">",
+        )
+        .unwrap();
+        assert!(dtd.has_rule(alpha.get("r").unwrap()));
+    }
+
+    #[test]
+    fn pcdata_and_any_are_rejected() {
+        let mut alpha = Alphabet::new();
+        assert!(read_dtd(&mut alpha, "<!ELEMENT r (#PCDATA)>").is_err());
+        assert!(read_dtd(&mut alpha, "<!ELEMENT r ANY>").is_err());
+    }
+
+    #[test]
+    fn duplicate_elements_are_rejected() {
+        let mut alpha = Alphabet::new();
+        assert!(read_dtd(&mut alpha, "<!ELEMENT r (a)>\n<!ELEMENT r (b)>").is_err());
+    }
+}

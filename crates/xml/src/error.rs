@@ -1,0 +1,25 @@
+//! Errors for XML reading.
+
+use std::fmt;
+
+/// Errors raised while parsing XML documents or DTD declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlError {
+    /// Syntax or data-model error.
+    Parse {
+        /// Byte offset of the error in the input.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { at, msg } => write!(f, "XML parse error at byte {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

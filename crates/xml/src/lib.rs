@@ -1,0 +1,27 @@
+//! XML and DTD interchange for the element-only tree model.
+//!
+//! The paper's formal model is element-only ordered labeled trees with
+//! persistent node identifiers — no text nodes, no attributes, since none
+//! appear in any definition or theorem. This crate provides just enough
+//! real-world XML syntax to get documents and schemas in and out:
+//!
+//! * [`read_xml`] / [`write_xml`] — strict element-only documents, with an
+//!   optional `xvu:id` attribute round-tripping node identifiers;
+//! * [`read_dtd`] — standard `<!ELEMENT …>` declarations mapped onto
+//!   `xvu-dtd` content models (`EMPTY`, sequences, choices, `* ? +`).
+//!
+//! Text content, `#PCDATA`, and `ANY` are rejected with typed errors
+//! rather than silently dropped (see DESIGN.md's substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtdread;
+mod error;
+mod reader;
+mod writer;
+
+pub use dtdread::read_dtd;
+pub use error::XmlError;
+pub use reader::read_xml;
+pub use writer::{write_xml, WriteOptions};

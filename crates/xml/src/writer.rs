@@ -1,0 +1,124 @@
+//! Serialising document trees as XML.
+
+use xvu_tree::{Alphabet, DocTree, NodeId};
+
+/// Serialisation options.
+#[derive(Clone, Debug)]
+pub struct WriteOptions {
+    /// Pretty-print with two-space indentation.
+    pub pretty: bool,
+    /// Emit `xvu:id` attributes carrying node identifiers (round-trips
+    /// identifiers through XML; off by default for plain interchange).
+    pub with_ids: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> WriteOptions {
+        WriteOptions {
+            pretty: true,
+            with_ids: false,
+        }
+    }
+}
+
+/// Writes a tree as an XML document (element-only; see the crate docs for
+/// the data-model note).
+pub fn write_xml(tree: &DocTree, alpha: &Alphabet, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_node(tree, alpha, tree.root(), opts, 0, &mut out);
+    out
+}
+
+fn write_node(
+    tree: &DocTree,
+    alpha: &Alphabet,
+    n: NodeId,
+    opts: &WriteOptions,
+    depth: usize,
+    out: &mut String,
+) {
+    if opts.pretty {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    let name = alpha.name(tree.label(n));
+    out.push('<');
+    out.push_str(name);
+    if opts.with_ids {
+        out.push_str(&format!(" xvu:id=\"{}\"", n.0));
+    }
+    let children = tree.children(n);
+    if children.is_empty() {
+        out.push_str("/>");
+        if opts.pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    if opts.pretty {
+        out.push('\n');
+    }
+    for &c in children {
+        write_node(tree, alpha, c, opts, depth + 1, out);
+    }
+    if opts.pretty {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+    if opts.pretty {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+
+    #[test]
+    fn writes_nested_elements() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#2(c#3))").unwrap();
+        let xml = write_xml(&t, &alpha, &WriteOptions::default());
+        assert_eq!(xml, "<r>\n  <a/>\n  <d>\n    <c/>\n  </d>\n</r>\n");
+    }
+
+    #[test]
+    fn compact_mode() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)").unwrap();
+        let xml = write_xml(
+            &t,
+            &alpha,
+            &WriteOptions {
+                pretty: false,
+                with_ids: false,
+            },
+        );
+        assert_eq!(xml, "<r><a/></r>");
+    }
+
+    #[test]
+    fn id_attributes() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#5(a#9)").unwrap();
+        let xml = write_xml(
+            &t,
+            &alpha,
+            &WriteOptions {
+                pretty: false,
+                with_ids: true,
+            },
+        );
+        assert_eq!(xml, "<r xvu:id=\"5\"><a xvu:id=\"9\"/></r>");
+    }
+}

@@ -1,0 +1,121 @@
+//! A multi-step editing session against a view.
+//!
+//! Demonstrates the full read–edit–propagate loop an application would
+//! run: the user never sees the source document; every update is built
+//! positionally against the *current* view with [`UpdateBuilder`],
+//! propagated, and the next round starts from the new source. Hidden
+//! material flows along correctly at every step.
+//!
+//! Run with: `cargo run --example edit_session`
+
+use xml_view_update::prelude::*;
+
+fn main() {
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").expect("DTD");
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
+        .expect("annotation");
+    let insertlets = {
+        // administrator-chosen insertlets: always pad with c under r and
+        // with b under d
+        let sizes = min_sizes(&dtd, alpha.len());
+        let mut pkg = InsertletPackage::new();
+        let c = parse_term(&mut alpha, &mut gen, "c").expect("c");
+        let b = parse_term(&mut alpha, &mut gen, "b").expect("b");
+        pkg.insert(&dtd, &sizes, alpha.get("c").expect("interned"), c)
+            .expect("valid insertlet");
+        pkg.insert(&dtd, &sizes, alpha.get("b").expect("interned"), b)
+            .expect("valid insertlet");
+        pkg
+    };
+
+    let mut source = parse_term_with_ids(
+        &mut alpha,
+        &mut gen,
+        "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+    )
+    .expect("t0");
+
+    println!("initial source: {}", to_term_with_ids(&source, &alpha));
+
+    // -------- round 1: append a fresh (a, d) group in the view ---------
+    {
+        let view = extract_view(&ann, &source);
+        println!("\n[1] view: {}", to_term_with_ids(&view, &alpha));
+        let mut b = UpdateBuilder::new(&view);
+        let new_a = parse_term(&mut alpha, &mut gen, "a").expect("a");
+        let new_d = parse_term(&mut alpha, &mut gen, "d(c)").expect("d(c)");
+        let end = view.children(view.root()).len();
+        b.insert(view.root(), end, new_a).expect("view-valid");
+        b.insert(view.root(), end + 1, new_d).expect("view-valid");
+        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+    }
+
+    // -------- round 2: delete the middle d-subtree ----------------------
+    {
+        let view = extract_view(&ann, &source);
+        println!("\n[2] view: {}", to_term_with_ids(&view, &alpha));
+        // delete the second (a, d) pair in the view
+        let kids: Vec<NodeId> = view.children(view.root()).to_vec();
+        let mut b = UpdateBuilder::new(&view);
+        b.delete(kids[2]).expect("view-valid");
+        b.delete(kids[3]).expect("view-valid");
+        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+    }
+
+    // -------- round 3: grow a d with another c ---------------------------
+    {
+        let view = extract_view(&ann, &source);
+        println!("\n[3] view: {}", to_term_with_ids(&view, &alpha));
+        let first_d = view
+            .children(view.root())
+            .iter()
+            .copied()
+            .find(|&n| alpha.name(view.label(n)) == "d")
+            .expect("a d child exists");
+        let mut b = UpdateBuilder::new(&view);
+        let new_c = parse_term(&mut alpha, &mut gen, "c").expect("c");
+        b.insert(first_d, view.children(first_d).len(), new_c)
+            .expect("view-valid");
+        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+    }
+
+    println!("\nfinal source:  {}", to_term_with_ids(&source, &alpha));
+    println!(
+        "final view:    {}",
+        to_term_with_ids(&extract_view(&ann, &source), &alpha)
+    );
+    assert!(dtd.is_valid(&source));
+}
+
+/// Propagates one view update and returns the new source document.
+///
+/// After propagating, the application's identifier generator is re-synced
+/// past every identifier of the new source: propagation allocates fresh
+/// identifiers for invisible padding, and the well-formedness requirement
+/// `N_S ∩ (N_t \ N_{A(t)}) = ∅` (checked by `Instance::new`) would reject
+/// a later update whose "fresh" nodes collided with them.
+fn run_round(
+    dtd: &Dtd,
+    ann: &Annotation,
+    insertlets: &InsertletPackage,
+    alpha: &Alphabet,
+    source: &DocTree,
+    update: Script,
+    gen: &mut NodeIdGen,
+) -> DocTree {
+    let inst = Instance::new(dtd, ann, source, &update, alpha.len()).expect("valid instance");
+    let prop = propagate(&inst, insertlets, &Config::default()).expect("propagation exists");
+    verify_propagation(&inst, &prop.script).expect("verified");
+    let next = output_tree(&prop.script).expect("non-empty");
+    for id in next.node_ids() {
+        gen.bump_past(id);
+    }
+    println!(
+        "    update cost {:>2} → new source {}",
+        prop.cost,
+        to_term_with_ids(&next, alpha)
+    );
+    next
+}

@@ -1,0 +1,57 @@
+//! Why repair-based view updating is not enough (paper §6.2).
+//!
+//! `D3: r → b·(c+ε)·(a·c)*` with `a` and `b` hidden gives the view DTD
+//! `r → c*`. For the source `t = r(b, a, c)` the view is `r(c)`; the user
+//! appends a second `c` *after* the existing one. Two source documents
+//! have the updated view: `t1 = r(b, c, a, c)` and `t2 = r(b, a, c, a, c)`.
+//! Tree-edit-distance repair prefers `t1` (distance 1) — but the user
+//! inserted the new `c` after the old one, so the old `c` keeps its hidden
+//! `(a)` prefix and the faithful answer is `t2`. Node identifiers carry
+//! exactly this positional information, and the propagation graphs use it.
+//!
+//! Run with: `cargo run --example repair_pitfall`
+
+use xml_view_update::prelude::*;
+use xml_view_update::workload::paper::d3_repair_pitfall;
+
+fn main() {
+    let (fx, t, s, _gen) = d3_repair_pitfall();
+    println!("DTD D3          : r -> b.(c+eps).(a.c)*   (a, b hidden under r)");
+    println!("source t        = {}", to_term_with_ids(&t, &fx.alpha));
+    println!(
+        "view A(t)       = {}",
+        to_term_with_ids(&extract_view(&fx.ann, &t), &fx.alpha)
+    );
+    println!("user update     = {}", script_to_term(&s, &fx.alpha));
+
+    // --- The repair-based baseline --------------------------------------
+    let repair = repair_based_update(&fx.dtd, &fx.ann, fx.alpha.len(), &t, &s, &RepairConfig::default())
+        .expect("repair baseline");
+    println!();
+    println!(
+        "repair baseline picks  {}   (TED to t = {}, {} candidates considered)",
+        to_term(&repair.chosen, &fx.alpha),
+        repair.distance,
+        repair.candidates_considered
+    );
+
+    // --- The propagation-graph solution ---------------------------------
+    let inst = Instance::new(&fx.dtd, &fx.ann, &t, &s, fx.alpha.len()).expect("valid");
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
+    verify_propagation(&inst, &prop.script).expect("verified");
+    let new_source = output_tree(&prop.script).expect("non-empty");
+    println!(
+        "propagation produces   {}   (cost {})",
+        to_term(&new_source, &fx.alpha),
+        prop.cost
+    );
+
+    assert_eq!(to_term(&repair.chosen, &fx.alpha), "r(b, c, a, c)");
+    assert_eq!(to_term(&new_source, &fx.alpha), "r(b, a, c, a, c)");
+    println!();
+    println!(
+        "the two disagree: repair moved the hidden (a) group *after* the old c,\n\
+         silently reordering invisible data relative to the node the user kept.\n\
+         The propagation keeps node c#3's context intact — the paper's point."
+    );
+}

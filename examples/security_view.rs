@@ -1,0 +1,82 @@
+//! Security views: the hospital registrar scenario.
+//!
+//! The paper motivates annotation views with secure access to XML
+//! databases. Here a registrar works against a view that hides insurance,
+//! diagnoses, treatments, and billing; admissions and discharges made in
+//! the view are propagated to the full hospital record without ever
+//! exposing — or clobbering — the hidden clinical data.
+//!
+//! Run with: `cargo run --example security_view`
+
+use xml_view_update::prelude::*;
+use xml_view_update::workload::scenario::{
+    admit_patient, discharge_patient, hospital, hospital_doc,
+};
+
+fn main() {
+    let h = hospital();
+    let mut gen = NodeIdGen::new();
+
+    // Two departments with two patients each; every patient has hidden
+    // insurance + clinical record details.
+    let doc = hospital_doc(&h, 2, 2, &mut gen);
+    println!("full record   ({} nodes)", doc.size());
+    println!("registrar view ({} nodes):", extract_view(&h.ann, &doc).size());
+    println!(
+        "{}",
+        to_term(&extract_view(&h.ann, &doc), &h.alpha)
+    );
+
+    // --- Admission -----------------------------------------------------
+    let admit = admit_patient(&h, &doc, 0, &mut gen);
+    let inst = Instance::new(&h.dtd, &h.ann, &doc, &admit, h.alpha.len()).expect("valid");
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
+    verify_propagation(&inst, &prop.script).expect("verified");
+    let doc2 = output_tree(&prop.script).expect("non-empty");
+    println!();
+    println!(
+        "admitted a patient through the view: propagation cost {} — record now {} nodes",
+        prop.cost,
+        doc2.size()
+    );
+    assert!(h.dtd.is_valid(&doc2));
+
+    // Hidden data of the *other* patients is untouched: every hidden node
+    // of the old record is still present.
+    let old_hidden: Vec<NodeId> = {
+        let visible = visible_nodes(&h.ann, &doc);
+        doc.node_ids().filter(|n| !visible.contains(n)).collect()
+    };
+    for n in &old_hidden {
+        assert!(doc2.contains(*n), "hidden node {n} must survive an admission");
+    }
+    println!(
+        "all {} hidden clinical/billing nodes survived untouched ✓",
+        old_hidden.len()
+    );
+
+    // --- Discharge -----------------------------------------------------
+    let discharge = discharge_patient(&h, &doc2, 1, 0);
+    let inst2 =
+        Instance::new(&h.dtd, &h.ann, &doc2, &discharge, h.alpha.len()).expect("valid");
+    let prop2 =
+        propagate(&inst2, &InsertletPackage::new(), &Config::default()).expect("propagate");
+    verify_propagation(&inst2, &prop2.script).expect("verified");
+    let doc3 = output_tree(&prop2.script).expect("non-empty");
+    println!();
+    println!(
+        "discharged a patient: propagation cost {} — the patient's hidden record \
+         ({} nodes incl. invisible) went with them",
+        prop2.cost,
+        doc2.size() - doc3.size()
+    );
+    assert!(h.dtd.is_valid(&doc3));
+    // The discharge deletes the patient's whole subtree, including the
+    // parts the registrar cannot see — that is what side-effect freedom
+    // demands, and the cost reflects it (8 nodes per full patient).
+    assert_eq!(prop2.cost, 8);
+
+    println!();
+    println!("final registrar view:");
+    println!("{}", to_term(&extract_view(&h.ann, &doc3), &h.alpha));
+}

@@ -1,0 +1,79 @@
+//! Interchange: real XML documents and `<!ELEMENT>` DTDs in, XML out.
+//!
+//! Loads the schema from standard DTD declaration syntax and the document
+//! from XML (with `xvu:id` attributes carrying node identifiers),
+//! propagates a view update, and serialises the new source back to XML.
+//!
+//! Run with: `cargo run --example xml_io`
+
+use xml_view_update::prelude::*;
+
+const DTD_SRC: &str = r#"
+<!-- the paper's D0 in standard DTD syntax -->
+<!ELEMENT r (a, (b | c), d)*>
+<!ELEMENT d ((a | b), c)*>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+"#;
+
+const DOC_SRC: &str = r#"<?xml version="1.0"?>
+<r xvu:id="0">
+  <a xvu:id="1"/>
+  <b xvu:id="2"/>
+  <d xvu:id="3">
+    <a xvu:id="7"/>
+    <c xvu:id="8"/>
+  </d>
+  <a xvu:id="4"/>
+  <c xvu:id="5"/>
+  <d xvu:id="6">
+    <b xvu:id="9"/>
+    <c xvu:id="10"/>
+  </d>
+</r>
+"#;
+
+fn main() {
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+
+    let dtd = read_dtd(&mut alpha, DTD_SRC).expect("well-formed DTD");
+    let source = read_xml(&mut alpha, &mut gen, DOC_SRC).expect("well-formed XML");
+    dtd.validate(&source).expect("document satisfies the DTD");
+    println!("loaded {} nodes from XML", source.size());
+
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
+        .expect("annotation");
+    let view = extract_view(&ann, &source);
+    println!("\nthe view as XML:\n{}", write_xml(&view, &alpha, &WriteOptions::default()));
+
+    // Delete the first (a, d) group in the view.
+    let kids: Vec<NodeId> = view.children(view.root()).to_vec();
+    let mut b = UpdateBuilder::new(&view);
+    b.delete(kids[0]).expect("view-valid");
+    b.delete(kids[1]).expect("view-valid");
+    let update = b.finish();
+
+    let inst = Instance::new(&dtd, &ann, &source, &update, alpha.len()).expect("valid");
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
+    verify_propagation(&inst, &prop.script).expect("verified");
+
+    let new_source = output_tree(&prop.script).expect("non-empty");
+    println!(
+        "propagated deletion (cost {}); the new source as XML:\n",
+        prop.cost
+    );
+    println!(
+        "{}",
+        write_xml(
+            &new_source,
+            &alpha,
+            &WriteOptions {
+                pretty: true,
+                with_ids: true
+            }
+        )
+    );
+    assert!(dtd.is_valid(&new_source));
+}

@@ -1,0 +1,13 @@
+//! The `xvu` binary: validate documents, extract views, invert views, and
+//! propagate view updates from the command line. See `xvu help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match xml_view_update::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

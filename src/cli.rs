@@ -1,0 +1,357 @@
+//! The `xvu` command-line interface.
+//!
+//! A thin, dependency-free front end over the library for shell use:
+//!
+//! ```text
+//! xvu validate  --dtd schema.dtd --doc doc.xml
+//! xvu view      --dtd schema.dtd --ann view.ann --doc doc.xml
+//! xvu invert    --dtd schema.dtd --ann view.ann --view view.xml
+//! xvu propagate --dtd schema.dtd --ann view.ann --doc doc.xml --update edit.script
+//!               [--selector nop|first|type]
+//! ```
+//!
+//! File formats are sniffed from content: DTDs may be `<!ELEMENT …>`
+//! declarations or the `label -> regex` rule syntax; documents may be XML
+//! (`<…>`, with optional `xvu:id` attributes) or term syntax
+//! (`r#0(a#1, …)`); annotations are `hide`/`show` lines; updates are
+//! script terms (`nop:r#0(del:a#1, …)`).
+//!
+//! All logic lives in [`run`] so it is unit-testable; the binary only
+//! forwards `std::env::args` and prints.
+
+use crate::prelude::*;
+use std::fmt::Write as _;
+
+/// Executes a CLI invocation. `args` excludes the program name. Returns
+/// the text to print on success, or a user-facing error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let opts = parse_opts(it.as_slice())?;
+    match cmd.as_str() {
+        "validate" => cmd_validate(&opts),
+        "view" => cmd_view(&opts),
+        "invert" => cmd_invert(&opts),
+        "propagate" => cmd_propagate(&opts),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: xvu <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 validate  --dtd FILE --doc FILE\n\
+     \x20 view      --dtd FILE --ann FILE --doc FILE\n\
+     \x20 invert    --dtd FILE --ann FILE --view FILE\n\
+     \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE [--selector nop|first|type]\n"
+        .to_owned()
+}
+
+struct Opts {
+    dtd: Option<String>,
+    ann: Option<String>,
+    doc: Option<String>,
+    view: Option<String>,
+    update: Option<String>,
+    selector: Selector,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        dtd: None,
+        ann: None,
+        doc: None,
+        view: None,
+        update: None,
+        selector: Selector::PreferNop,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--dtd" => opts.dtd = Some(read_file(value()?)?),
+            "--ann" => opts.ann = Some(read_file(value()?)?),
+            "--doc" => opts.doc = Some(read_file(value()?)?),
+            "--view" => opts.view = Some(read_file(value()?)?),
+            "--update" => opts.update = Some(read_file(value()?)?),
+            "--selector" => {
+                opts.selector = match value()? {
+                    "nop" => Selector::PreferNop,
+                    "first" => Selector::First,
+                    "type" => Selector::PreferTypePreserving,
+                    other => return Err(format!("unknown selector {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Context shared by the commands: alphabet + id generator + parsed
+/// inputs.
+struct Ctx {
+    alpha: Alphabet,
+    gen: NodeIdGen,
+    dtd: Dtd,
+}
+
+impl Ctx {
+    fn new(opts: &Opts) -> Result<Ctx, String> {
+        let src = opts
+            .dtd
+            .as_deref()
+            .ok_or("missing --dtd FILE".to_owned())?;
+        let mut alpha = Alphabet::new();
+        let dtd = if src.trim_start().starts_with("<!") {
+            read_dtd(&mut alpha, src).map_err(|e| e.to_string())?
+        } else {
+            parse_dtd(&mut alpha, src).map_err(|e| e.to_string())?
+        };
+        Ok(Ctx {
+            alpha,
+            gen: NodeIdGen::new(),
+            dtd,
+        })
+    }
+
+    fn doc(&mut self, src: &str) -> Result<DocTree, String> {
+        let trimmed = src.trim_start();
+        if trimmed.starts_with('<') {
+            read_xml(&mut self.alpha, &mut self.gen, src).map_err(|e| e.to_string())
+        } else {
+            parse_term_with_ids(&mut self.alpha, &mut self.gen, src.trim())
+                .map_err(|e| e.to_string())
+        }
+    }
+
+    fn ann(&mut self, opts: &Opts) -> Result<Annotation, String> {
+        let src = opts
+            .ann
+            .as_deref()
+            .ok_or("missing --ann FILE".to_owned())?;
+        parse_annotation(&mut self.alpha, src).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_validate(opts: &Opts) -> Result<String, String> {
+    let mut ctx = Ctx::new(opts)?;
+    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
+    let doc = ctx.doc(doc_src)?;
+    match ctx.dtd.first_violation(&doc) {
+        None => Ok(format!("valid: {} nodes\n", doc.size())),
+        Some(v) => Err(format!(
+            "invalid at node {} (label {}): child word [{}] not allowed",
+            v.node,
+            ctx.alpha.name(v.label),
+            v.child_word
+                .iter()
+                .map(|&s| ctx.alpha.name(s))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )),
+    }
+}
+
+fn cmd_view(opts: &Opts) -> Result<String, String> {
+    let mut ctx = Ctx::new(opts)?;
+    let ann = ctx.ann(opts)?;
+    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
+    let doc = ctx.doc(doc_src)?;
+    ctx.dtd.validate(&doc).map_err(|e| e.to_string())?;
+    let view = extract_view(&ann, &doc);
+    Ok(write_xml(
+        &view,
+        &ctx.alpha,
+        &WriteOptions {
+            pretty: true,
+            with_ids: true,
+        },
+    ))
+}
+
+fn cmd_invert(opts: &Opts) -> Result<String, String> {
+    let mut ctx = Ctx::new(opts)?;
+    let ann = ctx.ann(opts)?;
+    let view_src = opts.view.as_deref().ok_or("missing --view FILE")?;
+    let view = ctx.doc(view_src)?;
+    let sizes = min_sizes(&ctx.dtd, ctx.alpha.len());
+    let insertlets = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &insertlets,
+    };
+    let forest =
+        InversionForest::build(&ctx.dtd, &ann, &view, &cm).map_err(|e| e.to_string())?;
+    let mut gen = ctx.gen.clone();
+    let inverse = forest
+        .materialize_min(&ctx.dtd, &cm, Selector::PreferNop, &mut gen, 1_000_000)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "minimal inverse: {} nodes ({} visible + {} padding)",
+        inverse.size(),
+        view.size(),
+        forest.min_padding()
+    );
+    out.push_str(&write_xml(
+        &inverse,
+        &ctx.alpha,
+        &WriteOptions {
+            pretty: true,
+            with_ids: true,
+        },
+    ));
+    Ok(out)
+}
+
+fn cmd_propagate(opts: &Opts) -> Result<String, String> {
+    let mut ctx = Ctx::new(opts)?;
+    let ann = ctx.ann(opts)?;
+    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
+    let doc = ctx.doc(doc_src)?;
+    let update_src = opts.update.as_deref().ok_or("missing --update FILE")?;
+    let update = parse_script(&mut ctx.alpha, update_src.trim()).map_err(|e| e.to_string())?;
+
+    let inst = Instance::new(&ctx.dtd, &ann, &doc, &update, ctx.alpha.len())
+        .map_err(|e| e.to_string())?;
+    let cfg = Config {
+        selector: opts.selector,
+        ..Config::default()
+    };
+    let prop =
+        propagate(&inst, &InsertletPackage::new(), &cfg).map_err(|e| e.to_string())?;
+    verify_propagation(&inst, &prop.script).map_err(|e| e.to_string())?;
+    let new_source = output_tree(&prop.script).expect("propagations preserve the root");
+
+    let mut out = String::new();
+    let _ = writeln!(out, "propagation cost: {}", prop.cost);
+    let _ = writeln!(
+        out,
+        "optimal propagations captured: {}",
+        count_optimal_propagations(&prop.forest)
+    );
+    let _ = writeln!(out, "script: {}", script_to_term(&prop.script, &ctx.alpha));
+    let _ = writeln!(out, "new source:");
+    out.push_str(&write_xml(
+        &new_source,
+        &ctx.alpha,
+        &WriteOptions {
+            pretty: true,
+            with_ids: true,
+        },
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DTD: &str = "r -> (a.(b+c).d)*\nd -> ((a+b).c)*";
+    const ANN: &str = "hide r b\nhide r c\nhide d a\nhide d b";
+    const DOC: &str = "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))";
+    const UPDATE: &str = "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+        ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))";
+
+    fn write_tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("xvu-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write tmp");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_args(args: &[&str]) -> Result<String, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        let dtd = write_tmp("schema.rules", DTD);
+        let good = write_tmp("good.term", DOC);
+        let out = run_args(&["validate", "--dtd", &dtd, "--doc", &good]).unwrap();
+        assert!(out.contains("valid: 11 nodes"));
+
+        let bad = write_tmp("bad.term", "r#0(a#1)");
+        let err = run_args(&["validate", "--dtd", &dtd, "--doc", &bad]).unwrap_err();
+        assert!(err.contains("invalid at node"));
+    }
+
+    #[test]
+    fn view_prints_xml() {
+        let dtd = write_tmp("schema2.rules", DTD);
+        let ann = write_tmp("view.ann", ANN);
+        let doc = write_tmp("doc.term", DOC);
+        let out = run_args(&["view", "--dtd", &dtd, "--ann", &ann, "--doc", &doc]).unwrap();
+        assert!(out.contains("<r xvu:id=\"0\">"));
+        assert!(!out.contains("<b"), "hidden b must not appear:\n{out}");
+    }
+
+    #[test]
+    fn propagate_full_pipeline() {
+        let dtd = write_tmp("schema3.rules", DTD);
+        let ann = write_tmp("view3.ann", ANN);
+        let doc = write_tmp("doc3.term", DOC);
+        let upd = write_tmp("edit3.script", UPDATE);
+        let out = run_args(&[
+            "propagate", "--dtd", &dtd, "--ann", &ann, "--doc", &doc, "--update", &upd,
+        ])
+        .unwrap();
+        assert!(out.contains("propagation cost: 14"), "{out}");
+        assert!(out.contains("new source:"));
+    }
+
+    #[test]
+    fn invert_reports_padding() {
+        let dtd = write_tmp("schema4.rules", DTD);
+        let ann = write_tmp("view4.ann", ANN);
+        let view = write_tmp("view4.term", "d#11(c#13, c#14)");
+        let out =
+            run_args(&["invert", "--dtd", &dtd, "--ann", &ann, "--view", &view]).unwrap();
+        assert!(out.contains("5 nodes (3 visible + 2 padding)"), "{out}");
+    }
+
+    #[test]
+    fn xml_dtd_syntax_is_sniffed() {
+        let dtd = write_tmp(
+            "schema5.dtd",
+            "<!ELEMENT r (a, (b | c), d)*>\n<!ELEMENT d ((a | b), c)*>",
+        );
+        let doc = write_tmp("doc5.xml", "<r><a/><b/><d><a/><c/></d></r>");
+        let out = run_args(&["validate", "--dtd", &dtd, "--doc", &doc]).unwrap();
+        assert!(out.contains("valid: 6 nodes"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(run_args(&[]).is_err());
+        assert!(run_args(&["frobnicate"]).unwrap_err().contains("usage"));
+        assert!(run_args(&["validate"]).unwrap_err().contains("--dtd"));
+        let dtd = write_tmp("schema6.rules", DTD);
+        assert!(run_args(&["validate", "--dtd", &dtd])
+            .unwrap_err()
+            .contains("--doc"));
+        assert!(run_args(&["validate", "--dtd", "/nonexistent/x"])
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&["help"]).unwrap();
+        assert!(out.contains("usage: xvu"));
+    }
+}

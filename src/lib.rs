@@ -1,0 +1,110 @@
+//! # xml-view-update
+//!
+//! A complete Rust implementation of
+//!
+//! > Sławek Staworko, Iovka Boneva, Benoît Groz.
+//! > **The View Update Problem for XML.**
+//! > EDBT/ICDT Workshops 2010.
+//!
+//! Given an XML document `t` satisfying a DTD `D`, a view defined by an
+//! annotation `A` (hiding selected parts of the document), and a user
+//! update `S` of the view (inserting/deleting whole subtrees), the library
+//! computes update *propagations* `S'` to the source document that are
+//! **schema compliant** (`Out(S') ∈ L(D)`) and **side-effect free**
+//! (`A(Out(S')) = Out(S)`), preferring the ones that minimally modify the
+//! invisible parts of the document.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`tree`] | ordered labeled trees with persistent node identifiers |
+//! | [`automata`] | regexes, Glushkov NFAs, DFAs, min-cost words |
+//! | [`dtd`] | DTDs, validation, minimal trees, insertlets |
+//! | [`view`] | annotations, visibility, view extraction, view DTDs |
+//! | [`edit`] | editing scripts over `E(Σ)` and the update builder |
+//! | [`propagate`] | inversion/propagation graphs, the algorithm (the paper's contribution) |
+//! | [`repair`] | Zhang–Shasha TED and the §6.2 repair baseline |
+//! | [`workload`] | paper fixtures and deterministic generators |
+//! | [`xml`] | element-only XML + `<!ELEMENT>` DTD interchange |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xml_view_update::prelude::*;
+//!
+//! // Schema and security view.
+//! let mut alpha = Alphabet::new();
+//! let mut gen = NodeIdGen::new();
+//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+//!
+//! // Source document and the view the user sees.
+//! let t = parse_term_with_ids(
+//!     &mut alpha, &mut gen,
+//!     "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+//! ).unwrap();
+//! let view = extract_view(&ann, &t);
+//!
+//! // The user edits the view: delete the first (a, d) group…
+//! let mut builder = UpdateBuilder::new(&view);
+//! builder.delete(NodeId(1)).unwrap();
+//! builder.delete(NodeId(3)).unwrap();
+//! let update = builder.finish();
+//!
+//! // …and the library propagates the update to the source document.
+//! let inst = Instance::new(&dtd, &ann, &t, &update, alpha.len()).unwrap();
+//! let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+//! verify_propagation(&inst, &prop.script).unwrap();
+//!
+//! // Hidden nodes inside the deleted group are deleted with it; hidden
+//! // nodes elsewhere are untouched.
+//! let new_source = output_tree(&prop.script).unwrap();
+//! assert!(dtd.is_valid(&new_source));
+//! assert_eq!(extract_view(&ann, &new_source), output_tree(&update).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use xvu_automata as automata;
+pub use xvu_dtd as dtd;
+pub use xvu_edit as edit;
+pub use xvu_propagate as propagate;
+pub use xvu_repair as repair;
+pub use xvu_tree as tree;
+pub use xvu_view as view;
+pub use xvu_workload as workload;
+pub use xvu_xml as xml;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use xvu_dtd::{
+        exponential_dtd, min_sizes, minimal_witness, parse_dtd, Dtd, InsertletPackage, MinSizes,
+    };
+    pub use xvu_edit::{
+        apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, parse_script,
+        script_to_term, validate_script, EditOp, ELabel, Script, UpdateBuilder,
+    };
+    pub use xvu_dtd::Violation;
+    pub use xvu_edit::{compose, diff};
+    pub use xvu_propagate::{
+        count_optimal_propagations, enumerate_optimal_propagations,
+        cross_view_effect, cross_view_touched, find_complement_preserving, invisible_impact,
+        propagate, propagate_view_edit, revalidate_output, typing_report,
+        verify_propagation, Config, CostModel, Instance, InversionForest, InvisibleImpact,
+        PropagateError, Propagation, PropagationForest, Selector, TypingReport,
+    };
+    pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
+    pub use xvu_tree::{
+        parse_term, parse_term_with_ids, to_term, to_term_with_ids, Alphabet, DocTree, NodeId,
+        NodeIdGen, Sym, Tree, TreeBuilder,
+    };
+    pub use xvu_view::{
+        derive_view_dtd, extract_view, parse_annotation, visible_nodes, Annotation,
+    };
+    pub use xvu_xml::{read_dtd, read_xml, write_xml, WriteOptions};
+}

@@ -1,0 +1,257 @@
+//! Completeness of the graph constructions (the "vice versa" direction of
+//! Theorems 1–2), checked by brute force on small instances.
+//!
+//! The soundness direction — everything the graphs produce is correct —
+//! is covered everywhere else. Here we independently enumerate **all**
+//! trees satisfying the DTD up to a size bound, select those whose view
+//! matches the target, and compare against the graph-based enumeration:
+//! the two sets of isomorphism classes must coincide. A missing class
+//! would falsify the capture theorems.
+
+use std::collections::BTreeSet;
+use xml_view_update::prelude::*;
+
+/// A plain label tree for brute-force enumeration (no identifiers).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct BT {
+    label: usize,
+    children: Vec<BT>,
+}
+
+impl BT {
+    fn size(&self) -> usize {
+        1 + self.children.iter().map(BT::size).sum::<usize>()
+    }
+
+    /// Canonical term string, used as the isomorphism-class key.
+    fn key(&self, alpha: &Alphabet) -> String {
+        let name = alpha.name(Sym::from_index(self.label));
+        if self.children.is_empty() {
+            name.to_owned()
+        } else {
+            let kids: Vec<String> = self.children.iter().map(|c| c.key(alpha)).collect();
+            format!("{name}({})", kids.join(","))
+        }
+    }
+
+    /// The view under `ann` (labels only).
+    fn view(&self, ann: &Annotation) -> BT {
+        let parent = Sym::from_index(self.label);
+        BT {
+            label: self.label,
+            children: self
+                .children
+                .iter()
+                .filter(|c| ann.is_visible(parent, Sym::from_index(c.label)))
+                .map(|c| c.view(ann))
+                .collect(),
+        }
+    }
+
+    fn of_doc(t: &DocTree, n: NodeId) -> BT {
+        BT {
+            label: t.label(n).index(),
+            children: t.children(n).iter().map(|&c| BT::of_doc(t, c)).collect(),
+        }
+    }
+}
+
+/// Enumerates all child words over `alphabet_len` symbols of length ≤
+/// `max_len` accepted by the content model of `label`.
+fn words(dtd: &Dtd, alphabet_len: usize, label: Sym, max_len: usize) -> Vec<Vec<usize>> {
+    let model = dtd.content_model(label);
+    let mut out = Vec::new();
+    let mut stack: Vec<Vec<usize>> = vec![vec![]];
+    while let Some(w) = stack.pop() {
+        let syms: Vec<Sym> = w.iter().map(|&i| Sym::from_index(i)).collect();
+        if model.accepts(&syms) {
+            out.push(w.clone());
+        }
+        if w.len() < max_len {
+            for i in 0..alphabet_len {
+                let mut next = w.clone();
+                next.push(i);
+                stack.push(next);
+            }
+        }
+    }
+    out
+}
+
+/// All trees rooted at `label` satisfying `dtd` with at most `budget`
+/// nodes (and at most `max_arity` children per node).
+fn all_trees(
+    dtd: &Dtd,
+    alphabet_len: usize,
+    label: usize,
+    budget: usize,
+    max_arity: usize,
+) -> Vec<BT> {
+    if budget == 0 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for w in words(dtd, alphabet_len, Sym::from_index(label), max_arity) {
+        // distribute the remaining budget over the children
+        let child_sets: Vec<Vec<BT>> = w
+            .iter()
+            .map(|&c| all_trees(dtd, alphabet_len, c, budget - 1, max_arity))
+            .collect();
+        // cartesian product with total-size filter
+        let mut combos: Vec<Vec<BT>> = vec![vec![]];
+        for set in &child_sets {
+            let mut next = Vec::new();
+            for combo in &combos {
+                let used: usize = combo.iter().map(BT::size).sum();
+                for t in set {
+                    if 1 + used + t.size() <= budget {
+                        let mut c = combo.clone();
+                        c.push(t.clone());
+                        next.push(c);
+                    }
+                }
+            }
+            combos = next;
+        }
+        for children in combos {
+            if children.len() == w.len() {
+                out.push(BT { label, children });
+            }
+        }
+    }
+    out
+}
+
+/// Theorem 1 completeness on the paper's Figure 6 instance: brute-force
+/// inverses of `d(c, c)` up to 7 nodes vs graph enumeration.
+#[test]
+fn inversion_graphs_capture_all_inverses_fig6() {
+    let fx = xml_view_update::workload::paper::running_example();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = fx.gen.clone();
+    let frag = parse_term_with_ids(&mut alpha, &mut gen, "d#11(c#13, c#14)").unwrap();
+    let target_view = BT::of_doc(&frag, frag.root());
+    let d = alpha.get("d").unwrap();
+
+    // brute force: every valid d-rooted tree with ≤ 7 nodes whose view is
+    // d(c, c)
+    let mut brute: BTreeSet<String> = BTreeSet::new();
+    for t in all_trees(&fx.dtd, alpha.len(), d.index(), 7, 6) {
+        if t.view(&fx.ann) == target_view {
+            brute.insert(t.key(&alpha));
+        }
+    }
+    // ((a+b)·c)* around two visible c's: exactly one hidden (a|b) before
+    // each c, plus optional extra ((a+b)c) groups are *not* allowed (they
+    // would add visible c's). So: 4 classes at 5 nodes... plus nothing
+    // else fits in 7 nodes without changing the view.
+    assert_eq!(brute.len(), 4, "brute-force classes: {brute:?}");
+
+    // graph-based enumeration, same bound
+    let sizes = min_sizes(&fx.dtd, alpha.len());
+    let pkg = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &pkg,
+    };
+    let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
+    let mut gen2 = NodeIdGen::starting_at(1 << 20);
+    let enumerated = forest
+        .enumerate_inverses(&fx.dtd, &cm, &mut gen2, 1_000, 10_000, 20)
+        .unwrap();
+    let mut graph_classes: BTreeSet<String> = BTreeSet::new();
+    for inv in &enumerated {
+        if inv.size() <= 7 {
+            graph_classes.insert(BT::of_doc(inv, inv.root()).key(&alpha));
+        }
+    }
+    assert_eq!(
+        brute, graph_classes,
+        "graph enumeration must capture exactly the brute-force inverse classes"
+    );
+}
+
+/// Same completeness check on a pumpable schema where inverses of several
+/// sizes exist.
+#[test]
+fn inversion_graphs_capture_all_inverses_pumpable() {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.b*)*").unwrap();
+    let ann = parse_annotation(&mut alpha, "hide r b").unwrap();
+    let mut gen = NodeIdGen::new();
+    let frag = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, a#2)").unwrap();
+    let target_view = BT::of_doc(&frag, frag.root());
+    let r = alpha.get("r").unwrap();
+
+    let bound = 6;
+    let mut brute: BTreeSet<String> = BTreeSet::new();
+    for t in all_trees(&dtd, alpha.len(), r.index(), bound, 6) {
+        if t.view(&ann) == target_view {
+            brute.insert(t.key(&alpha));
+        }
+    }
+    // r(a,a), r(a,b,a), r(a,a,b), r(a,b,b,a), r(a,b,a,b), r(a,a,b,b),
+    // and the 3-b variants at 6 nodes: r(a,b,b,b,a), r(a,b,b,a,b),
+    // r(a,b,a,b,b), r(a,a,b,b,b) → 10 classes.
+    assert_eq!(brute.len(), 10, "brute-force classes: {brute:?}");
+
+    let sizes = min_sizes(&dtd, alpha.len());
+    let pkg = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &pkg,
+    };
+    let forest = InversionForest::build(&dtd, &ann, &frag, &cm).unwrap();
+    let mut gen2 = NodeIdGen::starting_at(1 << 20);
+    let enumerated = forest
+        .enumerate_inverses(&dtd, &cm, &mut gen2, 1_000, 100_000, 16)
+        .unwrap();
+    let mut graph_classes: BTreeSet<String> = BTreeSet::new();
+    for inv in &enumerated {
+        if inv.size() <= bound {
+            graph_classes.insert(BT::of_doc(inv, inv.root()).key(&alpha));
+        }
+    }
+    assert_eq!(brute, graph_classes);
+}
+
+/// Theorem 2 completeness: the *minimal* brute-force inverses are exactly
+/// the classes counted by the optimal inversion graphs.
+#[test]
+fn optimal_graphs_capture_exactly_the_minimal_inverses() {
+    let fx = xml_view_update::workload::paper::running_example();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = fx.gen.clone();
+    let frag = parse_term_with_ids(&mut alpha, &mut gen, "d#11(c#13, c#14)").unwrap();
+    let target_view = BT::of_doc(&frag, frag.root());
+    let d = alpha.get("d").unwrap();
+
+    let mut best: Option<usize> = None;
+    let mut minimal: BTreeSet<String> = BTreeSet::new();
+    for t in all_trees(&fx.dtd, alpha.len(), d.index(), 8, 6) {
+        if t.view(&fx.ann) == target_view {
+            let s = t.size();
+            match best {
+                Some(b) if s > b => {}
+                Some(b) if s == b => {
+                    minimal.insert(t.key(&alpha));
+                }
+                _ => {
+                    best = Some(s);
+                    minimal.clear();
+                    minimal.insert(t.key(&alpha));
+                }
+            }
+        }
+    }
+
+    let sizes = min_sizes(&fx.dtd, alpha.len());
+    let pkg = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &pkg,
+    };
+    let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
+    assert_eq!(best.unwrap() as u64, forest.min_inverse_size());
+    assert_eq!(minimal.len() as u128, forest.count_min_inverses());
+}

@@ -1,0 +1,77 @@
+//! Integration: the hospital security-view scenario end to end.
+
+use xml_view_update::prelude::*;
+use xml_view_update::workload::scenario::{
+    admit_patient, discharge_patient, hospital, hospital_doc,
+};
+
+#[test]
+fn admissions_and_discharges_round_trip() {
+    let h = hospital();
+    let mut gen = NodeIdGen::new();
+    let mut doc = hospital_doc(&h, 3, 3, &mut gen);
+    let initial_hidden = hidden_ids(&h.ann, &doc);
+
+    // Admit two patients into department 1, then discharge one from
+    // department 0.
+    for round in 0..2 {
+        let s = admit_patient(&h, &doc, 1, &mut gen);
+        let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        verify_propagation(&inst, &prop.script).unwrap();
+        doc = output_tree(&prop.script).unwrap();
+        for id in doc.node_ids() {
+            gen.bump_past(id);
+        }
+        assert!(h.dtd.is_valid(&doc), "round {round}");
+    }
+    // All originally hidden data survived the admissions.
+    for id in &initial_hidden {
+        assert!(doc.contains(*id));
+    }
+
+    let before = doc.size();
+    let s = discharge_patient(&h, &doc, 0, 1);
+    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    verify_propagation(&inst, &prop.script).unwrap();
+    doc = output_tree(&prop.script).unwrap();
+    // A full patient (8 nodes, 5 of them hidden) disappeared.
+    assert_eq!(before - doc.size(), 8);
+    assert_eq!(prop.cost, 8);
+    assert!(h.dtd.is_valid(&doc));
+}
+
+#[test]
+fn admission_cost_is_view_size_of_insert() {
+    // The inserted patient is name + record (3 visible nodes); the hidden
+    // parts (insurance, diagnoses, …) are all optional in the schema, so
+    // the minimal propagation adds nothing invisible.
+    let h = hospital();
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, 1, 1, &mut gen);
+    let s = admit_patient(&h, &doc, 0, &mut gen);
+    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    assert_eq!(prop.cost, 3);
+}
+
+#[test]
+fn large_hospital_propagates_quickly_and_correctly() {
+    // A ~8k node document: the polynomial pipeline should handle it
+    // easily inside a unit test.
+    let h = hospital();
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, 10, 100, &mut gen);
+    assert!(doc.size() > 8_000);
+    let s = admit_patient(&h, &doc, 5, &mut gen);
+    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    verify_propagation(&inst, &prop.script).unwrap();
+    assert_eq!(prop.cost, 3);
+}
+
+fn hidden_ids(ann: &Annotation, doc: &DocTree) -> Vec<NodeId> {
+    let visible = visible_nodes(ann, doc);
+    doc.node_ids().filter(|n| !visible.contains(n)).collect()
+}

@@ -1,0 +1,163 @@
+//! Integration tests replaying every figure of the paper through the
+//! public API (experiments E1–E6 of DESIGN.md).
+
+use xml_view_update::prelude::*;
+use xml_view_update::workload::paper::{self, running_example};
+
+/// E1 — Figures 1–3: source tree, DTD, annotation, view.
+#[test]
+fn e1_source_dtd_annotation_view() {
+    let fx = running_example();
+    // Fig. 1: t0 has 11 nodes with the exact identifier set.
+    assert_eq!(fx.t0.size(), 11);
+    for id in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+        assert!(fx.t0.contains(NodeId(id)), "t0 must contain n{id}");
+    }
+    // Fig. 2: t0 satisfies D0.
+    fx.dtd.validate(&fx.t0).unwrap();
+    // Fig. 3: the view is exactly r#0(a#1, d#3(c#8), a#4, d#6(c#10)).
+    let view = extract_view(&fx.ann, &fx.t0);
+    assert_eq!(
+        to_term_with_ids(&view, &fx.alpha),
+        "r#0(a#1, d#3(c#8), a#4, d#6(c#10))"
+    );
+    // The view DTD remark: r → (a·d)*, d → c*.
+    let view_dtd = derive_view_dtd(&fx.dtd, &fx.ann, fx.alpha.len());
+    assert!(view_dtd.is_valid(&view));
+}
+
+/// E2 — Figures 4–5: the view update S0 and its projections.
+#[test]
+fn e2_update_projections() {
+    let fx = running_example();
+    validate_script(&fx.s0).unwrap();
+    let input = input_tree(&fx.s0).unwrap();
+    assert_eq!(input, extract_view(&fx.ann, &fx.t0), "In(S0) = A(t0)");
+    let out = output_tree(&fx.s0).unwrap();
+    assert_eq!(
+        to_term_with_ids(&out, &fx.alpha),
+        "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))",
+        "Out(S0) is Fig. 5"
+    );
+    assert_eq!(cost(&fx.s0), 8);
+}
+
+/// E3 — Figure 6: the inversion graph of d#11(c#13, c#14) and its
+/// minimal inverse.
+#[test]
+fn e3_inversion_graph() {
+    let fx = running_example();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = fx.gen.clone();
+    let frag = parse_term_with_ids(&mut alpha, &mut gen, "d#11(c#13, c#14)").unwrap();
+    let sizes = min_sizes(&fx.dtd, alpha.len());
+    let pkg = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &pkg,
+    };
+    let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
+    // minimal inverse: d(x, c, y, c) with x, y ∈ {a, b} → 5 nodes, padding 2
+    assert_eq!(forest.min_padding(), 2);
+    assert_eq!(forest.min_inverse_size(), 5);
+    let inv = forest
+        .materialize_min(&fx.dtd, &cm, Selector::PreferNop, &mut gen, 1_000)
+        .unwrap();
+    assert!(fx.dtd.is_valid(&inv));
+    assert_eq!(extract_view(&fx.ann, &inv), frag);
+    // Fig. 6 shows one of the 4 minimal inverses (d(a, c, b, c)).
+    assert_eq!(forest.count_min_inverses(), 4);
+}
+
+/// E4 — Figure 7: an optimal side-effect-free propagation of S0 with
+/// cost 14, verified end to end.
+#[test]
+fn e4_fig7_propagation() {
+    let fx = running_example();
+    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    assert_eq!(prop.cost, 14);
+    verify_propagation(&inst, &prop.script).unwrap();
+    // No enumerated optimal propagation has a different cost, and all are
+    // sound.
+    let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+    let pkg = InsertletPackage::new();
+    let cm = CostModel {
+        sizes: &sizes,
+        insertlets: &pkg,
+    };
+    let scripts =
+        enumerate_optimal_propagations(&inst, &cm, &prop.forest, &Config::default(), 16).unwrap();
+    assert!(!scripts.is_empty());
+    for s in &scripts {
+        verify_propagation(&inst, s).unwrap();
+        assert_eq!(cost(s), 14);
+    }
+}
+
+/// E5 — Figure 8: the propagation graph G_{n6}.
+#[test]
+fn e5_graph_n6() {
+    let fx = running_example();
+    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let g = &prop.forest.graphs[&NodeId(6)];
+    // Graph shape is automaton-representation dependent; the invariants:
+    // a start, goals, a best path of cost 2 (keep b9 and c10, insert the
+    // inverse of c15 = c plus one hidden sibling).
+    assert_eq!(g.best_cost(), Some(2));
+    assert!(g.n_vertices() >= 8);
+    assert!(g.n_edges() >= 8);
+    assert_eq!(prop.forest.costs[&NodeId(6)], 2);
+}
+
+/// E6 — Figure 10: the optimal propagation graph G*_{n0}.
+#[test]
+fn e6_optimal_graph_n0() {
+    let fx = running_example();
+    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let g0 = &prop.forest.graphs[&NodeId(0)];
+    let opt = g0.optimal_subgraph().unwrap();
+    assert!(opt.is_acyclic(), "G* is acyclic (paper, Further results)");
+    assert_eq!(opt.best_cost(), Some(14));
+    assert!(opt.n_edges() < g0.n_edges(), "G* prunes non-optimal edges");
+    // The Fig. 10 path (preference of Nop-edges over Ins-edges) is what
+    // the default selector walks; its ops in order:
+    let path = opt
+        .walk(|g, outs| Selector::PreferNop.pick(g, outs))
+        .unwrap();
+    let kinds: Vec<&str> = path
+        .iter()
+        .map(|&e| match opt.edge(e).payload {
+            xml_view_update::propagate::PropEdge::InsInvisible(_) => "Ins·",
+            xml_view_update::propagate::PropEdge::DelInvisible { .. } => "Del·",
+            xml_view_update::propagate::PropEdge::NopInvisible { .. } => "Nop·",
+            xml_view_update::propagate::PropEdge::InsVisible { .. } => "InsV",
+            xml_view_update::propagate::PropEdge::DelVisible { .. } => "DelV",
+            xml_view_update::propagate::PropEdge::NopVisible { .. } => "NopV",
+        })
+        .collect();
+    // Fig. 10's selected path: delete the a·b·d group, keep a4 (Nop),
+    // keep c5 (Nop invisible), insert d-group and a (visible inserts with
+    // one invisible b), keep d6.
+    assert_eq!(
+        kinds,
+        vec!["DelV", "Del·", "DelV", "NopV", "Nop·", "InsV", "InsV", "Ins·", "NopV"]
+    );
+}
+
+/// The §4 existence example D1: a visible insert has infinitely many
+/// propagations, the optimal one adds no padding.
+#[test]
+fn d1_has_minimal_padding_zero() {
+    let fx = paper::d1_infinite_propagations();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = NodeIdGen::new();
+    let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)").unwrap();
+    let update = parse_script(&mut alpha, "nop:r#0(nop:a#1, ins:a#2)").unwrap();
+    let inst = Instance::new(&fx.dtd, &fx.ann, &source, &update, alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    assert_eq!(prop.cost, 1);
+    verify_propagation(&inst, &prop.script).unwrap();
+}

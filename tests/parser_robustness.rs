@@ -1,0 +1,88 @@
+//! Robustness: every parser must reject garbage with typed errors, never
+//! panic, on arbitrary input.
+
+use proptest::prelude::*;
+use xml_view_update::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Term parser never panics.
+    #[test]
+    fn term_parser_total(input in "\\PC{0,60}") {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let _ = parse_term(&mut alpha, &mut gen, &input);
+        let _ = parse_term_with_ids(&mut alpha, &mut gen, &input);
+    }
+
+    /// Regex parser never panics.
+    #[test]
+    fn regex_parser_total(input in "\\PC{0,60}") {
+        let mut alpha = Alphabet::new();
+        let _ = xml_view_update::automata::parse_regex(&mut alpha, &input);
+    }
+
+    /// DTD rule parser never panics.
+    #[test]
+    fn dtd_parser_total(input in "\\PC{0,80}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_dtd(&mut alpha, &input);
+    }
+
+    /// Annotation parser never panics.
+    #[test]
+    fn annotation_parser_total(input in "\\PC{0,80}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_annotation(&mut alpha, &input);
+    }
+
+    /// Script parser never panics.
+    #[test]
+    fn script_parser_total(input in "\\PC{0,80}") {
+        let mut alpha = Alphabet::new();
+        let _ = parse_script(&mut alpha, &input);
+    }
+
+    /// XML reader never panics (including on multi-byte UTF-8).
+    #[test]
+    fn xml_reader_total(input in "\\PC{0,100}") {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let _ = read_xml(&mut alpha, &mut gen, &input);
+    }
+
+    /// XML reader never panics on tag-soup-shaped input.
+    #[test]
+    fn xml_reader_tag_soup(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "<r>", "</r>", "<a/>", "<", ">", "/>", "<!--", "-->", "<?", "?>",
+            "x", " ", "\"", "'", "xvu:id=\"3\"", "<a", "</",
+        ]), 0..20))
+    {
+        let input: String = parts.concat();
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let _ = read_xml(&mut alpha, &mut gen, &input);
+    }
+
+    /// DTD declaration reader never panics.
+    #[test]
+    fn dtd_decl_reader_total(input in "\\PC{0,100}") {
+        let mut alpha = Alphabet::new();
+        let _ = read_dtd(&mut alpha, &input);
+    }
+
+    /// The CLI front end never panics on malformed argument vectors.
+    #[test]
+    fn cli_total(args in prop::collection::vec(
+        prop::sample::select(vec![
+            "validate", "view", "propagate", "invert", "--dtd", "--doc",
+            "--ann", "--view", "--update", "--selector", "nop", "bogus",
+            "/nonexistent/path",
+        ]), 0..6))
+    {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let _ = xml_view_update::cli::run(&owned);
+    }
+}

@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) over the public API.
+//!
+//! Structured inputs (trees, regexes, scripts) are generated directly as
+//! proptest strategies; pipeline-level properties take seeds and drive the
+//! deterministic workload generators, so shrinking shrinks the seed.
+
+use proptest::prelude::*;
+use xml_view_update::prelude::*;
+use xml_view_update::workload::{
+    generate_annotation, generate_doc, generate_dtd, generate_update, DocGenConfig, DtdGenConfig,
+    UpdateGenConfig,
+};
+
+// ---------------------------------------------------------------- trees
+
+/// Strategy: a random term string over labels {a..e} with ≤ 40 nodes.
+fn arb_term() -> impl Strategy<Value = String> {
+    let leaf = prop::sample::select(vec!["a", "b", "c", "d", "e"]).prop_map(str::to_owned);
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            prop::sample::select(vec!["a", "b", "c", "d", "e"]),
+            prop::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(l, kids)| format!("{l}({})", kids.join(", ")))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Term syntax round-trips.
+    #[test]
+    fn term_round_trip(src in arb_term()) {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, &src).unwrap();
+        let printed = to_term(&t, &alpha);
+        prop_assert_eq!(&printed, &src);
+        // identifier-annotated round trip too
+        let with_ids = to_term_with_ids(&t, &alpha);
+        let mut gen2 = NodeIdGen::new();
+        let t2 = parse_term_with_ids(&mut alpha, &mut gen2, &with_ids).unwrap();
+        prop_assert_eq!(&t, &t2);
+    }
+
+    /// Fresh-identifier copies are isomorphic and identifier-disjoint.
+    #[test]
+    fn fresh_copy_properties(src in arb_term()) {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, &src).unwrap();
+        let u = t.with_fresh_ids(&mut gen);
+        prop_assert!(t.isomorphic(&u));
+        for id in u.node_ids() {
+            prop_assert!(!t.contains(id));
+        }
+    }
+
+    /// XML writer/reader round-trips with identifiers.
+    #[test]
+    fn xml_round_trip(src in arb_term()) {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, &src).unwrap();
+        let xml = write_xml(&t, &alpha, &WriteOptions { pretty: true, with_ids: true });
+        let mut gen2 = NodeIdGen::new();
+        let back = read_xml(&mut alpha, &mut gen2, &xml).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Nop-lift is the identity under apply; Ins/Del lifts project as
+    /// stated in the paper.
+    #[test]
+    fn script_lift_laws(src in arb_term()) {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term(&mut alpha, &mut gen, &src).unwrap();
+        prop_assert_eq!(apply(&nop_script(&t), &t).unwrap(), t.clone());
+        prop_assert!(input_tree(&ins_script(&t)).is_none());
+        prop_assert_eq!(output_tree(&ins_script(&t)).unwrap(), t.clone());
+        prop_assert_eq!(input_tree(&del_script(&t)).unwrap(), t.clone());
+        prop_assert!(output_tree(&del_script(&t)).is_none());
+        prop_assert_eq!(cost(&nop_script(&t)), 0);
+        prop_assert_eq!(cost(&ins_script(&t)), t.size());
+    }
+}
+
+// ------------------------------------------------------------- regexes
+
+/// Strategy: random regex syntax over {a, b, c}.
+fn arb_regex() -> impl Strategy<Value = String> {
+    let atom = prop::sample::select(vec!["a", "b", "c", "eps"]).prop_map(str::to_owned);
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x}.{y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x}+{y})")),
+            inner.clone().prop_map(|x| format!("({x})*")),
+            inner.prop_map(|x| format!("({x})?")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Regex print/parse round-trips to an equal AST.
+    #[test]
+    fn regex_round_trip(src in arb_regex()) {
+        let mut alpha = Alphabet::new();
+        let e = xml_view_update::automata::parse_regex(&mut alpha, &src).unwrap();
+        let printed = e.to_syntax(&alpha);
+        let e2 = xml_view_update::automata::parse_regex(&mut alpha, &printed).unwrap();
+        prop_assert_eq!(e, e2);
+    }
+
+    /// Glushkov NFA and determinised DFA accept the same words.
+    #[test]
+    fn nfa_dfa_agree(src in arb_regex(), words in prop::collection::vec(
+        prop::collection::vec(0usize..3, 0..6), 1..8))
+    {
+        let mut alpha = Alphabet::new();
+        for l in ["a", "b", "c"] { alpha.intern(l); }
+        let e = xml_view_update::automata::parse_regex(&mut alpha, &src).unwrap();
+        let nfa = xml_view_update::automata::glushkov(&e);
+        let dfa = xml_view_update::automata::Dfa::determinize(&nfa, alpha.len());
+        let min = dfa.minimize();
+        for w in &words {
+            let word: Vec<Sym> = w.iter().map(|&i| Sym::from_index(i)).collect();
+            let by_nfa = nfa.accepts(&word);
+            prop_assert_eq!(by_nfa, dfa.accepts(&word));
+            prop_assert_eq!(by_nfa, min.accepts(&word));
+        }
+    }
+}
+
+// ------------------------------------------------------- pipeline level
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Views are identifier-preserving, upward-closed restrictions.
+    #[test]
+    fn view_invariants(seed in 0u64..5000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.35, seed ^ 1, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, ..DocGenConfig::default() }, seed ^ 2, &mut gen);
+        let view = extract_view(&ann, &doc);
+        // every view node is a source node with the same label
+        for n in view.node_ids() {
+            prop_assert!(doc.contains(n));
+            prop_assert_eq!(doc.label(n), view.label(n));
+        }
+        // upward closure: the parent of a view node is in the view
+        for n in view.node_ids() {
+            if let Some(p) = view.parent(n) {
+                prop_assert_eq!(doc.parent(n), Some(p));
+            }
+        }
+        // the view satisfies the derived view DTD
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+        prop_assert!(view_dtd.is_valid(&view));
+    }
+
+    /// End-to-end: propagation exists, verifies, and is cost-consistent
+    /// (the full Theorem 3/4/5 pipeline on fresh random instances).
+    #[test]
+    fn pipeline_soundness(seed in 0u64..5000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 11, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, max_children: 5, ..DocGenConfig::default() },
+            seed ^ 12, &mut gen);
+        let update = generate_update(&dtd, &ann, alpha.len(), &doc,
+            &UpdateGenConfig { ops: 3, ..UpdateGenConfig::default() }, seed ^ 13, &mut gen);
+        let inst = Instance::new(&dtd, &ann, &doc, &update, alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        verify_propagation(&inst, &prop.script).unwrap();
+        prop_assert_eq!(cost(&prop.script) as u64, prop.cost);
+        // the identity part: if the update has cost 0 the source is
+        // untouched
+        if cost(&update) == 0 {
+            prop_assert_eq!(output_tree(&prop.script).unwrap(), doc);
+        }
+    }
+
+    /// Identifier-based diff is a lossless inverse of script application:
+    /// for any generated valid update S, diff(In(S), Out(S)) is a script
+    /// with the same input/output (the canonical form of S).
+    #[test]
+    fn diff_round_trips_generated_updates(seed in 0u64..5000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 21, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, ..DocGenConfig::default() }, seed ^ 22, &mut gen);
+        let update = generate_update(&dtd, &ann, alpha.len(), &doc,
+            &UpdateGenConfig::default(), seed ^ 23, &mut gen);
+        let view = extract_view(&ann, &doc);
+        let out = output_tree(&update).unwrap();
+        let canonical = diff(&view, &out).unwrap();
+        prop_assert_eq!(input_tree(&canonical).unwrap(), view.clone());
+        prop_assert_eq!(output_tree(&canonical).unwrap(), out.clone());
+        prop_assert_eq!(apply(&canonical, &view).unwrap(), out);
+        prop_assert_eq!(cost(&canonical), cost(&update));
+    }
+
+    /// Incremental revalidation accepts every sound propagation and the
+    /// cross-view effect under the identity annotation is the whole
+    /// propagation.
+    #[test]
+    fn incremental_and_cross_view(seed in 0u64..5000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 31, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, ..DocGenConfig::default() }, seed ^ 32, &mut gen);
+        let update = generate_update(&dtd, &ann, alpha.len(), &doc,
+            &UpdateGenConfig::default(), seed ^ 33, &mut gen);
+        let inst = Instance::new(&dtd, &ann, &doc, &update, alpha.len()).unwrap();
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        revalidate_output(&dtd, &prop.script).unwrap();
+        let full = cross_view_effect(&Annotation::all_visible(), &prop.script).unwrap();
+        prop_assert_eq!(cost(&full) as u64, prop.cost);
+        // the view the user edited observes exactly their own update cost
+        let own = cross_view_effect(&ann, &prop.script).unwrap();
+        prop_assert_eq!(cost(&own), cost(&update));
+    }
+
+    /// Minimal-tree sizes: witnesses match the computed sizes and satisfy
+    /// the DTD.
+    #[test]
+    fn minsize_witness_agreement(seed in 0u64..5000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let sizes = min_sizes(&dtd, alpha.len());
+        let mut gen = NodeIdGen::new();
+        for s in alpha.syms() {
+            prop_assert!(sizes.is_satisfiable(s));
+            let w = minimal_witness(&dtd, &sizes, s, &mut gen, 1 << 20).unwrap();
+            prop_assert_eq!(w.size() as u64, sizes.get(s));
+            prop_assert!(dtd.is_valid(&w));
+        }
+    }
+
+    /// Tree edit distance is a metric on random tree pairs (identity,
+    /// symmetry, triangle inequality).
+    #[test]
+    fn ted_metric_properties(s1 in arb_term(), s2 in arb_term(), s3 in arb_term()) {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let a = parse_term(&mut alpha, &mut gen, &s1).unwrap();
+        let b = parse_term(&mut alpha, &mut gen, &s2).unwrap();
+        let c = parse_term(&mut alpha, &mut gen, &s3).unwrap();
+        prop_assert_eq!(tree_edit_distance(&a, &a), 0);
+        let dab = tree_edit_distance(&a, &b);
+        let dba = tree_edit_distance(&b, &a);
+        prop_assert_eq!(dab, dba);
+        let dbc = tree_edit_distance(&b, &c);
+        let dac = tree_edit_distance(&a, &c);
+        prop_assert!(dac <= dab + dbc, "triangle violated: {} > {} + {}", dac, dab, dbc);
+        // distance zero implies isomorphism for label-equality costs
+        if dab == 0 {
+            prop_assert!(a.isomorphic(&b));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Randomized validation of the paper's theorems (experiment E11).
+//!
+//! Over seeded random instances (DTD, annotation, document, valid view
+//! update) we check:
+//!
+//! * **Theorem 5** — a schema-compliant side-effect-free propagation
+//!   always exists (`propagate` never fails on a valid instance);
+//! * **Theorems 3–4 soundness** — the produced script verifies, its cost
+//!   matches the graph optimum, and no enumerated propagation (optimal or
+//!   bounded-suboptimal) is unsound or beats the optimum;
+//! * **Theorems 1–2 soundness** — every enumerated inverse of the updated
+//!   view is a true inverse and none is smaller than the claimed minimum;
+//! * determinism of the end-to-end algorithm.
+
+use xml_view_update::prelude::*;
+use xml_view_update::workload::{
+    generate_annotation, generate_doc, generate_dtd, generate_update, DocGenConfig, DtdGenConfig,
+    UpdateGenConfig,
+};
+
+struct RandomInstance {
+    alpha: Alphabet,
+    dtd: Dtd,
+    ann: Annotation,
+    doc: DocTree,
+    update: Script,
+}
+
+fn random_instance(seed: u64) -> RandomInstance {
+    let mut alpha = Alphabet::new();
+    let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+    let ann = generate_annotation(&alpha, 0.3, seed.wrapping_mul(31), &[]);
+    let root = alpha.get("l0").expect("root label");
+    let mut gen = NodeIdGen::new();
+    let doc = generate_doc(
+        &dtd,
+        alpha.len(),
+        root,
+        &DocGenConfig {
+            max_depth: 5,
+            max_children: 6,
+            ..DocGenConfig::default()
+        },
+        seed ^ 0x00c0_ffee,
+        &mut gen,
+    );
+    let update = generate_update(
+        &dtd,
+        &ann,
+        alpha.len(),
+        &doc,
+        &UpdateGenConfig::default(),
+        seed ^ 0x0bad_f00d,
+        &mut gen,
+    );
+    RandomInstance {
+        alpha,
+        dtd,
+        ann,
+        doc,
+        update,
+    }
+}
+
+/// Theorem 5 + Theorem 3/4 soundness, 40 seeds.
+#[test]
+fn theorem5_propagation_always_exists_and_verifies() {
+    for seed in 0..40u64 {
+        let ri = random_instance(seed);
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len())
+            .unwrap_or_else(|e| panic!("seed {seed}: generated instance invalid: {e}"));
+        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: Theorem 5 violated: {e}"));
+        verify_propagation(&inst, &prop.script)
+            .unwrap_or_else(|e| panic!("seed {seed}: unsound propagation: {e}"));
+        assert_eq!(
+            cost(&prop.script) as u64,
+            prop.cost,
+            "seed {seed}: script cost differs from graph optimum"
+        );
+    }
+}
+
+/// Optimality: enumerated optimal propagations all have the optimal cost;
+/// bounded full enumeration never beats it. 12 seeds (enumeration is
+/// exponential by design).
+#[test]
+fn theorems_3_4_enumeration_consistency() {
+    for seed in 0..12u64 {
+        let ri = random_instance(seed);
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
+        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let prop = propagate(&inst, &pkg, &Config::default()).unwrap();
+
+        let optimal =
+            enumerate_optimal_propagations(&inst, &cm, &prop.forest, &Config::default(), 10)
+                .unwrap();
+        assert!(!optimal.is_empty(), "seed {seed}");
+        for s in &optimal {
+            verify_propagation(&inst, s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(cost(s) as u64, prop.cost, "seed {seed}");
+        }
+
+        let bounded = xml_view_update::propagate::enumerate_propagations_bounded(
+            &inst,
+            &cm,
+            &prop.forest,
+            &Config::default(),
+            10,
+            12,
+        )
+        .unwrap();
+        for s in &bounded {
+            verify_propagation(&inst, s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                cost(s) as u64 >= prop.cost,
+                "seed {seed}: enumeration beat the optimum"
+            );
+        }
+    }
+}
+
+/// Theorems 1–2: inverses of the updated view are sound and none beats
+/// the claimed minimal size.
+#[test]
+fn theorems_1_2_inversion_soundness() {
+    for seed in 0..20u64 {
+        let ri = random_instance(seed);
+        let updated_view = output_tree(&ri.update).expect("root preserved");
+        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = InversionForest::build(&ri.dtd, &ri.ann, &updated_view, &cm)
+            .unwrap_or_else(|e| panic!("seed {seed}: view must be invertible: {e}"));
+        let mut gen = NodeIdGen::starting_at(1 << 40);
+        let min = forest
+            .materialize_min(&ri.dtd, &cm, Selector::PreferNop, &mut gen, 100_000)
+            .unwrap();
+        assert!(ri.dtd.is_valid(&min), "seed {seed}");
+        assert_eq!(extract_view(&ri.ann, &min), updated_view, "seed {seed}");
+        assert_eq!(min.size() as u64, forest.min_inverse_size(), "seed {seed}");
+
+        let all = forest
+            .enumerate_inverses(&ri.dtd, &cm, &mut gen, 100_000, 15, 10)
+            .unwrap();
+        for inv in &all {
+            assert!(ri.dtd.is_valid(inv), "seed {seed}");
+            assert_eq!(extract_view(&ri.ann, inv), updated_view, "seed {seed}");
+            assert!(
+                inv.size() as u64 >= forest.min_inverse_size(),
+                "seed {seed}: inverse smaller than the claimed minimum"
+            );
+        }
+    }
+}
+
+/// The algorithm is deterministic: same instance, same script.
+#[test]
+fn propagation_is_deterministic_across_runs() {
+    for seed in [3u64, 17, 29] {
+        let ri = random_instance(seed);
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
+        let p1 = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        let p2 = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        assert_eq!(
+            script_to_term(&p1.script, &ri.alpha),
+            script_to_term(&p2.script, &ri.alpha),
+            "seed {seed}"
+        );
+    }
+}
+
+/// All three selectors produce sound propagations of identical cost.
+#[test]
+fn selectors_agree_on_cost() {
+    for seed in 0..10u64 {
+        let ri = random_instance(seed);
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
+        let mut costs = Vec::new();
+        for sel in [
+            Selector::First,
+            Selector::PreferNop,
+            Selector::PreferTypePreserving,
+        ] {
+            let cfg = Config {
+                selector: sel,
+                ..Config::default()
+            };
+            let prop = propagate(&inst, &InsertletPackage::new(), &cfg).unwrap();
+            verify_propagation(&inst, &prop.script)
+                .unwrap_or_else(|e| panic!("seed {seed} {sel:?}: {e}"));
+            costs.push(prop.cost);
+        }
+        assert!(
+            costs.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: selectors disagree on optimal cost: {costs:?}"
+        );
+    }
+}
+
+/// Insertlet packages change materialisation but never optimality w.r.t.
+/// their own charges; with minimal packages the cost equals the
+/// no-package cost.
+#[test]
+fn minimal_insertlet_package_preserves_costs() {
+    for seed in 0..10u64 {
+        let ri = random_instance(seed);
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
+        let bare = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+
+        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
+        let mut gen = NodeIdGen::starting_at(1 << 41);
+        let pkg =
+            InsertletPackage::minimal_package(&ri.dtd, &sizes, ri.alpha.len(), &mut gen, 10_000);
+        let with_pkg = propagate(&inst, &pkg, &Config::default()).unwrap();
+        verify_propagation(&inst, &with_pkg.script).unwrap();
+        assert_eq!(bare.cost, with_pkg.cost, "seed {seed}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Integration: loading schema + document from XML syntax, propagating,
+//! and writing XML back.
+
+use xml_view_update::prelude::*;
+
+const DTD_SRC: &str = "<!ELEMENT r (a, (b | c), d)*>\n<!ELEMENT d ((a | b), c)*>";
+
+const DOC_SRC: &str = r#"<r xvu:id="0">
+  <a xvu:id="1"/><b xvu:id="2"/>
+  <d xvu:id="3"><a xvu:id="7"/><c xvu:id="8"/></d>
+  <a xvu:id="4"/><c xvu:id="5"/>
+  <d xvu:id="6"><b xvu:id="9"/><c xvu:id="10"/></d>
+</r>"#;
+
+#[test]
+fn full_xml_pipeline_matches_term_pipeline() {
+    // Build the running example from XML/DTD syntax…
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+    let dtd = read_dtd(&mut alpha, DTD_SRC).unwrap();
+    let source = read_xml(&mut alpha, &mut gen, DOC_SRC).unwrap();
+    dtd.validate(&source).unwrap();
+
+    // …it is the same document as the term fixture.
+    let fx = xml_view_update::workload::paper::running_example();
+    assert_eq!(source, fx.t0);
+
+    // Propagate S0 and compare to the term-based pipeline.
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+    let s0 = parse_script(
+        &mut alpha,
+        "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+         ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+    )
+    .unwrap();
+    let inst = Instance::new(&dtd, &ann, &source, &s0, alpha.len()).unwrap();
+    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    assert_eq!(prop.cost, 14);
+
+    // Write the new source to XML with identifiers and read it back.
+    let new_source = output_tree(&prop.script).unwrap();
+    let xml = write_xml(
+        &new_source,
+        &alpha,
+        &WriteOptions {
+            pretty: true,
+            with_ids: true,
+        },
+    );
+    let mut gen2 = NodeIdGen::new();
+    let back = read_xml(&mut alpha, &mut gen2, &xml).unwrap();
+    assert_eq!(back, new_source);
+    dtd.validate(&back).unwrap();
+}
+
+#[test]
+fn dtd_syntax_and_rule_syntax_define_equal_languages() {
+    use xml_view_update::automata::Dfa;
+    let mut a1 = Alphabet::new();
+    let from_xml = read_dtd(&mut a1, DTD_SRC).unwrap();
+    let from_rules = parse_dtd(&mut a1, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+    for label in ["r", "d"] {
+        let s = a1.get(label).unwrap();
+        let d1 = Dfa::determinize(from_xml.content_model(s), a1.len());
+        let d2 = Dfa::determinize(from_rules.content_model(s), a1.len());
+        assert!(d1.equivalent(&d2), "content models differ for {label}");
+    }
+}
