@@ -55,8 +55,7 @@ impl Dfa {
                     None => {
                         let id = StateId(subset_ids.len() as u32);
                         subset_ids.insert(target_set.clone(), id);
-                        accepting
-                            .push(target_set.iter().any(|&q| nfa.is_accepting(StateId(q))));
+                        accepting.push(target_set.iter().any(|&q| nfa.is_accepting(StateId(q))));
                         trans.push(vec![None; alphabet_len]);
                         worklist.push(target_set);
                         id

@@ -13,9 +13,7 @@ use xvu_tree::Sym;
 
 /// Builds the Glushkov automaton of `e`. `L(glushkov(e)) = L(e)`.
 pub fn glushkov(e: &Regex) -> Nfa {
-    let mut lin = Linearizer {
-        syms: Vec::new(),
-    };
+    let mut lin = Linearizer { syms: Vec::new() };
     let info = lin.walk(e);
     let n_positions = lin.syms.len();
     let mut nfa = Nfa::new(n_positions + 1, StateId(0));

@@ -18,6 +18,16 @@
 //!   typing-based path selector of paper §5);
 //! * [`min_cost_word`] — cheapest accepted word under per-symbol costs
 //!   (Dijkstra), the engine behind minimal-tree sizes and all graph weights.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | content models as regular expressions (§2) | [`Regex`], [`parse_regex`] |
+//! | content-model automata `M = (Σ, Q, q0, δ, F)` (§2) | [`Nfa`] (via [`glushkov`]), [`Dfa`] |
+//! | erasing hidden symbols for view DTDs (§3) | [`Nfa::erase_symbols`] |
+//! | cheapest completion words weighting the graph edges of Theorems 2 and 4 | [`min_cost_word`] |
+//! | the canonical (Myhill–Nerode) typing of §5's selector | [`Dfa::minimize`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@
 //!
 //! * the *minimal size of a tree satisfying `D` with root label `a`* is
 //!   `1 +` the cost of the cheapest word of `D(a)` where each letter `y`
-//!   costs the minimal size of a `y`-rooted tree (fixpoint in `xvu-dtd`);
+//!   costs the minimal size of a `y`-rooted tree (fixpoint in `xvu_dtd`);
 //! * inversion-graph and propagation-graph edge weights reuse the same
 //!   notion.
 //!

@@ -119,10 +119,10 @@ impl Nfa {
 
     /// Iterates over all transitions as `(source, symbol, target)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Sym, StateId)> + '_ {
-        self.trans.iter().enumerate().flat_map(|(q, list)| {
-            list.iter()
-                .map(move |&(y, t)| (StateId(q as u32), y, t))
-        })
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(q, list)| list.iter().map(move |&(y, t)| (StateId(q as u32), y, t)))
     }
 
     /// Word membership by subset simulation: `w ∈ L(M)`?

@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! Ablation benchmarks for three implementation design choices:
 //!
 //! * `ablation_insertlets` — invisible-fragment materialisation via
 //!   insertlet instantiation vs on-the-fly minimal-witness construction
@@ -29,7 +29,11 @@ fn bench_insertlets(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("witness", n), &n, |b, _| {
             b.iter(|| {
                 let mut g = NodeIdGen::new();
-                black_box(minimal_witness(&dtd, &sizes, a, &mut g, 1 << 40).unwrap().size())
+                black_box(
+                    minimal_witness(&dtd, &sizes, a, &mut g, 1 << 40)
+                        .unwrap()
+                        .size(),
+                )
             })
         });
         let pkg = {
@@ -41,7 +45,11 @@ fn bench_insertlets(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("insertlet", n), &n, |b, _| {
             b.iter(|| {
                 let mut g = NodeIdGen::new();
-                black_box(pkg.instantiate(&dtd, &sizes, a, &mut g, 1 << 40).unwrap().size())
+                black_box(
+                    pkg.instantiate(&dtd, &sizes, a, &mut g, 1 << 40)
+                        .unwrap()
+                        .size(),
+                )
             })
         });
     }
@@ -121,8 +129,7 @@ fn bench_dfa(c: &mut Criterion) {
     });
     group.bench_function("minimized_dfa", |b| {
         b.iter(|| {
-            let inst =
-                Instance::new(&det, &oi.ann, &oi.doc, &oi.update, oi.alpha.len()).unwrap();
+            let inst = Instance::new(&det, &oi.ann, &oi.doc, &oi.update, oi.alpha.len()).unwrap();
             black_box(
                 propagate(&inst, &InsertletPackage::new(), &Config::default())
                     .unwrap()

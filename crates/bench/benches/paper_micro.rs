@@ -47,10 +47,8 @@ fn bench_propagation(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(800));
     group.bench_function("paper_running_example", |b| {
         b.iter(|| {
-            let inst =
-                Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
-            let prop =
-                propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+            let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+            let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
             black_box(prop.cost)
         })
     });

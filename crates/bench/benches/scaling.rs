@@ -74,8 +74,7 @@ fn bench_recursive_depth(c: &mut Criterion) {
         let update = add_section(&o, &doc, &path, &mut gen);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
             b.iter(|| {
-                let inst =
-                    Instance::new(&o.dtd, &o.ann, &doc, &update, o.alpha.len()).unwrap();
+                let inst = Instance::new(&o.dtd, &o.ann, &doc, &update, o.alpha.len()).unwrap();
                 black_box(
                     propagate(&inst, &Default::default(), &Config::default())
                         .unwrap()

@@ -4,6 +4,15 @@
 //! random instances, and the D2/D3/exponential fixtures, packaged so both
 //! Criterion benches and the table-printing binary drive identical
 //! workloads.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | polynomial complexity of Theorem 6, measured | `benches/scaling.rs` (E9) over [`hospital_instance`] / [`random_instance`] |
+//! | Fig. 7 propagation and the `D3` repair contrast (§6.2) | `benches/baseline.rs` |
+//! | per-phase costs of the §4–§5 machinery | `benches/paper_micro.rs`, `benches/ablation.rs` |
+//! | the experiment tables E1–E13 | `src/bin/experiments.rs` |
 
 #![forbid(unsafe_code)]
 
@@ -37,15 +46,27 @@ pub struct OwnedInstance {
 impl OwnedInstance {
     /// Runs the full propagation pipeline once.
     pub fn propagate(&self) -> Propagation {
-        let inst = Instance::new(&self.dtd, &self.ann, &self.doc, &self.update, self.alpha.len())
-            .expect("valid instance");
+        let inst = Instance::new(
+            &self.dtd,
+            &self.ann,
+            &self.doc,
+            &self.update,
+            self.alpha.len(),
+        )
+        .expect("valid instance");
         propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("Theorem 5")
     }
 
     /// Builds the validated [`Instance`] view of this bundle.
     pub fn instance(&self) -> Instance<'_> {
-        Instance::new(&self.dtd, &self.ann, &self.doc, &self.update, self.alpha.len())
-            .expect("valid instance")
+        Instance::new(
+            &self.dtd,
+            &self.ann,
+            &self.doc,
+            &self.update,
+            self.alpha.len(),
+        )
+        .expect("valid instance")
     }
 }
 

@@ -20,6 +20,15 @@
 //! * [`InsertletPackage`] — the paper's *insertlets*: administrator-chosen
 //!   default fragments used instead of computed witnesses, making the
 //!   end-to-end algorithm polynomial in `|D| + |t| + |S| + |W|`.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | DTDs `D : Σ → NFA`, validity `t ∈ L(D)` (§2) | [`Dtd`], [`Dtd::is_valid`], [`Dtd::validate`] |
+//! | rule syntax `r -> (a.(b+c).d)*` (Fig. 2) | [`parse_dtd`] |
+//! | minimal satisfying trees and their exponential blow-up (§5) | [`min_sizes`], [`minimal_witness`], [`exponential_dtd`] |
+//! | insertlet packages `W` making Theorem 6 polynomial | [`InsertletPackage`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +40,8 @@ mod minsize;
 mod parser;
 
 pub use dtd::{Dtd, Violation};
-pub use minsize::INFINITE_SIZE;
 pub use error::DtdError;
 pub use insertlet::InsertletPackage;
+pub use minsize::INFINITE_SIZE;
 pub use minsize::{exponential_dtd, min_sizes, minimal_witness, MinSizes};
 pub use parser::parse_dtd;

@@ -149,8 +149,8 @@ fn fill_children(
 ) -> Result<(), DtdError> {
     let label = tree.label(node);
     let model = dtd.content_model(label);
-    let best = min_cost_word(model, sizes.as_cost_table())
-        .expect("satisfiable label has a cheapest word");
+    let best =
+        min_cost_word(model, sizes.as_cost_table()).expect("satisfiable label has a cheapest word");
     for y in best.word {
         let child = tree.add_child(node, gen, y);
         fill_children(dtd, sizes, tree, child, gen)?;
@@ -292,12 +292,7 @@ mod tests {
         // valid size per label
         fn smallest(dtd: &Dtd, alpha: &Alphabet, label: Sym, max: usize) -> Option<usize> {
             // breadth-first over tree shapes: recursive generator
-            fn gen_trees(
-                dtd: &Dtd,
-                alpha: &Alphabet,
-                label: Sym,
-                max: usize,
-            ) -> Vec<usize> {
+            fn gen_trees(dtd: &Dtd, alpha: &Alphabet, label: Sym, max: usize) -> Vec<usize> {
                 if max == 0 {
                     return vec![];
                 }
@@ -310,12 +305,7 @@ mod tests {
                 let mut words: Vec<Vec<Sym>> = vec![vec![]];
                 for len in 1..=2 {
                     let mut next = Vec::new();
-                    fn extend(
-                        syms: &[Sym],
-                        cur: Vec<Sym>,
-                        len: usize,
-                        out: &mut Vec<Vec<Sym>>,
-                    ) {
+                    fn extend(syms: &[Sym], cur: Vec<Sym>, len: usize, out: &mut Vec<Vec<Sym>>) {
                         if cur.len() == len {
                             out.push(cur);
                             return;

@@ -28,7 +28,10 @@ pub fn parse_dtd(alpha: &mut Alphabet, src: &str) -> Result<Dtd, DtdError> {
             msg: "expected 'label -> regex'".to_owned(),
         })?;
         let lhs = lhs.trim();
-        if lhs.is_empty() || !lhs.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        if lhs.is_empty()
+            || !lhs
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
         {
             return Err(DtdError::Parse {
                 line: lineno + 1,

@@ -7,7 +7,7 @@
 //! remain available for full control.
 
 use crate::error::EditError;
-use crate::op::{EditOp, ELabel};
+use crate::op::{ELabel, EditOp};
 use crate::script::{ins_script, nop_script, Script};
 use xvu_tree::{DocTree, NodeId};
 
@@ -136,12 +136,7 @@ mod tests {
         let mut alpha = Alphabet::new();
         let v = view(&mut alpha);
         let mut gen = NodeIdGen::starting_at(11);
-        let d_new = parse_term_with_ids(
-            &mut alpha,
-            &mut gen,
-            "d#11(c#13, c#14)",
-        )
-        .unwrap();
+        let d_new = parse_term_with_ids(&mut alpha, &mut gen, "d#11(c#13, c#14)").unwrap();
         let a_new = parse_term_with_ids(&mut alpha, &mut gen, "a#12").unwrap();
         let c_new = parse_term_with_ids(&mut alpha, &mut gen, "c#15").unwrap();
 
@@ -174,10 +169,7 @@ mod tests {
         let mut alpha = Alphabet::new();
         let v = view(&mut alpha);
         let mut b = UpdateBuilder::new(&v);
-        assert_eq!(
-            b.delete(v.root()).unwrap_err(),
-            EditError::CannotDeleteRoot
-        );
+        assert_eq!(b.delete(v.root()).unwrap_err(), EditError::CannotDeleteRoot);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! placement of its insertions.
 
 use crate::error::EditError;
-use crate::op::{EditOp, ELabel};
+use crate::op::{ELabel, EditOp};
 use crate::script::{output_tree, validate_script, Script};
 use xvu_tree::{NodeId, Tree};
 
@@ -49,7 +49,13 @@ pub fn compose(s1: &Script, s2: &Script) -> Result<Script, EditError> {
 }
 
 /// Fills in the composed children of node `n` (present in both scripts).
-fn build(s1: &Script, s2: &Script, n: NodeId, out_parent: NodeId, out: &mut Script) -> Result<(), EditError> {
+fn build(
+    s1: &Script,
+    s2: &Script,
+    n: NodeId,
+    out_parent: NodeId,
+    out: &mut Script,
+) -> Result<(), EditError> {
     // Children of n in S1 (all input-order material incl. deletions) and
     // in S2 (output-order material incl. its insertions). Nodes present
     // in both are exactly the children of n in Out(S1) = In(S2).

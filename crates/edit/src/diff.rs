@@ -151,7 +151,10 @@ mod tests {
     fn diff_reconstructs_the_paper_update() {
         let mut alpha = Alphabet::new();
         let old = t(&mut alpha, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))");
-        let new = t(&mut alpha, "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))");
+        let new = t(
+            &mut alpha,
+            "r#0(a#4, d#11(c#13, c#14), a#12, d#6(c#10, c#15))",
+        );
         let s = diff(&old, &new).unwrap();
         assert_eq!(input_tree(&s).unwrap(), old);
         assert_eq!(output_tree(&s).unwrap(), new);

@@ -24,6 +24,18 @@
 //!   diagnostics;
 //! * [`check_is_update_of`] / [`check_no_hidden_ids`] — the paper's
 //!   well-formedness requirements on view updates.
+//!
+//! # Paper cross-reference
+//!
+//! | paper (§2, Editing scripts) | here |
+//! |-----------------------------|------|
+//! | edit alphabet `E(Σ) = {Ins(a), Del(a), Nop(a)}` | [`EditOp`], [`ELabel`] |
+//! | editing scripts and their discipline | [`Script`], [`validate_script`] |
+//! | `In(S)` / `Out(S)` | [`input_tree`] / [`output_tree`] |
+//! | the lifts `Ins(t)`, `Del(t)`, `Nop(t)` | [`ins_script`], [`del_script`], [`nop_script`] |
+//! | script application and cost `cost(S)` | [`apply`], [`cost`] |
+//! | well-formed view updates (`In(S) = A(t)`, no hidden identifiers) | [`check_is_update_of`], [`check_no_hidden_ids`] |
+//! | script syntax of the Fig. 4/7 fixtures | [`parse_script`], [`script_to_term`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +53,7 @@ pub use builder::UpdateBuilder;
 pub use compose::compose;
 pub use diff::diff;
 pub use error::EditError;
-pub use op::{EditOp, ELabel};
+pub use op::{ELabel, EditOp};
 pub use script::{
     apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, validate_script,
     Script,

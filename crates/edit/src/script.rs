@@ -8,7 +8,7 @@
 //! the identifier correspondence between them.
 
 use crate::error::EditError;
-use crate::op::{EditOp, ELabel};
+use crate::op::{ELabel, EditOp};
 use xvu_tree::{DocTree, NodeId, Tree};
 
 /// An editing script: a tree labeled with editing operations.
@@ -22,12 +22,8 @@ pub fn validate_script(s: &Script) -> Result<(), EditError> {
         for &c in s.children(n) {
             let cop = s.label(c).op;
             match op {
-                EditOp::Ins if cop != EditOp::Ins => {
-                    return Err(EditError::InsClosureViolated(c))
-                }
-                EditOp::Del if cop != EditOp::Del => {
-                    return Err(EditError::DelClosureViolated(c))
-                }
+                EditOp::Ins if cop != EditOp::Ins => return Err(EditError::InsClosureViolated(c)),
+                EditOp::Del if cop != EditOp::Del => return Err(EditError::DelClosureViolated(c)),
                 _ => {}
             }
         }
@@ -37,7 +33,9 @@ pub fn validate_script(s: &Script) -> Result<(), EditError> {
 
 /// The cost of a script: the number of non-phantom (non-`Nop`) nodes.
 pub fn cost(s: &Script) -> usize {
-    s.preorder().filter(|&n| s.label(n).op != EditOp::Nop).count()
+    s.preorder()
+        .filter(|&n| s.label(n).op != EditOp::Nop)
+        .count()
 }
 
 /// The input tree `In(S)` — the restriction of `S` to non-`Ins` nodes,
@@ -59,12 +57,7 @@ fn project(s: &Script, keep: impl Fn(ELabel) -> bool) -> Option<DocTree> {
         return None;
     }
     let mut out = Tree::leaf_with_id(root, s.label(root).label);
-    fn rec(
-        s: &Script,
-        n: NodeId,
-        out: &mut DocTree,
-        keep: &impl Fn(ELabel) -> bool,
-    ) {
+    fn rec(s: &Script, n: NodeId, out: &mut DocTree, keep: &impl Fn(ELabel) -> bool) {
         for &c in s.children(n) {
             let l = s.label(c);
             if keep(l) {
@@ -164,12 +157,8 @@ mod tests {
         let mut alpha = Alphabet::new();
         let s = s0(&mut alpha);
         let mut gen = NodeIdGen::new();
-        let view = parse_term_with_ids(
-            &mut alpha,
-            &mut gen,
-            "r#0(a#1, d#3(c#8), a#4, d#6(c#10))",
-        )
-        .unwrap();
+        let view = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))")
+            .unwrap();
         let out = apply(&s, &view).unwrap();
         assert_eq!(out, output_tree(&s).unwrap());
     }

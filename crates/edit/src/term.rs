@@ -10,7 +10,7 @@
 //! fixtures always pin identifiers. The printer emits the same syntax.
 
 use crate::error::EditError;
-use crate::op::{EditOp, ELabel};
+use crate::op::{ELabel, EditOp};
 use crate::script::Script;
 use xvu_tree::{Alphabet, NodeId, NodeIdGen, Tree};
 

@@ -4,7 +4,7 @@
 //! is a legal view, and which does not reuse identifiers that exist in the
 //! source document but are hidden by the view:
 //! `N_S ∩ (N_t \ N_{A(t)}) = ∅`. (Checking `Out(S) ∈ A(L(D))` additionally
-//! needs the view DTD and lives in `xvu-propagate`, which owns the full
+//! needs the view DTD and lives in `xvu_propagate`, which owns the full
 //! problem instance.)
 
 use crate::error::EditError;
@@ -55,9 +55,8 @@ mod tests {
     fn accepts_proper_update() {
         let mut alpha = Alphabet::new();
         let mut gen = NodeIdGen::new();
-        let view =
-            parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))")
-                .unwrap();
+        let view = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))")
+            .unwrap();
         let s = parse_script(
             &mut alpha,
             "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \

@@ -110,12 +110,8 @@ pub fn find_complement_preserving(
             let keep = match &e.payload {
                 PropEdge::InsInvisible(_) | PropEdge::DelInvisible { .. } => false,
                 PropEdge::NopInvisible { .. } | PropEdge::DelVisible { .. } => true,
-                PropEdge::InsVisible { child } => {
-                    forest.inversions[child].min_padding() == 0
-                }
-                PropEdge::NopVisible { child, .. } => {
-                    *feasible.get(child).unwrap_or(&false)
-                }
+                PropEdge::InsVisible { child } => forest.inversions[child].min_padding() == 0,
+                PropEdge::NopVisible { child, .. } => *feasible.get(child).unwrap_or(&false),
             };
             if keep {
                 fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
@@ -174,9 +170,7 @@ fn walk_filtered(
         .collect();
     for child in child_ids {
         let sub = walk_filtered(inst, forest, filtered, cost, cfg, child, gen)?;
-        let parent = script
-            .parent(child)
-            .expect("child attached under the node");
+        let parent = script.parent(child).expect("child attached under the node");
         let pos = script
             .children(parent)
             .iter()
@@ -202,8 +196,7 @@ mod tests {
     #[test]
     fn impact_of_paper_propagation() {
         let fx = fixtures::paper_running_example();
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
         let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
         let impact = invisible_impact(&inst, &prop.script);
         // Fig. 7: deletes hidden b2, a7 (inside the deleted d3 group) and
@@ -222,8 +215,7 @@ mod tests {
         // S0 inserts a d-group whose inverse necessarily pads with hidden
         // nodes — no constant-complement propagation exists.
         let fx = fixtures::paper_running_example();
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
         let sizes = min_sizes(&fx.dtd, fx.alpha.len());
         let pkg = InsertletPackage::new();
         let cm = CostModel {
@@ -231,8 +223,7 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = PropagationForest::build(&inst, &cm).unwrap();
-        let found =
-            find_complement_preserving(&inst, &forest, &cm, &Config::default()).unwrap();
+        let found = find_complement_preserving(&inst, &forest, &cm, &Config::default()).unwrap();
         assert!(found.is_none(), "the paper's caveat: it may not exist");
     }
 

@@ -73,11 +73,7 @@ mod tests {
                 insertlets: &pkg,
             };
             let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
-            assert_eq!(
-                count_optimal_propagations(&forest),
-                1u128 << k,
-                "k = {k}"
-            );
+            assert_eq!(count_optimal_propagations(&forest), 1u128 << k, "k = {k}");
             // each inserted a costs itself + one hidden sibling
             assert_eq!(forest.optimal_cost(), 2 * k as u64);
         }

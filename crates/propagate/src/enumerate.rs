@@ -33,7 +33,17 @@ pub fn enumerate_optimal_propagations(
     cap: usize,
 ) -> Result<Vec<Script>, PropagateError> {
     let mut gen = inst.id_gen();
-    enumerate_node(inst, cost, forest, cfg, forest.root, cap, usize::MAX, true, &mut gen)
+    enumerate_node(
+        inst,
+        cost,
+        forest,
+        cfg,
+        forest.root,
+        cap,
+        usize::MAX,
+        true,
+        &mut gen,
+    )
 }
 
 /// Enumerates up to `cap` propagations from the **full** graphs, with at
@@ -49,7 +59,17 @@ pub fn enumerate_propagations_bounded(
     max_len: usize,
 ) -> Result<Vec<Script>, PropagateError> {
     let mut gen = inst.id_gen();
-    enumerate_node(inst, cost, forest, cfg, forest.root, cap, max_len, false, &mut gen)
+    enumerate_node(
+        inst,
+        cost,
+        forest,
+        cfg,
+        forest.root,
+        cap,
+        max_len,
+        false,
+        &mut gen,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -83,8 +103,9 @@ fn enumerate_node(
         // enumeration uses the same parameters but we take only the first
         // `needed` variants to respect the cap. For exhaustiveness we
         // substitute child variants one position at a time.
-        let variants =
-            expand_path(inst, cost, forest, cfg, n, &graph, &path, cap, max_len, optimal, gen)?;
+        let variants = expand_path(
+            inst, cost, forest, cfg, n, &graph, &path, cap, max_len, optimal, gen,
+        )?;
         for s in variants {
             scripts.push(s);
             if scripts.len() >= cap {
@@ -212,11 +233,7 @@ mod tests {
     use xvu_dtd::{min_sizes, InsertletPackage};
     use xvu_edit::cost as script_cost;
 
-    fn setup() -> (
-        fixtures::PaperFixture,
-        xvu_dtd::MinSizes,
-        InsertletPackage,
-    ) {
+    fn setup() -> (fixtures::PaperFixture, xvu_dtd::MinSizes, InsertletPackage) {
         let fx = fixtures::paper_running_example();
         let sizes = min_sizes(&fx.dtd, fx.alpha.len());
         let pkg = InsertletPackage::new();
@@ -233,8 +250,7 @@ mod tests {
         };
         let forest = PropagationForest::build(&inst, &cm).unwrap();
         let cfg = Config::default();
-        let scripts =
-            enumerate_optimal_propagations(&inst, &cm, &forest, &cfg, 25).unwrap();
+        let scripts = enumerate_optimal_propagations(&inst, &cm, &forest, &cfg, 25).unwrap();
         assert!(!scripts.is_empty());
         for s in &scripts {
             verify_propagation(&inst, s).unwrap();
@@ -252,8 +268,7 @@ mod tests {
         };
         let forest = PropagationForest::build(&inst, &cm).unwrap();
         let cfg = Config::default();
-        let scripts =
-            enumerate_propagations_bounded(&inst, &cm, &forest, &cfg, 40, 14).unwrap();
+        let scripts = enumerate_propagations_bounded(&inst, &cm, &forest, &cfg, 40, 14).unwrap();
         assert!(scripts.len() >= 10, "got {}", scripts.len());
         let mut costs = std::collections::HashSet::new();
         for s in &scripts {

@@ -180,9 +180,8 @@ pub fn build_prop_graph(
                 // (iii) invisible nop — consume a transition on y.
                 for &(s, q2) in model.transitions_from(q) {
                     if s == y {
-                        let preserves_type = orig_states
-                            .as_ref()
-                            .is_some_and(|os| os[i as usize] == q);
+                        let preserves_type =
+                            orig_states.as_ref().is_some_and(|os| os[i as usize] == q);
                         g.add_edge(
                             v,
                             vid(i + 1, q2, j),
@@ -238,9 +237,8 @@ pub fn build_prop_graph(
                         let w = child_costs[&tchild];
                         for &(s, q2) in model.transitions_from(q) {
                             if s == y {
-                                let preserves_type = orig_states
-                                    .as_ref()
-                                    .is_some_and(|os| os[i as usize] == q);
+                                let preserves_type =
+                                    orig_states.as_ref().is_some_and(|os| os[i as usize] == q);
                                 g.add_edge(
                                     v,
                                     vid(i + 1, q2, j + 1),
@@ -270,7 +268,11 @@ pub fn build_prop_graph(
 /// `states[k]` the final state. `None` for nondeterministic models (typing
 /// unavailable, as the paper notes typing "would require the automata to
 /// be deterministic").
-fn deterministic_run(model: &Nfa, t_children: &[NodeId], inst: &Instance<'_>) -> Option<Vec<StateId>> {
+fn deterministic_run(
+    model: &Nfa,
+    t_children: &[NodeId],
+    inst: &Instance<'_>,
+) -> Option<Vec<StateId>> {
     if !model.is_deterministic() {
         return None;
     }
@@ -406,7 +408,10 @@ mod tests {
             }
         }
         assert!(nop_edges > 0);
-        assert!(preserved > 0, "D0 automata are deterministic; typing applies");
+        assert!(
+            preserved > 0,
+            "D0 automata are deterministic; typing applies"
+        );
     }
 
     use xvu_tree::NodeId;

@@ -25,9 +25,8 @@ use xvu_view::{extract_view, Annotation};
 ///
 /// Returns the first offending node, like [`Dtd::validate`].
 pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateError> {
-    let out = output_tree(script).ok_or_else(|| {
-        PropagateError::NotAPropagation("script output is empty".to_owned())
-    })?;
+    let out = output_tree(script)
+        .ok_or_else(|| PropagateError::NotAPropagation("script output is empty".to_owned()))?;
     for n in script.preorder() {
         let op = script.label(n).op;
         if op == EditOp::Del {
@@ -75,12 +74,10 @@ pub fn cross_view_effect(
     other: &Annotation,
     propagation: &Script,
 ) -> Result<Script, PropagateError> {
-    let input = input_tree(propagation).ok_or_else(|| {
-        PropagateError::NotAPropagation("script input is empty".to_owned())
-    })?;
-    let out = output_tree(propagation).ok_or_else(|| {
-        PropagateError::NotAPropagation("script output is empty".to_owned())
-    })?;
+    let input = input_tree(propagation)
+        .ok_or_else(|| PropagateError::NotAPropagation("script input is empty".to_owned()))?;
+    let out = output_tree(propagation)
+        .ok_or_else(|| PropagateError::NotAPropagation("script output is empty".to_owned()))?;
     let v_before = extract_view(other, &input);
     let v_after = extract_view(other, &out);
     diff(&v_before, &v_after).map_err(PropagateError::Edit)
@@ -112,8 +109,7 @@ mod tests {
     #[test]
     fn incremental_agrees_with_full_validation_on_sound_propagation() {
         let fx = fixtures::paper_running_example();
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
         let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
         revalidate_output(&fx.dtd, &prop.script).unwrap();
         // and it inspects strictly fewer nodes than the whole document
@@ -146,8 +142,7 @@ mod tests {
     #[test]
     fn cross_view_effect_of_the_paper_propagation() {
         let mut fx = fixtures::paper_running_example();
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
         let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
 
         // A fully-transparent second view sees the whole propagation.
@@ -160,11 +155,7 @@ mod tests {
         assert_eq!(cost(&own_effect), cost(&fx.s0));
 
         // A view that hides the d-subtrees' contents sees fewer changes.
-        let ann2 = parse_annotation(
-            &mut fx.alpha,
-            "hide d a\nhide d b\nhide d c",
-        )
-        .unwrap();
+        let ann2 = parse_annotation(&mut fx.alpha, "hide d a\nhide d b\nhide d c").unwrap();
         let partial = cross_view_effect(&ann2, &prop.script).unwrap();
         assert!(cost(&partial) < cost(&full_effect));
         let touched = cross_view_touched(&ann2, &prop.script).unwrap();

@@ -18,9 +18,7 @@
 use crate::error::PropagateError;
 use std::collections::HashSet;
 use xvu_dtd::Dtd;
-use xvu_edit::{
-    check_is_update_of, check_no_hidden_ids, output_tree, EditOp, Script,
-};
+use xvu_edit::{check_is_update_of, check_no_hidden_ids, output_tree, EditOp, Script};
 use xvu_tree::{DocTree, NodeId, NodeIdGen};
 use xvu_view::{derive_view_dtd, extract_view, visible_nodes, Annotation};
 
@@ -56,7 +54,8 @@ impl<'a> Instance<'a> {
         update: &'a Script,
         alphabet_len: usize,
     ) -> Result<Instance<'a>, PropagateError> {
-        dtd.validate(source).map_err(PropagateError::SourceNotValid)?;
+        dtd.validate(source)
+            .map_err(PropagateError::SourceNotValid)?;
 
         let view = extract_view(ann, source);
         check_is_update_of(update, &view)?;

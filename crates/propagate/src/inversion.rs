@@ -139,7 +139,14 @@ impl InversionForest {
         gen: &mut NodeIdGen,
         witness_budget: u64,
     ) -> Result<DocTree, PropagateError> {
-        self.materialize_node(self.fragment.root(), dtd, cost, selector, gen, witness_budget)
+        self.materialize_node(
+            self.fragment.root(),
+            dtd,
+            cost,
+            selector,
+            gen,
+            witness_budget,
+        )
     }
 
     fn materialize_node(
@@ -180,25 +187,15 @@ impl InversionForest {
         for &e in path {
             match &graph.edge(e).payload {
                 InvEdge::Ins(y) => {
-                    let frag = cost.insertlets.instantiate(
-                        dtd,
-                        cost.sizes,
-                        *y,
-                        gen,
-                        witness_budget,
-                    )?;
+                    let frag =
+                        cost.insertlets
+                            .instantiate(dtd, cost.sizes, *y, gen, witness_budget)?;
                     let pos = tree.children(root).len();
                     tree.attach_subtree(root, pos, frag)?;
                 }
                 InvEdge::Rec { child, .. } => {
-                    let sub = self.materialize_node(
-                        *child,
-                        dtd,
-                        cost,
-                        selector,
-                        gen,
-                        witness_budget,
-                    )?;
+                    let sub =
+                        self.materialize_node(*child, dtd, cost, selector, gen, witness_budget)?;
                     let pos = tree.children(root).len();
                     tree.attach_subtree(root, pos, sub)?;
                 }
@@ -219,7 +216,15 @@ impl InversionForest {
         cap: usize,
         max_len: usize,
     ) -> Result<Vec<DocTree>, PropagateError> {
-        self.enumerate_node(self.fragment.root(), dtd, cost, gen, witness_budget, cap, max_len)
+        self.enumerate_node(
+            self.fragment.root(),
+            dtd,
+            cost,
+            gen,
+            witness_budget,
+            cap,
+            max_len,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -331,7 +336,12 @@ fn build_graph(
 
     let vid = |pos: u32, q: StateId| pos * nq + q.0;
     let vertices: Vec<InvVertex> = (0..=k)
-        .flat_map(|pos| (0..nq).map(move |q| InvVertex { pos, state: StateId(q) }))
+        .flat_map(|pos| {
+            (0..nq).map(move |q| InvVertex {
+                pos,
+                state: StateId(q),
+            })
+        })
         .collect();
     let mut g: InvGraph = PathGraph::new(vertices, vid(0, model.start()));
 

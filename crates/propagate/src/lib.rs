@@ -77,9 +77,11 @@ pub use enumerate::{enumerate_optimal_propagations, enumerate_propagations_bound
 pub use error::PropagateError;
 pub use forest::PropagationForest;
 pub use graph::{build_prop_graph, PropEdge, PropGraph, PropVertex};
-pub use incremental::{cross_view_effect, cross_view_touched, revalidate_output, revalidation_workload};
+pub use incremental::{
+    cross_view_effect, cross_view_touched, revalidate_output, revalidation_workload,
+};
 pub use instance::Instance;
-pub use inversion::{InvEdge, InvGraph, InversionForest, InvVertex};
+pub use inversion::{InvEdge, InvGraph, InvVertex, InversionForest};
 pub use segments::Segmentation;
 pub use selection::{Classify, EdgeClass, Selector};
 pub use typing::{typing_report, TypingReport};

@@ -64,7 +64,10 @@ impl<V, E> PathGraph<V, E> {
 
     /// Adds an edge, returning its index.
     pub fn add_edge(&mut self, from: u32, to: u32, weight: u64, payload: E) -> u32 {
-        assert!((to as usize) < self.vertices.len(), "edge target out of range");
+        assert!(
+            (to as usize) < self.vertices.len(),
+            "edge target out of range"
+        );
         let ix = self.edges.len() as u32;
         self.edges.push(Edge {
             from,
@@ -192,7 +195,10 @@ impl<V, E> PathGraph<V, E> {
     /// reachable.
     pub fn best_cost(&self) -> Option<u64> {
         let d = self.dist_from_start();
-        self.goals().map(|g| d[g as usize]).min().filter(|&c| c != UNREACHABLE)
+        self.goals()
+            .map(|g| d[g as usize])
+            .min()
+            .filter(|&c| c != UNREACHABLE)
     }
 
     /// A cheapest start→goal path as a sequence of edge indices (`None` if
@@ -316,9 +322,10 @@ impl<V, E> PathGraph<V, E> {
                 *slot = slot.saturating_add(contrib);
             }
         }
-        Some(self.goals().fold(0u128, |acc, g| {
-            acc.saturating_add(ways[g as usize])
-        }))
+        Some(
+            self.goals()
+                .fold(0u128, |acc, g| acc.saturating_add(ways[g as usize])),
+        )
     }
 
     /// Extracts one start→goal path by repeatedly letting `choose` pick
@@ -398,8 +405,9 @@ impl<V, E> PathGraph<V, E> {
 
     /// Sum of edge weights along a path (saturating).
     pub fn path_cost(&self, path: &[u32]) -> u64 {
-        path.iter()
-            .fold(0u64, |acc, &e| acc.saturating_add(self.edges[e as usize].weight))
+        path.iter().fold(0u64, |acc, &e| {
+            acc.saturating_add(self.edges[e as usize].weight)
+        })
     }
 }
 

@@ -73,9 +73,9 @@ fn type_map(
     let mut map = HashMap::new();
     for p in t.preorder() {
         let label = t.label(p);
-        let dfa = dfas.entry(label).or_insert_with(|| {
-            Dfa::determinize(dtd.content_model(label), alphabet_len).minimize()
-        });
+        let dfa = dfas
+            .entry(label)
+            .or_insert_with(|| Dfa::determinize(dtd.content_model(label), alphabet_len).minimize());
         let mut q = Some(dfa.start());
         for &c in t.children(p) {
             let Some(state) = q else { break };
@@ -109,8 +109,7 @@ mod tests {
     #[test]
     fn paper_propagation_typing_report() {
         let fx = fixtures::paper_running_example();
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
         for sel in [Selector::PreferNop, Selector::PreferTypePreserving] {
             let cfg = Config {
                 selector: sel,
@@ -135,11 +134,7 @@ mod tests {
         // Glushkov of a.b + b.a is deterministic (distinct first symbols).
         let mut gen = NodeIdGen::new();
         let _t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#2)").unwrap();
-        let s = parse_script(
-            &mut alpha,
-            "nop:r#0(ins:b#5, nop:a#1, del:b#2)",
-        )
-        .unwrap();
+        let s = parse_script(&mut alpha, "nop:r#0(ins:b#5, nop:a#1, del:b#2)").unwrap();
         let report = typing_report(&dtd, alpha.len(), &s);
         // a#1 moved from first (start state) to second position.
         assert_eq!(report.changed, 1);
@@ -155,8 +150,7 @@ mod tests {
         let d2 = parse_dtd(&mut alpha, "r -> ((a.b)*)*.((a.b)?)").unwrap();
         let mut gen = NodeIdGen::new();
         let _t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#2)").unwrap();
-        let s = parse_script(&mut alpha, "nop:r#0(nop:a#1, nop:b#2, ins:a#5, ins:b#6)")
-            .unwrap();
+        let s = parse_script(&mut alpha, "nop:r#0(nop:a#1, nop:b#2, ins:a#5, ins:b#6)").unwrap();
         let r1 = typing_report(&d1, alpha.len(), &s);
         let r2 = typing_report(&d2, alpha.len(), &s);
         assert_eq!(r1, r2);

@@ -17,10 +17,7 @@ use xvu_view::extract_view;
 
 /// Checks that `candidate` is a schema-compliant, side-effect-free
 /// propagation of the instance's update.
-pub fn verify_propagation(
-    inst: &Instance<'_>,
-    candidate: &Script,
-) -> Result<(), PropagateError> {
+pub fn verify_propagation(inst: &Instance<'_>, candidate: &Script) -> Result<(), PropagateError> {
     validate_script(candidate)?;
 
     let input = input_tree(candidate)

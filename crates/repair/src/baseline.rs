@@ -110,8 +110,15 @@ mod tests {
     fn d3_repair_picks_the_wrong_source() {
         // The paper's §6.2 argument, end to end.
         let (fx, t, s, _gen) = d3_repair_pitfall();
-        let out = repair_based_update(&fx.dtd, &fx.ann, fx.alpha.len(), &t, &s, &RepairConfig::default())
-            .unwrap();
+        let out = repair_based_update(
+            &fx.dtd,
+            &fx.ann,
+            fx.alpha.len(),
+            &t,
+            &s,
+            &RepairConfig::default(),
+        )
+        .unwrap();
         // Repair chooses the TED-closest inverse r(b, c, a, c)…
         assert_eq!(to_term(&out.chosen, &fx.alpha), "r(b, c, a, c)");
         assert_eq!(out.distance, 1);
@@ -147,8 +154,7 @@ mod tests {
         b.insert(view.root(), 2, new_a).unwrap();
         let s = b.finish();
         let out =
-            repair_based_update(&dtd, &ann, alpha.len(), &t, &s, &RepairConfig::default())
-                .unwrap();
+            repair_based_update(&dtd, &ann, alpha.len(), &t, &s, &RepairConfig::default()).unwrap();
         assert_eq!(to_term(&out.chosen, &alpha), "r(a, a, a)");
         assert_eq!(out.distance, 1);
     }

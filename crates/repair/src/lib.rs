@@ -7,6 +7,14 @@
 //! [`tree_edit_distance`] is a full Zhang–Shasha implementation — so the
 //! paper's inadequacy argument (the `D3` example, experiment E10) can be
 //! reproduced executable-y rather than rhetorically.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | tree edit distance (Zhang–Shasha) | [`tree_edit_distance`], [`tree_edit_distance_with`] |
+//! | repair-based view updating (§6.2) | [`repair_based_update`], [`RepairConfig`] |
+//! | the `D3` counterexample preferring the unfaithful repair | `examples/repair_pitfall.rs` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -39,11 +39,7 @@ pub fn tree_edit_distance<L: Eq + Copy>(t1: &Tree<L>, t2: &Tree<L>) -> usize {
 }
 
 /// Computes the ordered tree edit distance with explicit costs.
-pub fn tree_edit_distance_with<L: Eq + Copy>(
-    t1: &Tree<L>,
-    t2: &Tree<L>,
-    costs: TedCosts,
-) -> usize {
+pub fn tree_edit_distance_with<L: Eq + Copy>(t1: &Tree<L>, t2: &Tree<L>, costs: TedCosts) -> usize {
     let a = Indexed::new(t1);
     let b = Indexed::new(t2);
     let (n, m) = (a.len(), b.len());
@@ -267,8 +263,7 @@ mod tests {
             let d_ins = fdist(f1, &ins_f, memo) + 1;
             // match roots
             let rel = usize::from(r1.label != r2.label);
-            let d_match =
-                fdist(rest1, rest2, memo) + fdist(&r1.children, &r2.children, memo) + rel;
+            let d_match = fdist(rest1, rest2, memo) + fdist(&r1.children, &r2.children, memo) + rel;
             let d = d_del.min(d_ins).min(d_match);
             memo.insert(key, d);
             d

@@ -20,8 +20,18 @@
 //!
 //! The tree type is generic in its label type: documents are
 //! `Tree<Sym>` (see [`Sym`], interned via [`Alphabet`]) while editing
-//! scripts in the `xvu-edit` crate reuse the same structure over an edit
+//! scripts in the `xvu_edit` crate reuse the same structure over an edit
 //! alphabet.
+//!
+//! # Paper cross-reference
+//!
+//! | paper (§2, Preliminaries) | here |
+//! |---------------------------|------|
+//! | alphabet `Σ` | [`Alphabet`], [`Sym`] |
+//! | node identifiers `N_t` | [`NodeId`], allocated by [`NodeIdGen`] |
+//! | trees `(Σ, N_t, ↓_t, <_t, λ_t)` | [`Tree`]; documents are [`DocTree`] = `Tree<Sym>` |
+//! | term notation `r(a, b(c))` | [`parse_term`] / [`to_term`] (`#id`-annotated: [`parse_term_with_ids`] / [`to_term_with_ids`]) |
+//! | identifier-sensitive equality vs isomorphism | `Tree == Tree` vs [`Tree::isomorphic`] |
 //!
 //! # Example
 //!

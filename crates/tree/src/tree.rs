@@ -22,7 +22,7 @@ pub type DocTree = Tree<Sym>;
 /// stresses that the two notions must not be confused.
 ///
 /// The label type `L` is generic: documents use [`Sym`], editing scripts use
-/// an edit alphabet (`xvu-edit`).
+/// an edit alphabet (`xvu_edit`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tree<L> {
@@ -244,10 +244,7 @@ impl<L> Tree<L> {
             stack.extend(node.children.iter().copied());
             sub_nodes.insert(n, node);
         }
-        sub_nodes
-            .get_mut(&id)
-            .expect("subtree root present")
-            .parent = None;
+        sub_nodes.get_mut(&id).expect("subtree root present").parent = None;
         Ok(Tree {
             nodes: sub_nodes,
             root: id,

@@ -61,7 +61,11 @@ pub struct AnnotationParseError {
 
 impl fmt::Display for AnnotationParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "annotation parse error on line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "annotation parse error on line {}: {}",
+            self.line, self.msg
+        )
     }
 }
 

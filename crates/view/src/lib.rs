@@ -15,6 +15,16 @@
 //! * [`derive_view_dtd`] — a DTD for the view language `A(L(D))`, used to
 //!   check that user updates produce legal views;
 //! * [`parse_annotation`] — a small textual syntax for annotations.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | annotations `A : Σ × Σ → {0,1}` (§2, Fig. 3) | [`Annotation`], [`parse_annotation`] |
+//! | visible nodes `⟦A⟧_t` | [`visible_nodes`] |
+//! | the view `A(t)` (identifier-preserving) | [`extract_view`] |
+//! | a DTD for the view language `A(L(D))` (§3) | [`derive_view_dtd`] |
+//! | security-view motivation (§1) | exercised in `examples/security_view.rs` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -76,8 +76,7 @@ mod tests {
     fn paper_fig3_visible_nodes() {
         let (_, t0, a0) = fixtures();
         let vis = visible_nodes(&a0, &t0);
-        let expected: HashSet<NodeId> =
-            [0u64, 1, 3, 4, 6, 8, 10].map(NodeId).into_iter().collect();
+        let expected: HashSet<NodeId> = [0u64, 1, 3, 4, 6, 8, 10].map(NodeId).into_iter().collect();
         assert_eq!(vis, expected);
     }
 

@@ -45,8 +45,7 @@ mod tests {
     fn paper_view_dtd_for_d0_a0() {
         let mut alpha = Alphabet::new();
         let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
-        let ann =
-            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
         let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
 
         // Expected: r → (a·d)*, d → c*
@@ -64,8 +63,7 @@ mod tests {
     fn views_of_valid_documents_satisfy_view_dtd() {
         let mut alpha = Alphabet::new();
         let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
-        let ann =
-            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
         let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
 
         let mut gen = NodeIdGen::new();
@@ -78,7 +76,10 @@ mod tests {
             let t = parse_term(&mut alpha, &mut gen, term).unwrap();
             assert!(dtd.is_valid(&t), "source {term} must be valid");
             let v = extract_view(&ann, &t);
-            assert!(view_dtd.is_valid(&v), "view of {term} must satisfy view DTD");
+            assert!(
+                view_dtd.is_valid(&v),
+                "view of {term} must satisfy view DTD"
+            );
         }
     }
 
@@ -86,8 +87,7 @@ mod tests {
     fn view_dtd_rejects_non_view_trees() {
         let mut alpha = Alphabet::new();
         let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
-        let ann =
-            parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
         let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
         let mut gen = NodeIdGen::new();
         // d before a is not a view of any valid document

@@ -58,7 +58,15 @@ pub fn generate_doc(
     let troot = tree.root();
     let mut budget = cfg.max_nodes.saturating_sub(1);
     fill(
-        dtd, &sizes, &mut tree, troot, cfg, cfg.max_depth, &mut rng, gen, &mut budget,
+        dtd,
+        &sizes,
+        &mut tree,
+        troot,
+        cfg,
+        cfg.max_depth,
+        &mut rng,
+        gen,
+        &mut budget,
     );
     tree
 }
@@ -92,7 +100,11 @@ fn fill(
             *budget -= 1;
         }
         let child = tree.add_child(node, gen, y);
-        let child_depth = if *budget == 0 { 0 } else { depth.saturating_sub(1) };
+        let child_depth = if *budget == 0 {
+            0
+        } else {
+            depth.saturating_sub(1)
+        };
         fill(dtd, sizes, tree, child, cfg, child_depth, rng, gen, budget);
     }
 }
@@ -103,9 +115,10 @@ fn sample_word(model: &Nfa, sizes: &MinSizes, cfg: &DocGenConfig, rng: &mut StdR
     let mut word = Vec::new();
     let mut q = model.start();
     loop {
-        let stop_p = cfg.stop_bias
-            + (1.0 - cfg.stop_bias) * (word.len() as f64 / cfg.max_children as f64);
-        if model.is_accepting(q) && (word.len() >= cfg.max_children || rng.random_bool(stop_p.min(1.0)))
+        let stop_p =
+            cfg.stop_bias + (1.0 - cfg.stop_bias) * (word.len() as f64 / cfg.max_children as f64);
+        if model.is_accepting(q)
+            && (word.len() >= cfg.max_children || rng.random_bool(stop_p.min(1.0)))
         {
             return word;
         }
@@ -177,8 +190,22 @@ mod tests {
         let root = alpha.get("l0").unwrap();
         let mut g1 = NodeIdGen::new();
         let mut g2 = NodeIdGen::new();
-        let d1 = generate_doc(&dtd, alpha.len(), root, &DocGenConfig::default(), 9, &mut g1);
-        let d2 = generate_doc(&dtd, alpha.len(), root, &DocGenConfig::default(), 9, &mut g2);
+        let d1 = generate_doc(
+            &dtd,
+            alpha.len(),
+            root,
+            &DocGenConfig::default(),
+            9,
+            &mut g1,
+        );
+        let d2 = generate_doc(
+            &dtd,
+            alpha.len(),
+            root,
+            &DocGenConfig::default(),
+            9,
+            &mut g2,
+        );
         assert_eq!(d1, d2);
     }
 

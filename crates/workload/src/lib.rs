@@ -12,6 +12,16 @@
 //!
 //! Every generator is deterministic in its seed, making experiments and
 //! failures reproducible.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | the running example (Figs. 1–4, 7) | [`paper::running_example`] |
+//! | `D2` (exponentially many optimal propagations, §4) | [`paper::d2_exponential_choices`] |
+//! | `D3` (the repair counterexample, §6.2) | [`paper::d3_repair_pitfall`] |
+//! | the exponential minimal-tree family (§5) | via `xvu_dtd::exponential_dtd` |
+//! | hospital security-view motivation (§1) | [`scenario`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -39,8 +39,8 @@ pub struct RunningExample {
 pub fn running_example() -> RunningExample {
     let mut alpha = Alphabet::new();
     let mut gen = NodeIdGen::new();
-    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*")
-        .expect("D0 is well-formed");
+    let dtd =
+        parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").expect("D0 is well-formed");
     let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
         .expect("A0 is well-formed");
     let t0 = parse_term_with_ids(
@@ -107,8 +107,8 @@ pub fn d3_repair_pitfall() -> (SchemaFixture, DocTree, Script, NodeIdGen) {
     let dtd = parse_dtd(&mut alpha, "r -> b.(c+eps).(a.c)*").expect("D3 is well-formed");
     let ann = parse_annotation(&mut alpha, "hide r b\nhide r a").expect("A3 is well-formed");
     let mut gen = NodeIdGen::new();
-    let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(b#1, a#2, c#3)")
-        .expect("t is well-formed");
+    let t =
+        parse_term_with_ids(&mut alpha, &mut gen, "r#0(b#1, a#2, c#3)").expect("t is well-formed");
     // View is r#0(c#3); the user appends c#4.
     let s = parse_script(&mut alpha, "nop:r#0(nop:c#3, ins:c#4)").expect("S is well-formed");
     gen.bump_past(xvu_tree::NodeId(4));

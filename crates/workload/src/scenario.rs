@@ -107,7 +107,8 @@ pub fn admit_patient(
 
     let mut b = UpdateBuilder::new(&view);
     let pos = view.children(dept).len();
-    b.insert(dept, pos, patient).expect("admission is view-valid");
+    b.insert(dept, pos, patient)
+        .expect("admission is view-valid");
     b.finish()
 }
 

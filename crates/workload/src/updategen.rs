@@ -184,8 +184,7 @@ fn try_insert_op(
                     ..DocGenConfig::default()
                 };
                 let frag_seed = rng.random_range(0..u64::MAX);
-                let fragment =
-                    generate_doc(view_dtd, alphabet_len, y, &frag_cfg, frag_seed, gen);
+                let fragment = generate_doc(view_dtd, alphabet_len, y, &frag_cfg, frag_seed, gen);
                 return builder.insert(parent, pos, fragment).is_ok();
             }
         }

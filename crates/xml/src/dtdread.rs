@@ -1,6 +1,6 @@
 //! Reading real DTD `<!ELEMENT>` declarations.
 //!
-//! Maps standard DTD content-model syntax onto `xvu-dtd`:
+//! Maps standard DTD content-model syntax onto `xvu_dtd`:
 //!
 //! ```text
 //! <!ELEMENT r (a, (b | c), d)*>
@@ -11,7 +11,7 @@
 //! `,` is concatenation, `|` alternation, postfix `*`/`?`/`+` iteration
 //! (with `e+` desugared to `e·e*`), `EMPTY` is `ε`. `ANY` and `#PCDATA`
 //! are rejected — the element-only data model has neither mixed content
-//! nor unconstrained children (DESIGN.md, substitution table).
+//! nor unconstrained children.
 
 use crate::error::XmlError;
 use xvu_automata::Regex;
@@ -74,12 +74,12 @@ fn parse_element_decl(
     offset: usize,
 ) -> Result<(), XmlError> {
     let decl = decl.trim();
-    let (name, model) = decl.split_once(char::is_whitespace).ok_or_else(|| {
-        XmlError::Parse {
+    let (name, model) = decl
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| XmlError::Parse {
             at: offset,
             msg: "expected '<!ELEMENT name model>'".to_owned(),
-        }
-    })?;
+        })?;
     let label = alpha.intern(name.trim());
     if dtd.has_rule(label) {
         return Err(XmlError::Parse {

@@ -8,10 +8,18 @@
 //! * [`read_xml`] / [`write_xml`] — strict element-only documents, with an
 //!   optional `xvu:id` attribute round-tripping node identifiers;
 //! * [`read_dtd`] — standard `<!ELEMENT …>` declarations mapped onto
-//!   `xvu-dtd` content models (`EMPTY`, sequences, choices, `* ? +`).
+//!   `xvu_dtd` content models (`EMPTY`, sequences, choices, `* ? +`).
 //!
 //! Text content, `#PCDATA`, and `ANY` are rejected with typed errors
-//! rather than silently dropped (see DESIGN.md's substitution table).
+//! rather than silently dropped.
+//!
+//! # Paper cross-reference
+//!
+//! | paper | here |
+//! |-------|------|
+//! | element-only documents (§2's data model) as XML | [`read_xml`], [`write_xml`] |
+//! | persistent node identifiers `N_t` across serialisation | the `xvu:id` attribute ([`WriteOptions::with_ids`]) |
+//! | DTDs `D : Σ → NFA` (§2) from `<!ELEMENT>` syntax | [`read_dtd`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

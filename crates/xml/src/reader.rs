@@ -4,8 +4,8 @@
 //! XML the paper's data model covers: elements, self-closing tags, the
 //! `xvu:id` identifier attribute written by the writer, comments, and an
 //! optional XML declaration. Text content that is not whitespace, CDATA,
-//! and entities are **rejected** (the formal model has no text nodes —
-//! see DESIGN.md's substitution table); other attributes are ignored.
+//! and entities are **rejected** (the formal model has no text nodes);
+//! other attributes are ignored.
 
 use crate::error::XmlError;
 use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen, Tree};
@@ -36,11 +36,7 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
-    fn element(
-        &mut self,
-        alpha: &mut Alphabet,
-        gen: &mut NodeIdGen,
-    ) -> Result<DocTree, XmlError> {
+    fn element(&mut self, alpha: &mut Alphabet, gen: &mut NodeIdGen) -> Result<DocTree, XmlError> {
         if self.peek() != Some(b'<') {
             return Err(self.err("expected '<'"));
         }
@@ -99,9 +95,9 @@ impl Parser<'_> {
                     self.pos += 2;
                     let close = self.name()?;
                     if close != name {
-                        return Err(self.err(&format!(
-                            "mismatched closing tag </{close}> for <{name}>"
-                        )));
+                        return Err(
+                            self.err(&format!("mismatched closing tag </{close}> for <{name}>"))
+                        );
                     }
                     self.skip_ws();
                     if self.peek() != Some(b'>') {
@@ -117,9 +113,7 @@ impl Parser<'_> {
                         .map_err(|e| self.err(&format!("duplicate identifier: {e}")))?;
                 }
                 (Some(_), _) => {
-                    return Err(self.err(
-                        "text content is not supported (element-only data model)",
-                    ))
+                    return Err(self.err("text content is not supported (element-only data model)"))
                 }
                 (None, _) => return Err(self.err("unexpected end of input in element")),
             }

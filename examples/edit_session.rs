@@ -14,8 +14,8 @@ fn main() {
     let mut alpha = Alphabet::new();
     let mut gen = NodeIdGen::new();
     let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").expect("DTD");
-    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
-        .expect("annotation");
+    let ann =
+        parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").expect("annotation");
     let insertlets = {
         // administrator-chosen insertlets: always pad with c under r and
         // with b under d
@@ -49,7 +49,15 @@ fn main() {
         let end = view.children(view.root()).len();
         b.insert(view.root(), end, new_a).expect("view-valid");
         b.insert(view.root(), end + 1, new_d).expect("view-valid");
-        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+        source = run_round(
+            &dtd,
+            &ann,
+            &insertlets,
+            &alpha,
+            &source,
+            b.finish(),
+            &mut gen,
+        );
     }
 
     // -------- round 2: delete the middle d-subtree ----------------------
@@ -61,7 +69,15 @@ fn main() {
         let mut b = UpdateBuilder::new(&view);
         b.delete(kids[2]).expect("view-valid");
         b.delete(kids[3]).expect("view-valid");
-        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+        source = run_round(
+            &dtd,
+            &ann,
+            &insertlets,
+            &alpha,
+            &source,
+            b.finish(),
+            &mut gen,
+        );
     }
 
     // -------- round 3: grow a d with another c ---------------------------
@@ -78,7 +94,15 @@ fn main() {
         let new_c = parse_term(&mut alpha, &mut gen, "c").expect("c");
         b.insert(first_d, view.children(first_d).len(), new_c)
             .expect("view-valid");
-        source = run_round(&dtd, &ann, &insertlets, &alpha, &source, b.finish(), &mut gen);
+        source = run_round(
+            &dtd,
+            &ann,
+            &insertlets,
+            &alpha,
+            &source,
+            b.finish(),
+            &mut gen,
+        );
     }
 
     println!("\nfinal source:  {}", to_term_with_ids(&source, &alpha));

@@ -20,7 +20,10 @@ fn main() {
 
 fn minimal_trees() {
     println!("§5 — minimal trees exponential in |D|   (a → aₙ·aₙ, aᵢ → aᵢ₋₁·aᵢ₋₁, a₀ → ε)");
-    println!("{:>4} {:>8} {:>22} {:>14}", "n", "|D|", "minsize(a)", "fixpoint");
+    println!(
+        "{:>4} {:>8} {:>22} {:>14}",
+        "n", "|D|", "minsize(a)", "fixpoint"
+    );
     for n in [4usize, 8, 16, 32, 60] {
         let mut alpha = Alphabet::new();
         let dtd = exponential_dtd(&mut alpha, n);
@@ -40,8 +43,13 @@ fn minimal_trees() {
 }
 
 fn optimal_propagation_counts() {
-    println!("§4 — D2: r → (a·(b+c))*, b and c hidden: inserting k a's has 2^k optimal propagations");
-    println!("{:>4} {:>14} {:>22}", "k", "optimal cost", "# optimal propagations");
+    println!(
+        "§4 — D2: r → (a·(b+c))*, b and c hidden: inserting k a's has 2^k optimal propagations"
+    );
+    println!(
+        "{:>4} {:>14} {:>22}",
+        "k", "optimal cost", "# optimal propagations"
+    );
     for k in [1usize, 4, 8, 16, 32, 64] {
         let fx = xml_view_update::workload::paper::d2_exponential_choices();
         let mut alpha = fx.alpha.clone();
@@ -56,8 +64,7 @@ fn optimal_propagation_counts() {
         }
         s.push(')');
         let update = parse_script(&mut alpha, &s).expect("update");
-        let inst =
-            Instance::new(&fx.dtd, &fx.ann, &source, &update, alpha.len()).expect("valid");
+        let inst = Instance::new(&fx.dtd, &fx.ann, &source, &update, alpha.len()).expect("valid");
         let sizes = min_sizes(&fx.dtd, alpha.len());
         let pkg = InsertletPackage::new();
         let cm = CostModel {

@@ -15,8 +15,8 @@ fn main() {
 
     // --- Schema (D0) and view definition (A0) -------------------------
     let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").expect("DTD");
-    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
-        .expect("annotation");
+    let ann =
+        parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").expect("annotation");
 
     // --- Source document (t0, Fig. 1) ---------------------------------
     let t0 = parse_term_with_ids(
@@ -51,7 +51,10 @@ fn main() {
     verify_propagation(&inst, &prop.script).expect("schema compliant and side-effect free");
 
     println!();
-    println!("propagation S'    = {}", script_to_term(&prop.script, &alpha));
+    println!(
+        "propagation S'    = {}",
+        script_to_term(&prop.script, &alpha)
+    );
     println!("cost              = {} (paper Fig. 7: 14)", prop.cost);
     println!(
         "optimal count     = {} cost-minimal propagations captured by G*",
@@ -59,7 +62,10 @@ fn main() {
     );
 
     let new_source = output_tree(&prop.script).expect("non-empty");
-    println!("new source        = {}", to_term_with_ids(&new_source, &alpha));
+    println!(
+        "new source        = {}",
+        to_term_with_ids(&new_source, &alpha)
+    );
     assert!(dtd.is_valid(&new_source));
     assert_eq!(
         extract_view(&ann, &new_source),

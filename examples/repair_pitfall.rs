@@ -25,8 +25,15 @@ fn main() {
     println!("user update     = {}", script_to_term(&s, &fx.alpha));
 
     // --- The repair-based baseline --------------------------------------
-    let repair = repair_based_update(&fx.dtd, &fx.ann, fx.alpha.len(), &t, &s, &RepairConfig::default())
-        .expect("repair baseline");
+    let repair = repair_based_update(
+        &fx.dtd,
+        &fx.ann,
+        fx.alpha.len(),
+        &t,
+        &s,
+        &RepairConfig::default(),
+    )
+    .expect("repair baseline");
     println!();
     println!(
         "repair baseline picks  {}   (TED to t = {}, {} candidates considered)",

@@ -21,11 +21,11 @@ fn main() {
     // insurance + clinical record details.
     let doc = hospital_doc(&h, 2, 2, &mut gen);
     println!("full record   ({} nodes)", doc.size());
-    println!("registrar view ({} nodes):", extract_view(&h.ann, &doc).size());
     println!(
-        "{}",
-        to_term(&extract_view(&h.ann, &doc), &h.alpha)
+        "registrar view ({} nodes):",
+        extract_view(&h.ann, &doc).size()
     );
+    println!("{}", to_term(&extract_view(&h.ann, &doc), &h.alpha));
 
     // --- Admission -----------------------------------------------------
     let admit = admit_patient(&h, &doc, 0, &mut gen);
@@ -48,7 +48,10 @@ fn main() {
         doc.node_ids().filter(|n| !visible.contains(n)).collect()
     };
     for n in &old_hidden {
-        assert!(doc2.contains(*n), "hidden node {n} must survive an admission");
+        assert!(
+            doc2.contains(*n),
+            "hidden node {n} must survive an admission"
+        );
     }
     println!(
         "all {} hidden clinical/billing nodes survived untouched ✓",
@@ -57,10 +60,8 @@ fn main() {
 
     // --- Discharge -----------------------------------------------------
     let discharge = discharge_patient(&h, &doc2, 1, 0);
-    let inst2 =
-        Instance::new(&h.dtd, &h.ann, &doc2, &discharge, h.alpha.len()).expect("valid");
-    let prop2 =
-        propagate(&inst2, &InsertletPackage::new(), &Config::default()).expect("propagate");
+    let inst2 = Instance::new(&h.dtd, &h.ann, &doc2, &discharge, h.alpha.len()).expect("valid");
+    let prop2 = propagate(&inst2, &InsertletPackage::new(), &Config::default()).expect("propagate");
     verify_propagation(&inst2, &prop2.script).expect("verified");
     let doc3 = output_tree(&prop2.script).expect("non-empty");
     println!();

@@ -43,10 +43,13 @@ fn main() {
     dtd.validate(&source).expect("document satisfies the DTD");
     println!("loaded {} nodes from XML", source.size());
 
-    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")
-        .expect("annotation");
+    let ann =
+        parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").expect("annotation");
     let view = extract_view(&ann, &source);
-    println!("\nthe view as XML:\n{}", write_xml(&view, &alpha, &WriteOptions::default()));
+    println!(
+        "\nthe view as XML:\n{}",
+        write_xml(&view, &alpha, &WriteOptions::default())
+    );
 
     // Delete the first (a, d) group in the view.
     let kids: Vec<NodeId> = view.children(view.root()).to_vec();

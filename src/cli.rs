@@ -108,10 +108,7 @@ struct Ctx {
 
 impl Ctx {
     fn new(opts: &Opts) -> Result<Ctx, String> {
-        let src = opts
-            .dtd
-            .as_deref()
-            .ok_or("missing --dtd FILE".to_owned())?;
+        let src = opts.dtd.as_deref().ok_or("missing --dtd FILE".to_owned())?;
         let mut alpha = Alphabet::new();
         let dtd = if src.trim_start().starts_with("<!") {
             read_dtd(&mut alpha, src).map_err(|e| e.to_string())?
@@ -136,10 +133,7 @@ impl Ctx {
     }
 
     fn ann(&mut self, opts: &Opts) -> Result<Annotation, String> {
-        let src = opts
-            .ann
-            .as_deref()
-            .ok_or("missing --ann FILE".to_owned())?;
+        let src = opts.ann.as_deref().ok_or("missing --ann FILE".to_owned())?;
         parse_annotation(&mut self.alpha, src).map_err(|e| e.to_string())
     }
 }
@@ -191,8 +185,7 @@ fn cmd_invert(opts: &Opts) -> Result<String, String> {
         sizes: &sizes,
         insertlets: &insertlets,
     };
-    let forest =
-        InversionForest::build(&ctx.dtd, &ann, &view, &cm).map_err(|e| e.to_string())?;
+    let forest = InversionForest::build(&ctx.dtd, &ann, &view, &cm).map_err(|e| e.to_string())?;
     let mut gen = ctx.gen.clone();
     let inverse = forest
         .materialize_min(&ctx.dtd, &cm, Selector::PreferNop, &mut gen, 1_000_000)
@@ -224,14 +217,13 @@ fn cmd_propagate(opts: &Opts) -> Result<String, String> {
     let update_src = opts.update.as_deref().ok_or("missing --update FILE")?;
     let update = parse_script(&mut ctx.alpha, update_src.trim()).map_err(|e| e.to_string())?;
 
-    let inst = Instance::new(&ctx.dtd, &ann, &doc, &update, ctx.alpha.len())
-        .map_err(|e| e.to_string())?;
+    let inst =
+        Instance::new(&ctx.dtd, &ann, &doc, &update, ctx.alpha.len()).map_err(|e| e.to_string())?;
     let cfg = Config {
         selector: opts.selector,
         ..Config::default()
     };
-    let prop =
-        propagate(&inst, &InsertletPackage::new(), &cfg).map_err(|e| e.to_string())?;
+    let prop = propagate(&inst, &InsertletPackage::new(), &cfg).map_err(|e| e.to_string())?;
     verify_propagation(&inst, &prop.script).map_err(|e| e.to_string())?;
     let new_source = output_tree(&prop.script).expect("propagations preserve the root");
 
@@ -307,7 +299,15 @@ mod tests {
         let doc = write_tmp("doc3.term", DOC);
         let upd = write_tmp("edit3.script", UPDATE);
         let out = run_args(&[
-            "propagate", "--dtd", &dtd, "--ann", &ann, "--doc", &doc, "--update", &upd,
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--update",
+            &upd,
         ])
         .unwrap();
         assert!(out.contains("propagation cost: 14"), "{out}");
@@ -319,8 +319,7 @@ mod tests {
         let dtd = write_tmp("schema4.rules", DTD);
         let ann = write_tmp("view4.ann", ANN);
         let view = write_tmp("view4.term", "d#11(c#13, c#14)");
-        let out =
-            run_args(&["invert", "--dtd", &dtd, "--ann", &ann, "--view", &view]).unwrap();
+        let out = run_args(&["invert", "--dtd", &dtd, "--ann", &ann, "--view", &view]).unwrap();
         assert!(out.contains("5 nodes (3 visible + 2 padding)"), "{out}");
     }
 

@@ -82,21 +82,21 @@ pub use xvu_xml as xml;
 
 /// The commonly used names in one import.
 pub mod prelude {
+    pub use xvu_dtd::Violation;
     pub use xvu_dtd::{
         exponential_dtd, min_sizes, minimal_witness, parse_dtd, Dtd, InsertletPackage, MinSizes,
     };
     pub use xvu_edit::{
         apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, parse_script,
-        script_to_term, validate_script, EditOp, ELabel, Script, UpdateBuilder,
+        script_to_term, validate_script, ELabel, EditOp, Script, UpdateBuilder,
     };
-    pub use xvu_dtd::Violation;
     pub use xvu_edit::{compose, diff};
     pub use xvu_propagate::{
-        count_optimal_propagations, enumerate_optimal_propagations,
-        cross_view_effect, cross_view_touched, find_complement_preserving, invisible_impact,
-        propagate, propagate_view_edit, revalidate_output, typing_report,
-        verify_propagation, Config, CostModel, Instance, InversionForest, InvisibleImpact,
-        PropagateError, Propagation, PropagationForest, Selector, TypingReport,
+        count_optimal_propagations, cross_view_effect, cross_view_touched,
+        enumerate_optimal_propagations, find_complement_preserving, invisible_impact, propagate,
+        propagate_view_edit, revalidate_output, typing_report, verify_propagation, Config,
+        CostModel, Instance, InversionForest, InvisibleImpact, PropagateError, Propagation,
+        PropagationForest, Selector, TypingReport,
     };
     pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
     pub use xvu_tree::{

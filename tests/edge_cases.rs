@@ -32,11 +32,7 @@ fn everything_hidden_view_is_root_only() {
     // could make is the identity, which must not disturb the source.
     let mut alpha = Alphabet::new();
     let dtd = d0(&mut alpha);
-    let ann = parse_annotation(
-        &mut alpha,
-        "hide r a\nhide r b\nhide r c\nhide r d",
-    )
-    .unwrap();
+    let ann = parse_annotation(&mut alpha, "hide r a\nhide r b\nhide r c\nhide r d").unwrap();
     let mut gen = NodeIdGen::new();
     let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#2, d#3(a#4, c#5))").unwrap();
     let view = extract_view(&ann, &t);
@@ -45,7 +41,11 @@ fn everything_hidden_view_is_root_only() {
     let inst = Instance::new(&dtd, &ann, &t, &s, alpha.len()).unwrap();
     let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
     assert_eq!(prop.cost, 0);
-    assert_eq!(output_tree(&prop.script).unwrap(), t, "hidden data untouched");
+    assert_eq!(
+        output_tree(&prop.script).unwrap(),
+        t,
+        "hidden data untouched"
+    );
 }
 
 #[test]
@@ -197,8 +197,7 @@ fn deep_documents_work_with_adequate_stack() {
             assert_eq!(view.size(), 2001);
             let s = nop_script(&view);
             let inst = Instance::new(&dtd, &ann, &t, &s, alpha.len()).unwrap();
-            let prop =
-                propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+            let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
             assert_eq!(prop.cost, 0);
         })
         .expect("spawn")

@@ -1,5 +1,5 @@
 //! Integration tests replaying every figure of the paper through the
-//! public API (experiments E1–E6 of DESIGN.md).
+//! public API (experiments E1–E6).
 
 use xml_view_update::prelude::*;
 use xml_view_update::workload::paper::{self, running_example};

@@ -86,3 +86,107 @@ proptest! {
         let _ = xml_view_update::cli::run(&owned);
     }
 }
+
+/// Deterministic error-path coverage: specific malformed inputs must map
+/// to specific typed errors (the totality properties above only prove
+/// "no panic", not "the right diagnosis").
+mod error_paths {
+    use xml_view_update::dtd::DtdError;
+    use xml_view_update::edit::{validate_script, EditError};
+    use xml_view_update::prelude::*;
+
+    // ------------------------------------------------- DTD rule parser
+
+    #[test]
+    fn dtd_rule_without_arrow_is_a_parse_error_with_line() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r -> (a)*\nd (b)*").unwrap_err();
+        assert!(matches!(err, DtdError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn dtd_malformed_label_is_rejected() {
+        let mut alpha = Alphabet::new();
+        for bad in ["r! -> a", "-> a", "a b -> c"] {
+            let err = parse_dtd(&mut alpha, bad).unwrap_err();
+            assert!(
+                matches!(err, DtdError::Parse { line: 1, .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn dtd_malformed_regex_reports_the_offending_line() {
+        let mut alpha = Alphabet::new();
+        for (src, line) in [("r -> (a", 1), ("r -> a\nd -> b+*", 2), ("r -> a..b", 1)] {
+            let err = parse_dtd(&mut alpha, src).unwrap_err();
+            match err {
+                DtdError::Parse { line: l, .. } => assert_eq!(l, line, "{src}"),
+                other => panic!("{src}: expected parse error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dtd_duplicate_rule_is_its_own_error() {
+        let mut alpha = Alphabet::new();
+        let err = parse_dtd(&mut alpha, "r -> a\nr -> b").unwrap_err();
+        assert_eq!(err, DtdError::DuplicateRule("r".to_owned()));
+    }
+
+    // --------------------------------------------- edit-script parser
+
+    #[test]
+    fn script_unknown_operation_is_rejected() {
+        let mut alpha = Alphabet::new();
+        let err = parse_script(&mut alpha, "zap:r#0").unwrap_err();
+        assert!(matches!(err, EditError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn script_unbalanced_parentheses_are_rejected() {
+        let mut alpha = Alphabet::new();
+        for bad in ["nop:r#0(del:a#1", "nop:r#0)", "nop:r#0(nop:a#1))"] {
+            let err = parse_script(&mut alpha, bad).unwrap_err();
+            assert!(matches!(err, EditError::Parse { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn script_missing_pieces_are_rejected() {
+        let mut alpha = Alphabet::new();
+        for bad in ["nop r#0", "nop:#0", "nop:r#", "nop:r#x", "nop:r#0(,)", ""] {
+            assert!(
+                parse_script(&mut alpha, bad).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn script_whole_subtree_discipline_is_validated() {
+        let mut alpha = Alphabet::new();
+        // A Nop child under an Ins parent breaks the paper's
+        // whole-subtree insertion discipline.
+        let s = parse_script(&mut alpha, "nop:r#0(ins:a#1(nop:b#2))").unwrap();
+        let err = validate_script(&s).unwrap_err();
+        assert!(matches!(err, EditError::InsClosureViolated(_)), "{err}");
+        // Likewise a Nop under a Del.
+        let s = parse_script(&mut alpha, "nop:r#0(del:a#1(nop:b#2))").unwrap();
+        let err = validate_script(&s).unwrap_err();
+        assert!(matches!(err, EditError::DelClosureViolated(_)), "{err}");
+    }
+
+    #[test]
+    fn term_parser_rejects_unbalanced_and_empty_input() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        for bad in ["r(a", "r)", "", "r(a,)", "(a)", "r(a b)"] {
+            assert!(
+                parse_term(&mut alpha, &mut gen, bad).is_err(),
+                "{bad:?} should not parse"
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate provides a minimal benchmark harness with criterion's
+//! surface syntax: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is timed over a handful of wall-clock samples
+//! and the median is printed — adequate for relative comparisons, with
+//! none of criterion's statistics, plotting, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Number of timed samples per benchmark (upstream default is 100; this
+/// harness favours fast feedback).
+const SAMPLES: usize = 5;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// When true (set by `--test`, as passed by `cargo test` to
+    /// `harness = false` bench targets), run every closure once and skip
+    /// timing entirely.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver configured from the process arguments.
+    pub fn configure_from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let test_mode = self.test_mode;
+        run_one("", &id.into().0, test_mode, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    // tie the group to the driver borrow like upstream does
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this harness always takes
+    /// [`SAMPLES`] samples.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; this harness always takes
+    /// [`SAMPLES`] samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &id.into().0, self.test_mode, f);
+    }
+
+    /// Benchmarks `f(input)` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.name, &id.into().0, self.test_mode, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if test_mode {
+        let mut b = Bencher { sample: None };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher { sample: None };
+            f(&mut b);
+            b.sample.expect("Bencher::iter was never called")
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{label:<48} median {:>12.3} µs", median.as_secs_f64() * 1e6);
+}
+
+/// Times one closure; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warmup call, then a short timed batch.
+        black_box(f());
+        let start = Instant::now();
+        let iters = 3u32;
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.sample = Some(start.elapsed() / iters);
+    }
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Measured throughput hints (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,73 @@
+//! String-pattern strategies.
+//!
+//! Upstream proptest interprets `&str` strategies as full regexes. This
+//! stand-in supports the shape the workspace's tests use — a character
+//! class (`\PC`, `.`, or a literal prefix) followed by a `{m,n}`
+//! repetition — and otherwise falls back to printable garbage of a
+//! similar length. That is sufficient for "parser never panics on
+//! arbitrary input" robustness properties.
+
+use crate::test_runner::TestRng;
+
+/// Characters mixed into generated strings: ASCII printables plus a few
+/// multi-byte scalars so UTF-8 boundary handling gets exercised.
+const EXOTIC: &[char] = &[
+    'é', 'λ', '中', '𝄞', '\u{00A0}', '«', '»', 'ß', '☃', '\u{202E}',
+];
+
+/// Generates a string loosely matching `pattern` (see module docs).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let (lo, hi) = repetition_bounds(pattern).unwrap_or((0, 60));
+    let len = lo + rng.below(hi - lo + 1);
+    let mut out = String::new();
+    for _ in 0..len {
+        // \PC = "any char that is not a control character"; mostly
+        // ASCII printable with the occasional multi-byte scalar.
+        if rng.below(8) == 0 {
+            out.push(EXOTIC[rng.below(EXOTIC.len())]);
+        } else {
+            out.push((0x20u8 + rng.below(0x5f) as u8) as char);
+        }
+    }
+    out
+}
+
+/// Extracts the `{m,n}` suffix of a pattern, if present.
+fn repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern[open..].find('}')? + open;
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = match body.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_parsed() {
+        assert_eq!(repetition_bounds("\\PC{0,60}"), Some((0, 60)));
+        assert_eq!(repetition_bounds(".{5}"), Some((5, 5)));
+        assert_eq!(repetition_bounds("abc"), None);
+    }
+
+    #[test]
+    fn lengths_in_bounds() {
+        let mut rng = TestRng::from_name("lengths_in_bounds");
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,10}", &mut rng);
+            assert!(s.chars().count() <= 10);
+            assert!(!s.chars().any(|c| c.is_control()));
+        }
+    }
+}
