@@ -19,7 +19,7 @@
 use std::time::{Duration, Instant};
 use xvu_dtd::{Dtd, InsertletPackage};
 use xvu_edit::Script;
-use xvu_propagate::{propagate, Config, Instance, Propagation};
+use xvu_propagate::{propagate, Config, Engine, Instance, Propagation};
 use xvu_tree::{Alphabet, DocTree, NodeIdGen};
 use xvu_view::Annotation;
 use xvu_workload::scenario::{admit_patient, hospital, hospital_doc, Hospital};
@@ -68,6 +68,56 @@ impl OwnedInstance {
         )
         .expect("valid instance")
     }
+
+    /// Compiles an [`Engine`] for this bundle's `(Σ, D, A)` triple — the
+    /// amortizable, update-independent half of the pipeline.
+    pub fn engine(&self) -> Engine {
+        Engine::builder()
+            .alphabet(self.alpha.clone())
+            .dtd(self.dtd.clone())
+            .annotation(self.ann.clone())
+            .build()
+            .expect("complete engine")
+    }
+}
+
+/// A hospital document plus `k` distinct single-admission updates, all
+/// against the same source — the repeated-update (what-if) workload for
+/// the one-shot vs engine-amortized comparison.
+///
+/// `departments` and `k` must be ≥ 1.
+pub fn hospital_update_batch(
+    departments: usize,
+    patients_per_dept: usize,
+    k: usize,
+) -> (OwnedInstance, Vec<Script>) {
+    assert!(
+        departments > 0,
+        "hospital_update_batch: departments must be ≥ 1"
+    );
+    assert!(k > 0, "hospital_update_batch: k must be ≥ 1");
+    let Hospital { alpha, dtd, ann } = hospital();
+    let h = Hospital {
+        alpha: alpha.clone(),
+        dtd: dtd.clone(),
+        ann: ann.clone(),
+    };
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, departments, patients_per_dept, &mut gen);
+    let updates: Vec<Script> = (0..k)
+        .map(|i| admit_patient(&h, &doc, i % departments, &mut gen))
+        .collect();
+    let update = updates[0].clone();
+    (
+        OwnedInstance {
+            alpha,
+            dtd,
+            ann,
+            doc,
+            update,
+        },
+        updates,
+    )
 }
 
 /// A hospital admission at the given scale (`departments ×
@@ -140,6 +190,73 @@ pub fn random_instance(labels: usize, max_nodes: usize, ops: usize, seed: u64) -
     }
 }
 
+/// A random document plus `k` distinct generated updates, all against the
+/// same source (seeded, deterministic) — the schema-heavy repeated-update
+/// workload where engine amortization dominates.
+///
+/// `k` must be ≥ 1.
+pub fn random_update_batch(
+    labels: usize,
+    max_nodes: usize,
+    ops: usize,
+    k: usize,
+    seed: u64,
+) -> (OwnedInstance, Vec<Script>) {
+    assert!(k > 0, "random_update_batch: k must be ≥ 1");
+    let mut alpha = Alphabet::new();
+    let dtd = generate_dtd(
+        &mut alpha,
+        &DtdGenConfig {
+            labels,
+            ..DtdGenConfig::default()
+        },
+        seed,
+    );
+    let ann = generate_annotation(&alpha, 0.3, seed ^ 101, &[]);
+    let root = alpha.get("l0").expect("root");
+    let mut gen = NodeIdGen::new();
+    let doc = generate_doc(
+        &dtd,
+        alpha.len(),
+        root,
+        &DocGenConfig {
+            max_nodes,
+            max_depth: 8,
+            max_children: 10,
+            stop_bias: 0.05,
+        },
+        seed ^ 202,
+        &mut gen,
+    );
+    let updates: Vec<Script> = (0..k as u64)
+        .map(|i| {
+            generate_update(
+                &dtd,
+                &ann,
+                alpha.len(),
+                &doc,
+                &UpdateGenConfig {
+                    ops,
+                    ..UpdateGenConfig::default()
+                },
+                seed ^ (303 + i),
+                &mut gen,
+            )
+        })
+        .collect();
+    let update = updates[0].clone();
+    (
+        OwnedInstance {
+            alpha,
+            dtd,
+            ann,
+            doc,
+            update,
+        },
+        updates,
+    )
+}
+
 /// Median wall-clock time of `runs` executions of `f`.
 pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
     let mut samples: Vec<Duration> = (0..runs.max(1))
@@ -174,5 +291,17 @@ mod tests {
         let inst = random_instance(8, 300, 3, 7);
         let p = inst.propagate();
         assert!(p.cost < 10_000);
+    }
+
+    #[test]
+    fn update_batch_serves_through_one_session() {
+        let (oi, updates) = hospital_update_batch(2, 3, 5);
+        assert_eq!(updates.len(), 5);
+        let engine = oi.engine();
+        let session = engine.open(&oi.doc).unwrap();
+        for u in &updates {
+            // every admission inserts 3 visible nodes against this doc
+            assert_eq!(session.propagate(u).unwrap().cost, 3);
+        }
     }
 }

@@ -69,12 +69,23 @@ pub fn propagate(
         sizes: &sizes,
         insertlets,
     };
-    let forest = PropagationForest::build(inst, &cost)?;
+    propagate_with(inst, &cost, cfg)
+}
+
+/// The propagation core, parameterised by a prebuilt cost model so callers
+/// holding cached min-size tables (the [`crate::Engine`]) skip the
+/// per-call `min_sizes` recomputation that [`propagate`] performs.
+pub(crate) fn propagate_with(
+    inst: &Instance<'_>,
+    cost: &CostModel<'_>,
+    cfg: &Config,
+) -> Result<Propagation, PropagateError> {
+    let forest = PropagationForest::build(inst, cost)?;
     let mut gen = inst.id_gen();
     let script = assemble(
         inst,
         &forest,
-        &cost,
+        cost,
         cfg,
         forest.root,
         &mut gen,

@@ -1,0 +1,643 @@
+//! The compiled propagation engine and its update sessions.
+//!
+//! The paper fixes a DTD `D` and annotation `A` once and then answers
+//! *many* view updates against them. [`Engine`] is that shape as an API:
+//! built once from `(Alphabet, Dtd, Annotation)`, it precompiles and
+//! caches every update-independent artefact —
+//!
+//! * the derived view DTD for `A(L(D))` ([`xvu_view::derive_view_dtd`]),
+//! * the minimal-tree size tables ([`xvu_dtd::min_sizes`]),
+//! * the insertlet package `W` and the [`CostModel`] over both,
+//! * the default [`Config`] (selector `Φ`, witness budget),
+//!
+//! so nothing schema-dependent is ever recomputed per update. Opening a
+//! document with [`Engine::open`] validates it once and yields a
+//! [`Session`] that serves repeated [`Session::propagate`] /
+//! [`Session::verify`] / [`Session::count_optimal`] /
+//! [`Session::enumerate_optimal`] calls, each reusing the session's
+//! cached view, visible-node set, and identifier high-water mark.
+//! [`Session::commit`] advances the session to a propagation's output
+//! using incremental revalidation ([`crate::revalidate_output`]) instead
+//! of a full schema check.
+//!
+//! The free functions ([`crate::propagate`], [`Instance::new`], …) remain
+//! as a one-shot compatibility layer over the same core code paths.
+//!
+//! ```
+//! use xvu_dtd::parse_dtd;
+//! use xvu_edit::parse_script;
+//! use xvu_propagate::Engine;
+//! use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+//! use xvu_view::parse_annotation;
+//!
+//! let mut alpha = Alphabet::new();
+//! let mut gen = NodeIdGen::new();
+//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+//! let t0 = parse_term_with_ids(
+//!     &mut alpha, &mut gen,
+//!     "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+//! ).unwrap();
+//! let s0 = parse_script(
+//!     &mut alpha,
+//!     "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+//!      ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+//! ).unwrap();
+//!
+//! let engine = Engine::builder()
+//!     .alphabet(alpha)
+//!     .dtd(dtd)
+//!     .annotation(ann)
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.open(&t0).unwrap();
+//! let prop = session.propagate(&s0).unwrap();
+//! assert_eq!(prop.cost, 14); // the paper's Figure 7 optimum
+//! session.verify(&s0, &prop.script).unwrap();
+//! session.commit(&prop).unwrap(); // incremental revalidation, then advance
+//! assert_eq!(session.commits(), 1);
+//! ```
+
+use crate::algorithm::{propagate_with, Config, Propagation};
+use crate::cost::CostModel;
+use crate::count::count_optimal_propagations;
+use crate::enumerate::enumerate_optimal_propagations;
+use crate::error::PropagateError;
+use crate::forest::PropagationForest;
+use crate::incremental::revalidate_output;
+use crate::instance::{Instance, Prepared};
+use crate::verify::verify_propagation;
+use std::borrow::Cow;
+use std::collections::HashSet;
+use xvu_dtd::{min_sizes, Dtd, InsertletPackage, MinSizes};
+use xvu_edit::{input_tree, output_tree, Script};
+use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen};
+use xvu_view::{derive_view_dtd, Annotation};
+
+/// A compiled `(Σ, D, A)` triple with every update-independent artefact
+/// precomputed. Build one with [`Engine::builder`]; open documents with
+/// [`Engine::open`].
+#[derive(Clone, Debug)]
+pub struct Engine {
+    alpha: Alphabet,
+    dtd: Dtd,
+    ann: Annotation,
+    view_dtd: Dtd,
+    sizes: MinSizes,
+    insertlets: InsertletPackage,
+    config: Config,
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    alpha: Option<Alphabet>,
+    dtd: Option<Dtd>,
+    ann: Option<Annotation>,
+    insertlets: InsertletPackage,
+    config: Config,
+    minimal_insertlets: bool,
+}
+
+impl EngineBuilder {
+    /// The alphabet `Σ` (required). Its length sizes every symbol-indexed
+    /// table, so no separate `alphabet_len` argument exists anywhere in
+    /// the engine API.
+    pub fn alphabet(mut self, alpha: Alphabet) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// The document schema `D` (required).
+    pub fn dtd(mut self, dtd: Dtd) -> Self {
+        self.dtd = Some(dtd);
+        self
+    }
+
+    /// The view definition `A` (required).
+    pub fn annotation(mut self, ann: Annotation) -> Self {
+        self.ann = Some(ann);
+        self
+    }
+
+    /// Administrator-chosen insertlet package `W` (default: empty, which
+    /// falls back to on-the-fly minimal witnesses).
+    pub fn insertlets(mut self, insertlets: InsertletPackage) -> Self {
+        self.insertlets = insertlets;
+        self
+    }
+
+    /// Precompute a minimal insertlet for every satisfiable label within
+    /// the witness budget, so propagation never materialises witnesses on
+    /// the fly. Ignored when [`EngineBuilder::insertlets`] supplied a
+    /// non-empty package.
+    pub fn minimal_insertlets(mut self) -> Self {
+        self.minimal_insertlets = true;
+        self
+    }
+
+    /// Full tuning configuration (default: [`Config::default`]).
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Shorthand: the path-preference function `Φ`.
+    pub fn selector(mut self, selector: crate::Selector) -> Self {
+        self.config.selector = selector;
+        self
+    }
+
+    /// Shorthand: the witness materialisation budget.
+    pub fn witness_budget(mut self, budget: u64) -> Self {
+        self.config.witness_budget = budget;
+        self
+    }
+
+    /// Compiles the engine: derives the view DTD, computes the min-size
+    /// tables, and (optionally) the minimal insertlet package.
+    ///
+    /// Errors only when a required component (alphabet, DTD, annotation)
+    /// is missing.
+    pub fn build(self) -> Result<Engine, PropagateError> {
+        let missing =
+            |what: &str| PropagateError::InvalidInstance(format!("engine builder: missing {what}"));
+        let alpha = self.alpha.ok_or_else(|| missing("alphabet"))?;
+        let dtd = self.dtd.ok_or_else(|| missing("dtd"))?;
+        let ann = self.ann.ok_or_else(|| missing("annotation"))?;
+        let sizes = min_sizes(&dtd, alpha.len());
+        let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+        let insertlets = if self.minimal_insertlets && self.insertlets.is_empty() {
+            // Template identifiers never leak: instantiation always
+            // re-identifies, so a local generator suffices.
+            let mut gen = NodeIdGen::new();
+            InsertletPackage::minimal_package(
+                &dtd,
+                &sizes,
+                alpha.len(),
+                &mut gen,
+                self.config.witness_budget,
+            )
+        } else {
+            self.insertlets
+        };
+        Ok(Engine {
+            alpha,
+            dtd,
+            ann,
+            view_dtd,
+            sizes,
+            insertlets,
+            config: self.config,
+        })
+    }
+}
+
+impl Engine {
+    /// Starts building an engine. [`EngineBuilder::alphabet`],
+    /// [`EngineBuilder::dtd`], and [`EngineBuilder::annotation`] are
+    /// required; everything else has defaults.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Convenience: an engine with default configuration and no
+    /// insertlets.
+    pub fn new(alpha: Alphabet, dtd: Dtd, ann: Annotation) -> Engine {
+        Engine::builder()
+            .alphabet(alpha)
+            .dtd(dtd)
+            .annotation(ann)
+            .build()
+            .expect("all required components supplied")
+    }
+
+    /// The alphabet `Σ`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alpha
+    }
+
+    /// `|Σ|` — the size of every symbol-indexed table.
+    pub fn alphabet_len(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The document schema `D`.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The view definition `A`.
+    pub fn annotation(&self) -> &Annotation {
+        &self.ann
+    }
+
+    /// The precompiled DTD for the view language `A(L(D))`.
+    pub fn view_dtd(&self) -> &Dtd {
+        &self.view_dtd
+    }
+
+    /// The precompiled minimal-tree size tables.
+    pub fn min_sizes(&self) -> &MinSizes {
+        &self.sizes
+    }
+
+    /// The insertlet package `W`.
+    pub fn insertlets(&self) -> &InsertletPackage {
+        &self.insertlets
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The cost model over the cached size tables and insertlets.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel {
+            sizes: &self.sizes,
+            insertlets: &self.insertlets,
+        }
+    }
+
+    /// Validates `doc ∈ L(D)` once and opens a session serving repeated
+    /// updates against it.
+    pub fn open(&self, doc: &DocTree) -> Result<Session<'_>, PropagateError> {
+        self.dtd
+            .validate(doc)
+            .map_err(PropagateError::SourceNotValid)?;
+        Ok(Session {
+            engine: self,
+            prepared: Prepared::from_source(&self.ann, doc),
+            doc: doc.clone(),
+            commits: 0,
+        })
+    }
+
+    /// One-shot [`Instance`] assembly against engine-cached artefacts:
+    /// like [`Instance::new`] but without re-deriving the view DTD.
+    ///
+    /// Prefer [`Engine::open`] + [`Session::propagate`] when a document
+    /// serves more than one update.
+    pub fn instance<'e>(
+        &'e self,
+        source: &'e DocTree,
+        update: &'e Script,
+    ) -> Result<Instance<'e>, PropagateError> {
+        self.dtd
+            .validate(source)
+            .map_err(PropagateError::SourceNotValid)?;
+        let Prepared {
+            view,
+            visible,
+            hidden,
+            gen,
+        } = Prepared::from_source(&self.ann, source);
+        Instance::from_parts(
+            &self.dtd,
+            &self.ann,
+            source,
+            update,
+            self.alpha.len(),
+            Cow::Owned(view),
+            Cow::Owned(visible),
+            &hidden,
+            gen,
+            Cow::Borrowed(&self.view_dtd),
+        )
+    }
+
+    /// Propagates a prebuilt instance under the engine's cached cost
+    /// model and configuration.
+    pub fn propagate(&self, inst: &Instance<'_>) -> Result<Propagation, PropagateError> {
+        propagate_with(inst, &self.cost_model(), &self.config)
+    }
+}
+
+/// One open document served by an [`Engine`].
+///
+/// The session validates the document once at [`Engine::open`] and caches
+/// its view, visible/hidden identifier sets, and identifier high-water
+/// mark; every subsequent call runs only update-dependent work.
+/// [`Session::commit`] advances the session to a propagation's output
+/// document with incremental revalidation.
+#[derive(Clone, Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    prepared: Prepared,
+    doc: DocTree,
+    commits: u64,
+}
+
+impl<'e> Session<'e> {
+    /// The engine that opened this session.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The current source document `t`.
+    pub fn document(&self) -> &DocTree {
+        &self.doc
+    }
+
+    /// The current view `A(t)` — what a user of this session sees and
+    /// edits.
+    pub fn view(&self) -> &DocTree {
+        &self.prepared.view
+    }
+
+    /// Identifiers of the currently visible nodes of the document.
+    pub fn visible(&self) -> &HashSet<NodeId> {
+        &self.prepared.visible
+    }
+
+    /// Number of propagations committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// A fresh-identifier generator positioned past every identifier of
+    /// the current document — hand it to update builders and parsers so
+    /// new view nodes never collide with hidden source nodes.
+    pub fn id_gen(&self) -> NodeIdGen {
+        self.prepared.gen.clone()
+    }
+
+    /// Assembles the validated [`Instance`] for `update` against the
+    /// current document, borrowing every session-cached artefact (no
+    /// document-sized copies). All update-dependent well-formedness
+    /// checks of [`Instance::new`] run; the source-side work does not.
+    pub fn instance<'s>(&'s self, update: &'s Script) -> Result<Instance<'s>, PropagateError> {
+        Instance::from_parts(
+            &self.engine.dtd,
+            &self.engine.ann,
+            &self.doc,
+            update,
+            self.engine.alpha.len(),
+            Cow::Borrowed(&self.prepared.view),
+            Cow::Borrowed(&self.prepared.visible),
+            &self.prepared.hidden,
+            self.prepared.gen.clone(),
+            Cow::Borrowed(&self.engine.view_dtd),
+        )
+    }
+
+    /// Computes the optimal propagation of `update` to the current
+    /// document (the session-cached equivalent of [`crate::propagate`]).
+    pub fn propagate(&self, update: &Script) -> Result<Propagation, PropagateError> {
+        let inst = self.instance(update)?;
+        propagate_with(&inst, &self.engine.cost_model(), &self.engine.config)
+    }
+
+    /// Checks that `candidate` is a schema-compliant, side-effect-free
+    /// propagation of `update` (see [`crate::verify_propagation`]).
+    ///
+    /// This re-assembles the instance from scratch — an independent
+    /// first-principles re-check. Callers verifying the output of an
+    /// immediately preceding [`Session::propagate`] who want to skip the
+    /// duplicate update validation can build [`Session::instance`] once
+    /// and feed it to [`Engine::propagate`] and
+    /// [`crate::verify_propagation`] directly (as the `xvu` CLI does).
+    pub fn verify(&self, update: &Script, candidate: &Script) -> Result<(), PropagateError> {
+        let inst = self.instance(update)?;
+        verify_propagation(&inst, candidate)
+    }
+
+    /// Counts the cost-minimal propagations of `update` (see
+    /// [`crate::count_optimal_propagations`]).
+    ///
+    /// Builds the instance and forest from scratch. If you already hold
+    /// the [`Propagation`] from [`Session::propagate`], count for free
+    /// with [`crate::count_optimal_propagations`]`(&prop.forest)`
+    /// instead.
+    pub fn count_optimal(&self, update: &Script) -> Result<u128, PropagateError> {
+        let inst = self.instance(update)?;
+        let forest = PropagationForest::build(&inst, &self.engine.cost_model())?;
+        Ok(count_optimal_propagations(&forest))
+    }
+
+    /// Enumerates up to `cap` cost-minimal propagations of `update` (see
+    /// [`crate::enumerate_optimal_propagations`]).
+    ///
+    /// Builds the instance and forest from scratch. Callers who already
+    /// hold the [`Propagation`] from [`Session::propagate`] can reuse its
+    /// forest via [`Session::instance`] +
+    /// [`crate::enumerate_optimal_propagations`] and skip the rebuild.
+    pub fn enumerate_optimal(
+        &self,
+        update: &Script,
+        cap: usize,
+    ) -> Result<Vec<Script>, PropagateError> {
+        let inst = self.instance(update)?;
+        let cm = self.engine.cost_model();
+        let forest = PropagationForest::build(&inst, &cm)?;
+        enumerate_optimal_propagations(&inst, &cm, &forest, &self.engine.config, cap)
+    }
+
+    /// Advances the session to the propagation's output document.
+    ///
+    /// The output is schema-checked *incrementally* — only nodes whose
+    /// child word can have changed are re-validated
+    /// ([`crate::revalidate_output`]) — instead of the full validation a
+    /// fresh [`Engine::open`] would run; the view, visible set, and
+    /// identifier high-water mark are then rebuilt from the new document.
+    pub fn commit(&mut self, prop: &Propagation) -> Result<(), PropagateError> {
+        let input = input_tree(&prop.script)
+            .ok_or_else(|| PropagateError::NotAPropagation("script input is empty".to_owned()))?;
+        if input != self.doc {
+            return Err(PropagateError::NotAPropagation(
+                "committed propagation does not start from the session document".to_owned(),
+            ));
+        }
+        revalidate_output(&self.engine.dtd, &prop.script)?;
+        let out = output_tree(&prop.script).ok_or_else(|| {
+            PropagateError::NotAPropagation("propagation deletes the document root".to_owned())
+        })?;
+        self.prepared = Prepared::from_source(&self.engine.ann, &out);
+        self.doc = out;
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// Convenience: [`Session::propagate`] then [`Session::commit`],
+    /// returning the committed propagation.
+    pub fn apply(&mut self, update: &Script) -> Result<Propagation, PropagateError> {
+        let prop = self.propagate(update)?;
+        self.commit(&prop)?;
+        Ok(prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::propagate;
+    use xvu_edit::{nop_script, parse_script, script_to_term};
+    use xvu_view::extract_view;
+
+    fn paper_engine() -> (Engine, DocTree, Script) {
+        let fx = fixtures::paper_running_example();
+        let engine = Engine::builder()
+            .alphabet(fx.alpha.clone())
+            .dtd(fx.dtd.clone())
+            .annotation(fx.ann.clone())
+            .build()
+            .unwrap();
+        (engine, fx.t0.clone(), fx.s0.clone())
+    }
+
+    #[test]
+    fn builder_requires_all_components() {
+        let fx = fixtures::paper_running_example();
+        assert!(matches!(
+            Engine::builder().build(),
+            Err(PropagateError::InvalidInstance(_))
+        ));
+        assert!(matches!(
+            Engine::builder().alphabet(fx.alpha.clone()).build(),
+            Err(PropagateError::InvalidInstance(_))
+        ));
+        assert!(Engine::builder()
+            .alphabet(fx.alpha)
+            .dtd(fx.dtd)
+            .annotation(fx.ann)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn session_propagation_matches_one_shot() {
+        let (engine, t0, s0) = paper_engine();
+        let session = engine.open(&t0).unwrap();
+        let prop = session.propagate(&s0).unwrap();
+        assert_eq!(prop.cost, 14);
+        session.verify(&s0, &prop.script).unwrap();
+
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let one_shot = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        assert_eq!(prop.cost, one_shot.cost);
+        assert_eq!(
+            script_to_term(&prop.script, engine.alphabet()),
+            script_to_term(&one_shot.script, &fx.alpha)
+        );
+    }
+
+    #[test]
+    fn open_rejects_invalid_documents() {
+        let (engine, _, _) = paper_engine();
+        let fx = fixtures::paper_running_example();
+        let mut alpha = fx.alpha.clone();
+        let mut gen = xvu_tree::NodeIdGen::starting_at(100);
+        let bad =
+            xvu_tree::parse_term_with_ids(&mut alpha, &mut gen, "r#100(a#101, b#102)").unwrap();
+        assert!(matches!(
+            engine.open(&bad),
+            Err(PropagateError::SourceNotValid(_))
+        ));
+    }
+
+    #[test]
+    fn commit_advances_the_session() {
+        let (engine, t0, s0) = paper_engine();
+        let mut session = engine.open(&t0).unwrap();
+        let prop = session.propagate(&s0).unwrap();
+        session.commit(&prop).unwrap();
+        assert_eq!(session.commits(), 1);
+        // the new document is the propagation output and the new view is
+        // exactly what the user asked for
+        let out = output_tree(&prop.script).unwrap();
+        assert_eq!(session.document(), &out);
+        assert_eq!(session.view(), &extract_view(engine.annotation(), &out));
+        // an identity update against the new view propagates for free
+        let prop2 = session.propagate(&nop_script(session.view())).unwrap();
+        assert_eq!(prop2.cost, 0);
+    }
+
+    #[test]
+    fn commit_rejects_propagations_of_other_documents() {
+        let (engine, t0, s0) = paper_engine();
+        let mut session = engine.open(&t0).unwrap();
+        let prop = session.propagate(&s0).unwrap();
+        session.commit(&prop).unwrap();
+        // committing the same propagation again: its input is the *old*
+        // document
+        assert!(matches!(
+            session.commit(&prop),
+            Err(PropagateError::NotAPropagation(_))
+        ));
+    }
+
+    #[test]
+    fn session_count_and_enumerate() {
+        let (engine, t0, s0) = paper_engine();
+        let session = engine.open(&t0).unwrap();
+        let count = session.count_optimal(&s0).unwrap();
+        assert!(count >= 8);
+        let scripts = session.enumerate_optimal(&s0, 5).unwrap();
+        assert!(!scripts.is_empty());
+        for s in &scripts {
+            session.verify(&s0, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn session_rejects_bad_updates() {
+        let (engine, t0, _) = paper_engine();
+        let session = engine.open(&t0).unwrap();
+        let mut alpha = engine.alphabet().clone();
+        // wrong In(S)
+        let s = parse_script(&mut alpha, "nop:r#0(nop:a#1)").unwrap();
+        assert!(matches!(
+            session.propagate(&s),
+            Err(PropagateError::Edit(_))
+        ));
+        // hidden identifier reuse (node 7 is hidden in t0)
+        let s = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:a#1, nop:d#3(nop:c#8), nop:a#4, ins:d#7, nop:d#6(nop:c#10))",
+        )
+        .unwrap();
+        assert!(matches!(
+            session.propagate(&s),
+            Err(PropagateError::Edit(xvu_edit::EditError::HiddenIdUsed(
+                NodeId(7)
+            )))
+        ));
+    }
+
+    #[test]
+    fn minimal_insertlets_are_precompiled() {
+        let fx = fixtures::paper_running_example();
+        let engine = Engine::builder()
+            .alphabet(fx.alpha.clone())
+            .dtd(fx.dtd.clone())
+            .annotation(fx.ann.clone())
+            .minimal_insertlets()
+            .build()
+            .unwrap();
+        assert_eq!(engine.insertlets().len(), fx.alpha.len());
+        // and propagation still reproduces Fig. 7 (all minimal fragments
+        // have the same sizes as the on-the-fly witnesses)
+        let session = engine.open(&fx.t0).unwrap();
+        assert_eq!(session.propagate(&fx.s0).unwrap().cost, 14);
+    }
+
+    #[test]
+    fn engine_instance_matches_instance_new() {
+        let (engine, t0, s0) = paper_engine();
+        let inst = engine.instance(&t0, &s0).unwrap();
+        let prop = engine.propagate(&inst).unwrap();
+        assert_eq!(prop.cost, 14);
+    }
+
+    #[test]
+    fn session_id_gen_clears_document_ids() {
+        let (engine, t0, _) = paper_engine();
+        let session = engine.open(&t0).unwrap();
+        let mut gen = session.id_gen();
+        let fresh = gen.fresh();
+        assert!(!t0.contains(fresh));
+    }
+}

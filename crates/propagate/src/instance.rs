@@ -16,11 +16,53 @@
 //!    consequence of 3 made into a direct check for better diagnostics).
 
 use crate::error::PropagateError;
+use std::borrow::Cow;
 use std::collections::HashSet;
 use xvu_dtd::Dtd;
-use xvu_edit::{check_is_update_of, check_no_hidden_ids, output_tree, EditOp, Script};
+use xvu_edit::{check_is_update_of, output_tree, EditError, EditOp, Script};
 use xvu_tree::{DocTree, NodeId, NodeIdGen};
 use xvu_view::{derive_view_dtd, extract_view, visible_nodes, Annotation};
+
+/// The update-independent artefacts derived from one source document
+/// under a fixed annotation: the view, the visible/hidden identifier
+/// sets, and a fresh-identifier generator already positioned past every
+/// source identifier.
+///
+/// [`Instance::new`] computes one per call; a [`crate::Session`] computes
+/// it once per document and reuses it across updates.
+#[derive(Clone, Debug)]
+pub(crate) struct Prepared {
+    /// The materialised view `A(t)`.
+    pub view: DocTree,
+    /// Identifiers of the visible nodes of `t`.
+    pub visible: HashSet<NodeId>,
+    /// Identifiers of the hidden nodes of `t` (`N_t \ N_{A(t)}`).
+    pub hidden: HashSet<NodeId>,
+    /// Generator positioned past every identifier of `t`.
+    pub gen: NodeIdGen,
+}
+
+impl Prepared {
+    /// Extracts the view and identifier sets of `source` under `ann`.
+    pub(crate) fn from_source(ann: &Annotation, source: &DocTree) -> Prepared {
+        let view = extract_view(ann, source);
+        let visible = visible_nodes(ann, source);
+        let mut hidden = HashSet::new();
+        let mut gen = NodeIdGen::new();
+        for id in source.node_ids() {
+            gen.bump_past(id);
+            if !visible.contains(&id) {
+                hidden.insert(id);
+            }
+        }
+        Prepared {
+            view,
+            visible,
+            hidden,
+            gen,
+        }
+    }
+}
 
 /// A validated view-update problem instance.
 #[derive(Clone, Debug)]
@@ -35,14 +77,21 @@ pub struct Instance<'a> {
     pub update: &'a Script,
     /// Alphabet size (for symbol-indexed tables).
     pub alphabet_len: usize,
-    /// The materialised view `A(t)` (= `In(S)`).
-    pub view: DocTree,
-    /// Identifiers of the visible nodes of `t`.
-    pub visible: HashSet<NodeId>,
+    /// The materialised view `A(t)` (= `In(S)`) — owned by one-shot
+    /// instances, borrowed from the session cache by session-built ones.
+    pub view: Cow<'a, DocTree>,
+    /// Identifiers of the visible nodes of `t` (owned or session-cached,
+    /// like [`Instance::view`]).
+    pub visible: Cow<'a, HashSet<NodeId>>,
     /// The updated view `Out(S)`.
     pub updated_view: DocTree,
-    /// The derived view DTD capturing `A(L(D))`.
-    pub view_dtd: Dtd,
+    /// The derived view DTD capturing `A(L(D))` — owned by one-shot
+    /// instances, borrowed from the engine's precompiled copy by
+    /// session-built ones.
+    pub view_dtd: Cow<'a, Dtd>,
+    /// Generator positioned past every source/update identifier, computed
+    /// once at construction so [`Instance::id_gen`] is O(1).
+    gen0: NodeIdGen,
 }
 
 impl<'a> Instance<'a> {
@@ -56,19 +105,59 @@ impl<'a> Instance<'a> {
     ) -> Result<Instance<'a>, PropagateError> {
         dtd.validate(source)
             .map_err(PropagateError::SourceNotValid)?;
+        let Prepared {
+            view,
+            visible,
+            hidden,
+            gen,
+        } = Prepared::from_source(ann, source);
+        let view_dtd = Cow::Owned(derive_view_dtd(dtd, ann, alphabet_len));
+        Instance::from_parts(
+            dtd,
+            ann,
+            source,
+            update,
+            alphabet_len,
+            Cow::Owned(view),
+            Cow::Owned(visible),
+            &hidden,
+            gen,
+            view_dtd,
+        )
+    }
 
-        let view = extract_view(ann, source);
+    /// Assembles an instance from precomputed source artefacts, running
+    /// only the *update-dependent* checks (requirements 2–5 of the module
+    /// docs). The caller guarantees requirement 1 (`t ∈ L(D)`) and that
+    /// the artefacts genuinely belong to `(dtd, ann, source)`; sessions
+    /// pass their caches borrowed so assembly copies nothing
+    /// document-sized.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        dtd: &'a Dtd,
+        ann: &'a Annotation,
+        source: &'a DocTree,
+        update: &'a Script,
+        alphabet_len: usize,
+        view: Cow<'a, DocTree>,
+        visible: Cow<'a, HashSet<NodeId>>,
+        hidden: &HashSet<NodeId>,
+        mut gen: NodeIdGen,
+        view_dtd: Cow<'a, Dtd>,
+    ) -> Result<Instance<'a>, PropagateError> {
         check_is_update_of(update, &view)?;
 
-        let visible = visible_nodes(ann, source);
-        let source_ids: HashSet<NodeId> = source.node_ids().collect();
-        check_no_hidden_ids(update, &source_ids, &visible)?;
+        for id in update.node_ids() {
+            if hidden.contains(&id) {
+                return Err(PropagateError::Edit(EditError::HiddenIdUsed(id)));
+            }
+            gen.bump_past(id);
+        }
 
         let updated_view = output_tree(update).ok_or_else(|| {
             PropagateError::InvalidInstance("update deletes the view root".to_owned())
         })?;
 
-        let view_dtd = derive_view_dtd(dtd, ann, alphabet_len);
         if let Some(v) = view_dtd.first_violation(&updated_view) {
             return Err(PropagateError::OutputNotAView(format!(
                 "node {} (child word not derivable in any view)",
@@ -100,20 +189,14 @@ impl<'a> Instance<'a> {
             visible,
             updated_view,
             view_dtd,
+            gen0: gen,
         })
     }
 
     /// A fresh-identifier generator positioned beyond every identifier used
-    /// by the source document or the update.
+    /// by the source document or the update (cached at construction).
     pub fn id_gen(&self) -> NodeIdGen {
-        let mut gen = NodeIdGen::new();
-        for id in self.source.node_ids() {
-            gen.bump_past(id);
-        }
-        for id in self.update.node_ids() {
-            gen.bump_past(id);
-        }
-        gen
+        self.gen0.clone()
     }
 
     /// The preserved view nodes `N_Δ` (the `Nop` nodes of `S`), in

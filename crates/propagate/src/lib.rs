@@ -19,10 +19,13 @@
 //!
 //! # Quickstart
 //!
+//! Compile the schema and view once into an [`Engine`], open the document
+//! in a [`Session`], and serve updates:
+//!
 //! ```
-//! use xvu_dtd::{parse_dtd, InsertletPackage};
+//! use xvu_dtd::parse_dtd;
 //! use xvu_edit::parse_script;
-//! use xvu_propagate::{propagate, verify_propagation, Config, Instance};
+//! use xvu_propagate::Engine;
 //! use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
 //! use xvu_view::parse_annotation;
 //!
@@ -41,11 +44,22 @@
 //!      ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
 //! ).unwrap();
 //!
-//! let inst = Instance::new(&dtd, &ann, &t0, &s0, alpha.len()).unwrap();
-//! let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+//! let engine = Engine::builder()
+//!     .alphabet(alpha)
+//!     .dtd(dtd)
+//!     .annotation(ann)
+//!     .build()
+//!     .unwrap();
+//! let mut session = engine.open(&t0).unwrap();
+//! let prop = session.propagate(&s0).unwrap();
 //! assert_eq!(prop.cost, 14); // the paper's Figure 7 optimum
-//! verify_propagation(&inst, &prop.script).unwrap();
+//! session.verify(&s0, &prop.script).unwrap();
+//! session.commit(&prop).unwrap(); // serve the next update from Out(S')
 //! ```
+//!
+//! The one-shot layer ([`Instance::new`] + [`propagate`] +
+//! [`verify_propagation`]) remains for single-update callers and is
+//! implemented over the same core code paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +68,7 @@ mod algorithm;
 mod complement;
 mod cost;
 mod count;
+mod engine;
 mod enumerate;
 mod error;
 #[cfg(test)]
@@ -73,6 +88,7 @@ pub use algorithm::{propagate, propagate_view_edit, Config, Propagation};
 pub use complement::{find_complement_preserving, invisible_impact, InvisibleImpact};
 pub use cost::CostModel;
 pub use count::count_optimal_propagations;
+pub use engine::{Engine, EngineBuilder, Session};
 pub use enumerate::{enumerate_optimal_propagations, enumerate_propagations_bounded};
 pub use error::PropagateError;
 pub use forest::PropagationForest;

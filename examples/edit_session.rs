@@ -1,10 +1,14 @@
 //! A multi-step editing session against a view.
 //!
 //! Demonstrates the full read–edit–propagate loop an application would
-//! run: the user never sees the source document; every update is built
-//! positionally against the *current* view with [`UpdateBuilder`],
-//! propagated, and the next round starts from the new source. Hidden
-//! material flows along correctly at every step.
+//! run: the schema and view are compiled once into an [`Engine`], the
+//! document is opened once in a [`Session`], and every round builds an
+//! update positionally against the session's *current* view with
+//! [`UpdateBuilder`] and applies it with [`Session::apply`] (propagate +
+//! incremental commit). The user never sees the source document; hidden
+//! material flows along correctly at every step, and the session keeps
+//! the identifier high-water mark so fresh view nodes never collide with
+//! hidden source nodes — no manual generator re-syncing.
 //!
 //! Run with: `cargo run --example edit_session`
 
@@ -30,116 +34,95 @@ fn main() {
         pkg
     };
 
-    let mut source = parse_term_with_ids(
+    let t0 = parse_term_with_ids(
         &mut alpha,
         &mut gen,
         "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
     )
     .expect("t0");
 
-    println!("initial source: {}", to_term_with_ids(&source, &alpha));
+    // Compile once; the engine snapshots the alphabet (ours stays mutable
+    // for parsing the fragments the user inserts later — no new labels
+    // appear, so the two agree).
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(dtd)
+        .annotation(ann)
+        .insertlets(insertlets)
+        .build()
+        .expect("complete engine");
+    let mut session = engine.open(&t0).expect("t0 satisfies the DTD");
+
+    println!(
+        "initial source: {}",
+        to_term_with_ids(session.document(), &alpha)
+    );
 
     // -------- round 1: append a fresh (a, d) group in the view ---------
     {
-        let view = extract_view(&ann, &source);
-        println!("\n[1] view: {}", to_term_with_ids(&view, &alpha));
-        let mut b = UpdateBuilder::new(&view);
+        let mut gen = session.id_gen();
+        println!("\n[1] view: {}", to_term_with_ids(session.view(), &alpha));
         let new_a = parse_term(&mut alpha, &mut gen, "a").expect("a");
         let new_d = parse_term(&mut alpha, &mut gen, "d(c)").expect("d(c)");
+        let view = session.view();
         let end = view.children(view.root()).len();
+        let mut b = UpdateBuilder::new(view);
         b.insert(view.root(), end, new_a).expect("view-valid");
         b.insert(view.root(), end + 1, new_d).expect("view-valid");
-        source = run_round(
-            &dtd,
-            &ann,
-            &insertlets,
-            &alpha,
-            &source,
-            b.finish(),
-            &mut gen,
-        );
+        let update = b.finish();
+        run_round(&mut session, &alpha, &update);
     }
 
     // -------- round 2: delete the middle d-subtree ----------------------
     {
-        let view = extract_view(&ann, &source);
-        println!("\n[2] view: {}", to_term_with_ids(&view, &alpha));
+        println!("\n[2] view: {}", to_term_with_ids(session.view(), &alpha));
         // delete the second (a, d) pair in the view
+        let view = session.view();
         let kids: Vec<NodeId> = view.children(view.root()).to_vec();
-        let mut b = UpdateBuilder::new(&view);
+        let mut b = UpdateBuilder::new(view);
         b.delete(kids[2]).expect("view-valid");
         b.delete(kids[3]).expect("view-valid");
-        source = run_round(
-            &dtd,
-            &ann,
-            &insertlets,
-            &alpha,
-            &source,
-            b.finish(),
-            &mut gen,
-        );
+        let update = b.finish();
+        run_round(&mut session, &alpha, &update);
     }
 
     // -------- round 3: grow a d with another c ---------------------------
     {
-        let view = extract_view(&ann, &source);
-        println!("\n[3] view: {}", to_term_with_ids(&view, &alpha));
+        let mut gen = session.id_gen();
+        println!("\n[3] view: {}", to_term_with_ids(session.view(), &alpha));
+        let new_c = parse_term(&mut alpha, &mut gen, "c").expect("c");
+        let view = session.view();
         let first_d = view
             .children(view.root())
             .iter()
             .copied()
             .find(|&n| alpha.name(view.label(n)) == "d")
             .expect("a d child exists");
-        let mut b = UpdateBuilder::new(&view);
-        let new_c = parse_term(&mut alpha, &mut gen, "c").expect("c");
+        let mut b = UpdateBuilder::new(view);
         b.insert(first_d, view.children(first_d).len(), new_c)
             .expect("view-valid");
-        source = run_round(
-            &dtd,
-            &ann,
-            &insertlets,
-            &alpha,
-            &source,
-            b.finish(),
-            &mut gen,
-        );
+        let update = b.finish();
+        run_round(&mut session, &alpha, &update);
     }
 
-    println!("\nfinal source:  {}", to_term_with_ids(&source, &alpha));
+    println!(
+        "\nfinal source:  {}",
+        to_term_with_ids(session.document(), &alpha)
+    );
     println!(
         "final view:    {}",
-        to_term_with_ids(&extract_view(&ann, &source), &alpha)
+        to_term_with_ids(session.view(), &alpha)
     );
-    assert!(dtd.is_valid(&source));
+    assert!(engine.dtd().is_valid(session.document()));
+    assert_eq!(session.commits(), 3);
 }
 
-/// Propagates one view update and returns the new source document.
-///
-/// After propagating, the application's identifier generator is re-synced
-/// past every identifier of the new source: propagation allocates fresh
-/// identifiers for invisible padding, and the well-formedness requirement
-/// `N_S ∩ (N_t \ N_{A(t)}) = ∅` (checked by `Instance::new`) would reject
-/// a later update whose "fresh" nodes collided with them.
-fn run_round(
-    dtd: &Dtd,
-    ann: &Annotation,
-    insertlets: &InsertletPackage,
-    alpha: &Alphabet,
-    source: &DocTree,
-    update: Script,
-    gen: &mut NodeIdGen,
-) -> DocTree {
-    let inst = Instance::new(dtd, ann, source, &update, alpha.len()).expect("valid instance");
-    let prop = propagate(&inst, insertlets, &Config::default()).expect("propagation exists");
-    verify_propagation(&inst, &prop.script).expect("verified");
-    let next = output_tree(&prop.script).expect("non-empty");
-    for id in next.node_ids() {
-        gen.bump_past(id);
-    }
+/// Propagates one view update through the session and commits it.
+fn run_round(session: &mut Session<'_>, alpha: &Alphabet, update: &Script) {
+    let prop = session.apply(update).expect("propagation exists");
     println!(
         "    update cost {:>2} → new source {}",
         prop.cost,
-        to_term_with_ids(&next, alpha)
+        to_term_with_ids(session.document(), alpha)
     );
-    next
 }

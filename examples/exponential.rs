@@ -6,7 +6,8 @@
 //! 2. §4 "Further results": inserting `k` visible nodes under
 //!    `D2: r → (a·(b+c))*` (with `b`, `c` hidden) admits exactly `2^k`
 //!    cost-minimal propagations — the propagation graphs *represent* them
-//!    all in polynomial space, and counting is a linear pass.
+//!    all in polynomial space, and counting is a linear pass. One
+//!    [`Engine`] per `D2` serves every `k` through sessions.
 //!
 //! Run with: `cargo run --release --example exponential`
 
@@ -50,11 +51,21 @@ fn optimal_propagation_counts() {
         "{:>4} {:>14} {:>22}",
         "k", "optimal cost", "# optimal propagations"
     );
+
+    // One compiled engine serves every k below.
+    let fx = xml_view_update::workload::paper::d2_exponential_choices();
+    let mut alpha = fx.alpha.clone();
+    let mut gen = NodeIdGen::new();
+    let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0").expect("source");
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(fx.dtd.clone())
+        .annotation(fx.ann.clone())
+        .build()
+        .expect("complete engine");
+    let session = engine.open(&source).expect("valid source");
+
     for k in [1usize, 4, 8, 16, 32, 64] {
-        let fx = xml_view_update::workload::paper::d2_exponential_choices();
-        let mut alpha = fx.alpha.clone();
-        let mut gen = NodeIdGen::new();
-        let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0").expect("source");
         let mut s = String::from("nop:r#0(");
         for i in 0..k {
             if i > 0 {
@@ -64,22 +75,17 @@ fn optimal_propagation_counts() {
         }
         s.push(')');
         let update = parse_script(&mut alpha, &s).expect("update");
-        let inst = Instance::new(&fx.dtd, &fx.ann, &source, &update, alpha.len()).expect("valid");
-        let sizes = min_sizes(&fx.dtd, alpha.len());
-        let pkg = InsertletPackage::new();
-        let cm = CostModel {
-            sizes: &sizes,
-            insertlets: &pkg,
-        };
-        let forest = PropagationForest::build(&inst, &cm).expect("forest");
-        let count = count_optimal_propagations(&forest);
-        println!("{:>4} {:>14} {:>22}", k, forest.optimal_cost(), count);
+
+        // One propagation answers both questions: the returned forest
+        // already represents every optimal propagation.
+        let prop = session.propagate(&update).expect("prop");
+        let count = count_optimal_propagations(&prop.forest);
+        println!("{:>4} {:>14} {:>22}", k, prop.cost, count);
         assert_eq!(count, 1u128 << k);
 
-        // And despite the exponential count, *one* optimal propagation is
-        // produced in polynomial time:
-        let prop = propagate(&inst, &pkg, &Config::default()).expect("prop");
-        verify_propagation(&inst, &prop.script).expect("sound");
+        // Despite the exponential count, *one* optimal propagation was
+        // produced in polynomial time — and it is sound:
+        session.verify(&update, &prop.script).expect("sound");
     }
     println!("all counts verified = 2^k; each selected propagation verified sound.");
 }

@@ -5,7 +5,8 @@
 //! roles see different views of the same document. When the registrar
 //! admits and discharges patients, [`cross_view_effect`] computes the
 //! exact editing script the auditor's view observes — before committing
-//! anything.
+//! anything. The registrar's `(Σ, D, A)` triple is compiled once into an
+//! [`Engine`] and the record is served from a [`Session`].
 //!
 //! Run with: `cargo run --example multi_view`
 
@@ -18,8 +19,6 @@ fn main() {
     let mut gen = NodeIdGen::new();
     let doc = hospital_doc(&h, 2, 2, &mut gen);
 
-    // The registrar's view hides clinical material (from the scenario).
-    let registrar = h.ann.clone();
     // The auditor sees billing but not names or treatments.
     let auditor = parse_annotation(
         &mut h.alpha,
@@ -27,21 +26,30 @@ fn main() {
     )
     .expect("annotation");
 
+    // The registrar's view hides clinical material (from the scenario).
+    let engine = Engine::builder()
+        .alphabet(h.alpha.clone())
+        .dtd(h.dtd.clone())
+        .annotation(h.ann.clone())
+        .build()
+        .expect("complete engine");
+    let session = engine.open(&doc).expect("valid record");
+    let registrar = engine.annotation();
+
     println!(
         "registrar sees {} nodes; auditor sees {} nodes (of {})",
-        extract_view(&registrar, &doc).size(),
+        session.view().size(),
         extract_view(&auditor, &doc).size(),
         doc.size()
     );
 
     // The registrar discharges a patient…
     let update = discharge_patient(&h, &doc, 0, 1);
-    let inst = Instance::new(&h.dtd, &registrar, &doc, &update, h.alpha.len()).expect("valid");
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("prop");
-    verify_propagation(&inst, &prop.script).expect("sound");
+    let prop = session.propagate(&update).expect("prop");
+    session.verify(&update, &prop.script).expect("sound");
 
     // …and before committing, we can answer: what changes in each view?
-    let own = cross_view_effect(&registrar, &prop.script).expect("diffable");
+    let own = cross_view_effect(registrar, &prop.script).expect("diffable");
     let theirs = cross_view_effect(&auditor, &prop.script).expect("diffable");
     println!();
     println!(

@@ -1,9 +1,10 @@
 //! Quickstart: the paper's running example, end to end.
 //!
 //! Builds the source document `t0` (Fig. 1), the DTD `D0` (Fig. 2), the
-//! annotation `A0` (Fig. 3), replays the user's view update `S0` (Fig. 4),
-//! and propagates it to the source — reproducing the optimal propagation
-//! of Fig. 7 (cost 14).
+//! annotation `A0` (Fig. 3), compiles them into an [`Engine`], replays
+//! the user's view update `S0` (Fig. 4) through a [`Session`], and
+//! propagates it to the source — reproducing the optimal propagation of
+//! Fig. 7 (cost 14).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -25,11 +26,6 @@ fn main() {
         "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
     )
     .expect("t0");
-    println!("source      t0    = {}", to_term_with_ids(&t0, &alpha));
-
-    // --- The view the user sees (Fig. 3) -------------------------------
-    let view = extract_view(&ann, &t0);
-    println!("view        A(t0) = {}", to_term_with_ids(&view, &alpha));
 
     // --- The user's update (S0, Fig. 4) --------------------------------
     let s0 = parse_script(
@@ -38,22 +34,40 @@ fn main() {
          ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
     )
     .expect("S0");
-    println!("view update S0    = {}", script_to_term(&s0, &alpha));
+
+    // --- Compile once, open the document, serve the update --------------
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .expect("alphabet, DTD, and annotation supplied");
+    let alpha = engine.alphabet();
+    let mut session = engine.open(&t0).expect("t0 satisfies D0");
+
+    println!("source      t0    = {}", to_term_with_ids(&t0, alpha));
+    println!(
+        "view        A(t0) = {}",
+        to_term_with_ids(session.view(), alpha)
+    );
+    println!("view update S0    = {}", script_to_term(&s0, alpha));
     println!(
         "updated view      = {}",
-        to_term_with_ids(&output_tree(&s0).expect("non-empty"), &alpha)
+        to_term_with_ids(&output_tree(&s0).expect("non-empty"), alpha)
     );
 
     // --- Propagation ----------------------------------------------------
-    let inst = Instance::new(&dtd, &ann, &t0, &s0, alpha.len()).expect("valid instance");
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default())
+    let prop = session
+        .propagate(&s0)
         .expect("Theorem 5: a propagation always exists");
-    verify_propagation(&inst, &prop.script).expect("schema compliant and side-effect free");
+    session
+        .verify(&s0, &prop.script)
+        .expect("schema compliant and side-effect free");
 
     println!();
     println!(
         "propagation S'    = {}",
-        script_to_term(&prop.script, &alpha)
+        script_to_term(&prop.script, alpha)
     );
     println!("cost              = {} (paper Fig. 7: 14)", prop.cost);
     println!(
@@ -61,15 +75,18 @@ fn main() {
         count_optimal_propagations(&prop.forest)
     );
 
-    let new_source = output_tree(&prop.script).expect("non-empty");
+    // Committing advances the session to the new source with incremental
+    // revalidation — ready for the next update.
+    session.commit(&prop).expect("commit");
+    let new_source = session.document();
     println!(
         "new source        = {}",
-        to_term_with_ids(&new_source, &alpha)
+        to_term_with_ids(new_source, alpha)
     );
-    assert!(dtd.is_valid(&new_source));
+    assert!(engine.dtd().is_valid(new_source));
     assert_eq!(
-        extract_view(&ann, &new_source),
-        output_tree(&s0).expect("non-empty"),
+        session.view(),
+        &output_tree(&s0).expect("non-empty"),
         "side-effect free: the new view is exactly what the user asked for"
     );
     println!();

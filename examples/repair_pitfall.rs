@@ -43,18 +43,23 @@ fn main() {
     );
 
     // --- The propagation-graph solution ---------------------------------
-    let inst = Instance::new(&fx.dtd, &fx.ann, &t, &s, fx.alpha.len()).expect("valid");
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
-    verify_propagation(&inst, &prop.script).expect("verified");
-    let new_source = output_tree(&prop.script).expect("non-empty");
+    let engine = Engine::builder()
+        .alphabet(fx.alpha.clone())
+        .dtd(fx.dtd.clone())
+        .annotation(fx.ann.clone())
+        .build()
+        .expect("complete engine");
+    let mut session = engine.open(&t).expect("valid");
+    let prop = session.apply(&s).expect("propagate + commit");
+    let new_source = session.document();
     println!(
         "propagation produces   {}   (cost {})",
-        to_term(&new_source, &fx.alpha),
+        to_term(new_source, &fx.alpha),
         prop.cost
     );
 
     assert_eq!(to_term(&repair.chosen, &fx.alpha), "r(b, c, a, c)");
-    assert_eq!(to_term(&new_source, &fx.alpha), "r(b, a, c, a, c)");
+    assert_eq!(to_term(new_source, &fx.alpha), "r(b, a, c, a, c)");
     println!();
     println!(
         "the two disagree: repair moved the hidden (a) group *after* the old c,\n\

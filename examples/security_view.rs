@@ -4,7 +4,9 @@
 //! databases. Here a registrar works against a view that hides insurance,
 //! diagnoses, treatments, and billing; admissions and discharges made in
 //! the view are propagated to the full hospital record without ever
-//! exposing — or clobbering — the hidden clinical data.
+//! exposing — or clobbering — the hidden clinical data. The hospital
+//! schema is compiled once into an [`Engine`]; one [`Session`] serves the
+//! whole shift.
 //!
 //! Run with: `cargo run --example security_view`
 
@@ -20,26 +22,30 @@ fn main() {
     // Two departments with two patients each; every patient has hidden
     // insurance + clinical record details.
     let doc = hospital_doc(&h, 2, 2, &mut gen);
+    let engine = Engine::builder()
+        .alphabet(h.alpha.clone())
+        .dtd(h.dtd.clone())
+        .annotation(h.ann.clone())
+        .build()
+        .expect("complete engine");
+    let mut session = engine.open(&doc).expect("valid record");
+
     println!("full record   ({} nodes)", doc.size());
-    println!(
-        "registrar view ({} nodes):",
-        extract_view(&h.ann, &doc).size()
-    );
-    println!("{}", to_term(&extract_view(&h.ann, &doc), &h.alpha));
+    println!("registrar view ({} nodes):", session.view().size());
+    println!("{}", to_term(session.view(), &h.alpha));
 
     // --- Admission -----------------------------------------------------
     let admit = admit_patient(&h, &doc, 0, &mut gen);
-    let inst = Instance::new(&h.dtd, &h.ann, &doc, &admit, h.alpha.len()).expect("valid");
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
-    verify_propagation(&inst, &prop.script).expect("verified");
-    let doc2 = output_tree(&prop.script).expect("non-empty");
+    let prop = session.propagate(&admit).expect("propagate");
+    session.verify(&admit, &prop.script).expect("verified");
+    session.commit(&prop).expect("commit");
     println!();
     println!(
         "admitted a patient through the view: propagation cost {} — record now {} nodes",
         prop.cost,
-        doc2.size()
+        session.document().size()
     );
-    assert!(h.dtd.is_valid(&doc2));
+    assert!(engine.dtd().is_valid(session.document()));
 
     // Hidden data of the *other* patients is untouched: every hidden node
     // of the old record is still present.
@@ -49,7 +55,7 @@ fn main() {
     };
     for n in &old_hidden {
         assert!(
-            doc2.contains(*n),
+            session.document().contains(*n),
             "hidden node {n} must survive an admission"
         );
     }
@@ -59,19 +65,17 @@ fn main() {
     );
 
     // --- Discharge -----------------------------------------------------
-    let discharge = discharge_patient(&h, &doc2, 1, 0);
-    let inst2 = Instance::new(&h.dtd, &h.ann, &doc2, &discharge, h.alpha.len()).expect("valid");
-    let prop2 = propagate(&inst2, &InsertletPackage::new(), &Config::default()).expect("propagate");
-    verify_propagation(&inst2, &prop2.script).expect("verified");
-    let doc3 = output_tree(&prop2.script).expect("non-empty");
+    let size_before = session.document().size();
+    let discharge = discharge_patient(&h, session.document(), 1, 0);
+    let prop2 = session.apply(&discharge).expect("propagate + commit");
     println!();
     println!(
         "discharged a patient: propagation cost {} — the patient's hidden record \
          ({} nodes incl. invisible) went with them",
         prop2.cost,
-        doc2.size() - doc3.size()
+        size_before - session.document().size()
     );
-    assert!(h.dtd.is_valid(&doc3));
+    assert!(engine.dtd().is_valid(session.document()));
     // The discharge deletes the patient's whole subtree, including the
     // parts the registrar cannot see — that is what side-effect freedom
     // demands, and the cost reflects it (8 nodes per full patient).
@@ -79,5 +83,5 @@ fn main() {
 
     println!();
     println!("final registrar view:");
-    println!("{}", to_term(&extract_view(&h.ann, &doc3), &h.alpha));
+    println!("{}", to_term(session.view(), &h.alpha));
 }

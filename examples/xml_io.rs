@@ -1,8 +1,9 @@
 //! Interchange: real XML documents and `<!ELEMENT>` DTDs in, XML out.
 //!
 //! Loads the schema from standard DTD declaration syntax and the document
-//! from XML (with `xvu:id` attributes carrying node identifiers),
-//! propagates a view update, and serialises the new source back to XML.
+//! from XML (with `xvu:id` attributes carrying node identifiers), compiles
+//! an [`Engine`], propagates a view update through a [`Session`], and
+//! serialises the new source back to XML.
 //!
 //! Run with: `cargo run --example xml_io`
 
@@ -40,29 +41,33 @@ fn main() {
 
     let dtd = read_dtd(&mut alpha, DTD_SRC).expect("well-formed DTD");
     let source = read_xml(&mut alpha, &mut gen, DOC_SRC).expect("well-formed XML");
-    dtd.validate(&source).expect("document satisfies the DTD");
-    println!("loaded {} nodes from XML", source.size());
-
     let ann =
         parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").expect("annotation");
-    let view = extract_view(&ann, &source);
+
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .expect("complete engine");
+    // `open` validates the document against the DTD once.
+    let mut session = engine.open(&source).expect("document satisfies the DTD");
+    println!("loaded {} nodes from XML", source.size());
+
     println!(
         "\nthe view as XML:\n{}",
-        write_xml(&view, &alpha, &WriteOptions::default())
+        write_xml(session.view(), engine.alphabet(), &WriteOptions::default())
     );
 
     // Delete the first (a, d) group in the view.
+    let view = session.view();
     let kids: Vec<NodeId> = view.children(view.root()).to_vec();
-    let mut b = UpdateBuilder::new(&view);
+    let mut b = UpdateBuilder::new(view);
     b.delete(kids[0]).expect("view-valid");
     b.delete(kids[1]).expect("view-valid");
     let update = b.finish();
 
-    let inst = Instance::new(&dtd, &ann, &source, &update, alpha.len()).expect("valid");
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).expect("propagate");
-    verify_propagation(&inst, &prop.script).expect("verified");
-
-    let new_source = output_tree(&prop.script).expect("non-empty");
+    let prop = session.apply(&update).expect("propagate + commit");
     println!(
         "propagated deletion (cost {}); the new source as XML:\n",
         prop.cost
@@ -70,13 +75,13 @@ fn main() {
     println!(
         "{}",
         write_xml(
-            &new_source,
-            &alpha,
+            session.document(),
+            engine.alphabet(),
             &WriteOptions {
                 pretty: true,
                 with_ids: true
             }
         )
     );
-    assert!(dtd.is_valid(&new_source));
+    assert!(engine.dtd().is_valid(session.document()));
 }

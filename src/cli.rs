@@ -7,7 +7,7 @@
 //! xvu view      --dtd schema.dtd --ann view.ann --doc doc.xml
 //! xvu invert    --dtd schema.dtd --ann view.ann --view view.xml
 //! xvu propagate --dtd schema.dtd --ann view.ann --doc doc.xml --update edit.script
-//!               [--selector nop|first|type]
+//!               [--update more.script ...] [--selector nop|first|type]
 //! ```
 //!
 //! File formats are sniffed from content: DTDs may be `<!ELEMENT …>`
@@ -16,15 +16,26 @@
 //! (`r#0(a#1, …)`); annotations are `hide`/`show` lines; updates are
 //! script terms (`nop:r#0(del:a#1, …)`).
 //!
+//! Commands compile the schema and view once into an [`Engine`], open the
+//! document in a [`Session`], and serve every requested update from it —
+//! repeating `--update` propagates a whole sequence, committing each
+//! result (with incremental revalidation) before the next. Errors flow
+//! through [`XvuError`] so every library stage composes with `?`.
+//!
 //! All logic lives in [`run`] so it is unit-testable; the binary only
 //! forwards `std::env::args` and prints.
 
+use crate::error::XvuError;
 use crate::prelude::*;
 use std::fmt::Write as _;
 
 /// Executes a CLI invocation. `args` excludes the program name. Returns
 /// the text to print on success, or a user-facing error message.
 pub fn run(args: &[String]) -> Result<String, String> {
+    run_inner(args).map_err(|e| e.to_string())
+}
+
+fn run_inner(args: &[String]) -> Result<String, XvuError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let opts = parse_opts(it.as_slice())?;
@@ -33,20 +44,23 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "view" => cmd_view(&opts),
         "invert" => cmd_invert(&opts),
         "propagate" => cmd_propagate(&opts),
-        "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{usage}", usage = usage()).into()),
     }
 }
 
-fn usage() -> String {
-    "usage: xvu <command> [options]\n\
-     \n\
-     commands:\n\
-     \x20 validate  --dtd FILE --doc FILE\n\
-     \x20 view      --dtd FILE --ann FILE --doc FILE\n\
-     \x20 invert    --dtd FILE --ann FILE --view FILE\n\
-     \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE [--selector nop|first|type]\n"
-        .to_owned()
+fn usage() -> XvuError {
+    XvuError::Message(
+        "usage: xvu <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 validate  --dtd FILE --doc FILE\n\
+         \x20 view      --dtd FILE --ann FILE --doc FILE\n\
+         \x20 invert    --dtd FILE --ann FILE --view FILE\n\
+         \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE\n\
+         \x20           [--update FILE ...] [--selector nop|first|type]\n"
+            .to_owned(),
+    )
 }
 
 struct Opts {
@@ -54,17 +68,17 @@ struct Opts {
     ann: Option<String>,
     doc: Option<String>,
     view: Option<String>,
-    update: Option<String>,
+    updates: Vec<String>,
     selector: Selector,
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(args: &[String]) -> Result<Opts, XvuError> {
     let mut opts = Opts {
         dtd: None,
         ann: None,
         doc: None,
         view: None,
-        update: None,
+        updates: Vec::new(),
         selector: Selector::PreferNop,
     };
     let mut it = args.iter();
@@ -72,34 +86,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let mut value = || {
             it.next()
                 .map(String::as_str)
-                .ok_or_else(|| format!("flag {flag} needs a value"))
+                .ok_or_else(|| XvuError::Message(format!("flag {flag} needs a value")))
         };
         match flag.as_str() {
             "--dtd" => opts.dtd = Some(read_file(value()?)?),
             "--ann" => opts.ann = Some(read_file(value()?)?),
             "--doc" => opts.doc = Some(read_file(value()?)?),
             "--view" => opts.view = Some(read_file(value()?)?),
-            "--update" => opts.update = Some(read_file(value()?)?),
+            "--update" => opts.updates.push(read_file(value()?)?),
             "--selector" => {
                 opts.selector = match value()? {
                     "nop" => Selector::PreferNop,
                     "first" => Selector::First,
                     "type" => Selector::PreferTypePreserving,
-                    other => return Err(format!("unknown selector {other:?}")),
+                    other => return Err(format!("unknown selector {other:?}").into()),
                 }
             }
-            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+            other => {
+                return Err(format!("unknown flag {other:?}\n\n{usage}", usage = usage()).into())
+            }
         }
     }
     Ok(opts)
 }
 
-fn read_file(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read_file(path: &str) -> Result<String, XvuError> {
+    std::fs::read_to_string(path).map_err(|e| XvuError::Message(format!("cannot read {path}: {e}")))
 }
 
-/// Context shared by the commands: alphabet + id generator + parsed
-/// inputs.
+/// Parsing context for the inputs: alphabet + id generator + parsed DTD.
+/// All inputs are parsed *before* the engine is built, because parsing
+/// interns labels into the alphabet.
 struct Ctx {
     alpha: Alphabet,
     gen: NodeIdGen,
@@ -107,13 +124,13 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn new(opts: &Opts) -> Result<Ctx, String> {
-        let src = opts.dtd.as_deref().ok_or("missing --dtd FILE".to_owned())?;
+    fn new(opts: &Opts) -> Result<Ctx, XvuError> {
+        let src = opts.dtd.as_deref().ok_or("missing --dtd FILE")?;
         let mut alpha = Alphabet::new();
         let dtd = if src.trim_start().starts_with("<!") {
-            read_dtd(&mut alpha, src).map_err(|e| e.to_string())?
+            read_dtd(&mut alpha, src)?
         } else {
-            parse_dtd(&mut alpha, src).map_err(|e| e.to_string())?
+            parse_dtd(&mut alpha, src)?
         };
         Ok(Ctx {
             alpha,
@@ -122,23 +139,43 @@ impl Ctx {
         })
     }
 
-    fn doc(&mut self, src: &str) -> Result<DocTree, String> {
+    fn doc(&mut self, src: &str) -> Result<DocTree, XvuError> {
         let trimmed = src.trim_start();
         if trimmed.starts_with('<') {
-            read_xml(&mut self.alpha, &mut self.gen, src).map_err(|e| e.to_string())
+            Ok(read_xml(&mut self.alpha, &mut self.gen, src)?)
         } else {
-            parse_term_with_ids(&mut self.alpha, &mut self.gen, src.trim())
-                .map_err(|e| e.to_string())
+            Ok(parse_term_with_ids(
+                &mut self.alpha,
+                &mut self.gen,
+                src.trim(),
+            )?)
         }
     }
 
-    fn ann(&mut self, opts: &Opts) -> Result<Annotation, String> {
-        let src = opts.ann.as_deref().ok_or("missing --ann FILE".to_owned())?;
-        parse_annotation(&mut self.alpha, src).map_err(|e| e.to_string())
+    fn ann(&mut self, opts: &Opts) -> Result<Annotation, XvuError> {
+        let src = opts.ann.as_deref().ok_or("missing --ann FILE")?;
+        Ok(parse_annotation(&mut self.alpha, src)?)
+    }
+
+    /// Compiles the engine from the fully populated parsing context.
+    fn engine(self, ann: Annotation, selector: Selector) -> Result<Engine, XvuError> {
+        Ok(Engine::builder()
+            .alphabet(self.alpha)
+            .dtd(self.dtd)
+            .annotation(ann)
+            .selector(selector)
+            .build()?)
     }
 }
 
-fn cmd_validate(opts: &Opts) -> Result<String, String> {
+fn pretty() -> WriteOptions {
+    WriteOptions {
+        pretty: true,
+        with_ids: true,
+    }
+}
+
+fn cmd_validate(opts: &Opts) -> Result<String, XvuError> {
     let mut ctx = Ctx::new(opts)?;
     let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
     let doc = ctx.doc(doc_src)?;
@@ -153,43 +190,41 @@ fn cmd_validate(opts: &Opts) -> Result<String, String> {
                 .map(|&s| ctx.alpha.name(s))
                 .collect::<Vec<_>>()
                 .join(" ")
-        )),
+        )
+        .into()),
     }
 }
 
-fn cmd_view(opts: &Opts) -> Result<String, String> {
+fn cmd_view(opts: &Opts) -> Result<String, XvuError> {
+    // View extraction needs none of the engine's compiled artefacts
+    // (no min-size tables, no view DTD) — validate and extract directly.
     let mut ctx = Ctx::new(opts)?;
     let ann = ctx.ann(opts)?;
     let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
     let doc = ctx.doc(doc_src)?;
-    ctx.dtd.validate(&doc).map_err(|e| e.to_string())?;
+    ctx.dtd.validate(&doc)?;
     let view = extract_view(&ann, &doc);
-    Ok(write_xml(
-        &view,
-        &ctx.alpha,
-        &WriteOptions {
-            pretty: true,
-            with_ids: true,
-        },
-    ))
+    Ok(write_xml(&view, &ctx.alpha, &pretty()))
 }
 
-fn cmd_invert(opts: &Opts) -> Result<String, String> {
+fn cmd_invert(opts: &Opts) -> Result<String, XvuError> {
     let mut ctx = Ctx::new(opts)?;
     let ann = ctx.ann(opts)?;
     let view_src = opts.view.as_deref().ok_or("missing --view FILE")?;
     let view = ctx.doc(view_src)?;
-    let sizes = min_sizes(&ctx.dtd, ctx.alpha.len());
-    let insertlets = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &insertlets,
-    };
-    let forest = InversionForest::build(&ctx.dtd, &ann, &view, &cm).map_err(|e| e.to_string())?;
     let mut gen = ctx.gen.clone();
-    let inverse = forest
-        .materialize_min(&ctx.dtd, &cm, Selector::PreferNop, &mut gen, 1_000_000)
-        .map_err(|e| e.to_string())?;
+    let engine = ctx.engine(ann, opts.selector)?;
+    let cm = engine.cost_model();
+    let forest = InversionForest::build(engine.dtd(), engine.annotation(), &view, &cm)?;
+    // The CLI keeps its historical generous budget: inversion of a bare
+    // view may need large fresh witnesses that propagation never does.
+    let inverse = forest.materialize_min(
+        engine.dtd(),
+        &cm,
+        engine.config().selector,
+        &mut gen,
+        1_000_000,
+    )?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -198,52 +233,57 @@ fn cmd_invert(opts: &Opts) -> Result<String, String> {
         view.size(),
         forest.min_padding()
     );
-    out.push_str(&write_xml(
-        &inverse,
-        &ctx.alpha,
-        &WriteOptions {
-            pretty: true,
-            with_ids: true,
-        },
-    ));
+    out.push_str(&write_xml(&inverse, engine.alphabet(), &pretty()));
     Ok(out)
 }
 
-fn cmd_propagate(opts: &Opts) -> Result<String, String> {
+fn cmd_propagate(opts: &Opts) -> Result<String, XvuError> {
     let mut ctx = Ctx::new(opts)?;
     let ann = ctx.ann(opts)?;
     let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
     let doc = ctx.doc(doc_src)?;
-    let update_src = opts.update.as_deref().ok_or("missing --update FILE")?;
-    let update = parse_script(&mut ctx.alpha, update_src.trim()).map_err(|e| e.to_string())?;
+    if opts.updates.is_empty() {
+        return Err("missing --update FILE".into());
+    }
+    let updates = opts
+        .updates
+        .iter()
+        .map(|src| Ok(parse_script(&mut ctx.alpha, src.trim())?))
+        .collect::<Result<Vec<Script>, XvuError>>()?;
 
-    let inst =
-        Instance::new(&ctx.dtd, &ann, &doc, &update, ctx.alpha.len()).map_err(|e| e.to_string())?;
-    let cfg = Config {
-        selector: opts.selector,
-        ..Config::default()
-    };
-    let prop = propagate(&inst, &InsertletPackage::new(), &cfg).map_err(|e| e.to_string())?;
-    verify_propagation(&inst, &prop.script).map_err(|e| e.to_string())?;
-    let new_source = output_tree(&prop.script).expect("propagations preserve the root");
+    // Compile once, serve every update from one session.
+    let engine = ctx.engine(ann, opts.selector)?;
+    let mut session = engine.open(&doc)?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "propagation cost: {}", prop.cost);
-    let _ = writeln!(
-        out,
-        "optimal propagations captured: {}",
-        count_optimal_propagations(&prop.forest)
-    );
-    let _ = writeln!(out, "script: {}", script_to_term(&prop.script, &ctx.alpha));
+    let many = updates.len() > 1;
+    for (i, update) in updates.iter().enumerate() {
+        // One instance build per update: propagate and verify against it,
+        // then release the session borrow before committing.
+        let prop = {
+            let inst = session.instance(update)?;
+            let prop = engine.propagate(&inst)?;
+            verify_propagation(&inst, &prop.script)?;
+            prop
+        };
+        if many {
+            let _ = writeln!(out, "--- update {} of {} ---", i + 1, updates.len());
+        }
+        let _ = writeln!(out, "propagation cost: {}", prop.cost);
+        let _ = writeln!(
+            out,
+            "optimal propagations captured: {}",
+            count_optimal_propagations(&prop.forest)
+        );
+        let _ = writeln!(
+            out,
+            "script: {}",
+            script_to_term(&prop.script, engine.alphabet())
+        );
+        session.commit(&prop)?;
+    }
     let _ = writeln!(out, "new source:");
-    out.push_str(&write_xml(
-        &new_source,
-        &ctx.alpha,
-        &WriteOptions {
-            pretty: true,
-            with_ids: true,
-        },
-    ));
+    out.push_str(&write_xml(session.document(), engine.alphabet(), &pretty()));
     Ok(out)
 }
 
@@ -315,6 +355,39 @@ mod tests {
     }
 
     #[test]
+    fn propagate_applies_update_sequences() {
+        // Two updates against the evolving view, served by one session:
+        // delete the first (a, d) group, then delete the remaining one.
+        let dtd = write_tmp("schema7.rules", DTD);
+        let ann = write_tmp("view7.ann", ANN);
+        let doc = write_tmp("doc7.term", DOC);
+        let u1 = write_tmp(
+            "edit7a.script",
+            "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, nop:d#6(nop:c#10))",
+        );
+        let u2 = write_tmp("edit7b.script", "nop:r#0(del:a#4, del:d#6(del:c#10))");
+        let out = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--update",
+            &u1,
+            "--update",
+            &u2,
+        ])
+        .unwrap();
+        assert!(out.contains("--- update 1 of 2 ---"), "{out}");
+        assert!(out.contains("--- update 2 of 2 ---"), "{out}");
+        // everything is deleted: the final source is the bare root
+        assert!(out.contains("new source:"));
+        assert!(out.trim_end().ends_with("<r xvu:id=\"0\"/>"), "{out}");
+    }
+
+    #[test]
     fn invert_reports_padding() {
         let dtd = write_tmp("schema4.rules", DTD);
         let ann = write_tmp("view4.ann", ANN);
@@ -346,6 +419,13 @@ mod tests {
         assert!(run_args(&["validate", "--dtd", "/nonexistent/x"])
             .unwrap_err()
             .contains("cannot read"));
+        let ann = write_tmp("view6.ann", ANN);
+        let doc = write_tmp("doc6.term", DOC);
+        assert!(
+            run_args(&["propagate", "--dtd", &dtd, "--ann", &ann, "--doc", &doc])
+                .unwrap_err()
+                .contains("--update")
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The facade-wide error type.
+//!
+//! Every workspace crate defines its own error enum; applications that
+//! drive the whole pipeline (parse a DTD, read XML, build an engine,
+//! propagate, write XML) would otherwise juggle seven incompatible `Err`
+//! types. [`XvuError`] unifies them: each per-crate error converts with
+//! `From`, so `?` works uniformly across the pipeline — the `xvu` CLI in
+//! [`crate::cli`] is written against it.
+
+use std::fmt;
+use xvu_automata::AutomatonError;
+use xvu_dtd::DtdError;
+use xvu_edit::EditError;
+use xvu_propagate::PropagateError;
+use xvu_tree::TreeError;
+use xvu_view::AnnotationParseError;
+use xvu_xml::XmlError;
+
+/// Any error the xml-view-update pipeline can raise.
+#[derive(Clone, Debug)]
+pub enum XvuError {
+    /// Tree construction/manipulation error.
+    Tree(TreeError),
+    /// Regex/NFA/DFA error.
+    Automaton(AutomatonError),
+    /// DTD parsing, validation, or insertlet error.
+    Dtd(DtdError),
+    /// Editing-script error.
+    Edit(EditError),
+    /// Propagation-pipeline error.
+    Propagate(PropagateError),
+    /// XML/DTD interchange error.
+    Xml(XmlError),
+    /// Annotation-syntax error.
+    Annotation(AnnotationParseError),
+    /// An application-level message (missing input, bad flag, …).
+    Message(String),
+}
+
+impl fmt::Display for XvuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XvuError::Tree(e) => write!(f, "{e}"),
+            XvuError::Automaton(e) => write!(f, "{e}"),
+            XvuError::Dtd(e) => write!(f, "{e}"),
+            XvuError::Edit(e) => write!(f, "{e}"),
+            XvuError::Propagate(e) => write!(f, "{e}"),
+            XvuError::Xml(e) => write!(f, "{e}"),
+            XvuError::Annotation(e) => write!(f, "{e}"),
+            XvuError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for XvuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XvuError::Tree(e) => Some(e),
+            XvuError::Automaton(e) => Some(e),
+            XvuError::Dtd(e) => Some(e),
+            XvuError::Edit(e) => Some(e),
+            XvuError::Propagate(e) => Some(e),
+            XvuError::Xml(e) => Some(e),
+            XvuError::Annotation(e) => Some(e),
+            XvuError::Message(_) => None,
+        }
+    }
+}
+
+impl From<TreeError> for XvuError {
+    fn from(e: TreeError) -> Self {
+        XvuError::Tree(e)
+    }
+}
+
+impl From<AutomatonError> for XvuError {
+    fn from(e: AutomatonError) -> Self {
+        XvuError::Automaton(e)
+    }
+}
+
+impl From<DtdError> for XvuError {
+    fn from(e: DtdError) -> Self {
+        XvuError::Dtd(e)
+    }
+}
+
+impl From<EditError> for XvuError {
+    fn from(e: EditError) -> Self {
+        XvuError::Edit(e)
+    }
+}
+
+impl From<PropagateError> for XvuError {
+    fn from(e: PropagateError) -> Self {
+        XvuError::Propagate(e)
+    }
+}
+
+impl From<XmlError> for XvuError {
+    fn from(e: XmlError) -> Self {
+        XvuError::Xml(e)
+    }
+}
+
+impl From<AnnotationParseError> for XvuError {
+    fn from(e: AnnotationParseError) -> Self {
+        XvuError::Annotation(e)
+    }
+}
+
+impl From<String> for XvuError {
+    fn from(m: String) -> Self {
+        XvuError::Message(m)
+    }
+}
+
+impl From<&str> for XvuError {
+    fn from(m: &str) -> Self {
+        XvuError::Message(m.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline_fragment() -> Result<usize, XvuError> {
+        // each `?` below crosses a different crate's error type
+        let mut alpha = xvu_tree::Alphabet::new();
+        let dtd = xvu_dtd::parse_dtd(&mut alpha, "r -> a*")?;
+        let mut gen = xvu_tree::NodeIdGen::new();
+        let doc = xvu_tree::parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)")?;
+        dtd.validate(&doc)?;
+        let xml = xvu_xml::write_xml(&doc, &alpha, &xvu_xml::WriteOptions::default());
+        let back = xvu_xml::read_xml(&mut alpha, &mut gen, &xml)?;
+        Ok(back.size())
+    }
+
+    #[test]
+    fn question_mark_works_across_crates() {
+        assert_eq!(pipeline_fragment().unwrap(), 2);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let e: XvuError = "missing --dtd FILE".into();
+        assert_eq!(e.to_string(), "missing --dtd FILE");
+        let mut alpha = xvu_tree::Alphabet::new();
+        let parse_err = xvu_dtd::parse_dtd(&mut alpha, "r ->").unwrap_err();
+        let wrapped: XvuError = parse_err.clone().into();
+        assert_eq!(wrapped.to_string(), parse_err.to_string());
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

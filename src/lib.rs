@@ -28,47 +28,69 @@
 //! | [`repair`] | Zhang–Shasha TED and the §6.2 repair baseline |
 //! | [`workload`] | paper fixtures and deterministic generators |
 //! | [`xml`] | element-only XML + `<!ELEMENT>` DTD interchange |
+//! | [`error`] | [`XvuError`], the facade-wide error type |
 //!
 //! ## Quickstart
+//!
+//! The schema and view are fixed once, as an [`Engine`]; each document is
+//! opened in a [`Session`] that serves any number of updates:
 //!
 //! ```
 //! use xml_view_update::prelude::*;
 //!
+//! # fn main() -> Result<(), XvuError> {
 //! // Schema and security view.
 //! let mut alpha = Alphabet::new();
 //! let mut gen = NodeIdGen::new();
-//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
-//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*")?;
+//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")?;
 //!
-//! // Source document and the view the user sees.
+//! // Source document…
 //! let t = parse_term_with_ids(
 //!     &mut alpha, &mut gen,
 //!     "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
-//! ).unwrap();
-//! let view = extract_view(&ann, &t);
+//! )?;
+//!
+//! // …compiled engine (derived view DTD, min-size tables, cost model)…
+//! let engine = Engine::builder()
+//!     .alphabet(alpha)
+//!     .dtd(dtd)
+//!     .annotation(ann)
+//!     .build()?;
+//!
+//! // …and an open session: validated once, view materialised once.
+//! let mut session = engine.open(&t)?;
 //!
 //! // The user edits the view: delete the first (a, d) group…
-//! let mut builder = UpdateBuilder::new(&view);
-//! builder.delete(NodeId(1)).unwrap();
-//! builder.delete(NodeId(3)).unwrap();
+//! let mut builder = UpdateBuilder::new(session.view());
+//! builder.delete(NodeId(1))?;
+//! builder.delete(NodeId(3))?;
 //! let update = builder.finish();
 //!
-//! // …and the library propagates the update to the source document.
-//! let inst = Instance::new(&dtd, &ann, &t, &update, alpha.len()).unwrap();
-//! let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-//! verify_propagation(&inst, &prop.script).unwrap();
+//! // …the engine propagates it to the source, and the commit advances
+//! // the session (incremental revalidation) to serve the next update.
+//! let prop = session.propagate(&update)?;
+//! session.verify(&update, &prop.script)?;
+//! session.commit(&prop)?;
 //!
-//! // Hidden nodes inside the deleted group are deleted with it; hidden
-//! // nodes elsewhere are untouched.
-//! let new_source = output_tree(&prop.script).unwrap();
-//! assert!(dtd.is_valid(&new_source));
-//! assert_eq!(extract_view(&ann, &new_source), output_tree(&update).unwrap());
+//! // Hidden nodes inside the deleted group went with it; hidden nodes
+//! // elsewhere are untouched, and the new view is what the user asked.
+//! assert!(engine.dtd().is_valid(session.document()));
+//! assert_eq!(session.view(), &output_tree(&update).unwrap());
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! One-shot callers can still use the compatibility layer
+//! ([`prelude::Instance`] + [`prelude::propagate`] +
+//! [`prelude::verify_propagation`]); it shares the engine's core code
+//! paths but re-derives the schema artefacts on every call.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 
 pub use xvu_automata as automata;
 pub use xvu_dtd as dtd;
@@ -80,8 +102,12 @@ pub use xvu_view as view;
 pub use xvu_workload as workload;
 pub use xvu_xml as xml;
 
+pub use error::XvuError;
+pub use xvu_propagate::{Engine, EngineBuilder, Session};
+
 /// The commonly used names in one import.
 pub mod prelude {
+    pub use crate::error::XvuError;
     pub use xvu_dtd::Violation;
     pub use xvu_dtd::{
         exponential_dtd, min_sizes, minimal_witness, parse_dtd, Dtd, InsertletPackage, MinSizes,
@@ -95,8 +121,8 @@ pub mod prelude {
         count_optimal_propagations, cross_view_effect, cross_view_touched,
         enumerate_optimal_propagations, find_complement_preserving, invisible_impact, propagate,
         propagate_view_edit, revalidate_output, typing_report, verify_propagation, Config,
-        CostModel, Instance, InversionForest, InvisibleImpact, PropagateError, Propagation,
-        PropagationForest, Selector, TypingReport,
+        CostModel, Engine, EngineBuilder, Instance, InversionForest, InvisibleImpact,
+        PropagateError, Propagation, PropagationForest, Selector, Session, TypingReport,
     };
     pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
     pub use xvu_tree::{

@@ -147,13 +147,15 @@ fn inversion_graphs_capture_all_inverses_fig6() {
     // else fits in 7 nodes without changing the view.
     assert_eq!(brute.len(), 4, "brute-force classes: {brute:?}");
 
-    // graph-based enumeration, same bound
-    let sizes = min_sizes(&fx.dtd, alpha.len());
-    let pkg = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &pkg,
-    };
+    // graph-based enumeration, same bound — the engine supplies the
+    // precompiled cost model
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(fx.dtd.clone())
+        .annotation(fx.ann.clone())
+        .build()
+        .unwrap();
+    let cm = engine.cost_model();
     let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
     let mut gen2 = NodeIdGen::starting_at(1 << 20);
     let enumerated = forest
@@ -195,12 +197,13 @@ fn inversion_graphs_capture_all_inverses_pumpable() {
     // r(a,b,a,b,b), r(a,a,b,b,b) → 10 classes.
     assert_eq!(brute.len(), 10, "brute-force classes: {brute:?}");
 
-    let sizes = min_sizes(&dtd, alpha.len());
-    let pkg = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &pkg,
-    };
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(dtd.clone())
+        .annotation(ann.clone())
+        .build()
+        .unwrap();
+    let cm = engine.cost_model();
     let forest = InversionForest::build(&dtd, &ann, &frag, &cm).unwrap();
     let mut gen2 = NodeIdGen::starting_at(1 << 20);
     let enumerated = forest
@@ -245,13 +248,13 @@ fn optimal_graphs_capture_exactly_the_minimal_inverses() {
         }
     }
 
-    let sizes = min_sizes(&fx.dtd, alpha.len());
-    let pkg = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &pkg,
-    };
-    let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(fx.dtd.clone())
+        .annotation(fx.ann.clone())
+        .build()
+        .unwrap();
+    let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &engine.cost_model()).unwrap();
     assert_eq!(best.unwrap() as u64, forest.min_inverse_size());
     assert_eq!(minimal.len() as u128, forest.count_min_inverses());
 }

@@ -1,4 +1,9 @@
 //! Edge cases and failure injection across the public API.
+//!
+//! Some tests here deliberately drive the one-shot compatibility layer
+//! (`Instance::new` + `propagate`) rather than [`Engine`]/[`Session`]:
+//! both entry points must keep working, and the one-shot path is the
+//! simplest harness for failure injection.
 
 use xml_view_update::prelude::*;
 
@@ -60,19 +65,25 @@ fn delete_everything_visible() {
         "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
     )
     .unwrap();
-    let view = extract_view(&ann, &t);
-    let mut b = UpdateBuilder::new(&view);
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    let mut session = engine.open(&t).unwrap();
+    let view = session.view();
+    let mut b = UpdateBuilder::new(view);
     for &k in view.children(view.root()) {
         b.delete(k).unwrap();
     }
     let s = b.finish();
-    let inst = Instance::new(&dtd, &ann, &t, &s, alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-    verify_propagation(&inst, &prop.script).unwrap();
+    let prop = session.propagate(&s).unwrap();
+    session.verify(&s, &prop.script).unwrap();
+    session.commit(&prop).unwrap();
     // Everything but the root must go: visible deletions drag their
     // hidden groups along to keep r's word valid.
-    let out = output_tree(&prop.script).unwrap();
-    assert_eq!(out.size(), 1);
+    assert_eq!(session.document().size(), 1);
     assert_eq!(prop.cost, 10);
 }
 
@@ -276,23 +287,28 @@ fn complement_and_typing_integration() {
 
 #[test]
 fn composed_session_equals_stepwise_propagation_result() {
-    // Propagate two successive view updates and compose them; the
-    // composition applied to the original source gives the same final
-    // document.
+    // Propagate two successive view updates through one session and
+    // compose them; the composition applied to the original source gives
+    // the session's final document.
     let fx = xml_view_update::workload::paper::running_example();
-    let inst1 = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
-    let p1 = propagate(&inst1, &InsertletPackage::new(), &Config::default()).unwrap();
-    let mid = output_tree(&p1.script).unwrap();
+    let engine = Engine::builder()
+        .alphabet(fx.alpha.clone())
+        .dtd(fx.dtd.clone())
+        .annotation(fx.ann.clone())
+        .build()
+        .unwrap();
+    let mut session = engine.open(&fx.t0).unwrap();
+    let p1 = session.apply(&fx.s0).unwrap();
 
     // second round: identity on the new view (keeps it simple and still
     // exercises compose through the propagation scripts)
-    let view2 = extract_view(&fx.ann, &mid);
-    let s2 = nop_script(&view2);
-    let inst2 = Instance::new(&fx.dtd, &fx.ann, &mid, &s2, fx.alpha.len()).unwrap();
-    let p2 = propagate(&inst2, &InsertletPackage::new(), &Config::default()).unwrap();
-    let end = output_tree(&p2.script).unwrap();
+    let s2 = nop_script(session.view());
+    let p2 = session.apply(&s2).unwrap();
 
     let composed = compose(&p1.script, &p2.script).unwrap();
     assert_eq!(input_tree(&composed).unwrap(), fx.t0);
-    assert_eq!(apply(&composed, &fx.t0).unwrap(), end);
+    assert_eq!(
+        apply(&composed, &fx.t0).unwrap(),
+        session.document().clone()
+    );
 }

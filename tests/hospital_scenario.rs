@@ -1,45 +1,53 @@
-//! Integration: the hospital security-view scenario end to end.
+//! Integration: the hospital security-view scenario end to end, driven
+//! through a compiled [`Engine`] and one long-lived [`Session`].
 
 use xml_view_update::prelude::*;
 use xml_view_update::workload::scenario::{
     admit_patient, discharge_patient, hospital, hospital_doc,
 };
 
+fn hospital_engine(h: &xml_view_update::workload::scenario::Hospital) -> Engine {
+    Engine::builder()
+        .alphabet(h.alpha.clone())
+        .dtd(h.dtd.clone())
+        .annotation(h.ann.clone())
+        .build()
+        .unwrap()
+}
+
 #[test]
 fn admissions_and_discharges_round_trip() {
     let h = hospital();
     let mut gen = NodeIdGen::new();
-    let mut doc = hospital_doc(&h, 3, 3, &mut gen);
+    let doc = hospital_doc(&h, 3, 3, &mut gen);
     let initial_hidden = hidden_ids(&h.ann, &doc);
 
+    let engine = hospital_engine(&h);
+    let mut session = engine.open(&doc).unwrap();
+
     // Admit two patients into department 1, then discharge one from
-    // department 0.
+    // department 0 — all through the same session.
     for round in 0..2 {
-        let s = admit_patient(&h, &doc, 1, &mut gen);
-        let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
-        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-        verify_propagation(&inst, &prop.script).unwrap();
-        doc = output_tree(&prop.script).unwrap();
-        for id in doc.node_ids() {
-            gen.bump_past(id);
-        }
-        assert!(h.dtd.is_valid(&doc), "round {round}");
+        let mut gen = session.id_gen();
+        let s = admit_patient(&h, session.document(), 1, &mut gen);
+        let prop = session.propagate(&s).unwrap();
+        session.verify(&s, &prop.script).unwrap();
+        session.commit(&prop).unwrap();
+        assert!(engine.dtd().is_valid(session.document()), "round {round}");
     }
     // All originally hidden data survived the admissions.
     for id in &initial_hidden {
-        assert!(doc.contains(*id));
+        assert!(session.document().contains(*id));
     }
 
-    let before = doc.size();
-    let s = discharge_patient(&h, &doc, 0, 1);
-    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-    verify_propagation(&inst, &prop.script).unwrap();
-    doc = output_tree(&prop.script).unwrap();
+    let before = session.document().size();
+    let s = discharge_patient(&h, session.document(), 0, 1);
+    let prop = session.apply(&s).unwrap();
     // A full patient (8 nodes, 5 of them hidden) disappeared.
-    assert_eq!(before - doc.size(), 8);
+    assert_eq!(before - session.document().size(), 8);
     assert_eq!(prop.cost, 8);
-    assert!(h.dtd.is_valid(&doc));
+    assert!(engine.dtd().is_valid(session.document()));
+    assert_eq!(session.commits(), 3);
 }
 
 #[test]
@@ -51,8 +59,8 @@ fn admission_cost_is_view_size_of_insert() {
     let mut gen = NodeIdGen::new();
     let doc = hospital_doc(&h, 1, 1, &mut gen);
     let s = admit_patient(&h, &doc, 0, &mut gen);
-    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = hospital_engine(&h);
+    let prop = engine.open(&doc).unwrap().propagate(&s).unwrap();
     assert_eq!(prop.cost, 3);
 }
 
@@ -65,9 +73,10 @@ fn large_hospital_propagates_quickly_and_correctly() {
     let doc = hospital_doc(&h, 10, 100, &mut gen);
     assert!(doc.size() > 8_000);
     let s = admit_patient(&h, &doc, 5, &mut gen);
-    let inst = Instance::new(&h.dtd, &h.ann, &doc, &s, h.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-    verify_propagation(&inst, &prop.script).unwrap();
+    let engine = hospital_engine(&h);
+    let session = engine.open(&doc).unwrap();
+    let prop = session.propagate(&s).unwrap();
+    session.verify(&s, &prop.script).unwrap();
     assert_eq!(prop.cost, 3);
 }
 

@@ -1,28 +1,37 @@
 //! Integration: the recursive outline scenario — propagation through a
-//! self-referential schema.
+//! self-referential schema, served by a compiled [`Engine`].
 
 use xml_view_update::prelude::*;
 use xml_view_update::workload::scenario::{add_section, outline, outline_doc};
+
+fn outline_engine(o: &xml_view_update::workload::scenario::Outline) -> Engine {
+    Engine::builder()
+        .alphabet(o.alpha.clone())
+        .dtd(o.dtd.clone())
+        .annotation(o.ann.clone())
+        .build()
+        .unwrap()
+}
 
 #[test]
 fn adding_sections_at_every_level_propagates() {
     let o = outline();
     let mut gen = NodeIdGen::new();
-    let mut doc = outline_doc(&o, 3, 2, &mut gen);
+    let doc = outline_doc(&o, 3, 2, &mut gen);
 
+    let engine = outline_engine(&o);
+    let mut session = engine.open(&doc).unwrap();
     for path in [&[][..], &[0][..], &[1, 1][..], &[0, 0, 1][..]] {
-        let s = add_section(&o, &doc, path, &mut gen);
-        let inst = Instance::new(&o.dtd, &o.ann, &doc, &s, o.alpha.len()).unwrap();
-        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-        verify_propagation(&inst, &prop.script).unwrap();
+        let mut gen = session.id_gen();
+        let s = add_section(&o, session.document(), path, &mut gen);
+        let prop = session.propagate(&s).unwrap();
+        session.verify(&s, &prop.script).unwrap();
         // a fresh section is all-visible: no invisible padding needed
         assert_eq!(prop.cost, 2, "path {path:?}");
-        doc = output_tree(&prop.script).unwrap();
-        for id in doc.node_ids() {
-            gen.bump_past(id);
-        }
-        assert!(o.dtd.is_valid(&doc));
+        session.commit(&prop).unwrap();
+        assert!(engine.dtd().is_valid(session.document()));
     }
+    assert_eq!(session.commits(), 4);
 }
 
 #[test]
@@ -30,24 +39,26 @@ fn deleting_a_section_removes_hidden_paragraphs_recursively() {
     let o = outline();
     let mut gen = NodeIdGen::new();
     let doc = outline_doc(&o, 2, 2, &mut gen);
-    let view = extract_view(&o.ann, &doc);
+
+    let engine = outline_engine(&o);
+    let session = engine.open(&doc).unwrap();
 
     // delete the first top-level subsection (a whole subtree of sections
     // with hidden paras inside)
     let g = |s: &str| o.alpha.get(s).unwrap();
+    let view = session.view();
     let first_sub = view
         .children(view.root())
         .iter()
         .copied()
         .find(|&c| view.label(c) == g("section"))
         .unwrap();
-    let mut b = UpdateBuilder::new(&view);
+    let mut b = UpdateBuilder::new(view);
     b.delete(first_sub).unwrap();
     let s = b.finish();
 
-    let inst = Instance::new(&o.dtd, &o.ann, &doc, &s, o.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-    verify_propagation(&inst, &prop.script).unwrap();
+    let prop = session.propagate(&s).unwrap();
+    session.verify(&s, &prop.script).unwrap();
     // the deleted subtree: a depth-1 section containing 2 leaf sections,
     // each section = 1 + title + 2 paras + note (5)... in the source:
     // section subtree sizes: leaf = 1 + 4 = 5; depth-1 = 1 + 1(title) +
@@ -57,7 +68,7 @@ fn deleting_a_section_removes_hidden_paragraphs_recursively() {
     assert_eq!(out.size(), doc.size() - 15);
 
     // typing is preserved for every surviving node
-    let report = typing_report(&o.dtd, o.alpha.len(), &prop.script);
+    let report = typing_report(engine.dtd(), engine.alphabet_len(), &prop.script);
     assert!(report.fully_preserved());
 }
 
@@ -66,13 +77,13 @@ fn outline_view_dtd_is_recursive() {
     use xml_view_update::automata::Dfa;
     let o = outline();
     let mut alpha = o.alpha.clone();
-    let view_dtd = derive_view_dtd(&o.dtd, &o.ann, alpha.len());
+    let engine = outline_engine(&o);
     // skeleton content model: title . section*
     let expect = xml_view_update::automata::glushkov(
         &xml_view_update::automata::parse_regex(&mut alpha, "title.section*").unwrap(),
     );
     let s = alpha.get("section").unwrap();
-    let got = Dfa::determinize(view_dtd.content_model(s), alpha.len());
+    let got = Dfa::determinize(engine.view_dtd().content_model(s), alpha.len());
     assert!(got.equivalent(&Dfa::determinize(&expect, alpha.len())));
 }
 
@@ -85,15 +96,13 @@ fn complement_preserving_exists_for_pure_visible_edits() {
     let mut gen = NodeIdGen::new();
     let doc = outline_doc(&o, 2, 2, &mut gen);
     let s = add_section(&o, &doc, &[0], &mut gen);
-    let inst = Instance::new(&o.dtd, &o.ann, &doc, &s, o.alpha.len()).unwrap();
-    let sizes = min_sizes(&o.dtd, o.alpha.len());
-    let pkg = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &pkg,
-    };
+
+    let engine = outline_engine(&o);
+    let session = engine.open(&doc).unwrap();
+    let inst = session.instance(&s).unwrap();
+    let cm = engine.cost_model();
     let forest = PropagationForest::build(&inst, &cm).unwrap();
-    let found = find_complement_preserving(&inst, &forest, &cm, &Config::default())
+    let found = find_complement_preserving(&inst, &forest, &cm, engine.config())
         .unwrap()
         .expect("pure visible edits admit a constant complement");
     verify_propagation(&inst, &found).unwrap();

@@ -4,6 +4,15 @@
 use xml_view_update::prelude::*;
 use xml_view_update::workload::paper::{self, running_example};
 
+fn engine_of(alpha: &Alphabet, dtd: &Dtd, ann: &Annotation) -> Engine {
+    Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(dtd.clone())
+        .annotation(ann.clone())
+        .build()
+        .unwrap()
+}
+
 /// E1 — Figures 1–3: source tree, DTD, annotation, view.
 #[test]
 fn e1_source_dtd_annotation_view() {
@@ -21,9 +30,11 @@ fn e1_source_dtd_annotation_view() {
         to_term_with_ids(&view, &fx.alpha),
         "r#0(a#1, d#3(c#8), a#4, d#6(c#10))"
     );
-    // The view DTD remark: r → (a·d)*, d → c*.
-    let view_dtd = derive_view_dtd(&fx.dtd, &fx.ann, fx.alpha.len());
-    assert!(view_dtd.is_valid(&view));
+    // The view DTD remark: r → (a·d)*, d → c* — precompiled by the
+    // engine.
+    let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
+    assert!(engine.view_dtd().is_valid(&view));
+    assert_eq!(engine.open(&fx.t0).unwrap().view(), &view);
 }
 
 /// E2 — Figures 4–5: the view update S0 and its projections.
@@ -74,23 +85,17 @@ fn e3_inversion_graph() {
 #[test]
 fn e4_fig7_propagation() {
     let fx = running_example();
-    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
+    let session = engine.open(&fx.t0).unwrap();
+    let prop = session.propagate(&fx.s0).unwrap();
     assert_eq!(prop.cost, 14);
-    verify_propagation(&inst, &prop.script).unwrap();
+    session.verify(&fx.s0, &prop.script).unwrap();
     // No enumerated optimal propagation has a different cost, and all are
     // sound.
-    let sizes = min_sizes(&fx.dtd, fx.alpha.len());
-    let pkg = InsertletPackage::new();
-    let cm = CostModel {
-        sizes: &sizes,
-        insertlets: &pkg,
-    };
-    let scripts =
-        enumerate_optimal_propagations(&inst, &cm, &prop.forest, &Config::default(), 16).unwrap();
+    let scripts = session.enumerate_optimal(&fx.s0, 16).unwrap();
     assert!(!scripts.is_empty());
     for s in &scripts {
-        verify_propagation(&inst, s).unwrap();
+        session.verify(&fx.s0, s).unwrap();
         assert_eq!(cost(s), 14);
     }
 }
@@ -99,8 +104,8 @@ fn e4_fig7_propagation() {
 #[test]
 fn e5_graph_n6() {
     let fx = running_example();
-    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
+    let prop = engine.open(&fx.t0).unwrap().propagate(&fx.s0).unwrap();
     let g = &prop.forest.graphs[&NodeId(6)];
     // Graph shape is automaton-representation dependent; the invariants:
     // a start, goals, a best path of cost 2 (keep b9 and c10, insert the
@@ -115,8 +120,8 @@ fn e5_graph_n6() {
 #[test]
 fn e6_optimal_graph_n0() {
     let fx = running_example();
-    let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
+    let prop = engine.open(&fx.t0).unwrap().propagate(&fx.s0).unwrap();
     let g0 = &prop.forest.graphs[&NodeId(0)];
     let opt = g0.optimal_subgraph().unwrap();
     assert!(opt.is_acyclic(), "G* is acyclic (paper, Further results)");
@@ -156,8 +161,9 @@ fn d1_has_minimal_padding_zero() {
     let mut gen = NodeIdGen::new();
     let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)").unwrap();
     let update = parse_script(&mut alpha, "nop:r#0(nop:a#1, ins:a#2)").unwrap();
-    let inst = Instance::new(&fx.dtd, &fx.ann, &source, &update, alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
+    let session = engine.open(&source).unwrap();
+    let prop = session.propagate(&update).unwrap();
     assert_eq!(prop.cost, 1);
-    verify_propagation(&inst, &prop.script).unwrap();
+    session.verify(&update, &prop.script).unwrap();
 }

@@ -253,6 +253,57 @@ proptest! {
         }
     }
 
+    /// Session reuse: a random sequence of updates driven through one
+    /// [`Session`] with `commit` yields, at every step, the same
+    /// propagation cost and the same output tree as fresh one-shot
+    /// `Instance::new` + `propagate` calls against the same document.
+    #[test]
+    fn session_reuse_matches_one_shot(seed in 0u64..2000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 41, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, max_children: 5, ..DocGenConfig::default() },
+            seed ^ 42, &mut gen);
+
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .build()
+            .unwrap();
+        let mut session = engine.open(&doc).unwrap();
+        let mut one_shot_doc = doc;
+
+        for step in 0..4u64 {
+            // the update is generated once against the current document,
+            // with fresh identifiers past the session's high-water mark
+            let mut g = session.id_gen();
+            let update = generate_update(&dtd, &ann, alpha.len(), &one_shot_doc,
+                &UpdateGenConfig { ops: 2, ..UpdateGenConfig::default() },
+                seed ^ (1000 + step), &mut g);
+
+            // one-shot compatibility path: everything re-derived
+            let inst = Instance::new(&dtd, &ann, &one_shot_doc, &update, alpha.len()).unwrap();
+            let expect = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+
+            // session path: everything update-independent reused
+            let prop = session.propagate(&update).unwrap();
+            prop_assert_eq!(prop.cost, expect.cost);
+            let out_session = output_tree(&prop.script).unwrap();
+            let out_one_shot = output_tree(&expect.script).unwrap();
+            prop_assert_eq!(&out_session, &out_one_shot);
+
+            session.commit(&prop).unwrap();
+            one_shot_doc = out_one_shot;
+            prop_assert_eq!(session.document(), &one_shot_doc);
+            prop_assert_eq!(session.view(), &extract_view(&ann, &one_shot_doc));
+        }
+        prop_assert_eq!(session.commits(), 4);
+    }
+
     /// Tree edit distance is a metric on random tree pairs (identity,
     /// symmetry, triangle inequality).
     #[test]

@@ -4,13 +4,15 @@
 //! update) we check:
 //!
 //! * **Theorem 5** — a schema-compliant side-effect-free propagation
-//!   always exists (`propagate` never fails on a valid instance);
+//!   always exists (`Session::propagate` never fails on a valid
+//!   instance);
 //! * **Theorems 3–4 soundness** — the produced script verifies, its cost
 //!   matches the graph optimum, and no enumerated propagation (optimal or
 //!   bounded-suboptimal) is unsound or beats the optimum;
 //! * **Theorems 1–2 soundness** — every enumerated inverse of the updated
 //!   view is a true inverse and none is smaller than the claimed minimum;
-//! * determinism of the end-to-end algorithm.
+//! * determinism of the end-to-end algorithm, and agreement between the
+//!   compiled-engine path and the one-shot compatibility layer.
 
 use xml_view_update::prelude::*;
 use xml_view_update::workload::{
@@ -24,6 +26,17 @@ struct RandomInstance {
     ann: Annotation,
     doc: DocTree,
     update: Script,
+}
+
+impl RandomInstance {
+    fn engine(&self) -> Engine {
+        Engine::builder()
+            .alphabet(self.alpha.clone())
+            .dtd(self.dtd.clone())
+            .annotation(self.ann.clone())
+            .build()
+            .unwrap()
+    }
 }
 
 fn random_instance(seed: u64) -> RandomInstance {
@@ -67,16 +80,39 @@ fn random_instance(seed: u64) -> RandomInstance {
 fn theorem5_propagation_always_exists_and_verifies() {
     for seed in 0..40u64 {
         let ri = random_instance(seed);
-        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len())
-            .unwrap_or_else(|e| panic!("seed {seed}: generated instance invalid: {e}"));
-        let prop = propagate(&inst, &InsertletPackage::new(), &Config::default())
+        let engine = ri.engine();
+        let session = engine
+            .open(&ri.doc)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated document invalid: {e}"));
+        let prop = session
+            .propagate(&ri.update)
             .unwrap_or_else(|e| panic!("seed {seed}: Theorem 5 violated: {e}"));
-        verify_propagation(&inst, &prop.script)
+        session
+            .verify(&ri.update, &prop.script)
             .unwrap_or_else(|e| panic!("seed {seed}: unsound propagation: {e}"));
         assert_eq!(
             cost(&prop.script) as u64,
             prop.cost,
             "seed {seed}: script cost differs from graph optimum"
+        );
+    }
+}
+
+/// The engine path and the one-shot compatibility layer produce the
+/// identical script on the identical instance.
+#[test]
+fn engine_and_one_shot_layer_agree() {
+    for seed in 0..20u64 {
+        let ri = random_instance(seed);
+        let engine = ri.engine();
+        let by_session = engine.open(&ri.doc).unwrap().propagate(&ri.update).unwrap();
+        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
+        let one_shot = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        assert_eq!(by_session.cost, one_shot.cost, "seed {seed}");
+        assert_eq!(
+            script_to_term(&by_session.script, &ri.alpha),
+            script_to_term(&one_shot.script, &ri.alpha),
+            "seed {seed}"
         );
     }
 }
@@ -88,29 +124,25 @@ fn theorem5_propagation_always_exists_and_verifies() {
 fn theorems_3_4_enumeration_consistency() {
     for seed in 0..12u64 {
         let ri = random_instance(seed);
-        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
-        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
-        let pkg = InsertletPackage::new();
-        let cm = CostModel {
-            sizes: &sizes,
-            insertlets: &pkg,
-        };
-        let prop = propagate(&inst, &pkg, &Config::default()).unwrap();
+        let engine = ri.engine();
+        let session = engine.open(&ri.doc).unwrap();
+        let prop = session.propagate(&ri.update).unwrap();
 
-        let optimal =
-            enumerate_optimal_propagations(&inst, &cm, &prop.forest, &Config::default(), 10)
-                .unwrap();
+        let optimal = session.enumerate_optimal(&ri.update, 10).unwrap();
         assert!(!optimal.is_empty(), "seed {seed}");
         for s in &optimal {
-            verify_propagation(&inst, s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            session
+                .verify(&ri.update, s)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(cost(s) as u64, prop.cost, "seed {seed}");
         }
 
+        let inst = session.instance(&ri.update).unwrap();
         let bounded = xml_view_update::propagate::enumerate_propagations_bounded(
             &inst,
-            &cm,
+            &engine.cost_model(),
             &prop.forest,
-            &Config::default(),
+            engine.config(),
             10,
             12,
         )
@@ -131,28 +163,24 @@ fn theorems_3_4_enumeration_consistency() {
 fn theorems_1_2_inversion_soundness() {
     for seed in 0..20u64 {
         let ri = random_instance(seed);
+        let engine = ri.engine();
         let updated_view = output_tree(&ri.update).expect("root preserved");
-        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
-        let pkg = InsertletPackage::new();
-        let cm = CostModel {
-            sizes: &sizes,
-            insertlets: &pkg,
-        };
-        let forest = InversionForest::build(&ri.dtd, &ri.ann, &updated_view, &cm)
+        let cm = engine.cost_model();
+        let forest = InversionForest::build(engine.dtd(), engine.annotation(), &updated_view, &cm)
             .unwrap_or_else(|e| panic!("seed {seed}: view must be invertible: {e}"));
         let mut gen = NodeIdGen::starting_at(1 << 40);
         let min = forest
-            .materialize_min(&ri.dtd, &cm, Selector::PreferNop, &mut gen, 100_000)
+            .materialize_min(engine.dtd(), &cm, Selector::PreferNop, &mut gen, 100_000)
             .unwrap();
-        assert!(ri.dtd.is_valid(&min), "seed {seed}");
+        assert!(engine.dtd().is_valid(&min), "seed {seed}");
         assert_eq!(extract_view(&ri.ann, &min), updated_view, "seed {seed}");
         assert_eq!(min.size() as u64, forest.min_inverse_size(), "seed {seed}");
 
         let all = forest
-            .enumerate_inverses(&ri.dtd, &cm, &mut gen, 100_000, 15, 10)
+            .enumerate_inverses(engine.dtd(), &cm, &mut gen, 100_000, 15, 10)
             .unwrap();
         for inv in &all {
-            assert!(ri.dtd.is_valid(inv), "seed {seed}");
+            assert!(engine.dtd().is_valid(inv), "seed {seed}");
             assert_eq!(extract_view(&ri.ann, inv), updated_view, "seed {seed}");
             assert!(
                 inv.size() as u64 >= forest.min_inverse_size(),
@@ -167,9 +195,10 @@ fn theorems_1_2_inversion_soundness() {
 fn propagation_is_deterministic_across_runs() {
     for seed in [3u64, 17, 29] {
         let ri = random_instance(seed);
-        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
-        let p1 = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-        let p2 = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        let engine = ri.engine();
+        let session = engine.open(&ri.doc).unwrap();
+        let p1 = session.propagate(&ri.update).unwrap();
+        let p2 = session.propagate(&ri.update).unwrap();
         assert_eq!(
             script_to_term(&p1.script, &ri.alpha),
             script_to_term(&p2.script, &ri.alpha),
@@ -183,19 +212,23 @@ fn propagation_is_deterministic_across_runs() {
 fn selectors_agree_on_cost() {
     for seed in 0..10u64 {
         let ri = random_instance(seed);
-        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
         let mut costs = Vec::new();
         for sel in [
             Selector::First,
             Selector::PreferNop,
             Selector::PreferTypePreserving,
         ] {
-            let cfg = Config {
-                selector: sel,
-                ..Config::default()
-            };
-            let prop = propagate(&inst, &InsertletPackage::new(), &cfg).unwrap();
-            verify_propagation(&inst, &prop.script)
+            let engine = Engine::builder()
+                .alphabet(ri.alpha.clone())
+                .dtd(ri.dtd.clone())
+                .annotation(ri.ann.clone())
+                .selector(sel)
+                .build()
+                .unwrap();
+            let session = engine.open(&ri.doc).unwrap();
+            let prop = session.propagate(&ri.update).unwrap();
+            session
+                .verify(&ri.update, &prop.script)
                 .unwrap_or_else(|e| panic!("seed {seed} {sel:?}: {e}"));
             costs.push(prop.cost);
         }
@@ -213,15 +246,24 @@ fn selectors_agree_on_cost() {
 fn minimal_insertlet_package_preserves_costs() {
     for seed in 0..10u64 {
         let ri = random_instance(seed);
-        let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
-        let bare = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+        let bare = ri
+            .engine()
+            .open(&ri.doc)
+            .unwrap()
+            .propagate(&ri.update)
+            .unwrap();
 
-        let sizes = min_sizes(&ri.dtd, ri.alpha.len());
-        let mut gen = NodeIdGen::starting_at(1 << 41);
-        let pkg =
-            InsertletPackage::minimal_package(&ri.dtd, &sizes, ri.alpha.len(), &mut gen, 10_000);
-        let with_pkg = propagate(&inst, &pkg, &Config::default()).unwrap();
-        verify_propagation(&inst, &with_pkg.script).unwrap();
+        let engine = Engine::builder()
+            .alphabet(ri.alpha.clone())
+            .dtd(ri.dtd.clone())
+            .annotation(ri.ann.clone())
+            .witness_budget(10_000)
+            .minimal_insertlets()
+            .build()
+            .unwrap();
+        let session = engine.open(&ri.doc).unwrap();
+        let with_pkg = session.propagate(&ri.update).unwrap();
+        session.verify(&ri.update, &with_pkg.script).unwrap();
         assert_eq!(bare.cost, with_pkg.cost, "seed {seed}");
     }
 }

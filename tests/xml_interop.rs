@@ -1,5 +1,5 @@
-//! Integration: loading schema + document from XML syntax, propagating,
-//! and writing XML back.
+//! Integration: loading schema + document from XML syntax, propagating
+//! through a compiled [`Engine`], and writing XML back.
 
 use xml_view_update::prelude::*;
 
@@ -19,13 +19,12 @@ fn full_xml_pipeline_matches_term_pipeline() {
     let mut gen = NodeIdGen::new();
     let dtd = read_dtd(&mut alpha, DTD_SRC).unwrap();
     let source = read_xml(&mut alpha, &mut gen, DOC_SRC).unwrap();
-    dtd.validate(&source).unwrap();
 
     // …it is the same document as the term fixture.
     let fx = xml_view_update::workload::paper::running_example();
     assert_eq!(source, fx.t0);
 
-    // Propagate S0 and compare to the term-based pipeline.
+    // Propagate S0 through a session and compare to the term pipeline.
     let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
     let s0 = parse_script(
         &mut alpha,
@@ -33,24 +32,33 @@ fn full_xml_pipeline_matches_term_pipeline() {
          ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
     )
     .unwrap();
-    let inst = Instance::new(&dtd, &ann, &source, &s0, alpha.len()).unwrap();
-    let prop = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    // `open` validates the XML-loaded document against the XML-loaded DTD.
+    let mut session = engine.open(&source).unwrap();
+    let prop = session.propagate(&s0).unwrap();
     assert_eq!(prop.cost, 14);
+    session.commit(&prop).unwrap();
 
     // Write the new source to XML with identifiers and read it back.
-    let new_source = output_tree(&prop.script).unwrap();
+    let new_source = session.document();
     let xml = write_xml(
-        &new_source,
-        &alpha,
+        new_source,
+        engine.alphabet(),
         &WriteOptions {
             pretty: true,
             with_ids: true,
         },
     );
+    let mut alpha2 = engine.alphabet().clone();
     let mut gen2 = NodeIdGen::new();
-    let back = read_xml(&mut alpha, &mut gen2, &xml).unwrap();
-    assert_eq!(back, new_source);
-    dtd.validate(&back).unwrap();
+    let back = read_xml(&mut alpha2, &mut gen2, &xml).unwrap();
+    assert_eq!(&back, new_source);
+    engine.dtd().validate(&back).unwrap();
 }
 
 #[test]
