@@ -257,6 +257,17 @@ pub fn random_update_batch(
     )
 }
 
+/// Pairs one source document with each update — the independent-request
+/// batch shape [`xvu_propagate::serve`]'s `Engine::propagate_batch`
+/// serves (requests are self-contained, so the same document may appear
+/// under many updates).
+pub fn batch_requests(oi: &OwnedInstance, updates: &[Script]) -> Vec<(DocTree, Script)> {
+    updates
+        .iter()
+        .map(|u| (oi.doc.clone(), u.clone()))
+        .collect()
+}
+
 /// Median wall-clock time of `runs` executions of `f`.
 pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
     let mut samples: Vec<Duration> = (0..runs.max(1))

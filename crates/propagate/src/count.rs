@@ -19,20 +19,49 @@ use xvu_tree::NodeId;
 
 /// Counts the cost-minimal propagations captured by `G*` (saturating
 /// `u128`).
-pub fn count_optimal_propagations(forest: &PropagationForest) -> u128 {
+///
+/// Returns `None` when the forest admits **no propagation at all** — some
+/// reachable graph has no start→goal path (so there is nothing to count),
+/// or a graph is not acyclic so path counting is undefined. A forest built
+/// by [`PropagationForest::build`] always has at least one propagation
+/// (Theorem 5), so `None` only arises for hand-assembled or corrupted
+/// forests; every `Some` count is ≥ 1. Callers must not conflate `None`
+/// with a zero count: `0` is never returned inside `Some`.
+pub fn count_optimal_propagations(forest: &PropagationForest) -> Option<u128> {
     count_node(forest, forest.root)
 }
 
-fn count_node(forest: &PropagationForest, n: NodeId) -> u128 {
-    let Some(opt) = forest.graphs[&n].optimal_subgraph() else {
-        return 0;
-    };
-    opt.count_paths(|e| match e {
-        PropEdge::InsVisible { child } => forest.inversions[child].count_min_inverses(),
-        PropEdge::NopVisible { child, .. } => count_node(forest, *child),
+fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
+    // No optimal subgraph ⇔ no start→goal path ⇔ no propagation of this
+    // node's fragment — propagate the absence instead of counting it as 0.
+    let opt = forest.graphs.get(&n)?.optimal_subgraph()?;
+    let mut missing_child = false;
+    // `count_paths` is `None` only on cyclic graphs, which optimal
+    // subgraphs of well-formed forests never are; surface that as `None`
+    // too rather than panicking on corrupted inputs.
+    let n_paths = opt.count_paths(|e| match e {
+        // A built forest has ≥ 1 minimal inverse per inserted fragment
+        // (`InversionForest::build` errors otherwise); a missing entry or
+        // a zero count means the fragment has no inverse, not "0 ways".
+        PropEdge::InsVisible { child } => {
+            match forest.inversions.get(child).map(|i| i.count_min_inverses()) {
+                Some(c) if c > 0 => c,
+                _ => {
+                    missing_child = true;
+                    0
+                }
+            }
+        }
+        PropEdge::NopVisible { child, .. } => count_node(forest, *child).unwrap_or_else(|| {
+            missing_child = true;
+            0
+        }),
         _ => 1,
-    })
-    .expect("optimal propagation graphs are acyclic")
+    })?;
+    if missing_child {
+        return None;
+    }
+    Some(n_paths)
 }
 
 #[cfg(test)]
@@ -73,7 +102,11 @@ mod tests {
                 insertlets: &pkg,
             };
             let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
-            assert_eq!(count_optimal_propagations(&forest), 1u128 << k, "k = {k}");
+            assert_eq!(
+                count_optimal_propagations(&forest),
+                Some(1u128 << k),
+                "k = {k}"
+            );
             // each inserted a costs itself + one hidden sibling
             assert_eq!(forest.optimal_cost(), 2 * k as u64);
         }
@@ -90,7 +123,7 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
-        let count = count_optimal_propagations(&forest);
+        let count = count_optimal_propagations(&forest).expect("the forest has propagations");
         // d#11's inverse: 2 choices (a/b) × 2 positions = 4; the c#15
         // insert under d6 has 2 (a or b sibling); root path is unique in
         // its optimal ops but padding choices multiply.
@@ -111,6 +144,72 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
-        assert_eq!(count_optimal_propagations(&forest), 1);
+        assert_eq!(count_optimal_propagations(&forest), Some(1));
+    }
+
+    #[test]
+    fn no_propagation_is_none_not_zero() {
+        // Regression: a forest whose root graph has no start→goal path
+        // (the "instance has no propagation" shape) must report `None`,
+        // not a count of 0 that callers could mistake for a genuine tally.
+        let fx = fixtures::paper_running_example();
+        let inst = Instance::new(&fx.dtd, &fx.ann, &fx.t0, &fx.s0, fx.alpha.len()).unwrap();
+        let sizes = min_sizes(&fx.dtd, fx.alpha.len());
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let mut forest = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
+        // Replace the root graph with a goal-less one-vertex graph.
+        let root = forest.root;
+        let stub = crate::graph::PropGraph::new(
+            vec![crate::graph::PropVertex {
+                tpos: 0,
+                state: xvu_automata::StateId(0),
+                spos: 0,
+            }],
+            0,
+        );
+        forest.graphs.insert(root, stub);
+        assert_eq!(count_optimal_propagations(&forest), None);
+        // A dangling child reference (graph deleted out from under a
+        // (vi)-edge) is also `None`, not a panic and not 0.
+        let forest2 = {
+            let mut f = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
+            let child = *f.graphs.keys().find(|&&n| n != f.root).unwrap();
+            f.graphs.remove(&child);
+            f
+        };
+        assert_eq!(count_optimal_propagations(&forest2), None);
+    }
+
+    #[test]
+    fn unsatisfiable_update_errors_instead_of_counting_zero() {
+        // An update whose only source completion would need an
+        // unsatisfiable hidden label: `h -> h` can never be materialised,
+        // so no propagation exists. The pipeline must surface an error
+        // (at validation or forest construction) — never `Ok(0)`.
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.h)*\nh -> h").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r h").unwrap();
+        let mut gen = NodeIdGen::new();
+        let source = parse_term_with_ids(&mut alpha, &mut gen, "r#0").unwrap();
+        let update = parse_script(&mut alpha, "nop:r#0(ins:a#1)").unwrap();
+        let engine = crate::Engine::builder()
+            .alphabet(alpha)
+            .dtd(dtd)
+            .annotation(ann)
+            .build()
+            .unwrap();
+        let session = engine.open(&source).unwrap();
+        let err = session
+            .count_optimal(&update)
+            .expect_err("no propagation can exist");
+        // the error names the problem instead of hiding it behind a count
+        assert!(
+            !err.to_string().is_empty(),
+            "error must be user-reportable: {err:?}"
+        );
     }
 }

@@ -410,10 +410,14 @@ impl<'e> Session<'e> {
     /// the [`Propagation`] from [`Session::propagate`], count for free
     /// with [`crate::count_optimal_propagations`]`(&prop.forest)`
     /// instead.
+    ///
+    /// A successful count is always ≥ 1: when no propagation exists the
+    /// instance or forest construction reports the reason as an `Err`
+    /// (never a silent count of 0).
     pub fn count_optimal(&self, update: &Script) -> Result<u128, PropagateError> {
         let inst = self.instance(update)?;
         let forest = PropagationForest::build(&inst, &self.engine.cost_model())?;
-        Ok(count_optimal_propagations(&forest))
+        count_optimal_propagations(&forest).ok_or(PropagateError::NoPropagationPath(forest.root))
     }
 
     /// Enumerates up to `cap` cost-minimal propagations of `update` (see
@@ -453,7 +457,15 @@ impl<'e> Session<'e> {
         let out = output_tree(&prop.script).ok_or_else(|| {
             PropagateError::NotAPropagation("propagation deletes the document root".to_owned())
         })?;
-        self.prepared = Prepared::from_source(&self.engine.ann, &out);
+        let mut prepared = Prepared::from_source(&self.engine.ann, &out);
+        // `from_source` clears every identifier of the new document —
+        // including hidden insertlet material the propagation introduced —
+        // but the session's high-water mark must also stay monotone across
+        // commits: identifiers handed out for *deleted* nodes (of this or
+        // any earlier update) are never recycled, so scripts can't confuse
+        // node identity across the session's history.
+        prepared.gen.merge(&self.prepared.gen);
+        self.prepared = prepared;
         self.doc = out;
         self.commits += 1;
         Ok(())
@@ -630,6 +642,52 @@ mod tests {
         let inst = engine.instance(&t0, &s0).unwrap();
         let prop = engine.propagate(&inst).unwrap();
         assert_eq!(prop.cost, 14);
+    }
+
+    #[test]
+    fn commit_id_high_water_is_monotone_and_collision_free() {
+        // Update 1 inserts a visible (a, d(c)) group under very high
+        // identifiers; update 2 deletes it again. After the second commit
+        // the surviving document contains only small identifiers, but the
+        // session generator must NOT rewind: identifiers from the
+        // session's history (including hidden insertlet material that was
+        // minted and then deleted) are never recycled.
+        let (engine, t0, _) = paper_engine();
+        let mut session = engine.open(&t0).unwrap();
+        let mut alpha = engine.alphabet().clone();
+        let u1 = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:a#1, nop:d#3(nop:c#8), nop:a#4, nop:d#6(nop:c#10), \
+             ins:a#1000, ins:d#1001(ins:c#1002))",
+        )
+        .unwrap();
+        let p1 = session.apply(&u1).unwrap();
+        // the inserted group forced fresh hidden material past 1002
+        let after_first = session.id_gen().peek();
+        assert!(after_first.0 > 1002, "peek = {after_first}");
+        assert!(output_tree(&p1.script).unwrap().contains(NodeId(1001)));
+
+        let u2 = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:a#1, nop:d#3(nop:c#8), nop:a#4, nop:d#6(nop:c#10), \
+             del:a#1000, del:d#1001(del:c#1002))",
+        )
+        .unwrap();
+        session.apply(&u2).unwrap();
+        // the document is back to small identifiers only…
+        assert!(!session.document().contains(NodeId(1000)));
+        // …but the generator never rewinds below the session's history
+        let after_second = session.id_gen().peek();
+        assert!(
+            after_second >= after_first,
+            "{after_second} < {after_first}"
+        );
+        let mut gen = session.id_gen();
+        for _ in 0..64 {
+            let fresh = gen.fresh();
+            assert!(!session.document().contains(fresh));
+            assert!(fresh.0 > 1002, "recycled historical id {fresh}");
+        }
     }
 
     #[test]

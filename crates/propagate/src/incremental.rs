@@ -12,7 +12,7 @@
 
 use crate::error::PropagateError;
 use xvu_dtd::Dtd;
-use xvu_edit::{diff, input_tree, output_tree, EditOp, Script};
+use xvu_edit::{diff, input_tree, output_tree, validate_script, EditOp, Script};
 use xvu_tree::NodeId;
 use xvu_view::{extract_view, Annotation};
 
@@ -23,13 +23,24 @@ use xvu_view::{extract_view, Annotation};
 ///   changed), and
 /// * every node inside an inserted subtree (entirely new material).
 ///
+/// Deleted subtrees are skipped *as subtrees* — none of their nodes exist
+/// in the output. The script grammar requires every descendant of a `Del`
+/// node to delete (whole subtrees are removed); a malformed script whose
+/// deleted subtree contains a non-`Del` node is rejected with the
+/// underlying [`xvu_edit::EditError`] instead of being validated against
+/// an output tree it no longer belongs to.
+///
 /// Returns the first offending node, like [`Dtd::validate`].
 pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateError> {
+    validate_script(script).map_err(PropagateError::Edit)?;
     let out = output_tree(script)
         .ok_or_else(|| PropagateError::NotAPropagation("script output is empty".to_owned()))?;
-    for n in script.preorder() {
+    let mut stack = vec![script.root()];
+    while let Some(n) = stack.pop() {
         let op = script.label(n).op;
         if op == EditOp::Del {
+            // the whole subtree is absent from the output — nothing below
+            // it can (or may) be checked
             continue;
         }
         let must_check = op == EditOp::Ins
@@ -42,25 +53,35 @@ pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateErro
                 "incremental validation failed at node {n}"
             )));
         }
+        // push children reversed so the stack pops them in document order
+        // and the *first* offending node is the one reported
+        stack.extend(script.children(n).iter().rev().copied());
     }
     Ok(())
 }
 
 /// Number of nodes [`revalidate_output`] actually checks — for tests and
-/// diagnostics of the incremental saving.
+/// diagnostics of the incremental saving. Deleted subtrees contribute
+/// nothing, whatever their contents.
 pub fn revalidation_workload(script: &Script) -> usize {
-    script
-        .preorder()
-        .filter(|&n| {
-            let op = script.label(n).op;
-            op != EditOp::Del
-                && (op == EditOp::Ins
-                    || script
-                        .children(n)
-                        .iter()
-                        .any(|&c| script.label(c).op != EditOp::Nop))
-        })
-        .count()
+    let mut stack = vec![script.root()];
+    let mut checked = 0usize;
+    while let Some(n) = stack.pop() {
+        let op = script.label(n).op;
+        if op == EditOp::Del {
+            continue;
+        }
+        if op == EditOp::Ins
+            || script
+                .children(n)
+                .iter()
+                .any(|&c| script.label(c).op != EditOp::Nop)
+        {
+            checked += 1;
+        }
+        stack.extend(script.children(n).iter().rev().copied());
+    }
+    checked
 }
 
 /// Computes the update that a *second* view `other` observes when
@@ -129,6 +150,62 @@ mod tests {
         .unwrap();
         let err = revalidate_output(&fx.dtd, &bad).unwrap_err();
         assert!(matches!(err, PropagateError::NotAPropagation(_)));
+    }
+
+    #[test]
+    fn deleted_subtrees_are_skipped_whole() {
+        // Regression: a non-`Del` node nested inside a deleted subtree is
+        // not part of the output tree. The old preorder walk still
+        // descended into it and validated it against the output (panicking
+        // on the missing node); deleted subtrees must be skipped whole and
+        // the malformed shape rejected with the grammar's own error.
+        let mut fx = fixtures::paper_running_example();
+        // `ins:c#30` under `del:d#3` violates Del-closure: the script
+        // grammar only deletes whole subtrees.
+        let bad = xvu_edit::parse_script(
+            &mut fx.alpha,
+            "nop:r#0(nop:a#1, nop:b#2, del:d#3(ins:c#30, nop:a#7, nop:c#8), nop:a#4, \
+             nop:c#5, nop:d#6(nop:b#9, nop:c#10))",
+        )
+        .unwrap();
+        let err = revalidate_output(&fx.dtd, &bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PropagateError::Edit(xvu_edit::EditError::DelClosureViolated(_))
+            ),
+            "{err:?}"
+        );
+        // and the workload metric never counts nodes inside deleted
+        // subtrees, however deep the nesting
+        assert_eq!(revalidation_workload(&bad), 1); // only the root r#0
+                                                    // a well-formed deep deletion revalidates only the cut point
+        let good = xvu_edit::parse_script(
+            &mut fx.alpha,
+            "nop:r#0(del:a#1, del:b#2, del:d#3(del:a#7, del:c#8), nop:a#4, \
+             nop:c#5, nop:d#6(nop:b#9, nop:c#10))",
+        )
+        .unwrap();
+        revalidate_output(&fx.dtd, &good).unwrap();
+        assert_eq!(revalidation_workload(&good), 1);
+    }
+
+    #[test]
+    fn first_offending_node_in_document_order_is_reported() {
+        // Both d-subtrees become invalid (((a+b).c)* needs a/b before c);
+        // like `Dtd::validate`, the error names the first one, d#3.
+        let mut fx = fixtures::paper_running_example();
+        let bad = xvu_edit::parse_script(
+            &mut fx.alpha,
+            "nop:r#0(nop:a#1, nop:b#2, nop:d#3(del:a#7, nop:c#8), nop:a#4, nop:c#5, \
+             nop:d#6(del:b#9, nop:c#10))",
+        )
+        .unwrap();
+        let err = revalidate_output(&fx.dtd, &bad).unwrap_err();
+        assert!(
+            matches!(&err, PropagateError::NotAPropagation(m) if m.contains("n3")),
+            "{err:?}"
+        );
     }
 
     #[test]

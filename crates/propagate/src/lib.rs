@@ -60,6 +60,10 @@
 //! The one-shot layer ([`Instance::new`] + [`propagate`] +
 //! [`verify_propagation`]) remains for single-update callers and is
 //! implemented over the same core code paths.
+//!
+//! For serving many independent requests, the engine is `Send + Sync`
+//! and shares across OS threads behind one `Arc`: see the [`serve`]
+//! module ([`Engine::propagate_batch`] and [`SessionPool`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +85,7 @@ mod inversion;
 pub mod pathgraph;
 mod segments;
 mod selection;
+pub mod serve;
 mod typing;
 mod verify;
 
@@ -100,5 +105,6 @@ pub use instance::Instance;
 pub use inversion::{InvEdge, InvGraph, InvVertex, InversionForest};
 pub use segments::Segmentation;
 pub use selection::{Classify, EdgeClass, Selector};
+pub use serve::{SessionLease, SessionPool};
 pub use typing::{typing_report, TypingReport};
 pub use verify::verify_propagation;

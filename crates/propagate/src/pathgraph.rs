@@ -306,7 +306,7 @@ impl<V, E> PathGraph<V, E> {
     /// per-edge `factor`s (saturating `u128`). Requires acyclicity (true
     /// for optimal subgraphs); returns `None` on cyclic graphs, where the
     /// count is infinite.
-    pub fn count_paths(&self, factor: impl Fn(&E) -> u128) -> Option<u128> {
+    pub fn count_paths(&self, mut factor: impl FnMut(&E) -> u128) -> Option<u128> {
         let order = self.topo_order()?;
         let mut ways = vec![0u128; self.vertices.len()];
         ways[self.start as usize] = 1;

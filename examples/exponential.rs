@@ -79,7 +79,7 @@ fn optimal_propagation_counts() {
         // One propagation answers both questions: the returned forest
         // already represents every optimal propagation.
         let prop = session.propagate(&update).expect("prop");
-        let count = count_optimal_propagations(&prop.forest);
+        let count = count_optimal_propagations(&prop.forest).expect("the forest has propagations");
         println!("{:>4} {:>14} {:>22}", k, prop.cost, count);
         assert_eq!(count, 1u128 << k);
 

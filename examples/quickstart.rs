@@ -72,7 +72,7 @@ fn main() {
     println!("cost              = {} (paper Fig. 7: 14)", prop.cost);
     println!(
         "optimal count     = {} cost-minimal propagations captured by G*",
-        count_optimal_propagations(&prop.forest)
+        count_optimal_propagations(&prop.forest).expect("the forest has propagations")
     );
 
     // Committing advances the session to the new source with incremental

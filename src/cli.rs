@@ -7,7 +7,7 @@
 //! xvu view      --dtd schema.dtd --ann view.ann --doc doc.xml
 //! xvu invert    --dtd schema.dtd --ann view.ann --view view.xml
 //! xvu propagate --dtd schema.dtd --ann view.ann --doc doc.xml --update edit.script
-//!               [--update more.script ...] [--selector nop|first|type]
+//!               [--update more.script ...] [--selector nop|first|type] [--jobs N]
 //! ```
 //!
 //! File formats are sniffed from content: DTDs may be `<!ELEMENT …>`
@@ -21,6 +21,12 @@
 //! repeating `--update` propagates a whole sequence, committing each
 //! result (with incremental revalidation) before the next. Errors flow
 //! through [`XvuError`] so every library stage composes with `?`.
+//!
+//! `propagate` also has a **batch mode**: repeating `--doc` pairs each
+//! document with the `--update` at the same position and fans the
+//! independent requests across `--jobs N` worker threads
+//! ([`Engine::propagate_batch`]) — one compiled engine shared by every
+//! worker, results printed in request order.
 //!
 //! All logic lives in [`run`] so it is unit-testable; the binary only
 //! forwards `std::env::args` and prints.
@@ -39,6 +45,9 @@ fn run_inner(args: &[String]) -> Result<String, XvuError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let opts = parse_opts(it.as_slice())?;
+    if opts.jobs != 1 && cmd != "propagate" {
+        return Err("--jobs applies to `propagate` only".into());
+    }
     match cmd.as_str() {
         "validate" => cmd_validate(&opts),
         "view" => cmd_view(&opts),
@@ -58,7 +67,10 @@ fn usage() -> XvuError {
          \x20 view      --dtd FILE --ann FILE --doc FILE\n\
          \x20 invert    --dtd FILE --ann FILE --view FILE\n\
          \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE\n\
-         \x20           [--update FILE ...] [--selector nop|first|type]\n"
+         \x20           [--update FILE ...] [--selector nop|first|type] [--jobs N]\n\
+         \n\
+         repeating --doc in `propagate` pairs each document with the --update\n\
+         at the same position and serves the batch on N worker threads\n"
             .to_owned(),
     )
 }
@@ -66,20 +78,37 @@ fn usage() -> XvuError {
 struct Opts {
     dtd: Option<String>,
     ann: Option<String>,
-    doc: Option<String>,
+    docs: Vec<String>,
     view: Option<String>,
     updates: Vec<String>,
     selector: Selector,
+    jobs: usize,
+}
+
+impl Opts {
+    /// The single `--doc` required by non-batch commands.
+    fn single_doc(&self) -> Result<&str, XvuError> {
+        match self.docs.as_slice() {
+            [] => Err("missing --doc FILE".into()),
+            [one] => Ok(one),
+            many => Err(format!(
+                "this command takes one --doc, got {} (batch mode is `propagate` only)",
+                many.len()
+            )
+            .into()),
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, XvuError> {
     let mut opts = Opts {
         dtd: None,
         ann: None,
-        doc: None,
+        docs: Vec::new(),
         view: None,
         updates: Vec::new(),
         selector: Selector::PreferNop,
+        jobs: 1,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -91,9 +120,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, XvuError> {
         match flag.as_str() {
             "--dtd" => opts.dtd = Some(read_file(value()?)?),
             "--ann" => opts.ann = Some(read_file(value()?)?),
-            "--doc" => opts.doc = Some(read_file(value()?)?),
+            "--doc" => opts.docs.push(read_file(value()?)?),
             "--view" => opts.view = Some(read_file(value()?)?),
             "--update" => opts.updates.push(read_file(value()?)?),
+            "--jobs" => {
+                opts.jobs = value()?.parse()?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--selector" => {
                 opts.selector = match value()? {
                     "nop" => Selector::PreferNop,
@@ -177,8 +212,7 @@ fn pretty() -> WriteOptions {
 
 fn cmd_validate(opts: &Opts) -> Result<String, XvuError> {
     let mut ctx = Ctx::new(opts)?;
-    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
-    let doc = ctx.doc(doc_src)?;
+    let doc = ctx.doc(opts.single_doc()?)?;
     match ctx.dtd.first_violation(&doc) {
         None => Ok(format!("valid: {} nodes\n", doc.size())),
         Some(v) => Err(format!(
@@ -200,8 +234,7 @@ fn cmd_view(opts: &Opts) -> Result<String, XvuError> {
     // (no min-size tables, no view DTD) — validate and extract directly.
     let mut ctx = Ctx::new(opts)?;
     let ann = ctx.ann(opts)?;
-    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
-    let doc = ctx.doc(doc_src)?;
+    let doc = ctx.doc(opts.single_doc()?)?;
     ctx.dtd.validate(&doc)?;
     let view = extract_view(&ann, &doc);
     Ok(write_xml(&view, &ctx.alpha, &pretty()))
@@ -240,22 +273,83 @@ fn cmd_invert(opts: &Opts) -> Result<String, XvuError> {
 fn cmd_propagate(opts: &Opts) -> Result<String, XvuError> {
     let mut ctx = Ctx::new(opts)?;
     let ann = ctx.ann(opts)?;
-    let doc_src = opts.doc.as_deref().ok_or("missing --doc FILE")?;
-    let doc = ctx.doc(doc_src)?;
+    if opts.docs.is_empty() {
+        return Err("missing --doc FILE".into());
+    }
     if opts.updates.is_empty() {
         return Err("missing --update FILE".into());
     }
+    let docs = opts
+        .docs
+        .iter()
+        .map(|src| ctx.doc(src))
+        .collect::<Result<Vec<DocTree>, XvuError>>()?;
     let updates = opts
         .updates
         .iter()
         .map(|src| Ok(parse_script(&mut ctx.alpha, src.trim())?))
         .collect::<Result<Vec<Script>, XvuError>>()?;
 
+    if docs.len() > 1 {
+        // Batch mode: document i pairs with update i; independent
+        // requests fan across the worker pool.
+        if docs.len() != updates.len() {
+            return Err(format!(
+                "batch mode pairs --doc with --update positionally: got {} docs, {} updates",
+                docs.len(),
+                updates.len()
+            )
+            .into());
+        }
+        let engine = ctx.engine(ann, opts.selector)?;
+        let requests: Vec<(DocTree, Script)> = docs.into_iter().zip(updates).collect();
+        let results = engine.propagate_batch(&requests, opts.jobs);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch: {} documents on {} worker thread(s)",
+            requests.len(),
+            opts.jobs
+        );
+        for (i, result) in results.iter().enumerate() {
+            let _ = writeln!(out, "--- document {} of {} ---", i + 1, requests.len());
+            match result {
+                Ok(prop) => {
+                    let _ = writeln!(out, "propagation cost: {}", prop.cost);
+                    let _ = writeln!(
+                        out,
+                        "script: {}",
+                        script_to_term(&prop.script, engine.alphabet())
+                    );
+                    let new_source =
+                        output_tree(&prop.script).ok_or("propagation deletes the document root")?;
+                    let _ = writeln!(out, "new source:");
+                    out.push_str(&write_xml(&new_source, engine.alphabet(), &pretty()));
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            }
+        }
+        return Ok(out);
+    }
+
     // Compile once, serve every update from one session.
+    let doc = docs.into_iter().next().expect("one document");
     let engine = ctx.engine(ann, opts.selector)?;
     let mut session = engine.open(&doc)?;
 
     let mut out = String::new();
+    if opts.jobs > 1 {
+        // a single document's updates are a dependent sequence (each
+        // In(S) is the previous commit's view) — nothing to parallelise
+        let _ = writeln!(
+            out,
+            "note: --jobs {} has no effect with one --doc; updates are a \
+             dependent sequence served on one thread",
+            opts.jobs
+        );
+    }
     let many = updates.len() > 1;
     for (i, update) in updates.iter().enumerate() {
         // One instance build per update: propagate and verify against it,
@@ -274,6 +368,7 @@ fn cmd_propagate(opts: &Opts) -> Result<String, XvuError> {
             out,
             "optimal propagations captured: {}",
             count_optimal_propagations(&prop.forest)
+                .expect("a computed propagation's forest always counts ≥ 1")
         );
         let _ = writeln!(
             out,
@@ -385,6 +480,166 @@ mod tests {
         // everything is deleted: the final source is the bare root
         assert!(out.contains("new source:"));
         assert!(out.trim_end().ends_with("<r xvu:id=\"0\"/>"), "{out}");
+    }
+
+    #[test]
+    fn propagate_batch_mode_over_worker_threads() {
+        // Three documents, three positionally paired updates, two worker
+        // threads: results come back in request order, one engine.
+        let dtd = write_tmp("schema8.rules", DTD);
+        let ann = write_tmp("view8.ann", ANN);
+        let d1 = write_tmp("doc8a.term", DOC);
+        let d2 = write_tmp(
+            "doc8b.term",
+            "r#20(a#21, b#22, d#23(a#27, c#28), a#24, c#25, d#26(b#29, c#30))",
+        );
+        let d3 = write_tmp("doc8c.term", DOC);
+        let u1 = write_tmp("edit8a.script", UPDATE);
+        let u2 = write_tmp(
+            "edit8b.script",
+            "nop:r#20(del:a#21, del:d#23(del:c#28), nop:a#24, nop:d#26(nop:c#30))",
+        );
+        let u3 = write_tmp("edit8c.script", UPDATE);
+        let out = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &d1,
+            "--doc",
+            &d2,
+            "--doc",
+            &d3,
+            "--update",
+            &u1,
+            "--update",
+            &u2,
+            "--update",
+            &u3,
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("batch: 3 documents on 2 worker thread(s)"),
+            "{out}"
+        );
+        assert!(out.contains("--- document 1 of 3 ---"), "{out}");
+        assert!(out.contains("--- document 3 of 3 ---"), "{out}");
+        // documents 1 and 3 are the paper instance (cost 14); document 2
+        // is the pure deletion (the hidden group goes with it)
+        assert_eq!(out.matches("propagation cost: 14").count(), 2, "{out}");
+        assert_eq!(out.matches("new source:").count(), 3, "{out}");
+    }
+
+    #[test]
+    fn propagate_batch_mode_reports_errors_per_document() {
+        let dtd = write_tmp("schema9.rules", DTD);
+        let ann = write_tmp("view9.ann", ANN);
+        let good = write_tmp("doc9a.term", DOC);
+        let bad = write_tmp("doc9b.term", "r#50(a#51)"); // invalid source
+        let u = write_tmp("edit9.script", UPDATE);
+        let u2 = write_tmp("edit9b.script", "nop:r#50(nop:a#51)");
+        let out = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &good,
+            "--doc",
+            &bad,
+            "--update",
+            &u,
+            "--update",
+            &u2,
+            "--jobs",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("propagation cost: 14"), "{out}");
+        assert!(out.contains("error: source document invalid"), "{out}");
+    }
+
+    #[test]
+    fn batch_flags_are_validated() {
+        let dtd = write_tmp("schema10.rules", DTD);
+        let ann = write_tmp("view10.ann", ANN);
+        let doc = write_tmp("doc10.term", DOC);
+        let u = write_tmp("edit10.script", UPDATE);
+        // mismatched doc/update counts
+        let err = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--doc",
+            &doc,
+            "--update",
+            &u,
+        ])
+        .unwrap_err();
+        assert!(err.contains("positionally"), "{err}");
+        // --jobs must be a positive integer
+        let err = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--update",
+            &u,
+            "--jobs",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--update",
+            &u,
+            "--jobs",
+            "many",
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid number"), "{err}");
+        // multiple --doc on a single-document command
+        let err = run_args(&["validate", "--dtd", &dtd, "--doc", &doc, "--doc", &doc]).unwrap_err();
+        assert!(err.contains("one --doc"), "{err}");
+        // --jobs on a non-propagate command is an error, not a silent no-op
+        let err = run_args(&["validate", "--dtd", &dtd, "--doc", &doc, "--jobs", "4"]).unwrap_err();
+        assert!(err.contains("--jobs applies to `propagate` only"), "{err}");
+        // --jobs with one --doc is served sequentially, and says so
+        let out = run_args(&[
+            "propagate",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--doc",
+            &doc,
+            "--update",
+            &u,
+            "--jobs",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("note: --jobs 4 has no effect"), "{out}");
+        assert!(out.contains("propagation cost: 14"), "{out}");
     }
 
     #[test]

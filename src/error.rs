@@ -121,6 +121,12 @@ impl From<&str> for XvuError {
     }
 }
 
+impl From<std::num::ParseIntError> for XvuError {
+    fn from(e: std::num::ParseIntError) -> Self {
+        XvuError::Message(format!("invalid number: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +152,8 @@ mod tests {
     fn conversions_and_display() {
         let e: XvuError = "missing --dtd FILE".into();
         assert_eq!(e.to_string(), "missing --dtd FILE");
+        let e: XvuError = "x".parse::<usize>().unwrap_err().into();
+        assert!(e.to_string().starts_with("invalid number:"), "{e}");
         let mut alpha = xvu_tree::Alphabet::new();
         let parse_err = xvu_dtd::parse_dtd(&mut alpha, "r ->").unwrap_err();
         let wrapped: XvuError = parse_err.clone().into();

@@ -85,6 +85,46 @@
 //! ([`prelude::Instance`] + [`prelude::propagate`] +
 //! [`prelude::verify_propagation`]); it shares the engine's core code
 //! paths but re-derives the schema artefacts on every call.
+//!
+//! ## Concurrent serving
+//!
+//! The compiled engine is immutable and `Send + Sync`: share one
+//! `Arc<Engine>` across OS worker threads and serve independent requests
+//! with [`Engine::propagate_batch`], or check out per-document sessions
+//! from a [`prelude::SessionPool`] for the repeated-update path — see
+//! [`propagate::serve`] for the sharing contract and examples.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xml_view_update::prelude::*;
+//!
+//! # fn main() -> Result<(), XvuError> {
+//! let mut alpha = Alphabet::new();
+//! let mut gen = NodeIdGen::new();
+//! let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*")?;
+//! let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b")?;
+//! let t = parse_term_with_ids(
+//!     &mut alpha, &mut gen,
+//!     "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+//! )?;
+//! let s = parse_script(
+//!     &mut alpha,
+//!     "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+//!      ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+//! )?;
+//!
+//! let engine = Arc::new(
+//!     Engine::builder().alphabet(alpha).dtd(dtd).annotation(ann).build()?,
+//! );
+//! // Independent (document, update) requests, four worker threads,
+//! // results in request order:
+//! let requests: Vec<_> = (0..8).map(|_| (t.clone(), s.clone())).collect();
+//! for result in engine.propagate_batch(&requests, 4) {
+//!     assert_eq!(result?.cost, 14);
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -122,7 +162,8 @@ pub mod prelude {
         enumerate_optimal_propagations, find_complement_preserving, invisible_impact, propagate,
         propagate_view_edit, revalidate_output, typing_report, verify_propagation, Config,
         CostModel, Engine, EngineBuilder, Instance, InversionForest, InvisibleImpact,
-        PropagateError, Propagation, PropagationForest, Selector, Session, TypingReport,
+        PropagateError, Propagation, PropagationForest, Selector, Session, SessionLease,
+        SessionPool, TypingReport,
     };
     pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
     pub use xvu_tree::{

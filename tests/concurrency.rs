@@ -1,0 +1,255 @@
+//! Concurrent serving: the `Send + Sync` engine contract, batch
+//! determinism across thread counts, and `SessionPool` isolation.
+//!
+//! The paper's Theorem 6 artefacts are compiled once into an immutable
+//! [`Engine`]; these tests pin down the serving consequences: one
+//! `Arc<Engine>` shared by plain OS threads, `propagate_batch` results
+//! that are byte-identical whatever the worker count, and per-document
+//! commit isolation through the session pool.
+
+use std::sync::Arc;
+use xml_view_update::prelude::*;
+use xml_view_update::workload::scenario::{admit_patient, hospital, hospital_doc, Hospital};
+use xml_view_update::workload::{
+    generate_annotation, generate_doc, generate_dtd, generate_update, DocGenConfig, DtdGenConfig,
+    UpdateGenConfig,
+};
+
+/// The engine (and everything batch workers share or return) crosses
+/// threads — checked by the compiler, exercised nowhere else. This is the
+/// `Arc<Engine>` sharing contract.
+#[test]
+fn engine_and_serving_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineBuilder>();
+    assert_send_sync::<Propagation>();
+    assert_send_sync::<PropagateError>();
+    assert_send_sync::<Session<'static>>();
+    assert_send_sync::<SessionPool<'static, u64>>();
+    assert_send_sync::<SessionPool<'static, String>>();
+}
+
+fn paper_engine() -> (Engine, DocTree, Script) {
+    let mut alpha = Alphabet::new();
+    let mut gen = NodeIdGen::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.(b+c).d)*\nd -> ((a+b).c)*").unwrap();
+    let ann = parse_annotation(&mut alpha, "hide r b\nhide r c\nhide d a\nhide d b").unwrap();
+    let t0 = parse_term_with_ids(
+        &mut alpha,
+        &mut gen,
+        "r#0(a#1, b#2, d#3(a#7, c#8), a#4, c#5, d#6(b#9, c#10))",
+    )
+    .unwrap();
+    let s0 = parse_script(
+        &mut alpha,
+        "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+         ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+    )
+    .unwrap();
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    (engine, t0, s0)
+}
+
+/// One `Arc<Engine>` serves detached (non-scoped) threads — the `'static`
+/// sharing shape a real server uses.
+#[test]
+fn arc_engine_serves_spawned_threads() {
+    let (engine, t0, s0) = paper_engine();
+    let engine = Arc::new(engine);
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let (t, s) = (t0.clone(), s0.clone());
+            std::thread::spawn(move || {
+                let session = engine.open(&t).unwrap();
+                let prop = session.propagate(&s).unwrap();
+                session.verify(&s, &prop.script).unwrap();
+                prop.cost
+            })
+        })
+        .collect();
+    for w in workers {
+        assert_eq!(w.join().unwrap(), 14); // the paper's Fig. 7 optimum
+    }
+}
+
+/// A randomized engine + a batch of `(document, update)` requests over it,
+/// deterministic in `seed`. Several documents of the same schema, one
+/// generated update each.
+fn random_requests(labels: usize, docs: usize, seed: u64) -> (Engine, Vec<(DocTree, Script)>) {
+    let mut alpha = Alphabet::new();
+    let dtd = generate_dtd(
+        &mut alpha,
+        &DtdGenConfig {
+            labels,
+            ..DtdGenConfig::default()
+        },
+        seed,
+    );
+    let ann = generate_annotation(&alpha, 0.3, seed ^ 101, &[]);
+    let root = alpha.get("l0").unwrap();
+    let mut gen = NodeIdGen::new();
+    let mut requests = Vec::new();
+    for i in 0..docs as u64 {
+        let doc = generate_doc(
+            &dtd,
+            alpha.len(),
+            root,
+            &DocGenConfig {
+                max_nodes: 300,
+                max_depth: 6,
+                max_children: 8,
+                stop_bias: 0.05,
+            },
+            seed ^ (202 + i),
+            &mut gen,
+        );
+        let update = generate_update(
+            &dtd,
+            &ann,
+            alpha.len(),
+            &doc,
+            &UpdateGenConfig {
+                ops: 3,
+                ..UpdateGenConfig::default()
+            },
+            seed ^ (303 + i),
+            &mut gen,
+        );
+        requests.push((doc, update));
+    }
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    (engine, requests)
+}
+
+/// The determinism contract: `propagate_batch` across 1 vs N worker
+/// threads yields byte-identical propagations — same cost, same script
+/// tree (identifier-sensitive equality) — on the randomized workload
+/// generators.
+#[test]
+fn batch_results_are_thread_count_invariant() {
+    for seed in [1234u64, 77, 9001] {
+        let (engine, requests) = random_requests(32, 12, seed);
+        let baseline = engine.propagate_batch(&requests, 1);
+        assert!(
+            baseline.iter().filter(|r| r.is_ok()).count() >= requests.len() / 2,
+            "seed {seed}: workload generator produced mostly failing requests"
+        );
+        for jobs in [2usize, 4, 8] {
+            let parallel = engine.propagate_batch(&requests, jobs);
+            assert_eq!(parallel.len(), baseline.len());
+            for (i, (p, b)) in parallel.iter().zip(&baseline).enumerate() {
+                match (p, b) {
+                    (Ok(p), Ok(b)) => {
+                        assert_eq!(p.cost, b.cost, "seed {seed} request {i} jobs {jobs}");
+                        assert_eq!(
+                            p.script, b.script,
+                            "seed {seed} request {i} jobs {jobs}: scripts diverge"
+                        );
+                    }
+                    (Err(p), Err(b)) => {
+                        assert_eq!(p, b, "seed {seed} request {i} jobs {jobs}: errors diverge")
+                    }
+                    _ => panic!(
+                        "seed {seed} request {i} jobs {jobs}: Ok/Err disagreement with 1-thread run"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Hospital (document-heavy) determinism, and every batch propagation is
+/// verifiable against a fresh session of its own document.
+#[test]
+fn hospital_batch_is_deterministic_and_sound() {
+    let Hospital { alpha, dtd, ann } = hospital();
+    let h = Hospital {
+        alpha: alpha.clone(),
+        dtd: dtd.clone(),
+        ann: ann.clone(),
+    };
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, 3, 10, &mut gen);
+    let requests: Vec<(DocTree, Script)> = (0..8)
+        .map(|i| (doc.clone(), admit_patient(&h, &doc, i % 3, &mut gen)))
+        .collect();
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    let baseline = engine.propagate_batch(&requests, 1);
+    let parallel = engine.propagate_batch(&requests, 4);
+    for (i, ((p, b), (rdoc, rupd))) in parallel.iter().zip(&baseline).zip(&requests).enumerate() {
+        let (p, b) = (p.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(p.cost, b.cost, "request {i}");
+        assert_eq!(p.script, b.script, "request {i}");
+        // soundness: an independent session re-verifies the parallel result
+        engine.open(rdoc).unwrap().verify(rupd, &p.script).unwrap();
+    }
+}
+
+/// Session pool: distinct documents commit fully in parallel; the same
+/// document is serialised by its lease, so commits never interleave and
+/// the final state equals a sequential run.
+#[test]
+fn session_pool_isolates_commits_per_document() {
+    let Hospital { alpha, dtd, ann } = hospital();
+    let h = Hospital {
+        alpha: alpha.clone(),
+        dtd: dtd.clone(),
+        ann: ann.clone(),
+    };
+    let mut gen = NodeIdGen::new();
+    let docs: Vec<DocTree> = (0..4).map(|_| hospital_doc(&h, 2, 6, &mut gen)).collect();
+    let engine = Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    let pool: SessionPool<'_, usize> = SessionPool::new(&engine);
+    let rounds = 3;
+    std::thread::scope(|scope| {
+        for worker in 0..8usize {
+            let (pool, h, docs) = (&pool, &h, &docs);
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    // workers collide on document keys on purpose
+                    let key = (worker + round) % docs.len();
+                    let mut lease = pool.checkout(key, &docs[key]).unwrap();
+                    let mut g = lease.id_gen();
+                    let update = admit_patient(h, lease.document(), key % 2, &mut g);
+                    lease.apply(&update).unwrap();
+                }
+            });
+        }
+    });
+    // every admission committed exactly once, 8 workers × 3 rounds total
+    let total: u64 = (0..docs.len())
+        .map(|key| pool.checkout(key, &docs[key]).unwrap().commits())
+        .sum();
+    assert_eq!(total, 8 * rounds as u64);
+    // and each document is still schema-valid with a consistent view
+    for (key, doc) in docs.iter().enumerate() {
+        let lease = pool.checkout(key, doc).unwrap();
+        assert!(engine.dtd().is_valid(lease.document()));
+        assert_eq!(
+            lease.view(),
+            &extract_view(engine.annotation(), lease.document())
+        );
+    }
+}

@@ -304,6 +304,56 @@ proptest! {
         prop_assert_eq!(session.commits(), 4);
     }
 
+    /// Identifier freshness across commit cycles: after any number of
+    /// commits (each potentially minting hidden insertlet material and
+    /// deleting previously inserted nodes), identifiers minted from
+    /// [`Session::id_gen`] never collide with any node of the session
+    /// document — and the generator's frontier never moves backwards, so
+    /// no identifier from the session's whole history is ever recycled.
+    #[test]
+    fn session_id_gen_never_collides_across_commits(seed in 0u64..1000) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 51, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, max_children: 5, ..DocGenConfig::default() },
+            seed ^ 52, &mut gen);
+
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .build()
+            .unwrap();
+        let mut session = engine.open(&doc).unwrap();
+        let mut frontier = session.id_gen().peek();
+
+        for step in 0..6u64 {
+            let mut g = session.id_gen();
+            let update = generate_update(&dtd, &ann, alpha.len(), session.document(),
+                &UpdateGenConfig { ops: 3, ..UpdateGenConfig::default() },
+                seed ^ (2000 + step), &mut g);
+            session.apply(&update).unwrap();
+
+            // the high-water mark is monotone across commits…
+            let peek = session.id_gen().peek();
+            prop_assert!(peek >= frontier,
+                "frontier rewound after commit {}: {} < {}", step + 1, peek, frontier);
+            frontier = peek;
+
+            // …and freshly minted identifiers hit nothing in the document
+            let mut fresh_gen = session.id_gen();
+            for _ in 0..32 {
+                let fresh = fresh_gen.fresh();
+                prop_assert!(!session.document().contains(fresh),
+                    "minted id {} collides after commit {}", fresh, step + 1);
+            }
+        }
+        prop_assert_eq!(session.commits(), 6);
+    }
+
     /// Tree edit distance is a metric on random tree pairs (identity,
     /// symmetry, triangle inequality).
     #[test]
