@@ -1,0 +1,87 @@
+//! Machine-readable propagation benchmark: emits `BENCH_propagate.json`.
+//!
+//! Measures the engine-amortized repeated-update medians for the two
+//! canonical workloads of `benches/repeated_updates.rs` — the
+//! document-heavy hospital batch and the schema-heavy 32-label random
+//! batch — and writes them as JSON so the perf trajectory across PRs is
+//! tracked by a checked-in artifact instead of scraped bench logs.
+//!
+//! ```text
+//! cargo run --release -p xvu_bench --bin bench_propagate [-- OUT_PATH]
+//! ```
+//!
+//! The timed region matches the bench's `engine_amortized` arm exactly:
+//! engine compilation + session open + one propagation per update.
+
+use std::hint::black_box;
+use xvu_bench::{hospital_update_batch, median_time, random_update_batch, OwnedInstance};
+use xvu_edit::Script;
+
+/// Median engine-amortized wall time for one workload, in nanoseconds.
+fn engine_amortized_median_ns(oi: &OwnedInstance, updates: &[Script], runs: usize) -> u128 {
+    median_time(runs, || {
+        let engine = oi.engine();
+        let session = engine.open(&oi.doc).expect("valid document");
+        let mut total = 0u64;
+        for u in updates {
+            total += session.propagate(u).expect("Theorem 5").cost;
+        }
+        black_box(total);
+    })
+    .as_nanos()
+}
+
+struct Row {
+    name: &'static str,
+    updates: usize,
+    doc_nodes: usize,
+    median_ns: u128,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_propagate.json".to_owned());
+    const K: usize = 10;
+    const RUNS: usize = 15;
+
+    let (hospital, hospital_updates) = hospital_update_batch(4, 30, K);
+    let (random32, random32_updates) = random_update_batch(32, 400, 3, K, 1234);
+
+    let rows = [
+        Row {
+            name: "hospital",
+            updates: K,
+            doc_nodes: hospital.doc.size(),
+            median_ns: engine_amortized_median_ns(&hospital, &hospital_updates, RUNS),
+        },
+        Row {
+            name: "random32",
+            updates: K,
+            doc_nodes: random32.doc.size(),
+            median_ns: engine_amortized_median_ns(&random32, &random32_updates, RUNS),
+        },
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"xvu-bench-propagate/1\",\n");
+    json.push_str("  \"timed_region\": \"engine compile + session open + K propagations\",\n");
+    json.push_str(&format!("  \"runs_per_median\": {RUNS},\n"));
+    json.push_str("  \"workloads\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"updates\": {}, \"doc_nodes\": {}, \"median_ns\": {}, \"median_us_per_update\": {:.3} }}{}\n",
+            row.name,
+            row.updates,
+            row.doc_nodes,
+            row.median_ns,
+            row.median_ns as f64 / 1e3 / row.updates as f64,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_propagate.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -16,10 +16,9 @@ use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::selection::Selector;
-use std::collections::HashMap;
 use xvu_dtd::{min_sizes, InsertletPackage};
 use xvu_edit::{del_script, ins_script, nop_script, ELabel, Script};
-use xvu_tree::{NodeId, NodeIdGen, Tree};
+use xvu_tree::{NodeId, NodeIdGen, SlotMap, Tree};
 
 /// Tuning knobs for [`propagate`].
 #[derive(Clone, Debug)]
@@ -89,7 +88,7 @@ pub(crate) fn propagate_with(
         cfg,
         forest.root,
         &mut gen,
-        &mut HashMap::new(),
+        &mut SlotMap::with_capacity(inst.update.size()),
     )?;
     let cost_total = forest.optimal_cost();
     debug_assert_eq!(xvu_edit::cost(&script) as u64, cost_total);
@@ -124,8 +123,9 @@ pub fn propagate_view_edit(
 
 /// Builds the script for preserved node `n` from its chosen optimal path.
 ///
-/// `opt_cache` memoises optimal subgraphs per node (a node's graph is
-/// walked once, but subgraph extraction is reused by enumeration callers).
+/// `opt_cache` memoises optimal subgraphs per update-tree slot (a node's
+/// graph is walked once, but subgraph extraction is reused by enumeration
+/// callers).
 fn assemble(
     inst: &Instance<'_>,
     forest: &PropagationForest,
@@ -133,15 +133,18 @@ fn assemble(
     cfg: &Config,
     n: NodeId,
     gen: &mut NodeIdGen,
-    opt_cache: &mut HashMap<NodeId, PropGraph>,
+    opt_cache: &mut SlotMap<PropGraph>,
 ) -> Result<Script, PropagateError> {
-    let opt = match opt_cache.get(&n) {
+    let nslot = inst.update.slot(n).expect("preserved node in update");
+    let opt = match opt_cache.get(nslot) {
         Some(g) => g.clone(),
         None => {
-            let g = forest.graphs[&n]
+            let g = forest
+                .graph(n)
+                .ok_or(PropagateError::NoPropagationPath(n))?
                 .optimal_subgraph()
                 .ok_or(PropagateError::NoPropagationPath(n))?;
-            opt_cache.insert(n, g.clone());
+            opt_cache.insert(nslot, g.clone());
             g
         }
     };
@@ -163,7 +166,7 @@ pub(crate) fn build_script_from_path(
     graph: &PropGraph,
     path: &[u32],
     gen: &mut NodeIdGen,
-    opt_cache: &mut HashMap<NodeId, PropGraph>,
+    opt_cache: &mut SlotMap<PropGraph>,
 ) -> Result<Script, PropagateError> {
     let x = inst.source.label(n);
     let mut script: Script = Tree::leaf_with_id(n, ELabel::nop(x));
@@ -185,13 +188,10 @@ pub(crate) fn build_script_from_path(
             }
             PropEdge::NopInvisible { child, .. } => nop_script(&inst.source.subtree(*child)),
             PropEdge::InsVisible { child } => {
-                let inv = forest.inversions[child].materialize_min(
-                    inst.dtd,
-                    cost,
-                    cfg.selector,
-                    gen,
-                    cfg.witness_budget,
-                )?;
+                let inv = forest
+                    .inversion(*child)
+                    .expect("built forest has an inversion per Ins child")
+                    .materialize_min(inst.dtd, cost, cfg.selector, gen, cfg.witness_budget)?;
                 ins_script(&inv)
             }
             PropEdge::NopVisible { child, .. } => {

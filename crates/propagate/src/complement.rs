@@ -21,9 +21,8 @@ use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::pathgraph::PathGraph;
-use std::collections::HashMap;
 use xvu_edit::{EditOp, Script};
-use xvu_tree::NodeId;
+use xvu_tree::{NodeId, SlotMap, SlotSet};
 
 /// How a propagation touches the invisible part of the document.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,16 +86,18 @@ pub fn find_complement_preserving(
     cost: &CostModel<'_>,
     cfg: &Config,
 ) -> Result<Option<Script>, PropagateError> {
-    let mut filtered: HashMap<NodeId, PropGraph> = HashMap::new();
+    let update = inst.update;
+    let mut filtered: SlotMap<PropGraph> = SlotMap::with_capacity(update.size());
     // Restrict graphs bottom-up; a node whose restricted graph has no path
-    // poisons its parents' (vi)-edges.
-    let mut feasible: HashMap<NodeId, bool> = HashMap::new();
-    let mut order: Vec<NodeId> = forest.graphs.keys().copied().collect();
-    // process children before parents: sort by depth in the update script
-    order.sort_by_key(|&n| std::cmp::Reverse(inst.update.depth(n)));
+    // poisons its parents' (vi)-edges. Post-order over the update script
+    // visits children before parents, so no sorting is needed.
+    let mut feasible = SlotSet::with_capacity(update.size());
 
-    for n in order {
-        let g = &forest.graphs[&n];
+    for n in update.postorder() {
+        let Some(g) = forest.graph(n) else {
+            continue;
+        };
+        let nslot = update.slot(n).expect("preserved node in update");
         let mut fg: PropGraph = PathGraph::new(
             (0..g.n_vertices() as u32).map(|v| *g.vertex(v)).collect(),
             g.start(),
@@ -110,54 +111,67 @@ pub fn find_complement_preserving(
             let keep = match &e.payload {
                 PropEdge::InsInvisible(_) | PropEdge::DelInvisible { .. } => false,
                 PropEdge::NopInvisible { .. } | PropEdge::DelVisible { .. } => true,
-                PropEdge::InsVisible { child } => forest.inversions[child].min_padding() == 0,
-                PropEdge::NopVisible { child, .. } => *feasible.get(child).unwrap_or(&false),
+                PropEdge::InsVisible { child } => {
+                    forest
+                        .inversion(*child)
+                        .expect("built forest has an inversion per Ins child")
+                        .min_padding()
+                        == 0
+                }
+                PropEdge::NopVisible { child, .. } => {
+                    update.slot(*child).is_some_and(|cs| feasible.contains(cs))
+                }
             };
             if keep {
                 fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
             }
         }
-        feasible.insert(n, fg.best_cost().is_some());
-        filtered.insert(n, fg);
+        if fg.best_cost().is_some() {
+            feasible.insert(nslot);
+        }
+        filtered.insert(nslot, fg);
     }
 
-    if !feasible[&forest.root] {
+    let root_slot = update.slot(forest.root).expect("root in update");
+    if !feasible.contains(root_slot) {
         return Ok(None);
     }
 
     // Walk the filtered graphs (all remaining edges are
     // complement-preserving; pick cheapest paths for determinism).
     let mut gen = inst.id_gen();
-    let script = walk_filtered(inst, forest, &filtered, cost, cfg, forest.root, &mut gen)?;
+    let mut opt_cache = SlotMap::with_capacity(update.size());
+    let script = walk_filtered(
+        inst,
+        forest,
+        &filtered,
+        cost,
+        cfg,
+        forest.root,
+        &mut gen,
+        &mut opt_cache,
+    )?;
     Ok(Some(script))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk_filtered(
     inst: &Instance<'_>,
     forest: &PropagationForest,
-    filtered: &HashMap<NodeId, PropGraph>,
+    filtered: &SlotMap<PropGraph>,
     cost: &CostModel<'_>,
     cfg: &Config,
     n: NodeId,
     gen: &mut xvu_tree::NodeIdGen,
+    opt_cache: &mut SlotMap<PropGraph>,
 ) -> Result<Script, PropagateError> {
-    let g = &filtered[&n];
+    let g = &filtered[inst.update.slot(n).expect("preserved node in update")];
     let path = g
         .shortest_path()
         .ok_or(PropagateError::NoPropagationPath(n))?;
     // Reuse the assembler, but recurse through the *filtered* graphs: we
     // construct child scripts ourselves and splice via a custom walk.
-    let mut script = build_script_from_path(
-        inst,
-        forest,
-        cost,
-        cfg,
-        n,
-        g,
-        &path,
-        gen,
-        &mut HashMap::new(),
-    )?;
+    let mut script = build_script_from_path(inst, forest, cost, cfg, n, g, &path, gen, opt_cache)?;
     // build_script_from_path recursed into the *optimal* child graphs for
     // (vi)-edges, which may use invisible edits. Rebuild those children
     // from the filtered graphs instead.
@@ -169,7 +183,7 @@ fn walk_filtered(
         })
         .collect();
     for child in child_ids {
-        let sub = walk_filtered(inst, forest, filtered, cost, cfg, child, gen)?;
+        let sub = walk_filtered(inst, forest, filtered, cost, cfg, child, gen, opt_cache)?;
         let parent = script.parent(child).expect("child attached under the node");
         let pos = script
             .children(parent)

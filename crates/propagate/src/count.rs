@@ -34,7 +34,7 @@ pub fn count_optimal_propagations(forest: &PropagationForest) -> Option<u128> {
 fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
     // No optimal subgraph ⇔ no start→goal path ⇔ no propagation of this
     // node's fragment — propagate the absence instead of counting it as 0.
-    let opt = forest.graphs.get(&n)?.optimal_subgraph()?;
+    let opt = forest.graph(n)?.optimal_subgraph()?;
     let mut missing_child = false;
     // `count_paths` is `None` only on cyclic graphs, which optimal
     // subgraphs of well-formed forests never are; surface that as `None`
@@ -44,7 +44,7 @@ fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
         // (`InversionForest::build` errors otherwise); a missing entry or
         // a zero count means the fragment has no inverse, not "0 ways".
         PropEdge::InsVisible { child } => {
-            match forest.inversions.get(child).map(|i| i.count_min_inverses()) {
+            match forest.inversion(*child).map(|i| i.count_min_inverses()) {
                 Some(c) if c > 0 => c,
                 _ => {
                     missing_child = true;
@@ -171,14 +171,14 @@ mod tests {
             }],
             0,
         );
-        forest.graphs.insert(root, stub);
+        forest.insert_graph(root, stub);
         assert_eq!(count_optimal_propagations(&forest), None);
         // A dangling child reference (graph deleted out from under a
         // (vi)-edge) is also `None`, not a panic and not 0.
         let forest2 = {
             let mut f = crate::forest::PropagationForest::build(&inst, &cm).unwrap();
-            let child = *f.graphs.keys().find(|&&n| n != f.root).unwrap();
-            f.graphs.remove(&child);
+            let child = f.graphs().map(|(n, _)| n).find(|&n| n != f.root).unwrap();
+            f.remove_graph(child);
             f
         };
         assert_eq!(count_optimal_propagations(&forest2), None);

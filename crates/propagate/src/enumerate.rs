@@ -84,7 +84,9 @@ fn enumerate_node(
     optimal: bool,
     gen: &mut NodeIdGen,
 ) -> Result<Vec<Script>, PropagateError> {
-    let full = &forest.graphs[&n];
+    let full = forest
+        .graph(n)
+        .ok_or(PropagateError::NoPropagationPath(n))?;
     let graph = if optimal {
         full.optimal_subgraph()
             .ok_or(PropagateError::NoPropagationPath(n))?
@@ -159,13 +161,10 @@ fn expand_path(
                 vec![nop_script(&inst.source.subtree(*child))]
             }
             PropEdge::InsVisible { child } => {
-                let inv = forest.inversions[child].materialize_min(
-                    inst.dtd,
-                    cost,
-                    cfg.selector,
-                    gen,
-                    cfg.witness_budget,
-                )?;
+                let inv = forest
+                    .inversion(*child)
+                    .expect("built forest has an inversion per Ins child")
+                    .materialize_min(inst.dtd, cost, cfg.selector, gen, cfg.witness_budget)?;
                 vec![ins_script(&inv)]
             }
             PropEdge::NopVisible { child, .. } => {

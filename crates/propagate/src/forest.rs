@@ -12,21 +12,28 @@ use crate::error::PropagateError;
 use crate::graph::{build_prop_graph, PropGraph};
 use crate::instance::Instance;
 use crate::inversion::InversionForest;
-use std::collections::HashMap;
 use xvu_edit::{output_tree, EditOp};
-use xvu_tree::NodeId;
+use xvu_tree::{NodeId, SlotIndex, SlotMap};
 
 /// All propagation graphs of an instance, plus the auxiliary inversion
 /// forests for inserted fragments.
+///
+/// All per-node tables are dense [`SlotMap`]s keyed by the *update*
+/// tree's arena slots; a snapshot of the update's [`SlotIndex`] keeps the
+/// public identifier-based accessors O(1) after the instance is gone.
 #[derive(Clone, Debug)]
 pub struct PropagationForest {
+    /// Update-tree `NodeId → Slot` snapshot backing the accessors.
+    index: SlotIndex,
+    /// Update-tree `Slot → NodeId` snapshot backing the iterators.
+    ids: Vec<NodeId>,
     /// `G_n` per preserved node `n ∈ N_Δ`.
-    pub graphs: HashMap<NodeId, PropGraph>,
+    graphs: SlotMap<PropGraph>,
     /// Cheapest propagation-path cost per preserved node.
-    pub costs: HashMap<NodeId, u64>,
+    costs: SlotMap<u64>,
     /// Inversion forest per top-level inserted script child (the (iv)-edge
     /// machinery of §3).
-    pub inversions: HashMap<NodeId, InversionForest>,
+    inversions: SlotMap<InversionForest>,
     /// The root of the update (always preserved).
     pub root: NodeId,
 }
@@ -37,17 +44,27 @@ impl PropagationForest {
         inst: &Instance<'_>,
         cost: &CostModel<'_>,
     ) -> Result<PropagationForest, PropagateError> {
-        let mut graphs = HashMap::new();
-        let mut costs: HashMap<NodeId, u64> = HashMap::new();
-        let mut inversions = HashMap::new();
+        let update = inst.update;
+        let mut graphs = SlotMap::with_capacity(update.size());
+        let mut costs: SlotMap<u64> = SlotMap::with_capacity(update.size());
+        let mut inversions = SlotMap::with_capacity(update.size());
+        // Accumulated across nodes: every inserting child has exactly one
+        // parent, so entries never collide and one table serves all
+        // `build_prop_graph` calls.
+        let mut inverse_sizes: SlotMap<u64> = SlotMap::with_capacity(update.size());
 
-        for n in post_order_nop(inst) {
+        // `N_Δ` in post-order (children before parents), so every
+        // (vi)-edge weight is memoised before its parent's graph.
+        for n in update.postorder() {
+            if update.label(n).op != EditOp::Nop {
+                continue;
+            }
+            let nslot = update.slot(n).expect("preserved node in update");
             // Inversion forests for the inserting children of n.
-            let mut inverse_sizes: HashMap<NodeId, u64> = HashMap::new();
-            for &c in inst.update.children(n) {
-                if inst.update.label(c).op == EditOp::Ins {
-                    let fragment = output_tree(&inst.update.subtree(c))
-                        .expect("an Ins subtree has a full output");
+            for &c in update.children(n) {
+                if update.label(c).op == EditOp::Ins {
+                    let fragment =
+                        output_tree(&update.subtree(c)).expect("an Ins subtree has a full output");
                     let forest = InversionForest::build(inst.dtd, inst.ann, &fragment, cost)
                         .map_err(|e| match e {
                             // An impossible inversion of user-inserted
@@ -60,29 +77,86 @@ impl PropagationForest {
                             }
                             other => other,
                         })?;
-                    inverse_sizes.insert(c, forest.min_inverse_size());
-                    inversions.insert(c, forest);
+                    let cslot = update.slot(c).expect("script child in update");
+                    inverse_sizes.insert(cslot, forest.min_inverse_size());
+                    inversions.insert(cslot, forest);
                 }
             }
 
             let g = build_prop_graph(inst, n, cost, &costs, &inverse_sizes)?;
             let best = g.best_cost().ok_or(PropagateError::NoPropagationPath(n))?;
-            costs.insert(n, best);
-            graphs.insert(n, g);
+            costs.insert(nslot, best);
+            graphs.insert(nslot, g);
         }
 
         Ok(PropagationForest {
+            index: update.slot_index().clone(),
+            ids: update.slots().map(|s| update.id_at(s)).collect(),
             graphs,
             costs,
             inversions,
-            root: inst.update.root(),
+            root: update.root(),
         })
+    }
+
+    /// The propagation graph `G_n` of preserved node `n`, if `n ∈ N_Δ`.
+    pub fn graph(&self, n: NodeId) -> Option<&PropGraph> {
+        self.index.slot(n).and_then(|s| self.graphs.get(s))
+    }
+
+    /// The cheapest propagation-path cost of preserved node `n`.
+    pub fn cost(&self, n: NodeId) -> Option<u64> {
+        self.index.slot(n).and_then(|s| self.costs.get(s)).copied()
+    }
+
+    /// The inversion forest of inserting script child `n`.
+    pub fn inversion(&self, n: NodeId) -> Option<&InversionForest> {
+        self.index.slot(n).and_then(|s| self.inversions.get(s))
+    }
+
+    /// Iterates over `(n, G_n)` for every preserved node, in update-arena
+    /// order.
+    pub fn graphs(&self) -> impl Iterator<Item = (NodeId, &PropGraph)> {
+        self.graphs.iter().map(|(s, g)| (self.ids[s.index()], g))
+    }
+
+    /// Iterates over the inversion forests of all inserting script
+    /// children, in update-arena order.
+    pub fn inversions(&self) -> impl Iterator<Item = (NodeId, &InversionForest)> {
+        self.inversions
+            .iter()
+            .map(|(s, f)| (self.ids[s.index()], f))
+    }
+
+    /// Number of preserved nodes (`|N_Δ|` — one graph each).
+    pub fn preserved_len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Number of inserting script children with an inversion forest.
+    pub fn inversion_len(&self) -> usize {
+        self.inversions.len()
+    }
+
+    /// Replaces (or adds) the graph of `n`. Test support: lets corruption
+    /// scenarios (goal-less graphs, dangling children) be injected.
+    #[cfg(test)]
+    pub(crate) fn insert_graph(&mut self, n: NodeId, g: PropGraph) {
+        let s = self.index.slot(n).expect("node in update tree");
+        self.graphs.insert(s, g);
+    }
+
+    /// Removes the graph of `n`. Test support, like
+    /// [`PropagationForest::insert_graph`].
+    #[cfg(test)]
+    pub(crate) fn remove_graph(&mut self, n: NodeId) -> Option<PropGraph> {
+        self.graphs.remove(self.index.slot(n)?)
     }
 
     /// The cost of the cheapest schema-compliant side-effect-free
     /// propagation (Theorem 4's optimum).
     pub fn optimal_cost(&self) -> u64 {
-        self.costs[&self.root]
+        self.cost(self.root).expect("root is always preserved")
     }
 
     /// Total vertex/edge census across all graphs (diagnostics and the
@@ -92,14 +166,6 @@ impl PropagationForest {
         let e = self.graphs.values().map(|g| g.n_edges()).sum();
         (v, e)
     }
-}
-
-/// `N_Δ` in post-order (children before parents).
-fn post_order_nop(inst: &Instance<'_>) -> Vec<NodeId> {
-    inst.update
-        .postorder()
-        .filter(|&n| inst.update.label(n).op == EditOp::Nop)
-        .collect()
 }
 
 #[cfg(test)]
@@ -123,8 +189,8 @@ mod tests {
         // Generous sanity bound: |V| ≤ (k+1)(ℓ+1)|Q| summed over N_Δ.
         assert!(v > 0 && v < 1000, "vertices: {v}");
         assert!(e > 0 && e < 5000, "edges: {e}");
-        assert_eq!(forest.graphs.len(), 4); // N_Δ = {n0, n4, n6, n10}
-        assert_eq!(forest.inversions.len(), 3); // d#11, a#12, and c#15
+        assert_eq!(forest.preserved_len(), 4); // N_Δ = {n0, n4, n6, n10}
+        assert_eq!(forest.inversion_len(), 3); // d#11, a#12, and c#15
         assert_eq!(forest.optimal_cost(), 14);
     }
 
@@ -140,14 +206,9 @@ mod tests {
         };
         let forest = PropagationForest::build(&inst, &cm).unwrap();
         // d#11(c13, c14): minimal inverse d(x,c,x,c) → 5 nodes.
-        assert_eq!(
-            forest.inversions[&xvu_tree::NodeId(11)].min_inverse_size(),
-            5
-        );
+        let inv = |n: u64| forest.inversion(xvu_tree::NodeId(n)).unwrap();
+        assert_eq!(inv(11).min_inverse_size(), 5);
         // a#12: a leaf, inverse is itself → 1 node.
-        assert_eq!(
-            forest.inversions[&xvu_tree::NodeId(12)].min_inverse_size(),
-            1
-        );
+        assert_eq!(inv(12).min_inverse_size(), 1);
     }
 }

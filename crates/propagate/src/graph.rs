@@ -27,10 +27,9 @@ use crate::instance::Instance;
 use crate::pathgraph::PathGraph;
 use crate::segments::Segmentation;
 use crate::selection::{Classify, EdgeClass};
-use std::collections::HashMap;
 use xvu_automata::{Nfa, StateId};
 use xvu_edit::EditOp;
-use xvu_tree::{NodeId, Sym};
+use xvu_tree::{NodeId, SlotMap, Sym};
 
 /// A vertex `(m_i, q, m'_j)` of a propagation graph.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -109,36 +108,45 @@ pub type PropGraph = PathGraph<PropVertex, PropEdge>;
 ///
 /// `child_costs` maps already-processed preserved children to their
 /// cheapest propagation cost ((vi)-weights); `inverse_sizes` maps inserting
-/// script children to their minimal inverse size ((iv)-weights).
+/// script children to their minimal inverse size ((iv)-weights). Both are
+/// dense tables keyed by the *update* tree's slots.
 pub fn build_prop_graph(
     inst: &Instance<'_>,
     n: NodeId,
     cost: &CostModel<'_>,
-    child_costs: &HashMap<NodeId, u64>,
-    inverse_sizes: &HashMap<NodeId, u64>,
+    child_costs: &SlotMap<u64>,
+    inverse_sizes: &SlotMap<u64>,
 ) -> Result<PropGraph, PropagateError> {
     let x = inst.source.label(n);
     let model = inst.dtd.content_model(x);
     let nq = model.num_states() as u32;
+    let update_slot = |id: NodeId| inst.update.slot(id).expect("script child in update tree");
 
-    let seg = Segmentation::new(
-        inst.source.children(n).to_vec(),
-        inst.update.children(n).to_vec(),
-    )?;
+    let seg = Segmentation::new(inst.source.children(n), inst.update.children(n))?;
     let (k, l) = (seg.k(), seg.l());
 
     // Original run states for typing (deterministic models only).
-    let orig_states = deterministic_run(model, &seg.t_children, inst);
+    let orig_states = deterministic_run(model, seg.t_children, inst);
 
-    // Vertex interning: base index per aligned (i, j) pair. Pairs are
-    // enumerated per segment (never the full grid), in a deterministic
-    // order — edge insertion order is the final tie-break of every
-    // selector, so it must not depend on hash-map iteration.
+    // Vertex interning. Pairs are enumerated per segment (never the full
+    // grid), in a deterministic order — edge insertion order is the final
+    // tie-break of every selector, so it must not depend on hash-map
+    // iteration. Within a segment the aligned `j`s of a fixed row `i` are
+    // one contiguous range and rows are emitted contiguously, so a base
+    // offset and first-`j` per row make `vid` pure arithmetic — every
+    // edge-target below is an aligned pair, by construction of the six
+    // edge kinds.
     let aligned = seg.aligned_pairs();
-    let mut base: HashMap<(u32, u32), u32> = HashMap::with_capacity(aligned.len());
     let mut vertices: Vec<PropVertex> = Vec::with_capacity(aligned.len() * nq as usize);
+    let mut row_base = vec![0u32; k + 1];
+    let mut row_j0 = vec![0u32; k + 1];
+    let mut row_seen = vec![false; k + 1];
     for &(i, j) in &aligned {
-        base.insert((i, j), vertices.len() as u32);
+        if !row_seen[i as usize] {
+            row_seen[i as usize] = true;
+            row_base[i as usize] = vertices.len() as u32;
+            row_j0[i as usize] = j;
+        }
         for q in 0..nq {
             vertices.push(PropVertex {
                 tpos: i,
@@ -147,7 +155,10 @@ pub fn build_prop_graph(
             });
         }
     }
-    let vid = |i: u32, q: StateId, j: u32| base[&(i, j)] + q.0;
+    let vid = |i: u32, q: StateId, j: u32| {
+        debug_assert!(seg.aligned(i as usize, j as usize));
+        row_base[i as usize] + (j - row_j0[i as usize]) * nq + q.0
+    };
 
     let mut g: PropGraph = PathGraph::new(vertices, vid(0, model.start(), 0));
 
@@ -202,7 +213,7 @@ pub fn build_prop_graph(
                 debug_assert_eq!(el.op, EditOp::Ins, "non-common script child must insert");
                 let y = el.label;
                 if inst.ann.is_visible(x, y) {
-                    let w = inverse_sizes[&child];
+                    let w = inverse_sizes[update_slot(child)];
                     for &(s, q2) in model.transitions_from(q) {
                         if s == y {
                             g.add_edge(v, vid(i, q2, j + 1), w, PropEdge::InsVisible { child });
@@ -234,7 +245,7 @@ pub fn build_prop_graph(
                     EditOp::Nop => {
                         // (vi) visible nop — recurse.
                         let y = el.label;
-                        let w = child_costs[&tchild];
+                        let w = child_costs[update_slot(tchild)];
                         for &(s, q2) in model.transitions_from(q) {
                             if s == y {
                                 let preserves_type =
@@ -316,34 +327,34 @@ mod tests {
         // states, so vertex counts are representation-dependent. Invariant:
         // cheapest cost and the optimal operations.
         let (_, forest) = paper_forest();
-        let g = &forest.graphs[&NodeId(6)];
+        let g = forest.graph(NodeId(6)).unwrap();
         assert!(g.n_vertices() > 0);
         // Cheapest: Nop(b9) Nop(c10) Ins(c15-inverse of size 2: c plus one
         // hidden a/b sibling)... — inverse of c#15 under d: fragment "c"
         // needs one invisible (a+b) sibling → inverse size 2.
-        assert_eq!(forest.costs[&NodeId(6)], 2);
+        assert_eq!(forest.cost(NodeId(6)), Some(2));
     }
 
     #[test]
     fn fig10_root_graph_cost() {
         // The paper's optimal propagation (Fig. 7) has cost 14.
         let (_, forest) = paper_forest();
-        assert_eq!(forest.costs[&NodeId(0)], 14);
+        assert_eq!(forest.cost(NodeId(0)), Some(14));
     }
 
     #[test]
     fn leaf_preserved_nodes_have_trivial_graphs() {
         // n4 (label a) has no children on either side.
         let (_, forest) = paper_forest();
-        let g = &forest.graphs[&NodeId(4)];
-        assert_eq!(forest.costs[&NodeId(4)], 0);
+        let g = forest.graph(NodeId(4)).unwrap();
+        assert_eq!(forest.cost(NodeId(4)), Some(0));
         assert_eq!(g.best_cost(), Some(0));
     }
 
     #[test]
     fn optimal_subgraphs_are_acyclic() {
         let (_, forest) = paper_forest();
-        for (n, g) in &forest.graphs {
+        for (n, g) in forest.graphs() {
             let opt = g.optimal_subgraph().unwrap_or_else(|| {
                 panic!("node {n} has no propagation path");
             });
@@ -356,7 +367,7 @@ mod tests {
         // D0 has no pumpable invisible letters ((b+c) occurs exactly once
         // per group), so even the *full* graphs happen to be acyclic here.
         let (_, forest) = paper_forest();
-        assert!(forest.graphs[&NodeId(0)].is_acyclic());
+        assert!(forest.graph(NodeId(0)).unwrap().is_acyclic());
     }
 
     #[test]
@@ -383,7 +394,7 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = PropagationForest::build(&inst, &cm).unwrap();
-        let g = &forest.graphs[&NodeId(0)];
+        let g = forest.graph(NodeId(0)).unwrap();
         assert!(!g.is_acyclic(), "Ins(b) pumping must create cycles");
         let opt = g.optimal_subgraph().unwrap();
         assert!(opt.is_acyclic());
@@ -394,7 +405,7 @@ mod tests {
     #[test]
     fn type_preservation_marks_exist() {
         let (_, forest) = paper_forest();
-        let g = &forest.graphs[&NodeId(0)];
+        let g = forest.graph(NodeId(0)).unwrap();
         let mut preserved = 0;
         let mut nop_edges = 0;
         for (_, e) in g.edges() {

@@ -35,27 +35,31 @@ pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateErro
     validate_script(script).map_err(PropagateError::Edit)?;
     let out = output_tree(script)
         .ok_or_else(|| PropagateError::NotAPropagation("script output is empty".to_owned()))?;
-    let mut stack = vec![script.root()];
-    while let Some(n) = stack.pop() {
-        let op = script.label(n).op;
-        if op == EditOp::Del {
+    // Slot-chasing walk: each script node is resolved once at push time,
+    // every read below is direct arena indexing.
+    let resolve = |id| script.slot(id).expect("script child in script");
+    let mut stack = vec![resolve(script.root())];
+    while let Some(s) = stack.pop() {
+        let node = script.node_at(s);
+        if node.label.op == EditOp::Del {
             // the whole subtree is absent from the output — nothing below
             // it can (or may) be checked
             continue;
         }
-        let must_check = op == EditOp::Ins
-            || script
-                .children(n)
+        let must_check = node.label.op == EditOp::Ins
+            || node
+                .children
                 .iter()
                 .any(|&c| script.label(c).op != EditOp::Nop);
-        if must_check && !dtd.node_is_valid(&out, n) {
+        if must_check && !dtd.node_is_valid(&out, node.id) {
             return Err(PropagateError::NotAPropagation(format!(
-                "incremental validation failed at node {n}"
+                "incremental validation failed at node {}",
+                node.id
             )));
         }
         // push children reversed so the stack pops them in document order
         // and the *first* offending node is the one reported
-        stack.extend(script.children(n).iter().rev().copied());
+        stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
     }
     Ok(())
 }
@@ -64,22 +68,23 @@ pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateErro
 /// diagnostics of the incremental saving. Deleted subtrees contribute
 /// nothing, whatever their contents.
 pub fn revalidation_workload(script: &Script) -> usize {
-    let mut stack = vec![script.root()];
+    let resolve = |id| script.slot(id).expect("script child in script");
+    let mut stack = vec![resolve(script.root())];
     let mut checked = 0usize;
-    while let Some(n) = stack.pop() {
-        let op = script.label(n).op;
-        if op == EditOp::Del {
+    while let Some(s) = stack.pop() {
+        let node = script.node_at(s);
+        if node.label.op == EditOp::Del {
             continue;
         }
-        if op == EditOp::Ins
-            || script
-                .children(n)
+        if node.label.op == EditOp::Ins
+            || node
+                .children
                 .iter()
                 .any(|&c| script.label(c).op != EditOp::Nop)
         {
             checked += 1;
         }
-        stack.extend(script.children(n).iter().rev().copied());
+        stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
     }
     checked
 }

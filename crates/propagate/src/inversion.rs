@@ -24,10 +24,9 @@ use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::pathgraph::PathGraph;
 use crate::selection::{Classify, EdgeClass, Selector};
-use std::collections::HashMap;
 use xvu_automata::StateId;
 use xvu_dtd::Dtd;
-use xvu_tree::{DocTree, NodeId, NodeIdGen, Sym, Tree};
+use xvu_tree::{DocTree, NodeId, NodeIdGen, Slot, SlotMap, Sym, Tree};
 use xvu_view::Annotation;
 
 /// A vertex of an inversion graph: a position among the visible children
@@ -78,15 +77,19 @@ pub type InvGraph = PathGraph<InvVertex, InvEdge>;
 
 /// The collection `H(D, A, t')`: one inversion graph per node of the view
 /// fragment, with memoised cheapest inversion costs.
+///
+/// Graphs and costs are dense tables keyed by the fragment's arena slots;
+/// the owned fragment resolves identifiers, so the forest needs no
+/// hash-keyed state at all.
 #[derive(Clone, Debug)]
 pub struct InversionForest {
     /// The view fragment being inverted (owned copy).
     pub fragment: DocTree,
-    /// Per-node inversion graphs.
-    pub graphs: HashMap<NodeId, InvGraph>,
+    /// Per-node inversion graphs, keyed by fragment slot.
+    graphs: SlotMap<InvGraph>,
     /// Per-node cheapest inversion-path cost (invisible nodes added within
-    /// that node's subtree).
-    pub costs: HashMap<NodeId, u64>,
+    /// that node's subtree), keyed by fragment slot.
+    costs: SlotMap<u64>,
 }
 
 impl InversionForest {
@@ -99,15 +102,16 @@ impl InversionForest {
         fragment: &DocTree,
         cost: &CostModel<'_>,
     ) -> Result<InversionForest, PropagateError> {
-        let mut graphs = HashMap::new();
-        let mut costs = HashMap::new();
+        let mut graphs = SlotMap::with_capacity(fragment.size());
+        let mut costs = SlotMap::with_capacity(fragment.size());
         for n in fragment.postorder() {
+            let slot = fragment.slot(n).expect("traversed node in fragment");
             let g = build_graph(dtd, ann, fragment, n, cost, &costs);
             let best = g
                 .best_cost()
                 .ok_or(PropagateError::InversionImpossible(n))?;
-            costs.insert(n, best);
-            graphs.insert(n, g);
+            costs.insert(slot, best);
+            graphs.insert(slot, g);
         }
         Ok(InversionForest {
             fragment: fragment.clone(),
@@ -116,15 +120,34 @@ impl InversionForest {
         })
     }
 
+    fn slot_of(&self, n: NodeId) -> Slot {
+        self.fragment.slot(n).expect("node in fragment")
+    }
+
+    /// The inversion graph `H_n` of fragment node `n`.
+    pub fn graph(&self, n: NodeId) -> Option<&InvGraph> {
+        self.graphs.get(self.fragment.slot(n)?)
+    }
+
+    /// The cheapest inversion-path cost of fragment node `n`.
+    pub fn cost(&self, n: NodeId) -> Option<u64> {
+        self.costs.get(self.fragment.slot(n)?).copied()
+    }
+
+    /// Iterates over `(n, H_n)` for every fragment node, in arena order.
+    pub fn graphs(&self) -> impl Iterator<Item = (NodeId, &InvGraph)> {
+        self.graphs.iter().map(|(s, g)| (self.fragment.id_at(s), g))
+    }
+
     /// The size of a minimal inverse: every fragment node plus the
     /// cheapest invisible padding.
     pub fn min_inverse_size(&self) -> u64 {
-        (self.fragment.size() as u64).saturating_add(self.costs[&self.fragment.root()])
+        (self.fragment.size() as u64).saturating_add(self.min_padding())
     }
 
     /// The minimal number of invisible nodes any inverse must add.
     pub fn min_padding(&self) -> u64 {
-        self.costs[&self.fragment.root()]
+        self.costs[self.slot_of(self.fragment.root())]
     }
 
     /// Materialises a size-minimal inverse: walks the optimal subgraph of
@@ -158,7 +181,7 @@ impl InversionForest {
         gen: &mut NodeIdGen,
         witness_budget: u64,
     ) -> Result<DocTree, PropagateError> {
-        let g = &self.graphs[&n];
+        let g = &self.graphs[self.slot_of(n)];
         let opt = g
             .optimal_subgraph()
             .ok_or(PropagateError::InversionImpossible(n))?;
@@ -238,7 +261,7 @@ impl InversionForest {
         cap: usize,
         max_len: usize,
     ) -> Result<Vec<DocTree>, PropagateError> {
-        let g = &self.graphs[&n];
+        let g = &self.graphs[self.slot_of(n)];
         let paths = g.enumerate_paths(cap, max_len);
         let mut out = Vec::new();
         for path in paths {
@@ -307,7 +330,7 @@ impl InversionForest {
     }
 
     fn count_node(&self, n: NodeId) -> u128 {
-        let g = &self.graphs[&n];
+        let g = &self.graphs[self.slot_of(n)];
         let Some(opt) = g.optimal_subgraph() else {
             return 0;
         };
@@ -320,13 +343,14 @@ impl InversionForest {
 }
 
 /// Builds the inversion graph `H_n` for one node of the fragment.
+/// `child_costs` is keyed by fragment slot.
 fn build_graph(
     dtd: &Dtd,
     ann: &Annotation,
     fragment: &DocTree,
     n: NodeId,
     cost: &CostModel<'_>,
-    child_costs: &HashMap<NodeId, u64>,
+    child_costs: &SlotMap<u64>,
 ) -> InvGraph {
     let x = fragment.label(n);
     let model = dtd.content_model(x);
@@ -358,12 +382,13 @@ fn build_graph(
                 let child = children[pos as usize];
                 let y = fragment.label(child);
                 if ann.is_visible(x, y) {
+                    let cslot = fragment.slot(child).expect("child in fragment");
                     for &(s, q2) in model.transitions_from(q) {
                         if s == y {
                             g.add_edge(
                                 vid(pos, q),
                                 vid(pos + 1, q2),
-                                child_costs[&child],
+                                child_costs[cslot],
                                 InvEdge::Rec {
                                     index: pos + 1,
                                     child,
@@ -407,7 +432,7 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
-        let g = &forest.graphs[&frag.root()];
+        let g = forest.graph(frag.root()).unwrap();
         // D0(d) = ((a+b)·c)* has 3 Glushkov states {p0, pa/pb merged? no:
         // positions a, b, c → 4 states}; the paper's hand-drawn automaton
         // uses 2 states. Structure is automaton-representation dependent;
@@ -416,7 +441,7 @@ mod tests {
         assert_eq!(g.n_vertices() % 3, 0, "vertices = 3 positions × |Q|");
         // Fig. 6 path: Ins(a) Rec(1) Ins(b) Rec(2) has cost 2 (two
         // invisible singleton inserts) — the minimum.
-        assert_eq!(forest.costs[&frag.root()], 2);
+        assert_eq!(forest.cost(frag.root()), Some(2));
         assert_eq!(forest.min_inverse_size(), 3 + 2);
     }
 
@@ -577,7 +602,7 @@ mod tests {
             insertlets: &pkg,
         };
         let forest = InversionForest::build(&fx.dtd, &fx.ann, &frag, &cm).unwrap();
-        for g in forest.graphs.values() {
+        for (_, g) in forest.graphs() {
             let opt = g.optimal_subgraph().unwrap();
             assert!(opt.is_acyclic());
         }

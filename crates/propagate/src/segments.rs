@@ -12,17 +12,19 @@
 //! This module computes the decomposition and its alignment invariants.
 
 use crate::error::PropagateError;
-use std::collections::HashSet;
 use xvu_tree::NodeId;
 
 /// The aligned segment decomposition of one preserved node's child
 /// sequences.
+///
+/// Child sequences are borrowed from the trees' arenas — building a
+/// segmentation copies nothing per child.
 #[derive(Clone, Debug)]
-pub struct Segmentation {
+pub struct Segmentation<'a> {
     /// Children of `n` in the source `t`.
-    pub t_children: Vec<NodeId>,
+    pub t_children: &'a [NodeId],
     /// Children of `n` in the script `S`.
-    pub s_children: Vec<NodeId>,
+    pub s_children: &'a [NodeId],
     /// `t_anchor[i]` for `i ∈ 0..=k`: the number of common nodes among
     /// `m_1 … m_i` — i.e. which segment position `i` belongs to.
     pub t_anchor: Vec<u32>,
@@ -36,19 +38,31 @@ pub struct Segmentation {
     pub common: Vec<NodeId>,
 }
 
-impl Segmentation {
+impl<'a> Segmentation<'a> {
     /// Computes the decomposition, verifying the alignment invariant: the
     /// common nodes appear in the same order on both sides (guaranteed
     /// when `In(S) = A(t)`, diagnosed otherwise).
+    ///
+    /// Membership of a child in the *other* side's sequence is tested
+    /// against a sorted copy (binary search) — no hashing; the sequences
+    /// are sibling lists, not whole trees.
     pub fn new(
-        t_children: Vec<NodeId>,
-        s_children: Vec<NodeId>,
-    ) -> Result<Segmentation, PropagateError> {
-        let t_set: HashSet<NodeId> = t_children.iter().copied().collect();
-        let s_set: HashSet<NodeId> = s_children.iter().copied().collect();
+        t_children: &'a [NodeId],
+        s_children: &'a [NodeId],
+    ) -> Result<Segmentation<'a>, PropagateError> {
+        let mut t_sorted: Vec<NodeId> = t_children.to_vec();
+        t_sorted.sort_unstable();
+        let mut s_sorted: Vec<NodeId> = s_children.to_vec();
+        s_sorted.sort_unstable();
 
-        let t_common: Vec<bool> = t_children.iter().map(|c| s_set.contains(c)).collect();
-        let s_common: Vec<bool> = s_children.iter().map(|c| t_set.contains(c)).collect();
+        let t_common: Vec<bool> = t_children
+            .iter()
+            .map(|c| s_sorted.binary_search(c).is_ok())
+            .collect();
+        let s_common: Vec<bool> = s_children
+            .iter()
+            .map(|c| t_sorted.binary_search(c).is_ok())
+            .collect();
 
         let common_t: Vec<NodeId> = t_children
             .iter()
@@ -155,7 +169,8 @@ mod tests {
     fn paper_root_segmentation() {
         // n0 in t0: children 1 2 3 4 5 6; in S0: 1 3 4 11 12 6.
         // Common: 1, 3, 4, 6.
-        let seg = Segmentation::new(ids(&[1, 2, 3, 4, 5, 6]), ids(&[1, 3, 4, 11, 12, 6])).unwrap();
+        let (t, u) = (ids(&[1, 2, 3, 4, 5, 6]), ids(&[1, 3, 4, 11, 12, 6]));
+        let seg = Segmentation::new(&t, &u).unwrap();
         assert_eq!(seg.common, ids(&[1, 3, 4, 6]));
         assert_eq!(seg.t_anchor, vec![0, 1, 1, 2, 3, 3, 4]);
         assert_eq!(seg.s_anchor, vec![0, 1, 2, 3, 3, 3, 4]);
@@ -169,13 +184,14 @@ mod tests {
 
     #[test]
     fn misordered_common_nodes_are_rejected() {
-        let err = Segmentation::new(ids(&[1, 2]), ids(&[2, 1])).unwrap_err();
+        let err = Segmentation::new(&ids(&[1, 2]), &ids(&[2, 1])).unwrap_err();
         assert!(matches!(err, PropagateError::InvalidInstance(_)));
     }
 
     #[test]
     fn no_common_nodes_single_segment() {
-        let seg = Segmentation::new(ids(&[1, 2]), ids(&[10, 11, 12])).unwrap();
+        let (t, u) = (ids(&[1, 2]), ids(&[10, 11, 12]));
+        let seg = Segmentation::new(&t, &u).unwrap();
         assert!(seg.common.is_empty());
         assert_eq!(seg.t_anchor, vec![0, 0, 0]);
         assert_eq!(seg.s_anchor, vec![0, 0, 0, 0]);
@@ -188,7 +204,7 @@ mod tests {
 
     #[test]
     fn empty_sequences() {
-        let seg = Segmentation::new(vec![], vec![]).unwrap();
+        let seg = Segmentation::new(&[], &[]).unwrap();
         assert_eq!(seg.k(), 0);
         assert_eq!(seg.l(), 0);
         assert!(seg.aligned(0, 0));
@@ -196,7 +212,8 @@ mod tests {
 
     #[test]
     fn all_common_identity() {
-        let seg = Segmentation::new(ids(&[1, 2, 3]), ids(&[1, 2, 3])).unwrap();
+        let (t, u) = (ids(&[1, 2, 3]), ids(&[1, 2, 3]));
+        let seg = Segmentation::new(&t, &u).unwrap();
         assert_eq!(seg.common.len(), 3);
         assert!(seg.aligned(2, 2));
         assert!(!seg.aligned(2, 1));

@@ -17,11 +17,10 @@
 //! NFA-state-level heuristic); the report is the ground-truth measurement
 //! of what it achieved.
 
-use std::collections::HashMap;
 use xvu_automata::Dfa;
 use xvu_dtd::Dtd;
 use xvu_edit::{input_tree, output_tree, Script};
-use xvu_tree::{DocTree, NodeId, Sym};
+use xvu_tree::{DocTree, SlotMap};
 
 /// Result of comparing node types between a script's input and output.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,41 +44,46 @@ pub fn typing_report(dtd: &Dtd, alphabet_len: usize, script: &Script) -> TypingR
     let (Some(input), Some(output)) = (input_tree(script), output_tree(script)) else {
         return TypingReport::default();
     };
-    let mut dfas: HashMap<Sym, Dfa> = HashMap::new();
+    // Minimised-DFA cache, indexed densely by symbol.
+    let mut dfas: Vec<Option<Dfa>> = Vec::new();
+    dfas.resize_with(alphabet_len, || None);
     let tin = type_map(dtd, alphabet_len, &input, &mut dfas);
     let tout = type_map(dtd, alphabet_len, &output, &mut dfas);
     let mut report = TypingReport::default();
-    for (n, state_in) in &tin {
-        if let Some(state_out) = tout.get(n) {
-            if state_in == state_out {
-                report.preserved += 1;
-            } else {
-                report.changed += 1;
-            }
+    // The two maps are keyed by each tree's own slots; persistent
+    // identifiers carry the correspondence between them.
+    for (slot_in, &state_in) in tin.iter() {
+        let id = input.id_at(slot_in);
+        let Some(slot_out) = output.slot(id) else {
+            continue;
+        };
+        let Some(&state_out) = tout.get(slot_out) else {
+            continue;
+        };
+        if state_in == state_out {
+            report.preserved += 1;
+        } else {
+            report.changed += 1;
         }
     }
     report
 }
 
 /// Types every non-root node of `t` by the canonical (minimised-DFA)
-/// content-model state reached before it in its parent's run. Nodes whose
-/// run dies (invalid trees) are left untyped.
-fn type_map(
-    dtd: &Dtd,
-    alphabet_len: usize,
-    t: &DocTree,
-    dfas: &mut HashMap<Sym, Dfa>,
-) -> HashMap<NodeId, u32> {
-    let mut map = HashMap::new();
+/// content-model state reached before it in its parent's run, keyed by
+/// the node's slot in `t`. Nodes whose run dies (invalid trees) are left
+/// untyped.
+fn type_map(dtd: &Dtd, alphabet_len: usize, t: &DocTree, dfas: &mut [Option<Dfa>]) -> SlotMap<u32> {
+    let mut map = SlotMap::with_capacity(t.size());
     for p in t.preorder() {
         let label = t.label(p);
-        let dfa = dfas
-            .entry(label)
-            .or_insert_with(|| Dfa::determinize(dtd.content_model(label), alphabet_len).minimize());
+        let dfa = dfas[label.index()].get_or_insert_with(|| {
+            Dfa::determinize(dtd.content_model(label), alphabet_len).minimize()
+        });
         let mut q = Some(dfa.start());
         for &c in t.children(p) {
             let Some(state) = q else { break };
-            map.insert(c, state.0);
+            map.insert(t.slot(c).expect("child in tree"), state.0);
             q = dfa.step(state, t.label(c));
         }
     }

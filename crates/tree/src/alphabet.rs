@@ -27,9 +27,25 @@ impl Sym {
 
     /// Builds a symbol from a raw index. The caller is responsible for the
     /// index being valid for the intended alphabet.
+    ///
+    /// This is the infallible fast path for hot loops iterating a known
+    /// `0..alphabet_len` range: out-of-range indices are caught by a debug
+    /// assertion only. Use [`Sym::try_from_index`] whenever the index is
+    /// not trivially bounded (parsed input, external tables).
     #[inline]
     pub fn from_index(ix: usize) -> Sym {
-        Sym(u32::try_from(ix).expect("alphabet larger than u32::MAX"))
+        debug_assert!(
+            u32::try_from(ix).is_ok(),
+            "symbol index {ix} exceeds u32::MAX"
+        );
+        Sym(ix as u32)
+    }
+
+    /// Checked counterpart of [`Sym::from_index`]: `None` when the index
+    /// does not fit the symbol representation.
+    #[inline]
+    pub fn try_from_index(ix: usize) -> Option<Sym> {
+        u32::try_from(ix).ok().map(Sym)
     }
 }
 

@@ -1,20 +1,30 @@
 //! Tree traversal iterators.
+//!
+//! Both traversals chase arena slots: each visited identifier is resolved
+//! to its [`Slot`] exactly once (when pushed), and every subsequent access
+//! is direct arena indexing — no hashing anywhere on the walk.
 
 use crate::node::NodeId;
+use crate::slot::Slot;
 use crate::tree::Tree;
+
+fn resolve<L>(tree: &Tree<L>, id: NodeId) -> Slot {
+    tree.slot(id)
+        .unwrap_or_else(|| panic!("node {id} not in tree"))
+}
 
 /// Pre-order (document-order) traversal: a node before its children,
 /// children in sibling order.
 pub struct Preorder<'t, L> {
     tree: &'t Tree<L>,
-    stack: Vec<NodeId>,
+    stack: Vec<Slot>,
 }
 
 impl<'t, L> Preorder<'t, L> {
     pub(crate) fn new(tree: &'t Tree<L>, start: NodeId) -> Preorder<'t, L> {
         Preorder {
             tree,
-            stack: vec![start],
+            stack: vec![resolve(tree, start)],
         }
     }
 }
@@ -23,11 +33,12 @@ impl<L> Iterator for Preorder<'_, L> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let n = self.stack.pop()?;
+        let s = self.stack.pop()?;
+        let node = self.tree.node_at(s);
         // Push children reversed so the leftmost child is visited first.
         self.stack
-            .extend(self.tree.children(n).iter().rev().copied());
-        Some(n)
+            .extend(node.children.iter().rev().map(|&c| resolve(self.tree, c)));
+        Some(node.id)
     }
 }
 
@@ -35,14 +46,14 @@ impl<L> Iterator for Preorder<'_, L> {
 pub struct Postorder<'t, L> {
     tree: &'t Tree<L>,
     // (node, whether its children were already expanded)
-    stack: Vec<(NodeId, bool)>,
+    stack: Vec<(Slot, bool)>,
 }
 
 impl<'t, L> Postorder<'t, L> {
     pub(crate) fn new(tree: &'t Tree<L>, start: NodeId) -> Postorder<'t, L> {
         Postorder {
             tree,
-            stack: vec![(start, false)],
+            stack: vec![(resolve(tree, start), false)],
         }
     }
 }
@@ -52,13 +63,19 @@ impl<L> Iterator for Postorder<'_, L> {
 
     fn next(&mut self) -> Option<NodeId> {
         loop {
-            let (n, expanded) = self.stack.pop()?;
+            let (s, expanded) = self.stack.pop()?;
             if expanded {
-                return Some(n);
+                return Some(self.tree.id_at(s));
             }
-            self.stack.push((n, true));
-            self.stack
-                .extend(self.tree.children(n).iter().rev().map(|&c| (c, false)));
+            self.stack.push((s, true));
+            self.stack.extend(
+                self.tree
+                    .node_at(s)
+                    .children
+                    .iter()
+                    .rev()
+                    .map(|&c| (resolve(self.tree, c), false)),
+            );
         }
     }
 }

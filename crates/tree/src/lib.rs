@@ -18,6 +18,34 @@
 //!   sequence of children of arbitrary length; sibling order is semantically
 //!   meaningful (it is what DTD content models constrain).
 //!
+//! # Storage: arena + slots + persistent identifiers
+//!
+//! Persistent identifiers are the *identity* of a node; they are **not**
+//! its address. Nodes are stored in a contiguous arena (`Vec<Node<L>>`)
+//! addressed by dense [`Slot`]s, with a [`SlotIndex`] resolving
+//! identifiers to slots — a direct `Vec`-backed table for the (monotone,
+//! near-dense) identifiers a [`NodeIdGen`] mints, with a hash fallback
+//! only for pathological outliers. Algorithms that keep per-node state
+//! (the propagation stack's dynamic-programming tables) resolve ids to
+//! slots once and then use [`SlotMap`]/[`SlotSet`] side tables: plain
+//! `Vec`/bitset indexing instead of `HashMap<NodeId, _>` probes.
+//!
+//! Amortized per-step cost of the core operations:
+//!
+//! | operation | cost |
+//! |-----------|------|
+//! | [`Tree::node`] / [`Tree::label`] / [`Tree::children`] / [`Tree::parent`] (by id) | O(1) |
+//! | [`Tree::node_at`] / [`Tree::id_at`] (by slot) | O(1), no id resolution |
+//! | [`Tree::slot`] / [`Tree::contains`] | O(1) |
+//! | [`Tree::add_child`] / [`Tree::add_child_with_id`] | O(1) amortized |
+//! | [`Tree::preorder`] / [`Tree::postorder`] (per step) | O(1) amortized |
+//! | [`Tree::attach_subtree`] | O(&#124;sub&#124;) |
+//! | [`Tree::detach_subtree`] | O(&#124;sub&#124;) |
+//! | [`SlotMap`]/[`SlotSet`] access | O(1) |
+//!
+//! Slots are stable while the tree only grows; removing nodes relocates
+//! slots (never identifiers) — see [`slot`] for the exact contract.
+//!
 //! The tree type is generic in its label type: documents are
 //! `Tree<Sym>` (see [`Sym`], interned via [`Alphabet`]) while editing
 //! scripts in the `xvu_edit` crate reuse the same structure over an edit
@@ -54,6 +82,7 @@ mod build;
 mod error;
 mod iter;
 mod node;
+pub mod slot;
 mod term;
 mod tree;
 
@@ -62,5 +91,6 @@ pub use build::TreeBuilder;
 pub use error::TreeError;
 pub use iter::{Postorder, Preorder};
 pub use node::{Node, NodeId, NodeIdGen};
+pub use slot::{Slot, SlotIndex, SlotMap, SlotSet};
 pub use term::{parse_term, parse_term_with_ids, to_term, to_term_with_ids};
 pub use tree::{DocTree, Tree};

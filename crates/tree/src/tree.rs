@@ -4,7 +4,7 @@ use crate::alphabet::Sym;
 use crate::error::TreeError;
 use crate::iter::{Postorder, Preorder};
 use crate::node::{Node, NodeId, NodeIdGen};
-use std::collections::HashMap;
+use crate::slot::{Slot, SlotIndex, SlotSet};
 
 /// A document tree: labels are interned alphabet symbols.
 pub type DocTree = Tree<Sym>;
@@ -12,23 +12,45 @@ pub type DocTree = Tree<Sym>;
 /// An ordered, labeled, non-empty tree with persistent node identifiers.
 ///
 /// The structure corresponds to `t = (Σ, N_t, ↓_t, <_t, λ_t)` from the
-/// paper: `N_t` is the key set of the node map, the descendant and sibling
-/// relations are induced by per-node parent/children links, and `λ_t` is the
-/// `label` field.
+/// paper: `N_t` is the set of indexed identifiers, the descendant and
+/// sibling relations are induced by per-node parent/children links, and
+/// `λ_t` is the `label` field.
 ///
 /// **Equality is identifier-sensitive**: `t == u` holds iff the trees have
-/// the same node-identifier set, the same labeling, and the same structure.
-/// Use [`Tree::isomorphic`] for identifier-oblivious comparison — the paper
-/// stresses that the two notions must not be confused.
+/// the same node-identifier set, the same labeling, and the same structure
+/// — regardless of internal storage order. Use [`Tree::isomorphic`] for
+/// identifier-oblivious comparison — the paper stresses that the two
+/// notions must not be confused.
+///
+/// # Storage
+///
+/// Nodes live in a contiguous arena (`Vec<Node<L>>`) addressed by dense
+/// [`Slot`]s; a [`SlotIndex`] resolves persistent [`NodeId`]s to slots.
+/// Identifier semantics are exactly those of a node map — ids are the
+/// identity, slots are the address — but lookups are array indexing
+/// instead of hashing, and per-node side tables can be dense
+/// ([`crate::SlotMap`], [`crate::SlotSet`]). Slots are stable under reads
+/// and node insertion; removing nodes may relocate slots (see
+/// [`crate::slot`] for the stability contract).
 ///
 /// The label type `L` is generic: documents use [`Sym`], editing scripts use
 /// an edit alphabet (`xvu_edit`).
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug)]
 pub struct Tree<L> {
-    nodes: HashMap<NodeId, Node<L>>,
+    slab: Vec<Node<L>>,
+    index: SlotIndex,
     root: NodeId,
 }
+
+impl<L: PartialEq> PartialEq for Tree<L> {
+    fn eq(&self, other: &Tree<L>) -> bool {
+        self.root == other.root
+            && self.slab.len() == other.slab.len()
+            && self.slab.iter().all(|n| other.get(n.id) == Some(n))
+    }
+}
+
+impl<L: Eq> Eq for Tree<L> {}
 
 impl<L> Tree<L> {
     /// Creates a single-node tree with a fresh identifier.
@@ -38,17 +60,27 @@ impl<L> Tree<L> {
 
     /// Creates a single-node tree with an explicit identifier.
     pub fn leaf_with_id(id: NodeId, label: L) -> Tree<L> {
-        let mut nodes = HashMap::new();
-        nodes.insert(
+        let mut tree = Tree {
+            slab: Vec::new(),
+            index: SlotIndex::new(),
+            root: id,
+        };
+        tree.push_node(Node {
             id,
-            Node {
-                id,
-                label,
-                parent: None,
-                children: Vec::new(),
-            },
-        );
-        Tree { nodes, root: id }
+            label,
+            parent: None,
+            children: Vec::new(),
+        });
+        tree
+    }
+
+    /// Appends a node to the arena, indexing its identifier.
+    #[inline]
+    fn push_node(&mut self, node: Node<L>) -> Slot {
+        let slot = Slot::new(u32::try_from(self.slab.len()).expect("tree larger than u32::MAX"));
+        self.index.insert(node.id, slot);
+        self.slab.push(node);
+        slot
     }
 
     /// The root node identifier.
@@ -60,13 +92,38 @@ impl<L> Tree<L> {
     /// The number of nodes, `|t|`.
     #[inline]
     pub fn size(&self) -> usize {
-        self.nodes.len()
+        self.slab.len()
     }
 
     /// Whether `id` is a node of this tree.
     #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.index.contains(id)
+    }
+
+    /// The arena slot of `id`, if it is a node of this tree.
+    ///
+    /// Resolve once, then address the node and any slot-keyed side table
+    /// by plain indexing. See [`crate::slot`] for the stability contract.
+    #[inline]
+    pub fn slot(&self, id: NodeId) -> Option<Slot> {
+        self.index.slot(id)
+    }
+
+    /// All arena slots, `0..size()`, in arena order.
+    #[inline]
+    pub fn slots(&self) -> impl Iterator<Item = Slot> {
+        (0..self.slab.len() as u32).map(Slot::new)
+    }
+
+    /// The identifier→slot index itself.
+    ///
+    /// Cloneable: consumers whose side tables must outlive a borrow of the
+    /// tree (e.g. a propagation forest keyed by update-script nodes)
+    /// snapshot it to keep O(1) id resolution.
+    #[inline]
+    pub fn slot_index(&self) -> &SlotIndex {
+        &self.index
     }
 
     /// Borrow a node.
@@ -76,15 +133,34 @@ impl<L> Tree<L> {
     /// fallible lookup.
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node<L> {
-        self.nodes
-            .get(&id)
-            .unwrap_or_else(|| panic!("node {id} not in tree"))
+        match self.index.slot(id) {
+            Some(s) => &self.slab[s.index()],
+            None => panic!("node {id} not in tree"),
+        }
     }
 
     /// Fallible node lookup.
     #[inline]
     pub fn get(&self, id: NodeId) -> Option<&Node<L>> {
-        self.nodes.get(&id)
+        self.index.slot(id).map(|s| &self.slab[s.index()])
+    }
+
+    /// Borrow the node at an arena slot.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range for this tree.
+    #[inline]
+    pub fn node_at(&self, slot: Slot) -> &Node<L> {
+        &self.slab[slot.index()]
+    }
+
+    /// The identifier of the node at an arena slot.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range for this tree.
+    #[inline]
+    pub fn id_at(&self, slot: Slot) -> NodeId {
+        self.slab[slot.index()].id
     }
 
     /// The label of a node.
@@ -123,7 +199,7 @@ impl<L> Tree<L> {
 
     /// All node identifiers, in unspecified order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.slab.iter().map(|n| n.id)
     }
 
     /// Pre-order (document-order) traversal from the root.
@@ -156,26 +232,21 @@ impl<L> Tree<L> {
         id: NodeId,
         label: L,
     ) -> Result<(), TreeError> {
-        if !self.contains(parent) {
+        let Some(pslot) = self.slot(parent) else {
             return Err(TreeError::UnknownNode(parent));
-        }
+        };
         if self.contains(id) {
             return Err(TreeError::DuplicateNodeId(id));
         }
-        self.nodes.insert(
+        self.push_node(Node {
             id,
-            Node {
-                id,
-                label,
-                parent: Some(parent),
-                children: Vec::new(),
-            },
-        );
-        self.nodes
-            .get_mut(&parent)
-            .expect("parent checked above")
-            .children
-            .push(id);
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        // Slots are stable under insertion, so `pslot` still addresses the
+        // parent after the push.
+        self.slab[pslot.index()].children.push(id);
         Ok(())
     }
 
@@ -189,10 +260,10 @@ impl<L> Tree<L> {
         position: usize,
         sub: Tree<L>,
     ) -> Result<(), TreeError> {
-        if !self.contains(parent) {
+        let Some(pslot) = self.slot(parent) else {
             return Err(TreeError::UnknownNode(parent));
-        }
-        let arity = self.node(parent).children.len();
+        };
+        let arity = self.slab[pslot.index()].children.len();
         if position > arity {
             return Err(TreeError::PositionOutOfBounds {
                 node: parent,
@@ -200,23 +271,19 @@ impl<L> Tree<L> {
                 arity,
             });
         }
-        for id in sub.nodes.keys() {
-            if self.contains(*id) {
-                return Err(TreeError::DuplicateNodeId(*id));
+        for id in sub.node_ids() {
+            if self.contains(id) {
+                return Err(TreeError::DuplicateNodeId(id));
             }
         }
         let sub_root = sub.root;
-        for (id, mut node) in sub.nodes {
-            if id == sub_root {
+        for mut node in sub.slab {
+            if node.id == sub_root {
                 node.parent = Some(parent);
             }
-            self.nodes.insert(id, node);
+            self.push_node(node);
         }
-        self.nodes
-            .get_mut(&parent)
-            .expect("parent checked above")
-            .children
-            .insert(position, sub_root);
+        self.slab[pslot.index()].children.insert(position, sub_root);
         Ok(())
     }
 
@@ -229,7 +296,8 @@ impl<L> Tree<L> {
             return Err(TreeError::CannotDetachRoot);
         }
         let parent = self.node(id).parent.expect("non-root has a parent");
-        let p = self.nodes.get_mut(&parent).expect("parent exists");
+        let pslot = self.slot(parent).expect("parent indexed");
+        let p = &mut self.slab[pslot.index()];
         let pos = p
             .children
             .iter()
@@ -237,18 +305,35 @@ impl<L> Tree<L> {
             .expect("child listed in parent");
         p.children.remove(pos);
 
-        let mut sub_nodes = HashMap::new();
+        // Collect the subtree's identifiers before removing anything:
+        // removal relocates slots (swap-remove), identifiers never move.
+        let mut ids = Vec::new();
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            let node = self.nodes.remove(&n).expect("descendant present");
-            stack.extend(node.children.iter().copied());
-            sub_nodes.insert(n, node);
+            ids.push(n);
+            stack.extend(self.node(n).children.iter().copied());
         }
-        sub_nodes.get_mut(&id).expect("subtree root present").parent = None;
-        Ok(Tree {
-            nodes: sub_nodes,
+
+        let mut sub = Tree {
+            slab: Vec::with_capacity(ids.len()),
+            index: SlotIndex::new(),
             root: id,
-        })
+        };
+        for n in ids {
+            let s = self.index.remove(n).expect("subtree node indexed");
+            let mut node = self.slab.swap_remove(s.index());
+            if s.index() < self.slab.len() {
+                // A tail node was swapped into the vacated slot; re-point
+                // its index entry.
+                let moved = self.slab[s.index()].id;
+                self.index.insert(moved, s);
+            }
+            if node.id == id {
+                node.parent = None;
+            }
+            sub.push_node(node);
+        }
+        Ok(sub)
     }
 
     /// A clone of the subtree rooted at `id` (identifiers preserved) — the
@@ -257,7 +342,11 @@ impl<L> Tree<L> {
     where
         L: Clone,
     {
-        let mut nodes = HashMap::new();
+        let mut out = Tree {
+            slab: Vec::new(),
+            index: SlotIndex::new(),
+            root: id,
+        };
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
             let mut node = self.node(n).clone();
@@ -265,9 +354,9 @@ impl<L> Tree<L> {
                 node.parent = None;
             }
             stack.extend(node.children.iter().copied());
-            nodes.insert(n, node);
+            out.push_node(node);
         }
-        Tree { nodes, root: id }
+        out
     }
 
     /// The number of nodes in the subtree rooted at `id`, `|t|_n|`.
@@ -299,23 +388,19 @@ impl<L> Tree<L> {
 
     /// Maps the label of every node, preserving identifiers and structure.
     pub fn map_labels<M>(&self, mut f: impl FnMut(NodeId, &L) -> M) -> Tree<M> {
-        let nodes = self
-            .nodes
+        let slab = self
+            .slab
             .iter()
-            .map(|(&id, node)| {
-                (
-                    id,
-                    Node {
-                        id,
-                        label: f(id, &node.label),
-                        parent: node.parent,
-                        children: node.children.clone(),
-                    },
-                )
+            .map(|node| Node {
+                id: node.id,
+                label: f(node.id, &node.label),
+                parent: node.parent,
+                children: node.children.clone(),
             })
             .collect();
         Tree {
-            nodes,
+            slab,
+            index: self.index.clone(),
             root: self.root,
         }
     }
@@ -335,28 +420,32 @@ impl<L> Tree<L> {
             n: NodeId,
             parent: Option<NodeId>,
             gen: &mut NodeIdGen,
-            out: &mut HashMap<NodeId, Node<L>>,
+            out: &mut Tree<L>,
         ) -> NodeId {
             let id = gen.fresh();
-            let mut children = Vec::with_capacity(src.children(n).len());
-            out.insert(
+            let slot = out.push_node(Node {
                 id,
-                Node {
-                    id,
-                    label: src.node(n).label.clone(),
-                    parent,
-                    children: Vec::new(),
-                },
-            );
+                label: src.node(n).label.clone(),
+                parent,
+                children: Vec::new(),
+            });
+            let mut children = Vec::with_capacity(src.children(n).len());
             for &c in src.children(n) {
                 children.push(rec(src, c, Some(id), gen, out));
             }
-            out.get_mut(&id).expect("just inserted").children = children;
+            // Slots are stable under insertion, so `slot` still addresses
+            // this node after the recursive pushes.
+            out.slab[slot.index()].children = children;
             id
         }
-        let mut nodes = HashMap::new();
-        let root = rec(self, self.root, None, gen, &mut nodes);
-        Tree { nodes, root }
+        let mut out = Tree {
+            slab: Vec::with_capacity(self.size()),
+            index: SlotIndex::new(),
+            root: self.root, // placeholder; fixed below
+        };
+        let root = rec(self, self.root, None, gen, &mut out);
+        out.root = root;
+        out
     }
 
     /// Identifier-oblivious structural equality (same shape, same labels).
@@ -379,30 +468,45 @@ impl<L> Tree<L> {
     }
 
     /// Checks internal invariants: parent/child agreement, reachability of
-    /// exactly the node map from the root, no duplicate children.
+    /// exactly the arena from the root, no duplicate children, and
+    /// arena/index agreement.
     ///
     /// Intended for tests and debug assertions; all public mutators maintain
     /// these invariants.
     pub fn validate(&self) -> Result<(), TreeError> {
+        for (i, node) in self.slab.iter().enumerate() {
+            if self.index.slot(node.id).map(Slot::index) != Some(i) {
+                return Err(TreeError::Inconsistent(format!(
+                    "arena slot {i} holds {} but the index disagrees",
+                    node.id
+                )));
+            }
+        }
+        if self.index.len() != self.slab.len() {
+            return Err(TreeError::Inconsistent(format!(
+                "{} nodes in arena, {} identifiers indexed",
+                self.slab.len(),
+                self.index.len()
+            )));
+        }
         if self.node(self.root).parent.is_some() {
             return Err(TreeError::Inconsistent("root has a parent".into()));
         }
-        let mut seen = HashMap::new();
+        let mut seen = SlotSet::with_capacity(self.size());
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
-            if seen.insert(n, ()).is_some() {
+            let slot = self
+                .index
+                .slot(n)
+                .ok_or_else(|| TreeError::Inconsistent(format!("dangling child {n}")))?;
+            if !seen.insert(slot) {
                 return Err(TreeError::Inconsistent(format!(
                     "node {n} reachable twice (cycle or shared child)"
                 )));
             }
-            let node = self
-                .nodes
-                .get(&n)
-                .ok_or_else(|| TreeError::Inconsistent(format!("dangling child {n}")))?;
-            for &c in &node.children {
+            for &c in &self.slab[slot.index()].children {
                 let child = self
-                    .nodes
-                    .get(&c)
+                    .get(c)
                     .ok_or_else(|| TreeError::Inconsistent(format!("dangling child {c}")))?;
                 if child.parent != Some(n) {
                     return Err(TreeError::Inconsistent(format!(
@@ -412,14 +516,63 @@ impl<L> Tree<L> {
                 stack.push(c);
             }
         }
-        if seen.len() != self.nodes.len() {
+        if seen.len() != self.slab.len() {
             return Err(TreeError::Inconsistent(format!(
-                "{} nodes in map, {} reachable from root",
-                self.nodes.len(),
+                "{} nodes in arena, {} reachable from root",
+                self.slab.len(),
                 seen.len()
             )));
         }
         Ok(())
+    }
+}
+
+/// Serde support, wire-compatible with the historical representation
+/// (`{ nodes: map<NodeId, Node>, root: NodeId }`): the arena layout is an
+/// implementation detail and never leaks into serialized form, so
+/// round-trips are identity and old payloads keep deserializing.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct TreeWire<V> {
+        nodes: HashMap<NodeId, V>,
+        root: NodeId,
+    }
+
+    impl<L: serde::Serialize> serde::Serialize for Tree<L> {
+        fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            TreeWire {
+                nodes: self.slab.iter().map(|n| (n.id, n)).collect(),
+                root: self.root,
+            }
+            .serialize(serializer)
+        }
+    }
+
+    impl<'de, L: serde::Deserialize<'de>> serde::Deserialize<'de> for Tree<L> {
+        fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let wire: TreeWire<Node<L>> = TreeWire::deserialize(deserializer)?;
+            let mut tree = Tree {
+                slab: Vec::with_capacity(wire.nodes.len()),
+                index: SlotIndex::new(),
+                root: wire.root,
+            };
+            for (id, node) in wire.nodes {
+                if id != node.id {
+                    return Err(serde::de::Error::custom(format!(
+                        "node map key {id} disagrees with node id {}",
+                        node.id
+                    )));
+                }
+                tree.push_node(node);
+            }
+            tree.validate()
+                .map_err(|e| serde::de::Error::custom(e.to_string()))?;
+            Ok(tree)
+        }
     }
 }
 
@@ -462,6 +615,37 @@ mod tests {
         assert_eq!(t.children(r), &[c1, c2]);
         assert_eq!(t.child_word(r), vec![sym(1), sym(2)]);
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn slots_are_dense_and_resolve_ids() {
+        let (t, r, a, b) = chain3();
+        assert_eq!(t.slots().count(), t.size());
+        for n in [r, a, b] {
+            let s = t.slot(n).unwrap();
+            assert_eq!(t.id_at(s), n);
+            assert_eq!(t.node_at(s).id, n);
+            assert!(s.index() < t.size());
+        }
+        assert!(t.slot(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn detach_relocates_slots_but_not_ids() {
+        // after detaching a middle subtree, every surviving id still
+        // resolves and the arena stays dense
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let a = t.add_child(r, &mut gen, sym(1));
+        t.add_child(a, &mut gen, sym(2));
+        let c = t.add_child(r, &mut gen, sym(3));
+        t.detach_subtree(a).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.slots().count(), 2);
+        assert_eq!(t.children(r), &[c]);
+        assert_eq!(t.label(c), sym(3));
     }
 
     #[test]
@@ -537,6 +721,27 @@ mod tests {
         let t2: DocTree = Tree::leaf(&mut g2, sym(0));
         assert_ne!(t1, t2);
         assert!(t1.isomorphic(&t2));
+    }
+
+    #[test]
+    fn equality_ignores_arena_order() {
+        // same identifiers and structure, different construction order ⇒
+        // different arena layouts, equal trees
+        let mut t1: DocTree = Tree::leaf_with_id(NodeId(0), sym(0));
+        t1.add_child_with_id(NodeId(0), NodeId(1), sym(1)).unwrap();
+        t1.add_child_with_id(NodeId(0), NodeId(2), sym(2)).unwrap();
+
+        let mut t2: DocTree = Tree::leaf_with_id(NodeId(0), sym(0));
+        t2.add_child_with_id(NodeId(0), NodeId(2), sym(2)).unwrap();
+        let sub: DocTree = Tree::leaf_with_id(NodeId(1), sym(1));
+        t2.attach_subtree(NodeId(0), 0, sub).unwrap();
+
+        assert_ne!(
+            t1.slot(NodeId(1)),
+            t2.slot(NodeId(1)),
+            "layouts genuinely differ"
+        );
+        assert_eq!(t1, t2);
     }
 
     #[test]

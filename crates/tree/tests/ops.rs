@@ -1,8 +1,9 @@
 //! Stateful property tests: random sequences of tree operations maintain
-//! every structural invariant.
+//! every structural invariant, and the arena-backed storage is
+//! observationally equivalent to the mathematical node-map semantics.
 
 use proptest::prelude::*;
-use xvu_tree::{Alphabet, NodeIdGen, Sym, Tree};
+use xvu_tree::{parse_term_with_ids, to_term_with_ids, Alphabet, NodeId, NodeIdGen, Sym, Tree};
 
 /// One mutation step, interpreted against the current tree.
 #[derive(Clone, Debug)]
@@ -22,6 +23,37 @@ fn arb_op() -> impl Strategy<Value = Op> {
         any::<usize>().prop_map(Op::DetachReattach),
         any::<usize>().prop_map(Op::DetachDrop),
     ]
+}
+
+/// Interprets an op sequence into a tree (shared by the observational-
+/// equivalence properties).
+fn build_by_ops(ops: &[Op]) -> Tree<Sym> {
+    let mut gen = NodeIdGen::new();
+    let mut tree = Tree::leaf(&mut gen, Sym::from_index(0));
+    for op in ops {
+        let pre: Vec<_> = tree.preorder().collect();
+        match *op {
+            Op::AddChild(ix, l) => {
+                let parent = pre[ix % pre.len()];
+                tree.add_child(parent, &mut gen, Sym::from_index(l));
+            }
+            Op::DetachReattach(ix) => {
+                let n = pre[ix % pre.len()];
+                if n != tree.root() {
+                    let sub = tree.detach_subtree(n).unwrap();
+                    let root = tree.root();
+                    tree.attach_subtree(root, 0, sub).unwrap();
+                }
+            }
+            Op::DetachDrop(ix) => {
+                let n = pre[ix % pre.len()];
+                if n != tree.root() {
+                    tree.detach_subtree(n).unwrap();
+                }
+            }
+        }
+    }
+    tree
 }
 
 proptest! {
@@ -77,6 +109,103 @@ proptest! {
         let fresh = tree.with_fresh_ids(&mut gen);
         prop_assert!(fresh.isomorphic(&tree));
         fresh.validate().unwrap();
+    }
+
+    /// Traversal orders match the recursive definition of pre-/post-order
+    /// (node before/after its children, children in sibling order) —
+    /// arena layout must never leak into visit order.
+    #[test]
+    fn traversals_match_recursive_definition(ops in prop::collection::vec(arb_op(), 0..40)) {
+        fn pre_rec(t: &Tree<Sym>, n: NodeId, out: &mut Vec<NodeId>) {
+            out.push(n);
+            for &c in t.children(n) {
+                pre_rec(t, c, out);
+            }
+        }
+        fn post_rec(t: &Tree<Sym>, n: NodeId, out: &mut Vec<NodeId>) {
+            for &c in t.children(n) {
+                post_rec(t, c, out);
+            }
+            out.push(n);
+        }
+        let tree = build_by_ops(&ops);
+        let mut pre_expected = Vec::new();
+        pre_rec(&tree, tree.root(), &mut pre_expected);
+        let mut post_expected = Vec::new();
+        post_rec(&tree, tree.root(), &mut post_expected);
+        prop_assert_eq!(tree.preorder().collect::<Vec<_>>(), pre_expected);
+        prop_assert_eq!(tree.postorder().collect::<Vec<_>>(), post_expected);
+    }
+
+    /// Node identifiers survive clone and edit cycles: whatever subtree
+    /// shuffling happens, every surviving node keeps its id, label, and
+    /// parent/child structure.
+    #[test]
+    fn node_ids_survive_clone_and_edit_cycles(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let tree = build_by_ops(&ops);
+        // clone: identical observation
+        let cloned = tree.clone();
+        prop_assert_eq!(&cloned, &tree);
+        // edit cycle: detach a non-root subtree and reattach it where it
+        // was — all identifiers, labels, and relations are preserved
+        let mut cycled = tree.clone();
+        let pre: Vec<_> = cycled.preorder().collect();
+        for &n in &pre {
+            if n == cycled.root() {
+                continue;
+            }
+            let parent = cycled.parent(n).unwrap();
+            let pos = cycled.children(parent).iter().position(|&c| c == n).unwrap();
+            let sub = cycled.detach_subtree(n).unwrap();
+            cycled.attach_subtree(parent, pos, sub).unwrap();
+            break;
+        }
+        cycled.validate().unwrap();
+        prop_assert_eq!(&cycled, &tree);
+        for n in tree.node_ids() {
+            prop_assert!(cycled.contains(n));
+            prop_assert_eq!(cycled.label(n), tree.label(n));
+            prop_assert_eq!(cycled.parent(n), tree.parent(n));
+            prop_assert_eq!(cycled.children(n), tree.children(n));
+        }
+    }
+
+    /// `isomorphic` is invariant under identifier remapping, while `==`
+    /// is identifier-sensitive.
+    #[test]
+    fn isomorphic_is_invariant_under_id_remapping(ops in prop::collection::vec(arb_op(), 0..40), offset in 1u64..1_000_000) {
+        let tree = build_by_ops(&ops);
+        // remap every id by a constant offset beyond the used range
+        let base = tree.node_ids().map(|n| n.0).max().unwrap() + offset;
+        fn rebuild(src: &Tree<Sym>, n: NodeId, base: u64, out: &mut Tree<Sym>, out_n: NodeId) {
+            for &c in src.children(n) {
+                let mapped = NodeId(base + c.0);
+                out.add_child_with_id(out_n, mapped, src.label(c)).unwrap();
+                rebuild(src, c, base, out, mapped);
+            }
+        }
+        let root_mapped = NodeId(base + tree.root().0);
+        let mut remapped = Tree::leaf_with_id(root_mapped, tree.label(tree.root()));
+        rebuild(&tree, tree.root(), base, &mut remapped, root_mapped);
+        remapped.validate().unwrap();
+        prop_assert!(tree.isomorphic(&remapped));
+        prop_assert!(remapped.isomorphic(&tree));
+        prop_assert_ne!(&remapped, &tree);
+    }
+
+    /// Serialization round-trips are identity: the textual `label#id` term
+    /// form captures the full observable state (identifiers, labels,
+    /// structure, sibling order), so parse ∘ print = id whatever the
+    /// internal arena layout.
+    #[test]
+    fn term_round_trip_is_identity(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut alpha = Alphabet::from_labels(["a", "b", "c", "d", "e"]);
+        let tree = build_by_ops(&ops);
+        let printed = to_term_with_ids(&tree, &alpha);
+        let mut gen = NodeIdGen::new();
+        let reparsed = parse_term_with_ids(&mut alpha, &mut gen, &printed).unwrap();
+        prop_assert_eq!(&reparsed, &tree);
+        prop_assert_eq!(to_term_with_ids(&reparsed, &alpha), printed);
     }
 
     /// `subtree` + `detach_subtree` agree (same shape and identifiers).

@@ -25,7 +25,7 @@ impl BT {
 
     /// Canonical term string, used as the isomorphism-class key.
     fn key(&self, alpha: &Alphabet) -> String {
-        let name = alpha.name(Sym::from_index(self.label));
+        let name = alpha.name(Sym::try_from_index(self.label).expect("label index fits a symbol"));
         if self.children.is_empty() {
             name.to_owned()
         } else {
@@ -36,13 +36,18 @@ impl BT {
 
     /// The view under `ann` (labels only).
     fn view(&self, ann: &Annotation) -> BT {
-        let parent = Sym::from_index(self.label);
+        let parent = Sym::try_from_index(self.label).expect("label index fits a symbol");
         BT {
             label: self.label,
             children: self
                 .children
                 .iter()
-                .filter(|c| ann.is_visible(parent, Sym::from_index(c.label)))
+                .filter(|c| {
+                    ann.is_visible(
+                        parent,
+                        Sym::try_from_index(c.label).expect("label index fits a symbol"),
+                    )
+                })
                 .map(|c| c.view(ann))
                 .collect(),
         }
@@ -63,7 +68,10 @@ fn words(dtd: &Dtd, alphabet_len: usize, label: Sym, max_len: usize) -> Vec<Vec<
     let mut out = Vec::new();
     let mut stack: Vec<Vec<usize>> = vec![vec![]];
     while let Some(w) = stack.pop() {
-        let syms: Vec<Sym> = w.iter().map(|&i| Sym::from_index(i)).collect();
+        let syms: Vec<Sym> = w
+            .iter()
+            .map(|&i| Sym::try_from_index(i).expect("word symbol fits a symbol"))
+            .collect();
         if model.accepts(&syms) {
             out.push(w.clone());
         }
@@ -91,7 +99,12 @@ fn all_trees(
         return vec![];
     }
     let mut out = Vec::new();
-    for w in words(dtd, alphabet_len, Sym::from_index(label), max_arity) {
+    for w in words(
+        dtd,
+        alphabet_len,
+        Sym::try_from_index(label).expect("label index fits a symbol"),
+        max_arity,
+    ) {
         // distribute the remaining budget over the children
         let child_sets: Vec<Vec<BT>> = w
             .iter()

@@ -106,14 +106,14 @@ fn e5_graph_n6() {
     let fx = running_example();
     let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
     let prop = engine.open(&fx.t0).unwrap().propagate(&fx.s0).unwrap();
-    let g = &prop.forest.graphs[&NodeId(6)];
+    let g = prop.forest.graph(NodeId(6)).unwrap();
     // Graph shape is automaton-representation dependent; the invariants:
     // a start, goals, a best path of cost 2 (keep b9 and c10, insert the
     // inverse of c15 = c plus one hidden sibling).
     assert_eq!(g.best_cost(), Some(2));
     assert!(g.n_vertices() >= 8);
     assert!(g.n_edges() >= 8);
-    assert_eq!(prop.forest.costs[&NodeId(6)], 2);
+    assert_eq!(prop.forest.cost(NodeId(6)), Some(2));
 }
 
 /// E6 — Figure 10: the optimal propagation graph G*_{n0}.
@@ -122,7 +122,7 @@ fn e6_optimal_graph_n0() {
     let fx = running_example();
     let engine = engine_of(&fx.alpha, &fx.dtd, &fx.ann);
     let prop = engine.open(&fx.t0).unwrap().propagate(&fx.s0).unwrap();
-    let g0 = &prop.forest.graphs[&NodeId(0)];
+    let g0 = prop.forest.graph(NodeId(0)).unwrap();
     let opt = g0.optimal_subgraph().unwrap();
     assert!(opt.is_acyclic(), "G* is acyclic (paper, Further results)");
     assert_eq!(opt.best_cost(), Some(14));

@@ -125,7 +125,7 @@ proptest! {
         let dfa = xml_view_update::automata::Dfa::determinize(&nfa, alpha.len());
         let min = dfa.minimize();
         for w in &words {
-            let word: Vec<Sym> = w.iter().map(|&i| Sym::from_index(i)).collect();
+            let word: Vec<Sym> = w.iter().map(|&i| Sym::try_from_index(i).expect("word symbol fits a symbol")).collect();
             let by_nfa = nfa.accepts(&word);
             prop_assert_eq!(by_nfa, dfa.accepts(&word));
             prop_assert_eq!(by_nfa, min.accepts(&word));
