@@ -116,10 +116,41 @@ fn bench_committed_sequence(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_churn(c: &mut Criterion) {
+    // The dirty-region caching workload: K small localized edits through
+    // one long-lived session (propagate + commit each), cache on vs off.
+    // Same pregenerated stream both ways — results are byte-identical,
+    // only the recomputation differs.
+    let mut group = c.benchmark_group("repeated_updates_churn");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for k in [10usize, 50] {
+        let (oi, updates) = xvu_bench::hospital_churn_batch(4, 30, k, 0xc0ffee);
+        let engine = oi.engine();
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("cached", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(xvu_bench::run_churn_session(
+                    &engine, &oi.doc, &updates, true,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(xvu_bench::run_churn_session(
+                    &engine, &oi.doc, &updates, false,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_repeated_hospital,
     bench_repeated_random,
-    bench_committed_sequence
+    bench_committed_sequence,
+    bench_churn
 );
 criterion_main!(benches);

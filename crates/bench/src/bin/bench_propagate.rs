@@ -3,18 +3,27 @@
 //! Measures the engine-amortized repeated-update medians for the two
 //! canonical workloads of `benches/repeated_updates.rs` — the
 //! document-heavy hospital batch and the schema-heavy 32-label random
-//! batch — and writes them as JSON so the perf trajectory across PRs is
-//! tracked by a checked-in artifact instead of scraped bench logs.
+//! batch — plus the **churn** workload (K small localized edits against
+//! the hospital document through one long-lived session, propagate +
+//! commit each, measured with the session's propagation cache on and off
+//! in the same run), and writes them as JSON so the perf trajectory
+//! across PRs is tracked by a checked-in artifact instead of scraped
+//! bench logs.
 //!
 //! ```text
 //! cargo run --release -p xvu_bench --bin bench_propagate [-- OUT_PATH]
 //! ```
 //!
-//! The timed region matches the bench's `engine_amortized` arm exactly:
-//! engine compilation + session open + one propagation per update.
+//! The timed region of the batch rows matches the bench's
+//! `engine_amortized` arm exactly: engine compilation + session open +
+//! one propagation per update. The churn rows pre-compile the engine and
+//! time session open + K × (propagate + commit).
 
 use std::hint::black_box;
-use xvu_bench::{hospital_update_batch, median_time, random_update_batch, OwnedInstance};
+use xvu_bench::{
+    hospital_churn_batch, hospital_update_batch, median_time, random_update_batch,
+    run_churn_session, OwnedInstance,
+};
 use xvu_edit::Script;
 
 /// Median engine-amortized wall time for one workload, in nanoseconds.
@@ -63,22 +72,67 @@ fn main() {
         },
     ];
 
+    // Churn: K small localized edits through one session, cache on vs off
+    // in the same run (engine precompiled; timed region = session open +
+    // K × (propagate + commit)). Costs must agree — the cache is a pure
+    // memo.
+    let (churn, churn_updates) = hospital_churn_batch(4, 30, K, 0xc0ffee);
+    let churn_engine = churn.engine();
+    let check_cached = run_churn_session(&churn_engine, &churn.doc, &churn_updates, true);
+    let check_uncached = run_churn_session(&churn_engine, &churn.doc, &churn_updates, false);
+    assert_eq!(
+        check_cached, check_uncached,
+        "cache changed propagation results"
+    );
+    let churn_cached_ns = median_time(RUNS, || {
+        black_box(run_churn_session(
+            &churn_engine,
+            &churn.doc,
+            &churn_updates,
+            true,
+        ));
+    })
+    .as_nanos();
+    let churn_uncached_ns = median_time(RUNS, || {
+        black_box(run_churn_session(
+            &churn_engine,
+            &churn.doc,
+            &churn_updates,
+            false,
+        ));
+    })
+    .as_nanos();
+    let improvement_pct = 100.0 * (1.0 - churn_cached_ns as f64 / churn_uncached_ns.max(1) as f64);
+
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-propagate/1\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-propagate/2\",\n");
     json.push_str("  \"timed_region\": \"engine compile + session open + K propagations\",\n");
     json.push_str(&format!("  \"runs_per_median\": {RUNS},\n"));
     json.push_str("  \"workloads\": {\n");
-    for (i, row) in rows.iter().enumerate() {
+    for row in rows.iter() {
         json.push_str(&format!(
-            "    \"{}\": {{ \"updates\": {}, \"doc_nodes\": {}, \"median_ns\": {}, \"median_us_per_update\": {:.3} }}{}\n",
+            "    \"{}\": {{ \"updates\": {}, \"doc_nodes\": {}, \"median_ns\": {}, \"median_us_per_update\": {:.3} }},\n",
             row.name,
             row.updates,
             row.doc_nodes,
             row.median_ns,
             row.median_ns as f64 / 1e3 / row.updates as f64,
-            if i + 1 < rows.len() { "," } else { "" },
         ));
     }
+    json.push_str(&format!(
+        "    \"churn\": {{ \"updates\": {}, \"doc_nodes\": {}, \
+         \"timed_region\": \"session open + K x (propagate + commit), engine precompiled\", \
+         \"cached_median_ns\": {}, \"uncached_median_ns\": {}, \
+         \"cached_us_per_update\": {:.3}, \"uncached_us_per_update\": {:.3}, \
+         \"cache_improvement_pct\": {:.1} }}\n",
+        K,
+        churn.doc.size(),
+        churn_cached_ns,
+        churn_uncached_ns,
+        churn_cached_ns as f64 / 1e3 / K as f64,
+        churn_uncached_ns as f64 / 1e3 / K as f64,
+        improvement_pct,
+    ));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_propagate.json");

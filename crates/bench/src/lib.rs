@@ -20,12 +20,12 @@ use std::time::{Duration, Instant};
 use xvu_dtd::{Dtd, InsertletPackage};
 use xvu_edit::Script;
 use xvu_propagate::{propagate, Config, Engine, Instance, Propagation};
-use xvu_tree::{Alphabet, DocTree, NodeIdGen};
+use xvu_tree::{Alphabet, DocTree, NodeIdGen, Sym};
 use xvu_view::Annotation;
 use xvu_workload::scenario::{admit_patient, hospital, hospital_doc, Hospital};
 use xvu_workload::{
-    generate_annotation, generate_doc, generate_dtd, generate_update, DocGenConfig, DtdGenConfig,
-    UpdateGenConfig,
+    generate_annotation, generate_doc, generate_dtd, generate_update, ChurnConfig, ChurnStream,
+    DocGenConfig, DtdGenConfig, UpdateGenConfig,
 };
 
 /// A fully assembled, owned problem instance (the borrow-free bundle the
@@ -257,6 +257,84 @@ pub fn random_update_batch(
     )
 }
 
+/// A hospital document plus a pregenerated `k`-step **churn** stream:
+/// localized small random edits where update `i+1` applies to the view of
+/// the document *after* update `i` was propagated and committed (the
+/// session serving regime, unlike [`hospital_update_batch`] where every
+/// update targets the same document).
+///
+/// The stream is produced by simulating one session; because propagation
+/// is deterministic and cache-invariant, replaying the same scripts
+/// through any session opened on the same document (cache on or off)
+/// reproduces the same evolution, so the batch can be timed repeatedly
+/// via [`run_churn_session`].
+pub fn hospital_churn_batch(
+    departments: usize,
+    patients_per_dept: usize,
+    k: usize,
+    seed: u64,
+) -> (OwnedInstance, Vec<Script>) {
+    assert!(k > 0, "hospital_churn_batch: k must be ≥ 1");
+    let Hospital { alpha, dtd, ann } = hospital();
+    let h = Hospital {
+        alpha: alpha.clone(),
+        dtd: dtd.clone(),
+        ann: ann.clone(),
+    };
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, departments, patients_per_dept, &mut gen);
+    let oi = OwnedInstance {
+        alpha,
+        dtd,
+        ann,
+        doc,
+        update: Script::leaf_with_id(
+            xvu_tree::NodeId(0),
+            xvu_edit::ELabel::nop(Sym::from_index(0)),
+        ),
+    };
+    let engine = oi.engine();
+    let mut session = engine.open(&oi.doc).expect("hospital doc is valid");
+    let mut stream = ChurnStream::new(
+        &oi.dtd,
+        &oi.ann,
+        oi.alpha.len(),
+        ChurnConfig::default(),
+        seed,
+    );
+    let mut updates = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut g = session.id_gen();
+        let u = stream.next_update(session.document(), &mut g);
+        let prop = session.propagate(&u).expect("churn update propagates");
+        session.commit(&prop).expect("churn propagation commits");
+        updates.push(u);
+    }
+    let update = updates[0].clone();
+    (OwnedInstance { update, ..oi }, updates)
+}
+
+/// Replays a churn stream through one session: per update, propagate then
+/// commit, with the session's propagation cache forced on or off. Returns
+/// the summed propagation cost (a cache-invariance checksum: both settings
+/// must agree).
+pub fn run_churn_session(
+    engine: &Engine,
+    doc: &DocTree,
+    updates: &[Script],
+    cache_enabled: bool,
+) -> u64 {
+    let mut session = engine.open(doc).expect("valid document");
+    session.set_cache_enabled(cache_enabled);
+    let mut total = 0u64;
+    for u in updates {
+        let prop = session.propagate(u).expect("churn update propagates");
+        total += prop.cost;
+        session.commit(&prop).expect("churn propagation commits");
+    }
+    total
+}
+
 /// Pairs one source document with each update — the independent-request
 /// batch shape [`xvu_propagate::serve`]'s `Engine::propagate_batch`
 /// serves (requests are self-contained, so the same document may appear
@@ -302,6 +380,20 @@ mod tests {
         let inst = random_instance(8, 300, 3, 7);
         let p = inst.propagate();
         assert!(p.cost < 10_000);
+    }
+
+    #[test]
+    fn churn_batch_replays_identically_with_and_without_cache() {
+        let (oi, updates) = hospital_churn_batch(2, 6, 6, 42);
+        assert_eq!(updates.len(), 6);
+        let engine = oi.engine();
+        let cached = run_churn_session(&engine, &oi.doc, &updates, true);
+        let uncached = run_churn_session(&engine, &oi.doc, &updates, false);
+        assert_eq!(cached, uncached, "cache must not change results");
+        assert!(
+            updates.iter().any(|u| xvu_edit::cost(u) > 0),
+            "churn stream produced only identity updates"
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Script footprints: the region of a document an editing script touches.
+//!
+//! Incremental machinery on both sides of the pipeline needs the same
+//! analysis of an editing script `S`:
+//!
+//! * **revalidation** (`xvu_propagate::revalidate_output`) re-checks
+//!   exactly the nodes whose child word can have changed — parents of
+//!   non-`Nop` children plus every node of an inserted subtree, with
+//!   deleted subtrees skipped whole;
+//! * **propagation caching** reuses per-node dynamic-programming state for
+//!   every node *outside* the update's footprint — the nodes whose whole
+//!   subtree is `Nop`.
+//!
+//! [`ScriptFootprint`] computes both views of the footprint in one pass
+//! and is the single source of truth for "what did this script touch".
+
+use crate::op::EditOp;
+use crate::script::Script;
+use xvu_tree::{NodeId, Slot, SlotSet};
+
+/// The footprint of one editing script: which nodes it touches and which
+/// subtrees it provably leaves alone.
+///
+/// Both tables are keyed by the script they were computed from; the
+/// [`Slot`]-based queries are only meaningful for that same (unmutated)
+/// script value.
+#[derive(Clone, Debug)]
+pub struct ScriptFootprint {
+    /// Nodes whose child word changes in `Out(S)` plus all inserted
+    /// nodes, in document order, with deleted subtrees skipped whole.
+    /// These are exactly the nodes an incremental schema check must
+    /// revisit.
+    changed: Vec<NodeId>,
+    /// Script slots whose subtree is entirely `Nop` — the untouched
+    /// region, outside of which per-subtree state can be reused.
+    clean: SlotSet,
+}
+
+impl ScriptFootprint {
+    /// The nodes an incremental output validation must re-check: every
+    /// inserted node and every surviving node with at least one non-`Nop`
+    /// child, in document order. Nodes inside deleted subtrees are never
+    /// listed (they do not exist in the output).
+    pub fn changed(&self) -> &[NodeId] {
+        &self.changed
+    }
+
+    /// Whether the subtree rooted at the script node occupying `slot` is
+    /// entirely `Nop` — i.e. the script provably does not touch it.
+    pub fn is_clean(&self, slot: Slot) -> bool {
+        self.clean.contains(slot)
+    }
+
+    /// Number of clean (entirely-`Nop`) subtree roots.
+    pub fn clean_len(&self) -> usize {
+        self.clean.len()
+    }
+}
+
+/// Computes the [`ScriptFootprint`] of `s` in two linear passes (one
+/// post-order for the clean region, one pre-order for the changed set).
+///
+/// The analysis is purely structural and does not require `s` to satisfy
+/// the `Ins`/`Del` closure discipline ([`crate::validate_script`] checks
+/// that separately); deleted subtrees are skipped whole regardless of
+/// their contents.
+pub fn script_footprint(s: &Script) -> ScriptFootprint {
+    let resolve = |id: NodeId| s.slot(id).expect("script child in script");
+
+    // Post-order: clean(n) ⇔ op(n) = Nop and every child is clean.
+    let mut clean = SlotSet::with_capacity(s.size());
+    for n in s.postorder() {
+        if s.label(n).op == EditOp::Nop && s.children(n).iter().all(|&c| clean.contains(resolve(c)))
+        {
+            clean.insert(resolve(n));
+        }
+    }
+
+    // Pre-order with deleted subtrees skipped whole: the changed set, in
+    // document order (children pushed reversed so the stack pops
+    // left-to-right).
+    let mut changed = Vec::new();
+    let mut stack = vec![resolve(s.root())];
+    while let Some(slot) = stack.pop() {
+        let node = s.node_at(slot);
+        if node.label.op == EditOp::Del {
+            continue;
+        }
+        let must_check = node.label.op == EditOp::Ins
+            || node.children.iter().any(|&c| s.label(c).op != EditOp::Nop);
+        if must_check {
+            changed.push(node.id);
+        }
+        stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
+    }
+
+    ScriptFootprint { changed, clean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_script;
+    use xvu_tree::Alphabet;
+
+    fn slot_of(s: &Script, id: u64) -> Slot {
+        s.slot(NodeId(id)).unwrap()
+    }
+
+    #[test]
+    fn identity_script_is_all_clean() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r#0(nop:a#1(nop:b#2), nop:c#3)").unwrap();
+        let fp = script_footprint(&s);
+        assert!(fp.changed().is_empty());
+        assert_eq!(fp.clean_len(), 4);
+        for id in [0, 1, 2, 3] {
+            assert!(fp.is_clean(slot_of(&s, id)));
+        }
+    }
+
+    #[test]
+    fn edits_dirty_exactly_the_path_to_root() {
+        // r(a(b, ins:x), c): the insert dirties a and r; b and c stay clean.
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r#0(nop:a#1(nop:b#2, ins:x#4), nop:c#3)").unwrap();
+        let fp = script_footprint(&s);
+        assert_eq!(fp.changed(), &[NodeId(1), NodeId(4)]);
+        assert!(!fp.is_clean(slot_of(&s, 0)));
+        assert!(!fp.is_clean(slot_of(&s, 1)));
+        assert!(!fp.is_clean(slot_of(&s, 4)));
+        assert!(fp.is_clean(slot_of(&s, 2)));
+        assert!(fp.is_clean(slot_of(&s, 3)));
+    }
+
+    #[test]
+    fn deleted_subtrees_are_skipped_whole() {
+        // Nested non-Del inside a Del subtree (malformed w.r.t. the
+        // closure discipline) must still be skipped whole: those nodes are
+        // not part of the output.
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r#0(del:a#1(ins:x#2, nop:b#3), nop:c#4)").unwrap();
+        let fp = script_footprint(&s);
+        assert_eq!(fp.changed(), &[NodeId(0)]); // only the cut-point parent
+        assert!(!fp.is_clean(slot_of(&s, 1)));
+        assert!(!fp.is_clean(slot_of(&s, 2)));
+    }
+
+    #[test]
+    fn inserted_subtrees_are_changed_throughout() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(&mut alpha, "nop:r#0(ins:a#1(ins:b#2(ins:c#3)))").unwrap();
+        let fp = script_footprint(&s);
+        assert_eq!(fp.changed(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(fp.clean_len(), 0);
+    }
+
+    #[test]
+    fn changed_set_is_in_document_order() {
+        let mut alpha = Alphabet::new();
+        let s = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:a#1(del:x#5), nop:b#2(ins:y#6), nop:c#3)",
+        )
+        .unwrap();
+        let fp = script_footprint(&s);
+        assert_eq!(fp.changed(), &[NodeId(1), NodeId(2), NodeId(6)]);
+    }
+}

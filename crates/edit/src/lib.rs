@@ -14,7 +14,13 @@
 //! * [`Script`] = `Tree<ELabel>` with [`validate_script`] enforcing the
 //!   whole-subtree discipline (descendants of `Ins` insert, of `Del`
 //!   delete);
-//! * [`apply`] — runs a script against its input tree;
+//! * [`apply`] / [`apply_in_place`] — run a script against its input tree
+//!   (building the output fresh, or mutating the input in place so only
+//!   the edited regions are touched);
+//! * [`script_footprint`] — the shared "what did this script touch"
+//!   analysis: the changed child-word region (for incremental
+//!   revalidation) and the entirely-`Nop` clean region (for propagation
+//!   caching);
 //! * [`ins_script`] / [`del_script`] / [`nop_script`] — the paper's
 //!   `Ins(t)`, `Del(t)`, `Nop(t)` lifts;
 //! * [`UpdateBuilder`] — positional *delete-subtree* / *insert-subtree*
@@ -44,6 +50,7 @@ mod builder;
 mod compose;
 mod diff;
 mod error;
+mod footprint;
 mod op;
 mod script;
 mod term;
@@ -53,10 +60,11 @@ pub use builder::UpdateBuilder;
 pub use compose::compose;
 pub use diff::diff;
 pub use error::EditError;
+pub use footprint::{script_footprint, ScriptFootprint};
 pub use op::{ELabel, EditOp};
 pub use script::{
-    apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, validate_script,
-    Script,
+    apply, apply_in_place, cost, del_script, input_tree, ins_script, nop_script, output_tree,
+    validate_script, Script,
 };
 pub use term::{parse_script, parse_script_with_gen, script_to_term};
 pub use update::{check_is_update_of, check_no_hidden_ids};

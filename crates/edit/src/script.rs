@@ -82,6 +82,83 @@ pub fn apply(s: &Script, t: &DocTree) -> Result<DocTree, EditError> {
     output_tree(s).ok_or(EditError::EmptyOutput)
 }
 
+/// Applies a script to a tree **in place**: checks `t = In(S)` exactly
+/// (identifiers, labels, structure — including the contents of deleted
+/// subtrees) and then mutates `t` into `Out(S)` by detaching every
+/// deleted subtree and attaching every inserted one, leaving the
+/// untouched regions of `t` alone.
+///
+/// Semantically equivalent to [`apply`] (`*t == apply(s, &t_before)?`
+/// afterwards), but it never materialises the input or output tree, and —
+/// because only the edited regions are mutated — `t`'s change journal
+/// ([`xvu_tree::Tree::set_change_tracking`]) records exactly the nodes
+/// whose child word the script changed. Validation runs entirely before
+/// the first mutation: on any `Err`, `t` is unchanged.
+pub fn apply_in_place(t: &mut DocTree, s: &Script) -> Result<(), EditError> {
+    validate_script(s)?;
+    let root_label = s.label(s.root());
+    match root_label.op {
+        EditOp::Ins => return Err(EditError::EmptyInput),
+        EditOp::Del => return Err(EditError::EmptyOutput),
+        EditOp::Nop => {}
+    }
+    if s.root() != t.root() || root_label.label != t.label(t.root()) {
+        return Err(EditError::InputMismatch);
+    }
+
+    // Phase 1 (read-only): verify In(S) = t in lockstep, without building
+    // the input projection. Every non-Ins script node must occupy the
+    // corresponding position of `t` with the same identifier and label;
+    // since whole child lists are matched and recursed into from the
+    // shared root, this covers all of `t` exactly.
+    let mut stack = vec![s.root()];
+    while let Some(n) = stack.pop() {
+        let t_children = t.children(n);
+        let mut i = 0usize;
+        for &c in s.children(n) {
+            let cl = s.label(c);
+            if cl.op == EditOp::Ins {
+                continue;
+            }
+            match t_children.get(i) {
+                Some(&tc) if tc == c && t.label(tc) == cl.label => {}
+                _ => return Err(EditError::InputMismatch),
+            }
+            i += 1;
+            stack.push(c);
+        }
+        if i != t_children.len() {
+            return Err(EditError::InputMismatch);
+        }
+    }
+
+    // Phase 2: mutate. Walk the Nop skeleton; at each node the invariant
+    // holds that `t`'s children processed so far are exactly the output
+    // children emitted so far, so `pos` tracks the attach position.
+    let mut stack = vec![s.root()];
+    while let Some(n) = stack.pop() {
+        let mut pos = 0usize;
+        for ci in 0..s.children(n).len() {
+            let c = s.children(n)[ci];
+            match s.label(c).op {
+                EditOp::Nop => {
+                    stack.push(c);
+                    pos += 1;
+                }
+                EditOp::Del => {
+                    t.detach_subtree(c)?;
+                }
+                EditOp::Ins => {
+                    let frag = s.subtree(c).map_labels(|_, l| l.label);
+                    t.attach_subtree(n, pos, frag)?;
+                    pos += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `Ins(t)`: the unique script with empty input and output `t` — all nodes
 /// insert, identifiers preserved.
 pub fn ins_script(t: &DocTree) -> Script {
@@ -214,6 +291,85 @@ mod tests {
         assert_eq!(output_tree(&nop).unwrap(), t);
         assert_eq!(cost(&nop), 0);
         assert_eq!(apply(&nop, &t).unwrap(), t);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let view = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))")
+            .unwrap();
+        let expect = apply(&s, &view).unwrap();
+        let mut t = view.clone();
+        apply_in_place(&mut t, &s).unwrap();
+        assert_eq!(t, expect);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_in_place_rejects_without_mutating() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let mut gen = NodeIdGen::starting_at(900);
+        let wrong = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#900(a#901, d#902(c#903), a#904, d#905(c#906))",
+        )
+        .unwrap();
+        let before = wrong.clone();
+        let mut t = wrong;
+        assert_eq!(
+            apply_in_place(&mut t, &s).unwrap_err(),
+            EditError::InputMismatch
+        );
+        assert_eq!(t, before, "failed application must leave t untouched");
+        // a subtree mismatch hidden inside a deleted region is caught too
+        let mut gen = NodeIdGen::new();
+        let missing_del_leaf =
+            parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3, a#4, d#6(c#10))").unwrap();
+        let mut t = missing_del_leaf.clone();
+        assert_eq!(
+            apply_in_place(&mut t, &s).unwrap_err(),
+            EditError::InputMismatch
+        );
+        assert_eq!(t, missing_del_leaf);
+    }
+
+    #[test]
+    fn apply_in_place_journals_exactly_the_edited_parents() {
+        let mut alpha = Alphabet::new();
+        let s = s0(&mut alpha);
+        let mut gen = NodeIdGen::new();
+        let mut t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, d#3(c#8), a#4, d#6(c#10))")
+            .unwrap();
+        t.set_change_tracking(true);
+        apply_in_place(&mut t, &s).unwrap();
+        let mut changed = t.take_changed_parents();
+        changed.sort();
+        // S0 edits the child lists of r#0 (dels + inserts) and d#6 (ins
+        // c#15); d#3 is deleted whole so it no longer journals.
+        assert_eq!(changed, vec![NodeId(0), NodeId(6)]);
+    }
+
+    #[test]
+    fn apply_in_place_root_ops_are_rejected() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let t = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)").unwrap();
+        let del_root = parse_script(&mut alpha, "del:r#0(del:a#1)").unwrap();
+        let mut u = t.clone();
+        assert_eq!(
+            apply_in_place(&mut u, &del_root).unwrap_err(),
+            EditError::EmptyOutput
+        );
+        let ins_root = parse_script(&mut alpha, "ins:r#50(ins:a#51)").unwrap();
+        assert_eq!(
+            apply_in_place(&mut u, &ins_root).unwrap_err(),
+            EditError::EmptyInput
+        );
+        assert_eq!(u, t);
     }
 
     #[test]

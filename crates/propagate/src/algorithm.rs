@@ -10,14 +10,16 @@
 //! With a polynomial `Φ` and an insertlet package `W`, the whole pipeline
 //! is polynomial in `|D| + |t| + |S| + |W|`.
 
+use crate::cache::PropCache;
 use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::selection::Selector;
+use std::sync::Arc;
 use xvu_dtd::{min_sizes, InsertletPackage};
-use xvu_edit::{del_script, ins_script, nop_script, ELabel, Script};
+use xvu_edit::{del_script, ins_script, nop_script, ELabel, Script, ScriptFootprint};
 use xvu_tree::{NodeId, NodeIdGen, SlotMap, Tree};
 
 /// Tuning knobs for [`propagate`].
@@ -79,7 +81,23 @@ pub(crate) fn propagate_with(
     cost: &CostModel<'_>,
     cfg: &Config,
 ) -> Result<Propagation, PropagateError> {
-    let forest = PropagationForest::build(inst, cost)?;
+    propagate_with_cache(inst, cost, cfg, None, None)
+}
+
+/// The cache-aware propagation core: graphs and optimal subgraphs for
+/// nodes outside the update footprint (`fp`'s clean region) are served
+/// from — and stored into — the session's [`PropCache`]. With `cache` /
+/// `fp` absent this is exactly [`propagate_with`]; with them present the
+/// result is byte-identical but the dynamic program is only recomputed
+/// inside the footprint.
+pub(crate) fn propagate_with_cache(
+    inst: &Instance<'_>,
+    cost: &CostModel<'_>,
+    cfg: &Config,
+    mut cache: Option<&mut PropCache>,
+    fp: Option<&ScriptFootprint>,
+) -> Result<Propagation, PropagateError> {
+    let forest = PropagationForest::build_with(inst, cost, cache.as_deref_mut(), fp)?;
     let mut gen = inst.id_gen();
     let script = assemble(
         inst,
@@ -89,6 +107,8 @@ pub(crate) fn propagate_with(
         forest.root,
         &mut gen,
         &mut SlotMap::with_capacity(inst.update.size()),
+        cache,
+        fp,
     )?;
     let cost_total = forest.optimal_cost();
     debug_assert_eq!(xvu_edit::cost(&script) as u64, cost_total);
@@ -123,9 +143,11 @@ pub fn propagate_view_edit(
 
 /// Builds the script for preserved node `n` from its chosen optimal path.
 ///
-/// `opt_cache` memoises optimal subgraphs per update-tree slot (a node's
-/// graph is walked once, but subgraph extraction is reused by enumeration
-/// callers).
+/// `opt_cache` memoises optimal subgraphs per update-tree slot within one
+/// assembly (a node's graph is walked once, but subgraph extraction is
+/// reused by enumeration callers); for clean nodes the extraction is
+/// additionally memoised *across* updates in the session `cache`.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     inst: &Instance<'_>,
     forest: &PropagationForest,
@@ -133,25 +155,51 @@ fn assemble(
     cfg: &Config,
     n: NodeId,
     gen: &mut NodeIdGen,
-    opt_cache: &mut SlotMap<PropGraph>,
+    opt_cache: &mut SlotMap<Arc<PropGraph>>,
+    mut cache: Option<&mut PropCache>,
+    fp: Option<&ScriptFootprint>,
 ) -> Result<Script, PropagateError> {
     let nslot = inst.update.slot(n).expect("preserved node in update");
-    let opt = match opt_cache.get(nslot) {
-        Some(g) => g.clone(),
+    let opt: Arc<PropGraph> = match opt_cache.get(nslot) {
+        Some(g) => Arc::clone(g),
         None => {
-            let g = forest
-                .graph(n)
-                .ok_or(PropagateError::NoPropagationPath(n))?
-                .optimal_subgraph()
-                .ok_or(PropagateError::NoPropagationPath(n))?;
-            opt_cache.insert(nslot, g.clone());
+            // Clean nodes key the session memo by their document slot;
+            // the extraction is a pure function of the (unchanged) graph.
+            let src_slot = if fp.is_some_and(|f| f.is_clean(nslot)) {
+                inst.source.slot(n)
+            } else {
+                None
+            };
+            let memo = match (cache.as_deref(), src_slot) {
+                (Some(c), Some(s)) => c.opt(s),
+                _ => None,
+            };
+            let g = match memo {
+                Some(g) => g,
+                None => {
+                    let g = Arc::new(
+                        forest
+                            .graph(n)
+                            .ok_or(PropagateError::NoPropagationPath(n))?
+                            .optimal_subgraph()
+                            .ok_or(PropagateError::NoPropagationPath(n))?,
+                    );
+                    if let (Some(c), Some(s)) = (cache.as_deref_mut(), src_slot) {
+                        c.store_opt(s, Arc::clone(&g));
+                    }
+                    g
+                }
+            };
+            opt_cache.insert(nslot, Arc::clone(&g));
             g
         }
     };
     let path = opt
         .walk(|g, outs| cfg.selector.pick(g, outs))
         .ok_or(PropagateError::NoPropagationPath(n))?;
-    build_script_from_path(inst, forest, cost, cfg, n, &opt, &path, gen, opt_cache)
+    build_script_from_path(
+        inst, forest, cost, cfg, n, &opt, &path, gen, opt_cache, cache, fp,
+    )
 }
 
 /// Assembles the script for node `n` given an explicit edge path in (a
@@ -166,7 +214,9 @@ pub(crate) fn build_script_from_path(
     graph: &PropGraph,
     path: &[u32],
     gen: &mut NodeIdGen,
-    opt_cache: &mut SlotMap<PropGraph>,
+    opt_cache: &mut SlotMap<Arc<PropGraph>>,
+    mut cache: Option<&mut PropCache>,
+    fp: Option<&ScriptFootprint>,
 ) -> Result<Script, PropagateError> {
     let x = inst.source.label(n);
     let mut script: Script = Tree::leaf_with_id(n, ELabel::nop(x));
@@ -194,9 +244,17 @@ pub(crate) fn build_script_from_path(
                     .materialize_min(inst.dtd, cost, cfg.selector, gen, cfg.witness_budget)?;
                 ins_script(&inv)
             }
-            PropEdge::NopVisible { child, .. } => {
-                assemble(inst, forest, cost, cfg, *child, gen, opt_cache)?
-            }
+            PropEdge::NopVisible { child, .. } => assemble(
+                inst,
+                forest,
+                cost,
+                cfg,
+                *child,
+                gen,
+                opt_cache,
+                cache.as_deref_mut(),
+                fp,
+            )?,
         };
         let pos = script.children(root).len();
         script.attach_subtree(root, pos, sub)?;

@@ -1,0 +1,339 @@
+//! Session-persistent propagation caches with commit-time invalidation.
+//!
+//! [`crate::Session::propagate`] recomputes, per update, one dynamic
+//! program per preserved node: a typing run over the node's source
+//! children, a segment decomposition, the propagation graph `G_n`, its
+//! optimal subgraph, and (on demand) its complement-preserving
+//! restriction. For a node whose entire subtree the update leaves alone
+//! (`Nop` throughout — the *clean region* of
+//! [`xvu_edit::script_footprint`]), every one of those artefacts is a pure
+//! function of the node's source subtree: the cheapest propagation is the
+//! identity, the child-cost rows feeding `G_n` are all zero, and no
+//! inserted fragment is in sight.
+//!
+//! [`PropCache`] memoises exactly those artefacts, keyed by the session
+//! document's arena [`Slot`]s. The contract:
+//!
+//! * **Lookup domain** — an entry for node `n` may only be consulted when
+//!   the current update's footprint marks `n` clean; inside the footprint
+//!   everything is recomputed (and never cached, because it depends on the
+//!   update). Typing runs are the one exception: they depend only on the
+//!   source child word, so they are memoised for dirty nodes too.
+//! * **Invalidation** — [`crate::Session::commit`] applies the committed
+//!   propagation in place and drains the document's dirty journal
+//!   ([`xvu_tree::Tree::drain_dirty_to_root`]); entries for the dirty
+//!   region (every node whose subtree changed: the edited parents plus
+//!   their ancestors up to the root) are dropped, entries for deleted
+//!   nodes disappear with their identifiers, and everything else is
+//!   re-keyed to the document's post-commit slots and carried over.
+//!
+//! Cached graphs are compared-by-construction with the uncached path: a
+//! hit returns the very structure a fresh build would produce (the build
+//! is deterministic in the source subtree), so propagations, counts, and
+//! enumerations are byte-identical with the cache on or off — property
+//! `session_cache_matches_one_shot` in `tests/incremental_cache.rs` pins
+//! this.
+
+use crate::graph::PropGraph;
+use std::sync::Arc;
+use xvu_automata::StateId;
+use xvu_tree::{DocTree, NodeId, Slot, SlotMap, SlotSet};
+
+/// A memoised typing run: the states of the deterministic content-model
+/// run over a node's source child word, or `None` when the model is
+/// nondeterministic (that outcome is memoised too).
+pub(crate) type TypingRun = Option<Arc<[StateId]>>;
+
+/// Per-node memoised dynamic-programming artefacts.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CacheEntry {
+    /// The propagation graph `G_n` and its cheapest path cost (0 for every
+    /// clean node: the identity propagation). Only stored for nodes whose
+    /// subtree the caching update left clean.
+    pub(crate) graph: Option<(Arc<PropGraph>, u64)>,
+    /// The optimal subgraph `G*_n`, filled lazily by script assembly.
+    pub(crate) opt: Option<Arc<PropGraph>>,
+    /// The complement-preserving restriction of `G_n` (all
+    /// invisible-mutation edges removed), filled lazily by
+    /// [`crate::Session::complement_preserving`].
+    pub(crate) complement: Option<Arc<PropGraph>>,
+    /// The typing run over the node's source child word.
+    pub(crate) run: Option<TypingRun>,
+}
+
+/// Observability counters for a session's [`PropCache`], returned by
+/// [`crate::Session::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Graph lookups answered from the cache.
+    pub hits: u64,
+    /// Graph lookups that had to build (and then cached the result).
+    pub misses: u64,
+    /// Entries dropped by commit-time invalidation (dirty region plus
+    /// deleted nodes).
+    pub invalidated: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// The session-persistent memo table. See the module docs for the keying
+/// and invalidation contract.
+#[derive(Clone, Debug)]
+pub struct PropCache {
+    enabled: bool,
+    entries: SlotMap<CacheEntry>,
+    hits: u64,
+    misses: u64,
+    invalidated: u64,
+}
+
+impl PropCache {
+    /// An empty cache; `enabled = false` makes every lookup a pass-through
+    /// miss that stores nothing (the measured baseline of the `churn`
+    /// benchmark).
+    pub(crate) fn new(enabled: bool) -> PropCache {
+        PropCache {
+            enabled,
+            entries: SlotMap::new(),
+            hits: 0,
+            misses: 0,
+            invalidated: 0,
+        }
+    }
+
+    /// Whether lookups and stores are active.
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the cache, dropping all entries either way (a
+    /// re-enabled cache must not serve entries from before the blackout).
+    /// Dropped entries count as invalidated, like [`PropCache::clear`].
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.invalidated += self.entries.len() as u64;
+        self.entries = SlotMap::new();
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidated: self.invalidated,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// Drops every entry (counters survive).
+    pub(crate) fn clear(&mut self) {
+        self.invalidated += self.entries.len() as u64;
+        self.entries = SlotMap::new();
+    }
+
+    fn entry_mut(&mut self, slot: Slot) -> &mut CacheEntry {
+        if !self.entries.contains(slot) {
+            self.entries.insert(slot, CacheEntry::default());
+        }
+        self.entries.get_mut(slot).expect("just inserted")
+    }
+
+    /// The cached graph (and its cost) for the node at `slot`, counting
+    /// the lookup.
+    pub(crate) fn graph(&mut self, slot: Slot) -> Option<(Arc<PropGraph>, u64)> {
+        if !self.enabled {
+            return None;
+        }
+        match self.entries.get(slot).and_then(|e| e.graph.clone()) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(hit)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the freshly built graph for the node at `slot`.
+    pub(crate) fn store_graph(&mut self, slot: Slot, graph: Arc<PropGraph>, cost: u64) {
+        if self.enabled {
+            self.entry_mut(slot).graph = Some((graph, cost));
+        }
+    }
+
+    /// The memoised optimal subgraph for the node at `slot`.
+    pub(crate) fn opt(&self, slot: Slot) -> Option<Arc<PropGraph>> {
+        if !self.enabled {
+            return None;
+        }
+        self.entries.get(slot).and_then(|e| e.opt.clone())
+    }
+
+    /// Memoises the optimal subgraph for the node at `slot`.
+    pub(crate) fn store_opt(&mut self, slot: Slot, opt: Arc<PropGraph>) {
+        if self.enabled {
+            self.entry_mut(slot).opt = Some(opt);
+        }
+    }
+
+    /// The memoised complement-preserving restriction for the node at
+    /// `slot`.
+    pub(crate) fn complement(&self, slot: Slot) -> Option<Arc<PropGraph>> {
+        if !self.enabled {
+            return None;
+        }
+        self.entries.get(slot).and_then(|e| e.complement.clone())
+    }
+
+    /// Memoises the complement-preserving restriction for the node at
+    /// `slot`.
+    pub(crate) fn store_complement(&mut self, slot: Slot, g: Arc<PropGraph>) {
+        if self.enabled {
+            self.entry_mut(slot).complement = Some(g);
+        }
+    }
+
+    /// The memoised typing run for the node at `slot`, computing and
+    /// storing it on first use. With the cache disabled, just computes.
+    pub(crate) fn run_or_compute(
+        &mut self,
+        slot: Slot,
+        compute: impl FnOnce() -> Option<Vec<StateId>>,
+    ) -> TypingRun {
+        if !self.enabled {
+            return compute().map(Arc::from);
+        }
+        if let Some(run) = self.entries.get(slot).and_then(|e| e.run.clone()) {
+            return run;
+        }
+        let run: TypingRun = compute().map(Arc::from);
+        self.entry_mut(slot).run = Some(run.clone());
+        run
+    }
+
+    /// Commit support, step 1: removes every entry and returns it keyed by
+    /// node *identifier* (resolved against the pre-commit document), so
+    /// entries survive the slot relocations of the in-place commit.
+    pub(crate) fn drain_entries(&mut self, doc: &DocTree) -> Vec<(NodeId, CacheEntry)> {
+        let entries = std::mem::replace(&mut self.entries, SlotMap::new());
+        entries
+            .iter()
+            .map(|(slot, e)| (doc.id_at(slot), e.clone()))
+            .collect()
+    }
+
+    /// Commit support, step 2: re-inserts the drained entries against the
+    /// post-commit document, dropping entries whose node was deleted or
+    /// whose post-commit slot lies in `dirty` (the committed script's
+    /// dirty region: edited parents and all their ancestors).
+    pub(crate) fn restore_entries(
+        &mut self,
+        doc: &DocTree,
+        kept: Vec<(NodeId, CacheEntry)>,
+        dirty: &SlotSet,
+    ) {
+        for (id, entry) in kept {
+            match doc.slot(id) {
+                Some(slot) if !dirty.contains(slot) => {
+                    self.entries.insert(slot, entry);
+                }
+                _ => self.invalidated += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropVertex;
+    use crate::pathgraph::PathGraph;
+    use xvu_tree::{parse_term_with_ids, Alphabet, NodeIdGen};
+
+    fn stub_graph() -> Arc<PropGraph> {
+        let mut g: PropGraph = PathGraph::new(
+            vec![PropVertex {
+                tpos: 0,
+                state: StateId(0),
+                spos: 0,
+            }],
+            0,
+        );
+        g.set_goal(0);
+        Arc::new(g)
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let mut c = PropCache::new(false);
+        c.store_graph(Slot::new(0), stub_graph(), 0);
+        assert!(c.graph(Slot::new(0)).is_none());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().hits, 0);
+        // the miss counter is also idle while disabled
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c = PropCache::new(true);
+        assert!(c.graph(Slot::new(3)).is_none());
+        c.store_graph(Slot::new(3), stub_graph(), 0);
+        assert!(c.graph(Slot::new(3)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn drain_restore_rekeys_by_identifier_and_drops_dirty() {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let before = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, b#2)").unwrap();
+        let mut c = PropCache::new(true);
+        for id in [0u64, 1, 2] {
+            c.store_graph(before.slot(NodeId(id)).unwrap(), stub_graph(), 0);
+        }
+        let kept = c.drain_entries(&before);
+        assert_eq!(c.stats().entries, 0);
+        // after "commit": b#2 deleted, a#1's slot moved, r#0 dirty
+        let mut after = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1)").unwrap();
+        let _ = &mut after;
+        let mut dirty = SlotSet::new();
+        dirty.insert(after.slot(NodeId(0)).unwrap());
+        c.restore_entries(&after, kept, &dirty);
+        let s = c.stats();
+        assert_eq!(s.entries, 1, "only a#1 survives");
+        assert_eq!(s.invalidated, 2, "r#0 dirty, b#2 deleted");
+        assert!(c.graph(after.slot(NodeId(1)).unwrap()).is_some());
+    }
+
+    #[test]
+    fn run_memo_computes_once() {
+        let mut c = PropCache::new(true);
+        let mut calls = 0;
+        let r1 = c.run_or_compute(Slot::new(0), || {
+            calls += 1;
+            Some(vec![StateId(1), StateId(2)])
+        });
+        let r2 = c.run_or_compute(Slot::new(0), || {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(r1.as_deref(), Some(&[StateId(1), StateId(2)][..]));
+        assert_eq!(r1, r2);
+        // nondeterministic outcomes are memoised too
+        let r3 = c.run_or_compute(Slot::new(1), || {
+            calls += 1;
+            None
+        });
+        let r4 = c.run_or_compute(Slot::new(1), || {
+            calls += 1;
+            Some(vec![])
+        });
+        assert_eq!(calls, 2);
+        assert!(r3.is_none() && r4.is_none());
+    }
+}

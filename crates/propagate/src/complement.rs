@@ -15,13 +15,15 @@
 //!   complement-preserving propagation iff one exists.
 
 use crate::algorithm::{build_script_from_path, Config};
+use crate::cache::PropCache;
 use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::pathgraph::PathGraph;
-use xvu_edit::{EditOp, Script};
+use std::sync::Arc;
+use xvu_edit::{EditOp, Script, ScriptFootprint};
 use xvu_tree::{NodeId, SlotMap, SlotSet};
 
 /// How a propagation touches the invisible part of the document.
@@ -86,8 +88,25 @@ pub fn find_complement_preserving(
     cost: &CostModel<'_>,
     cfg: &Config,
 ) -> Result<Option<Script>, PropagateError> {
+    find_complement_preserving_with(inst, forest, cost, cfg, None, None)
+}
+
+/// Cache-aware [`find_complement_preserving`]: the filtered ("complement")
+/// subgraph of every node outside the update footprint is memoised in the
+/// session [`PropCache`]. A clean node's restriction is a pure function of
+/// its (unchanged) graph, and the identity path — all (iii)/(vi) `Nop`
+/// edges — always survives the filter, so clean nodes are feasible by
+/// construction.
+pub(crate) fn find_complement_preserving_with(
+    inst: &Instance<'_>,
+    forest: &PropagationForest,
+    cost: &CostModel<'_>,
+    cfg: &Config,
+    mut cache: Option<&mut PropCache>,
+    fp: Option<&ScriptFootprint>,
+) -> Result<Option<Script>, PropagateError> {
     let update = inst.update;
-    let mut filtered: SlotMap<PropGraph> = SlotMap::with_capacity(update.size());
+    let mut filtered: SlotMap<Arc<PropGraph>> = SlotMap::with_capacity(update.size());
     // Restrict graphs bottom-up; a node whose restricted graph has no path
     // poisons its parents' (vi)-edges. Post-order over the update script
     // visits children before parents, so no sorting is needed.
@@ -98,37 +117,60 @@ pub fn find_complement_preserving(
             continue;
         };
         let nslot = update.slot(n).expect("preserved node in update");
-        let mut fg: PropGraph = PathGraph::new(
-            (0..g.n_vertices() as u32).map(|v| *g.vertex(v)).collect(),
-            g.start(),
-        );
-        for v in 0..g.n_vertices() as u32 {
-            if g.is_goal(v) {
-                fg.set_goal(v);
+        let clean = fp.is_some_and(|f| f.is_clean(nslot));
+        let src_slot = if clean { inst.source.slot(n) } else { None };
+        let memo = match (cache.as_deref(), src_slot) {
+            (Some(c), Some(s)) => c.complement(s),
+            _ => None,
+        };
+        let fg: Arc<PropGraph> = match memo {
+            Some(fg) => {
+                // Memoised restrictions exist only for clean nodes, whose
+                // identity path survives the filter.
+                feasible.insert(nslot);
+                fg
             }
-        }
-        for (_, e) in g.edges() {
-            let keep = match &e.payload {
-                PropEdge::InsInvisible(_) | PropEdge::DelInvisible { .. } => false,
-                PropEdge::NopInvisible { .. } | PropEdge::DelVisible { .. } => true,
-                PropEdge::InsVisible { child } => {
-                    forest
-                        .inversion(*child)
-                        .expect("built forest has an inversion per Ins child")
-                        .min_padding()
-                        == 0
+            None => {
+                let mut fg: PropGraph = PathGraph::new(
+                    (0..g.n_vertices() as u32).map(|v| *g.vertex(v)).collect(),
+                    g.start(),
+                );
+                for v in 0..g.n_vertices() as u32 {
+                    if g.is_goal(v) {
+                        fg.set_goal(v);
+                    }
                 }
-                PropEdge::NopVisible { child, .. } => {
-                    update.slot(*child).is_some_and(|cs| feasible.contains(cs))
+                for (_, e) in g.edges() {
+                    let keep = match &e.payload {
+                        PropEdge::InsInvisible(_) | PropEdge::DelInvisible { .. } => false,
+                        PropEdge::NopInvisible { .. } | PropEdge::DelVisible { .. } => true,
+                        PropEdge::InsVisible { child } => {
+                            forest
+                                .inversion(*child)
+                                .expect("built forest has an inversion per Ins child")
+                                .min_padding()
+                                == 0
+                        }
+                        PropEdge::NopVisible { child, .. } => {
+                            update.slot(*child).is_some_and(|cs| feasible.contains(cs))
+                        }
+                    };
+                    if keep {
+                        fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
+                    }
                 }
-            };
-            if keep {
-                fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
+                let node_feasible = fg.best_cost().is_some();
+                if node_feasible {
+                    feasible.insert(nslot);
+                }
+                let fg = Arc::new(fg);
+                if let (Some(c), Some(s)) = (cache.as_deref_mut(), src_slot) {
+                    debug_assert!(node_feasible, "clean nodes keep their identity path");
+                    c.store_complement(s, Arc::clone(&fg));
+                }
+                fg
             }
-        }
-        if fg.best_cost().is_some() {
-            feasible.insert(nslot);
-        }
+        };
         filtered.insert(nslot, fg);
     }
 
@@ -158,12 +200,12 @@ pub fn find_complement_preserving(
 fn walk_filtered(
     inst: &Instance<'_>,
     forest: &PropagationForest,
-    filtered: &SlotMap<PropGraph>,
+    filtered: &SlotMap<Arc<PropGraph>>,
     cost: &CostModel<'_>,
     cfg: &Config,
     n: NodeId,
     gen: &mut xvu_tree::NodeIdGen,
-    opt_cache: &mut SlotMap<PropGraph>,
+    opt_cache: &mut SlotMap<Arc<PropGraph>>,
 ) -> Result<Script, PropagateError> {
     let g = &filtered[inst.update.slot(n).expect("preserved node in update")];
     let path = g
@@ -171,7 +213,9 @@ fn walk_filtered(
         .ok_or(PropagateError::NoPropagationPath(n))?;
     // Reuse the assembler, but recurse through the *filtered* graphs: we
     // construct child scripts ourselves and splice via a custom walk.
-    let mut script = build_script_from_path(inst, forest, cost, cfg, n, g, &path, gen, opt_cache)?;
+    let mut script = build_script_from_path(
+        inst, forest, cost, cfg, n, g, &path, gen, opt_cache, None, None,
+    )?;
     // build_script_from_path recursed into the *optimal* child graphs for
     // (vi)-edges, which may use invisible edits. Rebuild those children
     // from the filtered graphs instead.

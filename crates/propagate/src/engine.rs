@@ -58,7 +58,9 @@
 //! assert_eq!(session.commits(), 1);
 //! ```
 
-use crate::algorithm::{propagate_with, Config, Propagation};
+use crate::algorithm::{propagate_with, propagate_with_cache, Config, Propagation};
+use crate::cache::{CacheStats, PropCache};
+use crate::complement::find_complement_preserving_with;
 use crate::cost::CostModel;
 use crate::count::count_optimal_propagations;
 use crate::enumerate::enumerate_optimal_propagations;
@@ -69,9 +71,10 @@ use crate::instance::{Instance, Prepared};
 use crate::verify::verify_propagation;
 use std::borrow::Cow;
 use std::collections::HashSet;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use xvu_dtd::{min_sizes, Dtd, InsertletPackage, MinSizes};
-use xvu_edit::{input_tree, output_tree, Script};
-use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen};
+use xvu_edit::{apply_in_place, script_footprint, EditError, Script};
+use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen, SlotSet};
 use xvu_view::{derive_view_dtd, Annotation};
 
 /// A compiled `(Σ, D, A)` triple with every update-independent artefact
@@ -86,6 +89,7 @@ pub struct Engine {
     sizes: MinSizes,
     insertlets: InsertletPackage,
     config: Config,
+    prop_cache: bool,
 }
 
 /// Builder for [`Engine`]; see [`Engine::builder`].
@@ -97,6 +101,7 @@ pub struct EngineBuilder {
     insertlets: InsertletPackage,
     config: Config,
     minimal_insertlets: bool,
+    prop_cache: Option<bool>,
 }
 
 impl EngineBuilder {
@@ -139,6 +144,15 @@ impl EngineBuilder {
     /// Full tuning configuration (default: [`Config::default`]).
     pub fn config(mut self, config: Config) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Whether sessions opened by this engine keep a per-document
+    /// [`PropCache`] of propagation-graph state across updates (default:
+    /// `true`). Disable it to measure the uncached baseline or to trade
+    /// the memory for recomputation; results are identical either way.
+    pub fn prop_cache(mut self, on: bool) -> Self {
+        self.prop_cache = Some(on);
         self
     }
 
@@ -189,6 +203,7 @@ impl EngineBuilder {
             sizes,
             insertlets,
             config: self.config,
+            prop_cache: self.prop_cache.unwrap_or(true),
         })
     }
 }
@@ -212,14 +227,11 @@ impl Engine {
             .expect("all required components supplied")
     }
 
-    /// The alphabet `Σ`.
+    /// The alphabet `Σ`. Its length (`engine.alphabet().len()`) sizes
+    /// every symbol-indexed table — there is no separate `alphabet_len`
+    /// accessor anywhere in the engine API.
     pub fn alphabet(&self) -> &Alphabet {
         &self.alpha
-    }
-
-    /// `|Σ|` — the size of every symbol-indexed table.
-    pub fn alphabet_len(&self) -> usize {
-        self.alpha.len()
     }
 
     /// The document schema `D`.
@@ -262,15 +274,23 @@ impl Engine {
 
     /// Validates `doc ∈ L(D)` once and opens a session serving repeated
     /// updates against it.
+    ///
+    /// The session's copy of the document runs with change tracking on:
+    /// [`Session::commit`] applies propagations in place and drains the
+    /// dirty journal to invalidate exactly the changed region of the
+    /// session's [`PropCache`].
     pub fn open(&self, doc: &DocTree) -> Result<Session<'_>, PropagateError> {
         self.dtd
             .validate(doc)
             .map_err(PropagateError::SourceNotValid)?;
+        let mut doc = doc.clone();
+        doc.set_change_tracking(true);
         Ok(Session {
             engine: self,
-            prepared: Prepared::from_source(&self.ann, doc),
-            doc: doc.clone(),
+            prepared: Prepared::from_source(&self.ann, &doc),
+            doc,
             commits: 0,
+            cache: Mutex::new(PropCache::new(self.prop_cache)),
         })
     }
 
@@ -321,18 +341,78 @@ impl Engine {
 /// mark; every subsequent call runs only update-dependent work.
 /// [`Session::commit`] advances the session to a propagation's output
 /// document with incremental revalidation.
-#[derive(Clone, Debug)]
+///
+/// # Incremental propagation
+///
+/// The session additionally keeps a [`PropCache`]: per-node propagation
+/// graphs, optimal subgraphs, complement restrictions, and typing runs,
+/// keyed by the document's arena slots. [`Session::propagate`] (and
+/// [`Session::count_optimal`] / [`Session::enumerate_optimal`] /
+/// [`Session::complement_preserving`]) consult it for every node *outside*
+/// the update's footprint and recompute only inside it, so the cost of the
+/// Kth small update is proportional to the update's footprint rather than
+/// the document. [`Session::commit`] invalidates exactly the dirty region
+/// — the committed script's edited parents plus their ancestors — and
+/// carries everything else across. Cached results are byte-identical to
+/// uncached ones; see [`Session::cache_stats`] for observability and
+/// [`EngineBuilder::prop_cache`] to turn the cache off.
+#[derive(Debug)]
 pub struct Session<'e> {
     engine: &'e Engine,
     prepared: Prepared,
     doc: DocTree,
     commits: u64,
+    /// Interior mutability keeps `propagate(&self)` ergonomic; the mutex
+    /// is uncontended (sessions are exclusively leased — see
+    /// [`crate::SessionPool`]) and keeps `Session: Sync`.
+    cache: Mutex<PropCache>,
+}
+
+impl Clone for Session<'_> {
+    fn clone(&self) -> Self {
+        Session {
+            engine: self.engine,
+            prepared: self.prepared.clone(),
+            doc: self.doc.clone(),
+            commits: self.commits,
+            cache: Mutex::new(self.cache_guard().clone()),
+        }
+    }
 }
 
 impl<'e> Session<'e> {
     /// The engine that opened this session.
     pub fn engine(&self) -> &'e Engine {
         self.engine
+    }
+
+    fn cache_guard(&self) -> MutexGuard<'_, PropCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Counters of the session's [`PropCache`]: graph hits/misses,
+    /// commit-time invalidations, and the current entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_guard().stats()
+    }
+
+    /// Enables or disables the propagation cache for this session,
+    /// dropping all entries either way. Results are identical with the
+    /// cache on or off; only the work performed differs.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        self.cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .set_enabled(on);
+    }
+
+    /// Drops every cached entry (the cache stays enabled and refills on
+    /// subsequent calls).
+    pub fn clear_cache(&mut self) {
+        self.cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// The current source document `t`.
@@ -384,9 +464,23 @@ impl<'e> Session<'e> {
 
     /// Computes the optimal propagation of `update` to the current
     /// document (the session-cached equivalent of [`crate::propagate`]).
+    ///
+    /// Per-node dynamic-programming state for every node outside the
+    /// update's footprint is served from the session's [`PropCache`]
+    /// (recomputing only inside the footprint); the result is
+    /// byte-identical to an uncached computation.
     pub fn propagate(&self, update: &Script) -> Result<Propagation, PropagateError> {
         let inst = self.instance(update)?;
-        propagate_with(&inst, &self.engine.cost_model(), &self.engine.config)
+        let cm = self.engine.cost_model();
+        let mut cache = self.cache_guard();
+        let fp = cache.enabled().then(|| script_footprint(update));
+        propagate_with_cache(
+            &inst,
+            &cm,
+            &self.engine.config,
+            Some(&mut cache),
+            fp.as_ref(),
+        )
     }
 
     /// Checks that `candidate` is a schema-compliant, side-effect-free
@@ -416,8 +510,23 @@ impl<'e> Session<'e> {
     /// (never a silent count of 0).
     pub fn count_optimal(&self, update: &Script) -> Result<u128, PropagateError> {
         let inst = self.instance(update)?;
-        let forest = PropagationForest::build(&inst, &self.engine.cost_model())?;
+        let forest = self.forest_for(&inst, update)?;
         count_optimal_propagations(&forest).ok_or(PropagateError::NoPropagationPath(forest.root))
+    }
+
+    /// Builds the propagation forest for an already-validated instance,
+    /// routing clean-region graphs through the session cache. (A disabled
+    /// cache is a pass-through, so the only conditional work is the
+    /// footprint analysis itself.)
+    fn forest_for(
+        &self,
+        inst: &Instance<'_>,
+        update: &Script,
+    ) -> Result<PropagationForest, PropagateError> {
+        let cm = self.engine.cost_model();
+        let mut cache = self.cache_guard();
+        let fp = cache.enabled().then(|| script_footprint(update));
+        PropagationForest::build_with(inst, &cm, Some(&mut cache), fp.as_ref())
     }
 
     /// Enumerates up to `cap` cost-minimal propagations of `update` (see
@@ -434,8 +543,29 @@ impl<'e> Session<'e> {
     ) -> Result<Vec<Script>, PropagateError> {
         let inst = self.instance(update)?;
         let cm = self.engine.cost_model();
-        let forest = PropagationForest::build(&inst, &cm)?;
+        let forest = self.forest_for(&inst, update)?;
         enumerate_optimal_propagations(&inst, &cm, &forest, &self.engine.config, cap)
+    }
+
+    /// Searches for a constant-complement propagation of `update` — one
+    /// that neither deletes nor inserts any invisible node (see
+    /// [`crate::find_complement_preserving`]; `Ok(None)` when none
+    /// exists). Complement-restricted subgraphs for nodes outside the
+    /// update footprint are memoised in the session's [`PropCache`].
+    pub fn complement_preserving(&self, update: &Script) -> Result<Option<Script>, PropagateError> {
+        let inst = self.instance(update)?;
+        let cm = self.engine.cost_model();
+        let mut cache = self.cache_guard();
+        let fp = cache.enabled().then(|| script_footprint(update));
+        let forest = PropagationForest::build_with(&inst, &cm, Some(&mut cache), fp.as_ref())?;
+        find_complement_preserving_with(
+            &inst,
+            &forest,
+            &cm,
+            &self.engine.config,
+            Some(&mut cache),
+            fp.as_ref(),
+        )
     }
 
     /// Advances the session to the propagation's output document.
@@ -443,21 +573,51 @@ impl<'e> Session<'e> {
     /// The output is schema-checked *incrementally* — only nodes whose
     /// child word can have changed are re-validated
     /// ([`crate::revalidate_output`]) — instead of the full validation a
-    /// fresh [`Engine::open`] would run; the view, visible set, and
-    /// identifier high-water mark are then rebuilt from the new document.
+    /// fresh [`Engine::open`] would run. The propagation is then applied
+    /// to the session document **in place**
+    /// ([`xvu_edit::apply_in_place`]): untouched subtrees are not
+    /// rebuilt, and the document's dirty journal records exactly the
+    /// parents whose child word changed. Draining that journal
+    /// ([`xvu_tree::Tree::drain_dirty_to_root`]) yields the dirty region —
+    /// edited parents plus all their ancestors — and the session's
+    /// [`PropCache`] invalidates exactly those entries, carrying every
+    /// other memo across the commit. The view, visible set, and identifier
+    /// high-water mark are then rebuilt from the new document.
     pub fn commit(&mut self, prop: &Propagation) -> Result<(), PropagateError> {
-        let input = input_tree(&prop.script)
-            .ok_or_else(|| PropagateError::NotAPropagation("script input is empty".to_owned()))?;
-        if input != self.doc {
-            return Err(PropagateError::NotAPropagation(
-                "committed propagation does not start from the session document".to_owned(),
-            ));
-        }
         revalidate_output(&self.engine.dtd, &prop.script)?;
-        let out = output_tree(&prop.script).ok_or_else(|| {
-            PropagateError::NotAPropagation("propagation deletes the document root".to_owned())
-        })?;
-        let mut prepared = Prepared::from_source(&self.engine.ann, &out);
+        // Drain cache entries keyed by *identifier* before the in-place
+        // apply relocates arena slots.
+        let kept = self.cache_guard().drain_entries(&self.doc);
+        if let Err(e) = apply_in_place(&mut self.doc, &prop.script) {
+            // `apply_in_place` validates fully before mutating: the
+            // document (and therefore every drained entry) is intact.
+            self.cache_guard()
+                .restore_entries(&self.doc, kept, &SlotSet::new());
+            return Err(match e {
+                EditError::EmptyInput => {
+                    PropagateError::NotAPropagation("script input is empty".to_owned())
+                }
+                EditError::EmptyOutput => PropagateError::NotAPropagation(
+                    "propagation deletes the document root".to_owned(),
+                ),
+                EditError::InputMismatch => PropagateError::NotAPropagation(
+                    "committed propagation does not start from the session document".to_owned(),
+                ),
+                other => PropagateError::Edit(other),
+            });
+        }
+        // Commit-time invalidation: exactly the dirty region (the edited
+        // parents the journal recorded, plus their ancestors — every node
+        // whose subtree changed). Entries for deleted nodes lapse with
+        // their identifiers inside `restore_entries`.
+        let mut dirty = SlotSet::with_capacity(self.doc.size());
+        for id in self.doc.drain_dirty_to_root() {
+            if let Some(slot) = self.doc.slot(id) {
+                dirty.insert(slot);
+            }
+        }
+        self.cache_guard().restore_entries(&self.doc, kept, &dirty);
+        let mut prepared = Prepared::from_source(&self.engine.ann, &self.doc);
         // `from_source` clears every identifier of the new document —
         // including hidden insertlet material the propagation introduced —
         // but the session's high-water mark must also stay monotone across
@@ -466,7 +626,6 @@ impl<'e> Session<'e> {
         // node identity across the session's history.
         prepared.gen.merge(&self.prepared.gen);
         self.prepared = prepared;
-        self.doc = out;
         self.commits += 1;
         Ok(())
     }
@@ -485,7 +644,7 @@ mod tests {
     use super::*;
     use crate::fixtures;
     use crate::propagate;
-    use xvu_edit::{nop_script, parse_script, script_to_term};
+    use xvu_edit::{nop_script, output_tree, parse_script, script_to_term};
     use xvu_view::extract_view;
 
     fn paper_engine() -> (Engine, DocTree, Script) {
@@ -697,5 +856,189 @@ mod tests {
         let mut gen = session.id_gen();
         let fresh = gen.fresh();
         assert!(!t0.contains(fresh));
+    }
+
+    #[test]
+    fn prop_cache_hits_on_repeated_propagates() {
+        let (engine, t0, s0) = paper_engine();
+        let session = engine.open(&t0).unwrap();
+        let p1 = session.propagate(&s0).unwrap();
+        let after_first = session.cache_stats();
+        // S0's clean region: a#4 and c#10 (whole subtrees Nop); their
+        // graphs were built once and cached. The other two preserved
+        // nodes (r#0, d#6) sit inside the footprint: no graph memo, but
+        // their typing runs are memoised, so 4 entries in total.
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 2);
+        assert_eq!(after_first.entries, 4);
+        let p2 = session.propagate(&s0).unwrap();
+        let after_second = session.cache_stats();
+        assert_eq!(after_second.hits, 2, "warm graphs served from the cache");
+        assert_eq!(after_second.misses, 2, "no new misses");
+        // and the warm result is byte-identical to the cold one
+        assert_eq!(p1.cost, p2.cost);
+        assert_eq!(
+            script_to_term(&p1.script, engine.alphabet()),
+            script_to_term(&p2.script, engine.alphabet())
+        );
+    }
+
+    #[test]
+    fn cache_disabled_engine_still_propagates_identically() {
+        let fx = fixtures::paper_running_example();
+        let cached = Engine::builder()
+            .alphabet(fx.alpha.clone())
+            .dtd(fx.dtd.clone())
+            .annotation(fx.ann.clone())
+            .build()
+            .unwrap();
+        let uncached = Engine::builder()
+            .alphabet(fx.alpha.clone())
+            .dtd(fx.dtd.clone())
+            .annotation(fx.ann.clone())
+            .prop_cache(false)
+            .build()
+            .unwrap();
+        let sc = cached.open(&fx.t0).unwrap();
+        let su = uncached.open(&fx.t0).unwrap();
+        let pc = sc.propagate(&fx.s0).unwrap();
+        let pu = su.propagate(&fx.s0).unwrap();
+        assert_eq!(pc.cost, pu.cost);
+        assert_eq!(
+            script_to_term(&pc.script, cached.alphabet()),
+            script_to_term(&pu.script, uncached.alphabet())
+        );
+        let stats = su.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn set_cache_enabled_toggles_and_clears() {
+        let (engine, t0, s0) = paper_engine();
+        let mut session = engine.open(&t0).unwrap();
+        session.propagate(&s0).unwrap();
+        assert!(session.cache_stats().entries > 0);
+        session.set_cache_enabled(false);
+        assert_eq!(session.cache_stats().entries, 0);
+        session.propagate(&s0).unwrap();
+        assert_eq!(session.cache_stats().entries, 0, "disabled: stores nothing");
+        session.set_cache_enabled(true);
+        session.propagate(&s0).unwrap();
+        assert!(session.cache_stats().entries > 0, "re-enabled: refills");
+        session.clear_cache();
+        assert_eq!(session.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn commit_invalidates_only_the_dirty_region() {
+        // Hospital-shaped schema: many independent sibling groups, so a
+        // commit touching one group must keep every other group's memo.
+        use xvu_dtd::parse_dtd;
+        use xvu_tree::parse_term_with_ids;
+        use xvu_view::parse_annotation;
+
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> d*\nd -> (a.h?)*").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide d h").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#0(d#1(a#2, h#3), d#4(a#5, h#6), d#7(a#8, h#9))",
+        )
+        .unwrap();
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd)
+            .annotation(ann)
+            .build()
+            .unwrap();
+        let mut session = engine.open(&doc).unwrap();
+
+        // warm the cache with an identity update (everything clean)
+        let prop0 = session.propagate(&nop_script(session.view())).unwrap();
+        assert_eq!(prop0.cost, 0);
+        let warm = session.cache_stats();
+        // every preserved node (r, 3 d's, 3 a's) was cached
+        assert_eq!(warm.entries, 7);
+
+        // admit a new a under d#1 and commit
+        let u = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:d#1(nop:a#2, ins:a#20), nop:d#4(nop:a#5), nop:d#7(nop:a#8))",
+        )
+        .unwrap();
+        let prop = session.propagate(&u).unwrap();
+        session.commit(&prop).unwrap();
+        let after = session.cache_stats();
+        // the dirty region is d#1 and its ancestor r#0; everything else
+        // (d#4, d#7, and all the a's — including the fresh state built for
+        // the new document) must carry across
+        assert!(
+            after.invalidated >= 2,
+            "dirty region invalidated: {after:?}"
+        );
+        assert!(after.entries >= 4, "clean region carried over: {after:?}");
+
+        // a second identity propagate hits the carried entries and rebuilds
+        // only the invalidated region
+        let before_hits = session.cache_stats().hits;
+        session.propagate(&nop_script(session.view())).unwrap();
+        let s = session.cache_stats();
+        assert!(
+            s.hits >= before_hits + 4,
+            "carried entries must serve hits: {s:?}"
+        );
+    }
+
+    #[test]
+    fn session_complement_preserving_matches_free_function() {
+        use xvu_dtd::parse_dtd;
+        use xvu_tree::parse_term_with_ids;
+        use xvu_view::parse_annotation;
+
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> (a.h?)*").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide r h").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = parse_term_with_ids(&mut alpha, &mut gen, "r#0(a#1, h#2)").unwrap();
+        let update = parse_script(&mut alpha, "nop:r#0(nop:a#1, ins:a#5)").unwrap();
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .build()
+            .unwrap();
+        let session = engine.open(&doc).unwrap();
+        let by_session = session
+            .complement_preserving(&update)
+            .unwrap()
+            .expect("constant complement exists here");
+        // warm call agrees with the cold one
+        let warm = session
+            .complement_preserving(&update)
+            .unwrap()
+            .expect("still exists");
+        assert_eq!(
+            script_to_term(&by_session, &alpha),
+            script_to_term(&warm, &alpha)
+        );
+        // and with the first-principles free function
+        let inst = Instance::new(&dtd, &ann, &doc, &update, alpha.len()).unwrap();
+        let cm = engine.cost_model();
+        let forest = PropagationForest::build(&inst, &cm).unwrap();
+        let free =
+            crate::complement::find_complement_preserving(&inst, &forest, &cm, engine.config())
+                .unwrap()
+                .expect("constant complement exists here");
+        assert_eq!(
+            script_to_term(&by_session, &alpha),
+            script_to_term(&free, &alpha)
+        );
+        // the paper's S0 case still reports non-existence through the
+        // session path
+        let (engine2, t0, s0) = paper_engine();
+        let session2 = engine2.open(&t0).unwrap();
+        assert!(session2.complement_preserving(&s0).unwrap().is_none());
     }
 }

@@ -7,12 +7,14 @@
 //! a parent graph is constructed. This single-pass memoisation is what
 //! makes the whole construction polynomial.
 
+use crate::cache::{PropCache, TypingRun};
 use crate::cost::CostModel;
 use crate::error::PropagateError;
-use crate::graph::{build_prop_graph, PropGraph};
+use crate::graph::{build_prop_graph, source_child_run, PropGraph};
 use crate::instance::Instance;
 use crate::inversion::InversionForest;
-use xvu_edit::{output_tree, EditOp};
+use std::sync::Arc;
+use xvu_edit::{output_tree, EditOp, ScriptFootprint};
 use xvu_tree::{NodeId, SlotIndex, SlotMap};
 
 /// All propagation graphs of an instance, plus the auxiliary inversion
@@ -21,6 +23,8 @@ use xvu_tree::{NodeId, SlotIndex, SlotMap};
 /// All per-node tables are dense [`SlotMap`]s keyed by the *update*
 /// tree's arena slots; a snapshot of the update's [`SlotIndex`] keeps the
 /// public identifier-based accessors O(1) after the instance is gone.
+/// Graphs are held behind [`Arc`] so session caches share them with the
+/// forests they populated at zero copy cost.
 #[derive(Clone, Debug)]
 pub struct PropagationForest {
     /// Update-tree `NodeId → Slot` snapshot backing the accessors.
@@ -28,7 +32,7 @@ pub struct PropagationForest {
     /// Update-tree `Slot → NodeId` snapshot backing the iterators.
     ids: Vec<NodeId>,
     /// `G_n` per preserved node `n ∈ N_Δ`.
-    graphs: SlotMap<PropGraph>,
+    graphs: SlotMap<Arc<PropGraph>>,
     /// Cheapest propagation-path cost per preserved node.
     costs: SlotMap<u64>,
     /// Inversion forest per top-level inserted script child (the (iv)-edge
@@ -44,8 +48,29 @@ impl PropagationForest {
         inst: &Instance<'_>,
         cost: &CostModel<'_>,
     ) -> Result<PropagationForest, PropagateError> {
+        Self::build_with(inst, cost, None, None)
+    }
+
+    /// Cache-aware build: like [`PropagationForest::build`], but for every
+    /// preserved node that `fp` marks clean (subtree entirely `Nop`), the
+    /// graph is taken from — or, on a miss, built once and stored into —
+    /// the session's [`PropCache`]. Nodes inside the footprint are always
+    /// rebuilt (their graphs depend on the update); their typing runs,
+    /// which depend only on the source, still go through the memo.
+    ///
+    /// The produced forest is structurally identical to an uncached
+    /// [`PropagationForest::build`] of the same instance: a cache hit
+    /// returns exactly the graph a fresh build would construct, because
+    /// construction is deterministic in the node's (unchanged) source
+    /// subtree.
+    pub(crate) fn build_with(
+        inst: &Instance<'_>,
+        cost: &CostModel<'_>,
+        mut cache: Option<&mut PropCache>,
+        fp: Option<&ScriptFootprint>,
+    ) -> Result<PropagationForest, PropagateError> {
         let update = inst.update;
-        let mut graphs = SlotMap::with_capacity(update.size());
+        let mut graphs: SlotMap<Arc<PropGraph>> = SlotMap::with_capacity(update.size());
         let mut costs: SlotMap<u64> = SlotMap::with_capacity(update.size());
         let mut inversions = SlotMap::with_capacity(update.size());
         // Accumulated across nodes: every inserting child has exactly one
@@ -60,7 +85,9 @@ impl PropagationForest {
                 continue;
             }
             let nslot = update.slot(n).expect("preserved node in update");
-            // Inversion forests for the inserting children of n.
+            // Inversion forests for the inserting children of n. Clean
+            // nodes have none — inserted fragments only exist inside the
+            // footprint, so this work is naturally skipped outside it.
             for &c in update.children(n) {
                 if update.label(c).op == EditOp::Ins {
                     let fragment =
@@ -83,8 +110,34 @@ impl PropagationForest {
                 }
             }
 
-            let g = build_prop_graph(inst, n, cost, &costs, &inverse_sizes)?;
-            let best = g.best_cost().ok_or(PropagateError::NoPropagationPath(n))?;
+            // A preserved node is a visible source node, so it has a slot
+            // in the session document the cache is keyed by.
+            let src_slot = inst.source.slot(n).expect("preserved node in source");
+            let clean = fp.is_some_and(|f| f.is_clean(nslot));
+            let cached = if clean {
+                cache.as_deref_mut().and_then(|c| c.graph(src_slot))
+            } else {
+                None
+            };
+            let (g, best) = match cached {
+                Some((g, best)) => (g, best),
+                None => {
+                    let run: TypingRun = match cache.as_deref_mut() {
+                        Some(c) => c.run_or_compute(src_slot, || source_child_run(inst, n)),
+                        None => source_child_run(inst, n).map(Arc::from),
+                    };
+                    let g =
+                        build_prop_graph(inst, n, cost, &costs, &inverse_sizes, run.as_deref())?;
+                    let best = g.best_cost().ok_or(PropagateError::NoPropagationPath(n))?;
+                    let g = Arc::new(g);
+                    if clean {
+                        if let Some(c) = cache.as_deref_mut() {
+                            c.store_graph(src_slot, Arc::clone(&g), best);
+                        }
+                    }
+                    (g, best)
+                }
+            };
             costs.insert(nslot, best);
             graphs.insert(nslot, g);
         }
@@ -101,7 +154,10 @@ impl PropagationForest {
 
     /// The propagation graph `G_n` of preserved node `n`, if `n ∈ N_Δ`.
     pub fn graph(&self, n: NodeId) -> Option<&PropGraph> {
-        self.index.slot(n).and_then(|s| self.graphs.get(s))
+        self.index
+            .slot(n)
+            .and_then(|s| self.graphs.get(s))
+            .map(Arc::as_ref)
     }
 
     /// The cheapest propagation-path cost of preserved node `n`.
@@ -117,7 +173,9 @@ impl PropagationForest {
     /// Iterates over `(n, G_n)` for every preserved node, in update-arena
     /// order.
     pub fn graphs(&self) -> impl Iterator<Item = (NodeId, &PropGraph)> {
-        self.graphs.iter().map(|(s, g)| (self.ids[s.index()], g))
+        self.graphs
+            .iter()
+            .map(|(s, g)| (self.ids[s.index()], g.as_ref()))
     }
 
     /// Iterates over the inversion forests of all inserting script
@@ -143,13 +201,13 @@ impl PropagationForest {
     #[cfg(test)]
     pub(crate) fn insert_graph(&mut self, n: NodeId, g: PropGraph) {
         let s = self.index.slot(n).expect("node in update tree");
-        self.graphs.insert(s, g);
+        self.graphs.insert(s, Arc::new(g));
     }
 
     /// Removes the graph of `n`. Test support, like
     /// [`PropagationForest::insert_graph`].
     #[cfg(test)]
-    pub(crate) fn remove_graph(&mut self, n: NodeId) -> Option<PropGraph> {
+    pub(crate) fn remove_graph(&mut self, n: NodeId) -> Option<Arc<PropGraph>> {
         self.graphs.remove(self.index.slot(n)?)
     }
 

@@ -109,13 +109,17 @@ pub type PropGraph = PathGraph<PropVertex, PropEdge>;
 /// `child_costs` maps already-processed preserved children to their
 /// cheapest propagation cost ((vi)-weights); `inverse_sizes` maps inserting
 /// script children to their minimal inverse size ((iv)-weights). Both are
-/// dense tables keyed by the *update* tree's slots.
+/// dense tables keyed by the *update* tree's slots. `orig_states` is the
+/// typing run over `n`'s source child word ([`source_child_run`]) —
+/// callers holding a session cache pass their memoised copy; `None` means
+/// the content model is nondeterministic and typing is unavailable.
 pub fn build_prop_graph(
     inst: &Instance<'_>,
     n: NodeId,
     cost: &CostModel<'_>,
     child_costs: &SlotMap<u64>,
     inverse_sizes: &SlotMap<u64>,
+    orig_states: Option<&[StateId]>,
 ) -> Result<PropGraph, PropagateError> {
     let x = inst.source.label(n);
     let model = inst.dtd.content_model(x);
@@ -124,9 +128,6 @@ pub fn build_prop_graph(
 
     let seg = Segmentation::new(inst.source.children(n), inst.update.children(n))?;
     let (k, l) = (seg.k(), seg.l());
-
-    // Original run states for typing (deterministic models only).
-    let orig_states = deterministic_run(model, seg.t_children, inst);
 
     // Vertex interning. Pairs are enumerated per segment (never the full
     // grid), in a deterministic order — edge insertion order is the final
@@ -191,8 +192,7 @@ pub fn build_prop_graph(
                 // (iii) invisible nop — consume a transition on y.
                 for &(s, q2) in model.transitions_from(q) {
                     if s == y {
-                        let preserves_type =
-                            orig_states.as_ref().is_some_and(|os| os[i as usize] == q);
+                        let preserves_type = orig_states.is_some_and(|os| os[i as usize] == q);
                         g.add_edge(
                             v,
                             vid(i + 1, q2, j),
@@ -249,7 +249,7 @@ pub fn build_prop_graph(
                         for &(s, q2) in model.transitions_from(q) {
                             if s == y {
                                 let preserves_type =
-                                    orig_states.as_ref().is_some_and(|os| os[i as usize] == q);
+                                    orig_states.is_some_and(|os| os[i as usize] == q);
                                 g.add_edge(
                                     v,
                                     vid(i + 1, q2, j + 1),
@@ -274,11 +274,20 @@ pub fn build_prop_graph(
     Ok(g)
 }
 
-/// For deterministic content models, the run of the source child word:
-/// `states[i]` = the state before consuming the `(i+1)`-th child, with
-/// `states[k]` the final state. `None` for nondeterministic models (typing
-/// unavailable, as the paper notes typing "would require the automata to
-/// be deterministic").
+/// The typing run of preserved node `n`'s source child word, for
+/// deterministic content models: `states[i]` = the state before consuming
+/// the `(i+1)`-th child, with `states[k]` the final state. `None` for
+/// nondeterministic models (typing unavailable, as the paper notes typing
+/// "would require the automata to be deterministic").
+///
+/// Depends only on the node's source children — sessions memoise it per
+/// node and feed it back to [`build_prop_graph`] across updates.
+pub fn source_child_run(inst: &Instance<'_>, n: NodeId) -> Option<Vec<StateId>> {
+    let model = inst.dtd.content_model(inst.source.label(n));
+    deterministic_run(model, inst.source.children(n), inst)
+}
+
+/// [`source_child_run`] over an explicit model and child slice.
 fn deterministic_run(
     model: &Nfa,
     t_children: &[NodeId],

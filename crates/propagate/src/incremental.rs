@@ -12,13 +12,14 @@
 
 use crate::error::PropagateError;
 use xvu_dtd::Dtd;
-use xvu_edit::{diff, input_tree, output_tree, validate_script, EditOp, Script};
-use xvu_tree::NodeId;
+use xvu_edit::{diff, input_tree, output_tree, script_footprint, validate_script, EditOp, Script};
+use xvu_tree::{NodeId, Sym};
 use xvu_view::{extract_view, Annotation};
 
 /// Validates `Out(script)` against `dtd`, assuming `In(script)` is valid.
 ///
-/// Checks exactly:
+/// Re-checks exactly the script's footprint
+/// ([`xvu_edit::script_footprint`]):
 /// * every node with at least one non-`Nop` child (its child word
 ///   changed), and
 /// * every node inside an inserted subtree (entirely new material).
@@ -33,33 +34,28 @@ use xvu_view::{extract_view, Annotation};
 /// Returns the first offending node, like [`Dtd::validate`].
 pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateError> {
     validate_script(script).map_err(PropagateError::Edit)?;
-    let out = output_tree(script)
-        .ok_or_else(|| PropagateError::NotAPropagation("script output is empty".to_owned()))?;
-    // Slot-chasing walk: each script node is resolved once at push time,
-    // every read below is direct arena indexing.
-    let resolve = |id| script.slot(id).expect("script child in script");
-    let mut stack = vec![resolve(script.root())];
-    while let Some(s) = stack.pop() {
-        let node = script.node_at(s);
-        if node.label.op == EditOp::Del {
-            // the whole subtree is absent from the output — nothing below
-            // it can (or may) be checked
-            continue;
-        }
-        let must_check = node.label.op == EditOp::Ins
-            || node
-                .children
-                .iter()
-                .any(|&c| script.label(c).op != EditOp::Nop);
-        if must_check && !dtd.node_is_valid(&out, node.id) {
+    if script.label(script.root()).op == EditOp::Del {
+        return Err(PropagateError::NotAPropagation(
+            "script output is empty".to_owned(),
+        ));
+    }
+    // Each changed node's output child word is read straight off the
+    // script (its non-`Del` children) — the output tree is never
+    // materialised. The footprint lists the changed nodes in document
+    // order, so the *first* offending node is the one reported, like
+    // `Dtd::validate`.
+    for &n in script_footprint(script).changed() {
+        let word: Vec<Sym> = script
+            .children(n)
+            .iter()
+            .filter(|&&c| script.label(c).op != EditOp::Del)
+            .map(|&c| script.label(c).label)
+            .collect();
+        if !dtd.content_model(script.label(n).label).accepts(&word) {
             return Err(PropagateError::NotAPropagation(format!(
-                "incremental validation failed at node {}",
-                node.id
+                "incremental validation failed at node {n}"
             )));
         }
-        // push children reversed so the stack pops them in document order
-        // and the *first* offending node is the one reported
-        stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
     }
     Ok(())
 }
@@ -68,25 +64,7 @@ pub fn revalidate_output(dtd: &Dtd, script: &Script) -> Result<(), PropagateErro
 /// diagnostics of the incremental saving. Deleted subtrees contribute
 /// nothing, whatever their contents.
 pub fn revalidation_workload(script: &Script) -> usize {
-    let resolve = |id| script.slot(id).expect("script child in script");
-    let mut stack = vec![resolve(script.root())];
-    let mut checked = 0usize;
-    while let Some(s) = stack.pop() {
-        let node = script.node_at(s);
-        if node.label.op == EditOp::Del {
-            continue;
-        }
-        if node.label.op == EditOp::Ins
-            || node
-                .children
-                .iter()
-                .any(|&c| script.label(c).op != EditOp::Nop)
-        {
-            checked += 1;
-        }
-        stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
-    }
-    checked
+    script_footprint(script).changed().len()
 }
 
 /// Computes the update that a *second* view `other` observes when
@@ -211,6 +189,59 @@ mod tests {
             matches!(&err, PropagateError::NotAPropagation(m) if m.contains("n3")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn footprint_agrees_with_reference_walk_on_nested_scripts() {
+        // The "changed child-word" analysis used to live as a bespoke walk
+        // inside this module; it is now `xvu_edit::script_footprint`. This
+        // pins the factored-out API against a local reimplementation of
+        // the original walk, over nested ins/del shapes.
+        fn reference(script: &Script) -> Vec<NodeId> {
+            let resolve = |id| script.slot(id).expect("script child in script");
+            let mut stack = vec![resolve(script.root())];
+            let mut checked = Vec::new();
+            while let Some(s) = stack.pop() {
+                let node = script.node_at(s);
+                if node.label.op == EditOp::Del {
+                    continue;
+                }
+                if node.label.op == EditOp::Ins
+                    || node
+                        .children
+                        .iter()
+                        .any(|&c| script.label(c).op != EditOp::Nop)
+                {
+                    checked.push(node.id);
+                }
+                stack.extend(node.children.iter().rev().map(|&c| resolve(c)));
+            }
+            checked
+        }
+
+        let mut alpha = xvu_tree::Alphabet::new();
+        let terms = [
+            // identity
+            "nop:r#0(nop:a#1(nop:b#2), nop:c#3)",
+            // the paper's S0
+            "nop:r#0(del:a#1, del:d#3(del:c#8), nop:a#4, \
+             ins:d#11(ins:c#13, ins:c#14), ins:a#12, nop:d#6(nop:c#10, ins:c#15))",
+            // deep nested deletes: only the cut-point parent is checked
+            "nop:r#0(del:a#1(del:b#2(del:c#3(del:d#4))), nop:e#5)",
+            // deep nested inserts: the whole fragment is checked
+            "nop:r#0(ins:a#1(ins:b#2(ins:c#3)), nop:e#5)",
+            // ins directly under del (malformed closure): skipped whole
+            "nop:r#0(del:a#1(ins:b#2, nop:c#3), nop:e#5)",
+            // alternating nests
+            "nop:r#0(nop:a#1(del:b#2(del:c#3), ins:d#4(ins:e#5)), \
+             nop:f#6(nop:g#7(ins:h#8)))",
+        ];
+        for term in terms {
+            let s = xvu_edit::parse_script(&mut alpha, term).unwrap();
+            let fp = xvu_edit::script_footprint(&s);
+            assert_eq!(fp.changed(), reference(&s).as_slice(), "{term}");
+            assert_eq!(revalidation_workload(&s), fp.changed().len(), "{term}");
+        }
     }
 
     #[test]

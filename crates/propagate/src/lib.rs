@@ -57,6 +57,14 @@
 //! session.commit(&prop).unwrap(); // serve the next update from Out(S')
 //! ```
 //!
+//! Sessions are *incrementally cached*: per-node dynamic-programming
+//! state (graphs, optimal subgraphs, complement restrictions, typing
+//! runs) persists across updates in a [`PropCache`], consulted for every
+//! node outside an update's footprint and invalidated at
+//! [`Session::commit`] for exactly the dirty region — see the [`cache`
+//! module](PropCache) and `README.md`'s "Architecture: incremental
+//! propagation".
+//!
 //! The one-shot layer ([`Instance::new`] + [`propagate`] +
 //! [`verify_propagation`]) remains for single-update callers and is
 //! implemented over the same core code paths.
@@ -69,6 +77,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod cache;
 mod complement;
 mod cost;
 mod count;
@@ -90,6 +99,7 @@ mod typing;
 mod verify;
 
 pub use algorithm::{propagate, propagate_view_edit, Config, Propagation};
+pub use cache::{CacheStats, PropCache};
 pub use complement::{find_complement_preserving, invisible_impact, InvisibleImpact};
 pub use cost::CostModel;
 pub use count::count_optimal_propagations;
@@ -97,7 +107,7 @@ pub use engine::{Engine, EngineBuilder, Session};
 pub use enumerate::{enumerate_optimal_propagations, enumerate_propagations_bounded};
 pub use error::PropagateError;
 pub use forest::PropagationForest;
-pub use graph::{build_prop_graph, PropEdge, PropGraph, PropVertex};
+pub use graph::{build_prop_graph, source_child_run, PropEdge, PropGraph, PropVertex};
 pub use incremental::{
     cross_view_effect, cross_view_touched, revalidate_output, revalidation_workload,
 };

@@ -46,6 +46,17 @@
 //! Slots are stable while the tree only grows; removing nodes relocates
 //! slots (never identifiers) — see [`slot`] for the exact contract.
 //!
+//! # Change tracking
+//!
+//! Every tree carries a mutation clock ([`Tree::epoch`]) and per-slot
+//! version stamps ([`Tree::version`]) bumped by structural mutations, plus
+//! an opt-in dirty journal ([`Tree::set_change_tracking`]) recording the
+//! nodes whose child word changed. Consumers holding per-subtree caches
+//! (the propagation engine's session cache) drain the journal —
+//! [`Tree::take_changed_parents`] / [`Tree::drain_dirty_to_root`] — to
+//! invalidate exactly the changed region. Stamps and journal never
+//! participate in equality or serialization.
+//!
 //! The tree type is generic in its label type: documents are
 //! `Tree<Sym>` (see [`Sym`], interned via [`Alphabet`]) while editing
 //! scripts in the `xvu_edit` crate reuse the same structure over an edit

@@ -35,11 +35,34 @@ pub type DocTree = Tree<Sym>;
 ///
 /// The label type `L` is generic: documents use [`Sym`], editing scripts use
 /// an edit alphabet (`xvu_edit`).
+///
+/// # Change tracking
+///
+/// Every tree carries a cheap mutation clock: a global [`Tree::epoch`]
+/// bumped by each structural mutation, and a per-slot version stamp
+/// ([`Tree::version`]) recording the epoch at which a node's child list
+/// last changed (or the node was created). On top of the stamps, an
+/// opt-in *dirty journal* ([`Tree::set_change_tracking`]) records the
+/// identifier of every node whose child word changed; consumers holding
+/// per-subtree caches drain it with [`Tree::take_changed_parents`] or
+/// [`Tree::drain_dirty_to_root`] to invalidate exactly the changed region
+/// instead of discarding everything. Neither stamps nor the journal
+/// participate in equality or the serialized form.
 #[derive(Clone, Debug)]
 pub struct Tree<L> {
     slab: Vec<Node<L>>,
     index: SlotIndex,
     root: NodeId,
+    /// Mutation clock: bumped once per structural mutation.
+    epoch: u64,
+    /// `versions[slot]` = epoch at which that node's child list last
+    /// changed (or the node entered the arena). Parallel to `slab`.
+    versions: Vec<u64>,
+    /// Whether structural mutations are journaled.
+    track: bool,
+    /// Identifiers of nodes whose child word changed since the last drain
+    /// (only while `track`; may contain duplicates until drained).
+    journal: Vec<NodeId>,
 }
 
 impl<L: PartialEq> PartialEq for Tree<L> {
@@ -60,11 +83,7 @@ impl<L> Tree<L> {
 
     /// Creates a single-node tree with an explicit identifier.
     pub fn leaf_with_id(id: NodeId, label: L) -> Tree<L> {
-        let mut tree = Tree {
-            slab: Vec::new(),
-            index: SlotIndex::new(),
-            root: id,
-        };
+        let mut tree = Tree::empty_with_root(id);
         tree.push_node(Node {
             id,
             label,
@@ -74,13 +93,40 @@ impl<L> Tree<L> {
         tree
     }
 
-    /// Appends a node to the arena, indexing its identifier.
+    /// An arena-less shell with the given root identifier (internal
+    /// constructor backing every tree-building code path).
+    fn empty_with_root(root: NodeId) -> Tree<L> {
+        Tree {
+            slab: Vec::new(),
+            index: SlotIndex::new(),
+            root,
+            epoch: 0,
+            versions: Vec::new(),
+            track: false,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Appends a node to the arena, indexing its identifier and stamping
+    /// it with the current epoch.
     #[inline]
     fn push_node(&mut self, node: Node<L>) -> Slot {
         let slot = Slot::new(u32::try_from(self.slab.len()).expect("tree larger than u32::MAX"));
         self.index.insert(node.id, slot);
         self.slab.push(node);
+        self.versions.push(self.epoch);
         slot
+    }
+
+    /// Advances the mutation clock and stamps/journals the node at `slot`,
+    /// whose child word is about to change (or just changed).
+    #[inline]
+    fn mark_children_changed(&mut self, slot: Slot) {
+        self.epoch += 1;
+        self.versions[slot.index()] = self.epoch;
+        if self.track {
+            self.journal.push(self.slab[slot.index()].id);
+        }
     }
 
     /// The root node identifier.
@@ -124,6 +170,86 @@ impl<L> Tree<L> {
     #[inline]
     pub fn slot_index(&self) -> &SlotIndex {
         &self.index
+    }
+
+    /// The tree's mutation clock: bumped once per structural mutation
+    /// ([`Tree::add_child_with_id`], [`Tree::attach_subtree`],
+    /// [`Tree::detach_subtree`]). Two equal epochs on the *same* tree
+    /// value mean no structural change happened in between.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which `id`'s child list last changed (or the node was
+    /// created), if `id` is a node of this tree. A node whose version is
+    /// older than another node's stamp has not had its child word touched
+    /// since.
+    #[inline]
+    pub fn version(&self, id: NodeId) -> Option<u64> {
+        self.index.slot(id).map(|s| self.versions[s.index()])
+    }
+
+    /// Enables or disables the dirty journal. Turning tracking on (or
+    /// off) clears any journaled entries; with tracking on, every
+    /// structural mutation records the identifier of the node whose child
+    /// word changed, for [`Tree::take_changed_parents`] /
+    /// [`Tree::drain_dirty_to_root`] to drain.
+    ///
+    /// Tracking is off by default — construction-heavy code paths pay
+    /// nothing for it.
+    pub fn set_change_tracking(&mut self, on: bool) {
+        self.track = on;
+        self.journal.clear();
+    }
+
+    /// Whether the dirty journal is recording.
+    #[inline]
+    pub fn is_change_tracking(&self) -> bool {
+        self.track
+    }
+
+    /// Drains the journal: the identifiers of every node whose child word
+    /// changed since the last drain (deduplicated, in first-touched
+    /// order). Empty unless [`Tree::set_change_tracking`] is on.
+    pub fn take_changed_parents(&mut self) -> Vec<NodeId> {
+        let mut seen = SlotSet::with_capacity(self.size());
+        let mut out = Vec::new();
+        for id in self.journal.drain(..) {
+            match self.index.slot(id) {
+                // A journaled parent may itself have been removed by a
+                // later mutation; report only surviving nodes.
+                Some(s) => {
+                    if seen.insert(s) {
+                        out.push(id);
+                    }
+                }
+                None => continue,
+            }
+        }
+        out
+    }
+
+    /// Drains the journal and expands it to the **dirty region**: every
+    /// journaled node plus all of its ancestors up to the root
+    /// (deduplicated). This is exactly the set of nodes whose *subtree*
+    /// changed — the region a subtree-keyed cache must invalidate.
+    pub fn drain_dirty_to_root(&mut self) -> Vec<NodeId> {
+        let touched = self.take_changed_parents();
+        let mut seen = SlotSet::with_capacity(self.size());
+        let mut out = Vec::new();
+        for id in touched {
+            let mut cur = Some(id);
+            while let Some(n) = cur {
+                let Some(s) = self.index.slot(n) else { break };
+                if !seen.insert(s) {
+                    break; // this ancestor chain is already marked
+                }
+                out.push(n);
+                cur = self.slab[s.index()].parent;
+            }
+        }
+        out
     }
 
     /// Borrow a node.
@@ -238,6 +364,7 @@ impl<L> Tree<L> {
         if self.contains(id) {
             return Err(TreeError::DuplicateNodeId(id));
         }
+        self.mark_children_changed(pslot);
         self.push_node(Node {
             id,
             label,
@@ -277,6 +404,7 @@ impl<L> Tree<L> {
             }
         }
         let sub_root = sub.root;
+        self.mark_children_changed(pslot);
         for mut node in sub.slab {
             if node.id == sub_root {
                 node.parent = Some(parent);
@@ -304,6 +432,7 @@ impl<L> Tree<L> {
             .position(|&c| c == id)
             .expect("child listed in parent");
         p.children.remove(pos);
+        self.mark_children_changed(pslot);
 
         // Collect the subtree's identifiers before removing anything:
         // removal relocates slots (swap-remove), identifiers never move.
@@ -314,14 +443,12 @@ impl<L> Tree<L> {
             stack.extend(self.node(n).children.iter().copied());
         }
 
-        let mut sub = Tree {
-            slab: Vec::with_capacity(ids.len()),
-            index: SlotIndex::new(),
-            root: id,
-        };
+        let mut sub = Tree::empty_with_root(id);
+        sub.slab.reserve(ids.len());
         for n in ids {
             let s = self.index.remove(n).expect("subtree node indexed");
             let mut node = self.slab.swap_remove(s.index());
+            self.versions.swap_remove(s.index());
             if s.index() < self.slab.len() {
                 // A tail node was swapped into the vacated slot; re-point
                 // its index entry.
@@ -342,11 +469,7 @@ impl<L> Tree<L> {
     where
         L: Clone,
     {
-        let mut out = Tree {
-            slab: Vec::new(),
-            index: SlotIndex::new(),
-            root: id,
-        };
+        let mut out = Tree::empty_with_root(id);
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
             let mut node = self.node(n).clone();
@@ -387,8 +510,10 @@ impl<L> Tree<L> {
     }
 
     /// Maps the label of every node, preserving identifiers and structure.
+    /// The result is a fresh tree: its epoch starts at 0 and change
+    /// tracking is off.
     pub fn map_labels<M>(&self, mut f: impl FnMut(NodeId, &L) -> M) -> Tree<M> {
-        let slab = self
+        let slab: Vec<Node<M>> = self
             .slab
             .iter()
             .map(|node| Node {
@@ -398,10 +523,15 @@ impl<L> Tree<L> {
                 children: node.children.clone(),
             })
             .collect();
+        let versions = vec![0; slab.len()];
         Tree {
             slab,
             index: self.index.clone(),
             root: self.root,
+            epoch: 0,
+            versions,
+            track: false,
+            journal: Vec::new(),
         }
     }
 
@@ -438,11 +568,8 @@ impl<L> Tree<L> {
             out.slab[slot.index()].children = children;
             id
         }
-        let mut out = Tree {
-            slab: Vec::with_capacity(self.size()),
-            index: SlotIndex::new(),
-            root: self.root, // placeholder; fixed below
-        };
+        let mut out = Tree::empty_with_root(self.root); // placeholder root; fixed below
+        out.slab.reserve(self.size());
         let root = rec(self, self.root, None, gen, &mut out);
         out.root = root;
         out
@@ -487,6 +614,13 @@ impl<L> Tree<L> {
                 "{} nodes in arena, {} identifiers indexed",
                 self.slab.len(),
                 self.index.len()
+            )));
+        }
+        if self.versions.len() != self.slab.len() {
+            return Err(TreeError::Inconsistent(format!(
+                "{} nodes in arena, {} version stamps",
+                self.slab.len(),
+                self.versions.len()
             )));
         }
         if self.node(self.root).parent.is_some() {
@@ -555,11 +689,8 @@ mod serde_impls {
     impl<'de, L: serde::Deserialize<'de>> serde::Deserialize<'de> for Tree<L> {
         fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
             let wire: TreeWire<Node<L>> = TreeWire::deserialize(deserializer)?;
-            let mut tree = Tree {
-                slab: Vec::with_capacity(wire.nodes.len()),
-                index: SlotIndex::new(),
-                root: wire.root,
-            };
+            let mut tree = Tree::empty_with_root(wire.root);
+            tree.slab.reserve(wire.nodes.len());
             for (id, node) in wire.nodes {
                 if id != node.id {
                     return Err(serde::de::Error::custom(format!(
@@ -797,5 +928,100 @@ mod tests {
         let (t, ..) = chain3();
         let u = t.clone();
         assert_eq!(t, u);
+    }
+
+    #[test]
+    fn epoch_and_versions_advance_on_mutation() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let e0 = t.epoch();
+        let a = t.add_child(r, &mut gen, sym(1));
+        assert!(t.epoch() > e0);
+        assert_eq!(t.version(r), Some(t.epoch()));
+        let va = t.version(a).unwrap();
+        // growing elsewhere does not touch a's stamp
+        t.add_child(r, &mut gen, sym(2));
+        assert_eq!(t.version(a), Some(va));
+        assert_eq!(t.version(NodeId(99)), None);
+        // a mutation *under* a bumps a, not the root's newer stamp
+        let vr = t.version(r).unwrap();
+        t.add_child(a, &mut gen, sym(3));
+        assert!(t.version(a).unwrap() > va);
+        assert_eq!(t.version(r), Some(vr));
+    }
+
+    #[test]
+    fn journal_records_changed_parents_only_when_tracking() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let a = t.add_child(r, &mut gen, sym(1));
+        // construction above was untracked
+        t.set_change_tracking(true);
+        assert!(t.take_changed_parents().is_empty());
+        let b = t.add_child(a, &mut gen, sym(2));
+        t.add_child(a, &mut gen, sym(3));
+        let changed = t.take_changed_parents();
+        assert_eq!(changed, vec![a]); // deduplicated
+        assert!(t.take_changed_parents().is_empty(), "drained");
+        // detach journals the parent of the cut point
+        t.detach_subtree(b).unwrap();
+        assert_eq!(t.take_changed_parents(), vec![a]);
+        // disabling tracking stops the journal
+        t.set_change_tracking(false);
+        t.add_child(r, &mut gen, sym(4));
+        assert!(t.take_changed_parents().is_empty());
+    }
+
+    #[test]
+    fn dirty_to_root_marks_all_ancestors() {
+        // r(a(b(c)), d): touching b dirties {b, a, r} but not d.
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let a = t.add_child(r, &mut gen, sym(1));
+        let b = t.add_child(a, &mut gen, sym(2));
+        t.add_child(b, &mut gen, sym(3));
+        let d = t.add_child(r, &mut gen, sym(4));
+        t.set_change_tracking(true);
+        t.add_child(b, &mut gen, sym(5));
+        let mut dirty = t.drain_dirty_to_root();
+        dirty.sort();
+        assert_eq!(dirty, vec![r, a, b]);
+        assert!(!dirty.contains(&d));
+        assert!(t.drain_dirty_to_root().is_empty(), "drained");
+    }
+
+    #[test]
+    fn journal_skips_parents_removed_after_the_touch() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        let a = t.add_child(r, &mut gen, sym(1));
+        t.set_change_tracking(true);
+        t.add_child(a, &mut gen, sym(2)); // journals a
+        t.detach_subtree(a).unwrap(); // journals r, removes a
+        assert_eq!(t.take_changed_parents(), vec![r]);
+    }
+
+    #[test]
+    fn clones_and_projections_do_not_inherit_journal() {
+        let mut gen = NodeIdGen::new();
+        let mut t: DocTree = Tree::leaf(&mut gen, sym(0));
+        let r = t.root();
+        t.set_change_tracking(true);
+        t.add_child(r, &mut gen, sym(1));
+        // clone copies journal state verbatim…
+        let mut c = t.clone();
+        assert_eq!(c.take_changed_parents(), vec![r]);
+        // …but label-mapped and subtree projections start fresh
+        let mut m = t.map_labels(|_, &l| l);
+        assert!(!m.is_change_tracking());
+        assert!(m.take_changed_parents().is_empty());
+        assert_eq!(m.epoch(), 0);
+        let sub = t.subtree(r);
+        assert!(!sub.is_change_tracking());
+        sub.validate().unwrap();
     }
 }

@@ -1,0 +1,316 @@
+//! Small-edit churn streams: localized random view updates against an
+//! evolving document.
+//!
+//! The repeated-update serving path (`xvu_propagate`'s `Session`) is
+//! designed for the regime where a large document absorbs a long stream
+//! of *small* updates — each touching a handful of nodes, each committed
+//! before the next arrives. [`ChurnStream`] reproduces that regime: every
+//! call to [`ChurnStream::next_update`] picks one random anchor node of
+//! the current view and emits a valid view update whose operations all
+//! happen among that anchor's children (insertions of small view-legal
+//! fragments, deletions that keep the child word in the view language).
+//!
+//! Unlike [`crate::generate_update`], which scatters operations across
+//! the whole document, churn updates are *localized* — the shape that
+//! makes incremental propagation (dirty-region caching) observable — and
+//! the stream is meant to be replayed against an evolving document:
+//! generate against `session.document()`, propagate, commit, repeat.
+//! Deterministic in the seed.
+
+use crate::docgen::{generate_doc, DocGenConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xvu_dtd::{min_sizes, Dtd};
+use xvu_edit::{EditOp, Script, UpdateBuilder};
+use xvu_tree::{DocTree, NodeId, NodeIdGen, Sym};
+use xvu_view::{derive_view_dtd, extract_view, Annotation};
+
+/// Knobs for a [`ChurnStream`].
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Operations to aim for per update (all at one anchor).
+    pub ops: usize,
+    /// Depth of inserted fragments (small by design: churn is about many
+    /// small edits, not bulk loads).
+    pub insert_depth: usize,
+    /// Probability that an operation is a deletion.
+    pub delete_bias: f64,
+    /// Anchor/operation attempts before settling for fewer operations.
+    pub attempts: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> ChurnConfig {
+        ChurnConfig {
+            ops: 2,
+            insert_depth: 1,
+            delete_bias: 0.35,
+            attempts: 40,
+        }
+    }
+}
+
+/// A deterministic stream of localized small view updates over a fixed
+/// `(D, A)` pair. See the module docs for the intended replay loop.
+#[derive(Clone, Debug)]
+pub struct ChurnStream {
+    ann: Annotation,
+    view_dtd: Dtd,
+    insertable: Vec<Sym>,
+    alphabet_len: usize,
+    cfg: ChurnConfig,
+    rng: StdRng,
+}
+
+impl ChurnStream {
+    /// Prepares a stream for `(dtd, ann)`: derives the view DTD once and
+    /// precomputes which labels can root a view-legal inserted fragment.
+    pub fn new(
+        dtd: &Dtd,
+        ann: &Annotation,
+        alphabet_len: usize,
+        cfg: ChurnConfig,
+        seed: u64,
+    ) -> ChurnStream {
+        let view_dtd = derive_view_dtd(dtd, ann, alphabet_len);
+        let view_sizes = min_sizes(&view_dtd, alphabet_len);
+        let insertable: Vec<Sym> = (0..alphabet_len)
+            .map(Sym::from_index)
+            .filter(|&s| view_sizes.is_satisfiable(s))
+            .collect();
+        ChurnStream {
+            ann: ann.clone(),
+            view_dtd,
+            insertable,
+            alphabet_len,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Emits the next update of the stream against `doc`'s view: up to
+    /// `cfg.ops` operations, all among one randomly chosen anchor node's
+    /// children. Fresh identifiers come from `gen`, which callers should
+    /// position past the serving session's high-water mark
+    /// (`session.id_gen()`). Always returns a well-formed view update —
+    /// the identity update if the view language leaves no room anywhere.
+    pub fn next_update(&mut self, doc: &DocTree, gen: &mut NodeIdGen) -> Script {
+        let view = extract_view(&self.ann, doc);
+        let mut builder = UpdateBuilder::new(&view);
+        let anchors: Vec<NodeId> = builder.script().preorder().collect();
+        let a_off = self.rng.random_range(0..anchors.len());
+        for a_idx in 0..anchors.len() {
+            let anchor = anchors[(a_off + a_idx) % anchors.len()];
+            let mut committed = 0usize;
+            let mut attempts_left = self.cfg.ops * self.cfg.attempts;
+            while committed < self.cfg.ops && attempts_left > 0 {
+                attempts_left -= 1;
+                let ok = if self.rng.random_bool(self.cfg.delete_bias) {
+                    self.try_delete_at(&mut builder, anchor)
+                } else {
+                    self.try_insert_at(&mut builder, anchor, gen)
+                };
+                if ok {
+                    committed += 1;
+                }
+            }
+            if committed > 0 {
+                break; // this anchor took the whole update; stay local
+            }
+        }
+        builder.finish()
+    }
+
+    /// Attempts to delete one child of `anchor` such that the output
+    /// child word stays in the view language.
+    fn try_delete_at(&mut self, builder: &mut UpdateBuilder, anchor: NodeId) -> bool {
+        let script = builder.script();
+        let candidates: Vec<NodeId> = script
+            .children(anchor)
+            .iter()
+            .copied()
+            .filter(|&c| script.label(c).op != EditOp::Del)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let anchor_label = script.label(anchor).label;
+        let offset = self.rng.random_range(0..candidates.len());
+        for idx in 0..candidates.len() {
+            let victim = candidates[(offset + idx) % candidates.len()];
+            let word: Vec<Sym> = script
+                .children(anchor)
+                .iter()
+                .filter(|&&c| c != victim && script.label(c).op != EditOp::Del)
+                .map(|&c| script.label(c).label)
+                .collect();
+            if self.view_dtd.content_model(anchor_label).accepts(&word) {
+                return builder.delete(victim).is_ok();
+            }
+        }
+        false
+    }
+
+    /// Attempts to insert one small view-legal fragment among `anchor`'s
+    /// children.
+    fn try_insert_at(
+        &mut self,
+        builder: &mut UpdateBuilder,
+        anchor: NodeId,
+        gen: &mut NodeIdGen,
+    ) -> bool {
+        if self.insertable.is_empty() {
+            return false;
+        }
+        let script = builder.script();
+        let anchor_label = script.label(anchor).label;
+        let arity = script.children(anchor).len();
+        let pos_off = self.rng.random_range(0..=arity);
+        for pos_idx in 0..=arity {
+            let pos = (pos_off + pos_idx) % (arity + 1);
+            let y_off = self.rng.random_range(0..self.insertable.len());
+            for y_idx in 0..self.insertable.len() {
+                let y = self.insertable[(y_off + y_idx) % self.insertable.len()];
+                // hypothetical output word of the anchor
+                let mut word: Vec<Sym> = Vec::with_capacity(arity + 1);
+                let mut out_pos = 0usize;
+                for (i, &c) in script.children(anchor).iter().enumerate() {
+                    if i == pos {
+                        out_pos = word.len();
+                    }
+                    if script.label(c).op != EditOp::Del {
+                        word.push(script.label(c).label);
+                    }
+                }
+                if pos == arity {
+                    out_pos = word.len();
+                }
+                word.insert(out_pos, y);
+                if !self.view_dtd.content_model(anchor_label).accepts(&word) {
+                    continue;
+                }
+                let frag_cfg = DocGenConfig {
+                    max_depth: self.cfg.insert_depth,
+                    max_children: 3,
+                    max_nodes: 20,
+                    ..DocGenConfig::default()
+                };
+                let frag_seed = self.rng.random_range(0..u64::MAX);
+                let fragment = generate_doc(
+                    &self.view_dtd,
+                    self.alphabet_len,
+                    y,
+                    &frag_cfg,
+                    frag_seed,
+                    gen,
+                );
+                return builder.insert(anchor, pos, fragment).is_ok();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{hospital, hospital_doc, Hospital};
+    use xvu_edit::{check_is_update_of, cost, input_tree, output_tree};
+
+    #[test]
+    fn churn_updates_are_valid_localized_view_updates() {
+        let Hospital { alpha, dtd, ann } = hospital();
+        let h = Hospital {
+            alpha: alpha.clone(),
+            dtd: dtd.clone(),
+            ann: ann.clone(),
+        };
+        let mut gen = NodeIdGen::new();
+        let mut doc = hospital_doc(&h, 3, 8, &mut gen);
+        let mut stream = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 7);
+        let mut nontrivial = 0;
+        for step in 0..12 {
+            let view = extract_view(&ann, &doc);
+            let u = stream.next_update(&doc, &mut gen);
+            check_is_update_of(&u, &view).unwrap();
+            assert_eq!(input_tree(&u).unwrap(), view, "step {step}");
+            let out = output_tree(&u).unwrap();
+            let view_dtd = derive_view_dtd(&dtd, &ann, alpha.len());
+            view_dtd.validate(&out).unwrap();
+            if cost(&u) > 0 {
+                nontrivial += 1;
+            }
+            // churn is *localized*: all non-Nop nodes share one parent (or
+            // are that parent's inserted descendants)
+            let mut touched_parents: Vec<NodeId> = u
+                .preorder()
+                .filter(|&n| u.label(n).op != EditOp::Nop)
+                .filter_map(|n| u.parent(n))
+                .filter(|&p| u.label(p).op == EditOp::Nop)
+                .collect();
+            touched_parents.dedup();
+            assert!(touched_parents.len() <= 1, "step {step}: not localized");
+            // evolve the document on the view side: churn replays against
+            // whatever the previous step produced
+            doc = apply_view_edit(&doc, &ann, &u);
+        }
+        assert!(nontrivial >= 8, "only {nontrivial}/12 updates non-trivial");
+    }
+
+    /// Applies a view update directly to the source's visible part (good
+    /// enough to evolve the document for generator tests — propagation
+    /// semantics are exercised in `xvu_propagate`'s own suites).
+    fn apply_view_edit(doc: &DocTree, ann: &Annotation, u: &Script) -> DocTree {
+        let mut out = doc.clone();
+        let mut stack = vec![u.root()];
+        while let Some(n) = stack.pop() {
+            for &c in u.children(n) {
+                match u.label(c).op {
+                    EditOp::Nop => stack.push(c),
+                    EditOp::Del => {
+                        out.detach_subtree(c).unwrap();
+                    }
+                    EditOp::Ins => {
+                        // append at the parent's end: positions among
+                        // hidden siblings are not meaningful here, and the
+                        // generator tests only need a valid evolving doc
+                        let frag = u.subtree(c).map_labels(|_, l| l.label);
+                        let arity = out.children(n).len();
+                        out.attach_subtree(n, arity, frag).unwrap();
+                    }
+                }
+            }
+        }
+        debug_assert!(extract_view(ann, &out).size() > 0);
+        out
+    }
+
+    #[test]
+    fn churn_is_deterministic_in_the_seed() {
+        let Hospital { alpha, dtd, ann } = hospital();
+        let h = Hospital {
+            alpha: alpha.clone(),
+            dtd: dtd.clone(),
+            ann: ann.clone(),
+        };
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 2, 4, &mut gen);
+        let mut s1 = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 99);
+        let mut s2 = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 99);
+        let mut g1 = gen.clone();
+        let mut g2 = gen.clone();
+        for _ in 0..5 {
+            assert_eq!(s1.next_update(&doc, &mut g1), s2.next_update(&doc, &mut g2));
+        }
+        let mut s3 = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 100);
+        let mut g3 = gen.clone();
+        let differs = (0..5).any(|_| {
+            s3.next_update(&doc, &mut g3) != {
+                let mut g = gen.clone();
+                let mut s = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 99);
+                s.next_update(&doc, &mut g)
+            }
+        });
+        assert!(differs, "different seeds should diverge");
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`generate_annotation`] — random annotations;
 //! * [`generate_update`] — random *valid* view updates (membership-checked
 //!   against the derived view DTD);
+//! * [`ChurnStream`] — localized small-edit churn streams over a fixed
+//!   large document (the repeated-update serving workload);
 //! * [`scenario`] — the hospital security-view macro-benchmark workload.
 //!
 //! Every generator is deterministic in its seed, making experiments and
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod anngen;
+mod churn;
 mod docgen;
 mod dtdgen;
 pub mod paper;
@@ -34,6 +37,7 @@ pub mod scenario;
 mod updategen;
 
 pub use anngen::generate_annotation;
+pub use churn::{ChurnConfig, ChurnStream};
 pub use docgen::{generate_doc, DocGenConfig};
 pub use dtdgen::{generate_dtd, DtdGenConfig};
 pub use updategen::{generate_update, UpdateGenConfig};

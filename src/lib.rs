@@ -153,15 +153,16 @@ pub mod prelude {
         exponential_dtd, min_sizes, minimal_witness, parse_dtd, Dtd, InsertletPackage, MinSizes,
     };
     pub use xvu_edit::{
-        apply, cost, del_script, input_tree, ins_script, nop_script, output_tree, parse_script,
-        script_to_term, validate_script, ELabel, EditOp, Script, UpdateBuilder,
+        apply, apply_in_place, cost, del_script, input_tree, ins_script, nop_script, output_tree,
+        parse_script, script_footprint, script_to_term, validate_script, ELabel, EditOp, Script,
+        ScriptFootprint, UpdateBuilder,
     };
     pub use xvu_edit::{compose, diff};
     pub use xvu_propagate::{
         count_optimal_propagations, cross_view_effect, cross_view_touched,
         enumerate_optimal_propagations, find_complement_preserving, invisible_impact, propagate,
-        propagate_view_edit, revalidate_output, typing_report, verify_propagation, Config,
-        CostModel, Engine, EngineBuilder, Instance, InversionForest, InvisibleImpact,
+        propagate_view_edit, revalidate_output, typing_report, verify_propagation, CacheStats,
+        Config, CostModel, Engine, EngineBuilder, Instance, InversionForest, InvisibleImpact,
         PropagateError, Propagation, PropagationForest, Selector, Session, SessionLease,
         SessionPool, TypingReport,
     };

@@ -1,0 +1,240 @@
+//! Observational equivalence of session-persistent propagation caching.
+//!
+//! The dirty-region cache (`Session`'s `PropCache`) must be invisible in
+//! every observable: for random documents and random update sequences
+//! driven through one long-lived session, cached propagation must produce
+//! byte-identical results — cost, script, optimal-propagation count — to
+//! the cache-disabled path and to fresh per-step computation, across
+//! commits that invalidate only the dirty region.
+
+use proptest::prelude::*;
+use xml_view_update::prelude::*;
+use xml_view_update::workload::{
+    generate_annotation, generate_doc, generate_dtd, generate_update, ChurnConfig, ChurnStream,
+    DocGenConfig, DtdGenConfig, UpdateGenConfig,
+};
+
+/// Everything observable about a propagation: cost, the exact script
+/// (identifier-sensitive term form), and the optimal count.
+fn fingerprint(p: &Propagation, alpha: &Alphabet) -> (u64, String, Option<u128>) {
+    (
+        p.cost,
+        script_to_term(&p.script, alpha),
+        count_optimal_propagations(&p.forest),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random update sequences through one long-lived session: at every
+    /// step, (a) a cold and a warm propagate on a fresh session are
+    /// byte-identical to a fresh one-shot `Instance` (the warm call is
+    /// served from a populated cache); (b) the long-lived cached and
+    /// uncached sessions agree byte-for-byte with each other and with the
+    /// one-shot on cost and count; (c) commits keep both sessions in
+    /// lock-step.
+    #[test]
+    fn session_cache_matches_one_shot(seed in 0u64..1500) {
+        let mut alpha = Alphabet::new();
+        let dtd = generate_dtd(&mut alpha, &DtdGenConfig::default(), seed);
+        let ann = generate_annotation(&alpha, 0.3, seed ^ 71, &[]);
+        let root = alpha.get("l0").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = generate_doc(&dtd, alpha.len(), root,
+            &DocGenConfig { max_depth: 4, max_children: 5, ..DocGenConfig::default() },
+            seed ^ 72, &mut gen);
+
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .build()
+            .unwrap();
+        let uncached_engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .prop_cache(false)
+            .build()
+            .unwrap();
+
+        let mut cached = engine.open(&doc).unwrap();
+        let mut uncached = uncached_engine.open(&doc).unwrap();
+        let mut chain_doc = doc; // the fresh-one-shot chain's document
+
+        for step in 0..4u64 {
+            let mut g = cached.id_gen();
+            let update = generate_update(&dtd, &ann, alpha.len(), &chain_doc,
+                &UpdateGenConfig { ops: 2, ..UpdateGenConfig::default() },
+                seed ^ (3000 + step), &mut g);
+
+            // fresh one-shot against the chain document
+            let inst = Instance::new(&dtd, &ann, &chain_doc, &update, alpha.len()).unwrap();
+            let one_shot = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
+            let os_fp = fingerprint(&one_shot, &alpha);
+
+            // a fresh session on the same document: the cold call fills
+            // its cache, the warm call is served from it; both must be
+            // byte-identical to the one-shot
+            let fresh = engine.open(&chain_doc).unwrap();
+            let cold = fresh.propagate(&update).unwrap();
+            let warm = fresh.propagate(&update).unwrap();
+            prop_assert_eq!(fingerprint(&cold, &alpha), os_fp.clone(), "cold, step {}", step);
+            prop_assert_eq!(fingerprint(&warm, &alpha), os_fp.clone(), "warm, step {}", step);
+
+            // long-lived sessions: cache on vs off, byte-identical
+            let pc = cached.propagate(&update).unwrap();
+            let pu = uncached.propagate(&update).unwrap();
+            prop_assert_eq!(
+                fingerprint(&pc, &alpha),
+                fingerprint(&pu, &alpha),
+                "cached vs uncached session, step {}", step
+            );
+            // and they agree with the one-shot on every gen-independent
+            // observable (hidden insertlet identifiers may differ once the
+            // session's high-water mark outruns the chain's)
+            prop_assert_eq!(pc.cost, one_shot.cost);
+            prop_assert_eq!(
+                count_optimal_propagations(&pc.forest),
+                count_optimal_propagations(&one_shot.forest)
+            );
+            let out_session = output_tree(&pc.script).unwrap();
+            let out_chain = output_tree(&one_shot.script).unwrap();
+            prop_assert!(out_session.isomorphic(&out_chain), "outputs isomorphic, step {}", step);
+            prop_assert_eq!(
+                extract_view(&ann, &out_session),
+                extract_view(&ann, &out_chain),
+                "user-visible effect exact, step {}", step
+            );
+
+            cached.commit(&pc).unwrap();
+            uncached.commit(&pu).unwrap();
+            prop_assert_eq!(cached.document(), uncached.document());
+            chain_doc = out_chain;
+        }
+        prop_assert_eq!(cached.commits(), 4);
+    }
+}
+
+/// A second update landing *inside* a previously-dirty region must never
+/// read stale memos: after a commit that edited one department, another
+/// edit of the same department propagates byte-identically to a fresh
+/// session that never had a cache to go stale.
+#[test]
+fn second_update_inside_dirty_region_never_reads_stale_memos() {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> d*\nd -> (a.h?)*").unwrap();
+    let ann = parse_annotation(&mut alpha, "hide d h").unwrap();
+    let mut gen = NodeIdGen::new();
+    let doc = xml_view_update::tree::parse_term_with_ids(
+        &mut alpha,
+        &mut gen,
+        "r#0(d#1(a#2, h#3, a#4), d#5(a#6), d#7(a#8, h#9))",
+    )
+    .unwrap();
+    let engine = Engine::builder()
+        .alphabet(alpha.clone())
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap();
+    let mut session = engine.open(&doc).unwrap();
+
+    // Warm every memo with an identity update, then dirty d#1's region.
+    session.propagate(&nop_script(session.view())).unwrap();
+    let u1 = parse_script(
+        &mut alpha,
+        "nop:r#0(nop:d#1(nop:a#2, nop:a#4, ins:a#20), nop:d#5(nop:a#6), nop:d#7(nop:a#8))",
+    )
+    .unwrap();
+    let p1 = session.propagate(&u1).unwrap();
+    session.commit(&p1).unwrap();
+    let after_commit = session.cache_stats();
+    assert!(
+        after_commit.invalidated >= 2,
+        "commit must invalidate the dirty region (d#1 + r#0): {after_commit:?}"
+    );
+
+    // Second update inside the previously-dirty region: delete the very
+    // node the first update inserted, and one of the originals.
+    let u2 = parse_script(
+        &mut alpha,
+        "nop:r#0(nop:d#1(nop:a#2, del:a#4, del:a#20), nop:d#5(nop:a#6), nop:d#7(nop:a#8))",
+    )
+    .unwrap();
+    let p2 = session.propagate(&u2).unwrap();
+
+    // A fresh session on the post-commit document has no cache that could
+    // be stale; byte-identity proves the long-lived session read no stale
+    // memo either. (No hidden material is minted under this schema, so
+    // identifier frontiers cannot diverge.)
+    let fresh = engine.open(session.document()).unwrap();
+    let p2_fresh = fresh.propagate(&u2).unwrap();
+    assert_eq!(p2.cost, p2_fresh.cost);
+    assert_eq!(
+        script_to_term(&p2.script, &alpha),
+        script_to_term(&p2_fresh.script, &alpha)
+    );
+    assert_eq!(
+        count_optimal_propagations(&p2.forest),
+        count_optimal_propagations(&p2_fresh.forest)
+    );
+
+    // And the carried-over clean region genuinely served hits (d#5, d#7,
+    // their a's — state survived the commit).
+    let stats = session.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "clean region must hit across the commit: {stats:?}"
+    );
+}
+
+/// Churn streams (localized small edits, commit after every propagate)
+/// through cached and uncached sessions stay in lock-step for the whole
+/// stream — the serving-shaped version of the equivalence property.
+#[test]
+fn churn_stream_cached_equals_uncached() {
+    use xml_view_update::workload::scenario::{hospital, hospital_doc, Hospital};
+    for seed in [3u64, 17, 40] {
+        let Hospital { alpha, dtd, ann } = hospital();
+        let h = Hospital {
+            alpha: alpha.clone(),
+            dtd: dtd.clone(),
+            ann: ann.clone(),
+        };
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 3, 10, &mut gen);
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd.clone())
+            .annotation(ann.clone())
+            .build()
+            .unwrap();
+        let mut cached = engine.open(&doc).unwrap();
+        let mut uncached = engine.open(&doc).unwrap();
+        uncached.set_cache_enabled(false);
+        let mut stream = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), seed);
+        for step in 0..8 {
+            let mut g = cached.id_gen();
+            let u = stream.next_update(cached.document(), &mut g);
+            let pc = cached.propagate(&u).unwrap();
+            let pu = uncached.propagate(&u).unwrap();
+            assert_eq!(
+                fingerprint(&pc, &alpha),
+                fingerprint(&pu, &alpha),
+                "seed {seed}, step {step}"
+            );
+            cached.commit(&pc).unwrap();
+            uncached.commit(&pu).unwrap();
+            assert_eq!(
+                cached.document(),
+                uncached.document(),
+                "seed {seed}, step {step}"
+            );
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.hits > 0, "churn must exercise the cache: {stats:?}");
+        assert!(stats.invalidated > 0, "commits must invalidate: {stats:?}");
+    }
+}

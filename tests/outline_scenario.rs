@@ -68,7 +68,7 @@ fn deleting_a_section_removes_hidden_paragraphs_recursively() {
     assert_eq!(out.size(), doc.size() - 15);
 
     // typing is preserved for every surviving node
-    let report = typing_report(engine.dtd(), engine.alphabet_len(), &prop.script);
+    let report = typing_report(engine.dtd(), engine.alphabet().len(), &prop.script);
     assert!(report.fully_preserved());
 }
 
