@@ -6,9 +6,12 @@
 //! batch — plus the **churn** workload (K small localized edits against
 //! the hospital document through one long-lived session, propagate +
 //! commit each, measured with the session's propagation cache on and off
-//! in the same run), and writes them as JSON so the perf trajectory
-//! across PRs is tracked by a checked-in artifact instead of scraped
-//! bench logs.
+//! in the same run), and the **enumerated coverage arm** (one-shot
+//! propagation over every instance of `xvu_workload::enumo`'s default
+//! budget, grouped by regime, with each regime's view-edit → source-edit
+//! cost amplification — the blowup map), and writes them as JSON so the
+//! perf trajectory across PRs is tracked by a checked-in artifact instead
+//! of scraped bench logs.
 //!
 //! ```text
 //! cargo run --release -p xvu_bench --bin bench_propagate [-- OUT_PATH]
@@ -21,8 +24,8 @@
 
 use std::hint::black_box;
 use xvu_bench::{
-    hospital_churn_batch, hospital_update_batch, median_time, random_update_batch,
-    run_churn_session, OwnedInstance,
+    enumerated_regime_rows, hospital_churn_batch, hospital_update_batch, median_time,
+    random_update_batch, run_churn_session, OwnedInstance,
 };
 use xvu_edit::Script;
 
@@ -104,8 +107,18 @@ fn main() {
     .as_nanos();
     let improvement_pct = 100.0 * (1.0 - churn_cached_ns as f64 / churn_uncached_ns.max(1) as f64);
 
+    // Enumerated coverage arm: the whole default-budget grammar space,
+    // one-shot, grouped by regime; amplification = propagation cost /
+    // view-update cost, the per-regime blowup figure.
+    let regime_rows = enumerated_regime_rows(RUNS);
+    let blowup = regime_rows
+        .iter()
+        .max_by(|a, b| a.amplification.total_cmp(&b.amplification))
+        .expect("enumeration is non-empty");
+    let blowup_regime = blowup.regime;
+
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-propagate/2\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-propagate/3\",\n");
     json.push_str("  \"timed_region\": \"engine compile + session open + K propagations\",\n");
     json.push_str(&format!("  \"runs_per_median\": {RUNS},\n"));
     json.push_str("  \"workloads\": {\n");
@@ -133,7 +146,28 @@ fn main() {
         churn_uncached_ns as f64 / 1e3 / K as f64,
         improvement_pct,
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"enumerated\": {{\n    \"timed_region\": \"one-shot propagate over every default-budget enumo instance, per regime\",\n    \"cost_blowup_regime\": \"{blowup_regime}\",\n"
+    ));
+    json.push_str("    \"regimes\": {\n");
+    for (i, r) in regime_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      \"{}\": {{ \"instances\": {}, \"update_cost\": {}, \"propagation_cost\": {}, \
+             \"cost_amplification\": {:.2}, \"median_ns\": {}, \"median_us_per_instance\": {:.3}, \
+             \"max_optimal_count\": {} }}{}\n",
+            r.regime,
+            r.instances,
+            r.update_cost,
+            r.propagation_cost,
+            r.amplification,
+            r.median_ns,
+            r.median_ns as f64 / 1e3 / r.instances.max(1) as f64,
+            r.max_count,
+            if i + 1 == regime_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("    }\n  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_propagate.json");
     print!("{json}");

@@ -335,6 +335,102 @@ pub fn run_churn_session(
     total
 }
 
+/// Per-regime coverage summary over the enumerated grammar space (see
+/// `xvu_workload::enumo`): how many instances the regime contributes, how
+/// expensive their propagations are, and the **cost amplification** — the
+/// ratio of total optimal source-edit cost to total view-edit cost. A
+/// ratio far above 1 marks a blowup regime: hidden mandatory material is
+/// minted (or discarded) for every visible edit.
+pub struct RegimeRow {
+    /// Regime label (`plain`, `wide-alternation`, `heavy-hiding`,
+    /// `deep-recursion`).
+    pub regime: &'static str,
+    /// Enumerated instances in this regime.
+    pub instances: usize,
+    /// Summed `cost(update)` over the regime's view updates.
+    pub update_cost: u64,
+    /// Summed optimal propagation cost over the regime.
+    pub propagation_cost: u64,
+    /// `propagation_cost / update_cost` (0 when no update cost).
+    pub amplification: f64,
+    /// Median wall time of one-shot-propagating the whole regime, ns.
+    pub median_ns: u128,
+    /// Largest optimal-propagation count seen in the regime.
+    pub max_count: u128,
+}
+
+/// Measures one-shot propagation over every instance the default
+/// enumeration budget generates, grouped by regime. Deterministic in the
+/// budget; `runs` controls the median.
+pub fn enumerated_regime_rows(runs: usize) -> Vec<RegimeRow> {
+    use xvu_workload::enumo::{enumerate_instances, EnumBudget};
+
+    let instances = enumerate_instances(&EnumBudget::default());
+    let mut rows: Vec<RegimeRow> = Vec::new();
+    for regime in [
+        "plain",
+        "wide-alternation",
+        "heavy-hiding",
+        "deep-recursion",
+    ] {
+        let group: Vec<_> = instances.iter().filter(|i| i.regime() == regime).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let mut update_cost = 0u64;
+        let mut propagation_cost = 0u64;
+        let mut max_count = 0u128;
+        for inst in &group {
+            let i = Instance::new(
+                &inst.dtd,
+                &inst.ann,
+                &inst.doc,
+                &inst.update,
+                inst.alpha.len(),
+            )
+            .expect("enumerated instance is valid");
+            let p = propagate(&i, &InsertletPackage::new(), &Config::default()).expect("Theorem 5");
+            update_cost += xvu_edit::cost(&inst.update) as u64;
+            propagation_cost += p.cost;
+            if let Some(c) = xvu_propagate::count_optimal_propagations(&p.forest) {
+                max_count = max_count.max(c);
+            }
+        }
+        let median_ns = median_time(runs, || {
+            let mut total = 0u64;
+            for inst in &group {
+                let i = Instance::new(
+                    &inst.dtd,
+                    &inst.ann,
+                    &inst.doc,
+                    &inst.update,
+                    inst.alpha.len(),
+                )
+                .expect("enumerated instance is valid");
+                total += propagate(&i, &InsertletPackage::new(), &Config::default())
+                    .expect("Theorem 5")
+                    .cost;
+            }
+            std::hint::black_box(total);
+        })
+        .as_nanos();
+        rows.push(RegimeRow {
+            regime,
+            instances: group.len(),
+            update_cost,
+            propagation_cost,
+            amplification: if update_cost == 0 {
+                0.0
+            } else {
+                propagation_cost as f64 / update_cost as f64
+            },
+            median_ns,
+            max_count,
+        });
+    }
+    rows
+}
+
 /// Pairs one source document with each update — the independent-request
 /// batch shape [`xvu_propagate::serve`]'s `Engine::propagate_batch`
 /// serves (requests are self-contained, so the same document may appear
@@ -393,6 +489,17 @@ mod tests {
         assert!(
             updates.iter().any(|u| xvu_edit::cost(u) > 0),
             "churn stream produced only identity updates"
+        );
+    }
+
+    #[test]
+    fn enumerated_rows_cover_every_regime_and_flag_a_blowup() {
+        let rows = enumerated_regime_rows(1);
+        assert_eq!(rows.len(), 4, "all four regimes must be populated");
+        assert!(rows.iter().map(|r| r.instances).sum::<usize>() >= 200);
+        assert!(
+            rows.iter().any(|r| r.amplification > 1.0),
+            "at least one regime must amplify view-edit cost"
         );
     }
 

@@ -227,9 +227,12 @@ impl InversionForest {
         Ok(tree)
     }
 
-    /// Enumerates inverses (bounded): up to `cap` per node graph and
-    /// `max_len` edges per path, full (possibly cyclic) graphs. Exercises
-    /// Theorem 1 — every returned tree is a true inverse.
+    /// Enumerates inverses (bounded): up to `cap` trees overall, paths of
+    /// at most `max_len` edges per node graph, full (possibly cyclic)
+    /// graphs, child choices combined as a (bounded) cross-product.
+    /// Exercises Theorem 1 — every returned tree is a true inverse, and
+    /// when fewer than `cap` trees come back and no path hit `max_len`,
+    /// the enumeration is exhaustive.
     pub fn enumerate_inverses(
         &self,
         dtd: &Dtd,
@@ -263,14 +266,14 @@ impl InversionForest {
     ) -> Result<Vec<DocTree>, PropagateError> {
         let g = &self.graphs[self.slot_of(n)];
         let paths = g.enumerate_paths(cap, max_len);
-        let mut out = Vec::new();
-        for path in paths {
-            // Each enumeration materialises children via the *first*
-            // choice recursively; combining child enumerations is done by
-            // the caller when needed (tests keep instances small).
-            let mut tree = Tree::leaf_with_id(n, self.fragment.label(n));
-            let root = tree.root();
-            let mut ok = true;
+        let mut out: Vec<DocTree> = Vec::new();
+        'paths: for path in paths {
+            // Materialise the per-edge choice sets: a singleton fragment
+            // for each (i)-edge, the recursive enumeration for each
+            // (ii)-edge — then emit their cross-product (bounded by
+            // `cap`), so inverses differing only below a visible child
+            // are all produced.
+            let mut edge_options: Vec<Vec<DocTree>> = Vec::with_capacity(path.len());
             for &e in &path {
                 match &g.edge(e).payload {
                     InvEdge::Ins(y) => {
@@ -278,14 +281,8 @@ impl InversionForest {
                             .insertlets
                             .instantiate(dtd, cost.sizes, *y, gen, witness_budget)
                         {
-                            Ok(frag) => {
-                                let pos = tree.children(root).len();
-                                tree.attach_subtree(root, pos, frag)?;
-                            }
-                            Err(_) => {
-                                ok = false;
-                                break;
-                            }
+                            Ok(frag) => edge_options.push(vec![frag]),
+                            Err(_) => continue 'paths,
                         }
                     }
                     InvEdge::Rec { child, .. } => {
@@ -295,26 +292,41 @@ impl InversionForest {
                             cost,
                             gen,
                             witness_budget,
-                            1,
+                            cap,
                             max_len,
                         )?;
-                        match subs.into_iter().next() {
-                            Some(sub) => {
-                                let pos = tree.children(root).len();
-                                tree.attach_subtree(root, pos, sub)?;
-                            }
-                            None => {
-                                ok = false;
-                                break;
-                            }
+                        if subs.is_empty() {
+                            continue 'paths;
                         }
+                        edge_options.push(subs);
                     }
                 }
             }
-            if ok {
+            let mut combos: Vec<Vec<usize>> = vec![Vec::with_capacity(edge_options.len())];
+            for opts in &edge_options {
+                let mut next = Vec::with_capacity(combos.len().saturating_mul(opts.len()));
+                'grow: for prefix in &combos {
+                    for i in 0..opts.len() {
+                        let mut row = prefix.clone();
+                        row.push(i);
+                        next.push(row);
+                        if next.len() > cap {
+                            break 'grow; // bounded: cap trees suffice
+                        }
+                    }
+                }
+                combos = next;
+            }
+            for combo in combos {
+                let mut tree = Tree::leaf_with_id(n, self.fragment.label(n));
+                let root = tree.root();
+                for (slot, &i) in combo.iter().enumerate() {
+                    let pos = tree.children(root).len();
+                    tree.attach_subtree(root, pos, edge_options[slot][i].clone())?;
+                }
                 out.push(tree);
                 if out.len() >= cap {
-                    break;
+                    return Ok(out);
                 }
             }
         }

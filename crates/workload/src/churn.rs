@@ -88,6 +88,26 @@ impl ChurnStream {
         }
     }
 
+    /// Prepares a stream driving an [enumerated
+    /// family](crate::enumo::EnumeratedInstance): the instance's `(D, A)`
+    /// pair, with the recipe's stable hash folded into the seed so
+    /// sibling families churn differently even under one suite-level
+    /// seed. Replay loop and determinism are exactly as for
+    /// [`ChurnStream::new`].
+    pub fn for_enumerated(
+        inst: &crate::enumo::EnumeratedInstance,
+        cfg: ChurnConfig,
+        seed: u64,
+    ) -> ChurnStream {
+        ChurnStream::new(
+            &inst.dtd,
+            &inst.ann,
+            inst.alpha.len(),
+            cfg,
+            seed ^ crate::enumo::stable_hash(&inst.name),
+        )
+    }
+
     /// Emits the next update of the stream against `doc`'s view: up to
     /// `cfg.ops` operations, all among one randomly chosen anchor node's
     /// children. Fresh identifiers come from `gen`, which callers should

@@ -1,0 +1,1283 @@
+//! Grammar-space **enumeration** of workload families — the `enumo`
+//! recipe idiom (after ruler's `enumo` module): instead of *sampling*
+//! random DTDs, annotations, and update scripts, small recipe terms are
+//! enumerated **exhaustively** up to a size budget, so every structural
+//! family in the budgeted space (deep recursion, wide alternation, heavy
+//! hiding, …) is visited deterministically.
+//!
+//! The three layers are:
+//!
+//! 1. **Terms** — [`Sexp`], a tiny s-expression language with
+//!    [`Sexp::plug`] substitution and [`Metric`]-based size measures
+//!    ([`Metric::Atoms`], [`Metric::Depth`], [`Metric::Lists`]);
+//! 2. **Workloads** — [`Workload`], lazily composed sets of terms:
+//!    `Set`, `Plug` (cross-product substitution of a hole atom),
+//!    `Filter` (metric bounds), `Append`; [`Workload::force`] yields the
+//!    deduplicated term list;
+//! 3. **Recipes** — interpreters turning enumerated terms into runnable
+//!    pieces: [`DtdRecipe`] (rule-shape terms over hole atoms `A`/`B`/`C`
+//!    compiled into layered, optionally *recursive*, always-satisfiable
+//!    DTDs), [`AnnPattern`] (visibility patterns: `none`, `root-run`,
+//!    `alternate`, `leaves`, `deep`), and [`ScriptRecipe`] (update
+//!    shapes: `nop`, `ins`, `del`, `mix`, keyed to the generated view).
+//!
+//! [`enumerate_recipes`] composes the three recipe workloads with
+//! [`Workload::plug`] into fully self-describing `(instance …)` terms,
+//! and [`instance_from_recipe`] compiles any such term into a ready-to-run
+//! [`EnumeratedInstance`] `(Σ, D, A, t, S)` via the existing generators —
+//! deterministically, so **the recipe term is the replay key**: paste a
+//! failing instance's name back into [`instance_from_recipe`] to
+//! reproduce it as a one-liner.
+//!
+//! # A worked recipe
+//!
+//! ```
+//! use xvu_workload::enumo::*;
+//!
+//! // Enumerate every ground rule shape reachable in two plug rounds…
+//! let shapes = rule_shapes(2, 4);
+//! assert!(shapes.force().len() >= 14);
+//!
+//! // …or compile one concrete family member end to end:
+//! let recipe: Sexp =
+//!     "(instance (dtd (seq A (star B)) 3 rec) (ann leaves) (doc 24 4 7) (script ins 2 1))"
+//!         .parse()
+//!         .unwrap();
+//! let inst = instance_from_recipe(&recipe).expect("recipe compiles");
+//! assert!(inst.dtd.is_valid(&inst.doc));
+//! assert_eq!(inst.name, recipe.to_string()); // the name replays the instance
+//! ```
+
+use crate::anngen::generate_annotation;
+use crate::docgen::{generate_doc, DocGenConfig};
+use crate::updategen::{generate_update, UpdateGenConfig};
+use std::fmt;
+use std::str::FromStr;
+use xvu_automata::Regex;
+use xvu_dtd::{min_sizes, Dtd};
+use xvu_edit::{nop_script, Script};
+use xvu_tree::{Alphabet, DocTree, NodeIdGen, Sym};
+use xvu_view::{extract_view, Annotation};
+
+// ---------------------------------------------------------------------
+// Sexp: the term language
+// ---------------------------------------------------------------------
+
+/// A tiny s-expression: atoms and lists. The term language every recipe
+/// is written in.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sexp {
+    /// A bare symbol, e.g. `A` or `star`.
+    Atom(String),
+    /// A parenthesised application, e.g. `(seq A B)`.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// An atom term.
+    pub fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    /// A list term.
+    pub fn list(items: impl IntoIterator<Item = Sexp>) -> Sexp {
+        Sexp::List(items.into_iter().collect())
+    }
+
+    /// Measures the term under a [`Metric`].
+    pub fn measure(&self, metric: Metric) -> usize {
+        match (self, metric) {
+            (Sexp::Atom(_), Metric::Atoms) => 1,
+            (Sexp::Atom(_), Metric::Depth) => 0,
+            (Sexp::Atom(_), Metric::Lists) => 0,
+            (Sexp::List(items), m) => {
+                let children = items.iter().map(|s| s.measure(m));
+                match m {
+                    Metric::Atoms => children.sum(),
+                    Metric::Lists => 1usize + children.sum::<usize>(),
+                    Metric::Depth => 1usize + children.max().unwrap_or(0),
+                }
+            }
+        }
+    }
+
+    /// Whether the atom `name` occurs anywhere in the term.
+    pub fn contains_atom(&self, name: &str) -> bool {
+        match self {
+            Sexp::Atom(a) => a == name,
+            Sexp::List(items) => items.iter().any(|s| s.contains_atom(name)),
+        }
+    }
+
+    /// Counts occurrences of list heads equal to `head` (e.g. how many
+    /// `alt` nodes a shape has).
+    pub fn count_heads(&self, head: &str) -> usize {
+        match self {
+            Sexp::Atom(_) => 0,
+            Sexp::List(items) => {
+                let me = matches!(items.first(), Some(Sexp::Atom(h)) if h == head) as usize;
+                me + items.iter().map(|s| s.count_heads(head)).sum::<usize>()
+            }
+        }
+    }
+
+    /// Cross-product substitution: every occurrence of the atom `name` is
+    /// replaced by each of `pegs` **independently**, so a term with `k`
+    /// occurrences yields `|pegs|^k` results (the ruler `plug` semantics).
+    pub fn plug(&self, name: &str, pegs: &[Sexp]) -> Vec<Sexp> {
+        match self {
+            Sexp::Atom(a) if a == name => pegs.to_vec(),
+            Sexp::Atom(_) => vec![self.clone()],
+            Sexp::List(items) => {
+                // cartesian product over the children's plug results
+                let mut acc: Vec<Vec<Sexp>> = vec![Vec::with_capacity(items.len())];
+                for item in items {
+                    let choices = item.plug(name, pegs);
+                    let mut next = Vec::with_capacity(acc.len() * choices.len());
+                    for prefix in &acc {
+                        for c in &choices {
+                            let mut row = prefix.clone();
+                            row.push(c.clone());
+                            next.push(row);
+                        }
+                    }
+                    acc = next;
+                }
+                acc.into_iter().map(Sexp::List).collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(a) => write!(f, "{a}"),
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parse error for [`Sexp::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SexpParseError(pub String);
+
+impl fmt::Display for SexpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sexp parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SexpParseError {}
+
+impl FromStr for Sexp {
+    type Err = SexpParseError;
+
+    fn from_str(input: &str) -> Result<Sexp, SexpParseError> {
+        let mut tokens = Vec::new();
+        let mut cur = String::new();
+        for ch in input.chars() {
+            match ch {
+                '(' | ')' => {
+                    if !cur.is_empty() {
+                        tokens.push(std::mem::take(&mut cur));
+                    }
+                    tokens.push(ch.to_string());
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        tokens.push(std::mem::take(&mut cur));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(cur);
+        }
+        let mut pos = 0usize;
+        let parsed = parse_tokens(&tokens, &mut pos)?;
+        if pos != tokens.len() {
+            return Err(SexpParseError(format!(
+                "trailing tokens after term: {:?}",
+                &tokens[pos..]
+            )));
+        }
+        Ok(parsed)
+    }
+}
+
+fn parse_tokens(tokens: &[String], pos: &mut usize) -> Result<Sexp, SexpParseError> {
+    let tok = tokens
+        .get(*pos)
+        .ok_or_else(|| SexpParseError("unexpected end of input".to_owned()))?;
+    *pos += 1;
+    match tok.as_str() {
+        "(" => {
+            let mut items = Vec::new();
+            loop {
+                match tokens.get(*pos).map(String::as_str) {
+                    Some(")") => {
+                        *pos += 1;
+                        return Ok(Sexp::List(items));
+                    }
+                    Some(_) => items.push(parse_tokens(tokens, pos)?),
+                    None => return Err(SexpParseError("unclosed '('".to_owned())),
+                }
+            }
+        }
+        ")" => Err(SexpParseError("unexpected ')'".to_owned())),
+        atom => Ok(Sexp::Atom(atom.to_owned())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics, filters, workloads
+// ---------------------------------------------------------------------
+
+/// Size measures over [`Sexp`] terms (the ruler `Metric` triple).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Number of atom occurrences.
+    Atoms,
+    /// Number of list nodes.
+    Lists,
+    /// Maximum nesting depth (atoms measure 0).
+    Depth,
+}
+
+/// Predicates used to bound a [`Workload`].
+#[derive(Clone, Debug)]
+pub enum Filter {
+    /// Keep terms with `measure(metric) < bound`.
+    MetricLt(Metric, usize),
+    /// Keep terms containing the given atom.
+    Contains(String),
+    /// Keep terms **not** containing the given atom (e.g. drop terms
+    /// with unexpanded holes after the final plug round).
+    Excludes(String),
+    /// Conjunction.
+    And(Vec<Filter>),
+}
+
+impl Filter {
+    /// Whether the term passes the filter.
+    pub fn allows(&self, s: &Sexp) -> bool {
+        match self {
+            Filter::MetricLt(m, bound) => s.measure(*m) < *bound,
+            Filter::Contains(a) => s.contains_atom(a),
+            Filter::Excludes(a) => !s.contains_atom(a),
+            Filter::And(fs) => fs.iter().all(|f| f.allows(s)),
+        }
+    }
+}
+
+/// A lazily composed, exhaustively enumerable set of terms.
+///
+/// Composition mirrors ruler's `enumo::Workload`: start from literal
+/// `Set`s, substitute hole atoms with [`Workload::plug`], bound with
+/// [`Workload::filter`], union with [`Workload::append`], and realise the
+/// final term list with [`Workload::force`].
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// A literal set of terms.
+    Set(Vec<Sexp>),
+    /// Every term of the first workload with the hole atom substituted by
+    /// every term of the second (cross-product per occurrence).
+    Plug(Box<Workload>, String, Box<Workload>),
+    /// The sub-workload restricted by a filter.
+    Filter(Filter, Box<Workload>),
+    /// Union (order-preserving).
+    Append(Vec<Workload>),
+}
+
+impl Workload {
+    /// A literal workload parsed from term syntax. Panics on malformed
+    /// terms (recipes are compile-time constants).
+    pub fn new<'a>(terms: impl IntoIterator<Item = &'a str>) -> Workload {
+        Workload::Set(
+            terms
+                .into_iter()
+                .map(|t| t.parse().expect("workload term parses"))
+                .collect(),
+        )
+    }
+
+    /// Substitutes the hole atom `name` with every term of `pegs`.
+    pub fn plug(self, name: impl Into<String>, pegs: &Workload) -> Workload {
+        Workload::Plug(Box::new(self), name.into(), Box::new(pegs.clone()))
+    }
+
+    /// Restricts the workload by `filter`.
+    pub fn filter(self, filter: Filter) -> Workload {
+        Workload::Filter(filter, Box::new(self))
+    }
+
+    /// Unions this workload with `other` (order-preserving).
+    pub fn append(self, other: Workload) -> Workload {
+        Workload::Append(vec![self, other])
+    }
+
+    /// Realises the term list: evaluates the composition and deduplicates
+    /// while preserving first-occurrence order (fully deterministic).
+    pub fn force(&self) -> Vec<Sexp> {
+        let raw = match self {
+            Workload::Set(terms) => terms.clone(),
+            Workload::Plug(wl, name, pegs) => {
+                let pegs = pegs.force();
+                wl.force()
+                    .iter()
+                    .flat_map(|t| t.plug(name, &pegs))
+                    .collect()
+            }
+            Workload::Filter(f, wl) => wl.force().into_iter().filter(|t| f.allows(t)).collect(),
+            Workload::Append(wls) => wls.iter().flat_map(|w| w.force()).collect(),
+        };
+        let mut seen = std::collections::HashSet::new();
+        raw.into_iter().filter(|t| seen.insert(t.clone())).collect()
+    }
+}
+
+/// Enumerates every **ground** rule shape reachable in `rounds` rounds of
+/// plugging the hole `X` with the shape grammar
+///
+/// ```text
+/// X ::= A | B | (seq X X) | (alt X X) | (star X) | (opt X)
+/// ```
+///
+/// bounded by `Metric::Atoms < max_atoms + 1` per round; shapes still
+/// containing `X` after the final round are dropped. Two rounds yield the
+/// 14 canonical small families (symbols, pairs, stars, options); three
+/// rounds add the nested seq-of-alt / star-of-alt / deep-option families.
+pub fn rule_shapes(rounds: usize, max_atoms: usize) -> Workload {
+    let expansions = Workload::new(["A", "B", "(seq X X)", "(alt X X)", "(star X)", "(opt X)"]);
+    let mut wl = Workload::new(["X"]);
+    for _ in 0..rounds {
+        wl = wl
+            .plug("X", &expansions)
+            .filter(Filter::MetricLt(Metric::Atoms, max_atoms + 1));
+    }
+    wl.filter(Filter::Excludes("X".to_owned()))
+}
+
+// ---------------------------------------------------------------------
+// DTD recipes
+// ---------------------------------------------------------------------
+
+/// Compiles a shape term into a [`Regex`], resolving atom names to
+/// symbols through `resolve`. The combinators are `(seq x y …)`,
+/// `(alt x y …)`, `(star x)`, `(opt x)`, plus the special atom `eps`.
+///
+/// This is the shared interpreter behind enumerated families
+/// ([`DtdRecipe::compile`], positional hole atoms `A`/`B`/`C`) and the
+/// named scenarios ([`dtd_from_rules`], label-name atoms).
+pub fn shape_to_regex(shape: &Sexp, resolve: &mut impl FnMut(&str) -> Sym) -> Regex {
+    match shape {
+        Sexp::Atom(a) if a == "eps" => Regex::Epsilon,
+        Sexp::Atom(a) => Regex::sym(resolve(a)),
+        Sexp::List(items) => {
+            let head = match items.first() {
+                Some(Sexp::Atom(h)) => h.as_str(),
+                _ => panic!("shape list must start with a combinator: {shape}"),
+            };
+            let args: Vec<Regex> = items[1..]
+                .iter()
+                .map(|s| shape_to_regex(s, resolve))
+                .collect();
+            match head {
+                "seq" => Regex::concat(args),
+                "alt" => Regex::alt(args),
+                "star" => {
+                    assert_eq!(args.len(), 1, "star takes one argument: {shape}");
+                    Regex::star(args.into_iter().next().unwrap())
+                }
+                "opt" => {
+                    assert_eq!(args.len(), 1, "opt takes one argument: {shape}");
+                    Regex::opt(args.into_iter().next().unwrap())
+                }
+                other => panic!("unknown shape combinator {other:?} in {shape}"),
+            }
+        }
+    }
+}
+
+/// Builds a DTD directly from named per-label rule shapes — the scenario
+/// construction path: every rule is a term of the same shape language the
+/// enumerated families use, with label names as atoms. Labels mentioned
+/// only as atoms become leaves.
+pub fn dtd_from_rules(alpha: &mut Alphabet, rules: &[(&str, &str)]) -> Dtd {
+    let parsed: Vec<(String, Sexp)> = rules
+        .iter()
+        .map(|(name, shape)| {
+            (
+                (*name).to_owned(),
+                shape.parse::<Sexp>().expect("rule shape parses"),
+            )
+        })
+        .collect();
+    // Intern rule heads first so label indices follow declaration order.
+    for (name, _) in &parsed {
+        alpha.intern(name);
+    }
+    let mut dtd = Dtd::new();
+    for (name, shape) in &parsed {
+        let re = shape_to_regex(shape, &mut |atom| alpha.intern(atom));
+        let label = alpha.get(name).expect("interned above");
+        dtd.set_rule(label, &re);
+    }
+    dtd
+}
+
+/// One enumerated DTD family: a ground rule shape over hole atoms
+/// `A`/`B`/`C`, instantiated down a chain of `layers` ruled labels
+/// `l0 … l{layers-1}` plus one leaf label `l{layers}`.
+///
+/// * **Layered** (`recursive = false`): label `l_i`'s rule is the shape
+///   with `A ↦ l_{i+1}`, `B ↦ l_{i+2}`, `C ↦ l_{i+3}` (clamped to the
+///   leaf), so documents have bounded depth — the polynomial regime.
+/// * **Recursive** (`recursive = true`): `B ↦ l_i` itself and the whole
+///   rule is wrapped in `?`, making every label nullable and therefore
+///   satisfiable while admitting unbounded nesting — the deep-recursion
+///   regime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DtdRecipe {
+    /// The ground rule shape (atoms `A`, `B`, `C`).
+    pub shape: Sexp,
+    /// Number of ruled labels.
+    pub layers: usize,
+    /// Whether hole `B` refers back to the label itself.
+    pub recursive: bool,
+}
+
+impl DtdRecipe {
+    /// The recipe as a term: `(dtd <shape> <layers> flat|rec)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::list([
+            Sexp::atom("dtd"),
+            self.shape.clone(),
+            Sexp::atom(self.layers.to_string()),
+            Sexp::atom(if self.recursive { "rec" } else { "flat" }),
+        ])
+    }
+
+    /// Parses a `(dtd <shape> <layers> flat|rec)` term.
+    pub fn from_sexp(s: &Sexp) -> Result<DtdRecipe, String> {
+        let Sexp::List(items) = s else {
+            return Err(format!("dtd recipe must be a list: {s}"));
+        };
+        match items.as_slice() {
+            [Sexp::Atom(head), shape, Sexp::Atom(layers), Sexp::Atom(mode)] if head == "dtd" => {
+                let layers: usize = layers
+                    .parse()
+                    .map_err(|_| format!("bad layer count in {s}"))?;
+                let recursive = match mode.as_str() {
+                    "rec" => true,
+                    "flat" => false,
+                    other => return Err(format!("bad mode {other:?} in {s}")),
+                };
+                if layers == 0 {
+                    return Err(format!("need at least one ruled layer: {s}"));
+                }
+                Ok(DtdRecipe {
+                    shape: shape.clone(),
+                    layers,
+                    recursive,
+                })
+            }
+            _ => Err(format!("malformed dtd recipe: {s}")),
+        }
+    }
+
+    /// Compiles the family into `(Σ, D)` with labels `l0 … l{layers}`.
+    /// Every label is satisfiable by construction (asserted).
+    pub fn compile(&self) -> (Alphabet, Dtd) {
+        let mut alpha = Alphabet::new();
+        let syms: Vec<Sym> = (0..=self.layers)
+            .map(|i| alpha.intern(&format!("l{i}")))
+            .collect();
+        let leaf = self.layers; // index of the rule-less label
+        let mut dtd = Dtd::new();
+        for i in 0..self.layers {
+            let hole = |k: usize| syms[(i + k).min(leaf)];
+            let re = shape_to_regex(&self.shape, &mut |atom| match atom {
+                "A" => hole(1),
+                "B" if self.recursive => syms[i],
+                "B" => hole(2),
+                "C" => hole(3),
+                other => panic!("unknown hole atom {other:?} in {}", self.shape),
+            });
+            // Recursive rules are wrapped in `?`: nullability guarantees
+            // satisfiability regardless of where the self-reference sits.
+            let re = if self.recursive { Regex::opt(re) } else { re };
+            dtd.set_rule(syms[i], &re);
+        }
+        let sizes = min_sizes(&dtd, alpha.len());
+        for &s in &syms {
+            debug_assert!(
+                sizes.is_satisfiable(s),
+                "recipe {} produced unsatisfiable {}",
+                self.to_sexp(),
+                alpha.name(s)
+            );
+        }
+        (alpha, dtd)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Annotation recipes
+// ---------------------------------------------------------------------
+
+/// Enumerated visibility patterns over the compiled label chain
+/// `l0 … ln` (classes are by label index).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnnPattern {
+    /// Everything visible (the identity view).
+    None,
+    /// Hide the vertical run under the root: `l_{i+1}` under `l_i` for
+    /// `i < k` — the view "jumps over" the top `k` layers' children.
+    RootRun(usize),
+    /// Hide every odd-indexed label class wherever it appears.
+    Alternate,
+    /// Hide every rule-less (leaf) label class wherever it appears.
+    Leaves,
+    /// Heavy hiding: every pair whose parent is below the root layer —
+    /// the view shows only the root and its immediate children.
+    Deep,
+}
+
+impl AnnPattern {
+    /// The pattern as a term: `(ann none|alternate|leaves|deep)` or
+    /// `(ann root-run <k>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut items = vec![Sexp::atom("ann")];
+        match self {
+            AnnPattern::None => items.push(Sexp::atom("none")),
+            AnnPattern::RootRun(k) => {
+                items.push(Sexp::atom("root-run"));
+                items.push(Sexp::atom(k.to_string()));
+            }
+            AnnPattern::Alternate => items.push(Sexp::atom("alternate")),
+            AnnPattern::Leaves => items.push(Sexp::atom("leaves")),
+            AnnPattern::Deep => items.push(Sexp::atom("deep")),
+        }
+        Sexp::List(items)
+    }
+
+    /// Parses an `(ann …)` term.
+    pub fn from_sexp(s: &Sexp) -> Result<AnnPattern, String> {
+        let Sexp::List(items) = s else {
+            return Err(format!("ann pattern must be a list: {s}"));
+        };
+        match items.as_slice() {
+            [Sexp::Atom(head), Sexp::Atom(kind)] if head == "ann" => match kind.as_str() {
+                "none" => Ok(AnnPattern::None),
+                "alternate" => Ok(AnnPattern::Alternate),
+                "leaves" => Ok(AnnPattern::Leaves),
+                "deep" => Ok(AnnPattern::Deep),
+                other => Err(format!("unknown ann pattern {other:?}")),
+            },
+            [Sexp::Atom(head), Sexp::Atom(kind), Sexp::Atom(k)] if head == "ann" => {
+                if kind == "root-run" {
+                    Ok(AnnPattern::RootRun(
+                        k.parse().map_err(|_| format!("bad run length in {s}"))?,
+                    ))
+                } else {
+                    Err(format!("unknown ann pattern {kind:?}"))
+                }
+            }
+            _ => Err(format!("malformed ann pattern: {s}")),
+        }
+    }
+
+    /// Compiles the pattern into an [`Annotation`] over `alpha`'s labels
+    /// (in interning order) and `dtd`'s rule set.
+    pub fn compile(&self, alpha: &Alphabet, dtd: &Dtd) -> Annotation {
+        let syms: Vec<Sym> = alpha.syms().collect();
+        let mut ann = Annotation::all_visible();
+        match self {
+            AnnPattern::None => {}
+            AnnPattern::RootRun(k) => {
+                for i in 0..(*k).min(syms.len().saturating_sub(1)) {
+                    ann.hide(syms[i], syms[i + 1]);
+                }
+            }
+            AnnPattern::Alternate => {
+                for (j, &c) in syms.iter().enumerate() {
+                    if j % 2 == 1 {
+                        for &p in &syms {
+                            ann.hide(p, c);
+                        }
+                    }
+                }
+            }
+            AnnPattern::Leaves => {
+                for &c in syms.iter().filter(|&&c| !dtd.has_rule(c)) {
+                    for &p in &syms {
+                        ann.hide(p, c);
+                    }
+                }
+            }
+            AnnPattern::Deep => {
+                for &p in syms.iter().skip(1) {
+                    for &c in &syms {
+                        ann.hide(p, c);
+                    }
+                }
+            }
+        }
+        ann
+    }
+}
+
+// ---------------------------------------------------------------------
+// Update-script recipes
+// ---------------------------------------------------------------------
+
+/// Enumerated update shapes, keyed to the generated view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptRecipe {
+    /// The identity update.
+    Nop,
+    /// `ops` insertions of fragments of the given depth (no deletions).
+    Ins(usize, usize),
+    /// `ops` deletions (no insertions).
+    Del(usize),
+    /// `ops` mixed operations (the default generator bias).
+    Mix(usize),
+}
+
+impl ScriptRecipe {
+    /// The recipe as a term: `(script nop|…)`.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut items = vec![Sexp::atom("script")];
+        match self {
+            ScriptRecipe::Nop => items.push(Sexp::atom("nop")),
+            ScriptRecipe::Ins(ops, depth) => {
+                items.push(Sexp::atom("ins"));
+                items.push(Sexp::atom(ops.to_string()));
+                items.push(Sexp::atom(depth.to_string()));
+            }
+            ScriptRecipe::Del(ops) => {
+                items.push(Sexp::atom("del"));
+                items.push(Sexp::atom(ops.to_string()));
+            }
+            ScriptRecipe::Mix(ops) => {
+                items.push(Sexp::atom("mix"));
+                items.push(Sexp::atom(ops.to_string()));
+            }
+        }
+        Sexp::List(items)
+    }
+
+    /// Parses a `(script …)` term.
+    pub fn from_sexp(s: &Sexp) -> Result<ScriptRecipe, String> {
+        let Sexp::List(items) = s else {
+            return Err(format!("script recipe must be a list: {s}"));
+        };
+        let num = |a: &str| a.parse::<usize>().map_err(|_| format!("bad number in {s}"));
+        match items.as_slice() {
+            [Sexp::Atom(head), Sexp::Atom(kind)] if head == "script" && kind == "nop" => {
+                Ok(ScriptRecipe::Nop)
+            }
+            [Sexp::Atom(head), Sexp::Atom(kind), Sexp::Atom(ops)] if head == "script" => {
+                match kind.as_str() {
+                    "del" => Ok(ScriptRecipe::Del(num(ops)?)),
+                    "mix" => Ok(ScriptRecipe::Mix(num(ops)?)),
+                    other => Err(format!("unknown script recipe {other:?}")),
+                }
+            }
+            [Sexp::Atom(head), Sexp::Atom(kind), Sexp::Atom(ops), Sexp::Atom(depth)]
+                if head == "script" && kind == "ins" =>
+            {
+                Ok(ScriptRecipe::Ins(num(ops)?, num(depth)?))
+            }
+            _ => Err(format!("malformed script recipe: {s}")),
+        }
+    }
+
+    /// Compiles the recipe into a valid view update of `A(doc)` using the
+    /// membership-checked generator. Deterministic in `seed`.
+    pub fn compile(
+        &self,
+        dtd: &Dtd,
+        ann: &Annotation,
+        alphabet_len: usize,
+        doc: &DocTree,
+        seed: u64,
+        gen: &mut NodeIdGen,
+    ) -> Script {
+        let cfg = match self {
+            ScriptRecipe::Nop => return nop_script(&extract_view(ann, doc)),
+            ScriptRecipe::Ins(ops, depth) => UpdateGenConfig {
+                ops: *ops,
+                insert_depth: *depth,
+                delete_bias: 0.0,
+                attempts: 25,
+            },
+            ScriptRecipe::Del(ops) => UpdateGenConfig {
+                ops: *ops,
+                insert_depth: 1,
+                delete_bias: 1.0,
+                attempts: 25,
+            },
+            ScriptRecipe::Mix(ops) => UpdateGenConfig {
+                ops: *ops,
+                ..UpdateGenConfig::default()
+            },
+        };
+        generate_update(dtd, ann, alphabet_len, doc, &cfg, seed, gen)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instance enumeration
+// ---------------------------------------------------------------------
+
+/// Enumeration budget: how far the recipe space is unrolled and how large
+/// the compiled documents get.
+#[derive(Clone, Debug)]
+pub struct EnumBudget {
+    /// Plug rounds for [`rule_shapes`].
+    pub shape_rounds: usize,
+    /// `Metric::Atoms` bound per shape round.
+    pub max_shape_atoms: usize,
+    /// `Metric::Depth` bound on final shapes.
+    pub max_shape_depth: usize,
+    /// Ruled layers per DTD family.
+    pub layers: usize,
+    /// Document node budget.
+    pub doc_max_nodes: usize,
+    /// Document depth budget.
+    pub doc_max_depth: usize,
+    /// Base seed mixed into every per-instance seed.
+    pub doc_seed: u64,
+}
+
+impl Default for EnumBudget {
+    fn default() -> EnumBudget {
+        EnumBudget {
+            shape_rounds: 2,
+            max_shape_atoms: 4,
+            max_shape_depth: 3,
+            layers: 3,
+            doc_max_nodes: 24,
+            doc_max_depth: 4,
+            doc_seed: 0xE17,
+        }
+    }
+}
+
+impl EnumBudget {
+    /// The nightly-scale budget: one more plug round (nested seq/alt/star
+    /// families), deeper shapes, an extra layer, and larger documents.
+    pub fn full() -> EnumBudget {
+        EnumBudget {
+            shape_rounds: 3,
+            max_shape_atoms: 5,
+            max_shape_depth: 4,
+            layers: 4,
+            doc_max_nodes: 60,
+            doc_max_depth: 6,
+            doc_seed: 0xE17,
+        }
+    }
+}
+
+/// A deterministic 64-bit FNV-1a fold — the stable per-recipe seed (std's
+/// `DefaultHasher` is randomized per process, so it cannot be the replay
+/// key).
+pub fn stable_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Enumerates the fully self-describing instance recipe terms of the
+/// budgeted space:
+///
+/// ```text
+/// (instance (dtd <shape> <layers> flat|rec) (ann <pattern>) (doc <nodes> <depth> <seed>) (script <shape>))
+/// ```
+///
+/// composed with [`Workload::plug`] from the three component workloads.
+/// Recursive (`rec`) variants are enumerated for every shape that
+/// mentions hole `B`.
+pub fn enumerate_recipes(budget: &EnumBudget) -> Vec<Sexp> {
+    let shapes = rule_shapes(budget.shape_rounds, budget.max_shape_atoms)
+        .filter(Filter::MetricLt(Metric::Depth, budget.max_shape_depth + 1));
+
+    let layers = budget.layers;
+    let dtds = {
+        let flat: Vec<Sexp> = shapes
+            .force()
+            .iter()
+            .map(|s| {
+                DtdRecipe {
+                    shape: s.clone(),
+                    layers,
+                    recursive: false,
+                }
+                .to_sexp()
+            })
+            .collect();
+        let rec: Vec<Sexp> = shapes
+            .filter(Filter::Contains("B".to_owned()))
+            .force()
+            .iter()
+            .map(|s| {
+                DtdRecipe {
+                    shape: s.clone(),
+                    layers,
+                    recursive: true,
+                }
+                .to_sexp()
+            })
+            .collect();
+        Workload::Set(flat).append(Workload::Set(rec))
+    };
+
+    let anns = Workload::new([
+        "(ann none)",
+        "(ann root-run 2)",
+        "(ann alternate)",
+        "(ann leaves)",
+        "(ann deep)",
+    ]);
+    let scripts = Workload::new([
+        "(script nop)",
+        "(script ins 2 1)",
+        "(script del 2)",
+        "(script mix 3)",
+    ]);
+    let doc = Workload::Set(vec![Sexp::list([
+        Sexp::atom("doc"),
+        Sexp::atom(budget.doc_max_nodes.to_string()),
+        Sexp::atom(budget.doc_max_depth.to_string()),
+        Sexp::atom(budget.doc_seed.to_string()),
+    ])]);
+
+    Workload::new(["(instance DTD ANN DOC SCRIPT)"])
+        .plug("DTD", &dtds)
+        .plug("ANN", &anns)
+        .plug("DOC", &doc)
+        .plug("SCRIPT", &scripts)
+        .force()
+}
+
+/// A compiled, ready-to-run enumerated instance.
+#[derive(Clone, Debug)]
+pub struct EnumeratedInstance {
+    /// The full recipe term — the replay key
+    /// ([`instance_from_recipe`]`(&name.parse()?)` rebuilds this exact
+    /// instance).
+    pub name: String,
+    /// The parsed recipe.
+    pub recipe: Sexp,
+    /// The alphabet `Σ` (labels `l0 …`).
+    pub alpha: Alphabet,
+    /// The schema `D`.
+    pub dtd: Dtd,
+    /// The view definition `A`.
+    pub ann: Annotation,
+    /// The source document `t ∈ L(D)`.
+    pub doc: DocTree,
+    /// The valid view update `S` of `A(t)`.
+    pub update: Script,
+    /// Identifier generator positioned past every minted identifier.
+    pub gen: NodeIdGen,
+    /// Whether the DTD family is recursive.
+    pub recursive: bool,
+    /// Whether every content model is 1-unambiguous (its Glushkov
+    /// automaton is deterministic — the W3C-required case). Optimal
+    /// counts equal |enumeration| only then; for ambiguous models the
+    /// count is a *path* count and only bounds the distinct enumeration
+    /// from above (see `xvu_propagate::count_optimal_propagations`).
+    pub deterministic: bool,
+}
+
+impl EnumeratedInstance {
+    /// The coverage regime this instance belongs to, for bench grouping:
+    /// `deep-recursion`, `wide-alternation`, `heavy-hiding`, or `plain`.
+    /// (Priority in that order when several apply.)
+    pub fn regime(&self) -> &'static str {
+        if self.recursive {
+            return "deep-recursion";
+        }
+        let Sexp::List(items) = &self.recipe else {
+            return "plain";
+        };
+        let shape = &items[1]; // (dtd <shape> …)
+        let ann = &items[2];
+        if matches!(ann, Sexp::List(a) if a.iter().any(
+            |x| matches!(x, Sexp::Atom(k) if k == "deep" || k == "leaves")))
+        {
+            return "heavy-hiding";
+        }
+        if shape.count_heads("alt") >= 1 {
+            return "wide-alternation";
+        }
+        "plain"
+    }
+}
+
+/// Compiles one `(instance …)` recipe term into a ready-to-run
+/// [`EnumeratedInstance`]. Deterministic: the same term always yields the
+/// same instance, so a failing instance's `name` replays it as a
+/// one-liner. Returns `Err` for malformed terms or families whose root
+/// label is unsatisfiable under the budget (never the case for recipes
+/// from [`enumerate_recipes`]).
+pub fn instance_from_recipe(recipe: &Sexp) -> Result<EnumeratedInstance, String> {
+    let Sexp::List(items) = recipe else {
+        return Err(format!("instance recipe must be a list: {recipe}"));
+    };
+    let [head, dtd_s, ann_s, doc_s, script_s] = items.as_slice() else {
+        return Err(format!("malformed instance recipe: {recipe}"));
+    };
+    if head != &Sexp::atom("instance") {
+        return Err(format!(
+            "instance recipe must start with `instance`: {recipe}"
+        ));
+    }
+    let dtd_recipe = DtdRecipe::from_sexp(dtd_s)?;
+    let ann_pattern = AnnPattern::from_sexp(ann_s)?;
+    let script_recipe = ScriptRecipe::from_sexp(script_s)?;
+    let (max_nodes, max_depth, seed) = match doc_s {
+        Sexp::List(d) => match d.as_slice() {
+            [Sexp::Atom(h), Sexp::Atom(n), Sexp::Atom(dep), Sexp::Atom(s)] if h == "doc" => (
+                n.parse::<usize>()
+                    .map_err(|_| format!("bad doc nodes: {doc_s}"))?,
+                dep.parse::<usize>()
+                    .map_err(|_| format!("bad doc depth: {doc_s}"))?,
+                s.parse::<u64>()
+                    .map_err(|_| format!("bad doc seed: {doc_s}"))?,
+            ),
+            _ => return Err(format!("malformed doc component: {doc_s}")),
+        },
+        _ => return Err(format!("malformed doc component: {doc_s}")),
+    };
+
+    let (alpha, dtd) = dtd_recipe.compile();
+    let ann = ann_pattern.compile(&alpha, &dtd);
+    let root = alpha.get("l0").expect("compiled root label");
+    if !min_sizes(&dtd, alpha.len()).is_satisfiable(root) {
+        return Err(format!("root unsatisfiable in {recipe}"));
+    }
+    // Per-instance seed: the budget seed mixed with a stable hash of the
+    // recipe term, so sibling recipes never share documents.
+    let mix = stable_hash(&recipe.to_string());
+    let mut gen = NodeIdGen::new();
+    let doc = generate_doc(
+        &dtd,
+        alpha.len(),
+        root,
+        &DocGenConfig {
+            max_nodes,
+            max_depth,
+            max_children: 5,
+            ..DocGenConfig::default()
+        },
+        seed ^ mix,
+        &mut gen,
+    );
+    let update = script_recipe.compile(
+        &dtd,
+        &ann,
+        alpha.len(),
+        &doc,
+        seed ^ mix.rotate_left(17),
+        &mut gen,
+    );
+    let deterministic = alpha
+        .syms()
+        .filter(|&s| dtd.has_rule(s))
+        .all(|s| dtd.content_model(s).is_deterministic());
+    Ok(EnumeratedInstance {
+        name: recipe.to_string(),
+        recipe: recipe.clone(),
+        alpha,
+        dtd,
+        ann,
+        doc,
+        update,
+        gen,
+        recursive: dtd_recipe.recursive,
+        deterministic,
+    })
+}
+
+/// Compiles every recipe of the budget, skipping none: the enumerated
+/// sweep. (All budgeted recipes compile; a recipe that does not is a bug
+/// and surfaces as a panic in the tests that consume this.)
+pub fn enumerate_instances(budget: &EnumBudget) -> Vec<EnumeratedInstance> {
+    enumerate_recipes(budget)
+        .iter()
+        .map(|r| instance_from_recipe(r).expect("budgeted recipe compiles"))
+        .collect()
+}
+
+/// A deterministic *random* annotation over an enumerated DTD family —
+/// bridges the enumerated families with the sampling generators (used by
+/// the randomized suites to widen coverage beyond the five patterns).
+pub fn random_annotation_for(alpha: &Alphabet, hide_prob: f64, seed: u64) -> Annotation {
+    generate_annotation(alpha, hide_prob, seed, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sexp_roundtrips_through_display_and_parse() {
+        for s in [
+            "A",
+            "(seq A B)",
+            "(alt (star A) (opt B))",
+            "(instance (dtd (seq A B) 3 flat) (ann none) (doc 24 4 3607) (script nop))",
+        ] {
+            let parsed: Sexp = s.parse().unwrap();
+            assert_eq!(parsed.to_string(), s);
+            let reparsed: Sexp = parsed.to_string().parse().unwrap();
+            assert_eq!(parsed, reparsed);
+        }
+        assert!("(unclosed".parse::<Sexp>().is_err());
+        assert!(")".parse::<Sexp>().is_err());
+        assert!("a b".parse::<Sexp>().is_err());
+    }
+
+    #[test]
+    fn metrics_measure_the_ruler_way() {
+        let s: Sexp = "(seq (star A) (alt A B))".parse().unwrap();
+        assert_eq!(s.measure(Metric::Atoms), 6); // seq star A alt A B
+        assert_eq!(s.measure(Metric::Lists), 3);
+        assert_eq!(s.measure(Metric::Depth), 2);
+        assert_eq!(s.count_heads("alt"), 1);
+        assert!(s.contains_atom("B"));
+        assert!(!s.contains_atom("C"));
+    }
+
+    #[test]
+    fn plug_is_the_cross_product_per_occurrence() {
+        let s: Sexp = "(seq X X)".parse().unwrap();
+        let pegs: Vec<Sexp> = ["A", "B"].iter().map(|p| p.parse().unwrap()).collect();
+        let plugged = s.plug("X", &pegs);
+        assert_eq!(plugged.len(), 4);
+        let strs: Vec<String> = plugged.iter().map(|t| t.to_string()).collect();
+        assert_eq!(strs, ["(seq A A)", "(seq A B)", "(seq B A)", "(seq B B)"]);
+    }
+
+    #[test]
+    fn workload_force_dedups_and_preserves_order() {
+        let wl = Workload::new(["A", "B", "A"]).append(Workload::new(["B", "C"]));
+        let forced: Vec<String> = wl.force().iter().map(|t| t.to_string()).collect();
+        assert_eq!(forced, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn two_round_shapes_are_the_fourteen_canonical_families() {
+        let shapes = rule_shapes(2, 4).force();
+        assert_eq!(shapes.len(), 14);
+        // sanity: everything is ground and atom-bounded
+        for s in &shapes {
+            assert!(!s.contains_atom("X"), "{s}");
+            assert!(s.measure(Metric::Atoms) <= 4, "{s}");
+        }
+        // and the signature members are present
+        let strs: Vec<String> = shapes.iter().map(|t| t.to_string()).collect();
+        for want in ["A", "(seq A B)", "(alt A B)", "(star A)", "(opt B)"] {
+            assert!(strs.iter().any(|s| s == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn three_rounds_strictly_extend_two() {
+        let two = rule_shapes(2, 4).force().len();
+        let three = rule_shapes(3, 4).force().len();
+        assert!(three > two, "{three} vs {two}");
+    }
+
+    #[test]
+    fn layered_families_compile_satisfiable() {
+        for shape in rule_shapes(2, 4).force() {
+            let recipe = DtdRecipe {
+                shape,
+                layers: 3,
+                recursive: false,
+            };
+            let (alpha, dtd) = recipe.compile();
+            let sizes = min_sizes(&dtd, alpha.len());
+            for s in alpha.syms() {
+                assert!(
+                    sizes.is_satisfiable(s),
+                    "{}: {}",
+                    recipe.to_sexp(),
+                    alpha.name(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_families_compile_satisfiable_and_self_refer() {
+        let recipe = DtdRecipe {
+            shape: "(seq A (star B))".parse().unwrap(),
+            layers: 2,
+            recursive: true,
+        };
+        let (alpha, dtd) = recipe.compile();
+        let sizes = min_sizes(&dtd, alpha.len());
+        for s in alpha.syms() {
+            assert!(sizes.is_satisfiable(s));
+        }
+        // l0's content model must accept a word mentioning l0 itself
+        let l0 = alpha.get("l0").unwrap();
+        let l1 = alpha.get("l1").unwrap();
+        assert!(dtd.content_model(l0).accepts(&[l1, l0]));
+        assert!(dtd.content_model(l0).accepts(&[])); // and is nullable
+    }
+
+    #[test]
+    fn ann_patterns_compile_to_the_documented_pair_sets() {
+        let (alpha, dtd) = DtdRecipe {
+            shape: "(seq A B)".parse().unwrap(),
+            layers: 3,
+            recursive: false,
+        }
+        .compile();
+        let n = alpha.len(); // 4 labels: l0..l3
+        assert_eq!(n, 4);
+        let l: Vec<Sym> = alpha.syms().collect();
+        let none = AnnPattern::None.compile(&alpha, &dtd);
+        assert_eq!(none.hidden_pairs(), 0);
+        let run = AnnPattern::RootRun(2).compile(&alpha, &dtd);
+        assert_eq!(run.hidden_pairs(), 2);
+        assert!(!run.is_visible(l[0], l[1]));
+        assert!(!run.is_visible(l[1], l[2]));
+        let alt = AnnPattern::Alternate.compile(&alpha, &dtd);
+        assert_eq!(alt.hidden_pairs(), 2 * n); // classes l1, l3 under every parent
+        let leaves = AnnPattern::Leaves.compile(&alpha, &dtd);
+        assert_eq!(leaves.hidden_pairs(), n); // only l3 is rule-less
+        assert!(!leaves.is_visible(l[2], l[3]));
+        let deep = AnnPattern::Deep.compile(&alpha, &dtd);
+        assert_eq!(deep.hidden_pairs(), (n - 1) * n);
+        assert!(deep.is_visible(l[0], l[1]));
+        assert!(!deep.is_visible(l[1], l[2]));
+    }
+
+    #[test]
+    fn enumerated_recipes_hit_the_default_floor() {
+        let recipes = enumerate_recipes(&EnumBudget::default());
+        assert!(recipes.len() >= 200, "only {} recipes", recipes.len());
+        // all distinct by construction
+        let mut seen = std::collections::HashSet::new();
+        for r in &recipes {
+            assert!(seen.insert(r.to_string()), "duplicate {r}");
+        }
+        // and the three tentpole regimes are all represented
+        for needle in ["rec)", "(ann deep)", "(alt"] {
+            assert!(
+                recipes.iter().any(|r| r.to_string().contains(needle)),
+                "no recipe matches {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_compile_valid_and_deterministically() {
+        let budget = EnumBudget::default();
+        let recipes = enumerate_recipes(&budget);
+        // spot-check a deterministic spread (full sweep lives in the
+        // integration suite)
+        for r in recipes.iter().step_by(37) {
+            let a = instance_from_recipe(r).unwrap();
+            let b = instance_from_recipe(r).unwrap();
+            assert!(a.dtd.is_valid(&a.doc), "{r}");
+            assert_eq!(a.doc, b.doc, "{r}");
+            assert_eq!(a.update, b.update, "{r}");
+            assert_eq!(a.name, r.to_string());
+            xvu_edit::check_is_update_of(&a.update, &extract_view(&a.ann, &a.doc))
+                .unwrap_or_else(|e| panic!("{r}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sibling_recipes_get_distinct_documents() {
+        let budget = EnumBudget::default();
+        let a = instance_from_recipe(
+            &"(instance (dtd (seq A B) 3 flat) (ann none) (doc 24 4 3607) (script nop))"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+        let b = instance_from_recipe(
+            &"(instance (dtd (star A) 3 flat) (ann none) (doc 24 4 3607) (script nop))"
+                .parse()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_ne!(a.doc, b.doc, "stable_hash must separate sibling recipes");
+        let _ = budget;
+    }
+
+    #[test]
+    fn regimes_classify_the_tentpole_families() {
+        let mk = |s: &str| instance_from_recipe(&s.parse().unwrap()).unwrap();
+        assert_eq!(
+            mk("(instance (dtd (seq A (star B)) 3 rec) (ann none) (doc 24 4 7) (script nop))")
+                .regime(),
+            "deep-recursion"
+        );
+        assert_eq!(
+            mk("(instance (dtd (alt A B) 3 flat) (ann none) (doc 24 4 7) (script nop))").regime(),
+            "wide-alternation"
+        );
+        assert_eq!(
+            mk("(instance (dtd (seq A B) 3 flat) (ann deep) (doc 24 4 7) (script nop))").regime(),
+            "heavy-hiding"
+        );
+        assert_eq!(
+            mk("(instance (dtd (seq A B) 3 flat) (ann none) (doc 24 4 7) (script nop))").regime(),
+            "plain"
+        );
+    }
+
+    #[test]
+    fn dtd_from_rules_builds_named_schemas() {
+        let mut alpha = Alphabet::new();
+        let dtd = dtd_from_rules(
+            &mut alpha,
+            &[
+                ("config", "(star host)"),
+                ("host", "(seq name (seq (star iface) (star cred)))"),
+                ("iface", "(star addr)"),
+                ("cred", "(seq user secret)"),
+            ],
+        );
+        let sizes = min_sizes(&dtd, alpha.len());
+        for s in alpha.syms() {
+            assert!(sizes.is_satisfiable(s), "{}", alpha.name(s));
+        }
+        assert!(dtd.has_rule(alpha.get("config").unwrap()));
+        assert!(!dtd.has_rule(alpha.get("secret").unwrap()));
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+        assert_ne!(stable_hash("abc"), stable_hash("abd"));
+        // pinned value: the replay contract depends on this never drifting
+        assert_eq!(stable_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

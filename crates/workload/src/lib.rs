@@ -10,7 +10,14 @@
 //!   against the derived view DTD);
 //! * [`ChurnStream`] — localized small-edit churn streams over a fixed
 //!   large document (the repeated-update serving workload);
-//! * [`scenario`] — the hospital security-view macro-benchmark workload.
+//! * [`scenario`] — named macro-benchmark workloads (hospital, outline,
+//!   publishing, config views, audit redaction);
+//! * [`enumo`] — grammar-space *enumeration* of workload families
+//!   (recipe terms + `plug` substitution + metric-bounded budgets);
+//! * [`differential`] — the differential oracle harness over enumerated
+//!   instances (cached ≡ one-shot ≡ repair-where-tractable;
+//!   count ≡ |enumeration|);
+//! * [`replay`] — replayable instance dumps for failure messages.
 //!
 //! Every generator is deterministic in its seed, making experiments and
 //! failures reproducible.
@@ -30,9 +37,12 @@
 
 mod anngen;
 mod churn;
+pub mod differential;
 mod docgen;
 mod dtdgen;
+pub mod enumo;
 pub mod paper;
+pub mod replay;
 pub mod scenario;
 mod updategen;
 

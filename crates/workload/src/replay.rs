@@ -1,0 +1,85 @@
+//! Replayable instance dumps for failure messages.
+//!
+//! Generated DTDs keep only their compiled Glushkov automata — the source
+//! regular expressions are not retained — so a failing instance cannot be
+//! re-printed as a DTD literal. What *can* always be replayed is the
+//! deterministic path that produced it: the seed (random suites) or the
+//! recipe term (enumerated suites), plus the concrete document and script
+//! in identifier-preserving term syntax. [`instance_dump`] packages all of
+//! that into one block suitable for a panic message, so every failure in
+//! the randomized and enumerated suites is a reproducible one-liner.
+
+use xvu_dtd::Dtd;
+use xvu_edit::{script_to_term, Script};
+use xvu_tree::{to_term_with_ids, Alphabet, DocTree};
+use xvu_view::Annotation;
+
+/// Renders a replayable dump of one workload instance.
+///
+/// `context` names the deterministic replay key — e.g. `"seed 42"` for the
+/// random generators, or the full `(instance …)` recipe term for the
+/// enumerated families (paste it back into
+/// `enumo::instance_from_recipe` to rebuild the instance verbatim).
+pub fn instance_dump(
+    context: &str,
+    alpha: &Alphabet,
+    dtd: &Dtd,
+    ann: &Annotation,
+    doc: &DocTree,
+    update: &Script,
+) -> String {
+    let mut hidden: Vec<String> = ann
+        .iter_hidden()
+        .map(|(p, c)| format!("{}/{}", alpha.name(p), alpha.name(c)))
+        .collect();
+    hidden.sort();
+    let labels: Vec<&str> = alpha.syms().map(|s| alpha.name(s)).collect();
+    let ruled: Vec<&str> = alpha
+        .syms()
+        .filter(|&s| dtd.has_rule(s))
+        .map(|s| alpha.name(s))
+        .collect();
+    format!(
+        "replay: {context}\n\
+         labels: [{}] (ruled: [{}])\n\
+         hidden pairs: [{}]\n\
+         doc: {}\n\
+         update: {}",
+        labels.join(", "),
+        ruled.join(", "),
+        hidden.join(", "),
+        to_term_with_ids(doc, alpha),
+        script_to_term(update, alpha),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumo::instance_from_recipe;
+
+    #[test]
+    fn dump_carries_the_replay_key_and_terms() {
+        let recipe = "(instance (dtd (seq A B) 2 flat) (ann leaves) (doc 16 3 5) (script nop))";
+        let inst = instance_from_recipe(&recipe.parse().unwrap()).unwrap();
+        let dump = instance_dump(
+            &inst.name,
+            &inst.alpha,
+            &inst.dtd,
+            &inst.ann,
+            &inst.doc,
+            &inst.update,
+        );
+        assert!(dump.contains(recipe), "{dump}");
+        assert!(dump.contains("hidden pairs:"), "{dump}");
+        assert!(dump.contains("doc: l0#"), "{dump}");
+        assert!(dump.contains("update: nop:l0#"), "{dump}");
+        // the dumped doc term parses back to the same tree
+        let mut alpha = inst.alpha.clone();
+        let mut gen = xvu_tree::NodeIdGen::starting_at(1 << 50);
+        let line = dump.lines().find(|l| l.starts_with("doc: ")).unwrap();
+        let reparsed =
+            xvu_tree::parse_term_with_ids(&mut alpha, &mut gen, &line["doc: ".len()..]).unwrap();
+        assert_eq!(reparsed, inst.doc);
+    }
+}

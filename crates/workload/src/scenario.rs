@@ -220,6 +220,252 @@ pub fn add_section(o: &Outline, doc: &DocTree, path: &[usize], gen: &mut NodeIdG
     b.finish()
 }
 
+/// A named scenario built from the [enumerated shape
+/// language](crate::enumo): alphabet, schema, and view, assembled with
+/// [`crate::enumo::dtd_from_rules`] so every rule is a term of the same
+/// grammar the enumerated families range over.
+#[derive(Clone, Debug)]
+pub struct EnumScenario {
+    /// Alphabet with the scenario labels interned.
+    pub alpha: Alphabet,
+    /// The document schema.
+    pub dtd: Dtd,
+    /// The scenario's view.
+    pub ann: Annotation,
+}
+
+fn hide_pairs(scenario: &mut EnumScenario, pairs: &[(&str, &str)]) {
+    for (p, c) in pairs {
+        let p = scenario.alpha.get(p).expect("scenario label");
+        let c = scenario.alpha.get(c).expect("scenario label");
+        scenario.ann.hide(p, c);
+    }
+}
+
+/// The DocBook-ish **publishing** scenario: editors see document
+/// structure without front matter or footnotes.
+///
+/// ```text
+/// book    → front? . chapter*        front → meta*
+/// chapter → title . (section + para)*
+/// section → title . para*            para  → note?
+/// ```
+///
+/// hidden: `front` under `book`, `note` under `para`.
+pub fn publishing() -> EnumScenario {
+    let mut alpha = Alphabet::new();
+    let dtd = crate::enumo::dtd_from_rules(
+        &mut alpha,
+        &[
+            ("book", "(seq (opt front) (star chapter))"),
+            ("front", "(star meta)"),
+            ("chapter", "(seq title (star (alt section para)))"),
+            ("section", "(seq title (star para))"),
+            ("para", "(opt note)"),
+        ],
+    );
+    let mut s = EnumScenario {
+        alpha,
+        dtd,
+        ann: Annotation::all_visible(),
+    };
+    hide_pairs(&mut s, &[("book", "front"), ("para", "note")]);
+    s
+}
+
+/// Deterministically builds a publishing document: front matter with one
+/// `meta`, then `chapters` chapters of one section (`paras_per` paragraphs,
+/// first one footnoted) plus one loose paragraph each.
+pub fn publishing_doc(
+    s: &EnumScenario,
+    chapters: usize,
+    paras_per: usize,
+    gen: &mut NodeIdGen,
+) -> DocTree {
+    let g = |l: &str| s.alpha.get(l).expect("publishing label");
+    let mut t = Tree::leaf(gen, g("book"));
+    let root = t.root();
+    let f = t.add_child(root, gen, g("front"));
+    t.add_child(f, gen, g("meta"));
+    for _ in 0..chapters {
+        let ch = t.add_child(root, gen, g("chapter"));
+        t.add_child(ch, gen, g("title"));
+        let sec = t.add_child(ch, gen, g("section"));
+        t.add_child(sec, gen, g("title"));
+        for p in 0..paras_per {
+            let para = t.add_child(sec, gen, g("para"));
+            if p == 0 {
+                t.add_child(para, gen, g("note"));
+            }
+        }
+        t.add_child(ch, gen, g("para"));
+    }
+    debug_assert!(s.dtd.is_valid(&t));
+    t
+}
+
+/// Appends a fresh (title-only) chapter to the book, as seen in the view.
+pub fn add_chapter(s: &EnumScenario, doc: &DocTree, gen: &mut NodeIdGen) -> Script {
+    let g = |l: &str| s.alpha.get(l).expect("publishing label");
+    let view = extract_view(&s.ann, doc);
+    let mut ch = Tree::leaf(gen, g("chapter"));
+    let croot = ch.root();
+    ch.add_child(croot, gen, g("title"));
+    let mut b = UpdateBuilder::new(&view);
+    let pos = view.children(view.root()).len();
+    b.insert(view.root(), pos, ch).expect("view-valid chapter");
+    b.finish()
+}
+
+/// The **config-file view** scenario: operators manage hosts and
+/// interfaces while credentials stay invisible (and must survive
+/// propagation untouched).
+///
+/// ```text
+/// config → host*
+/// host   → name . iface* . cred*     iface → addr*
+/// cred   → user . secret
+/// ```
+///
+/// hidden: `cred` under `host`.
+pub fn config_view() -> EnumScenario {
+    let mut alpha = Alphabet::new();
+    let dtd = crate::enumo::dtd_from_rules(
+        &mut alpha,
+        &[
+            ("config", "(star host)"),
+            ("host", "(seq name (seq (star iface) (star cred)))"),
+            ("iface", "(star addr)"),
+            ("cred", "(seq user secret)"),
+        ],
+    );
+    let mut s = EnumScenario {
+        alpha,
+        dtd,
+        ann: Annotation::all_visible(),
+    };
+    hide_pairs(&mut s, &[("host", "cred")]);
+    s
+}
+
+/// Deterministically builds a config document with `hosts` hosts, each
+/// with one addressed interface and one credential pair.
+pub fn config_doc(s: &EnumScenario, hosts: usize, gen: &mut NodeIdGen) -> DocTree {
+    let g = |l: &str| s.alpha.get(l).expect("config label");
+    let mut t = Tree::leaf(gen, g("config"));
+    let root = t.root();
+    for _ in 0..hosts {
+        let h = t.add_child(root, gen, g("host"));
+        t.add_child(h, gen, g("name"));
+        let i = t.add_child(h, gen, g("iface"));
+        t.add_child(i, gen, g("addr"));
+        let c = t.add_child(h, gen, g("cred"));
+        t.add_child(c, gen, g("user"));
+        t.add_child(c, gen, g("secret"));
+    }
+    debug_assert!(s.dtd.is_valid(&t));
+    t
+}
+
+/// Registers a fresh host (name only) at the end of the config, as seen
+/// in the operator view.
+pub fn add_host(s: &EnumScenario, doc: &DocTree, gen: &mut NodeIdGen) -> Script {
+    let g = |l: &str| s.alpha.get(l).expect("config label");
+    let view = extract_view(&s.ann, doc);
+    let mut h = Tree::leaf(gen, g("host"));
+    let hroot = h.root();
+    h.add_child(hroot, gen, g("name"));
+    let mut b = UpdateBuilder::new(&view);
+    let pos = view.children(view.root()).len();
+    b.insert(view.root(), pos, h).expect("view-valid host");
+    b.finish()
+}
+
+/// The **audit-redaction** scenario: a recursive event log whose redacted
+/// view drops actors and free-form detail but keeps the causal nesting.
+///
+/// ```text
+/// event → actor . action . detail? . event*
+/// ```
+///
+/// hidden: `actor` and `detail` under `event`. Recursive like the outline,
+/// but with hidden *leading* material under every recursion level — the
+/// heavy-hiding shape the enumerated `deep`/`leaves` patterns range over.
+pub fn audit_redaction() -> EnumScenario {
+    let mut alpha = Alphabet::new();
+    let dtd = crate::enumo::dtd_from_rules(
+        &mut alpha,
+        &[(
+            "event",
+            "(seq actor (seq action (seq (opt detail) (star event))))",
+        )],
+    );
+    let mut s = EnumScenario {
+        alpha,
+        dtd,
+        ann: Annotation::all_visible(),
+    };
+    hide_pairs(&mut s, &[("event", "actor"), ("event", "detail")]);
+    s
+}
+
+/// Deterministically builds an audit log: a complete event tree of the
+/// given `depth` and `fanout`; every event has an actor and an action,
+/// events at even depths also carry a detail.
+pub fn audit_doc(s: &EnumScenario, depth: usize, fanout: usize, gen: &mut NodeIdGen) -> DocTree {
+    let g = |l: &str| s.alpha.get(l).expect("audit label");
+    fn build(
+        s: &EnumScenario,
+        t: &mut DocTree,
+        ev: NodeId,
+        depth: usize,
+        fanout: usize,
+        gen: &mut NodeIdGen,
+    ) {
+        let g = |l: &str| s.alpha.get(l).expect("audit label");
+        t.add_child(ev, gen, g("actor"));
+        t.add_child(ev, gen, g("action"));
+        if depth.is_multiple_of(2) {
+            t.add_child(ev, gen, g("detail"));
+        }
+        if depth > 0 {
+            for _ in 0..fanout {
+                let sub = t.add_child(ev, gen, g("event"));
+                build(s, t, sub, depth - 1, fanout, gen);
+            }
+        }
+    }
+    let mut t = Tree::leaf(gen, g("event"));
+    let root = t.root();
+    build(s, &mut t, root, depth, fanout, gen);
+    debug_assert!(s.dtd.is_valid(&t));
+    t
+}
+
+/// Logs a fresh (action-only) sub-event under the event at `path` (a
+/// sequence of sub-event indices in the *view*).
+pub fn log_event(s: &EnumScenario, doc: &DocTree, path: &[usize], gen: &mut NodeIdGen) -> Script {
+    let g = |l: &str| s.alpha.get(l).expect("audit label");
+    let view = extract_view(&s.ann, doc);
+    let mut node = view.root();
+    for &ix in path {
+        let subs: Vec<NodeId> = view
+            .children(node)
+            .iter()
+            .copied()
+            .filter(|&c| view.label(c) == g("event"))
+            .collect();
+        node = subs[ix];
+    }
+    let mut ev = Tree::leaf(gen, g("event"));
+    let eroot = ev.root();
+    ev.add_child(eroot, gen, g("action"));
+    let mut b = UpdateBuilder::new(&view);
+    let pos = view.children(node).len();
+    b.insert(node, pos, ev).expect("view-valid event");
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +524,71 @@ mod tests {
         let out = output_tree(&s).unwrap();
         let view_dtd = derive_view_dtd(&o.dtd, &o.ann, o.alpha.len());
         view_dtd.validate(&out).unwrap();
+        assert_eq!(out.size(), view.size() + 2);
+    }
+
+    #[test]
+    fn publishing_documents_and_updates_validate() {
+        let s = publishing();
+        let mut gen = NodeIdGen::new();
+        let doc = publishing_doc(&s, 3, 2, &mut gen);
+        assert!(s.dtd.is_valid(&doc));
+        let view = extract_view(&s.ann, &doc);
+        // front matter and notes are gone from the view
+        assert!(view.preorder().all(|n| {
+            let l = s.alpha.name(view.label(n));
+            l != "front" && l != "meta" && l != "note"
+        }));
+        let u = add_chapter(&s, &doc, &mut gen);
+        check_is_update_of(&u, &view).unwrap();
+        let out = output_tree(&u).unwrap();
+        derive_view_dtd(&s.dtd, &s.ann, s.alpha.len())
+            .validate(&out)
+            .unwrap();
+        assert_eq!(out.size(), view.size() + 2);
+    }
+
+    #[test]
+    fn config_view_documents_and_updates_validate() {
+        let s = config_view();
+        let mut gen = NodeIdGen::new();
+        let doc = config_doc(&s, 4, &mut gen);
+        assert!(s.dtd.is_valid(&doc));
+        let view = extract_view(&s.ann, &doc);
+        // credentials are invisible to the operator
+        assert!(view.preorder().all(|n| {
+            let l = s.alpha.name(view.label(n));
+            l != "cred" && l != "user" && l != "secret"
+        }));
+        // 1 config + 4 × (host, name, iface, addr)
+        assert_eq!(view.size(), 1 + 4 * 4);
+        let u = add_host(&s, &doc, &mut gen);
+        check_is_update_of(&u, &view).unwrap();
+        let out = output_tree(&u).unwrap();
+        derive_view_dtd(&s.dtd, &s.ann, s.alpha.len())
+            .validate(&out)
+            .unwrap();
+    }
+
+    #[test]
+    fn audit_redaction_documents_and_updates_validate() {
+        let s = audit_redaction();
+        let mut gen = NodeIdGen::new();
+        let doc = audit_doc(&s, 3, 2, &mut gen);
+        assert!(s.dtd.is_valid(&doc));
+        let view = extract_view(&s.ann, &doc);
+        // actors and details redacted, nesting preserved
+        assert!(view.preorder().all(|n| {
+            let l = s.alpha.name(view.label(n));
+            l == "event" || l == "action"
+        }));
+        assert_eq!(view.size(), 15 * 2); // 15 events, each with action
+        let u = log_event(&s, &doc, &[1, 0], &mut gen);
+        check_is_update_of(&u, &view).unwrap();
+        let out = output_tree(&u).unwrap();
+        derive_view_dtd(&s.dtd, &s.ann, s.alpha.len())
+            .validate(&out)
+            .unwrap();
         assert_eq!(out.size(), view.size() + 2);
     }
 

@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 use xml_view_update::prelude::*;
+use xml_view_update::workload::replay::instance_dump;
 use xml_view_update::workload::{
     generate_annotation, generate_doc, generate_dtd, generate_update, ChurnConfig, ChurnStream,
     DocGenConfig, DtdGenConfig, UpdateGenConfig,
@@ -69,6 +70,14 @@ proptest! {
                 &UpdateGenConfig { ops: 2, ..UpdateGenConfig::default() },
                 seed ^ (3000 + step), &mut g);
 
+            // replayable context for every assertion at this step: the
+            // seed rebuilds the whole chain, the dump pins the exact
+            // document + update the step saw
+            let dump = instance_dump(
+                &format!("session_cache_matches_one_shot seed {seed}, step {step}"),
+                &alpha, &dtd, &ann, &chain_doc, &update,
+            );
+
             // fresh one-shot against the chain document
             let inst = Instance::new(&dtd, &ann, &chain_doc, &update, alpha.len()).unwrap();
             let one_shot = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
@@ -80,8 +89,8 @@ proptest! {
             let fresh = engine.open(&chain_doc).unwrap();
             let cold = fresh.propagate(&update).unwrap();
             let warm = fresh.propagate(&update).unwrap();
-            prop_assert_eq!(fingerprint(&cold, &alpha), os_fp.clone(), "cold, step {}", step);
-            prop_assert_eq!(fingerprint(&warm, &alpha), os_fp.clone(), "warm, step {}", step);
+            prop_assert_eq!(fingerprint(&cold, &alpha), os_fp.clone(), "cold\n{}", dump);
+            prop_assert_eq!(fingerprint(&warm, &alpha), os_fp.clone(), "warm\n{}", dump);
 
             // long-lived sessions: cache on vs off, byte-identical
             let pc = cached.propagate(&update).unwrap();
@@ -89,28 +98,29 @@ proptest! {
             prop_assert_eq!(
                 fingerprint(&pc, &alpha),
                 fingerprint(&pu, &alpha),
-                "cached vs uncached session, step {}", step
+                "cached vs uncached session\n{}", dump
             );
             // and they agree with the one-shot on every gen-independent
             // observable (hidden insertlet identifiers may differ once the
             // session's high-water mark outruns the chain's)
-            prop_assert_eq!(pc.cost, one_shot.cost);
+            prop_assert_eq!(pc.cost, one_shot.cost, "cost vs one-shot\n{}", dump);
             prop_assert_eq!(
                 count_optimal_propagations(&pc.forest),
-                count_optimal_propagations(&one_shot.forest)
+                count_optimal_propagations(&one_shot.forest),
+                "count vs one-shot\n{}", dump
             );
             let out_session = output_tree(&pc.script).unwrap();
             let out_chain = output_tree(&one_shot.script).unwrap();
-            prop_assert!(out_session.isomorphic(&out_chain), "outputs isomorphic, step {}", step);
+            prop_assert!(out_session.isomorphic(&out_chain), "outputs isomorphic\n{}", dump);
             prop_assert_eq!(
                 extract_view(&ann, &out_session),
                 extract_view(&ann, &out_chain),
-                "user-visible effect exact, step {}", step
+                "user-visible effect exact\n{}", dump
             );
 
             cached.commit(&pc).unwrap();
             uncached.commit(&pu).unwrap();
-            prop_assert_eq!(cached.document(), uncached.document());
+            prop_assert_eq!(cached.document(), uncached.document(), "commit lock-step\n{}", dump);
             chain_doc = out_chain;
         }
         prop_assert_eq!(cached.commits(), 4);
@@ -218,20 +228,24 @@ fn churn_stream_cached_equals_uncached() {
         for step in 0..8 {
             let mut g = cached.id_gen();
             let u = stream.next_update(cached.document(), &mut g);
+            let dump = instance_dump(
+                &format!("churn_stream_cached_equals_uncached seed {seed}, step {step}"),
+                &alpha,
+                &dtd,
+                &ann,
+                cached.document(),
+                &u,
+            );
             let pc = cached.propagate(&u).unwrap();
             let pu = uncached.propagate(&u).unwrap();
             assert_eq!(
                 fingerprint(&pc, &alpha),
                 fingerprint(&pu, &alpha),
-                "seed {seed}, step {step}"
+                "cached vs uncached\n{dump}"
             );
             cached.commit(&pc).unwrap();
             uncached.commit(&pu).unwrap();
-            assert_eq!(
-                cached.document(),
-                uncached.document(),
-                "seed {seed}, step {step}"
-            );
+            assert_eq!(cached.document(), uncached.document(), "commit\n{dump}");
         }
         let stats = cached.cache_stats();
         assert!(stats.hits > 0, "churn must exercise the cache: {stats:?}");

@@ -37,6 +37,20 @@ impl RandomInstance {
             .build()
             .unwrap()
     }
+
+    /// Replayable failure report: the RNG seed (paste back into
+    /// `random_instance`) plus identifier-preserving term dumps of the
+    /// document and update, so any panic below reproduces as a one-liner.
+    fn dump(&self, seed: u64) -> String {
+        xml_view_update::workload::replay::instance_dump(
+            &format!("random_instance(seed={seed})"),
+            &self.alpha,
+            &self.dtd,
+            &self.ann,
+            &self.doc,
+            &self.update,
+        )
+    }
 }
 
 fn random_instance(seed: u64) -> RandomInstance {
@@ -83,17 +97,18 @@ fn theorem5_propagation_always_exists_and_verifies() {
         let engine = ri.engine();
         let session = engine
             .open(&ri.doc)
-            .unwrap_or_else(|e| panic!("seed {seed}: generated document invalid: {e}"));
+            .unwrap_or_else(|e| panic!("generated document invalid: {e}\n{}", ri.dump(seed)));
         let prop = session
             .propagate(&ri.update)
-            .unwrap_or_else(|e| panic!("seed {seed}: Theorem 5 violated: {e}"));
+            .unwrap_or_else(|e| panic!("Theorem 5 violated: {e}\n{}", ri.dump(seed)));
         session
             .verify(&ri.update, &prop.script)
-            .unwrap_or_else(|e| panic!("seed {seed}: unsound propagation: {e}"));
+            .unwrap_or_else(|e| panic!("unsound propagation: {e}\n{}", ri.dump(seed)));
         assert_eq!(
             cost(&prop.script) as u64,
             prop.cost,
-            "seed {seed}: script cost differs from graph optimum"
+            "script cost differs from graph optimum\n{}",
+            ri.dump(seed)
         );
     }
 }
@@ -108,11 +123,12 @@ fn engine_and_one_shot_layer_agree() {
         let by_session = engine.open(&ri.doc).unwrap().propagate(&ri.update).unwrap();
         let inst = Instance::new(&ri.dtd, &ri.ann, &ri.doc, &ri.update, ri.alpha.len()).unwrap();
         let one_shot = propagate(&inst, &InsertletPackage::new(), &Config::default()).unwrap();
-        assert_eq!(by_session.cost, one_shot.cost, "seed {seed}");
+        assert_eq!(by_session.cost, one_shot.cost, "{}", ri.dump(seed));
         assert_eq!(
             script_to_term(&by_session.script, &ri.alpha),
             script_to_term(&one_shot.script, &ri.alpha),
-            "seed {seed}"
+            "{}",
+            ri.dump(seed)
         );
     }
 }
@@ -129,12 +145,12 @@ fn theorems_3_4_enumeration_consistency() {
         let prop = session.propagate(&ri.update).unwrap();
 
         let optimal = session.enumerate_optimal(&ri.update, 10).unwrap();
-        assert!(!optimal.is_empty(), "seed {seed}");
+        assert!(!optimal.is_empty(), "{}", ri.dump(seed));
         for s in &optimal {
             session
                 .verify(&ri.update, s)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert_eq!(cost(s) as u64, prop.cost, "seed {seed}");
+                .unwrap_or_else(|e| panic!("{e}\n{}", ri.dump(seed)));
+            assert_eq!(cost(s) as u64, prop.cost, "{}", ri.dump(seed));
         }
 
         let inst = session.instance(&ri.update).unwrap();
@@ -148,10 +164,11 @@ fn theorems_3_4_enumeration_consistency() {
         )
         .unwrap();
         for s in &bounded {
-            verify_propagation(&inst, s).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            verify_propagation(&inst, s).unwrap_or_else(|e| panic!("{e}\n{}", ri.dump(seed)));
             assert!(
                 cost(s) as u64 >= prop.cost,
-                "seed {seed}: enumeration beat the optimum"
+                "enumeration beat the optimum\n{}",
+                ri.dump(seed)
             );
         }
     }
@@ -167,7 +184,7 @@ fn theorems_1_2_inversion_soundness() {
         let updated_view = output_tree(&ri.update).expect("root preserved");
         let cm = engine.cost_model();
         let forest = InversionForest::build(engine.dtd(), engine.annotation(), &updated_view, &cm)
-            .unwrap_or_else(|e| panic!("seed {seed}: view must be invertible: {e}"));
+            .unwrap_or_else(|e| panic!("view must be invertible: {e}\n{}", ri.dump(seed)));
         let mut gen = NodeIdGen::starting_at(1 << 40);
         let min = forest
             .materialize_min(engine.dtd(), &cm, Selector::PreferNop, &mut gen, 100_000)
@@ -180,11 +197,17 @@ fn theorems_1_2_inversion_soundness() {
             .enumerate_inverses(engine.dtd(), &cm, &mut gen, 100_000, 15, 10)
             .unwrap();
         for inv in &all {
-            assert!(engine.dtd().is_valid(inv), "seed {seed}");
-            assert_eq!(extract_view(&ri.ann, inv), updated_view, "seed {seed}");
+            assert!(engine.dtd().is_valid(inv), "{}", ri.dump(seed));
+            assert_eq!(
+                extract_view(&ri.ann, inv),
+                updated_view,
+                "{}",
+                ri.dump(seed)
+            );
             assert!(
                 inv.size() as u64 >= forest.min_inverse_size(),
-                "seed {seed}: inverse smaller than the claimed minimum"
+                "inverse smaller than the claimed minimum\n{}",
+                ri.dump(seed)
             );
         }
     }
@@ -229,12 +252,13 @@ fn selectors_agree_on_cost() {
             let prop = session.propagate(&ri.update).unwrap();
             session
                 .verify(&ri.update, &prop.script)
-                .unwrap_or_else(|e| panic!("seed {seed} {sel:?}: {e}"));
+                .unwrap_or_else(|e| panic!("{sel:?}: {e}\n{}", ri.dump(seed)));
             costs.push(prop.cost);
         }
         assert!(
             costs.windows(2).all(|w| w[0] == w[1]),
-            "seed {seed}: selectors disagree on optimal cost: {costs:?}"
+            "selectors disagree on optimal cost: {costs:?}\n{}",
+            ri.dump(seed)
         );
     }
 }
@@ -264,6 +288,6 @@ fn minimal_insertlet_package_preserves_costs() {
         let session = engine.open(&ri.doc).unwrap();
         let with_pkg = session.propagate(&ri.update).unwrap();
         session.verify(&ri.update, &with_pkg.script).unwrap();
-        assert_eq!(bare.cost, with_pkg.cost, "seed {seed}");
+        assert_eq!(bare.cost, with_pkg.cost, "{}", ri.dump(seed));
     }
 }
