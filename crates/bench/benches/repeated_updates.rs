@@ -146,11 +146,59 @@ fn bench_churn(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_enumerated(c: &mut Criterion) {
+    // The grammar-space enumeration folded into the repeated-update
+    // benches: one representative family per regime, K churn edits
+    // committed through a long-lived session — the same per-family
+    // serving pattern the daemon amortizes, measured per regime so cost
+    // shifts in any one grammar shape are visible in isolation.
+    use xvu_workload::enumo::{enumerate_instances, EnumBudget};
+    use xvu_workload::{ChurnConfig, ChurnStream};
+
+    let mut group = c.benchmark_group("repeated_updates_enumerated");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    const K: usize = 10;
+    let instances = enumerate_instances(&EnumBudget::default());
+    for regime in [
+        "plain",
+        "wide-alternation",
+        "heavy-hiding",
+        "deep-recursion",
+    ] {
+        let Some(inst) = instances.iter().find(|i| i.regime() == regime) else {
+            continue;
+        };
+        let engine = xvu_propagate::Engine::builder()
+            .alphabet(inst.alpha.clone())
+            .dtd(inst.dtd.clone())
+            .annotation(inst.ann.clone())
+            .build()
+            .expect("enumerated artefacts compile");
+        group.throughput(Throughput::Elements(K as u64));
+        group.bench_with_input(BenchmarkId::new(regime, K), &K, |b, _| {
+            b.iter(|| {
+                let mut session = engine.open(&inst.doc).expect("enumerated doc is valid");
+                let mut stream = ChurnStream::for_enumerated(inst, ChurnConfig::default(), 0xE7E7);
+                let mut total = 0u64;
+                for _ in 0..K {
+                    let mut gen = session.id_gen();
+                    let u = stream.next_update(session.document(), &mut gen);
+                    total += session.apply(&u).expect("Theorem 5").cost;
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_repeated_hospital,
     bench_repeated_random,
     bench_committed_sequence,
-    bench_churn
+    bench_churn,
+    bench_enumerated
 );
 criterion_main!(benches);

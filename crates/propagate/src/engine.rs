@@ -443,6 +443,21 @@ impl<'e> Session<'e> {
         self.prepared.gen.clone()
     }
 
+    /// Raises the session's fresh-identifier high-water mark to at least
+    /// `gen`'s ([`xvu_tree::NodeIdGen::merge`]; never lowers it).
+    ///
+    /// A session freshly opened from a committed document restarts its
+    /// identifiers just past the document's own maximum — forgetting
+    /// identifiers that were minted for since-deleted nodes over the
+    /// previous session's history. Serving layers that park a session's
+    /// document and later reopen it (e.g. an LRU pool evicting idle
+    /// sessions) call this with the evicted session's [`Session::id_gen`]
+    /// so the park/reopen round trip is invisible: the reopened session
+    /// mints exactly the identifiers the evicted one would have.
+    pub fn merge_id_gen(&mut self, gen: &NodeIdGen) {
+        self.prepared.gen.merge(gen);
+    }
+
     /// Assembles the validated [`Instance`] for `update` against the
     /// current document, borrowing every session-cached artefact (no
     /// document-sized copies). All update-dependent well-formedness

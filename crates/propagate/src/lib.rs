@@ -115,6 +115,6 @@ pub use instance::Instance;
 pub use inversion::{InvEdge, InvGraph, InvVertex, InversionForest};
 pub use segments::Segmentation;
 pub use selection::{Classify, EdgeClass, Selector};
-pub use serve::{SessionLease, SessionPool};
+pub use serve::{EvictOutcome, SessionLease, SessionPool};
 pub use typing::{typing_report, TypingReport};
 pub use verify::verify_propagation;

@@ -1,0 +1,59 @@
+//! `xvu_server` — a long-lived serving daemon for the XML view-update
+//! engine.
+//!
+//! The library crates answer one propagation question at a time; this
+//! crate keeps the engine warm across many documents and many clients:
+//!
+//! * [`protocol`] — a versioned, length-prefixed frame protocol
+//!   (`hello`/`load`/`open`/`propagate`/`verify`/`count`/`commit`/
+//!   `close`/`stats`/`shutdown`) with typed, non-panicking decode
+//!   errors;
+//! * [`transport`] — TCP sockets and stdio pipes behind one
+//!   [`Transport`] trait;
+//! * [`pool`] — a bounded LRU layer over [`xvu_propagate::SessionPool`]
+//!   that evicts parked sessions (leased ones are exempt) and hands them
+//!   back for write-back, preserving document content and identifier
+//!   floors across eviction;
+//! * [`daemon`] — the [`Server`]: document store, fixed worker pool fed
+//!   by a bounded queue with admission control (`retry` pushback), a
+//!   read-only fast path for `verify`/`count`, and graceful
+//!   drain-on-shutdown;
+//! * [`metrics`] — latency histograms (p50/p90/p99), queue depth,
+//!   admission rejects, and propagation-cache counters, served by the
+//!   `stats` verb;
+//! * [`client`] — a typed client with handshake and retry-pushback
+//!   handling;
+//! * [`driver`] — [`run_fleet`]: replay an [`xvu_workload::fleet`] plan
+//!   against an in-process daemon and diff every reply against
+//!   fingerprints recorded from direct sessions — the end-to-end
+//!   determinism oracle.
+//!
+//! ```no_run
+//! use xvu_server::{run_fleet, ServerConfig};
+//! use xvu_workload::fleet::{generate_fleet, FleetConfig};
+//!
+//! let plan = generate_fleet(&FleetConfig::default());
+//! let report = run_fleet(&plan, ServerConfig::default()).unwrap();
+//! assert!(report.is_clean(), "{:?}", report.mismatches);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod driver;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod transport;
+
+pub use client::{Client, ClientError, PropagateReply};
+pub use daemon::{Server, ServerConfig, ServerReport};
+pub use driver::{run_fleet, FleetReport};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot};
+pub use pool::{Evicted, LruSessionPool};
+pub use protocol::{
+    read_frame, write_frame, Frame, ProtocolError, Recv, Verb, MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use transport::{DuplexTransport, StreamTransport, Transport};

@@ -1,0 +1,73 @@
+//! Byte-stream transports: TCP sockets and stdio pipes behind one trait.
+//!
+//! The daemon's connection loop is generic over [`Transport`], so the
+//! same request dispatch serves a [`std::net::TcpStream`] (the network
+//! daemon) and a stdin/stdout pair (the `--stdio` single-client mode, as
+//! used by process supervisors and tests).
+
+use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, Recv};
+use std::io::{Read, Write};
+
+/// One bidirectional frame channel. Implementations should return
+/// [`Recv::Idle`] from a configured read timeout so servers can poll
+/// their shutdown flag between frames.
+pub trait Transport {
+    /// Receives the next frame (or [`Recv::Eof`]/[`Recv::Idle`]).
+    fn recv(&mut self) -> Result<Recv, ProtocolError>;
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError>;
+}
+
+/// A transport over one full-duplex byte stream (e.g.
+/// [`std::net::TcpStream`]).
+#[derive(Debug)]
+pub struct StreamTransport<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Wraps the stream.
+    pub fn new(stream: S) -> StreamTransport<S> {
+        StreamTransport { stream }
+    }
+
+    /// The underlying stream (e.g. to set socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+}
+
+impl<S: Read + Write> Transport for StreamTransport<S> {
+    fn recv(&mut self) -> Result<Recv, ProtocolError> {
+        read_frame(&mut self.stream)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError> {
+        write_frame(&mut self.stream, frame)
+    }
+}
+
+/// A transport over separate read and write halves (stdin/stdout, or an
+/// in-memory pipe pair in tests).
+#[derive(Debug)]
+pub struct DuplexTransport<R, W> {
+    reader: R,
+    writer: W,
+}
+
+impl<R: Read, W: Write> DuplexTransport<R, W> {
+    /// Wraps the halves.
+    pub fn new(reader: R, writer: W) -> DuplexTransport<R, W> {
+        DuplexTransport { reader, writer }
+    }
+}
+
+impl<R: Read, W: Write> Transport for DuplexTransport<R, W> {
+    fn recv(&mut self) -> Result<Recv, ProtocolError> {
+        read_frame(&mut self.reader)
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ProtocolError> {
+        write_frame(&mut self.writer, frame)
+    }
+}

@@ -1,0 +1,246 @@
+//! End-to-end daemon tests over real TCP: full document lifecycle,
+//! error replies that keep the connection alive, and drain-on-shutdown.
+
+use std::net::TcpListener;
+use xvu_dtd::parse_dtd;
+use xvu_propagate::Engine;
+use xvu_server::{Client, ClientError, Server, ServerConfig};
+use xvu_tree::Alphabet;
+use xvu_view::parse_annotation;
+
+/// DTD `r -> (a.h?)*` with `h` hidden: view of `r(a, h)` is `r(a)`.
+fn engine() -> Engine {
+    let mut alpha = Alphabet::new();
+    let dtd = parse_dtd(&mut alpha, "r -> (a.h?)*").unwrap();
+    let ann = parse_annotation(&mut alpha, "hide r h").unwrap();
+    Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()
+        .unwrap()
+}
+
+fn small_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 4,
+        pool_capacity: 1,
+        retry_after_ms: 1,
+    }
+}
+
+#[test]
+fn daemon_serves_a_full_document_lifecycle_over_tcp() {
+    let engines = [engine()];
+    let server = Server::new(&engines, small_config());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_listener(listener).unwrap());
+
+        let mut c = Client::connect(&addr).unwrap();
+        c.load(7, 0, "r#0(a#1, h#2)").unwrap();
+        assert_eq!(c.open(7).unwrap(), "r#0(a#1)");
+
+        // insert a view node; the propagation must also insert in the source
+        let reply = c.propagate(7, "nop:r#0(nop:a#1, ins:a#5)").unwrap();
+        assert!(reply.cost > 0, "insertion has positive cost");
+        assert!(reply.count >= 1);
+        assert!(reply.script.contains("ins:a"), "got {}", reply.script);
+
+        // the read-only verbs agree with the propagate fingerprint
+        assert_eq!(
+            c.count(7, "nop:r#0(nop:a#1, ins:a#5)").unwrap(),
+            reply.count
+        );
+        c.verify(7, "nop:r#0(nop:a#1, ins:a#5)", &reply.script)
+            .unwrap();
+
+        c.commit(7).unwrap();
+        // after commit the update is already applied: reopening shows both a's
+        c.close_doc(7).unwrap();
+        let view = c.open(7).unwrap();
+        assert_eq!(view.matches('a').count(), 2, "committed view: {view}");
+
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("\"propagate\":1"), "{stats}");
+        assert!(stats.contains("\"write_latency\""), "{stats}");
+
+        let finale = c.shutdown().unwrap();
+        assert!(finale.contains("\"requests\""), "{finale}");
+        let report = daemon.join().unwrap();
+        assert!(report.drained_clean);
+        assert!(report.stats.total_requests() >= 9);
+    });
+}
+
+#[test]
+fn error_replies_keep_the_connection_usable() {
+    let engines = [engine()];
+    let server = Server::new(&engines, small_config());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_listener(listener).unwrap());
+
+        let mut c = Client::connect(&addr).unwrap();
+        // every malformed or out-of-contract request earns a typed error…
+        assert!(
+            matches!(c.open(99), Err(ClientError::Server(_))),
+            "unknown doc"
+        );
+        assert!(
+            matches!(c.load(1, 5, "r#0"), Err(ClientError::Server(_))),
+            "family out of range"
+        );
+        assert!(
+            matches!(c.load(1, 0, "r#0(zebra#1)"), Err(ClientError::Server(_))),
+            "label outside the family alphabet"
+        );
+        assert!(
+            matches!(c.load(1, 0, "r#0(h#1)"), Err(ClientError::Server(_))),
+            "document violates the DTD"
+        );
+        assert!(
+            matches!(c.commit(1), Err(ClientError::Server(_))),
+            "nothing pending"
+        );
+
+        // …and the same connection still serves valid requests afterwards
+        c.load(1, 0, "r#0(a#1)").unwrap();
+        assert_eq!(c.open(1).unwrap(), "r#0(a#1)");
+        assert!(
+            matches!(
+                c.propagate(1, "nop:r#0(del:a#1, what"),
+                Err(ClientError::Server(_))
+            ),
+            "bad script term"
+        );
+        let reply = c.propagate(1, "nop:r#0(nop:a#1)").unwrap();
+        assert_eq!(reply.cost, 0, "identity update costs nothing");
+
+        c.shutdown().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.drained_clean);
+        assert!(report.stats.errors >= 6);
+    });
+}
+
+#[test]
+fn lru_pool_of_one_evicts_transparently_between_documents() {
+    // pool capacity 1 forces an eviction on every document switch; the
+    // replies must be indistinguishable from a large pool
+    let engines = [engine()];
+    let server = Server::new(&engines, small_config());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_listener(listener).unwrap());
+        let mut c = Client::connect(&addr).unwrap();
+        c.load(1, 0, "r#0(a#1, h#2)").unwrap();
+        c.load(2, 0, "r#0(a#1)").unwrap();
+        for round in 0..3 {
+            // alternating documents evicts the other session each time
+            let r1 = c.propagate(1, "nop:r#0(nop:a#1, ins:a#9)").unwrap();
+            assert!(r1.cost > 0, "round {round}");
+            let r2 = c.propagate(2, "nop:r#0(nop:a#1)").unwrap();
+            assert_eq!(r2.cost, 0, "round {round}");
+        }
+        c.shutdown().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(
+            report.stats.evictions >= 4,
+            "expected steady eviction churn, saw {}",
+            report.stats.evictions
+        );
+        assert!(report.drained_clean);
+    });
+}
+
+#[test]
+fn concurrent_eviction_write_back_never_resurrects_stale_state() {
+    // Regression test for the store↔pool coherence race: with a pool of
+    // one, every checkout evicts the *other* client's document, so the
+    // window between "session removed from the pool" and "write-back
+    // lands in the store" is exercised on nearly every request. A stale
+    // reopen shows up as `In(S) differs from the view` on the very next
+    // propagate, or as a lost committed insert in the final view.
+    let engines = [engine()];
+    let server = Server::new(
+        &engines,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            pool_capacity: 1,
+            retry_after_ms: 1,
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    const ROUNDS: usize = 12;
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_listener(listener).unwrap());
+        {
+            let mut c = Client::connect(&addr).unwrap();
+            c.load(1, 0, "r#0(a#1, h#2)").unwrap();
+            c.load(2, 0, "r#0(a#1)").unwrap();
+        }
+        let worker = |doc: u64| {
+            let addr = addr.clone();
+            move || {
+                let mut c = Client::connect(&addr).unwrap();
+                for round in 0..ROUNDS {
+                    // read the live view and grow it by one fresh `a`
+                    let view = c.open(doc).unwrap();
+                    let children = view
+                        .strip_prefix("r#0(")
+                        .and_then(|v| v.strip_suffix(')'))
+                        .unwrap_or_else(|| panic!("doc {doc} view {view}"));
+                    let mut update = String::from("nop:r#0(");
+                    for child in children.split(", ") {
+                        update.push_str("nop:");
+                        update.push_str(child);
+                        update.push_str(", ");
+                    }
+                    update.push_str(&format!("ins:a#{})", 1000 + doc * 500 + round as u64));
+                    let reply = c.propagate(doc, &update).unwrap_or_else(|e| {
+                        panic!("doc {doc} round {round}: stale session state: {e}")
+                    });
+                    assert!(reply.cost > 0, "doc {doc} round {round}");
+                    c.commit(doc).unwrap();
+                }
+            }
+        };
+        let a = scope.spawn(worker(1));
+        let b = scope.spawn(worker(2));
+        let (ra, rb) = (a.join(), b.join());
+        if let Err(panic) = ra.and(rb) {
+            // release the daemon thread before propagating the failure,
+            // or the scope hangs joining the still-serving daemon
+            if let Ok(mut c) = Client::connect(&addr) {
+                let _ = c.shutdown();
+            }
+            std::panic::resume_unwind(panic);
+        }
+
+        // every committed insert survived the eviction churn
+        let mut c = Client::connect(&addr).unwrap();
+        for (doc, seed_a) in [(1u64, 1), (2u64, 1)] {
+            let view = c.open(doc).unwrap();
+            assert_eq!(
+                view.matches('a').count(),
+                seed_a + ROUNDS,
+                "doc {doc} lost commits: {view}"
+            );
+        }
+        c.shutdown().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.drained_clean);
+        assert!(
+            report.stats.evictions >= ROUNDS as u64,
+            "pool of one under two clients must churn: {} evictions",
+            report.stats.evictions
+        );
+    });
+}

@@ -1,0 +1,74 @@
+//! Small fleet differential: the daemon must replay a generated fleet
+//! plan with byte-identical fingerprints, under a pool small enough to
+//! force evictions mid-lifecycle. The full-scale run (≥ 1k requests,
+//! ≥ 32 documents) lives in the workspace-level `tests/serving.rs`.
+
+use xvu_server::{run_fleet, ServerConfig};
+use xvu_workload::fleet::{generate_fleet, FleetConfig};
+
+fn small_plan_config(seed: u64) -> FleetConfig {
+    FleetConfig {
+        docs: 8,
+        families: 3,
+        clients: 3,
+        updates: 24,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn daemon_replay_matches_direct_sessions_with_tiny_pool() {
+    let plan = generate_fleet(&small_plan_config(0xD1FF));
+    assert!(plan.request_count() > 0);
+    // pool of 2 across 8 documents: evictions and id-floor restoration
+    // are exercised constantly
+    let report = run_fleet(
+        &plan,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            pool_capacity: 2,
+            retry_after_ms: 1,
+        },
+    )
+    .unwrap();
+    assert!(
+        report.mismatches.is_empty(),
+        "daemon diverged from direct sessions:\n{}",
+        report.mismatches.join("\n")
+    );
+    assert_eq!(report.protocol_errors, 0);
+    assert!(report.drained_clean);
+    // the driver also issues one load per corpus document
+    assert_eq!(
+        report.requests as usize,
+        plan.request_count() + plan.docs.len()
+    );
+    assert!(
+        report.stats.evictions > 0,
+        "a pool of 2 over 8 docs must evict"
+    );
+}
+
+#[test]
+fn daemon_replay_matches_direct_sessions_with_roomy_pool() {
+    let plan = generate_fleet(&small_plan_config(0xD1FF));
+    let report = run_fleet(
+        &plan,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            pool_capacity: 16,
+            retry_after_ms: 1,
+        },
+    )
+    .unwrap();
+    assert!(
+        report.mismatches.is_empty(),
+        "daemon diverged from direct sessions:\n{}",
+        report.mismatches.join("\n")
+    );
+    assert_eq!(report.protocol_errors, 0);
+    assert!(report.drained_clean);
+}

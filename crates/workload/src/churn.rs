@@ -37,6 +37,17 @@ pub struct ChurnConfig {
     pub delete_bias: f64,
     /// Anchor/operation attempts before settling for fewer operations.
     pub attempts: usize,
+    /// Probability that a [`ChurnStream::next_event`] step is an idle gap
+    /// ([`ChurnEvent::Idle`]) instead of an edit. `0.0` (the default)
+    /// reproduces the pure-edit stream.
+    pub idle_bias: f64,
+    /// Upper bound on the length of one idle gap, in abstract ticks
+    /// (drawn uniformly from `1..=max_idle_ticks`).
+    pub max_idle_ticks: u64,
+    /// Probability that a [`ChurnStream::next_event`] step closes the
+    /// client session ([`ChurnEvent::Close`]); the next step reopens it
+    /// ([`ChurnEvent::Reopen`]). `0.0` (the default) never closes.
+    pub close_bias: f64,
 }
 
 impl Default for ChurnConfig {
@@ -46,8 +57,31 @@ impl Default for ChurnConfig {
             insert_depth: 1,
             delete_bias: 0.35,
             attempts: 40,
+            idle_bias: 0.0,
+            max_idle_ticks: 4,
+            close_bias: 0.0,
         }
     }
+}
+
+/// One step of a full client lifecycle, emitted by
+/// [`ChurnStream::next_event`]: sessions alternate edits with think-time
+/// idle gaps and occasionally close and reopen — the ROADMAP's
+/// "interleaved open/churn/idle/close" shape in one stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A localized view update against the current document (exactly what
+    /// [`ChurnStream::next_update`] emits).
+    Edit(Script),
+    /// The client thinks for the given number of abstract ticks; the
+    /// document does not change.
+    Idle(u64),
+    /// The client closes its session (dropping any serving-side state);
+    /// the committed document persists.
+    Close,
+    /// The client reopens a session on the same document. Emitted as the
+    /// first event after a [`ChurnEvent::Close`], never otherwise.
+    Reopen,
 }
 
 /// A deterministic stream of localized small view updates over a fixed
@@ -60,6 +94,7 @@ pub struct ChurnStream {
     alphabet_len: usize,
     cfg: ChurnConfig,
     rng: StdRng,
+    closed: bool,
 }
 
 impl ChurnStream {
@@ -85,6 +120,7 @@ impl ChurnStream {
             alphabet_len,
             cfg,
             rng: StdRng::seed_from_u64(seed),
+            closed: false,
         }
     }
 
@@ -106,6 +142,36 @@ impl ChurnStream {
             cfg,
             seed ^ crate::enumo::stable_hash(&inst.name),
         )
+    }
+
+    /// Emits the next **lifecycle event** of a full client session:
+    /// mostly edits (see [`ChurnStream::next_update`]), interleaved with
+    /// idle gaps with probability [`ChurnConfig::idle_bias`] and
+    /// close/reopen cycles with probability [`ChurnConfig::close_bias`].
+    /// After a [`ChurnEvent::Close`] the next event is always
+    /// [`ChurnEvent::Reopen`] — the stream models one client's whole
+    /// open → churn → idle → close history over one document.
+    ///
+    /// With the default configuration (both biases `0.0`) every event is
+    /// an edit, so `next_event` degenerates to `next_update`.
+    /// Deterministic in the stream's seed, like everything else here.
+    pub fn next_event(&mut self, doc: &DocTree, gen: &mut NodeIdGen) -> ChurnEvent {
+        if self.closed {
+            self.closed = false;
+            return ChurnEvent::Reopen;
+        }
+        // zero-bias draws are skipped entirely (not just always-false) so
+        // the default configuration consumes exactly the same RNG stream
+        // as `next_update` — next_event is then a drop-in replacement
+        if self.cfg.close_bias > 0.0 && self.rng.random_bool(self.cfg.close_bias) {
+            self.closed = true;
+            return ChurnEvent::Close;
+        }
+        if self.cfg.idle_bias > 0.0 && self.rng.random_bool(self.cfg.idle_bias) {
+            let ticks = self.rng.random_range(1..=self.cfg.max_idle_ticks.max(1));
+            return ChurnEvent::Idle(ticks);
+        }
+        ChurnEvent::Edit(self.next_update(doc, gen))
     }
 
     /// Emits the next update of the stream against `doc`'s view: up to
@@ -303,6 +369,81 @@ mod tests {
         }
         debug_assert!(extract_view(ann, &out).size() > 0);
         out
+    }
+
+    #[test]
+    fn lifecycle_events_cover_open_churn_idle_close() {
+        let Hospital { alpha, dtd, ann } = hospital();
+        let h = Hospital {
+            alpha: alpha.clone(),
+            dtd: dtd.clone(),
+            ann: ann.clone(),
+        };
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 2, 5, &mut gen);
+        let cfg = ChurnConfig {
+            idle_bias: 0.3,
+            close_bias: 0.15,
+            max_idle_ticks: 3,
+            ..ChurnConfig::default()
+        };
+        let mut stream = ChurnStream::new(&dtd, &ann, alpha.len(), cfg, 11);
+        let (mut edits, mut idles, mut closes, mut reopens) = (0, 0, 0, 0);
+        let mut closed = false;
+        for _ in 0..120 {
+            let ev = stream.next_event(&doc, &mut gen);
+            match ev {
+                ChurnEvent::Edit(u) => {
+                    assert!(!closed, "edit while closed");
+                    check_is_update_of(&u, &extract_view(&ann, &doc)).unwrap();
+                    edits += 1;
+                }
+                ChurnEvent::Idle(t) => {
+                    assert!(!closed, "idle while closed");
+                    assert!((1..=3).contains(&t), "idle ticks out of range: {t}");
+                    idles += 1;
+                }
+                ChurnEvent::Close => {
+                    assert!(!closed, "double close");
+                    closed = true;
+                    closes += 1;
+                }
+                ChurnEvent::Reopen => {
+                    assert!(closed, "reopen without close");
+                    closed = false;
+                    reopens += 1;
+                }
+            }
+        }
+        assert!(edits > 0 && idles > 0 && closes > 0 && reopens > 0);
+        // every close is followed (eventually) by exactly one reopen
+        assert!(
+            closes - reopens <= 1,
+            "closes {closes} vs reopens {reopens}"
+        );
+    }
+
+    #[test]
+    fn default_config_next_event_is_pure_edits() {
+        let Hospital { alpha, dtd, ann } = hospital();
+        let h = Hospital {
+            alpha: alpha.clone(),
+            dtd: dtd.clone(),
+            ann: ann.clone(),
+        };
+        let mut gen = NodeIdGen::new();
+        let doc = hospital_doc(&h, 2, 4, &mut gen);
+        // same seed: next_event with default biases replays next_update
+        let mut by_event = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 5);
+        let mut by_update = ChurnStream::new(&dtd, &ann, alpha.len(), ChurnConfig::default(), 5);
+        let mut g1 = gen.clone();
+        let mut g2 = gen.clone();
+        for _ in 0..6 {
+            match by_event.next_event(&doc, &mut g1) {
+                ChurnEvent::Edit(u) => assert_eq!(u, by_update.next_update(&doc, &mut g2)),
+                other => panic!("default config emitted {other:?}"),
+            }
+        }
     }
 
     #[test]

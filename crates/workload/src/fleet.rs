@@ -1,0 +1,741 @@
+//! Fleet-scale serving workloads: many documents, many clients, Zipf
+//! popularity, full open/churn/idle/close lifecycles.
+//!
+//! Where [`crate::ChurnStream`] models *one* client editing *one*
+//! document, [`generate_fleet`] models a serving daemon's whole steady
+//! state: a corpus of documents drawn from several [enumerated grammar
+//! families](crate::enumo), a set of clients each working one document
+//! at a time, document popularity following a Zipf law (document 0 is
+//! hottest), and per-document lifecycles produced by
+//! [`ChurnStream::next_event`] — edits interleaved with think-time idle
+//! gaps and close/reopen cycles.
+//!
+//! The generator does not merely emit requests: it *executes* the whole
+//! plan against direct [`xvu_propagate::Session`]s while generating, and
+//! records the observed `(cost, script term, optimal count, view term)`
+//! fingerprint on every operation. A serving daemon replaying the plan
+//! must reproduce every fingerprint exactly — that is the end-to-end
+//! determinism oracle: *daemon ≡ direct library calls*.
+//!
+//! Determinism contract: the same [`FleetConfig`] (including the seed)
+//! always yields the same [`FleetPlan`], operation for operation,
+//! fingerprint for fingerprint. Documents are statically partitioned
+//! across clients (document `i` belongs to client `i % clients`), so a
+//! replaying driver may run clients concurrently: per-document request
+//! order — the only order that matters for the fingerprints — is fixed
+//! by the per-client sequences alone.
+
+use crate::churn::{ChurnConfig, ChurnEvent, ChurnStream};
+use crate::docgen::{generate_doc, DocGenConfig};
+use crate::enumo::{enumerate_instances, stable_hash, EnumBudget, Sexp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xvu_dtd::Dtd;
+use xvu_edit::{script_to_term, Script};
+use xvu_propagate::{count_optimal_propagations, Engine, Session};
+use xvu_tree::{to_term_with_ids, Alphabet, DocTree, Sym};
+use xvu_view::Annotation;
+
+/// Knobs for [`generate_fleet`]. Everything is deterministic in `seed`.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of documents in the corpus.
+    pub docs: usize,
+    /// Number of distinct grammar families to draw documents from
+    /// (round-robined across the four enumeration regimes; capped by how
+    /// many distinct families the default budget enumerates).
+    pub families: usize,
+    /// Number of concurrent clients. Documents are statically
+    /// partitioned: document `i` belongs to client `i % clients`.
+    pub clients: usize,
+    /// Committed edits to aim for across the whole fleet (the plan stops
+    /// once this many [`FleetOpKind::Propagate`]+[`FleetOpKind::Commit`]
+    /// pairs have been emitted).
+    pub updates: usize,
+    /// Zipf skew `s`: document `i` is picked with weight `1/(i+1)^s`
+    /// within its owner's partition. `0.0` is uniform.
+    pub zipf_s: f64,
+    /// Probability that a committed edit is accompanied by a read-only
+    /// [`FleetOpKind::Verify`] (and, independently, a
+    /// [`FleetOpKind::Count`]) against the same update.
+    pub read_fraction: f64,
+    /// Per-document lifecycle behaviour (edit shape, idle and close
+    /// biases) — see [`ChurnConfig`].
+    pub churn: ChurnConfig,
+    /// Shape of the generated corpus documents.
+    pub doc_gen: DocGenConfig,
+    /// Master seed; every stream below is derived from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            docs: 32,
+            families: 6,
+            clients: 8,
+            updates: 96,
+            zipf_s: 1.1,
+            read_fraction: 0.5,
+            churn: ChurnConfig {
+                idle_bias: 0.15,
+                close_bias: 0.08,
+                ..ChurnConfig::default()
+            },
+            doc_gen: DocGenConfig {
+                max_depth: 5,
+                max_children: 4,
+                max_nodes: 64,
+                ..DocGenConfig::default()
+            },
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// One grammar family backing a slice of the corpus: an enumerated
+/// `(Σ, D, A)` triple plus the root label its documents are grown from.
+#[derive(Clone, Debug)]
+pub struct FleetFamily {
+    /// The enumerated instance's replayable recipe name.
+    pub name: String,
+    /// The coverage regime the family came from (`plain`,
+    /// `wide-alternation`, `heavy-hiding`, or `deep-recursion`).
+    pub regime: &'static str,
+    /// The alphabet `Σ`.
+    pub alpha: Alphabet,
+    /// The schema `D`.
+    pub dtd: Dtd,
+    /// The view definition `A`.
+    pub ann: Annotation,
+    /// Root label of every document in the family.
+    pub root: Sym,
+}
+
+impl FleetFamily {
+    /// Compiles the family into a ready-to-serve [`Engine`]. Infallible
+    /// for families produced by [`generate_fleet`] (they compiled once
+    /// already during generation).
+    pub fn engine(&self) -> Engine {
+        Engine::builder()
+            .alphabet(self.alpha.clone())
+            .dtd(self.dtd.clone())
+            .annotation(self.ann.clone())
+            .build()
+            .expect("fleet family compiled during generation")
+    }
+}
+
+/// One corpus document: its wire identifier, owning family, and initial
+/// content (already valid under the family DTD).
+#[derive(Clone, Debug)]
+pub struct FleetDoc {
+    /// Stable document identifier (also its popularity rank: document 0
+    /// is the hottest under the Zipf law).
+    pub id: u64,
+    /// Index into [`FleetPlan::families`].
+    pub family: usize,
+    /// The initial document.
+    pub doc: DocTree,
+}
+
+/// What one [`FleetOp`] asks the serving side to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetOpKind {
+    /// Open a session on the document (load its committed content).
+    Open,
+    /// Propagate the view update; the resulting propagation becomes the
+    /// document's *pending* propagation (consumed by the next
+    /// [`FleetOpKind::Commit`]).
+    Propagate(Script),
+    /// Verify that `candidate` is a propagation of `update` (read-only).
+    Verify {
+        /// The view update.
+        update: Script,
+        /// The candidate source script (the pending propagation's).
+        candidate: Script,
+    },
+    /// Count the cost-minimal propagations of the update (read-only).
+    Count(Script),
+    /// Commit the pending propagation.
+    Commit,
+    /// Client think time — no request reaches the server.
+    Idle(u64),
+    /// Close the session, persisting the committed document.
+    Close,
+}
+
+/// The expected observable outcome of one operation, recorded while the
+/// generator executed the same operation against a direct [`Session`].
+/// Fields are `None` when the operation does not produce that value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Fingerprint {
+    /// Propagation cost ([`FleetOpKind::Propagate`]).
+    pub cost: Option<u64>,
+    /// Chosen propagation, as a term over the family alphabet
+    /// ([`FleetOpKind::Propagate`]).
+    pub script: Option<String>,
+    /// Number of cost-minimal propagations ([`FleetOpKind::Propagate`]
+    /// and [`FleetOpKind::Count`]).
+    pub count: Option<u128>,
+    /// The session's view, as a term with identifiers
+    /// ([`FleetOpKind::Open`]).
+    pub view: Option<String>,
+}
+
+/// One step of the fleet plan: which client, which document, what to do,
+/// and what a correct executor must observe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetOp {
+    /// The issuing client (always `doc % clients`).
+    pub client: usize,
+    /// The target document's [`FleetDoc::id`].
+    pub doc: u64,
+    /// The operation.
+    pub kind: FleetOpKind,
+    /// The expected outcome.
+    pub expect: Fingerprint,
+}
+
+/// A complete generated fleet workload: families, corpus, and the
+/// fingerprinted operation sequence. See the module docs for the
+/// determinism contract.
+#[derive(Clone, Debug)]
+pub struct FleetPlan {
+    /// The grammar families in play.
+    pub families: Vec<FleetFamily>,
+    /// The document corpus (initial contents).
+    pub docs: Vec<FleetDoc>,
+    /// The operations, in global generation order. Per-document order is
+    /// what a replaying driver must preserve; operations on different
+    /// documents commute.
+    pub ops: Vec<FleetOp>,
+    /// Number of committed edits in the plan.
+    pub updates: usize,
+}
+
+impl FleetPlan {
+    /// Number of operations that reach the server (everything except
+    /// [`FleetOpKind::Idle`]).
+    pub fn request_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op.kind, FleetOpKind::Idle(_)))
+            .count()
+    }
+
+    /// The operations of one client, in order.
+    pub fn client_ops(&self, client: usize) -> impl Iterator<Item = &FleetOp> {
+        self.ops.iter().filter(move |op| op.client == client)
+    }
+}
+
+/// Per-document generator state while the plan is being executed.
+struct MirrorDoc<'e> {
+    session: Option<Session<'e>>,
+    stream: Option<ChurnStream>,
+    pending: Option<xvu_propagate::Propagation>,
+    opens: u64,
+}
+
+/// Generates (and pre-executes) a fleet workload. Deterministic in
+/// `cfg`; see the module docs for the replay contract.
+///
+/// # Panics
+///
+/// Panics if `cfg.docs`, `cfg.clients`, or `cfg.families` is zero, or if
+/// an internal invariant breaks (a churn update failing to propagate
+/// would contradict the paper's Theorem 5).
+pub fn generate_fleet(cfg: &FleetConfig) -> FleetPlan {
+    assert!(cfg.docs > 0, "fleet needs at least one document");
+    assert!(cfg.clients > 0, "fleet needs at least one client");
+    assert!(cfg.families > 0, "fleet needs at least one family");
+
+    let families = pick_families(cfg.families);
+    let engines: Vec<Engine> = families.iter().map(FleetFamily::engine).collect();
+
+    // The corpus: documents round-robined across families, grown from
+    // per-document derived seeds.
+    let mut docs = Vec::with_capacity(cfg.docs);
+    for i in 0..cfg.docs {
+        let family = i % families.len();
+        let fam = &families[family];
+        let seed = cfg
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ stable_hash(&fam.name);
+        let mut gen = xvu_tree::NodeIdGen::new();
+        let doc = generate_doc(
+            &fam.dtd,
+            fam.alpha.len(),
+            fam.root,
+            &cfg.doc_gen,
+            seed,
+            &mut gen,
+        );
+        debug_assert!(fam.dtd.validate(&doc).is_ok());
+        docs.push(FleetDoc {
+            id: i as u64,
+            family,
+            doc,
+        });
+    }
+
+    // Zipf popularity, statically partitioned: client c owns documents
+    // {i | i % clients == c} and samples within its partition with
+    // integer weights ∝ 1/(i+1)^s.
+    let active_clients = cfg.clients.min(cfg.docs);
+    let partitions: Vec<Vec<usize>> = (0..active_clients)
+        .map(|c| (c..cfg.docs).step_by(cfg.clients).collect())
+        .collect();
+    let weights: Vec<Vec<u64>> = partitions
+        .iter()
+        .map(|part| {
+            part.iter()
+                .map(|&i| {
+                    let w = 1e6 / ((i + 1) as f64).powf(cfg.zipf_s);
+                    (w as u64).max(1)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut store: Vec<DocTree> = docs.iter().map(|d| d.doc.clone()).collect();
+    let mut mirrors: Vec<MirrorDoc<'_>> = (0..cfg.docs)
+        .map(|_| MirrorDoc {
+            session: None,
+            stream: None,
+            pending: None,
+            opens: 0,
+        })
+        .collect();
+    let mut open_doc: Vec<Option<usize>> = vec![None; active_clients];
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x000F_1EE7_D0C5);
+    let mut ops: Vec<FleetOp> = Vec::new();
+    let mut committed = 0usize;
+    // Guard against degenerate configurations (e.g. close_bias ≈ 1.0)
+    // never reaching the update budget.
+    let max_steps = cfg.updates.saturating_mul(64) + 256;
+    let mut steps = 0usize;
+
+    while committed < cfg.updates && steps < max_steps {
+        steps += 1;
+        let c = rng.random_range(0..active_clients);
+        let d = match open_doc[c] {
+            Some(d) => d,
+            None => {
+                let d = sample_doc(&mut rng, &partitions[c], &weights[c]);
+                open_mirror(
+                    &mut mirrors[d],
+                    &engines,
+                    &families,
+                    &docs,
+                    &store,
+                    d,
+                    c,
+                    cfg,
+                    &mut ops,
+                );
+                open_doc[c] = Some(d);
+                continue;
+            }
+        };
+
+        let fam = &families[docs[d].family];
+        let MirrorDoc {
+            session,
+            stream,
+            pending,
+            ..
+        } = &mut mirrors[d];
+        let session_ref = session.as_mut().expect("open doc has a session");
+        let stream_ref = stream.as_mut().expect("open doc has a stream");
+        let mut gen = session_ref.id_gen();
+        match stream_ref.next_event(session_ref.document(), &mut gen) {
+            ChurnEvent::Edit(update) => {
+                let prop = session_ref
+                    .propagate(&update)
+                    .expect("churn update propagates (Theorem 5)");
+                let count =
+                    count_optimal_propagations(&prop.forest).expect("optimal count fits in u128");
+                ops.push(FleetOp {
+                    client: c,
+                    doc: d as u64,
+                    kind: FleetOpKind::Propagate(update.clone()),
+                    expect: Fingerprint {
+                        cost: Some(prop.cost),
+                        script: Some(script_to_term(&prop.script, &fam.alpha)),
+                        count: Some(count),
+                        view: None,
+                    },
+                });
+                if cfg.read_fraction > 0.0 && rng.random_bool(cfg.read_fraction) {
+                    ops.push(FleetOp {
+                        client: c,
+                        doc: d as u64,
+                        kind: FleetOpKind::Verify {
+                            update: update.clone(),
+                            candidate: prop.script.clone(),
+                        },
+                        expect: Fingerprint::default(),
+                    });
+                }
+                if cfg.read_fraction > 0.0 && rng.random_bool(cfg.read_fraction) {
+                    ops.push(FleetOp {
+                        client: c,
+                        doc: d as u64,
+                        kind: FleetOpKind::Count(update),
+                        expect: Fingerprint {
+                            count: Some(count),
+                            ..Fingerprint::default()
+                        },
+                    });
+                }
+                ops.push(FleetOp {
+                    client: c,
+                    doc: d as u64,
+                    kind: FleetOpKind::Commit,
+                    expect: Fingerprint::default(),
+                });
+                session_ref.commit(&prop).expect("commit after propagate");
+                *pending = None;
+                committed += 1;
+            }
+            ChurnEvent::Idle(ticks) => ops.push(FleetOp {
+                client: c,
+                doc: d as u64,
+                kind: FleetOpKind::Idle(ticks),
+                expect: Fingerprint::default(),
+            }),
+            ChurnEvent::Close => {
+                store[d] = session_ref.document().clone();
+                *session = None;
+                *stream = None;
+                *pending = None;
+                ops.push(FleetOp {
+                    client: c,
+                    doc: d as u64,
+                    kind: FleetOpKind::Close,
+                    expect: Fingerprint::default(),
+                });
+                open_doc[c] = None;
+            }
+            // The stream is recreated on every open, so a reopen can
+            // never be its first event.
+            ChurnEvent::Reopen => unreachable!("fresh streams never start closed"),
+        }
+    }
+
+    // Drain: every client closes its document so the plan ends with the
+    // whole corpus parked (and the daemon can verify a clean shutdown).
+    for (c, slot) in open_doc.iter_mut().enumerate().take(active_clients) {
+        if let Some(d) = slot.take() {
+            let m = &mut mirrors[d];
+            if let Some(session) = m.session.take() {
+                store[d] = session.document().clone();
+            }
+            m.stream = None;
+            ops.push(FleetOp {
+                client: c,
+                doc: d as u64,
+                kind: FleetOpKind::Close,
+                expect: Fingerprint::default(),
+            });
+        }
+    }
+
+    FleetPlan {
+        families,
+        docs,
+        ops,
+        updates: committed,
+    }
+}
+
+/// Opens document `d` in the mirror and records the `Open` operation
+/// with its view fingerprint.
+#[allow(clippy::too_many_arguments)]
+fn open_mirror<'e>(
+    mirror: &mut MirrorDoc<'e>,
+    engines: &'e [Engine],
+    families: &[FleetFamily],
+    docs: &[FleetDoc],
+    store: &[DocTree],
+    d: usize,
+    c: usize,
+    cfg: &FleetConfig,
+    ops: &mut Vec<FleetOp>,
+) {
+    let fam_idx = docs[d].family;
+    let fam = &families[fam_idx];
+    let session = engines[fam_idx]
+        .open(&store[d])
+        .expect("committed fleet documents stay valid");
+    ops.push(FleetOp {
+        client: c,
+        doc: d as u64,
+        kind: FleetOpKind::Open,
+        expect: Fingerprint {
+            view: Some(to_term_with_ids(session.view(), &fam.alpha)),
+            ..Fingerprint::default()
+        },
+    });
+    let stream_seed = cfg
+        .seed
+        .wrapping_add(0x5EED)
+        .wrapping_add((d as u64) << 20)
+        .wrapping_add(mirror.opens)
+        ^ stable_hash(&fam.name);
+    mirror.stream = Some(ChurnStream::new(
+        &fam.dtd,
+        &fam.ann,
+        fam.alpha.len(),
+        cfg.churn.clone(),
+        stream_seed,
+    ));
+    mirror.session = Some(session);
+    mirror.opens += 1;
+}
+
+/// Samples one document index from `part` with the given integer
+/// weights (Zipf within the partition).
+fn sample_doc(rng: &mut StdRng, part: &[usize], weights: &[u64]) -> usize {
+    let total: u64 = weights.iter().sum();
+    let mut r = rng.random_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if r < w {
+            return part[i];
+        }
+        r -= w;
+    }
+    part[part.len() - 1]
+}
+
+/// Picks up to `want` distinct grammar families from the default
+/// enumeration budget, round-robining the four coverage regimes and
+/// deduplicating on the `(dtd, ann)` part of the recipe (documents and
+/// scripts are regenerated per fleet, so two instances differing only
+/// there are the same family).
+fn pick_families(want: usize) -> Vec<FleetFamily> {
+    let pool = enumerate_instances(&EnumBudget::default());
+    let regimes = [
+        "plain",
+        "wide-alternation",
+        "heavy-hiding",
+        "deep-recursion",
+    ];
+    let mut by_regime: Vec<std::collections::VecDeque<&crate::enumo::EnumeratedInstance>> = regimes
+        .iter()
+        .map(|r| pool.iter().filter(|i| i.regime() == *r).collect())
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(want);
+    let mut r = 0usize;
+    let mut exhausted = 0usize;
+    while out.len() < want && exhausted < regimes.len() {
+        let lane = &mut by_regime[r % regimes.len()];
+        r += 1;
+        let Some(inst) = lane.pop_front() else {
+            exhausted += 1;
+            continue;
+        };
+        exhausted = 0;
+        let key = family_key(&inst.recipe);
+        if !seen.insert(key) {
+            continue;
+        }
+        out.push(FleetFamily {
+            name: inst.name.clone(),
+            regime: inst.regime(),
+            alpha: inst.alpha.clone(),
+            dtd: inst.dtd.clone(),
+            ann: inst.ann.clone(),
+            root: inst.doc.label(inst.doc.root()),
+        });
+    }
+    assert!(!out.is_empty(), "enumeration produced no families");
+    out
+}
+
+/// The family identity of a recipe: its `(dtd …)` and `(ann …)` parts.
+fn family_key(recipe: &Sexp) -> String {
+    match recipe {
+        Sexp::List(items) if items.len() >= 3 => format!("{} {}", items[1], items[2]),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            docs: 8,
+            families: 4,
+            clients: 3,
+            updates: 12,
+            seed: 42,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_plan_is_deterministic_in_the_seed() {
+        let a = generate_fleet(&small_cfg());
+        let b = generate_fleet(&small_cfg());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.updates, b.updates);
+        let c = generate_fleet(&FleetConfig {
+            seed: 43,
+            ..small_cfg()
+        });
+        assert_ne!(a.ops, c.ops, "different seeds should diverge");
+    }
+
+    #[test]
+    fn fleet_plan_shape_is_well_formed() {
+        let cfg = small_cfg();
+        let plan = generate_fleet(&cfg);
+        assert_eq!(plan.docs.len(), cfg.docs);
+        assert!(plan.families.len() >= 2);
+        assert!(plan.updates >= cfg.updates);
+        assert!(plan.request_count() > 0);
+
+        // families cover more than one regime
+        let regimes: std::collections::HashSet<_> =
+            plan.families.iter().map(|f| f.regime).collect();
+        assert!(regimes.len() >= 2, "families all from one regime");
+
+        // static partition: every op's client owns its document
+        for op in &plan.ops {
+            assert_eq!(op.client, (op.doc as usize) % cfg.clients);
+        }
+
+        // per-document protocol order: Open first, Propagate/Commit
+        // paired, reads only with a pending propagation, Close last-ish
+        for d in 0..cfg.docs {
+            let mut open = false;
+            let mut pending = false;
+            for op in plan.ops.iter().filter(|o| o.doc == d as u64) {
+                match &op.kind {
+                    FleetOpKind::Open => {
+                        assert!(!open, "doc {d}: double open");
+                        open = true;
+                    }
+                    FleetOpKind::Propagate(_) => {
+                        assert!(open && !pending, "doc {d}: propagate out of order");
+                        assert!(op.expect.cost.is_some() && op.expect.script.is_some());
+                        assert!(op.expect.count.is_some());
+                        pending = true;
+                    }
+                    FleetOpKind::Verify { .. } | FleetOpKind::Count(_) => {
+                        assert!(open && pending, "doc {d}: read without pending");
+                    }
+                    FleetOpKind::Commit => {
+                        assert!(open && pending, "doc {d}: commit without propagate");
+                        pending = false;
+                    }
+                    FleetOpKind::Idle(t) => {
+                        assert!(open && *t >= 1, "doc {d}: bad idle");
+                    }
+                    FleetOpKind::Close => {
+                        assert!(open && !pending, "doc {d}: close out of order");
+                        open = false;
+                    }
+                }
+            }
+            assert!(!open, "doc {d}: left open at end of plan");
+        }
+    }
+
+    #[test]
+    fn fleet_fingerprints_replay_against_direct_sessions() {
+        // Re-execute the plan exactly as a (single-threaded) daemon
+        // would, with fresh engines and sessions, and check every
+        // fingerprint. This is the library-side half of the end-to-end
+        // determinism oracle.
+        let plan = generate_fleet(&FleetConfig {
+            docs: 6,
+            families: 3,
+            clients: 2,
+            updates: 10,
+            seed: 7,
+            ..FleetConfig::default()
+        });
+        let engines: Vec<Engine> = plan.families.iter().map(FleetFamily::engine).collect();
+        let mut store: Vec<DocTree> = plan.docs.iter().map(|d| d.doc.clone()).collect();
+        let mut sessions: Vec<Option<Session<'_>>> = (0..plan.docs.len()).map(|_| None).collect();
+        let mut pendings: Vec<Option<xvu_propagate::Propagation>> =
+            (0..plan.docs.len()).map(|_| None).collect();
+        for op in &plan.ops {
+            let d = op.doc as usize;
+            let fam = &plan.families[plan.docs[d].family];
+            match &op.kind {
+                FleetOpKind::Open => {
+                    let s = engines[plan.docs[d].family].open(&store[d]).unwrap();
+                    assert_eq!(
+                        op.expect.view.as_deref(),
+                        Some(to_term_with_ids(s.view(), &fam.alpha).as_str())
+                    );
+                    sessions[d] = Some(s);
+                }
+                FleetOpKind::Propagate(u) => {
+                    let s = sessions[d].as_mut().unwrap();
+                    let prop = s.propagate(u).unwrap();
+                    assert_eq!(op.expect.cost, Some(prop.cost));
+                    assert_eq!(
+                        op.expect.script.as_deref(),
+                        Some(script_to_term(&prop.script, &fam.alpha).as_str())
+                    );
+                    assert_eq!(op.expect.count, count_optimal_propagations(&prop.forest));
+                    pendings[d] = Some(prop);
+                }
+                FleetOpKind::Verify { update, candidate } => {
+                    sessions[d]
+                        .as_ref()
+                        .unwrap()
+                        .verify(update, candidate)
+                        .unwrap();
+                }
+                FleetOpKind::Count(u) => {
+                    let got = sessions[d].as_ref().unwrap().count_optimal(u).unwrap();
+                    assert_eq!(op.expect.count, Some(got));
+                }
+                FleetOpKind::Commit => {
+                    let prop = pendings[d].take().unwrap();
+                    sessions[d].as_mut().unwrap().commit(&prop).unwrap();
+                }
+                FleetOpKind::Idle(_) => {}
+                FleetOpKind::Close => {
+                    let s = sessions[d].take().unwrap();
+                    store[d] = s.document().clone();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_partition_prefers_hot_documents() {
+        let cfg = FleetConfig {
+            docs: 9,
+            families: 3,
+            clients: 3,
+            updates: 40,
+            zipf_s: 1.5,
+            seed: 11,
+            ..FleetConfig::default()
+        };
+        let plan = generate_fleet(&cfg);
+        let opens = |d: u64| {
+            plan.ops
+                .iter()
+                .filter(|o| o.doc == d && o.kind == FleetOpKind::Open)
+                .count()
+        };
+        // client 0 owns docs 0, 3, 6; doc 0 must be opened at least as
+        // often as the cold tail it dominates under s = 1.5
+        assert!(opens(0) >= opens(6), "Zipf head colder than tail");
+    }
+}

@@ -14,6 +14,9 @@
 //!   publishing, config views, audit redaction);
 //! * [`enumo`] — grammar-space *enumeration* of workload families
 //!   (recipe terms + `plug` substitution + metric-bounded budgets);
+//! * [`fleet`] — fleet-scale serving workloads (many documents, Zipf
+//!   popularity, full client lifecycles) with per-operation
+//!   fingerprints for daemon-vs-library differential testing;
 //! * [`differential`] — the differential oracle harness over enumerated
 //!   instances (cached ≡ one-shot ≡ repair-where-tractable;
 //!   count ≡ |enumeration|);
@@ -41,13 +44,14 @@ pub mod differential;
 mod docgen;
 mod dtdgen;
 pub mod enumo;
+pub mod fleet;
 pub mod paper;
 pub mod replay;
 pub mod scenario;
 mod updategen;
 
 pub use anngen::generate_annotation;
-pub use churn::{ChurnConfig, ChurnStream};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnStream};
 pub use docgen::{generate_doc, DocGenConfig};
 pub use dtdgen::{generate_dtd, DtdGenConfig};
 pub use updategen::{generate_update, UpdateGenConfig};

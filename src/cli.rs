@@ -44,6 +44,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
 fn run_inner(args: &[String]) -> Result<String, XvuError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
+    // the serving commands have their own flag surface
+    match cmd.as_str() {
+        "serve" => return cmd_serve(it.as_slice()),
+        "client" => return cmd_client(it.as_slice()),
+        _ => {}
+    }
     let opts = parse_opts(it.as_slice())?;
     if opts.jobs != 1 && cmd != "propagate" {
         return Err("--jobs applies to `propagate` only".into());
@@ -68,9 +74,15 @@ fn usage() -> XvuError {
          \x20 invert    --dtd FILE --ann FILE --view FILE\n\
          \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE\n\
          \x20           [--update FILE ...] [--selector nop|first|type] [--jobs N]\n\
+         \x20 serve     --dtd FILE --ann FILE [--listen ADDR] [--stdio]\n\
+         \x20           [--workers N] [--pool N] [--queue N]\n\
+         \x20 client    ADDR stats|shutdown\n\
+         \x20 client    ADDR load ID FAMILY FILE | open ID | commit ID | close ID\n\
+         \x20 client    ADDR propagate ID FILE | count ID FILE | verify ID FILE FILE\n\
          \n\
          repeating --doc in `propagate` pairs each document with the --update\n\
-         at the same position and serves the batch on N worker threads\n"
+         at the same position and serves the batch on N worker threads;\n\
+         `serve` runs the long-lived daemon and `client` speaks its protocol\n"
             .to_owned(),
     )
 }
@@ -382,6 +394,165 @@ fn cmd_propagate(opts: &Opts) -> Result<String, XvuError> {
     Ok(out)
 }
 
+/// `xvu serve`: run the long-lived daemon over one schema/view family.
+///
+/// Documents are loaded by clients over the wire (`xvu client ADDR load
+/// …`), so only the schema artefacts are compiled here. `--listen ADDR`
+/// (default `127.0.0.1:7878`) serves TCP; `--stdio` serves exactly one
+/// client on stdin/stdout instead. Returns (and prints) the final stats
+/// snapshot once a client sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<String, XvuError> {
+    let mut dtd_src = None;
+    let mut ann_src = None;
+    let mut listen = "127.0.0.1:7878".to_owned();
+    let mut stdio = false;
+    let mut cfg = xvu_server::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| XvuError::Message(format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--dtd" => dtd_src = Some(read_file(value()?)?),
+            "--ann" => ann_src = Some(read_file(value()?)?),
+            "--listen" => listen = value()?.to_owned(),
+            "--stdio" => stdio = true,
+            "--workers" => cfg.workers = value()?.parse::<usize>()?.max(1),
+            "--pool" => cfg.pool_capacity = value()?.parse::<usize>()?.max(1),
+            "--queue" => cfg.queue_capacity = value()?.parse::<usize>()?.max(1),
+            other => {
+                return Err(format!("unknown flag {other:?}\n\n{usage}", usage = usage()).into())
+            }
+        }
+    }
+    let src = dtd_src.ok_or("missing --dtd FILE")?;
+    let mut alpha = Alphabet::new();
+    let dtd = if src.trim_start().starts_with("<!") {
+        read_dtd(&mut alpha, &src)?
+    } else {
+        parse_dtd(&mut alpha, &src)?
+    };
+    let ann = parse_annotation(&mut alpha, ann_src.as_deref().ok_or("missing --ann FILE")?)?;
+    let engines = [Engine::builder()
+        .alphabet(alpha)
+        .dtd(dtd)
+        .annotation(ann)
+        .build()?];
+    let server = xvu_server::Server::new(&engines, cfg);
+    let report = if stdio {
+        let transport =
+            xvu_server::DuplexTransport::new(std::io::stdin().lock(), std::io::stdout().lock());
+        server.serve_transport(transport)
+    } else {
+        let listener = std::net::TcpListener::bind(&listen)
+            .map_err(|e| XvuError::Message(format!("cannot listen on {listen}: {e}")))?;
+        if let Ok(bound) = listener.local_addr() {
+            eprintln!("xvu serve: listening on {bound}");
+        }
+        server
+            .serve_listener(listener)
+            .map_err(|e| XvuError::Message(format!("serve failed: {e}")))?
+    };
+    Ok(format!(
+        "served {} requests (drained {})\n{}\n",
+        report.stats.total_requests(),
+        if report.drained_clean {
+            "clean"
+        } else {
+            "DIRTY"
+        },
+        report.stats.to_json()
+    ))
+}
+
+/// `xvu client`: one request against a running daemon. Document files
+/// may be XML (converted to the wire term syntax) or terms; script files
+/// are passed through as terms.
+fn cmd_client(args: &[String]) -> Result<String, XvuError> {
+    let mut it = args.iter().map(String::as_str);
+    let addr = it.next().ok_or("client needs ADDR, then a verb")?;
+    let verb = it.next().ok_or("client needs a verb after ADDR")?;
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| XvuError::Message(format!("client {verb} needs {what}")))
+    };
+    let mut client = xvu_server::Client::connect(addr)
+        .map_err(|e| XvuError::Message(format!("cannot reach {addr}: {e}")))?;
+    let fail = |e: xvu_server::ClientError| XvuError::Message(e.to_string());
+    let parse_id = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| XvuError::Message(format!("bad document id {s:?}")))
+    };
+    match verb {
+        "stats" => Ok(format!("{}\n", client.stats().map_err(fail)?)),
+        "shutdown" => Ok(format!("{}\n", client.shutdown().map_err(fail)?)),
+        "load" => {
+            let id = parse_id(next("ID")?)?;
+            let family = next("FAMILY")?
+                .parse::<usize>()
+                .map_err(|_| XvuError::Message("bad family index".to_owned()))?;
+            let term = doc_file_as_term(next("FILE")?)?;
+            client.load(id, family, &term).map_err(fail)?;
+            Ok(format!("loaded document {id}\n"))
+        }
+        "open" => {
+            let id = parse_id(next("ID")?)?;
+            Ok(format!("{}\n", client.open(id).map_err(fail)?))
+        }
+        "propagate" => {
+            let id = parse_id(next("ID")?)?;
+            let script = read_file(next("FILE")?)?;
+            let reply = client.propagate(id, script.trim()).map_err(fail)?;
+            Ok(format!(
+                "propagation cost: {}\noptimal propagations captured: {}\nscript: {}\n",
+                reply.cost, reply.count, reply.script
+            ))
+        }
+        "count" => {
+            let id = parse_id(next("ID")?)?;
+            let script = read_file(next("FILE")?)?;
+            let n = client.count(id, script.trim()).map_err(fail)?;
+            Ok(format!("optimal propagations captured: {n}\n"))
+        }
+        "verify" => {
+            let id = parse_id(next("ID")?)?;
+            let update = read_file(next("UPDATE-FILE")?)?;
+            let candidate = read_file(next("CANDIDATE-FILE")?)?;
+            client
+                .verify(id, update.trim(), candidate.trim())
+                .map_err(fail)?;
+            Ok("verified: candidate propagates the update\n".to_owned())
+        }
+        "commit" => {
+            let id = parse_id(next("ID")?)?;
+            client.commit(id).map_err(fail)?;
+            Ok(format!("committed document {id}\n"))
+        }
+        "close" => {
+            let id = parse_id(next("ID")?)?;
+            client.close_doc(id).map_err(fail)?;
+            Ok(format!("closed document {id}\n"))
+        }
+        other => Err(format!("unknown client verb {other:?}\n\n{usage}", usage = usage()).into()),
+    }
+}
+
+/// Reads a document file for the wire: XML is converted to the term
+/// syntax (the daemon's document format), terms pass through.
+fn doc_file_as_term(path: &str) -> Result<String, XvuError> {
+    let src = read_file(path)?;
+    if src.trim_start().starts_with('<') {
+        let mut alpha = Alphabet::new();
+        let mut gen = NodeIdGen::new();
+        let doc = read_xml(&mut alpha, &mut gen, &src)?;
+        Ok(to_term_with_ids(&doc, &alpha))
+    } else {
+        Ok(src.trim().to_owned())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,5 +858,94 @@ mod tests {
     fn help_prints_usage() {
         let out = run_args(&["help"]).unwrap();
         assert!(out.contains("usage: xvu"));
+        assert!(out.contains("serve"), "{out}");
+        assert!(out.contains("client"), "{out}");
+    }
+
+    /// A locally free TCP address (bind-then-drop; the small race with
+    /// other processes is acceptable in tests).
+    fn free_addr() -> String {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    }
+
+    #[test]
+    fn serve_and_client_cover_the_wire_lifecycle() {
+        let dtd = write_tmp("schema11.rules", DTD);
+        let ann = write_tmp("view11.ann", ANN);
+        let doc = write_tmp("doc11.term", DOC);
+        let upd = write_tmp("edit11.script", UPDATE);
+        let addr = free_addr();
+        let serve_args: Vec<String> = [
+            "serve",
+            "--dtd",
+            &dtd,
+            "--ann",
+            &ann,
+            "--listen",
+            &addr,
+            "--workers",
+            "2",
+            "--pool",
+            "2",
+            "--queue",
+            "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || run(&serve_args));
+
+        // the daemon needs a moment to bind; retry until it accepts
+        let mut connected = false;
+        for _ in 0..200 {
+            if run_args(&["client", &addr, "stats"]).is_ok() {
+                connected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(connected, "daemon never came up on {addr}");
+
+        let out = run_args(&["client", &addr, "load", "7", "0", &doc]).unwrap();
+        assert!(out.contains("loaded document 7"), "{out}");
+        let view = run_args(&["client", &addr, "open", "7"]).unwrap();
+        assert!(view.contains("a#1"), "{view}");
+        assert!(!view.contains("b#2"), "hidden node leaked: {view}");
+        let out = run_args(&["client", &addr, "propagate", "7", &upd]).unwrap();
+        assert!(out.contains("propagation cost: 14"), "{out}");
+        let out = run_args(&["client", &addr, "count", "7", &upd]).unwrap();
+        assert!(out.contains("optimal propagations captured:"), "{out}");
+        let out = run_args(&["client", &addr, "commit", "7"]).unwrap();
+        assert!(out.contains("committed"), "{out}");
+        let out = run_args(&["client", &addr, "close", "7"]).unwrap();
+        assert!(out.contains("closed"), "{out}");
+        let err = run_args(&["client", &addr, "open", "99"]).unwrap_err();
+        assert!(err.contains("unknown document"), "{err}");
+        let stats = run_args(&["client", &addr, "stats"]).unwrap();
+        assert!(stats.contains("\"propagate\":1"), "{stats}");
+
+        let finale = run_args(&["client", &addr, "shutdown"]).unwrap();
+        assert!(finale.contains("\"requests\""), "{finale}");
+        let served = daemon.join().expect("serve thread").unwrap();
+        assert!(served.contains("drained clean"), "{served}");
+    }
+
+    #[test]
+    fn serve_and_client_flags_are_validated() {
+        assert!(run_args(&["serve"]).unwrap_err().contains("--dtd"));
+        let dtd = write_tmp("schema12.rules", DTD);
+        assert!(run_args(&["serve", "--dtd", &dtd])
+            .unwrap_err()
+            .contains("--ann"));
+        assert!(run_args(&["serve", "--frob"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(run_args(&["client"]).unwrap_err().contains("ADDR"));
+        // nothing listens on a freshly freed port
+        let addr = free_addr();
+        assert!(run_args(&["client", &addr, "stats"])
+            .unwrap_err()
+            .contains("cannot reach"));
     }
 }

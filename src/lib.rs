@@ -27,6 +27,7 @@
 //! | [`propagate`] | inversion/propagation graphs, the algorithm (the paper's contribution) |
 //! | [`repair`] | Zhang–Shasha TED and the §6.2 repair baseline |
 //! | [`workload`] | paper fixtures and deterministic generators |
+//! | [`server`] | the long-lived serving daemon, wire protocol, and fleet driver |
 //! | [`xml`] | element-only XML + `<!ELEMENT>` DTD interchange |
 //! | [`error`] | [`XvuError`], the facade-wide error type |
 //!
@@ -125,6 +126,17 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## The serving daemon
+//!
+//! For fleets of documents behind a network boundary, the [`server`]
+//! crate wraps the engine in a long-lived daemon: a versioned frame
+//! protocol over TCP or stdio, a document store, a bounded LRU session
+//! pool with transparent eviction, admission control with `retry`
+//! pushback, and latency/cache observability via a `stats` verb — run it
+//! with `xvu serve`, speak to it with `xvu client` or
+//! [`server::Client`], and regression-test it against direct library
+//! sessions with [`server::run_fleet`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -137,6 +149,7 @@ pub use xvu_dtd as dtd;
 pub use xvu_edit as edit;
 pub use xvu_propagate as propagate;
 pub use xvu_repair as repair;
+pub use xvu_server as server;
 pub use xvu_tree as tree;
 pub use xvu_view as view;
 pub use xvu_workload as workload;
@@ -162,9 +175,9 @@ pub mod prelude {
         count_optimal_propagations, cross_view_effect, cross_view_touched,
         enumerate_optimal_propagations, find_complement_preserving, invisible_impact, propagate,
         propagate_view_edit, revalidate_output, typing_report, verify_propagation, CacheStats,
-        Config, CostModel, Engine, EngineBuilder, Instance, InversionForest, InvisibleImpact,
-        PropagateError, Propagation, PropagationForest, Selector, Session, SessionLease,
-        SessionPool, TypingReport,
+        Config, CostModel, Engine, EngineBuilder, EvictOutcome, Instance, InversionForest,
+        InvisibleImpact, PropagateError, Propagation, PropagationForest, Selector, Session,
+        SessionLease, SessionPool, TypingReport,
     };
     pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
     pub use xvu_tree::{
