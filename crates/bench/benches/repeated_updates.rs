@@ -151,7 +151,13 @@ fn bench_enumerated(c: &mut Criterion) {
     // benches: one representative family per regime, K churn edits
     // committed through a long-lived session — the same per-family
     // serving pattern the daemon amortizes, measured per regime so cost
-    // shifts in any one grammar shape are visible in isolation.
+    // shifts in any one grammar shape are visible in isolation. Each
+    // regime runs twice: `<regime>` on an engine whose fleet-wide shared
+    // memo tier is off (session cache only — the pre-interning baseline)
+    // and `<regime>_shared` through fresh sessions of an engine whose
+    // shared tier was warmed by one untimed replay of the same
+    // deterministic churn stream, so the pair prices exactly what
+    // InternId-keyed cross-session sharing buys per grammar shape.
     use xvu_workload::enumo::{enumerate_instances, EnumBudget};
     use xvu_workload::{ChurnConfig, ChurnStream};
 
@@ -169,26 +175,40 @@ fn bench_enumerated(c: &mut Criterion) {
         let Some(inst) = instances.iter().find(|i| i.regime() == regime) else {
             continue;
         };
-        let engine = xvu_propagate::Engine::builder()
-            .alphabet(inst.alpha.clone())
-            .dtd(inst.dtd.clone())
-            .annotation(inst.ann.clone())
+        let builder = || {
+            xvu_propagate::Engine::builder()
+                .alphabet(inst.alpha.clone())
+                .dtd(inst.dtd.clone())
+                .annotation(inst.ann.clone())
+        };
+        let private = builder()
+            .shared_cache(false)
             .build()
             .expect("enumerated artefacts compile");
+        let shared = builder().build().expect("enumerated artefacts compile");
+        let replay = |engine: &xvu_propagate::Engine| {
+            let mut session = engine.open(&inst.doc).expect("enumerated doc is valid");
+            let mut stream = ChurnStream::for_enumerated(inst, ChurnConfig::default(), 0xE7E7);
+            let mut total = 0u64;
+            for _ in 0..K {
+                let mut gen = session.id_gen();
+                let u = stream.next_update(session.document(), &mut gen);
+                total += session.apply(&u).expect("Theorem 5").cost;
+            }
+            total
+        };
+        // Warm the shared tier once, untimed; the stream is seed-fixed so
+        // every measured fresh session replays the identical evolution.
+        replay(&shared);
         group.throughput(Throughput::Elements(K as u64));
         group.bench_with_input(BenchmarkId::new(regime, K), &K, |b, _| {
-            b.iter(|| {
-                let mut session = engine.open(&inst.doc).expect("enumerated doc is valid");
-                let mut stream = ChurnStream::for_enumerated(inst, ChurnConfig::default(), 0xE7E7);
-                let mut total = 0u64;
-                for _ in 0..K {
-                    let mut gen = session.id_gen();
-                    let u = stream.next_update(session.document(), &mut gen);
-                    total += session.apply(&u).expect("Theorem 5").cost;
-                }
-                black_box(total)
-            })
+            b.iter(|| black_box(replay(&private)))
         });
+        group.bench_with_input(
+            BenchmarkId::new(format!("{regime}_shared"), K),
+            &K,
+            |b, _| b.iter(|| black_box(replay(&shared))),
+        );
     }
     group.finish();
 }

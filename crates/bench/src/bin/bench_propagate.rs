@@ -80,7 +80,10 @@ fn main() {
     // K × (propagate + commit)). Costs must agree — the cache is a pure
     // memo.
     let (churn, churn_updates) = hospital_churn_batch(4, 30, K, 0xc0ffee);
-    let churn_engine = churn.engine();
+    // Private engine: the row isolates the *session* cache's effect, so
+    // the fleet-wide shared tier stays off here (it gets its own row
+    // below).
+    let churn_engine = churn.engine_private();
     let check_cached = run_churn_session(&churn_engine, &churn.doc, &churn_updates, true);
     let check_uncached = run_churn_session(&churn_engine, &churn.doc, &churn_updates, false);
     assert_eq!(
@@ -107,6 +110,37 @@ fn main() {
     .as_nanos();
     let improvement_pct = 100.0 * (1.0 - churn_cached_ns as f64 / churn_uncached_ns.max(1) as f64);
 
+    // Cross-document sharing: warm a sharing engine's fleet tier with one
+    // untimed churn replay, then measure the identical replay through
+    // *fresh* sessions (run_churn_session opens a new session per call, so
+    // the session-local cache starts empty every run — the only carry-over
+    // is the InternId-keyed shared tier). Baseline = the same fresh-session
+    // replay on the private engine above (churn_cached_ns).
+    let sharing_engine = churn.engine();
+    let check_shared = run_churn_session(&sharing_engine, &churn.doc, &churn_updates, true);
+    assert_eq!(
+        check_shared, check_uncached,
+        "shared tier changed propagation results"
+    );
+    let cross_shared_ns = median_time(RUNS, || {
+        black_box(run_churn_session(
+            &sharing_engine,
+            &churn.doc,
+            &churn_updates,
+            true,
+        ));
+    })
+    .as_nanos();
+    let shared_stats = sharing_engine.shared_cache_stats();
+    assert!(
+        shared_stats.hits > 0,
+        "fresh sessions never hit the shared tier: {shared_stats:?}"
+    );
+    let shared_hit_rate =
+        shared_stats.hits as f64 / (shared_stats.hits + shared_stats.misses).max(1) as f64;
+    let cross_improvement_pct =
+        100.0 * (1.0 - cross_shared_ns as f64 / churn_cached_ns.max(1) as f64);
+
     // Enumerated coverage arm: the whole default-budget grammar space,
     // one-shot, grouped by regime; amplification = propagation cost /
     // view-update cost, the per-regime blowup figure.
@@ -118,7 +152,7 @@ fn main() {
     let blowup_regime = blowup.regime;
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-propagate/3\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-propagate/4\",\n");
     json.push_str("  \"timed_region\": \"engine compile + session open + K propagations\",\n");
     json.push_str(&format!("  \"runs_per_median\": {RUNS},\n"));
     json.push_str("  \"workloads\": {\n");
@@ -137,7 +171,7 @@ fn main() {
          \"timed_region\": \"session open + K x (propagate + commit), engine precompiled\", \
          \"cached_median_ns\": {}, \"uncached_median_ns\": {}, \
          \"cached_us_per_update\": {:.3}, \"uncached_us_per_update\": {:.3}, \
-         \"cache_improvement_pct\": {:.1} }}\n",
+         \"cache_improvement_pct\": {:.1} }},\n",
         K,
         churn.doc.size(),
         churn_cached_ns,
@@ -145,6 +179,20 @@ fn main() {
         churn_cached_ns as f64 / 1e3 / K as f64,
         churn_uncached_ns as f64 / 1e3 / K as f64,
         improvement_pct,
+    ));
+    json.push_str(&format!(
+        "    \"churn_cross_document\": {{ \"updates\": {}, \"doc_nodes\": {}, \
+         \"timed_region\": \"fresh session per run over a warm shared memo tier; baseline = churn cached_median_ns on a private engine\", \
+         \"shared_median_ns\": {}, \"shared_us_per_update\": {:.3}, \
+         \"shared_improvement_pct\": {:.1}, \"shared_hit_rate\": {:.4}, \
+         \"shared_entries\": {} }}\n",
+        K,
+        churn.doc.size(),
+        cross_shared_ns,
+        cross_shared_ns as f64 / 1e3 / K as f64,
+        cross_improvement_pct,
+        shared_hit_rate,
+        shared_stats.entries,
     ));
     json.push_str("  },\n");
     json.push_str(&format!(

@@ -5,8 +5,11 @@
 //! replays it through the daemon — real TCP, worker pool, admission
 //! queue — at several session-pool sizes. Each row reports sustained
 //! throughput, write/read latency quantiles from the daemon's own
-//! histograms, and the propagation-cache hit rate, so the serving-stack
-//! perf trajectory is tracked by a checked-in artifact.
+//! histograms, the session-local propagation-cache hit rate, and the
+//! fleet-wide shared memo tier's hit rate (eviction retires a session's
+//! private memos but not what it published to the shared tier, so the
+//! starved pools are where the shared rate earns its keep), so the
+//! serving-stack perf trajectory is tracked by a checked-in artifact.
 //!
 //! Every replay is also a correctness gate: the daemon's replies are
 //! diffed against the fingerprints the generator recorded from direct
@@ -43,7 +46,9 @@ fn row_json(pool: usize, plan: &FleetPlan, r: &FleetReport) -> String {
          \"updates_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
          \"write_p50_ms\": {:.3}, \"write_p99_ms\": {:.3}, \
          \"read_p50_ms\": {:.3}, \"read_p99_ms\": {:.3}, \
-         \"cache_hit_rate\": {:.4}, \"evictions\": {}, \"retries\": {}, \
+         \"cache_hit_rate\": {:.4}, \"shared_hit_rate\": {:.4}, \
+         \"shared_hits\": {}, \"shared_entries\": {}, \
+         \"evictions\": {}, \"retries\": {}, \
          \"rejected_writes\": {}, \"queue_max\": {} }}",
         r.requests,
         r.wall.as_secs_f64() * 1e3,
@@ -54,6 +59,9 @@ fn row_json(pool: usize, plan: &FleetPlan, r: &FleetReport) -> String {
         r.stats.read_latency.quantile_ms(0.50),
         r.stats.read_latency.quantile_ms(0.99),
         r.stats.cache_hit_rate(),
+        r.stats.shared_hit_rate(),
+        r.stats.shared_hits,
+        r.stats.shared_entries,
         r.stats.evictions,
         r.retries,
         r.stats.rejected_writes,
@@ -99,10 +107,12 @@ fn main() {
         assert_eq!(report.protocol_errors, 0, "pool={pool}: protocol errors");
         assert!(report.drained_clean, "pool={pool}: dirty drain");
         eprintln!(
-            "  pool {pool:>3}: {:.1} updates/s, write p99 {:.2} ms, hit rate {:.3}, {} evictions",
+            "  pool {pool:>3}: {:.1} updates/s, write p99 {:.2} ms, hit rate {:.3}, \
+             shared hit rate {:.3}, {} evictions",
             plan.updates as f64 / report.wall.as_secs_f64().max(1e-9),
             report.stats.write_latency.quantile_ms(0.99),
             report.stats.cache_hit_rate(),
+            report.stats.shared_hit_rate(),
             report.stats.evictions
         );
         rows.push((pool, report));
@@ -115,7 +125,7 @@ fn main() {
 
     let out_path = arg.unwrap_or_else(|| "BENCH_serve.json".to_owned());
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-serve/1\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-serve/2\",\n");
     json.push_str(
         "  \"timed_region\": \"TCP replay of the full fleet plan: corpus load + every client op + drain\",\n",
     );

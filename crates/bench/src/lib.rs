@@ -79,6 +79,19 @@ impl OwnedInstance {
             .build()
             .expect("complete engine")
     }
+
+    /// Like [`OwnedInstance::engine`] but with the fleet-wide shared
+    /// memo tier switched off — the session-cache-only baseline the
+    /// cross-document rows compare against.
+    pub fn engine_private(&self) -> Engine {
+        Engine::builder()
+            .alphabet(self.alpha.clone())
+            .dtd(self.dtd.clone())
+            .annotation(self.ann.clone())
+            .shared_cache(false)
+            .build()
+            .expect("complete engine")
+    }
 }
 
 /// A hospital document plus `k` distinct single-admission updates, all

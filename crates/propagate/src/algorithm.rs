@@ -170,7 +170,7 @@ fn assemble(
             } else {
                 None
             };
-            let memo = match (cache.as_deref(), src_slot) {
+            let memo = match (cache.as_deref_mut(), src_slot) {
                 (Some(c), Some(s)) => c.opt(s),
                 _ => None,
             };
@@ -219,37 +219,43 @@ pub(crate) fn build_script_from_path(
     fp: Option<&ScriptFootprint>,
 ) -> Result<Script, PropagateError> {
     let x = inst.source.label(n);
+    // Positional edges resolve against the node's child words — see
+    // `PropEdge`: for common children the source id serves both trees.
+    let t_kids = inst.source.children(n);
+    let s_kids = inst.update.children(n);
     let mut script: Script = Tree::leaf_with_id(n, ELabel::nop(x));
     let root = script.root();
     for &e in path {
-        let sub = match &graph.edge(e).payload {
+        let sub = match graph.edge(e).payload {
             PropEdge::InsInvisible(y) => {
                 let frag = cost.insertlets.instantiate(
                     inst.dtd,
                     cost.sizes,
-                    *y,
+                    y,
                     gen,
                     cfg.witness_budget,
                 )?;
                 ins_script(&frag)
             }
-            PropEdge::DelInvisible { child } | PropEdge::DelVisible { child } => {
-                del_script(&inst.source.subtree(*child))
+            PropEdge::DelInvisible { tpos } | PropEdge::DelVisible { tpos } => {
+                del_script(&inst.source.subtree(t_kids[tpos as usize]))
             }
-            PropEdge::NopInvisible { child, .. } => nop_script(&inst.source.subtree(*child)),
-            PropEdge::InsVisible { child } => {
+            PropEdge::NopInvisible { tpos, .. } => {
+                nop_script(&inst.source.subtree(t_kids[tpos as usize]))
+            }
+            PropEdge::InsVisible { spos } => {
                 let inv = forest
-                    .inversion(*child)
+                    .inversion(s_kids[spos as usize])
                     .expect("built forest has an inversion per Ins child")
                     .materialize_min(inst.dtd, cost, cfg.selector, gen, cfg.witness_budget)?;
                 ins_script(&inv)
             }
-            PropEdge::NopVisible { child, .. } => assemble(
+            PropEdge::NopVisible { tpos, .. } => assemble(
                 inst,
                 forest,
                 cost,
                 cfg,
-                *child,
+                t_kids[tpos as usize],
                 gen,
                 opt_cache,
                 cache.as_deref_mut(),

@@ -33,11 +33,30 @@
 //! enumerations are byte-identical with the cache on or off — property
 //! `session_cache_matches_one_shot` in `tests/incremental_cache.rs` pins
 //! this.
+//!
+//! # The shared tier
+//!
+//! Since the positional-edge refactor, every artefact this cache holds
+//! for a *clean* node (plus typing runs for any node) is a pure function
+//! of the node's source-subtree structure and the engine — so on a local
+//! miss the cache consults the engine-owned [`SharedMemoCache`]
+//! (see [`crate::shared`]), keyed by the subtree's
+//! [`InternId`]. Hits are *promoted* into the local slot-keyed table;
+//! misses are built once, stored locally, and buffered for one batched
+//! publication at operation end ([`PropCache::flush_shared`]). The local
+//! `hits`/`misses` counters are unaffected by the shared tier (a shared
+//! hit still counts as a local miss); `shared_hits`/`shared_misses`
+//! observe the second tier. The intern-id map mirrors the document and is
+//! maintained through commit exactly like the entries themselves: drained
+//! by identifier, restored for the clean region, and recomputed
+//! bottom-up for the dirty region and freshly inserted subtrees.
 
 use crate::graph::PropGraph;
+use crate::shared::{SharedEntry, SharedMemoCache};
+use std::collections::HashMap;
 use std::sync::Arc;
 use xvu_automata::StateId;
-use xvu_tree::{DocTree, NodeId, Slot, SlotMap, SlotSet};
+use xvu_tree::{DocTree, InternId, Interner, NodeId, Slot, SlotMap, SlotSet};
 
 /// A memoised typing run: the states of the deterministic content-model
 /// run over a node's source child word, or `None` when the model is
@@ -74,6 +93,24 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Entries currently held.
     pub entries: usize,
+    /// Lookups this session answered from the engine's shared memo cache
+    /// (these also count as local `misses`; see the module docs).
+    pub shared_hits: u64,
+    /// Shared-tier consultations that found nothing for the structure.
+    pub shared_misses: u64,
+    /// Entries this session published to the shared tier.
+    pub published: u64,
+}
+
+/// The engine-owned pieces a session cache needs to take part in
+/// fleet-wide sharing: the interner that names structures and the shared
+/// memo table keyed by those names.
+#[derive(Clone, Debug)]
+pub(crate) struct SharedHandle {
+    /// Assigns every subtree its structural [`InternId`].
+    pub(crate) interner: Arc<Interner>,
+    /// The engine-level shared memo table.
+    pub(crate) cache: Arc<SharedMemoCache>,
 }
 
 /// The session-persistent memo table. See the module docs for the keying
@@ -85,6 +122,15 @@ pub struct PropCache {
     hits: u64,
     misses: u64,
     invalidated: u64,
+    /// `Some` when the engine runs a shared tier; `None` → private mode.
+    shared: Option<SharedHandle>,
+    /// Structural id of every live node's subtree (mirrors the document).
+    intern_ids: SlotMap<InternId>,
+    /// Freshly built memos awaiting one batched publication.
+    pending: HashMap<InternId, SharedEntry>,
+    shared_hits: u64,
+    shared_misses: u64,
+    published: u64,
 }
 
 impl PropCache {
@@ -98,6 +144,23 @@ impl PropCache {
             hits: 0,
             misses: 0,
             invalidated: 0,
+            shared: None,
+            intern_ids: SlotMap::new(),
+            pending: HashMap::new(),
+            shared_hits: 0,
+            shared_misses: 0,
+            published: 0,
+        }
+    }
+
+    /// An empty cache wired to the engine's shared tier: interns the whole
+    /// document up front so every node has its structural key.
+    pub(crate) fn with_shared(enabled: bool, handle: SharedHandle, doc: &DocTree) -> PropCache {
+        let intern_ids = handle.interner.intern_doc(doc);
+        PropCache {
+            shared: Some(handle),
+            intern_ids,
+            ..PropCache::new(enabled)
         }
     }
 
@@ -109,10 +172,13 @@ impl PropCache {
     /// Enables or disables the cache, dropping all entries either way (a
     /// re-enabled cache must not serve entries from before the blackout).
     /// Dropped entries count as invalidated, like [`PropCache::clear`].
+    /// Unpublished pending memos are dropped too; the intern-id map stays
+    /// (it mirrors the document, not the memo state).
     pub(crate) fn set_enabled(&mut self, on: bool) {
         self.enabled = on;
         self.invalidated += self.entries.len() as u64;
         self.entries = SlotMap::new();
+        self.pending.clear();
     }
 
     /// Current counters.
@@ -122,6 +188,9 @@ impl PropCache {
             misses: self.misses,
             invalidated: self.invalidated,
             entries: self.entries.len(),
+            shared_hits: self.shared_hits,
+            shared_misses: self.shared_misses,
+            published: self.published,
         }
     }
 
@@ -129,6 +198,57 @@ impl PropCache {
     pub(crate) fn clear(&mut self) {
         self.invalidated += self.entries.len() as u64;
         self.entries = SlotMap::new();
+        self.pending.clear();
+    }
+
+    /// Consults the engine's shared tier for one artefact of the node at
+    /// `slot`, counting the outcome here and in the engine's fleet-wide
+    /// tallies. `None` without counting when the session runs private.
+    fn shared_lookup<T>(
+        &mut self,
+        slot: Slot,
+        pick: impl FnOnce(&SharedEntry) -> Option<T>,
+    ) -> Option<T> {
+        let handle = self.shared.as_ref()?;
+        let id = *self.intern_ids.get(slot)?;
+        let found = handle.cache.get(id).as_ref().and_then(pick);
+        handle.cache.record_lookup(found.is_some());
+        match found {
+            Some(v) => {
+                self.shared_hits += 1;
+                Some(v)
+            }
+            None => {
+                self.shared_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Buffers one artefact of the node at `slot` for publication to the
+    /// shared tier (no-op in private mode). Callers uphold the keying
+    /// contract: graphs/opt/complement only for clean nodes, runs always.
+    fn pend(&mut self, slot: Slot, fill: impl FnOnce(&mut SharedEntry)) {
+        if self.shared.is_none() {
+            return;
+        }
+        if let Some(&id) = self.intern_ids.get(slot) {
+            fill(self.pending.entry(id).or_default());
+        }
+    }
+
+    /// Publishes the pending batch to the engine's shared tier. Called at
+    /// operation end and at commit; a warm session has nothing pending, so
+    /// the steady state performs zero shared-tier writes.
+    pub(crate) fn flush_shared(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        if let Some(handle) = &self.shared {
+            self.published += batch.len() as u64;
+            handle.cache.publish(batch);
+        }
     }
 
     fn entry_mut(&mut self, slot: Slot) -> &mut CacheEntry {
@@ -139,64 +259,85 @@ impl PropCache {
     }
 
     /// The cached graph (and its cost) for the node at `slot`, counting
-    /// the lookup.
+    /// the lookup. On a local miss, falls through to the shared tier and
+    /// promotes a hit into the local table.
     pub(crate) fn graph(&mut self, slot: Slot) -> Option<(Arc<PropGraph>, u64)> {
         if !self.enabled {
             return None;
         }
-        match self.entries.get(slot).and_then(|e| e.graph.clone()) {
-            Some(hit) => {
-                self.hits += 1;
-                Some(hit)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(hit) = self.entries.get(slot).and_then(|e| e.graph.clone()) {
+            self.hits += 1;
+            return Some(hit);
         }
+        self.misses += 1;
+        if let Some(hit) = self.shared_lookup(slot, |e| e.graph.clone()) {
+            self.entry_mut(slot).graph = Some(hit.clone());
+            return Some(hit);
+        }
+        None
     }
 
     /// Stores the freshly built graph for the node at `slot`.
     pub(crate) fn store_graph(&mut self, slot: Slot, graph: Arc<PropGraph>, cost: u64) {
         if self.enabled {
-            self.entry_mut(slot).graph = Some((graph, cost));
+            self.entry_mut(slot).graph = Some((Arc::clone(&graph), cost));
+            self.pend(slot, |p| p.graph = Some((graph, cost)));
         }
     }
 
-    /// The memoised optimal subgraph for the node at `slot`.
-    pub(crate) fn opt(&self, slot: Slot) -> Option<Arc<PropGraph>> {
+    /// The memoised optimal subgraph for the node at `slot` (local first,
+    /// then the shared tier, promoting hits).
+    pub(crate) fn opt(&mut self, slot: Slot) -> Option<Arc<PropGraph>> {
         if !self.enabled {
             return None;
         }
-        self.entries.get(slot).and_then(|e| e.opt.clone())
+        if let Some(hit) = self.entries.get(slot).and_then(|e| e.opt.clone()) {
+            return Some(hit);
+        }
+        if let Some(hit) = self.shared_lookup(slot, |e| e.opt.clone()) {
+            self.entry_mut(slot).opt = Some(Arc::clone(&hit));
+            return Some(hit);
+        }
+        None
     }
 
     /// Memoises the optimal subgraph for the node at `slot`.
     pub(crate) fn store_opt(&mut self, slot: Slot, opt: Arc<PropGraph>) {
         if self.enabled {
-            self.entry_mut(slot).opt = Some(opt);
+            self.entry_mut(slot).opt = Some(Arc::clone(&opt));
+            self.pend(slot, |p| p.opt = Some(opt));
         }
     }
 
     /// The memoised complement-preserving restriction for the node at
-    /// `slot`.
-    pub(crate) fn complement(&self, slot: Slot) -> Option<Arc<PropGraph>> {
+    /// `slot` (local first, then the shared tier, promoting hits).
+    pub(crate) fn complement(&mut self, slot: Slot) -> Option<Arc<PropGraph>> {
         if !self.enabled {
             return None;
         }
-        self.entries.get(slot).and_then(|e| e.complement.clone())
+        if let Some(hit) = self.entries.get(slot).and_then(|e| e.complement.clone()) {
+            return Some(hit);
+        }
+        if let Some(hit) = self.shared_lookup(slot, |e| e.complement.clone()) {
+            self.entry_mut(slot).complement = Some(Arc::clone(&hit));
+            return Some(hit);
+        }
+        None
     }
 
     /// Memoises the complement-preserving restriction for the node at
     /// `slot`.
     pub(crate) fn store_complement(&mut self, slot: Slot, g: Arc<PropGraph>) {
         if self.enabled {
-            self.entry_mut(slot).complement = Some(g);
+            self.entry_mut(slot).complement = Some(Arc::clone(&g));
+            self.pend(slot, |p| p.complement = Some(g));
         }
     }
 
     /// The memoised typing run for the node at `slot`, computing and
     /// storing it on first use. With the cache disabled, just computes.
+    /// Runs depend only on the source child word, so the shared tier is
+    /// consulted (and fed) for dirty nodes too.
     pub(crate) fn run_or_compute(
         &mut self,
         slot: Slot,
@@ -208,8 +349,13 @@ impl PropCache {
         if let Some(run) = self.entries.get(slot).and_then(|e| e.run.clone()) {
             return run;
         }
+        if let Some(run) = self.shared_lookup(slot, |e| e.run.clone()) {
+            self.entry_mut(slot).run = Some(run.clone());
+            return run;
+        }
         let run: TypingRun = compute().map(Arc::from);
         self.entry_mut(slot).run = Some(run.clone());
+        self.pend(slot, |p| p.run = Some(run.clone()));
         run
     }
 
@@ -243,6 +389,65 @@ impl PropCache {
             }
         }
     }
+
+    /// Commit support for the intern-id map, step 1: removes every
+    /// structural id and returns it keyed by node identifier (resolved
+    /// against the pre-commit document). Empty in private mode.
+    pub(crate) fn drain_intern_ids(&mut self, doc: &DocTree) -> Vec<(NodeId, InternId)> {
+        let ids = std::mem::replace(&mut self.intern_ids, SlotMap::new());
+        ids.iter()
+            .map(|(slot, &id)| (doc.id_at(slot), id))
+            .collect()
+    }
+
+    /// Commit support for the intern-id map, step 2: re-keys the surviving
+    /// clean-region ids to post-commit slots, then re-interns the dirty
+    /// region and every freshly inserted subtree bottom-up from the root
+    /// (a node outside `dirty` with a surviving id has an unchanged
+    /// subtree, so the walk stops there).
+    pub(crate) fn restore_intern_ids(
+        &mut self,
+        doc: &DocTree,
+        kept: Vec<(NodeId, InternId)>,
+        dirty: &SlotSet,
+    ) {
+        let Some(handle) = &self.shared else {
+            return;
+        };
+        for (id, intern) in kept {
+            match doc.slot(id) {
+                Some(slot) if !dirty.contains(slot) => {
+                    self.intern_ids.insert(slot, intern);
+                }
+                _ => {}
+            }
+        }
+        let interner = Arc::clone(&handle.interner);
+        refresh_intern(&interner, doc, doc.root(), &mut self.intern_ids);
+    }
+}
+
+/// Recomputes the structural id of `n`'s subtree, reusing surviving ids:
+/// a node that still has an entry kept its whole subtree, so recursion
+/// stops there.
+fn refresh_intern(
+    interner: &Interner,
+    doc: &DocTree,
+    n: NodeId,
+    ids: &mut SlotMap<InternId>,
+) -> InternId {
+    let slot = doc.slot(n).expect("refresh walks live nodes");
+    if let Some(&id) = ids.get(slot) {
+        return id;
+    }
+    let mut kid_ids = Vec::with_capacity(doc.children(n).len());
+    for i in 0..doc.children(n).len() {
+        let child = doc.children(n)[i];
+        kid_ids.push(refresh_intern(interner, doc, child, ids));
+    }
+    let id = interner.intern(doc.label(n), &kid_ids);
+    ids.insert(slot, id);
+    id
 }
 
 #[cfg(test)]

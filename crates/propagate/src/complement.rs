@@ -117,9 +117,12 @@ pub(crate) fn find_complement_preserving_with(
             continue;
         };
         let nslot = update.slot(n).expect("preserved node in update");
+        // Positional-edge resolution against this node's child words.
+        let t_kids = inst.source.children(n);
+        let s_kids = update.children(n);
         let clean = fp.is_some_and(|f| f.is_clean(nslot));
         let src_slot = if clean { inst.source.slot(n) } else { None };
-        let memo = match (cache.as_deref(), src_slot) {
+        let memo = match (cache.as_deref_mut(), src_slot) {
             (Some(c), Some(s)) => c.complement(s),
             _ => None,
         };
@@ -141,19 +144,19 @@ pub(crate) fn find_complement_preserving_with(
                     }
                 }
                 for (_, e) in g.edges() {
-                    let keep = match &e.payload {
+                    let keep = match e.payload {
                         PropEdge::InsInvisible(_) | PropEdge::DelInvisible { .. } => false,
                         PropEdge::NopInvisible { .. } | PropEdge::DelVisible { .. } => true,
-                        PropEdge::InsVisible { child } => {
+                        PropEdge::InsVisible { spos } => {
                             forest
-                                .inversion(*child)
+                                .inversion(s_kids[spos as usize])
                                 .expect("built forest has an inversion per Ins child")
                                 .min_padding()
                                 == 0
                         }
-                        PropEdge::NopVisible { child, .. } => {
-                            update.slot(*child).is_some_and(|cs| feasible.contains(cs))
-                        }
+                        PropEdge::NopVisible { tpos, .. } => update
+                            .slot(t_kids[tpos as usize])
+                            .is_some_and(|cs| feasible.contains(cs)),
                     };
                     if keep {
                         fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
@@ -219,10 +222,11 @@ fn walk_filtered(
     // build_script_from_path recursed into the *optimal* child graphs for
     // (vi)-edges, which may use invisible edits. Rebuild those children
     // from the filtered graphs instead.
+    let t_kids = inst.source.children(n);
     let child_ids: Vec<NodeId> = path
         .iter()
         .filter_map(|&e| match g.edge(e).payload {
-            PropEdge::NopVisible { child, .. } => Some(child),
+            PropEdge::NopVisible { tpos, .. } => Some(t_kids[tpos as usize]),
             _ => None,
         })
         .collect();

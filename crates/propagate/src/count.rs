@@ -38,13 +38,19 @@ fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
     let mut missing_child = false;
     // `count_paths` is `None` only on cyclic graphs, which optimal
     // subgraphs of well-formed forests never are; surface that as `None`
-    // too rather than panicking on corrupted inputs.
-    let n_paths = opt.count_paths(|e| match e {
+    // too rather than panicking on corrupted inputs. Positional edges
+    // resolve through the forest's child-word snapshots (no instance
+    // here); an unresolvable position counts as a missing child, not 0.
+    let n_paths = opt.count_paths(|e| match *e {
         // A built forest has ≥ 1 minimal inverse per inserted fragment
         // (`InversionForest::build` errors otherwise); a missing entry or
         // a zero count means the fragment has no inverse, not "0 ways".
-        PropEdge::InsVisible { child } => {
-            match forest.inversion(*child).map(|i| i.count_min_inverses()) {
+        PropEdge::InsVisible { .. } => {
+            let inverses = forest
+                .resolve_child(n, e)
+                .and_then(|child| forest.inversion(child))
+                .map(|i| i.count_min_inverses());
+            match inverses {
                 Some(c) if c > 0 => c,
                 _ => {
                     missing_child = true;
@@ -52,10 +58,13 @@ fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
                 }
             }
         }
-        PropEdge::NopVisible { child, .. } => count_node(forest, *child).unwrap_or_else(|| {
-            missing_child = true;
-            0
-        }),
+        PropEdge::NopVisible { .. } => forest
+            .resolve_child(n, e)
+            .and_then(|child| count_node(forest, child))
+            .unwrap_or_else(|| {
+                missing_child = true;
+                0
+            }),
         _ => 1,
     })?;
     if missing_child {

@@ -59,7 +59,7 @@
 //! ```
 
 use crate::algorithm::{propagate_with, propagate_with_cache, Config, Propagation};
-use crate::cache::{CacheStats, PropCache};
+use crate::cache::{CacheStats, PropCache, SharedHandle};
 use crate::complement::find_complement_preserving_with;
 use crate::cost::CostModel;
 use crate::count::count_optimal_propagations;
@@ -68,18 +68,24 @@ use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::incremental::revalidate_output;
 use crate::instance::{Instance, Prepared};
+use crate::shared::{SharedCacheBackend, SharedCacheStats, SharedMemoCache};
 use crate::verify::verify_propagation;
 use std::borrow::Cow;
 use std::collections::HashSet;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use xvu_dtd::{min_sizes, Dtd, InsertletPackage, MinSizes};
 use xvu_edit::{apply_in_place, script_footprint, EditError, Script};
-use xvu_tree::{Alphabet, DocTree, NodeId, NodeIdGen, SlotSet};
+use xvu_tree::{Alphabet, DocTree, Interner, NodeId, NodeIdGen, SlotSet};
 use xvu_view::{derive_view_dtd, Annotation};
 
 /// A compiled `(Σ, D, A)` triple with every update-independent artefact
 /// precomputed. Build one with [`Engine::builder`]; open documents with
 /// [`Engine::open`].
+///
+/// The engine also owns the fleet-wide state of the memo hierarchy: the
+/// [`Interner`] naming subtree structures and the [`SharedMemoCache`]
+/// serving structure-keyed memos to every session it opens (clones of an
+/// engine share both). See [`crate::shared`].
 #[derive(Clone, Debug)]
 pub struct Engine {
     alpha: Alphabet,
@@ -90,6 +96,9 @@ pub struct Engine {
     insertlets: InsertletPackage,
     config: Config,
     prop_cache: bool,
+    shared_cache: bool,
+    interner: Arc<Interner>,
+    shared: Arc<SharedMemoCache>,
 }
 
 /// Builder for [`Engine`]; see [`Engine::builder`].
@@ -102,6 +111,8 @@ pub struct EngineBuilder {
     config: Config,
     minimal_insertlets: bool,
     prop_cache: Option<bool>,
+    shared_cache: Option<bool>,
+    shared_backend: SharedCacheBackend,
 }
 
 impl EngineBuilder {
@@ -156,6 +167,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether sessions take part in the engine-level [`SharedMemoCache`]
+    /// — structure-keyed memos shared across every session and document
+    /// this engine opens (default: `true`; see [`crate::shared`]).
+    /// Results are byte-identical with sharing on or off; only the work
+    /// performed differs. Has no effect while the session cache itself is
+    /// disabled.
+    pub fn shared_cache(mut self, on: bool) -> Self {
+        self.shared_cache = Some(on);
+        self
+    }
+
+    /// The concurrency backend of the shared memo cache (default:
+    /// [`SharedCacheBackend::Sharded`]; see [`crate::shared`] for the
+    /// head-to-head).
+    pub fn shared_cache_backend(mut self, backend: SharedCacheBackend) -> Self {
+        self.shared_backend = backend;
+        self
+    }
+
     /// Shorthand: the path-preference function `Φ`.
     pub fn selector(mut self, selector: crate::Selector) -> Self {
         self.config.selector = selector;
@@ -204,6 +234,9 @@ impl EngineBuilder {
             insertlets,
             config: self.config,
             prop_cache: self.prop_cache.unwrap_or(true),
+            shared_cache: self.shared_cache.unwrap_or(true),
+            interner: Arc::new(Interner::new()),
+            shared: Arc::new(SharedMemoCache::new(self.shared_backend)),
         })
     }
 }
@@ -272,6 +305,24 @@ impl Engine {
         }
     }
 
+    /// Whether sessions of this engine take part in the shared memo
+    /// cache ([`EngineBuilder::shared_cache`]).
+    pub fn shared_cache_enabled(&self) -> bool {
+        self.shared_cache
+    }
+
+    /// Fleet-wide counters of the engine's [`SharedMemoCache`],
+    /// aggregated over every session this engine (and its clones) opened.
+    /// All zeros when sharing is disabled or nothing has been served yet.
+    pub fn shared_cache_stats(&self) -> SharedCacheStats {
+        self.shared.stats()
+    }
+
+    /// The concurrency backend the shared memo cache runs on.
+    pub fn shared_cache_backend(&self) -> SharedCacheBackend {
+        self.shared.backend()
+    }
+
     /// Validates `doc ∈ L(D)` once and opens a session serving repeated
     /// updates against it.
     ///
@@ -285,12 +336,26 @@ impl Engine {
             .map_err(PropagateError::SourceNotValid)?;
         let mut doc = doc.clone();
         doc.set_change_tracking(true);
+        // Sessions of a sharing engine intern the document up front so
+        // every node carries its structural key from the first update on.
+        let cache = if self.shared_cache {
+            PropCache::with_shared(
+                self.prop_cache,
+                SharedHandle {
+                    interner: Arc::clone(&self.interner),
+                    cache: Arc::clone(&self.shared),
+                },
+                &doc,
+            )
+        } else {
+            PropCache::new(self.prop_cache)
+        };
         Ok(Session {
             engine: self,
             prepared: Prepared::from_source(&self.ann, &doc),
             doc,
             commits: 0,
-            cache: Mutex::new(PropCache::new(self.prop_cache)),
+            cache: Mutex::new(cache),
         })
     }
 
@@ -489,13 +554,17 @@ impl<'e> Session<'e> {
         let cm = self.engine.cost_model();
         let mut cache = self.cache_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
-        propagate_with_cache(
+        let result = propagate_with_cache(
             &inst,
             &cm,
             &self.engine.config,
             Some(&mut cache),
             fp.as_ref(),
-        )
+        );
+        // One batched publication of freshly built memos per operation;
+        // warm sessions have nothing pending and write nothing.
+        cache.flush_shared();
+        result
     }
 
     /// Checks that `candidate` is a schema-compliant, side-effect-free
@@ -541,7 +610,9 @@ impl<'e> Session<'e> {
         let cm = self.engine.cost_model();
         let mut cache = self.cache_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
-        PropagationForest::build_with(inst, &cm, Some(&mut cache), fp.as_ref())
+        let forest = PropagationForest::build_with(inst, &cm, Some(&mut cache), fp.as_ref());
+        cache.flush_shared();
+        forest
     }
 
     /// Enumerates up to `cap` cost-minimal propagations of `update` (see
@@ -573,14 +644,16 @@ impl<'e> Session<'e> {
         let mut cache = self.cache_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
         let forest = PropagationForest::build_with(&inst, &cm, Some(&mut cache), fp.as_ref())?;
-        find_complement_preserving_with(
+        let result = find_complement_preserving_with(
             &inst,
             &forest,
             &cm,
             &self.engine.config,
             Some(&mut cache),
             fp.as_ref(),
-        )
+        );
+        cache.flush_shared();
+        result
     }
 
     /// Advances the session to the propagation's output document.
@@ -600,14 +673,21 @@ impl<'e> Session<'e> {
     /// high-water mark are then rebuilt from the new document.
     pub fn commit(&mut self, prop: &Propagation) -> Result<(), PropagateError> {
         revalidate_output(&self.engine.dtd, &prop.script)?;
-        // Drain cache entries keyed by *identifier* before the in-place
-        // apply relocates arena slots.
-        let kept = self.cache_guard().drain_entries(&self.doc);
+        // Drain cache entries (and structural intern ids) keyed by
+        // *identifier* before the in-place apply relocates arena slots.
+        let (kept, kept_interns) = {
+            let mut cache = self.cache_guard();
+            (
+                cache.drain_entries(&self.doc),
+                cache.drain_intern_ids(&self.doc),
+            )
+        };
         if let Err(e) = apply_in_place(&mut self.doc, &prop.script) {
             // `apply_in_place` validates fully before mutating: the
             // document (and therefore every drained entry) is intact.
-            self.cache_guard()
-                .restore_entries(&self.doc, kept, &SlotSet::new());
+            let mut cache = self.cache_guard();
+            cache.restore_entries(&self.doc, kept, &SlotSet::new());
+            cache.restore_intern_ids(&self.doc, kept_interns, &SlotSet::new());
             return Err(match e {
                 EditError::EmptyInput => {
                     PropagateError::NotAPropagation("script input is empty".to_owned())
@@ -631,7 +711,15 @@ impl<'e> Session<'e> {
                 dirty.insert(slot);
             }
         }
-        self.cache_guard().restore_entries(&self.doc, kept, &dirty);
+        {
+            let mut cache = self.cache_guard();
+            cache.restore_entries(&self.doc, kept, &dirty);
+            // Re-key surviving intern ids and re-intern the dirty region
+            // plus freshly inserted subtrees bottom-up; then publish any
+            // memos still pending from the last operation.
+            cache.restore_intern_ids(&self.doc, kept_interns, &dirty);
+            cache.flush_shared();
+        }
         let mut prepared = Prepared::from_source(&self.engine.ann, &self.doc);
         // `from_source` clears every identifier of the new document —
         // including hidden insertlet material the propagation introduced —
@@ -1003,6 +1091,133 @@ mod tests {
         assert!(
             s.hits >= before_hits + 4,
             "carried entries must serve hits: {s:?}"
+        );
+    }
+
+    #[test]
+    fn shared_cache_serves_structurally_equal_sessions() {
+        use xvu_dtd::parse_dtd;
+        use xvu_tree::parse_term_with_ids;
+        use xvu_view::parse_annotation;
+
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> d*\nd -> (a.h?)*").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide d h").unwrap();
+        let mut gen = NodeIdGen::new();
+        let d1 =
+            parse_term_with_ids(&mut alpha, &mut gen, "r#0(d#1(a#2, h#3), d#4(a#5, h#6))").unwrap();
+        // The same *structure* under entirely different identifiers.
+        let d2 = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#10(d#11(a#12, h#13), d#14(a#15, h#16))",
+        )
+        .unwrap();
+        let engine = Engine::builder()
+            .alphabet(alpha)
+            .dtd(dtd)
+            .annotation(ann)
+            .build()
+            .unwrap();
+
+        let s1 = engine.open(&d1).unwrap();
+        let p1 = s1.propagate(&nop_script(s1.view())).unwrap();
+        assert_eq!(p1.cost, 0);
+        let st1 = s1.cache_stats();
+        assert!(st1.published > 0, "cold session publishes: {st1:?}");
+        assert!(engine.shared_cache_stats().published >= st1.published);
+
+        // A different document of the same family: every memo the first
+        // session built is served by structure, none is recomputed or
+        // republished.
+        let s2 = engine.open(&d2).unwrap();
+        let p2 = s2.propagate(&nop_script(s2.view())).unwrap();
+        assert_eq!(p2.cost, 0);
+        let st2 = s2.cache_stats();
+        assert!(st2.shared_hits > 0, "served by structure: {st2:?}");
+        assert_eq!(st2.shared_misses, 0, "fully warm family: {st2:?}");
+        assert_eq!(st2.published, 0, "nothing new to publish: {st2:?}");
+        assert_eq!(st2.hits, 0, "the local tier was stone cold: {st2:?}");
+        let fleet = engine.shared_cache_stats();
+        assert!(fleet.hits >= st2.shared_hits);
+        assert!(fleet.entries > 0);
+
+        // With sharing disabled the second session recomputes everything
+        // — and the propagation is byte-identical either way.
+        let private = Engine::builder()
+            .alphabet(engine.alphabet().clone())
+            .dtd(engine.dtd().clone())
+            .annotation(engine.annotation().clone())
+            .shared_cache(false)
+            .build()
+            .unwrap();
+        let sp = private.open(&d2).unwrap();
+        let pp = sp.propagate(&nop_script(sp.view())).unwrap();
+        assert_eq!(pp.cost, p2.cost);
+        assert_eq!(
+            script_to_term(&pp.script, private.alphabet()),
+            script_to_term(&p2.script, engine.alphabet())
+        );
+        let stp = sp.cache_stats();
+        assert_eq!(
+            (stp.shared_hits, stp.shared_misses, stp.published),
+            (0, 0, 0)
+        );
+        assert_eq!(private.shared_cache_stats(), SharedCacheStats::default());
+    }
+
+    #[test]
+    fn shared_cache_survives_commit_and_reinterns_dirty_region() {
+        use xvu_dtd::parse_dtd;
+        use xvu_tree::parse_term_with_ids;
+        use xvu_view::parse_annotation;
+
+        let mut alpha = Alphabet::new();
+        let dtd = parse_dtd(&mut alpha, "r -> d*\nd -> (a.h?)*").unwrap();
+        let ann = parse_annotation(&mut alpha, "hide d h").unwrap();
+        let mut gen = NodeIdGen::new();
+        let doc = parse_term_with_ids(
+            &mut alpha,
+            &mut gen,
+            "r#0(d#1(a#2, h#3), d#4(a#5, h#6), d#7(a#8, h#9))",
+        )
+        .unwrap();
+        let engine = Engine::builder()
+            .alphabet(alpha.clone())
+            .dtd(dtd)
+            .annotation(ann)
+            .build()
+            .unwrap();
+        let mut session = engine.open(&doc).unwrap();
+        session.propagate(&nop_script(session.view())).unwrap();
+
+        // Commit an update: d#1 gains an a. The dirty region (d#1, r#0)
+        // is re-interned; d#4/d#7 keep their structural ids.
+        let u = parse_script(
+            &mut alpha,
+            "nop:r#0(nop:d#1(nop:a#2, ins:a#20), nop:d#4(nop:a#5), nop:d#7(nop:a#8))",
+        )
+        .unwrap();
+        let prop = session.propagate(&u).unwrap();
+        session.commit(&prop).unwrap();
+
+        // A fresh session over a family sibling reuses the shared tier
+        // for the untouched d(a, h) groups; the commit re-interned the
+        // grown d#1 subtree without corrupting the survivors' keys.
+        let mut gen2 = NodeIdGen::starting_at(100);
+        let doc2 = parse_term_with_ids(
+            &mut alpha,
+            &mut gen2,
+            "r#100(d#101(a#102, h#103, a#110), d#104(a#105, h#106), d#107(a#108, h#109))",
+        )
+        .unwrap();
+        let s2 = engine.open(&doc2).unwrap();
+        let p2 = s2.propagate(&nop_script(s2.view())).unwrap();
+        assert_eq!(p2.cost, 0);
+        let st2 = s2.cache_stats();
+        assert!(
+            st2.shared_hits > 0,
+            "post-commit structures are shared: {st2:?}"
         );
     }
 

@@ -141,35 +141,46 @@ fn expand_path(
     // Per-edge lists of script fragments. All fresh identifiers are drawn
     // from the single shared generator, so fragments across slots (and
     // across recursion levels) never collide within one combination.
+    // Positional edges resolve against this node's child words.
+    let t_kids = inst.source.children(n);
+    let s_kids = inst.update.children(n);
     let mut slots: Vec<Vec<Script>> = Vec::with_capacity(path.len());
     for &e in path {
-        let fragments = match &graph.edge(e).payload {
+        let fragments = match graph.edge(e).payload {
             PropEdge::InsInvisible(y) => {
                 let frag = cost.insertlets.instantiate(
                     inst.dtd,
                     cost.sizes,
-                    *y,
+                    y,
                     gen,
                     cfg.witness_budget,
                 )?;
                 vec![ins_script(&frag)]
             }
-            PropEdge::DelInvisible { child } | PropEdge::DelVisible { child } => {
-                vec![del_script(&inst.source.subtree(*child))]
+            PropEdge::DelInvisible { tpos } | PropEdge::DelVisible { tpos } => {
+                vec![del_script(&inst.source.subtree(t_kids[tpos as usize]))]
             }
-            PropEdge::NopInvisible { child, .. } => {
-                vec![nop_script(&inst.source.subtree(*child))]
+            PropEdge::NopInvisible { tpos, .. } => {
+                vec![nop_script(&inst.source.subtree(t_kids[tpos as usize]))]
             }
-            PropEdge::InsVisible { child } => {
+            PropEdge::InsVisible { spos } => {
                 let inv = forest
-                    .inversion(*child)
+                    .inversion(s_kids[spos as usize])
                     .expect("built forest has an inversion per Ins child")
                     .materialize_min(inst.dtd, cost, cfg.selector, gen, cfg.witness_budget)?;
                 vec![ins_script(&inv)]
             }
-            PropEdge::NopVisible { child, .. } => {
-                enumerate_node(inst, cost, forest, cfg, *child, cap, max_len, optimal, gen)?
-            }
+            PropEdge::NopVisible { tpos, .. } => enumerate_node(
+                inst,
+                cost,
+                forest,
+                cfg,
+                t_kids[tpos as usize],
+                cap,
+                max_len,
+                optimal,
+                gen,
+            )?,
         };
         slots.push(fragments);
     }

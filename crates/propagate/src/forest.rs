@@ -10,7 +10,7 @@
 use crate::cache::{PropCache, TypingRun};
 use crate::cost::CostModel;
 use crate::error::PropagateError;
-use crate::graph::{build_prop_graph, source_child_run, PropGraph};
+use crate::graph::{build_prop_graph, source_child_run, PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::inversion::InversionForest;
 use std::sync::Arc;
@@ -38,6 +38,14 @@ pub struct PropagationForest {
     /// Inversion forest per top-level inserted script child (the (iv)-edge
     /// machinery of §3).
     inversions: SlotMap<InversionForest>,
+    /// Per preserved node: its source child word at build time. Graph
+    /// edges name children positionally ([`crate::PropEdge`]); these
+    /// snapshots resolve `tpos` back to identifiers after the instance is
+    /// gone (the counting walk has no instance in scope).
+    t_kids: SlotMap<Box<[NodeId]>>,
+    /// Per preserved node: its script child word at build time (`spos`
+    /// resolution, same story).
+    s_kids: SlotMap<Box<[NodeId]>>,
     /// The root of the update (always preserved).
     pub root: NodeId,
 }
@@ -73,6 +81,8 @@ impl PropagationForest {
         let mut graphs: SlotMap<Arc<PropGraph>> = SlotMap::with_capacity(update.size());
         let mut costs: SlotMap<u64> = SlotMap::with_capacity(update.size());
         let mut inversions = SlotMap::with_capacity(update.size());
+        let mut t_kids: SlotMap<Box<[NodeId]>> = SlotMap::with_capacity(update.size());
+        let mut s_kids: SlotMap<Box<[NodeId]>> = SlotMap::with_capacity(update.size());
         // Accumulated across nodes: every inserting child has exactly one
         // parent, so entries never collide and one table serves all
         // `build_prop_graph` calls.
@@ -140,6 +150,8 @@ impl PropagationForest {
             };
             costs.insert(nslot, best);
             graphs.insert(nslot, g);
+            t_kids.insert(nslot, inst.source.children(n).into());
+            s_kids.insert(nslot, update.children(n).into());
         }
 
         Ok(PropagationForest {
@@ -148,6 +160,8 @@ impl PropagationForest {
             graphs,
             costs,
             inversions,
+            t_kids,
+            s_kids,
             root: update.root(),
         })
     }
@@ -168,6 +182,40 @@ impl PropagationForest {
     /// The inversion forest of inserting script child `n`.
     pub fn inversion(&self, n: NodeId) -> Option<&InversionForest> {
         self.index.slot(n).and_then(|s| self.inversions.get(s))
+    }
+
+    /// The source child word of preserved node `n` at build time (`tpos`
+    /// resolution for [`crate::PropEdge`]).
+    pub fn source_children(&self, n: NodeId) -> Option<&[NodeId]> {
+        self.index
+            .slot(n)
+            .and_then(|s| self.t_kids.get(s))
+            .map(Box::as_ref)
+    }
+
+    /// The script child word of preserved node `n` at build time (`spos`
+    /// resolution for [`crate::PropEdge`]).
+    pub fn script_children(&self, n: NodeId) -> Option<&[NodeId]> {
+        self.index
+            .slot(n)
+            .and_then(|s| self.s_kids.get(s))
+            .map(Box::as_ref)
+    }
+
+    /// Resolves the child a positional edge of `G_n` consumes back to its
+    /// identifier (`None` for (i)-edges, which consume no child, and for
+    /// positions outside `n`'s recorded child words).
+    pub fn resolve_child(&self, n: NodeId, edge: &PropEdge) -> Option<NodeId> {
+        match *edge {
+            PropEdge::InsInvisible(_) => None,
+            PropEdge::DelInvisible { tpos }
+            | PropEdge::NopInvisible { tpos, .. }
+            | PropEdge::DelVisible { tpos }
+            | PropEdge::NopVisible { tpos, .. } => {
+                self.source_children(n)?.get(tpos as usize).copied()
+            }
+            PropEdge::InsVisible { spos } => self.script_children(n)?.get(spos as usize).copied(),
+        }
     }
 
     /// Iterates over `(n, G_n)` for every preserved node, in update-arena

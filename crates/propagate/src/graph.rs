@@ -43,36 +43,55 @@ pub struct PropVertex {
 }
 
 /// An edge of a propagation graph — one of the paper's six kinds.
+///
+/// Edges identify the child they consume **positionally** — by its index
+/// in the owning node's source child word (`tpos`, the `m_{i+1}` walked
+/// over) or script child word (`spos`, the `m'_{j+1}`) — never by
+/// [`NodeId`]. A graph therefore mentions no document-specific
+/// identifiers at all: two structurally equal subtrees yield *identical*
+/// graphs, which is what lets the engine's shared memo cache serve one
+/// graph to every document of a family (keyed by
+/// [`xvu_tree::InternId`]). Consumers resolve positions against the node
+/// they are walking: `inst.source.children(n)[tpos]` /
+/// `inst.update.children(n)[spos]`, or
+/// [`crate::PropagationForest::resolve_child`] when no instance is at
+/// hand. For the common-child kinds ((v)/(vi)) the source and script
+/// children coincide, so `tpos` resolves the node in both trees.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PropEdge {
     /// (i): insert a fresh invisible `y` fragment.
     InsInvisible(Sym),
     /// (ii): delete the hidden source child.
     DelInvisible {
-        /// The hidden source child `m_i`.
-        child: NodeId,
+        /// Position of the hidden source child `m_{i+1}` in the node's
+        /// source child word.
+        tpos: u32,
     },
     /// (iii): keep the hidden source child untouched.
     NopInvisible {
-        /// The hidden source child `m_i`.
-        child: NodeId,
+        /// Position of the hidden source child `m_{i+1}` in the node's
+        /// source child word.
+        tpos: u32,
         /// Whether the child keeps its automaton-state type.
         preserves_type: bool,
     },
     /// (iv): insert an inverse of the subtree the user inserted.
     InsVisible {
-        /// The inserting script child `m'_j`.
-        child: NodeId,
+        /// Position of the inserting script child `m'_{j+1}` in the
+        /// node's script child word.
+        spos: u32,
     },
     /// (v): delete the visible child the user deleted.
     DelVisible {
-        /// The common node (`m_i = m'_j`).
-        child: NodeId,
+        /// Position of the common node (`m_{i+1} = m'_{j+1}`) in the
+        /// node's source child word.
+        tpos: u32,
     },
     /// (vi): keep the visible child, recursing into `G_{m_i}`.
     NopVisible {
-        /// The common node (`m_i = m'_j`).
-        child: NodeId,
+        /// Position of the common node (`m_{i+1} = m'_{j+1}`) in the
+        /// node's source child word.
+        tpos: u32,
         /// Whether the child keeps its automaton-state type.
         preserves_type: bool,
     },
@@ -187,7 +206,7 @@ pub fn build_prop_graph(
                     v,
                     vid(i + 1, q, j),
                     inst.source.subtree_size(child) as u64,
-                    PropEdge::DelInvisible { child },
+                    PropEdge::DelInvisible { tpos: i },
                 );
                 // (iii) invisible nop — consume a transition on y.
                 for &(s, q2) in model.transitions_from(q) {
@@ -198,7 +217,7 @@ pub fn build_prop_graph(
                             vid(i + 1, q2, j),
                             0,
                             PropEdge::NopInvisible {
-                                child,
+                                tpos: i,
                                 preserves_type,
                             },
                         );
@@ -216,7 +235,7 @@ pub fn build_prop_graph(
                     let w = inverse_sizes[update_slot(child)];
                     for &(s, q2) in model.transitions_from(q) {
                         if s == y {
-                            g.add_edge(v, vid(i, q2, j + 1), w, PropEdge::InsVisible { child });
+                            g.add_edge(v, vid(i, q2, j + 1), w, PropEdge::InsVisible { spos: j });
                         }
                     }
                 }
@@ -239,7 +258,7 @@ pub fn build_prop_graph(
                             v,
                             vid(i + 1, q, j + 1),
                             inst.source.subtree_size(tchild) as u64,
-                            PropEdge::DelVisible { child: tchild },
+                            PropEdge::DelVisible { tpos: i },
                         );
                     }
                     EditOp::Nop => {
@@ -255,7 +274,7 @@ pub fn build_prop_graph(
                                     vid(i + 1, q2, j + 1),
                                     w,
                                     PropEdge::NopVisible {
-                                        child: tchild,
+                                        tpos: i,
                                         preserves_type,
                                     },
                                 );

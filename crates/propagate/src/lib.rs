@@ -95,6 +95,7 @@ pub mod pathgraph;
 mod segments;
 mod selection;
 pub mod serve;
+pub mod shared;
 mod typing;
 mod verify;
 
@@ -116,5 +117,6 @@ pub use inversion::{InvEdge, InvGraph, InvVertex, InversionForest};
 pub use segments::Segmentation;
 pub use selection::{Classify, EdgeClass, Selector};
 pub use serve::{EvictOutcome, SessionLease, SessionPool};
+pub use shared::{SharedCacheBackend, SharedCacheStats, SharedMemoCache};
 pub use typing::{typing_report, TypingReport};
 pub use verify::verify_propagation;

@@ -98,6 +98,14 @@ impl Engine {
         jobs: usize,
     ) -> Vec<Result<Propagation, PropagateError>> {
         let one = |(doc, update): &(DocTree, Script)| {
+            if self.shared_cache_enabled() {
+                // A short-lived session routes the request through the
+                // engine-owned shared memo tier: structurally repeated
+                // subtrees across the batch are solved once. Validation
+                // order (source, then update) and every propagation are
+                // byte-identical to the stateless path below.
+                return self.open(doc)?.propagate(update);
+            }
             let inst = self.instance(doc, update)?;
             self.propagate(&inst)
         };

@@ -1,0 +1,444 @@
+//! The engine-level shared memo cache: fleet-wide reuse of
+//! structure-keyed propagation memos.
+//!
+//! [`crate::PropCache`] (PR 5) memoises per *session*, keyed by document
+//! arena slots — so a daemon serving thousands of documents of the same
+//! family recomputes identical dynamic programs once per document.
+//! [`SharedMemoCache`] is the engine-level tier of that hierarchy: every
+//! memo that is a pure function of a subtree's *structure* and the
+//! engine's `(Σ, D, A)` context — propagation graphs `G_n` with their
+//! cheapest costs, optimal subgraphs `G*_n`, complement restrictions,
+//! typing runs — is re-keyed by the subtree's [`InternId`]
+//! ([`xvu_tree::Interner`]) and shared across all sessions and documents
+//! an [`crate::Engine`] opens.
+//!
+//! # Keying contract
+//!
+//! An entry keyed by `InternId` may be stored or served **only** for
+//! memos that depend on nothing but the interned subtree and the engine:
+//! the session tier enforces this by consulting the shared tier solely
+//! for nodes the update's footprint marks *clean* (graphs, optimal
+//! subgraphs, complement restrictions — a clean subtree's children are
+//! clean, so its (vi)-weights are all zero and no inserted fragment is
+//! in sight) plus typing runs for any node (they depend only on the
+//! source child word). Since [`crate::PropEdge`] names children
+//! positionally rather than by [`xvu_tree::NodeId`], the stored graphs
+//! are *identical* to what any other document of the family would build
+//! for the same structure — a shared hit is byte-for-byte the graph a
+//! local build would produce.
+//!
+//! # Publication and invalidation
+//!
+//! Readers never write: sessions buffer freshly built memos locally and
+//! publish them in one batch at operation end / commit
+//! ([`crate::PropCache`]'s pending buffer). Entries merge
+//! first-writer-wins — all writers compute identical values for a key,
+//! so the choice is cosmetic. The cache is never invalidated: structural
+//! keys cannot go stale (an edited subtree has a *different* intern id),
+//! which is also why session eviction in the serving layer retires only
+//! session-private state while this tier keeps serving the family.
+//!
+//! # Concurrency: two candidate designs
+//!
+//! The read path must not serialize the daemon's workers (the PR 5 cache
+//! sits behind a per-session mutex; this tier is shared by *all*
+//! workers). Two designs, benchmarked head-to-head in
+//! `benches/throughput.rs` (`shared_cache_backends`):
+//!
+//! * [`SharedCacheBackend::Sharded`] — 16 shards of
+//!   `RwLock<HashMap>`; readers take one shard read lock, writers one
+//!   shard write lock per touched shard. Readers contend only on
+//!   same-shard writes.
+//! * [`SharedCacheBackend::Snapshot`] — an epoch-style
+//!   `RwLock<Arc<HashMap>>`: readers clone the `Arc` under a read lock
+//!   held for nanoseconds and then probe a frozen snapshot with no lock
+//!   at all; writers serialize on a mutex, clone-merge the map, and swap
+//!   the `Arc`. Reads never block behind a write; publication is O(map).
+//!
+//! The default is [`SharedCacheBackend::Sharded`]: in the head-to-head
+//! it matches Snapshot on warm read throughput (both scale without a
+//! global lock) while keeping publication O(batch) instead of O(map) —
+//! see `BENCH_propagate.json`.
+
+use crate::cache::TypingRun;
+use crate::graph::PropGraph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use xvu_tree::InternId;
+
+/// One interned structure's worth of shared memos (the engine-tier
+/// mirror of the session cache's per-slot entry).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SharedEntry {
+    /// `G_n` and its cheapest path cost (always 0 for clean nodes).
+    pub(crate) graph: Option<(Arc<PropGraph>, u64)>,
+    /// The optimal subgraph `G*_n`.
+    pub(crate) opt: Option<Arc<PropGraph>>,
+    /// The complement-preserving restriction of `G_n`.
+    pub(crate) complement: Option<Arc<PropGraph>>,
+    /// The typing run over the structure's child word.
+    pub(crate) run: Option<TypingRun>,
+}
+
+impl SharedEntry {
+    /// First-writer-wins merge: every writer computes identical values
+    /// for a given key, so keeping the incumbent is deterministic.
+    fn absorb(&mut self, new: SharedEntry) {
+        if self.graph.is_none() {
+            self.graph = new.graph;
+        }
+        if self.opt.is_none() {
+            self.opt = new.opt;
+        }
+        if self.complement.is_none() {
+            self.complement = new.complement;
+        }
+        if self.run.is_none() {
+            self.run = new.run;
+        }
+    }
+}
+
+/// The concurrency-control design of a [`SharedMemoCache`] — see the
+/// [module docs](self) for the two candidates and the head-to-head.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SharedCacheBackend {
+    /// 16-way sharded `RwLock<HashMap>`: per-shard read/write locks.
+    #[default]
+    Sharded,
+    /// Snapshot/epoch swap: lock-free reads over a frozen `Arc<HashMap>`
+    /// snapshot, serialized clone-merge-swap writers.
+    Snapshot,
+}
+
+/// Fleet-wide counters of a [`SharedMemoCache`], aggregated over every
+/// session of the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups (any artefact kind) answered from the shared tier.
+    pub hits: u64,
+    /// Lookups that found no shared entry for the structure.
+    pub misses: u64,
+    /// Entries published by session flush batches.
+    pub published: u64,
+    /// Distinct interned structures currently held.
+    pub entries: usize,
+}
+
+impl SharedCacheStats {
+    /// Fraction of shared lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+
+#[derive(Debug)]
+enum Table {
+    Sharded(Vec<RwLock<HashMap<InternId, SharedEntry>>>),
+    Snapshot {
+        /// The read path: swap-published frozen map.
+        snap: RwLock<Arc<HashMap<InternId, SharedEntry>>>,
+        /// Serializes writers (clone → merge → swap).
+        writer: Mutex<()>,
+    },
+}
+
+/// The engine-owned shared memo cache. See the [module docs](self) for
+/// the keying, publication, and concurrency contracts.
+#[derive(Debug)]
+pub struct SharedMemoCache {
+    table: Table,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    published: AtomicU64,
+}
+
+impl SharedMemoCache {
+    /// An empty cache over the chosen backend.
+    pub fn new(backend: SharedCacheBackend) -> SharedMemoCache {
+        let table = match backend {
+            SharedCacheBackend::Sharded => Table::Sharded(
+                (0..SHARD_COUNT)
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect(),
+            ),
+            SharedCacheBackend::Snapshot => Table::Snapshot {
+                snap: RwLock::new(Arc::new(HashMap::new())),
+                writer: Mutex::new(()),
+            },
+        };
+        SharedMemoCache {
+            table,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Which backend this cache runs on.
+    pub fn backend(&self) -> SharedCacheBackend {
+        match self.table {
+            Table::Sharded(_) => SharedCacheBackend::Sharded,
+            Table::Snapshot { .. } => SharedCacheBackend::Snapshot,
+        }
+    }
+
+    fn shard(id: InternId) -> usize {
+        // Intern ids are dense allocation counters: low bits spread well.
+        (id.get() as usize) % SHARD_COUNT
+    }
+
+    /// The entry for `id`, if any (clones the entry — all payloads are
+    /// `Arc`s, so this is pointer-sized work). Does not count the lookup:
+    /// the session tier calls [`SharedMemoCache::record_lookup`] with the
+    /// *artefact-level* outcome, so an entry that exists but lacks the
+    /// requested artefact still tallies as a miss.
+    pub(crate) fn get(&self, id: InternId) -> Option<SharedEntry> {
+        match &self.table {
+            Table::Sharded(shards) => shards[Self::shard(id)]
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&id)
+                .cloned(),
+            Table::Snapshot { snap, .. } => {
+                let frozen = Arc::clone(
+                    &snap
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                // Lock released; probe the frozen snapshot lock-free.
+                frozen.get(&id).cloned()
+            }
+        }
+    }
+
+    /// Tallies one artefact-level lookup outcome into the fleet-wide
+    /// counters.
+    pub(crate) fn record_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes a session's pending batch, merging first-writer-wins.
+    pub(crate) fn publish(&self, batch: HashMap<InternId, SharedEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.published
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        match &self.table {
+            Table::Sharded(shards) => {
+                for (id, entry) in batch {
+                    let mut shard = shards[Self::shard(id)]
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    shard.entry(id).or_default().absorb(entry);
+                }
+            }
+            Table::Snapshot { snap, writer } => {
+                let _serialized = writer
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let current = Arc::clone(
+                    &snap
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                let mut next: HashMap<InternId, SharedEntry> = (*current).clone();
+                for (id, entry) in batch {
+                    next.entry(id).or_default().absorb(entry);
+                }
+                *snap
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(next);
+            }
+        }
+    }
+
+    /// Distinct interned structures currently held.
+    pub fn len(&self) -> usize {
+        match &self.table {
+            Table::Sharded(shards) => shards
+                .iter()
+                .map(|s| {
+                    s.read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .len()
+                })
+                .sum(),
+            Table::Snapshot { snap, .. } => snap
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// Whether no structure has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fleet-wide counters (hits/misses across every session plus the
+    /// publication tally and current size).
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PropVertex;
+    use crate::pathgraph::PathGraph;
+    use xvu_automata::StateId;
+    use xvu_tree::{Alphabet, Interner};
+
+    fn stub_graph(cost: u64) -> Arc<PropGraph> {
+        let mut g: PropGraph = PathGraph::new(
+            vec![PropVertex {
+                tpos: 0,
+                state: StateId(0),
+                spos: 0,
+            }],
+            0,
+        );
+        g.set_goal(0);
+        let _ = cost;
+        Arc::new(g)
+    }
+
+    fn ids(n: usize) -> Vec<InternId> {
+        let mut alpha = Alphabet::new();
+        let interner = Interner::new();
+        let mut prev: Vec<InternId> = Vec::new();
+        (0..n)
+            .map(|i| {
+                let s = alpha.intern(&format!("x{i}"));
+                let id = interner.intern(s, &prev);
+                prev = vec![id];
+                id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_backends_roundtrip_and_count() {
+        for backend in [SharedCacheBackend::Sharded, SharedCacheBackend::Snapshot] {
+            let cache = SharedMemoCache::new(backend);
+            assert_eq!(cache.backend(), backend);
+            let keys = ids(3);
+            let cold = cache.get(keys[0]);
+            cache.record_lookup(cold.is_some());
+            assert!(cold.is_none(), "{backend:?}: cold miss");
+            let mut batch = HashMap::new();
+            for &k in &keys {
+                batch.insert(
+                    k,
+                    SharedEntry {
+                        graph: Some((stub_graph(0), 0)),
+                        ..SharedEntry::default()
+                    },
+                );
+            }
+            cache.publish(batch);
+            for &k in &keys {
+                let e = cache.get(k);
+                cache.record_lookup(e.is_some());
+                assert!(e.expect("published entry is served").graph.is_some());
+            }
+            let s = cache.stats();
+            assert_eq!((s.hits, s.misses, s.published, s.entries), (3, 1, 3, 3));
+            assert!(s.hit_rate() > 0.7);
+        }
+    }
+
+    #[test]
+    fn merge_is_first_writer_wins_per_field() {
+        for backend in [SharedCacheBackend::Sharded, SharedCacheBackend::Snapshot] {
+            let cache = SharedMemoCache::new(backend);
+            let k = ids(1)[0];
+            let g1 = stub_graph(0);
+            let mut b1 = HashMap::new();
+            b1.insert(
+                k,
+                SharedEntry {
+                    graph: Some((Arc::clone(&g1), 7)),
+                    ..SharedEntry::default()
+                },
+            );
+            cache.publish(b1);
+            // A second batch for the same key: the graph field keeps the
+            // incumbent, the missing opt field is filled in.
+            let mut b2 = HashMap::new();
+            b2.insert(
+                k,
+                SharedEntry {
+                    graph: Some((stub_graph(0), 99)),
+                    opt: Some(stub_graph(0)),
+                    ..SharedEntry::default()
+                },
+            );
+            cache.publish(b2);
+            let e = cache.get(k).unwrap();
+            assert_eq!(e.graph.as_ref().unwrap().1, 7, "{backend:?}: first wins");
+            assert!(e.opt.is_some(), "{backend:?}: gaps are filled");
+            assert_eq!(cache.len(), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_coherent() {
+        for backend in [SharedCacheBackend::Sharded, SharedCacheBackend::Snapshot] {
+            let cache = Arc::new(SharedMemoCache::new(backend));
+            let keys = Arc::new(ids(64));
+            let writers: Vec<_> = (0..4)
+                .map(|w| {
+                    let cache = Arc::clone(&cache);
+                    let keys = Arc::clone(&keys);
+                    std::thread::spawn(move || {
+                        for (i, &k) in keys.iter().enumerate() {
+                            if i % 4 == w {
+                                let mut batch = HashMap::new();
+                                batch.insert(
+                                    k,
+                                    SharedEntry {
+                                        graph: Some((stub_graph(0), i as u64)),
+                                        ..SharedEntry::default()
+                                    },
+                                );
+                                cache.publish(batch);
+                            } else {
+                                // readers interleave with writers
+                                let _ = cache.get(k);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in writers {
+                h.join().unwrap();
+            }
+            assert_eq!(cache.len(), 64, "{backend:?}: every key published once");
+            for (i, &k) in keys.iter().enumerate() {
+                let e = cache.get(k).expect("published");
+                assert_eq!(e.graph.as_ref().unwrap().1, i as u64, "{backend:?}");
+            }
+        }
+    }
+}

@@ -21,13 +21,19 @@
 //!
 //! ## Determinism across eviction
 //!
-//! Evicting an idle session drops only its propagation-cache memos: the
-//! committed document **and** its fresh-identifier high-water mark are
-//! written back to the store and restored on the next checkout
+//! Evicting an idle session drops only its *session-private* state — the
+//! slot-keyed propagation-cache memos and intern-id map: the committed
+//! document **and** its fresh-identifier high-water mark are written back
+//! to the store and restored on the next checkout
 //! ([`xvu_propagate::Session::merge_id_gen`]), so replies are
 //! byte-identical whether or not an eviction happened in between — the
 //! property the fleet differential driver ([`crate::run_fleet`]) checks
-//! end to end. An explicit `close` resets the identifier floor instead:
+//! end to end. Structure-keyed memos live in the engine-owned
+//! [`xvu_propagate::SharedMemoCache`] and **survive eviction**: a
+//! reopened session re-interns its document and warms straight from the
+//! shared tier instead of recomputing, and the `stats` verb reports that
+//! tier separately (`shared_cache` object) from the session-local
+//! counters (`cache` object). An explicit `close` resets the identifier floor instead:
 //! a closed document starts a fresh session history, exactly like a
 //! direct [`xvu_propagate::Engine::open`].
 
@@ -43,6 +49,7 @@ use std::time::{Duration, Instant};
 use xvu_edit::{parse_script, script_to_term, Script};
 use xvu_propagate::{
     count_optimal_propagations, CacheStats, Engine, PropagateError, Propagation, SessionLease,
+    SharedCacheStats,
 };
 use xvu_tree::{parse_term_with_ids, to_term_with_ids, Alphabet, DocTree, NodeIdGen};
 
@@ -175,11 +182,27 @@ impl<'e> Server<'e> {
                 acc.misses += s.misses;
                 acc.invalidated += s.invalidated;
                 acc.entries += s.entries;
+                acc.shared_hits += s.shared_hits;
+                acc.shared_misses += s.shared_misses;
+                acc.published += s.published;
                 acc
             })
         };
+        // The shared tier is engine-owned: its counters need no retired /
+        // live split (eviction never touches it), just a sum over the
+        // server's families.
+        let shared = self.engines.iter().map(|e| e.shared_cache_stats()).fold(
+            SharedCacheStats::default(),
+            |mut acc, s| {
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.published += s.published;
+                acc.entries += s.entries;
+                acc
+            },
+        );
         self.metrics
-            .snapshot(live, self.pool.resident(), self.pool.capacity())
+            .snapshot(live, shared, self.pool.resident(), self.pool.capacity())
     }
 
     /// Initiates shutdown from outside a connection (equivalent to the

@@ -168,10 +168,13 @@ impl Metrics {
 
     /// Freezes everything into a [`StatsSnapshot`]. `live_cache` is the
     /// aggregate over still-resident sessions (the pool knows them);
-    /// `resident`/`capacity` describe the pool.
+    /// `shared` the engine-level shared-memo-cache counters (aggregated
+    /// over the server's families — engine-owned, so they survive session
+    /// eviction); `resident`/`capacity` describe the pool.
     pub fn snapshot(
         &self,
         live_cache: xvu_propagate::CacheStats,
+        shared: xvu_propagate::SharedCacheStats,
         resident: usize,
         capacity: usize,
     ) -> StatsSnapshot {
@@ -193,6 +196,10 @@ impl Metrics {
             cache_invalidated: self.cache_invalidated.load(Ordering::Relaxed)
                 + live_cache.invalidated,
             cache_live_entries: live_cache.entries,
+            shared_hits: shared.hits,
+            shared_misses: shared.misses,
+            shared_published: shared.published,
+            shared_entries: shared.entries,
             write_latency: self.write_latency.snapshot(),
             read_latency: self.read_latency.snapshot(),
         }
@@ -227,6 +234,16 @@ pub struct StatsSnapshot {
     pub cache_invalidated: u64,
     /// Memo entries held by live sessions right now.
     pub cache_live_entries: usize,
+    /// Shared-memo-cache lookups served by structure, fleet-wide
+    /// (engine-owned: unlike the session-local counters above these
+    /// survive session eviction).
+    pub shared_hits: u64,
+    /// Shared-memo-cache lookups that found nothing for the structure.
+    pub shared_misses: u64,
+    /// Entries published to the shared tier by session flush batches.
+    pub shared_published: u64,
+    /// Distinct interned structures the shared tier holds right now.
+    pub shared_entries: usize,
     /// Write-path latency (includes queueing).
     pub write_latency: HistogramSnapshot,
     /// Read-only fast-path latency.
@@ -239,13 +256,24 @@ impl StatsSnapshot {
         self.requests.iter().map(|(_, n)| n).sum()
     }
 
-    /// Cache hit rate over hits+misses (0 when idle).
+    /// Session-local cache hit rate over hits+misses (0 when idle).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Shared-tier hit rate over the fleet-wide structure lookups (0
+    /// when idle or sharing is disabled).
+    pub fn shared_hit_rate(&self) -> f64 {
+        let total = self.shared_hits + self.shared_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / total as f64
         }
     }
 
@@ -275,6 +303,14 @@ impl StatsSnapshot {
             self.cache_invalidated,
             self.cache_live_entries,
             self.cache_hit_rate()
+        ));
+        s.push_str(&format!(
+            "\"shared_cache\":{{\"hits\":{},\"misses\":{},\"published\":{},\"entries\":{},\"hit_rate\":{:.4}}},",
+            self.shared_hits,
+            self.shared_misses,
+            self.shared_published,
+            self.shared_entries,
+            self.shared_hit_rate()
         ));
         let lat = |h: &HistogramSnapshot| {
             format!(
@@ -335,10 +371,16 @@ mod tests {
         m.write_latency.record(Duration::from_micros(800));
         m.observe_queue_depth(3);
         let json = m
-            .snapshot(xvu_propagate::CacheStats::default(), 2, 8)
+            .snapshot(
+                xvu_propagate::CacheStats::default(),
+                xvu_propagate::SharedCacheStats::default(),
+                2,
+                8,
+            )
             .to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"propagate\":1"));
+        assert!(json.contains("\"shared_cache\""));
         assert!(json.contains("\"queue_max\":3"));
         assert!(json.contains("\"pool_capacity\":8"));
         assert!(json.contains("\"write_latency\""));

@@ -159,6 +159,47 @@ fn lru_pool_of_one_evicts_transparently_between_documents() {
 }
 
 #[test]
+fn shared_memo_cache_survives_eviction_and_spans_documents() {
+    // Pool capacity 1: every document switch evicts the resident session
+    // and drops its slot-keyed memos. The engine-owned shared tier must
+    // keep serving by structure regardless — the second document has the
+    // same shape under different identifiers, so its cold session warms
+    // straight from memos the first session published.
+    let engines = [engine()];
+    let server = Server::new(&engines, small_config());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_listener(listener).unwrap());
+        let mut c = Client::connect(&addr).unwrap();
+        c.load(1, 0, "r#0(a#1, h#2, a#3)").unwrap();
+        c.load(2, 0, "r#10(a#11, h#12, a#13)").unwrap();
+        // doc 1 publishes; checking out doc 2 evicts doc 1's session
+        assert_eq!(c.propagate(1, "nop:r#0(nop:a#1, nop:a#3)").unwrap().cost, 0);
+        assert_eq!(
+            c.propagate(2, "nop:r#10(nop:a#11, nop:a#13)").unwrap().cost,
+            0
+        );
+        // …and coming back to doc 1 after ITS eviction re-warms from the
+        // shared tier too (the session-local memos are long gone)
+        assert_eq!(c.propagate(1, "nop:r#0(nop:a#1, nop:a#3)").unwrap().cost, 0);
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("\"shared_cache\""), "{stats}");
+        c.shutdown().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.drained_clean);
+        assert!(report.stats.evictions >= 2, "{:?}", report.stats.evictions);
+        assert!(
+            report.stats.shared_hits > 0,
+            "eviction must not empty the shared tier: {:?}",
+            report.stats
+        );
+        assert!(report.stats.shared_entries > 0);
+        assert!(report.stats.shared_hit_rate() > 0.0);
+    });
+}
+
+#[test]
 fn concurrent_eviction_write_back_never_resurrects_stale_state() {
     // Regression test for the store↔pool coherence race: with a pool of
     // one, every checkout evicts the *other* client's document, so the

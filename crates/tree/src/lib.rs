@@ -91,6 +91,7 @@
 mod alphabet;
 mod build;
 mod error;
+mod intern;
 mod iter;
 mod node;
 pub mod slot;
@@ -100,6 +101,7 @@ mod tree;
 pub use alphabet::{Alphabet, Sym};
 pub use build::TreeBuilder;
 pub use error::TreeError;
+pub use intern::{InternId, Interner};
 pub use iter::{Postorder, Preorder};
 pub use node::{Node, NodeId, NodeIdGen};
 pub use slot::{Slot, SlotIndex, SlotMap, SlotSet};

@@ -6,6 +6,8 @@
 //! |--------|----------------|
 //! | cached session (cold + warm) | `Engine` + `Session` with the dirty-region `PropCache` |
 //! | uncached session | same engine stack, `prop_cache(false)` |
+//! | shared-tier sibling | a second session of the same engine, served from the fleet-wide intern-keyed memo tier |
+//! | private engine | same stack, `shared_cache(false)` |
 //! | one-shot | the `Instance`/`propagate` compatibility layer |
 //! | repair baseline | `xvu_repair` minimal-TED re-materialisation (§6.2) |
 //!
@@ -87,6 +89,9 @@ pub struct OracleOutcome {
     pub repair_distance: Option<usize>,
     /// Cache hits observed by the warm propagation.
     pub cache_hits: u64,
+    /// Shared-tier hits observed by the sibling session (memos published
+    /// by the first session, found again under the re-interned keys).
+    pub shared_hits: u64,
 }
 
 /// Whether every hidden label roots exactly one tree (no rule, or the
@@ -171,6 +176,44 @@ pub fn differential_check(
         )));
     }
     let cache_hits = cached.cache_stats().hits;
+
+    // Oracle: the shared memo tier. A sibling session of the same
+    // (sharing, by default) engine interns the document independently
+    // and is served from what the first session published — it must be
+    // byte-identical; and an engine with the fleet tier switched off
+    // must agree too, pinning the tier as a pure cache.
+    let sibling = cached_engine
+        .open(&inst.doc)
+        .map_err(|e| fail(format!("sibling open failed: {e}")))?;
+    let ps = sibling
+        .propagate(&inst.update)
+        .map_err(|e| fail(format!("sibling propagate failed: {e}")))?;
+    if fingerprint(&ps, &inst.alpha) != fp_cold {
+        return Err(fail(format!(
+            "shared-tier disagreement: first session {fp_cold:?} vs sibling {:?}",
+            fingerprint(&ps, &inst.alpha)
+        )));
+    }
+    let shared_hits = sibling.cache_stats().shared_hits;
+    let private_engine = Engine::builder()
+        .alphabet(inst.alpha.clone())
+        .dtd(inst.dtd.clone())
+        .annotation(inst.ann.clone())
+        .shared_cache(false)
+        .build()
+        .map_err(|e| fail(format!("private engine build failed: {e}")))?;
+    let private = private_engine
+        .open(&inst.doc)
+        .map_err(|e| fail(format!("private open failed: {e}")))?;
+    let pp = private
+        .propagate(&inst.update)
+        .map_err(|e| fail(format!("private propagate failed: {e}")))?;
+    if fingerprint(&pp, &inst.alpha) != fp_cold {
+        return Err(fail(format!(
+            "shared/private disagreement: shared {fp_cold:?} vs private {:?}",
+            fingerprint(&pp, &inst.alpha)
+        )));
+    }
 
     // Oracle 3: the one-shot compatibility layer.
     let one_shot_inst = Instance::new(
@@ -324,6 +367,7 @@ pub fn differential_check(
         enumerated,
         repair_distance,
         cache_hits,
+        shared_hits,
     })
 }
 
@@ -346,6 +390,9 @@ pub struct SweepReport {
     pub repair_checked: usize,
     /// Total warm-path cache hits across all instances.
     pub cache_hits: u64,
+    /// Total shared-tier hits observed by sibling sessions across all
+    /// instances — the interner running under the whole sweep.
+    pub shared_hits: u64,
     /// Largest optimal-propagation count observed.
     pub max_count: u128,
 }
@@ -364,6 +411,7 @@ pub fn run_sweep(budget: &EnumBudget, cfg: &OracleConfig) -> SweepReport {
         match differential_check(&inst, cfg) {
             Ok(out) => {
                 report.cache_hits += out.cache_hits;
+                report.shared_hits += out.shared_hits;
                 report.max_count = report.max_count.max(out.count);
                 if out.enumerated.is_some() {
                     report.enumeration_checked += 1;

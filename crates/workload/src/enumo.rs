@@ -553,11 +553,17 @@ pub enum AnnPattern {
     /// Heavy hiding: every pair whose parent is below the root layer —
     /// the view shows only the root and its immediate children.
     Deep,
+    /// Composite hiding `(ann mix k1 k2)`: the vertical root-run of
+    /// length `k1` **and** every label class whose index is a positive
+    /// multiple of `k2`, hidden under every parent. Mixes the two
+    /// orthogonal hiding axes (vertical run × horizontal class) that the
+    /// atomic patterns only cover separately.
+    Mix(usize, usize),
 }
 
 impl AnnPattern {
-    /// The pattern as a term: `(ann none|alternate|leaves|deep)` or
-    /// `(ann root-run <k>)`.
+    /// The pattern as a term: `(ann none|alternate|leaves|deep)`,
+    /// `(ann root-run <k>)`, or `(ann mix <k1> <k2>)`.
     pub fn to_sexp(&self) -> Sexp {
         let mut items = vec![Sexp::atom("ann")];
         match self {
@@ -569,6 +575,11 @@ impl AnnPattern {
             AnnPattern::Alternate => items.push(Sexp::atom("alternate")),
             AnnPattern::Leaves => items.push(Sexp::atom("leaves")),
             AnnPattern::Deep => items.push(Sexp::atom("deep")),
+            AnnPattern::Mix(k1, k2) => {
+                items.push(Sexp::atom("mix"));
+                items.push(Sexp::atom(k1.to_string()));
+                items.push(Sexp::atom(k2.to_string()));
+            }
         }
         Sexp::List(items)
     }
@@ -594,6 +605,16 @@ impl AnnPattern {
                 } else {
                     Err(format!("unknown ann pattern {kind:?}"))
                 }
+            }
+            [Sexp::Atom(head), Sexp::Atom(kind), Sexp::Atom(k1), Sexp::Atom(k2)]
+                if head == "ann" && kind == "mix" =>
+            {
+                let k1 = k1.parse().map_err(|_| format!("bad run length in {s}"))?;
+                let k2: usize = k2.parse().map_err(|_| format!("bad stride in {s}"))?;
+                if k2 == 0 {
+                    return Err(format!("mix stride must be positive: {s}"));
+                }
+                Ok(AnnPattern::Mix(k1, k2))
             }
             _ => Err(format!("malformed ann pattern: {s}")),
         }
@@ -631,6 +652,19 @@ impl AnnPattern {
                 for &p in syms.iter().skip(1) {
                     for &c in &syms {
                         ann.hide(p, c);
+                    }
+                }
+            }
+            AnnPattern::Mix(k1, k2) => {
+                for i in 0..(*k1).min(syms.len().saturating_sub(1)) {
+                    ann.hide(syms[i], syms[i + 1]);
+                }
+                let stride = (*k2).max(1);
+                for (j, &c) in syms.iter().enumerate() {
+                    if j > 0 && j % stride == 0 {
+                        for &p in &syms {
+                            ann.hide(p, c);
+                        }
                     }
                 }
             }
@@ -778,11 +812,12 @@ impl Default for EnumBudget {
 }
 
 impl EnumBudget {
-    /// The nightly-scale budget: one more plug round (nested seq/alt/star
-    /// families), deeper shapes, an extra layer, and larger documents.
+    /// The nightly-scale budget: two more plug rounds (nested and
+    /// doubly-nested seq/alt/star families), deeper shapes, an extra
+    /// layer, and larger documents.
     pub fn full() -> EnumBudget {
         EnumBudget {
-            shape_rounds: 3,
+            shape_rounds: 4,
             max_shape_atoms: 5,
             max_shape_depth: 4,
             layers: 4,
@@ -855,6 +890,7 @@ pub fn enumerate_recipes(budget: &EnumBudget) -> Vec<Sexp> {
         "(ann alternate)",
         "(ann leaves)",
         "(ann deep)",
+        "(ann mix 2 2)",
     ]);
     let scripts = Workload::new([
         "(script nop)",
@@ -1109,6 +1145,24 @@ mod tests {
     }
 
     #[test]
+    fn four_rounds_strictly_extend_three_and_stay_bounded() {
+        let three = rule_shapes(3, 5).force();
+        let four = rule_shapes(4, 5).force();
+        assert!(
+            four.len() > three.len(),
+            "{} vs {}",
+            four.len(),
+            three.len()
+        );
+        // everything ground and atom-bounded — the nightly budget's
+        // shape space stays enumerable
+        for s in &four {
+            assert!(!s.contains_atom("X"), "{s}");
+            assert!(s.measure(Metric::Atoms) <= 5, "{s}");
+        }
+    }
+
+    #[test]
     fn layered_families_compile_satisfiable() {
         for shape in rule_shapes(2, 4).force() {
             let recipe = DtdRecipe {
@@ -1174,6 +1228,22 @@ mod tests {
         assert_eq!(deep.hidden_pairs(), (n - 1) * n);
         assert!(deep.is_visible(l[0], l[1]));
         assert!(!deep.is_visible(l[1], l[2]));
+        // mix 2 2: the root-run pairs (l0,l1), (l1,l2) plus class l2
+        // under every parent — (l1,l2) is counted once
+        let mix = AnnPattern::Mix(2, 2).compile(&alpha, &dtd);
+        assert_eq!(mix.hidden_pairs(), 2 + n - 1);
+        assert!(!mix.is_visible(l[0], l[1]));
+        assert!(!mix.is_visible(l[3], l[2]));
+        assert!(mix.is_visible(l[2], l[3]));
+    }
+
+    #[test]
+    fn mix_pattern_roundtrips_and_rejects_zero_stride() {
+        let mix = AnnPattern::Mix(2, 3);
+        let s = mix.to_sexp();
+        assert_eq!(s.to_string(), "(ann mix 2 3)");
+        assert_eq!(AnnPattern::from_sexp(&s).unwrap(), mix);
+        assert!(AnnPattern::from_sexp(&"(ann mix 1 0)".parse().unwrap()).is_err());
     }
 
     #[test]

@@ -177,12 +177,13 @@ pub mod prelude {
         propagate_view_edit, revalidate_output, typing_report, verify_propagation, CacheStats,
         Config, CostModel, Engine, EngineBuilder, EvictOutcome, Instance, InversionForest,
         InvisibleImpact, PropagateError, Propagation, PropagationForest, Selector, Session,
-        SessionLease, SessionPool, TypingReport,
+        SessionLease, SessionPool, SharedCacheBackend, SharedCacheStats, SharedMemoCache,
+        TypingReport,
     };
     pub use xvu_repair::{repair_based_update, tree_edit_distance, RepairConfig};
     pub use xvu_tree::{
-        parse_term, parse_term_with_ids, to_term, to_term_with_ids, Alphabet, DocTree, NodeId,
-        NodeIdGen, Sym, Tree, TreeBuilder,
+        parse_term, parse_term_with_ids, to_term, to_term_with_ids, Alphabet, DocTree, InternId,
+        Interner, NodeId, NodeIdGen, Sym, Tree, TreeBuilder,
     };
     pub use xvu_view::{
         derive_view_dtd, extract_view, parse_annotation, visible_nodes, Annotation,

@@ -170,6 +170,68 @@ fn batch_results_are_thread_count_invariant() {
     }
 }
 
+/// The shared memo tier is a pure cache: for the same randomized batch,
+/// engines with the shared tier on (both backends), private-only
+/// caching, and caching fully disabled return byte-identical
+/// propagations at every worker count. The shared-tier engines are
+/// exercised twice so the second pass reads memos the first pass
+/// published across documents.
+#[test]
+fn shared_cache_modes_are_batch_invariant() {
+    for seed in [1234u64, 77, 9001] {
+        let (engine, requests) = random_requests(32, 12, seed);
+        // `random_requests` builds the default engine: shared tier on,
+        // Sharded backend. Rebuild the other three modes from its parts.
+        let rebuild = |b: EngineBuilder| {
+            b.alphabet(engine.alphabet().clone())
+                .dtd(engine.dtd().clone())
+                .annotation(engine.annotation().clone())
+                .build()
+                .unwrap()
+        };
+        let snapshot =
+            rebuild(Engine::builder().shared_cache_backend(SharedCacheBackend::Snapshot));
+        let private = rebuild(Engine::builder().shared_cache(false));
+        let uncached = rebuild(Engine::builder().prop_cache(false));
+        let baseline = private.propagate_batch(&requests, 1);
+        for jobs in [1usize, 2, 4, 8] {
+            for (name, eng) in [
+                ("sharded", &engine),
+                ("snapshot", &snapshot),
+                ("uncached", &uncached),
+            ] {
+                // two passes: the second reads what the first published
+                eng.propagate_batch(&requests, jobs);
+                let got = eng.propagate_batch(&requests, jobs);
+                assert_eq!(got.len(), baseline.len());
+                for (i, (g, b)) in got.iter().zip(&baseline).enumerate() {
+                    match (g, b) {
+                        (Ok(g), Ok(b)) => {
+                            assert_eq!(g.cost, b.cost, "seed {seed} {name} req {i} jobs {jobs}");
+                            assert_eq!(
+                                g.script, b.script,
+                                "seed {seed} {name} req {i} jobs {jobs}: scripts diverge"
+                            );
+                        }
+                        (Err(g), Err(b)) => {
+                            assert_eq!(g, b, "seed {seed} {name} req {i} jobs {jobs}")
+                        }
+                        _ => panic!("seed {seed} {name} req {i} jobs {jobs}: Ok/Err disagreement"),
+                    }
+                }
+            }
+        }
+        // the shared tiers actually participated: structurally repeated
+        // subtrees across the 12 documents produce cross-session traffic
+        for (name, eng) in [("sharded", &engine), ("snapshot", &snapshot)] {
+            let stats = eng.shared_cache_stats();
+            assert!(stats.published > 0, "{name}: nothing published: {stats:?}");
+            assert!(stats.hits > 0, "{name}: no shared hits: {stats:?}");
+        }
+        assert_eq!(private.shared_cache_stats(), SharedCacheStats::default());
+    }
+}
+
 /// Hospital (document-heavy) determinism, and every batch propagation is
 /// verifiable against a fresh session of its own document.
 #[test]

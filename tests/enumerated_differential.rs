@@ -73,6 +73,10 @@ fn default_budget_sweep_has_zero_disagreements() {
         report.cache_hits > 0,
         "warm propagations never hit the cache"
     );
+    assert!(
+        report.shared_hits > 0,
+        "sibling sessions never hit the shared memo tier"
+    );
     assert!(report.max_count >= 1);
 }
 
