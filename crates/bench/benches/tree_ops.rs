@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Duration;
-use xvu_tree::{NodeId, NodeIdGen, Sym, Tree};
+use xvu_tree::{
+    from_legacy_json, parse_term_with_ids, to_legacy_json, to_term_with_ids, Alphabet, NodeId,
+    NodeIdGen, Sym, Tree,
+};
 
 /// The pre-arena storage layout, reproduced for comparison.
 struct MapTree {
@@ -171,5 +174,58 @@ fn bench_random_access(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_traverse, bench_random_access);
+/// The load path: serialized bytes to a usable tree, per format — the
+/// flat arena snapshot's bulk decode vs the legacy JSON wire format vs
+/// the identifier-annotated term parser (`BENCH_load.json` tracks the
+/// same comparison at release settings; these rows keep it visible in
+/// the criterion sweep).
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_ops_load");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+    // an alphabet whose Sym indices match the labels `shape` assigns
+    let mut alpha = Alphabet::new();
+    for i in 0..16 {
+        alpha.intern(&format!("l{i}"));
+    }
+    for n in [1_000usize, 10_000] {
+        let tree = build_arena(n);
+        let flat = tree.to_snapshot_bytes(&alpha).expect("encodable");
+        let json = to_legacy_json(&tree);
+        let term = to_term_with_ids(&tree, &alpha);
+        group.bench_with_input(BenchmarkId::new("flat_snapshot", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = alpha.clone();
+                black_box(
+                    Tree::from_snapshot_bytes(&flat, &mut a)
+                        .expect("decodes")
+                        .size(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_json", n), &n, |b, _| {
+            b.iter(|| black_box(from_legacy_json(&json).expect("parses").size()))
+        });
+        group.bench_with_input(BenchmarkId::new("term", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = alpha.clone();
+                let mut g = NodeIdGen::new();
+                black_box(
+                    parse_term_with_ids(&mut a, &mut g, &term)
+                        .expect("parses")
+                        .size(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_traverse,
+    bench_random_access,
+    bench_load
+);
 criterion_main!(benches);

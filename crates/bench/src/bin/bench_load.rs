@@ -1,0 +1,319 @@
+//! Machine-readable load-path benchmark: emits `BENCH_load.json`.
+//!
+//! Measures document **cold start** — the wall time from serialized
+//! bytes to a servable in-memory arena — across the four formats the
+//! repo can load:
+//!
+//! * `flat` — the versioned arena snapshot ([`xvu_tree::snapshot`]):
+//!   one checksum pass plus a bulk bounds-checked decode straight into
+//!   the slab, no per-node hashing or re-indexing;
+//! * `legacy_json` — the historical serde-style JSON wire format
+//!   ([`xvu_tree::legacy`]): per-node objects through a recursive
+//!   parser and per-node arena inserts;
+//! * `term` — the identifier-annotated term syntax
+//!   ([`xvu_tree::parse_term_with_ids`]), the daemon's `load`-verb
+//!   format;
+//! * `xml` — `xvu:id`-annotated XML ([`xvu_xml::read_xml`]).
+//!
+//! Single documents at 1k/10k/100k nodes, plus a 36-document fleet
+//! corpus loaded whole (packed snapshot vs per-document term parse).
+//! Every timed load is also an oracle: the loaded tree must equal the
+//! original identifier-for-identifier. The run itself enforces the PR's
+//! acceptance gate — flat load ≥ 10× faster than term parse at 10k
+//! nodes.
+//!
+//! ```text
+//! cargo run --release -p xvu_bench --bin bench_load [-- OUT_PATH]
+//! cargo run --release -p xvu_bench --bin bench_load -- --test   # CI smoke
+//! ```
+
+use std::time::Instant;
+use xvu_tree::{
+    from_legacy_json, parse_term_with_ids, to_legacy_json, to_term_with_ids, Alphabet, DocTree,
+    NodeIdGen, SnapshotFile, Tree,
+};
+use xvu_workload::fleet::{generate_fleet, FleetConfig};
+use xvu_xml::{read_xml, write_xml, WriteOptions};
+
+/// Builds a deterministic document with exactly `nodes` nodes: a
+/// breadth-first tree of fan-out 8 over labels `a..e`.
+fn synth_doc(nodes: usize) -> (Alphabet, DocTree) {
+    assert!(nodes >= 1);
+    let mut alpha = Alphabet::new();
+    let labels: Vec<_> = ["r", "a", "b", "c", "d", "e"]
+        .iter()
+        .map(|l| alpha.intern(l))
+        .collect();
+    let mut gen = NodeIdGen::new();
+    let mut t = Tree::leaf(&mut gen, labels[0]);
+    let mut frontier = vec![t.root()];
+    let mut next = Vec::new();
+    let mut count = 1usize;
+    'grow: loop {
+        for &parent in &frontier {
+            for k in 0..8usize {
+                if count == nodes {
+                    break 'grow;
+                }
+                let label = labels[1 + (count + k) % 5];
+                next.push(t.add_child(parent, &mut gen, label));
+                count += 1;
+            }
+        }
+        frontier = std::mem::take(&mut next);
+    }
+    debug_assert_eq!(t.size(), nodes);
+    (alpha, t)
+}
+
+/// Best-of-`reps` wall time for `load`, in seconds. Each reseeded run
+/// must produce a tree equal to `expect` (the load-path oracle).
+fn time_load(reps: usize, expect: &DocTree, mut load: impl FnMut() -> DocTree) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let got = load();
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(&got, expect, "loaded tree diverged from the original");
+        best = best.min(dt);
+    }
+    best
+}
+
+struct SizeRow {
+    nodes: usize,
+    flat_bytes: usize,
+    legacy_bytes: usize,
+    term_bytes: usize,
+    xml_bytes: usize,
+    flat_s: f64,
+    legacy_s: f64,
+    term_s: f64,
+    xml_s: f64,
+}
+
+fn measure_size(nodes: usize, reps: usize) -> SizeRow {
+    let (alpha, doc) = synth_doc(nodes);
+    let flat = doc.to_snapshot_bytes(&alpha).expect("encodable");
+    let legacy = to_legacy_json(&doc);
+    let term = to_term_with_ids(&doc, &alpha);
+    let xml = write_xml(
+        &doc,
+        &alpha,
+        &WriteOptions {
+            pretty: false,
+            with_ids: true,
+        },
+    );
+    // every format loads against a clone of the family alphabet, like
+    // the daemon does (labels resolve to the engine's existing symbols)
+    let flat_s = time_load(reps, &doc, || {
+        let mut a = alpha.clone();
+        DocTree::from_snapshot_bytes(&flat, &mut a).expect("flat decodes")
+    });
+    let legacy_s = time_load(reps, &doc, || {
+        from_legacy_json(&legacy).expect("json decodes")
+    });
+    let term_s = time_load(reps, &doc, || {
+        let mut a = alpha.clone();
+        let mut g = NodeIdGen::new();
+        parse_term_with_ids(&mut a, &mut g, &term).expect("term parses")
+    });
+    let xml_s = time_load(reps, &doc, || {
+        let mut a = alpha.clone();
+        let mut g = NodeIdGen::new();
+        read_xml(&mut a, &mut g, &xml).expect("xml parses")
+    });
+    eprintln!(
+        "  {nodes:>6} nodes: flat {:>9.1} µs ({} B), legacy_json {:>9.1} µs ({} B), \
+         term {:>9.1} µs ({} B), xml {:>9.1} µs ({} B) — flat is {:.1}× faster than term",
+        flat_s * 1e6,
+        flat.len(),
+        legacy_s * 1e6,
+        legacy.len(),
+        term_s * 1e6,
+        term.len(),
+        xml_s * 1e6,
+        xml.len(),
+        term_s / flat_s.max(1e-12),
+    );
+    SizeRow {
+        nodes,
+        flat_bytes: flat.len(),
+        legacy_bytes: legacy.len(),
+        term_bytes: term.len(),
+        xml_bytes: xml.len(),
+        flat_s,
+        legacy_s,
+        term_s,
+        xml_s,
+    }
+}
+
+struct FleetRow {
+    docs: usize,
+    total_nodes: usize,
+    flat_bytes: usize,
+    term_bytes: usize,
+    flat_s: f64,
+    term_s: f64,
+}
+
+/// The 36-document fleet corpus, loaded whole: packed snapshot file
+/// (directory parse + per-document bulk decode) versus per-document
+/// term parse — the two boot paths `xvu serve` offers.
+fn measure_fleet(docs: usize, reps: usize) -> FleetRow {
+    let plan = generate_fleet(&FleetConfig {
+        docs,
+        families: 6.min(docs),
+        clients: 6,
+        updates: 0,
+        seed: 0x10AD_CAFE,
+        ..FleetConfig::default()
+    });
+    let corpus = plan.corpus_snapshot_bytes();
+    let terms: Vec<(usize, String)> = plan
+        .docs
+        .iter()
+        .map(|fd| {
+            (
+                fd.family,
+                to_term_with_ids(&fd.doc, &plan.families[fd.family].alpha),
+            )
+        })
+        .collect();
+    let term_bytes: usize = terms.iter().map(|(_, t)| t.len()).sum();
+    let expect: Vec<&DocTree> = plan.docs.iter().map(|fd| &fd.doc).collect();
+    let total_nodes: usize = expect.iter().map(|d| d.size()).sum();
+
+    let mut flat_s = f64::INFINITY;
+    let mut term_s = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let file = SnapshotFile::from_bytes(corpus.clone()).expect("corpus parses");
+        let loaded: Vec<DocTree> = (0..file.len())
+            .map(|i| {
+                let mut a = plan.families[file.entries()[i].family as usize]
+                    .alpha
+                    .clone();
+                file.decode(i, &mut a).expect("doc decodes")
+            })
+            .collect();
+        let dt = start.elapsed().as_secs_f64();
+        for (got, want) in loaded.iter().zip(&expect) {
+            assert_eq!(&got, want, "corpus-loaded tree diverged");
+        }
+        flat_s = flat_s.min(dt);
+
+        let start = Instant::now();
+        let parsed: Vec<DocTree> = terms
+            .iter()
+            .map(|(family, term)| {
+                let mut a = plan.families[*family].alpha.clone();
+                let mut g = NodeIdGen::new();
+                parse_term_with_ids(&mut a, &mut g, term).expect("term parses")
+            })
+            .collect();
+        let dt = start.elapsed().as_secs_f64();
+        for (got, want) in parsed.iter().zip(&expect) {
+            assert_eq!(&got, want, "term-parsed tree diverged");
+        }
+        term_s = term_s.min(dt);
+    }
+    eprintln!(
+        "  fleet corpus ({docs} docs, {total_nodes} nodes): flat {:.1} µs ({} B), \
+         term {:.1} µs ({} B) — flat is {:.1}× faster",
+        flat_s * 1e6,
+        corpus.len(),
+        term_s * 1e6,
+        term_bytes,
+        term_s / flat_s.max(1e-12),
+    );
+    FleetRow {
+        docs,
+        total_nodes,
+        flat_bytes: corpus.len(),
+        term_bytes,
+        flat_s,
+        term_s,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--test");
+    // CI smoke keeps the 10k gate (it is the acceptance criterion) but
+    // skips the 100k document and trims repetitions.
+    let (sizes, reps, fleet_docs) = if smoke {
+        (vec![1_000usize, 10_000], 5, 8)
+    } else {
+        (vec![1_000usize, 10_000, 100_000], 15, 36)
+    };
+
+    eprintln!("bench_load: cold-start wall time per format (best of {reps})");
+    let rows: Vec<SizeRow> = sizes.iter().map(|&n| measure_size(n, reps)).collect();
+    let fleet = measure_fleet(fleet_docs, reps);
+
+    // the acceptance gate: flat load ≥ 10× faster than term parse at
+    // 10k nodes
+    let gate = rows
+        .iter()
+        .find(|r| r.nodes == 10_000)
+        .expect("10k row present");
+    let speedup = gate.term_s / gate.flat_s.max(1e-12);
+    assert!(
+        speedup >= 10.0,
+        "flat load must be ≥ 10× faster than term parse at 10k nodes, got {speedup:.1}×"
+    );
+
+    if smoke {
+        println!("bench_load self-test PASS (flat {speedup:.1}× faster than term at 10k nodes)");
+        return;
+    }
+
+    let out_path = arg.unwrap_or_else(|| "BENCH_load.json".to_owned());
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"xvu-bench-load/1\",\n");
+    json.push_str(
+        "  \"timed_region\": \"serialized bytes to a verified in-memory arena (best of N)\",\n",
+    );
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"sizes\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"flat_us\": {:.1}, \"legacy_json_us\": {:.1}, \
+             \"term_us\": {:.1}, \"xml_us\": {:.1}, \
+             \"flat_bytes\": {}, \"legacy_json_bytes\": {}, \"term_bytes\": {}, \
+             \"xml_bytes\": {}, \"flat_vs_term_speedup\": {:.1} }}",
+            r.nodes,
+            r.flat_s * 1e6,
+            r.legacy_s * 1e6,
+            r.term_s * 1e6,
+            r.xml_s * 1e6,
+            r.flat_bytes,
+            r.legacy_bytes,
+            r.term_bytes,
+            r.xml_bytes,
+            r.term_s / r.flat_s.max(1e-12),
+        ));
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fleet_corpus\": {{ \"docs\": {}, \"total_nodes\": {}, \
+         \"flat_us\": {:.1}, \"term_us\": {:.1}, \
+         \"flat_bytes\": {}, \"term_bytes\": {}, \"flat_vs_term_speedup\": {:.1} }}\n",
+        fleet.docs,
+        fleet.total_nodes,
+        fleet.flat_s * 1e6,
+        fleet.term_s * 1e6,
+        fleet.flat_bytes,
+        fleet.term_bytes,
+        fleet.term_s / fleet.flat_s.max(1e-12),
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_load.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -25,7 +25,10 @@
 //! (sessions lose their propagation-cache memos and are reopened with
 //! their identifier floor restored), a pool above it never evicts.
 
-use xvu_server::{run_fleet, FleetReport, ServerConfig};
+use std::time::{Duration, Instant};
+use xvu_propagate::Engine;
+use xvu_server::{run_fleet, Client, FleetReport, Server, ServerConfig};
+use xvu_tree::{to_term_with_ids, SnapshotFile};
 use xvu_workload::fleet::{generate_fleet, FleetConfig, FleetPlan};
 
 fn plan(updates: usize, docs: usize, clients: usize) -> FleetPlan {
@@ -67,6 +70,78 @@ fn row_json(pool: usize, plan: &FleetPlan, r: &FleetReport) -> String {
         r.stats.rejected_writes,
         r.stats.queue_max,
     )
+}
+
+/// One cold start: the clock runs from daemon construction, through
+/// corpus installation — term `load` verbs over the wire versus a
+/// packed-snapshot preload — to the first served reply (an `open` of
+/// the hottest document). Engine compilation is outside the clock: it
+/// is identical in both modes. Returns the elapsed time and the first
+/// reply (the two modes must agree byte-for-byte).
+fn cold_start_once(
+    plan: &FleetPlan,
+    engines: &[Engine],
+    corpus: &[u8],
+    snapshot: bool,
+) -> (Duration, String) {
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_capacity: 32,
+        pool_capacity: 4,
+        retry_after_ms: 1,
+    };
+    let start = Instant::now();
+    let server = Server::new(engines, cfg);
+    if snapshot {
+        let file = SnapshotFile::from_bytes(corpus.to_vec()).expect("corpus parses");
+        server.preload_corpus(&file).expect("corpus preloads");
+    }
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let mut first = None;
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_listener(listener));
+        let mut client = Client::connect(&addr).expect("connect");
+        if !snapshot {
+            for fd in &plan.docs {
+                let term = to_term_with_ids(&fd.doc, &plan.families[fd.family].alpha);
+                client.load(fd.id, fd.family, &term).expect("load");
+            }
+        }
+        let doc = plan.docs[0].id;
+        let view = client.open(doc).expect("first reply");
+        elapsed = start.elapsed();
+        first = Some(view);
+        let _ = client.close_doc(doc);
+        let _ = client.shutdown();
+        handle.join().expect("server thread").expect("serve ok");
+    });
+    (elapsed, first.expect("first reply captured"))
+}
+
+/// Best-of-`reps` cold start per mode, checking that the first reply is
+/// byte-identical between them.
+fn cold_start(plan: &FleetPlan, reps: usize) -> (Duration, Duration) {
+    let engines: Vec<Engine> = plan.families.iter().map(|f| f.engine()).collect();
+    let corpus = plan.corpus_snapshot_bytes();
+    let mut term_best = Duration::MAX;
+    let mut snap_best = Duration::MAX;
+    let mut term_reply = None;
+    let mut snap_reply = None;
+    for _ in 0..reps {
+        let (t, reply) = cold_start_once(plan, &engines, &corpus, false);
+        term_best = term_best.min(t);
+        term_reply.get_or_insert(reply);
+        let (t, reply) = cold_start_once(plan, &engines, &corpus, true);
+        snap_best = snap_best.min(t);
+        snap_reply.get_or_insert(reply);
+    }
+    assert_eq!(
+        term_reply, snap_reply,
+        "first reply differs between term and snapshot boot"
+    );
+    (term_best, snap_best)
 }
 
 fn main() {
@@ -118,6 +193,16 @@ fn main() {
         rows.push((pool, report));
     }
 
+    // cold start: daemon construction → first served reply, with the
+    // corpus installed by term `load` verbs vs a packed-snapshot preload
+    let (term_cold, snap_cold) = cold_start(&plan, if smoke { 1 } else { 5 });
+    eprintln!(
+        "  cold start: term-corpus {:.1} ms, snapshot-corpus {:.1} ms ({:.1}× faster)",
+        term_cold.as_secs_f64() * 1e3,
+        snap_cold.as_secs_f64() * 1e3,
+        term_cold.as_secs_f64() / snap_cold.as_secs_f64().max(1e-9),
+    );
+
     if smoke {
         println!("bench_serve self-test PASS ({requests} requests, 0 mismatches)");
         return;
@@ -125,7 +210,7 @@ fn main() {
 
     let out_path = arg.unwrap_or_else(|| "BENCH_serve.json".to_owned());
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-serve/2\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-serve/3\",\n");
     json.push_str(
         "  \"timed_region\": \"TCP replay of the full fleet plan: corpus load + every client op + drain\",\n",
     );
@@ -135,6 +220,13 @@ fn main() {
         plan.families.len(),
         plan.updates,
         requests
+    ));
+    json.push_str(&format!(
+        "  \"cold_start\": {{ \"timed_region\": \"daemon construction + corpus install to first open reply\", \
+         \"term_corpus_ms\": {:.2}, \"snapshot_corpus_ms\": {:.2}, \"speedup\": {:.1} }},\n",
+        term_cold.as_secs_f64() * 1e3,
+        snap_cold.as_secs_f64() * 1e3,
+        term_cold.as_secs_f64() / snap_cold.as_secs_f64().max(1e-9),
     ));
     json.push_str("  \"pools\": {\n");
     for (i, (pool, report)) in rows.iter().enumerate() {

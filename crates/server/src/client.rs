@@ -201,6 +201,12 @@ impl<T: Transport> Client<T> {
         self.request(Verb::CloseDoc, doc.to_string()).map(|_| ())
     }
 
+    /// Asks the server to write its committed store to `path` as a flat
+    /// snapshot corpus; returns the server's `docs=… bytes=…` summary.
+    pub fn snapshot(&mut self, path: &str) -> Result<String, ClientError> {
+        self.request(Verb::Snapshot, path.to_owned())
+    }
+
     /// Fetches the server's stats snapshot as JSON.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request(Verb::Stats, String::new())

@@ -13,7 +13,11 @@
 //!   connection thread, never queueing behind writes;
 //! * `hello`/`stats` are answered inline; `shutdown` drains every queued
 //!   and in-flight request, replies with the final stats snapshot, and
-//!   stops the accept loop.
+//!   stops the accept loop;
+//! * `snapshot` (a write verb) flushes every resident session into the
+//!   store with eviction semantics and writes the committed corpus out
+//!   as a flat snapshot file (`xvu_tree::snapshot`); the inverse is
+//!   [`Server::preload_corpus`], the parse-free cold-start path.
 //!
 //! Request latencies (including queueing for writes), queue depth,
 //! admission rejects, pool evictions, and propagation-cache counters are
@@ -51,7 +55,10 @@ use xvu_propagate::{
     count_optimal_propagations, CacheStats, Engine, PropagateError, Propagation, SessionLease,
     SharedCacheStats,
 };
-use xvu_tree::{parse_term_with_ids, to_term_with_ids, Alphabet, DocTree, NodeIdGen};
+use xvu_tree::{
+    parse_term_with_ids, to_term_with_ids, Alphabet, CorpusBuilder, DocTree, NodeIdGen,
+    SnapshotFile,
+};
 
 /// Daemon sizing and admission knobs.
 #[derive(Clone, Debug)]
@@ -315,9 +322,12 @@ impl<'e> Server<'e> {
                     resp
                 }
             }
-            Verb::Load | Verb::Open | Verb::Propagate | Verb::Commit | Verb::CloseDoc => {
-                self.enqueue_write(req)
-            }
+            Verb::Load
+            | Verb::Open
+            | Verb::Propagate
+            | Verb::Commit
+            | Verb::CloseDoc
+            | Verb::Snapshot => self.enqueue_write(req),
             Verb::Shutdown => self.do_shutdown(),
             Verb::Ok | Verb::Err | Verb::Retry => Frame::err("not a request verb"),
         };
@@ -424,6 +434,7 @@ impl<'e> Server<'e> {
             Verb::Propagate => self.handle_propagate(payload),
             Verb::Commit => self.handle_commit(payload),
             Verb::CloseDoc => self.handle_close(payload),
+            Verb::Snapshot => self.handle_snapshot(payload),
             other => Frame::err(format!("{} is not a write verb", other.name())),
         }
     }
@@ -579,6 +590,22 @@ impl<'e> Server<'e> {
         Frame::ok("")
     }
 
+    fn handle_snapshot(&self, payload: &str) -> Frame {
+        let path = payload.trim();
+        if path.is_empty() {
+            return Frame::err("snapshot expects a destination path");
+        }
+        let bytes = self.snapshot_store_bytes();
+        let docs = {
+            let store = relock(self.store.lock());
+            store.len()
+        };
+        match std::fs::write(path, &bytes) {
+            Ok(()) => Frame::ok(format!("docs={docs} bytes={}", bytes.len())),
+            Err(e) => Frame::err(format!("cannot write snapshot {path:?}: {e}")),
+        }
+    }
+
     fn handle_verify(&self, payload: &str) -> Frame {
         let mut fields = payload.splitn(3, '\n');
         let (Some(id), Some(update), Some(candidate)) =
@@ -682,6 +709,89 @@ impl<'e> Server<'e> {
                 stored.gen = Some(ev.session.id_gen());
             }
         }
+    }
+
+    /// Preloads the document store from a packed snapshot corpus — the
+    /// cold-start path: no term/XML parsing, one bulk decode per
+    /// document. Every document is checked against its family's alphabet
+    /// (foreign labels are rejected, like the `load` verb) and DTD.
+    /// Returns the number of documents loaded.
+    pub fn preload_corpus(&self, corpus: &SnapshotFile) -> Result<usize, String> {
+        let _atomic = relock(self.coherence.lock());
+        let mut loaded = 0usize;
+        for (i, entry) in corpus.entries().iter().enumerate() {
+            let family = entry.family as usize;
+            if family >= self.engines.len() {
+                return Err(format!(
+                    "doc {}: family {family} out of range (server has {})",
+                    entry.doc_id,
+                    self.engines.len()
+                ));
+            }
+            let alpha = self.engines[family].alphabet();
+            let mut scratch = alpha.clone();
+            let tree = corpus
+                .decode(i, &mut scratch)
+                .map_err(|e| format!("doc {}: {e}", entry.doc_id))?;
+            if scratch.len() != alpha.len() {
+                return Err(format!(
+                    "doc {}: document uses labels outside the family alphabet",
+                    entry.doc_id
+                ));
+            }
+            if let Err(e) = self.engines[family].dtd().validate(&tree) {
+                return Err(format!(
+                    "doc {}: document violates the family DTD: {e}",
+                    entry.doc_id
+                ));
+            }
+            relock(self.store.lock()).insert(
+                entry.doc_id,
+                StoredDoc {
+                    family,
+                    doc: tree,
+                    gen: None,
+                },
+            );
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Serializes the committed store as a snapshot corpus image.
+    ///
+    /// Resident sessions are flushed first with eviction semantics —
+    /// committed document and identifier high-water mark written back,
+    /// session-private memos retired — so the corpus captures exactly
+    /// what a cold restart would serve, and reopening after the flush is
+    /// observationally invisible (same guarantee as LRU eviction).
+    /// Documents are emitted sorted by id, so equal stores produce
+    /// byte-identical corpora.
+    pub fn snapshot_store_bytes(&self) -> Vec<u8> {
+        let _atomic = relock(self.coherence.lock());
+        for doc_id in self.pool.resident_docs() {
+            if let Some(session) = self.pool.remove(doc_id) {
+                self.metrics.retire_cache_stats(&session.cache_stats());
+                relock(self.live_cache.lock()).remove(&doc_id);
+                let mut store = relock(self.store.lock());
+                if let Some(stored) = store.get_mut(&doc_id) {
+                    stored.doc = session.document().clone();
+                    stored.gen = Some(session.id_gen());
+                }
+            }
+        }
+        let store = relock(self.store.lock());
+        let mut ids: Vec<u64> = store.keys().copied().collect();
+        ids.sort_unstable();
+        let mut builder = CorpusBuilder::new();
+        for id in ids {
+            let stored = &store[&id];
+            let alpha = self.engines[stored.family].alphabet();
+            builder
+                .push(id, stored.family as u32, &stored.doc, alpha)
+                .expect("stored documents always encode");
+        }
+        builder.finish()
     }
 
     /// Records the session's latest cache counters for live aggregation.

@@ -17,7 +17,7 @@ use std::net::TcpListener;
 use std::time::{Duration, Instant};
 use xvu_edit::script_to_term;
 use xvu_propagate::Engine;
-use xvu_tree::to_term_with_ids;
+use xvu_tree::{to_term_with_ids, SnapshotFile};
 use xvu_workload::fleet::{FleetOpKind, FleetPlan};
 
 /// The outcome of one [`run_fleet`] replay.
@@ -56,12 +56,48 @@ struct ClientOutcome {
     mismatches: Vec<String>,
 }
 
+/// How the daemon's corpus is installed before the replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorpusMode {
+    /// A loader client uploads every document with `load` verbs (term
+    /// syntax over the wire) once the daemon is accepting connections.
+    TermLoad,
+    /// The store is preloaded from packed snapshot bytes
+    /// ([`FleetPlan::corpus_snapshot_bytes`]) before the daemon starts
+    /// serving — the near-zero cold-start path. No `load` requests are
+    /// issued.
+    Snapshot,
+}
+
 /// Replays `plan` against a fresh in-process daemon (TCP on an ephemeral
 /// loopback port, one connection per fleet client) and diffs every reply
 /// against the plan's recorded fingerprints.
 pub fn run_fleet(plan: &FleetPlan, cfg: ServerConfig) -> std::io::Result<FleetReport> {
+    run_fleet_with(plan, cfg, CorpusMode::TermLoad)
+}
+
+/// [`run_fleet`] with the corpus preloaded from packed snapshot bytes
+/// instead of term `load` verbs. A correct daemon replies byte-identically
+/// in both modes; `tests/serving.rs` holds the differential.
+pub fn run_fleet_from_corpus(plan: &FleetPlan, cfg: ServerConfig) -> std::io::Result<FleetReport> {
+    run_fleet_with(plan, cfg, CorpusMode::Snapshot)
+}
+
+/// Replays `plan` with the chosen corpus-installation mode.
+pub fn run_fleet_with(
+    plan: &FleetPlan,
+    cfg: ServerConfig,
+    mode: CorpusMode,
+) -> std::io::Result<FleetReport> {
     let engines: Vec<Engine> = plan.families.iter().map(|f| f.engine()).collect();
     let server = Server::new(&engines, cfg);
+    if mode == CorpusMode::Snapshot {
+        let corpus = SnapshotFile::from_bytes(plan.corpus_snapshot_bytes())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        server
+            .preload_corpus(&corpus)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    }
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?.to_string();
     let family_of: HashMap<u64, usize> = plan.docs.iter().map(|d| (d.id, d.family)).collect();
@@ -73,26 +109,29 @@ pub fn run_fleet(plan: &FleetPlan, cfg: ServerConfig) -> std::io::Result<FleetRe
     std::thread::scope(|scope| {
         let server_handle = scope.spawn(|| server.serve_listener(listener));
 
-        // corpus upload, then the per-client replay threads
+        // corpus upload (unless preloaded), then the per-client replay
+        // threads
         let mut load_outcome = ClientOutcome::default();
-        match Client::connect(&addr) {
-            Ok(mut loader) => {
-                for fd in &plan.docs {
-                    let alpha = &plan.families[fd.family].alpha;
-                    let term = to_term_with_ids(&fd.doc, alpha);
-                    load_outcome.requests += 1;
-                    if let Err(e) = loader.load(fd.id, fd.family, &term) {
-                        load_outcome.protocol_errors += 1;
-                        load_outcome
-                            .mismatches
-                            .push(format!("load doc {}: {e}", fd.id));
+        if mode == CorpusMode::TermLoad {
+            match Client::connect(&addr) {
+                Ok(mut loader) => {
+                    for fd in &plan.docs {
+                        let alpha = &plan.families[fd.family].alpha;
+                        let term = to_term_with_ids(&fd.doc, alpha);
+                        load_outcome.requests += 1;
+                        if let Err(e) = loader.load(fd.id, fd.family, &term) {
+                            load_outcome.protocol_errors += 1;
+                            load_outcome
+                                .mismatches
+                                .push(format!("load doc {}: {e}", fd.id));
+                        }
                     }
+                    load_outcome.retries = loader.retries();
                 }
-                load_outcome.retries = loader.retries();
-            }
-            Err(e) => {
-                load_outcome.protocol_errors += 1;
-                load_outcome.mismatches.push(format!("loader connect: {e}"));
+                Err(e) => {
+                    load_outcome.protocol_errors += 1;
+                    load_outcome.mismatches.push(format!("loader connect: {e}"));
+                }
             }
         }
         let loaded_clean = load_outcome.protocol_errors == 0;

@@ -50,7 +50,7 @@ pub mod transport;
 
 pub use client::{Client, ClientError, PropagateReply};
 pub use daemon::{Server, ServerConfig, ServerReport};
-pub use driver::{run_fleet, FleetReport};
+pub use driver::{run_fleet, run_fleet_from_corpus, run_fleet_with, CorpusMode, FleetReport};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, StatsSnapshot};
 pub use pool::{Evicted, LruSessionPool};
 pub use protocol::{

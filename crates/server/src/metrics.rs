@@ -93,7 +93,7 @@ impl HistogramSnapshot {
 }
 
 /// The request verbs the daemon counts individually, in stats order.
-pub(crate) const COUNTED_VERBS: [Verb; 10] = [
+pub(crate) const COUNTED_VERBS: [Verb; 11] = [
     Verb::Hello,
     Verb::Load,
     Verb::Open,
@@ -104,6 +104,7 @@ pub(crate) const COUNTED_VERBS: [Verb; 10] = [
     Verb::CloseDoc,
     Verb::Stats,
     Verb::Shutdown,
+    Verb::Snapshot,
 ];
 
 /// Live daemon metrics. One instance per [`crate::Server`], shared by

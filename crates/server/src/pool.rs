@@ -77,6 +77,14 @@ impl<'e> LruSessionPool<'e> {
         self.lock().family.len()
     }
 
+    /// The documents with a resident session right now (snapshot of the
+    /// tracking state; a concurrent checkout may change it immediately).
+    /// Used by the `snapshot` verb to flush every resident session's
+    /// committed state into the store before serializing it.
+    pub fn resident_docs(&self) -> Vec<u64> {
+        self.lock().family.keys().copied().collect()
+    }
+
     fn lock(&self) -> MutexGuard<'_, LruState> {
         self.state
             .lock()

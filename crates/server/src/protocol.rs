@@ -34,6 +34,7 @@
 //! | [`Verb::CloseDoc`] | `doc_id` | — |
 //! | [`Verb::Stats`] | — | stats JSON |
 //! | [`Verb::Shutdown`] | — | final stats JSON |
+//! | [`Verb::Snapshot`] | `path` | `docs=<n> bytes=<n>` |
 //!
 //! Responses reuse the verb byte: [`Verb::Ok`], [`Verb::Err`] (payload:
 //! message), or [`Verb::Retry`] (payload: suggested backoff in
@@ -44,7 +45,7 @@ use std::io::{ErrorKind, Read, Write};
 
 /// Protocol version, exchanged in [`Verb::Hello`]. Bump on any wire
 /// format change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame's length field (16 MiB): larger claims are
 /// rejected before any allocation.
@@ -75,6 +76,9 @@ pub enum Verb {
     Stats = 8,
     /// Graceful shutdown: drain in-flight work, reply with final stats.
     Shutdown = 9,
+    /// Write the committed store out as a flat snapshot corpus file
+    /// (payload: destination path).
+    Snapshot = 10,
     /// Success response.
     Ok = 100,
     /// Failure response (payload: message).
@@ -98,6 +102,7 @@ impl Verb {
             7 => Verb::CloseDoc,
             8 => Verb::Stats,
             9 => Verb::Shutdown,
+            10 => Verb::Snapshot,
             100 => Verb::Ok,
             101 => Verb::Err,
             102 => Verb::Retry,
@@ -110,7 +115,12 @@ impl Verb {
     pub fn is_write(self) -> bool {
         matches!(
             self,
-            Verb::Load | Verb::Open | Verb::Propagate | Verb::Commit | Verb::CloseDoc
+            Verb::Load
+                | Verb::Open
+                | Verb::Propagate
+                | Verb::Commit
+                | Verb::CloseDoc
+                | Verb::Snapshot
         )
     }
 
@@ -127,6 +137,7 @@ impl Verb {
             Verb::CloseDoc => "close",
             Verb::Stats => "stats",
             Verb::Shutdown => "shutdown",
+            Verb::Snapshot => "snapshot",
             Verb::Ok => "ok",
             Verb::Err => "err",
             Verb::Retry => "retry",
@@ -410,7 +421,7 @@ mod tests {
 
     #[test]
     fn unknown_verbs_error_not_panic() {
-        for bad in [10u8, 42, 99, 103, 255] {
+        for bad in [11u8, 42, 99, 103, 255] {
             let mut buf = 1u32.to_be_bytes().to_vec();
             buf.push(bad);
             assert_eq!(

@@ -85,7 +85,12 @@
 //! assert_eq!(t.label(t.root()), r);
 //! ```
 
-#![forbid(unsafe_code)]
+// The `mmap` feature carries the one unsafe module in the workspace (the
+// raw mmap(2) fast path in `snapshot`); the default build forbids unsafe
+// outright, and even with the feature on, unsafe is denied everywhere
+// except that explicitly-allowed module.
+#![cfg_attr(not(feature = "mmap"), forbid(unsafe_code))]
+#![cfg_attr(feature = "mmap", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod alphabet;
@@ -93,8 +98,10 @@ mod build;
 mod error;
 mod intern;
 mod iter;
+pub mod legacy;
 mod node;
 pub mod slot;
+pub mod snapshot;
 mod term;
 mod tree;
 
@@ -103,7 +110,9 @@ pub use build::TreeBuilder;
 pub use error::TreeError;
 pub use intern::{InternId, Interner};
 pub use iter::{Postorder, Preorder};
+pub use legacy::{from_legacy_json, to_legacy_json};
 pub use node::{Node, NodeId, NodeIdGen};
 pub use slot::{Slot, SlotIndex, SlotMap, SlotSet};
+pub use snapshot::{CorpusBuilder, CorpusEntry, SnapshotError, SnapshotFile};
 pub use term::{parse_term, parse_term_with_ids, to_term, to_term_with_ids};
 pub use tree::{DocTree, Tree};

@@ -166,6 +166,31 @@ impl SlotIndex {
         }
     }
 
+    /// The dense table as stored (`VACANT` = `u32::MAX` for holes) — the
+    /// raw image the snapshot encoder copies out verbatim.
+    pub(crate) fn dense_raw(&self) -> &[u32] {
+        &self.dense
+    }
+
+    /// The sparse outlier entries as stored.
+    pub(crate) fn sparse_raw(&self) -> &HashMap<u64, u32> {
+        &self.sparse
+    }
+
+    /// Rebuilds an index from a decoded image. `len` must count exactly
+    /// the non-vacant dense entries plus the sparse entries, and sparse
+    /// keys must lie beyond the dense range (the dense table is
+    /// authoritative for identifiers it covers); the snapshot decoder
+    /// enforces both before calling and validates the result against the
+    /// arena afterwards.
+    pub(crate) fn from_raw_parts(
+        dense: Vec<u32>,
+        sparse: HashMap<u64, u32>,
+        len: usize,
+    ) -> SlotIndex {
+        SlotIndex { dense, sparse, len }
+    }
+
     /// Removes `id`, returning its slot.
     pub fn remove(&mut self, id: NodeId) -> Option<Slot> {
         let raw = id.0;

@@ -95,7 +95,7 @@ impl<L> Tree<L> {
 
     /// An arena-less shell with the given root identifier (internal
     /// constructor backing every tree-building code path).
-    fn empty_with_root(root: NodeId) -> Tree<L> {
+    pub(crate) fn empty_with_root(root: NodeId) -> Tree<L> {
         Tree {
             slab: Vec::new(),
             index: SlotIndex::new(),
@@ -107,10 +107,27 @@ impl<L> Tree<L> {
         }
     }
 
+    /// Assembles a tree directly from a decoded arena image: slab in
+    /// slot order, a matching identifier index, and the root. Backs the
+    /// bulk snapshot decoder (`crate::snapshot`); the caller is expected
+    /// to [`Tree::validate`] the result.
+    pub(crate) fn from_raw_parts(slab: Vec<Node<L>>, index: SlotIndex, root: NodeId) -> Tree<L> {
+        let versions = vec![0; slab.len()];
+        Tree {
+            slab,
+            index,
+            root,
+            epoch: 0,
+            versions,
+            track: false,
+            journal: Vec::new(),
+        }
+    }
+
     /// Appends a node to the arena, indexing its identifier and stamping
     /// it with the current epoch.
     #[inline]
-    fn push_node(&mut self, node: Node<L>) -> Slot {
+    pub(crate) fn push_node(&mut self, node: Node<L>) -> Slot {
         let slot = Slot::new(u32::try_from(self.slab.len()).expect("tree larger than u32::MAX"));
         self.index.insert(node.id, slot);
         self.slab.push(node);
@@ -668,11 +685,15 @@ impl<L> Tree<L> {
 #[cfg(feature = "serde")]
 mod serde_impls {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
+    /// A `BTreeMap` keeps the node map sorted by [`NodeId`], so equal
+    /// trees serialize to identical bytes regardless of arena order or
+    /// hash seeding (the historical `HashMap` here made the wire bytes
+    /// vary run-to-run). The map shape on the wire is unchanged.
     #[derive(serde::Serialize, serde::Deserialize)]
     struct TreeWire<V> {
-        nodes: HashMap<NodeId, V>,
+        nodes: BTreeMap<NodeId, V>,
         root: NodeId,
     }
 

@@ -33,7 +33,7 @@ use rand::{RngExt, SeedableRng};
 use xvu_dtd::Dtd;
 use xvu_edit::{script_to_term, Script};
 use xvu_propagate::{count_optimal_propagations, Engine, Session};
-use xvu_tree::{to_term_with_ids, Alphabet, DocTree, Sym};
+use xvu_tree::{to_term_with_ids, Alphabet, CorpusBuilder, DocTree, Sym};
 use xvu_view::Annotation;
 
 /// Knobs for [`generate_fleet`]. Everything is deterministic in `seed`.
@@ -227,6 +227,26 @@ impl FleetPlan {
     /// The operations of one client, in order.
     pub fn client_ops(&self, client: usize) -> impl Iterator<Item = &FleetOp> {
         self.ops.iter().filter(move |op| op.client == client)
+    }
+
+    /// Packs the plan's initial corpus as a flat snapshot corpus image
+    /// (`xvu_tree::snapshot`): one section per document, encoded against
+    /// its family's alphabet. A daemon preloaded from these bytes serves
+    /// exactly the documents the term-`load` phase would install, so the
+    /// plan replays identically from either cold-start path.
+    pub fn corpus_snapshot_bytes(&self) -> Vec<u8> {
+        let mut builder = CorpusBuilder::new();
+        for fd in &self.docs {
+            builder
+                .push(
+                    fd.id,
+                    fd.family as u32,
+                    &fd.doc,
+                    &self.families[fd.family].alpha,
+                )
+                .expect("fleet documents always encode");
+        }
+        builder.finish()
     }
 }
 

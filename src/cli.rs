@@ -48,6 +48,7 @@ fn run_inner(args: &[String]) -> Result<String, XvuError> {
     match cmd.as_str() {
         "serve" => return cmd_serve(it.as_slice()),
         "client" => return cmd_client(it.as_slice()),
+        "snapshot" => return cmd_snapshot(it.as_slice()),
         _ => {}
     }
     let opts = parse_opts(it.as_slice())?;
@@ -75,14 +76,20 @@ fn usage() -> XvuError {
          \x20 propagate --dtd FILE --ann FILE --doc FILE --update FILE\n\
          \x20           [--update FILE ...] [--selector nop|first|type] [--jobs N]\n\
          \x20 serve     --dtd FILE --ann FILE [--listen ADDR] [--stdio]\n\
-         \x20           [--workers N] [--pool N] [--queue N]\n\
+         \x20           [--workers N] [--pool N] [--queue N] [--corpus FILE]\n\
          \x20 client    ADDR stats|shutdown\n\
          \x20 client    ADDR load ID FAMILY FILE | open ID | commit ID | close ID\n\
          \x20 client    ADDR propagate ID FILE | count ID FILE | verify ID FILE FILE\n\
+         \x20 client    ADDR snapshot PATH\n\
+         \x20 snapshot  pack --out FILE --doc FILE [--doc FILE ...] [--family N]\n\
+         \x20 snapshot  info FILE\n\
+         \x20 snapshot  unpack FILE [ID]\n\
          \n\
          repeating --doc in `propagate` pairs each document with the --update\n\
          at the same position and serves the batch on N worker threads;\n\
-         `serve` runs the long-lived daemon and `client` speaks its protocol\n"
+         `serve` runs the long-lived daemon and `client` speaks its protocol;\n\
+         `snapshot` converts term/XML documents to and from the flat binary\n\
+         corpus format that `serve --corpus` preloads without parsing\n"
             .to_owned(),
     )
 }
@@ -406,6 +413,7 @@ fn cmd_serve(args: &[String]) -> Result<String, XvuError> {
     let mut ann_src = None;
     let mut listen = "127.0.0.1:7878".to_owned();
     let mut stdio = false;
+    let mut corpus_path: Option<String> = None;
     let mut cfg = xvu_server::ServerConfig::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -419,6 +427,7 @@ fn cmd_serve(args: &[String]) -> Result<String, XvuError> {
             "--ann" => ann_src = Some(read_file(value()?)?),
             "--listen" => listen = value()?.to_owned(),
             "--stdio" => stdio = true,
+            "--corpus" => corpus_path = Some(value()?.to_owned()),
             "--workers" => cfg.workers = value()?.parse::<usize>()?.max(1),
             "--pool" => cfg.pool_capacity = value()?.parse::<usize>()?.max(1),
             "--queue" => cfg.queue_capacity = value()?.parse::<usize>()?.max(1),
@@ -441,6 +450,14 @@ fn cmd_serve(args: &[String]) -> Result<String, XvuError> {
         .annotation(ann)
         .build()?];
     let server = xvu_server::Server::new(&engines, cfg);
+    if let Some(path) = &corpus_path {
+        let corpus = crate::tree::SnapshotFile::open(path)
+            .map_err(|e| XvuError::Message(format!("cannot load corpus {path}: {e}")))?;
+        let loaded = server
+            .preload_corpus(&corpus)
+            .map_err(|e| XvuError::Message(format!("corpus {path}: {e}")))?;
+        eprintln!("xvu serve: preloaded {loaded} documents from {path}");
+    }
     let report = if stdio {
         let transport =
             xvu_server::DuplexTransport::new(std::io::stdin().lock(), std::io::stdout().lock());
@@ -455,6 +472,17 @@ fn cmd_serve(args: &[String]) -> Result<String, XvuError> {
             .serve_listener(listener)
             .map_err(|e| XvuError::Message(format!("serve failed: {e}")))?
     };
+    if let Some(path) = &corpus_path {
+        // persist the committed store back to the corpus it was booted
+        // from, so the next `serve --corpus` resumes without parsing
+        let bytes = server.snapshot_store_bytes();
+        std::fs::write(path, &bytes)
+            .map_err(|e| XvuError::Message(format!("cannot write corpus {path}: {e}")))?;
+        eprintln!(
+            "xvu serve: wrote corpus back to {path} ({} bytes)",
+            bytes.len()
+        );
+    }
     Ok(format!(
         "served {} requests (drained {})\n{}\n",
         report.stats.total_requests(),
@@ -535,7 +563,143 @@ fn cmd_client(args: &[String]) -> Result<String, XvuError> {
             client.close_doc(id).map_err(fail)?;
             Ok(format!("closed document {id}\n"))
         }
+        "snapshot" => {
+            let path = next("PATH")?;
+            let summary = client.snapshot(path).map_err(fail)?;
+            Ok(format!("snapshot written to {path}: {summary}\n"))
+        }
         other => Err(format!("unknown client verb {other:?}\n\n{usage}", usage = usage()).into()),
+    }
+}
+
+/// `xvu snapshot`: convert documents to and from the flat binary corpus
+/// format ([`crate::tree::snapshot`]). `pack` interns every `--doc` file
+/// (XML or term) into one shared alphabet and writes a corpus with
+/// sequential document ids; `info` lists the directory; `unpack` decodes
+/// one document (or all of them) back to term syntax.
+fn cmd_snapshot(args: &[String]) -> Result<String, XvuError> {
+    use crate::tree::{CorpusBuilder, SnapshotFile};
+    let mut it = args.iter();
+    let sub = it
+        .next()
+        .ok_or("snapshot needs a subcommand: pack, info or unpack")?;
+    match sub.as_str() {
+        "pack" => {
+            let mut out_path = None;
+            let mut docs = Vec::new();
+            let mut family = 0u32;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or_else(|| XvuError::Message(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--out" => out_path = Some(value()?.to_owned()),
+                    "--doc" => docs.push(value()?.to_owned()),
+                    "--family" => {
+                        family = value()?
+                            .parse::<u32>()
+                            .map_err(|_| XvuError::Message("bad --family index".to_owned()))?
+                    }
+                    other => {
+                        return Err(
+                            format!("unknown flag {other:?}\n\n{usage}", usage = usage()).into(),
+                        )
+                    }
+                }
+            }
+            let out_path = out_path.ok_or("missing --out FILE")?;
+            if docs.is_empty() {
+                return Err("pack needs at least one --doc FILE".into());
+            }
+            // one shared alphabet: every document's labels intern into the
+            // same symbol space, like a serving family's engine alphabet
+            let mut alpha = Alphabet::new();
+            let mut gen = NodeIdGen::new();
+            let mut builder = CorpusBuilder::new();
+            for (id, path) in docs.iter().enumerate() {
+                let term = doc_file_as_term(path)?;
+                let tree = parse_term_with_ids(&mut alpha, &mut gen, &term)?;
+                builder
+                    .push(id as u64, family, &tree, &alpha)
+                    .map_err(|e| XvuError::Message(format!("cannot encode {path}: {e}")))?;
+            }
+            let bytes = builder.finish();
+            std::fs::write(&out_path, &bytes)
+                .map_err(|e| XvuError::Message(format!("cannot write {out_path}: {e}")))?;
+            Ok(format!(
+                "packed {} documents into {out_path} ({} bytes)\n",
+                docs.len(),
+                bytes.len()
+            ))
+        }
+        "info" => {
+            let path = it.next().ok_or("info needs a corpus FILE")?;
+            let corpus = SnapshotFile::open(path)
+                .map_err(|e| XvuError::Message(format!("cannot load corpus {path}: {e}")))?;
+            let mut out = format!("corpus {path}: {} documents\n", corpus.len());
+            for (i, entry) in corpus.entries().iter().enumerate() {
+                let mut alpha = Alphabet::new();
+                let tree = corpus
+                    .decode(i, &mut alpha)
+                    .map_err(|e| XvuError::Message(format!("doc {}: {e}", entry.doc_id)))?;
+                let _ = writeln!(
+                    out,
+                    "  doc {} family {}: {} nodes, {} bytes",
+                    entry.doc_id,
+                    entry.family,
+                    tree.size(),
+                    entry.byte_len()
+                );
+            }
+            Ok(out)
+        }
+        "unpack" => {
+            let path = it.next().ok_or("unpack needs a corpus FILE")?;
+            let corpus = SnapshotFile::open(path)
+                .map_err(|e| XvuError::Message(format!("cannot load corpus {path}: {e}")))?;
+            let only: Option<u64> = match it.next() {
+                Some(s) => Some(
+                    s.parse::<u64>()
+                        .map_err(|_| XvuError::Message(format!("bad document id {s:?}")))?,
+                ),
+                None => None,
+            };
+            let mut out = String::new();
+            let mut matched = false;
+            for (i, entry) in corpus.entries().iter().enumerate() {
+                if let Some(want) = only {
+                    if entry.doc_id != want {
+                        continue;
+                    }
+                }
+                matched = true;
+                let mut alpha = Alphabet::new();
+                let tree = corpus
+                    .decode(i, &mut alpha)
+                    .map_err(|e| XvuError::Message(format!("doc {}: {e}", entry.doc_id)))?;
+                let _ = writeln!(
+                    out,
+                    "doc {} family {}: {}",
+                    entry.doc_id,
+                    entry.family,
+                    to_term_with_ids(&tree, &alpha)
+                );
+            }
+            if !matched {
+                return Err(match only {
+                    Some(id) => format!("document {id} not in corpus {path}").into(),
+                    None => format!("corpus {path} is empty").into(),
+                });
+            }
+            Ok(out)
+        }
+        other => Err(format!(
+            "unknown snapshot subcommand {other:?}\n\n{usage}",
+            usage = usage()
+        )
+        .into()),
     }
 }
 
@@ -929,6 +1093,112 @@ mod tests {
         assert!(finale.contains("\"requests\""), "{finale}");
         let served = daemon.join().expect("serve thread").unwrap();
         assert!(served.contains("drained clean"), "{served}");
+    }
+
+    #[test]
+    fn snapshot_pack_info_unpack_round_trip() {
+        let doc_a = write_tmp("snap-a.term", DOC);
+        let doc_b = write_tmp("snap-b.term", "r#20(a#21, b#22, d#23)");
+        let out_path = write_tmp("corpus.xvus", "");
+        let out = run_args(&[
+            "snapshot", "pack", "--out", &out_path, "--doc", &doc_a, "--doc", &doc_b,
+        ])
+        .unwrap();
+        assert!(out.contains("packed 2 documents"), "{out}");
+
+        let info = run_args(&["snapshot", "info", &out_path]).unwrap();
+        assert!(info.contains("2 documents"), "{info}");
+        assert!(info.contains("doc 0 family 0: 11 nodes"), "{info}");
+        assert!(info.contains("doc 1 family 0: 4 nodes"), "{info}");
+
+        // unpacking one document reproduces the term exactly (same ids)
+        let one = run_args(&["snapshot", "unpack", &out_path, "1"]).unwrap();
+        assert!(one.contains("r#20(a#21, b#22, d#23)"), "{one}");
+        let all = run_args(&["snapshot", "unpack", &out_path]).unwrap();
+        assert!(all.contains("r#0(") && all.contains("r#20("), "{all}");
+
+        let err = run_args(&["snapshot", "unpack", &out_path, "9"]).unwrap_err();
+        assert!(err.contains("not in corpus"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_flags_are_validated() {
+        assert!(run_args(&["snapshot"]).unwrap_err().contains("subcommand"));
+        assert!(run_args(&["snapshot", "frob"])
+            .unwrap_err()
+            .contains("unknown snapshot subcommand"));
+        assert!(run_args(&["snapshot", "pack"])
+            .unwrap_err()
+            .contains("--out"));
+        let out = write_tmp("corpus-empty.xvus", "");
+        assert!(run_args(&["snapshot", "pack", "--out", &out])
+            .unwrap_err()
+            .contains("--doc"));
+        // a non-corpus file is a typed decode error, not a panic
+        let junk = write_tmp("junk.xvus", "not a corpus");
+        assert!(run_args(&["snapshot", "info", &junk])
+            .unwrap_err()
+            .contains("cannot load corpus"));
+    }
+
+    #[test]
+    fn serve_preloads_a_corpus_and_snapshots_it_back() {
+        let dtd = write_tmp("schema13.rules", DTD);
+        let ann = write_tmp("view13.ann", ANN);
+        let doc = write_tmp("doc13.term", DOC);
+        let upd = write_tmp("edit13.script", UPDATE);
+        let corpus = write_tmp("corpus13.xvus", "");
+        let out = run_args(&["snapshot", "pack", "--out", &corpus, "--doc", &doc]).unwrap();
+        assert!(out.contains("packed 1 documents"), "{out}");
+
+        let addr = free_addr();
+        let serve_args: Vec<String> = [
+            "serve", "--dtd", &dtd, "--ann", &ann, "--listen", &addr, "--corpus", &corpus,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let daemon = std::thread::spawn(move || run(&serve_args));
+        let mut connected = false;
+        for _ in 0..200 {
+            if run_args(&["client", &addr, "stats"]).is_ok() {
+                connected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(connected, "daemon never came up on {addr}");
+
+        // the packed document (id 0) is servable without a `load`
+        let view = run_args(&["client", &addr, "open", "0"]).unwrap();
+        assert!(view.contains("a#1"), "{view}");
+        let out = run_args(&["client", &addr, "propagate", "0", &upd]).unwrap();
+        assert!(out.contains("propagation cost: 14"), "{out}");
+        let out = run_args(&["client", &addr, "commit", "0"]).unwrap();
+        assert!(out.contains("committed"), "{out}");
+
+        // the snapshot verb writes the committed store to a fresh corpus
+        let mid = write_tmp("corpus13-mid.xvus", "");
+        let out = run_args(&["client", &addr, "snapshot", &mid]).unwrap();
+        assert!(out.contains("docs=1"), "{out}");
+        let info = run_args(&["snapshot", "info", &mid]).unwrap();
+        assert!(info.contains("doc 0 family 0"), "{info}");
+
+        run_args(&["client", &addr, "shutdown"]).unwrap();
+        let served = daemon.join().expect("serve thread").unwrap();
+        assert!(served.contains("drained clean"), "{served}");
+
+        // shutdown wrote the committed (post-propagate) store back to the
+        // boot corpus: the unpacked term reflects the committed edit
+        let unpacked = run_args(&["snapshot", "unpack", &corpus, "0"]).unwrap();
+        assert!(
+            !unpacked.contains("a#1,"),
+            "deleted node survived: {unpacked}"
+        );
+        assert!(
+            unpacked.contains("d#11"),
+            "inserted node missing: {unpacked}"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! reply. Any nondeterminism in the serving stack shows up as a
 //! mismatch naming the exact operation.
 
-use xml_view_update::server::{run_fleet, FleetReport, ServerConfig};
+use xml_view_update::server::{run_fleet, run_fleet_from_corpus, FleetReport, ServerConfig};
 use xml_view_update::workload::fleet::{generate_fleet, FleetConfig, FleetPlan};
 
 /// ≥ 32 documents over Zipf popularity, enough committed edits to push
@@ -81,6 +81,42 @@ fn daemon_is_deterministically_equal_to_direct_sessions_at_fleet_scale() {
         observed >= report.requests - report.retries,
         "latency histograms undercounted: {observed} < {}",
         report.requests
+    );
+}
+
+#[test]
+fn snapshot_corpus_serving_is_byte_identical_to_term_loading() {
+    // the same plan served two ways: documents loaded over the wire as
+    // terms (parse path) versus preloaded from a packed flat-snapshot
+    // corpus (bulk-decode path). Every reply is diffed against the same
+    // recorded fingerprints, so both runs passing means the two load
+    // paths produce byte-identical serving behaviour.
+    let plan = generate_fleet(&FleetConfig {
+        docs: 16,
+        families: 4,
+        clients: 4,
+        updates: 80,
+        seed: 0x5A47_C0DE,
+        ..FleetConfig::default()
+    });
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        pool_capacity: 4,
+        retry_after_ms: 1,
+    };
+    let term_report = run_fleet(&plan, cfg.clone()).expect("term-load daemon runs");
+    assert_clean(&term_report, "term-load");
+    let snap_report = run_fleet_from_corpus(&plan, cfg).expect("snapshot daemon runs");
+    assert_clean(&snap_report, "snapshot-corpus");
+    // the snapshot run skips the per-document load requests; everything
+    // else in the two request streams is identical
+    assert_eq!(
+        term_report.requests,
+        snap_report.requests + plan.docs.len() as u64,
+        "request accounting: term {} vs snapshot {}",
+        term_report.requests,
+        snap_report.requests
     );
 }
 

@@ -1,0 +1,73 @@
+//! The checked-in snapshot fixture: a packed hospital corpus that pins
+//! the on-disk format. If an encoder change alters the byte layout,
+//! this test fails before any deployed corpus does — bump
+//! `SNAPSHOT_FORMAT_VERSION` and regenerate instead of silently
+//! changing version 1:
+//!
+//! ```text
+//! cargo test --test snapshot_fixture -- --ignored regenerate
+//! ```
+
+use xml_view_update::prelude::*;
+use xml_view_update::tree::{CorpusBuilder, SnapshotFile};
+use xml_view_update::workload::scenario::{hospital, hospital_doc};
+
+fn fixture_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/hospital.xvus")
+}
+
+/// The fixture's content, rebuilt from the deterministic generator: one
+/// hospital document (3 departments × 4 patients, full records) packed
+/// as corpus doc 0, family 0.
+fn expected_corpus_bytes() -> Vec<u8> {
+    let h = hospital();
+    let mut gen = NodeIdGen::new();
+    let doc = hospital_doc(&h, 3, 4, &mut gen);
+    let mut builder = CorpusBuilder::new();
+    builder.push(0, 0, &doc, &h.alpha).expect("encodable");
+    builder.finish()
+}
+
+#[test]
+fn checked_in_hospital_fixture_loads_byte_identically() {
+    let path = fixture_path();
+    let on_disk = std::fs::read(path)
+        .unwrap_or_else(|e| panic!("missing fixture {path}: {e} (run the regenerate test)"));
+    assert_eq!(
+        on_disk,
+        expected_corpus_bytes(),
+        "fixture bytes diverged from the encoder: the snapshot format \
+         changed without a version bump"
+    );
+
+    let corpus = SnapshotFile::open(path).expect("fixture parses");
+    assert_eq!(corpus.len(), 1);
+    assert_eq!(corpus.entries()[0].doc_id, 0);
+    assert_eq!(corpus.entries()[0].family, 0);
+
+    let h = hospital();
+    let mut alpha = h.alpha.clone();
+    let tree = corpus.decode(0, &mut alpha).expect("fixture decodes");
+    tree.validate().expect("decoded arena validates");
+    assert_eq!(alpha.len(), h.alpha.len(), "no foreign labels");
+    assert!(h.dtd.is_valid(&tree), "fixture document satisfies the DTD");
+    // 1 hospital + 3 × (1 department + 4 × 8-node patient subtree)
+    assert_eq!(tree.size(), 100);
+
+    // the loaded tree re-encodes to the exact section bytes: load is a
+    // faithful inverse of pack, with no re-indexing drift
+    assert_eq!(
+        tree.to_snapshot_bytes(&alpha).expect("re-encodable"),
+        corpus.doc_bytes(0)
+    );
+}
+
+/// Bless test: rewrites the fixture from the current encoder. Run only
+/// after an intentional, version-bumped format change.
+#[test]
+#[ignore = "bless test: rewrites tests/fixtures/hospital.xvus"]
+fn regenerate_hospital_fixture() {
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+        .expect("fixtures dir");
+    std::fs::write(fixture_path(), expected_corpus_bytes()).expect("write fixture");
+}
