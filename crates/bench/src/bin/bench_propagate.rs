@@ -11,7 +11,11 @@
 //! budget, grouped by regime, with each regime's view-edit → source-edit
 //! cost amplification — the blowup map), and writes them as JSON so the
 //! perf trajectory across PRs is tracked by a checked-in artifact instead
-//! of scraped bench logs.
+//! of scraped bench logs. Since schema /5 every workload also carries a
+//! per-phase breakdown (`phases`: instance validation, graph build,
+//! typing, assembly, commit — via `Session::propagate_phased`) and a
+//! `kernel` section races the memory-layout arms of
+//! `benches/kernel_layouts.rs` over each workload's harvested graph set.
 //!
 //! ```text
 //! cargo run --release -p xvu_bench --bin bench_propagate [-- OUT_PATH]
@@ -23,11 +27,14 @@
 //! time session open + K × (propagate + commit).
 
 use std::hint::black_box;
+use std::time::Instant;
+use xvu_bench::kernel::{harvest_graphs, sum_csr_fresh, sum_csr_pooled, sum_jagged, JaggedMirror};
 use xvu_bench::{
     enumerated_regime_rows, hospital_churn_batch, hospital_update_batch, median_time,
     random_update_batch, run_churn_session, OwnedInstance,
 };
 use xvu_edit::Script;
+use xvu_propagate::GraphScratch;
 
 /// Median engine-amortized wall time for one workload, in nanoseconds.
 fn engine_amortized_median_ns(oi: &OwnedInstance, updates: &[Script], runs: usize) -> u128 {
@@ -43,11 +50,111 @@ fn engine_amortized_median_ns(oi: &OwnedInstance, updates: &[Script], runs: usiz
     .as_nanos()
 }
 
+/// Per-phase nanoseconds summed over one workload pass (K updates).
+#[derive(Clone, Copy, Default)]
+struct PhaseSums {
+    instance_ns: u64,
+    graph_build_ns: u64,
+    typing_ns: u64,
+    assemble_ns: u64,
+    commit_ns: u64,
+}
+
+fn median_u64(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Runs `pass` `runs` times and takes the per-phase median across runs.
+fn phase_medians(runs: usize, mut pass: impl FnMut() -> PhaseSums) -> PhaseSums {
+    let samples: Vec<PhaseSums> = (0..runs.max(1)).map(|_| pass()).collect();
+    PhaseSums {
+        instance_ns: median_u64(samples.iter().map(|s| s.instance_ns).collect()),
+        graph_build_ns: median_u64(samples.iter().map(|s| s.graph_build_ns).collect()),
+        typing_ns: median_u64(samples.iter().map(|s| s.typing_ns).collect()),
+        assemble_ns: median_u64(samples.iter().map(|s| s.assemble_ns).collect()),
+        commit_ns: median_u64(samples.iter().map(|s| s.commit_ns).collect()),
+    }
+}
+
+/// One phased pass over a workload: `Session::propagate_phased` per
+/// update, plus an externally timed `commit` when `commit` is set (the
+/// churn regime). Sums are per pass; medians are taken across passes.
+fn phased_pass(oi: &OwnedInstance, updates: &[Script], commit: bool) -> PhaseSums {
+    let engine = oi.engine();
+    let mut session = engine.open(&oi.doc).expect("valid document");
+    let mut sums = PhaseSums::default();
+    for u in updates {
+        let (prop, phases) = session.propagate_phased(u).expect("Theorem 5");
+        sums.instance_ns += phases.instance_ns;
+        sums.graph_build_ns += phases.graph_build_ns;
+        sums.typing_ns += phases.typing_ns;
+        sums.assemble_ns += phases.assemble_ns;
+        if commit {
+            let t0 = Instant::now();
+            session.commit(&prop).expect("propagation commits");
+            sums.commit_ns += t0.elapsed().as_nanos() as u64;
+        }
+        black_box(prop.cost);
+    }
+    sums
+}
+
+fn phases_json(p: &PhaseSums) -> String {
+    format!(
+        "\"phases\": {{ \"instance_ns\": {}, \"graph_build_ns\": {}, \"typing_ns\": {}, \
+         \"assemble_ns\": {}, \"commit_ns\": {} }}",
+        p.instance_ns, p.graph_build_ns, p.typing_ns, p.assemble_ns, p.commit_ns,
+    )
+}
+
 struct Row {
     name: &'static str,
     updates: usize,
     doc_nodes: usize,
     median_ns: u128,
+    phases: PhaseSums,
+}
+
+/// One workload's kernel head-to-head: median ns for one best-cost sweep
+/// over the harvested graph set, per layout arm.
+struct KernelRow {
+    name: &'static str,
+    graphs: usize,
+    jagged_fresh_ns: u128,
+    csr_fresh_ns: u128,
+    csr_pooled_ns: u128,
+}
+
+fn kernel_row(name: &'static str, oi: &OwnedInstance, runs: usize) -> KernelRow {
+    let graphs = harvest_graphs(oi);
+    let mirrors: Vec<JaggedMirror> = graphs.iter().map(JaggedMirror::of).collect();
+    // Every arm must agree — the head-to-head is only meaningful over
+    // observationally identical kernels.
+    let mut scratch = GraphScratch::default();
+    let expect = sum_jagged(&mirrors);
+    assert_eq!(expect, sum_csr_fresh(&graphs), "kernel arms disagree");
+    assert_eq!(
+        expect,
+        sum_csr_pooled(&graphs, &mut scratch),
+        "kernel arms disagree"
+    );
+    KernelRow {
+        name,
+        graphs: graphs.len(),
+        jagged_fresh_ns: median_time(runs, || {
+            black_box(sum_jagged(&mirrors));
+        })
+        .as_nanos(),
+        csr_fresh_ns: median_time(runs, || {
+            black_box(sum_csr_fresh(&graphs));
+        })
+        .as_nanos(),
+        csr_pooled_ns: median_time(runs, || {
+            black_box(sum_csr_pooled(&graphs, &mut scratch));
+        })
+        .as_nanos(),
+    }
 }
 
 fn main() {
@@ -66,12 +173,14 @@ fn main() {
             updates: K,
             doc_nodes: hospital.doc.size(),
             median_ns: engine_amortized_median_ns(&hospital, &hospital_updates, RUNS),
+            phases: phase_medians(RUNS, || phased_pass(&hospital, &hospital_updates, false)),
         },
         Row {
             name: "random32",
             updates: K,
             doc_nodes: random32.doc.size(),
             median_ns: engine_amortized_median_ns(&random32, &random32_updates, RUNS),
+            phases: phase_medians(RUNS, || phased_pass(&random32, &random32_updates, false)),
         },
     ];
 
@@ -109,6 +218,7 @@ fn main() {
     })
     .as_nanos();
     let improvement_pct = 100.0 * (1.0 - churn_cached_ns as f64 / churn_uncached_ns.max(1) as f64);
+    let churn_phases = phase_medians(RUNS, || phased_pass(&churn, &churn_updates, true));
 
     // Cross-document sharing: warm a sharing engine's fleet tier with one
     // untimed churn replay, then measure the identical replay through
@@ -151,19 +261,34 @@ fn main() {
         .expect("enumeration is non-empty");
     let blowup_regime = blowup.regime;
 
+    // Kernel head-to-head: the layout arms of `benches/kernel_layouts.rs`
+    // raced over each workload's harvested graph set (median ns per full
+    // best-cost sweep).
+    let kernel_rows = [
+        kernel_row("hospital", &hospital, RUNS),
+        kernel_row("random32", &random32, RUNS),
+        kernel_row("churn", &churn, RUNS),
+    ];
+
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"xvu-bench-propagate/4\",\n");
+    json.push_str("  \"schema\": \"xvu-bench-propagate/5\",\n");
     json.push_str("  \"timed_region\": \"engine compile + session open + K propagations\",\n");
+    json.push_str(
+        "  \"phases_note\": \"phases are per-phase ns summed over the K updates of one warm \
+         pass (Session::propagate_phased + externally timed commit), medians across runs, \
+         measured outside the median_ns region\",\n",
+    );
     json.push_str(&format!("  \"runs_per_median\": {RUNS},\n"));
     json.push_str("  \"workloads\": {\n");
     for row in rows.iter() {
         json.push_str(&format!(
-            "    \"{}\": {{ \"updates\": {}, \"doc_nodes\": {}, \"median_ns\": {}, \"median_us_per_update\": {:.3} }},\n",
+            "    \"{}\": {{ \"updates\": {}, \"doc_nodes\": {}, \"median_ns\": {}, \"median_us_per_update\": {:.3}, {} }},\n",
             row.name,
             row.updates,
             row.doc_nodes,
             row.median_ns,
             row.median_ns as f64 / 1e3 / row.updates as f64,
+            phases_json(&row.phases),
         ));
     }
     json.push_str(&format!(
@@ -171,7 +296,7 @@ fn main() {
          \"timed_region\": \"session open + K x (propagate + commit), engine precompiled\", \
          \"cached_median_ns\": {}, \"uncached_median_ns\": {}, \
          \"cached_us_per_update\": {:.3}, \"uncached_us_per_update\": {:.3}, \
-         \"cache_improvement_pct\": {:.1} }},\n",
+         \"cache_improvement_pct\": {:.1}, {} }},\n",
         K,
         churn.doc.size(),
         churn_cached_ns,
@@ -179,6 +304,7 @@ fn main() {
         churn_cached_ns as f64 / 1e3 / K as f64,
         churn_uncached_ns as f64 / 1e3 / K as f64,
         improvement_pct,
+        phases_json(&churn_phases),
     ));
     json.push_str(&format!(
         "    \"churn_cross_document\": {{ \"updates\": {}, \"doc_nodes\": {}, \
@@ -195,6 +321,25 @@ fn main() {
         shared_stats.entries,
     ));
     json.push_str("  },\n");
+    json.push_str(
+        "  \"kernel\": {\n    \"timed_region\": \"median ns per best-cost sweep over every \
+         per-node propagation graph harvested from the workload's forest; arms as in \
+         benches/kernel_layouts.rs\",\n    \"winner\": \"csr_pooled\",\n    \"workloads\": {\n",
+    );
+    for (i, k) in kernel_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      \"{}\": {{ \"graphs\": {}, \"jagged_fresh_ns\": {}, \"csr_fresh_ns\": {}, \
+             \"csr_pooled_ns\": {}, \"pooled_speedup_vs_jagged\": {:.2} }}{}\n",
+            k.name,
+            k.graphs,
+            k.jagged_fresh_ns,
+            k.csr_fresh_ns,
+            k.csr_pooled_ns,
+            k.jagged_fresh_ns as f64 / k.csr_pooled_ns.max(1) as f64,
+            if i + 1 == kernel_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("    }\n  },\n");
     json.push_str(&format!(
         "  \"enumerated\": {{\n    \"timed_region\": \"one-shot propagate over every default-budget enumo instance, per regime\",\n    \"cost_blowup_regime\": \"{blowup_regime}\",\n"
     ));

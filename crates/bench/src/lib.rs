@@ -444,6 +444,120 @@ pub fn enumerated_regime_rows(runs: usize) -> Vec<RegimeRow> {
     rows
 }
 
+/// Head-to-head kernel-layout arms: the CSR [`xvu_propagate::pathgraph`]
+/// kernel (fresh-scratch and pooled-scratch) against a faithful mirror of
+/// the jagged `Vec<Vec<_>>` adjacency layout it replaced. The benches in
+/// `benches/kernel_layouts.rs` and the `kernel` section of
+/// `BENCH_propagate.json` both drive these on graphs harvested from real
+/// propagation forests, so the comparison measures the layouts on the
+/// exact vertex/edge distributions the algorithm produces — not on
+/// synthetic graphs.
+pub mod kernel {
+    use super::OwnedInstance;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use xvu_dtd::{min_sizes, InsertletPackage};
+    use xvu_edit::Script;
+    use xvu_propagate::{CostModel, GraphScratch, Instance, PropGraph, PropagationForest};
+    use xvu_tree::DocTree;
+    use xvu_view::Annotation;
+
+    /// Clones every per-node propagation graph out of one instance's
+    /// forest — the query set the kernel arms race over.
+    pub fn harvest_graphs(oi: &OwnedInstance) -> Vec<PropGraph> {
+        harvest_from(&oi.dtd, &oi.ann, &oi.doc, &oi.update, oi.alpha.len())
+    }
+
+    /// [`harvest_graphs`] over unbundled parts (the enumerated-instance
+    /// shape).
+    pub fn harvest_from(
+        dtd: &xvu_dtd::Dtd,
+        ann: &Annotation,
+        doc: &DocTree,
+        update: &Script,
+        alpha_len: usize,
+    ) -> Vec<PropGraph> {
+        let inst = Instance::new(dtd, ann, doc, update, alpha_len).expect("valid instance");
+        let sizes = min_sizes(dtd, alpha_len);
+        let pkg = InsertletPackage::new();
+        let cm = CostModel {
+            sizes: &sizes,
+            insertlets: &pkg,
+        };
+        let forest = PropagationForest::build(&inst, &cm).expect("Theorem 5");
+        forest.graphs().map(|(_, g)| g.clone()).collect()
+    }
+
+    /// A faithful mirror of the pre-CSR adjacency layout: one
+    /// heap-allocated `Vec` per vertex. Its [`JaggedMirror::best_cost`]
+    /// runs the same Dijkstra as the kernel but allocates its distance
+    /// array and heap per call — the fresh-allocation baseline both
+    /// layout questions (contiguity, pooling) are measured against.
+    pub struct JaggedMirror {
+        out: Vec<Vec<(u32, u64)>>,
+        goal: Vec<bool>,
+        start: u32,
+    }
+
+    impl JaggedMirror {
+        /// Mirrors a harvested graph, preserving per-row edge order.
+        pub fn of(g: &PropGraph) -> JaggedMirror {
+            let mut out = vec![Vec::new(); g.n_vertices()];
+            for (_, e) in g.edges() {
+                out[e.from as usize].push((e.to, e.weight));
+            }
+            JaggedMirror {
+                out,
+                goal: (0..g.n_vertices() as u32).map(|v| g.is_goal(v)).collect(),
+                start: g.start(),
+            }
+        }
+
+        /// Cheapest start→goal cost with per-call allocation (the old
+        /// kernel's behaviour).
+        pub fn best_cost(&self) -> Option<u64> {
+            let mut dist = vec![u64::MAX; self.out.len()];
+            let mut heap = BinaryHeap::new();
+            dist[self.start as usize] = 0;
+            heap.push(Reverse((0u64, self.start)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v as usize] {
+                    continue;
+                }
+                for &(to, w) in &self.out[v as usize] {
+                    let nd = d.saturating_add(w);
+                    if nd < dist[to as usize] && nd != u64::MAX {
+                        dist[to as usize] = nd;
+                        heap.push(Reverse((nd, to)));
+                    }
+                }
+            }
+            (0..self.out.len())
+                .filter(|&v| self.goal[v])
+                .map(|v| dist[v])
+                .min()
+                .filter(|&c| c != u64::MAX)
+        }
+    }
+
+    /// Σ best-cost over the mirrored set — the jagged, fresh-allocation
+    /// arm.
+    pub fn sum_jagged(mirrors: &[JaggedMirror]) -> u64 {
+        mirrors.iter().filter_map(JaggedMirror::best_cost).sum()
+    }
+
+    /// Σ best-cost over the CSR set with a fresh scratch per query.
+    pub fn sum_csr_fresh(graphs: &[PropGraph]) -> u64 {
+        graphs.iter().filter_map(PropGraph::best_cost).sum()
+    }
+
+    /// Σ best-cost over the CSR set through one pooled scratch — the
+    /// shipped configuration.
+    pub fn sum_csr_pooled(graphs: &[PropGraph], s: &mut GraphScratch) -> u64 {
+        graphs.iter().filter_map(|g| g.best_cost_with(s)).sum()
+    }
+}
+
 /// Pairs one source document with each update — the independent-request
 /// batch shape [`xvu_propagate::serve`]'s `Engine::propagate_batch`
 /// serves (requests are self-contained, so the same document may appear
@@ -514,6 +628,19 @@ mod tests {
             rows.iter().any(|r| r.amplification > 1.0),
             "at least one regime must amplify view-edit cost"
         );
+    }
+
+    #[test]
+    fn kernel_arms_agree_on_harvested_graphs() {
+        let oi = hospital_instance(2, 4);
+        let graphs = kernel::harvest_graphs(&oi);
+        assert!(!graphs.is_empty());
+        assert!(graphs.iter().any(|g| g.n_edges() > 0));
+        let mirrors: Vec<_> = graphs.iter().map(kernel::JaggedMirror::of).collect();
+        let mut s = xvu_propagate::GraphScratch::default();
+        let jagged = kernel::sum_jagged(&mirrors);
+        assert_eq!(jagged, kernel::sum_csr_fresh(&graphs));
+        assert_eq!(jagged, kernel::sum_csr_pooled(&graphs, &mut s));
     }
 
     #[test]

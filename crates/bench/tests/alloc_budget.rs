@@ -1,0 +1,93 @@
+//! Allocation-budget regression gate for the propagation kernel.
+//!
+//! A counting `GlobalAlloc` wrapper (std-only, no dependencies) tallies
+//! every heap allocation while armed. The single test in this file warms
+//! a hospital churn session, then counts the transient allocations of one
+//! further warm `propagate + commit` round trip and pins them under a
+//! budget. If a future change reintroduces per-query allocation in the
+//! kernel — a fresh Dijkstra heap or distance array per `best_cost`, a
+//! rebuilt reverse adjacency per `dist_to_goal`, per-node segmentation
+//! buffers — the count jumps far past the pinned ceiling and this test
+//! fails before the regression reaches a perf snapshot.
+//!
+//! This file holds exactly one `#[test]`: the counter is process-global,
+//! so a second concurrently running test would pollute the tally.
+//!
+//! CI runs this in release mode (`cargo test --release -p xvu_bench
+//! --test alloc_budget`); the budget below holds for both debug and
+//! release builds.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts allocations (and growing reallocations) while [`ARMED`].
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Transient heap allocations allowed for one warm churn update
+/// (propagate + commit) through a long-lived hospital session.
+///
+/// The steady state still allocates for real products — the result
+/// script/forest, dirty-node graphs, the committed document revision —
+/// but the kernel's query machinery (Dijkstra state, reverse CSR,
+/// segmentation buffers) is pooled and contributes zero. The pin carries
+/// ~1.5× headroom over the measured count (~2,110 in both debug and
+/// release); a
+/// reintroduced per-query allocation multiplies the count by the number
+/// of per-node queries and blows well past it.
+const BUDGET: u64 = 3_200;
+
+#[test]
+fn warm_churn_update_stays_under_allocation_budget() {
+    let (oi, updates) = xvu_bench::hospital_churn_batch(4, 30, 8, 0xc0ffee);
+    let engine = oi.engine();
+    let mut session = engine.open(&oi.doc).expect("hospital doc is valid");
+
+    // Warm pass: everything but the last update fills the session cache
+    // and grows the pooled scratch to its steady-state footprint.
+    let (last, warmup) = updates.split_last().expect("non-empty churn stream");
+    for u in warmup {
+        let prop = session.propagate(u).expect("churn update propagates");
+        session.commit(&prop).expect("churn propagation commits");
+    }
+
+    // Counted region: one more warm round trip.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let prop = session.propagate(last).expect("churn update propagates");
+    session.commit(&prop).expect("churn propagation commits");
+    ARMED.store(false, Ordering::SeqCst);
+    let count = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(count > 0, "counter never engaged — harness broken");
+    assert!(
+        count <= BUDGET,
+        "warm churn update allocated {count} times (budget {BUDGET}): \
+         a per-query allocation crept back into the kernel"
+    );
+}

@@ -16,8 +16,10 @@ use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
+use crate::scratch::PropScratch;
 use crate::selection::Selector;
 use std::sync::Arc;
+use std::time::Instant;
 use xvu_dtd::{min_sizes, InsertletPackage};
 use xvu_edit::{del_script, ins_script, nop_script, ELabel, Script, ScriptFootprint};
 use xvu_tree::{NodeId, NodeIdGen, SlotMap, Tree};
@@ -40,6 +42,23 @@ impl Default for Config {
             witness_budget: 100_000,
         }
     }
+}
+
+/// Wall-clock decomposition of one propagation. All values are
+/// nanoseconds. The kernel fills the graph/typing/assembly phases;
+/// `instance_ns` belongs to the caller that constructs (or diffs) the
+/// instance — [`crate::Session::propagate_phased`] fills it, and the bench
+/// harness times the commit phase externally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// Instance construction and validation.
+    pub instance_ns: u64,
+    /// Propagation-graph construction (forest build minus typing).
+    pub graph_build_ns: u64,
+    /// Content-model typing runs inside the forest build.
+    pub typing_ns: u64,
+    /// Path selection and script assembly.
+    pub assemble_ns: u64,
 }
 
 /// The result of a propagation: the script, its cost, and the graphs it
@@ -81,7 +100,7 @@ pub(crate) fn propagate_with(
     cost: &CostModel<'_>,
     cfg: &Config,
 ) -> Result<Propagation, PropagateError> {
-    propagate_with_cache(inst, cost, cfg, None, None)
+    propagate_with_cache(inst, cost, cfg, None, None, &mut PropScratch::new(), None)
 }
 
 /// The cache-aware propagation core: graphs and optimal subgraphs for
@@ -90,14 +109,32 @@ pub(crate) fn propagate_with(
 /// `fp` absent this is exactly [`propagate_with`]; with them present the
 /// result is byte-identical but the dynamic program is only recomputed
 /// inside the footprint.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn propagate_with_cache(
     inst: &Instance<'_>,
     cost: &CostModel<'_>,
     cfg: &Config,
     mut cache: Option<&mut PropCache>,
     fp: Option<&ScriptFootprint>,
+    scratch: &mut PropScratch,
+    mut phases: Option<&mut PhaseBreakdown>,
 ) -> Result<Propagation, PropagateError> {
-    let forest = PropagationForest::build_with(inst, cost, cache.as_deref_mut(), fp)?;
+    let t0 = phases.is_some().then(Instant::now);
+    let mut typing_ns = 0u64;
+    let forest = PropagationForest::build_with(
+        inst,
+        cost,
+        cache.as_deref_mut(),
+        fp,
+        scratch,
+        phases.is_some().then_some(&mut typing_ns),
+    )?;
+    if let (Some(p), Some(t0)) = (phases.as_deref_mut(), t0) {
+        let total = t0.elapsed().as_nanos() as u64;
+        p.typing_ns = typing_ns;
+        p.graph_build_ns = total.saturating_sub(typing_ns);
+    }
+    let t1 = phases.is_some().then(Instant::now);
     let mut gen = inst.id_gen();
     let script = assemble(
         inst,
@@ -109,7 +146,11 @@ pub(crate) fn propagate_with_cache(
         &mut SlotMap::with_capacity(inst.update.size()),
         cache,
         fp,
+        scratch,
     )?;
+    if let (Some(p), Some(t1)) = (phases, t1) {
+        p.assemble_ns = t1.elapsed().as_nanos() as u64;
+    }
     let cost_total = forest.optimal_cost();
     debug_assert_eq!(xvu_edit::cost(&script) as u64, cost_total);
     Ok(Propagation {
@@ -158,8 +199,18 @@ fn assemble(
     opt_cache: &mut SlotMap<Arc<PropGraph>>,
     mut cache: Option<&mut PropCache>,
     fp: Option<&ScriptFootprint>,
+    scratch: &mut PropScratch,
 ) -> Result<Script, PropagateError> {
     let nslot = inst.update.slot(n).expect("preserved node in update");
+    // Identity fast path: a clean node (subtree entirely `Nop`) whose
+    // cheapest propagation costs 0 keeps its source subtree verbatim —
+    // every 0-weight edge of `G_n` is a `Nop*` edge (deletions weigh the
+    // subtree size, inserts at least 1), so any optimal path reproduces
+    // the source child word unchanged, recursively. Emitting the nop
+    // script directly skips the walk and the per-node subgraph machinery.
+    if fp.is_some_and(|f| f.is_clean(nslot)) && forest.cost(n) == Some(0) {
+        return Ok(nop_script(&inst.source.subtree(n)));
+    }
     let opt: Arc<PropGraph> = match opt_cache.get(nslot) {
         Some(g) => Arc::clone(g),
         None => {
@@ -181,7 +232,7 @@ fn assemble(
                         forest
                             .graph(n)
                             .ok_or(PropagateError::NoPropagationPath(n))?
-                            .optimal_subgraph()
+                            .optimal_subgraph_with(scratch.graph_mut())
                             .ok_or(PropagateError::NoPropagationPath(n))?,
                     );
                     if let (Some(c), Some(s)) = (cache.as_deref_mut(), src_slot) {
@@ -198,7 +249,7 @@ fn assemble(
         .walk(|g, outs| cfg.selector.pick(g, outs))
         .ok_or(PropagateError::NoPropagationPath(n))?;
     build_script_from_path(
-        inst, forest, cost, cfg, n, &opt, &path, gen, opt_cache, cache, fp,
+        inst, forest, cost, cfg, n, &opt, &path, gen, opt_cache, cache, fp, scratch,
     )
 }
 
@@ -217,6 +268,7 @@ pub(crate) fn build_script_from_path(
     opt_cache: &mut SlotMap<Arc<PropGraph>>,
     mut cache: Option<&mut PropCache>,
     fp: Option<&ScriptFootprint>,
+    scratch: &mut PropScratch,
 ) -> Result<Script, PropagateError> {
     let x = inst.source.label(n);
     // Positional edges resolve against the node's child words — see
@@ -260,6 +312,7 @@ pub(crate) fn build_script_from_path(
                 opt_cache,
                 cache.as_deref_mut(),
                 fp,
+                scratch,
             )?,
         };
         let pos = script.children(root).len();

@@ -22,6 +22,7 @@ use crate::forest::PropagationForest;
 use crate::graph::{PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::pathgraph::PathGraph;
+use crate::scratch::PropScratch;
 use std::sync::Arc;
 use xvu_edit::{EditOp, Script, ScriptFootprint};
 use xvu_tree::{NodeId, SlotMap, SlotSet};
@@ -88,7 +89,7 @@ pub fn find_complement_preserving(
     cost: &CostModel<'_>,
     cfg: &Config,
 ) -> Result<Option<Script>, PropagateError> {
-    find_complement_preserving_with(inst, forest, cost, cfg, None, None)
+    find_complement_preserving_with(inst, forest, cost, cfg, None, None, &mut PropScratch::new())
 }
 
 /// Cache-aware [`find_complement_preserving`]: the filtered ("complement")
@@ -104,6 +105,7 @@ pub(crate) fn find_complement_preserving_with(
     cfg: &Config,
     mut cache: Option<&mut PropCache>,
     fp: Option<&ScriptFootprint>,
+    scratch: &mut PropScratch,
 ) -> Result<Option<Script>, PropagateError> {
     let update = inst.update;
     let mut filtered: SlotMap<Arc<PropGraph>> = SlotMap::with_capacity(update.size());
@@ -162,7 +164,7 @@ pub(crate) fn find_complement_preserving_with(
                         fg.add_edge(e.from, e.to, e.weight, e.payload.clone());
                     }
                 }
-                let node_feasible = fg.best_cost().is_some();
+                let node_feasible = fg.best_cost_with(scratch.graph_mut()).is_some();
                 if node_feasible {
                     feasible.insert(nslot);
                 }
@@ -195,6 +197,7 @@ pub(crate) fn find_complement_preserving_with(
         forest.root,
         &mut gen,
         &mut opt_cache,
+        scratch,
     )?;
     Ok(Some(script))
 }
@@ -209,15 +212,16 @@ fn walk_filtered(
     n: NodeId,
     gen: &mut xvu_tree::NodeIdGen,
     opt_cache: &mut SlotMap<Arc<PropGraph>>,
+    scratch: &mut PropScratch,
 ) -> Result<Script, PropagateError> {
     let g = &filtered[inst.update.slot(n).expect("preserved node in update")];
     let path = g
-        .shortest_path()
+        .shortest_path_with(scratch.graph_mut())
         .ok_or(PropagateError::NoPropagationPath(n))?;
     // Reuse the assembler, but recurse through the *filtered* graphs: we
     // construct child scripts ourselves and splice via a custom walk.
     let mut script = build_script_from_path(
-        inst, forest, cost, cfg, n, g, &path, gen, opt_cache, None, None,
+        inst, forest, cost, cfg, n, g, &path, gen, opt_cache, None, None, scratch,
     )?;
     // build_script_from_path recursed into the *optimal* child graphs for
     // (vi)-edges, which may use invisible edits. Rebuild those children
@@ -231,7 +235,9 @@ fn walk_filtered(
         })
         .collect();
     for child in child_ids {
-        let sub = walk_filtered(inst, forest, filtered, cost, cfg, child, gen, opt_cache)?;
+        let sub = walk_filtered(
+            inst, forest, filtered, cost, cfg, child, gen, opt_cache, scratch,
+        )?;
         let parent = script.parent(child).expect("child attached under the node");
         let pos = script
             .children(parent)

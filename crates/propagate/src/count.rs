@@ -15,6 +15,7 @@
 
 use crate::forest::PropagationForest;
 use crate::graph::PropEdge;
+use crate::pathgraph::GraphScratch;
 use xvu_tree::NodeId;
 
 /// Counts the cost-minimal propagations captured by `G*` (saturating
@@ -28,13 +29,15 @@ use xvu_tree::NodeId;
 /// forests; every `Some` count is ≥ 1. Callers must not conflate `None`
 /// with a zero count: `0` is never returned inside `Some`.
 pub fn count_optimal_propagations(forest: &PropagationForest) -> Option<u128> {
-    count_node(forest, forest.root)
+    // One pooled Dijkstra scratch serves every subgraph extraction of the
+    // recursive count.
+    count_node(forest, forest.root, &mut GraphScratch::default())
 }
 
-fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
+fn count_node(forest: &PropagationForest, n: NodeId, scratch: &mut GraphScratch) -> Option<u128> {
     // No optimal subgraph ⇔ no start→goal path ⇔ no propagation of this
     // node's fragment — propagate the absence instead of counting it as 0.
-    let opt = forest.graph(n)?.optimal_subgraph()?;
+    let opt = forest.graph(n)?.optimal_subgraph_with(scratch)?;
     let mut missing_child = false;
     // `count_paths` is `None` only on cyclic graphs, which optimal
     // subgraphs of well-formed forests never are; surface that as `None`
@@ -60,7 +63,7 @@ fn count_node(forest: &PropagationForest, n: NodeId) -> Option<u128> {
         }
         PropEdge::NopVisible { .. } => forest
             .resolve_child(n, e)
-            .and_then(|child| count_node(forest, child))
+            .and_then(|child| count_node(forest, child, scratch))
             .unwrap_or_else(|| {
                 missing_child = true;
                 0

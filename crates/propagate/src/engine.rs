@@ -58,7 +58,7 @@
 //! assert_eq!(session.commits(), 1);
 //! ```
 
-use crate::algorithm::{propagate_with, propagate_with_cache, Config, Propagation};
+use crate::algorithm::{propagate_with, propagate_with_cache, Config, PhaseBreakdown, Propagation};
 use crate::cache::{CacheStats, PropCache, SharedHandle};
 use crate::complement::find_complement_preserving_with;
 use crate::cost::CostModel;
@@ -68,11 +68,13 @@ use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::incremental::revalidate_output;
 use crate::instance::{Instance, Prepared};
+use crate::scratch::PropScratch;
 use crate::shared::{SharedCacheBackend, SharedCacheStats, SharedMemoCache};
 use crate::verify::verify_propagation;
 use std::borrow::Cow;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 use xvu_dtd::{min_sizes, Dtd, InsertletPackage, MinSizes};
 use xvu_edit::{apply_in_place, script_footprint, EditError, Script};
 use xvu_tree::{Alphabet, DocTree, Interner, NodeId, NodeIdGen, SlotSet};
@@ -356,6 +358,7 @@ impl Engine {
             doc,
             commits: 0,
             cache: Mutex::new(cache),
+            scratch: Mutex::new(PropScratch::new()),
         })
     }
 
@@ -431,6 +434,11 @@ pub struct Session<'e> {
     /// is uncontended (sessions are exclusively leased — see
     /// [`crate::SessionPool`]) and keeps `Session: Sync`.
     cache: Mutex<PropCache>,
+    /// The session's reusable kernel scratch ([`PropScratch`]): pooled
+    /// working memory for every propagation the session serves. Behind
+    /// its own (equally uncontended) mutex so cache and scratch borrows
+    /// never entangle.
+    scratch: Mutex<PropScratch>,
 }
 
 impl Clone for Session<'_> {
@@ -441,6 +449,8 @@ impl Clone for Session<'_> {
             doc: self.doc.clone(),
             commits: self.commits,
             cache: Mutex::new(self.cache_guard().clone()),
+            // Scratch is pure working memory — a clone starts cold.
+            scratch: Mutex::new(PropScratch::new()),
         }
     }
 }
@@ -453,6 +463,10 @@ impl<'e> Session<'e> {
 
     fn cache_guard(&self) -> MutexGuard<'_, PropCache> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn scratch_guard(&self) -> MutexGuard<'_, PropScratch> {
+        self.scratch.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Counters of the session's [`PropCache`]: graph hits/misses,
@@ -553,6 +567,7 @@ impl<'e> Session<'e> {
         let inst = self.instance(update)?;
         let cm = self.engine.cost_model();
         let mut cache = self.cache_guard();
+        let mut scratch = self.scratch_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
         let result = propagate_with_cache(
             &inst,
@@ -560,11 +575,42 @@ impl<'e> Session<'e> {
             &self.engine.config,
             Some(&mut cache),
             fp.as_ref(),
+            &mut scratch,
+            None,
         );
         // One batched publication of freshly built memos per operation;
         // warm sessions have nothing pending and write nothing.
         cache.flush_shared();
         result
+    }
+
+    /// [`Session::propagate`] with a wall-clock [`PhaseBreakdown`]:
+    /// instance assembly, graph construction, typing, and script assembly
+    /// are timed individually (the bench harness's per-phase rows). The
+    /// propagation itself is exactly what [`Session::propagate`] returns.
+    pub fn propagate_phased(
+        &self,
+        update: &Script,
+    ) -> Result<(Propagation, PhaseBreakdown), PropagateError> {
+        let mut phases = PhaseBreakdown::default();
+        let t0 = Instant::now();
+        let inst = self.instance(update)?;
+        phases.instance_ns = t0.elapsed().as_nanos() as u64;
+        let cm = self.engine.cost_model();
+        let mut cache = self.cache_guard();
+        let mut scratch = self.scratch_guard();
+        let fp = cache.enabled().then(|| script_footprint(update));
+        let result = propagate_with_cache(
+            &inst,
+            &cm,
+            &self.engine.config,
+            Some(&mut cache),
+            fp.as_ref(),
+            &mut scratch,
+            Some(&mut phases),
+        );
+        cache.flush_shared();
+        result.map(|p| (p, phases))
     }
 
     /// Checks that `candidate` is a schema-compliant, side-effect-free
@@ -609,8 +655,16 @@ impl<'e> Session<'e> {
     ) -> Result<PropagationForest, PropagateError> {
         let cm = self.engine.cost_model();
         let mut cache = self.cache_guard();
+        let mut scratch = self.scratch_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
-        let forest = PropagationForest::build_with(inst, &cm, Some(&mut cache), fp.as_ref());
+        let forest = PropagationForest::build_with(
+            inst,
+            &cm,
+            Some(&mut cache),
+            fp.as_ref(),
+            &mut scratch,
+            None,
+        );
         cache.flush_shared();
         forest
     }
@@ -642,8 +696,16 @@ impl<'e> Session<'e> {
         let inst = self.instance(update)?;
         let cm = self.engine.cost_model();
         let mut cache = self.cache_guard();
+        let mut scratch = self.scratch_guard();
         let fp = cache.enabled().then(|| script_footprint(update));
-        let forest = PropagationForest::build_with(&inst, &cm, Some(&mut cache), fp.as_ref())?;
+        let forest = PropagationForest::build_with(
+            &inst,
+            &cm,
+            Some(&mut cache),
+            fp.as_ref(),
+            &mut scratch,
+            None,
+        )?;
         let result = find_complement_preserving_with(
             &inst,
             &forest,
@@ -651,6 +713,7 @@ impl<'e> Session<'e> {
             &self.engine.config,
             Some(&mut cache),
             fp.as_ref(),
+            &mut scratch,
         );
         cache.flush_shared();
         result

@@ -20,6 +20,7 @@ use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::forest::PropagationForest;
 use crate::instance::Instance;
+use crate::pathgraph::GraphScratch;
 use xvu_edit::Script;
 use xvu_tree::{NodeId, NodeIdGen};
 
@@ -43,6 +44,7 @@ pub fn enumerate_optimal_propagations(
         usize::MAX,
         true,
         &mut gen,
+        &mut GraphScratch::default(),
     )
 }
 
@@ -69,6 +71,7 @@ pub fn enumerate_propagations_bounded(
         max_len,
         false,
         &mut gen,
+        &mut GraphScratch::default(),
     )
 }
 
@@ -83,12 +86,13 @@ fn enumerate_node(
     max_len: usize,
     optimal: bool,
     gen: &mut NodeIdGen,
+    scratch: &mut GraphScratch,
 ) -> Result<Vec<Script>, PropagateError> {
     let full = forest
         .graph(n)
         .ok_or(PropagateError::NoPropagationPath(n))?;
     let graph = if optimal {
-        full.optimal_subgraph()
+        full.optimal_subgraph_with(scratch)
             .ok_or(PropagateError::NoPropagationPath(n))?
     } else {
         full.clone()
@@ -106,7 +110,7 @@ fn enumerate_node(
         // `needed` variants to respect the cap. For exhaustiveness we
         // substitute child variants one position at a time.
         let variants = expand_path(
-            inst, cost, forest, cfg, n, &graph, &path, cap, max_len, optimal, gen,
+            inst, cost, forest, cfg, n, &graph, &path, cap, max_len, optimal, gen, scratch,
         )?;
         for s in variants {
             scripts.push(s);
@@ -133,6 +137,7 @@ fn expand_path(
     max_len: usize,
     optimal: bool,
     gen: &mut NodeIdGen,
+    scratch: &mut GraphScratch,
 ) -> Result<Vec<Script>, PropagateError> {
     use crate::graph::PropEdge;
     use xvu_edit::{del_script, ins_script, nop_script, ELabel};
@@ -180,6 +185,7 @@ fn expand_path(
                 max_len,
                 optimal,
                 gen,
+                scratch,
             )?,
         };
         slots.push(fragments);

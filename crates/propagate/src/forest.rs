@@ -13,6 +13,7 @@ use crate::error::PropagateError;
 use crate::graph::{build_prop_graph, source_child_run, PropEdge, PropGraph};
 use crate::instance::Instance;
 use crate::inversion::InversionForest;
+use crate::scratch::PropScratch;
 use std::sync::Arc;
 use xvu_edit::{output_tree, EditOp, ScriptFootprint};
 use xvu_tree::{NodeId, SlotIndex, SlotMap};
@@ -38,14 +39,20 @@ pub struct PropagationForest {
     /// Inversion forest per top-level inserted script child (the (iv)-edge
     /// machinery of §3).
     inversions: SlotMap<InversionForest>,
-    /// Per preserved node: its source child word at build time. Graph
-    /// edges name children positionally ([`crate::PropEdge`]); these
-    /// snapshots resolve `tpos` back to identifiers after the instance is
-    /// gone (the counting walk has no instance in scope).
-    t_kids: SlotMap<Box<[NodeId]>>,
+    /// One flat arena holding every recorded child word back to back —
+    /// the per-node tables below store `(offset, len)` ranges into it, so
+    /// snapshotting a node's child words costs zero allocations instead of
+    /// two boxed slices per preserved node.
+    kids: Vec<NodeId>,
+    /// Per preserved node: its source child word at build time, as a range
+    /// into [`PropagationForest::kids`]. Graph edges name children
+    /// positionally ([`crate::PropEdge`]); these snapshots resolve `tpos`
+    /// back to identifiers after the instance is gone (the counting walk
+    /// has no instance in scope).
+    t_kids: SlotMap<(u32, u32)>,
     /// Per preserved node: its script child word at build time (`spos`
     /// resolution, same story).
-    s_kids: SlotMap<Box<[NodeId]>>,
+    s_kids: SlotMap<(u32, u32)>,
     /// The root of the update (always preserved).
     pub root: NodeId,
 }
@@ -56,7 +63,7 @@ impl PropagationForest {
         inst: &Instance<'_>,
         cost: &CostModel<'_>,
     ) -> Result<PropagationForest, PropagateError> {
-        Self::build_with(inst, cost, None, None)
+        Self::build_with(inst, cost, None, None, &mut PropScratch::new(), None)
     }
 
     /// Cache-aware build: like [`PropagationForest::build`], but for every
@@ -76,13 +83,16 @@ impl PropagationForest {
         cost: &CostModel<'_>,
         mut cache: Option<&mut PropCache>,
         fp: Option<&ScriptFootprint>,
+        scratch: &mut PropScratch,
+        mut typing_ns: Option<&mut u64>,
     ) -> Result<PropagationForest, PropagateError> {
         let update = inst.update;
         let mut graphs: SlotMap<Arc<PropGraph>> = SlotMap::with_capacity(update.size());
         let mut costs: SlotMap<u64> = SlotMap::with_capacity(update.size());
         let mut inversions = SlotMap::with_capacity(update.size());
-        let mut t_kids: SlotMap<Box<[NodeId]>> = SlotMap::with_capacity(update.size());
-        let mut s_kids: SlotMap<Box<[NodeId]>> = SlotMap::with_capacity(update.size());
+        let mut kids: Vec<NodeId> = Vec::new();
+        let mut t_kids: SlotMap<(u32, u32)> = SlotMap::with_capacity(update.size());
+        let mut s_kids: SlotMap<(u32, u32)> = SlotMap::with_capacity(update.size());
         // Accumulated across nodes: every inserting child has exactly one
         // parent, so entries never collide and one table serves all
         // `build_prop_graph` calls.
@@ -102,8 +112,9 @@ impl PropagationForest {
                 if update.label(c).op == EditOp::Ins {
                     let fragment =
                         output_tree(&update.subtree(c)).expect("an Ins subtree has a full output");
-                    let forest = InversionForest::build(inst.dtd, inst.ann, &fragment, cost)
-                        .map_err(|e| match e {
+                    let forest =
+                        InversionForest::build_with(inst.dtd, inst.ann, &fragment, cost, scratch)
+                            .map_err(|e| match e {
                             // An impossible inversion of user-inserted
                             // content means the update's output was not a
                             // legal view — report it as such.
@@ -132,13 +143,26 @@ impl PropagationForest {
             let (g, best) = match cached {
                 Some((g, best)) => (g, best),
                 None => {
+                    let t0 = typing_ns.is_some().then(std::time::Instant::now);
                     let run: TypingRun = match cache.as_deref_mut() {
                         Some(c) => c.run_or_compute(src_slot, || source_child_run(inst, n)),
                         None => source_child_run(inst, n).map(Arc::from),
                     };
-                    let g =
-                        build_prop_graph(inst, n, cost, &costs, &inverse_sizes, run.as_deref())?;
-                    let best = g.best_cost().ok_or(PropagateError::NoPropagationPath(n))?;
+                    if let (Some(acc), Some(t0)) = (typing_ns.as_deref_mut(), t0) {
+                        *acc += t0.elapsed().as_nanos() as u64;
+                    }
+                    let g = build_prop_graph(
+                        inst,
+                        n,
+                        cost,
+                        &costs,
+                        &inverse_sizes,
+                        run.as_deref(),
+                        scratch,
+                    )?;
+                    let best = g
+                        .best_cost_with(&mut scratch.graph)
+                        .ok_or(PropagateError::NoPropagationPath(n))?;
                     let g = Arc::new(g);
                     if clean {
                         if let Some(c) = cache.as_deref_mut() {
@@ -150,8 +174,10 @@ impl PropagationForest {
             };
             costs.insert(nslot, best);
             graphs.insert(nslot, g);
-            t_kids.insert(nslot, inst.source.children(n).into());
-            s_kids.insert(nslot, update.children(n).into());
+            let t_range = push_kids(&mut kids, inst.source.children(n));
+            t_kids.insert(nslot, t_range);
+            let s_range = push_kids(&mut kids, update.children(n));
+            s_kids.insert(nslot, s_range);
         }
 
         Ok(PropagationForest {
@@ -160,6 +186,7 @@ impl PropagationForest {
             graphs,
             costs,
             inversions,
+            kids,
             t_kids,
             s_kids,
             root: update.root(),
@@ -190,7 +217,7 @@ impl PropagationForest {
         self.index
             .slot(n)
             .and_then(|s| self.t_kids.get(s))
-            .map(Box::as_ref)
+            .map(|&(off, len)| &self.kids[off as usize..off as usize + len as usize])
     }
 
     /// The script child word of preserved node `n` at build time (`spos`
@@ -199,7 +226,7 @@ impl PropagationForest {
         self.index
             .slot(n)
             .and_then(|s| self.s_kids.get(s))
-            .map(Box::as_ref)
+            .map(|&(off, len)| &self.kids[off as usize..off as usize + len as usize])
     }
 
     /// Resolves the child a positional edge of `G_n` consumes back to its
@@ -272,6 +299,15 @@ impl PropagationForest {
         let e = self.graphs.values().map(|g| g.n_edges()).sum();
         (v, e)
     }
+}
+
+/// Appends one child word to the flat pool and returns its
+/// `(offset, len)` range.
+fn push_kids(kids: &mut Vec<NodeId>, word: &[NodeId]) -> (u32, u32) {
+    let off = u32::try_from(kids.len()).expect("child pool fits in u32");
+    let len = u32::try_from(word.len()).expect("child word fits in u32");
+    kids.extend_from_slice(word);
+    (off, len)
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::instance::Instance;
 use crate::pathgraph::PathGraph;
+use crate::scratch::PropScratch;
 use crate::segments::Segmentation;
 use crate::selection::{Classify, EdgeClass};
 use xvu_automata::{Nfa, StateId};
@@ -132,6 +133,9 @@ pub type PropGraph = PathGraph<PropVertex, PropEdge>;
 /// typing run over `n`'s source child word ([`source_child_run`]) —
 /// callers holding a session cache pass their memoised copy; `None` means
 /// the content model is nondeterministic and typing is unavailable.
+/// `scratch` pools the segmentation and interning buffers (clear-not-free)
+/// — a warm scratch leaves the returned graph as the only fresh
+/// allocation.
 pub fn build_prop_graph(
     inst: &Instance<'_>,
     n: NodeId,
@@ -139,13 +143,18 @@ pub fn build_prop_graph(
     child_costs: &SlotMap<u64>,
     inverse_sizes: &SlotMap<u64>,
     orig_states: Option<&[StateId]>,
+    scratch: &mut PropScratch,
 ) -> Result<PropGraph, PropagateError> {
     let x = inst.source.label(n);
     let model = inst.dtd.content_model(x);
     let nq = model.num_states() as u32;
     let update_slot = |id: NodeId| inst.update.slot(id).expect("script child in update tree");
 
-    let seg = Segmentation::new(inst.source.children(n), inst.update.children(n))?;
+    let seg = Segmentation::new_with(
+        inst.source.children(n),
+        inst.update.children(n),
+        &mut scratch.seg,
+    )?;
     let (k, l) = (seg.k(), seg.l());
 
     // Vertex interning. Pairs are enumerated per segment (never the full
@@ -156,25 +165,35 @@ pub fn build_prop_graph(
     // offset and first-`j` per row make `vid` pure arithmetic — every
     // edge-target below is an aligned pair, by construction of the six
     // edge kinds.
-    let aligned = seg.aligned_pairs();
+    seg.aligned_pairs_into(&mut scratch.pairs);
+    let aligned = &scratch.pairs;
     let mut vertices: Vec<PropVertex> = Vec::with_capacity(aligned.len() * nq as usize);
-    let mut row_base = vec![0u32; k + 1];
-    let mut row_j0 = vec![0u32; k + 1];
-    let mut row_seen = vec![false; k + 1];
-    for &(i, j) in &aligned {
-        if !row_seen[i as usize] {
-            row_seen[i as usize] = true;
-            row_base[i as usize] = vertices.len() as u32;
-            row_j0[i as usize] = j;
-        }
-        for q in 0..nq {
-            vertices.push(PropVertex {
-                tpos: i,
-                state: StateId(q),
-                spos: j,
-            });
+    {
+        let row_base = &mut scratch.row_base;
+        let row_j0 = &mut scratch.row_j0;
+        let row_seen = &mut scratch.row_seen;
+        row_base.clear();
+        row_base.resize(k + 1, 0);
+        row_j0.clear();
+        row_j0.resize(k + 1, 0);
+        row_seen.clear();
+        row_seen.resize(k + 1, false);
+        for &(i, j) in aligned {
+            if !row_seen[i as usize] {
+                row_seen[i as usize] = true;
+                row_base[i as usize] = vertices.len() as u32;
+                row_j0[i as usize] = j;
+            }
+            for q in 0..nq {
+                vertices.push(PropVertex {
+                    tpos: i,
+                    state: StateId(q),
+                    spos: j,
+                });
+            }
         }
     }
+    let (row_base, row_j0) = (&scratch.row_base, &scratch.row_j0);
     let vid = |i: u32, q: StateId, j: u32| {
         debug_assert!(seg.aligned(i as usize, j as usize));
         row_base[i as usize] + (j - row_j0[i as usize]) * nq + q.0
@@ -182,7 +201,7 @@ pub fn build_prop_graph(
 
     let mut g: PropGraph = PathGraph::new(vertices, vid(0, model.start(), 0));
 
-    for &(i, j) in &aligned {
+    for &(i, j) in aligned {
         for q in model.states() {
             let v = vid(i, q, j);
 
@@ -290,6 +309,7 @@ pub fn build_prop_graph(
     for q in model.accepting_states() {
         g.set_goal(vid(k as u32, q, l as u32));
     }
+    seg.recycle(&mut scratch.seg);
     Ok(g)
 }
 

@@ -23,6 +23,7 @@
 use crate::cost::CostModel;
 use crate::error::PropagateError;
 use crate::pathgraph::PathGraph;
+use crate::scratch::PropScratch;
 use crate::selection::{Classify, EdgeClass, Selector};
 use xvu_automata::StateId;
 use xvu_dtd::Dtd;
@@ -102,13 +103,26 @@ impl InversionForest {
         fragment: &DocTree,
         cost: &CostModel<'_>,
     ) -> Result<InversionForest, PropagateError> {
+        Self::build_with(dtd, ann, fragment, cost, &mut PropScratch::new())
+    }
+
+    /// [`InversionForest::build`] over a recycled [`PropScratch`]: the
+    /// bottom-up cheapest-cost queries run on the scratch's pooled Dijkstra
+    /// state instead of allocating per node.
+    pub(crate) fn build_with(
+        dtd: &Dtd,
+        ann: &Annotation,
+        fragment: &DocTree,
+        cost: &CostModel<'_>,
+        scratch: &mut PropScratch,
+    ) -> Result<InversionForest, PropagateError> {
         let mut graphs = SlotMap::with_capacity(fragment.size());
         let mut costs = SlotMap::with_capacity(fragment.size());
         for n in fragment.postorder() {
             let slot = fragment.slot(n).expect("traversed node in fragment");
             let g = build_graph(dtd, ann, fragment, n, cost, &costs);
             let best = g
-                .best_cost()
+                .best_cost_with(scratch.graph_mut())
                 .ok_or(PropagateError::InversionImpossible(n))?;
             costs.insert(slot, best);
             graphs.insert(slot, g);

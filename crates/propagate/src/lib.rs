@@ -92,6 +92,7 @@ mod incremental;
 mod instance;
 mod inversion;
 pub mod pathgraph;
+mod scratch;
 mod segments;
 mod selection;
 pub mod serve;
@@ -99,7 +100,7 @@ pub mod shared;
 mod typing;
 mod verify;
 
-pub use algorithm::{propagate, propagate_view_edit, Config, Propagation};
+pub use algorithm::{propagate, propagate_view_edit, Config, PhaseBreakdown, Propagation};
 pub use cache::{CacheStats, PropCache};
 pub use complement::{find_complement_preserving, invisible_impact, InvisibleImpact};
 pub use cost::CostModel;
@@ -114,6 +115,8 @@ pub use incremental::{
 };
 pub use instance::Instance;
 pub use inversion::{InvEdge, InvGraph, InvVertex, InversionForest};
+pub use pathgraph::GraphScratch;
+pub use scratch::PropScratch;
 pub use segments::Segmentation;
 pub use selection::{Classify, EdgeClass, Selector};
 pub use serve::{EvictOutcome, SessionLease, SessionPool};

@@ -16,12 +16,34 @@
 //!
 //! This module implements those once, generically over vertex and edge
 //! payload types.
+//!
+//! # Memory layout
+//!
+//! Adjacency is stored in **CSR (compressed sparse row)** form: one
+//! contiguous `edge_idx` array plus an `offsets` array, derived from the
+//! edge list in a single counting pass. Because the pass scans edges in
+//! index order, each row lists its edges in insertion order — insertion
+//! order is the deterministic tie-break of every selector, so the packing
+//! is observationally identical to the jagged `Vec<Vec<u32>>` layout it
+//! replaced (and measurably faster: see the `kernel_layouts` bench group).
+//! Both the forward and the reverse CSR are built lazily on first use and
+//! memoised on the graph; [`PathGraph::add_edge`] invalidates them, so a
+//! graph under construction pays nothing until it is first queried.
+//!
+//! Shortest-path queries accept an optional [`GraphScratch`] — pooled
+//! Dijkstra state (distance arrays, predecessor array, binary heap) that
+//! is cleared, never freed, between queries, so a warm caller performs no
+//! transient heap allocation per query.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Sentinel distance for unreachable vertices.
 pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Sentinel for "no predecessor edge" in [`GraphScratch::pred`].
+const EDGE_NONE: u32 = u32::MAX;
 
 /// A directed weighted edge with a payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,14 +58,70 @@ pub struct Edge<E> {
     pub payload: E,
 }
 
+/// Compressed sparse row adjacency: `edge_idx[offsets[v] .. offsets[v+1]]`
+/// lists the edge indices incident to `v`, in edge-insertion order.
+#[derive(Clone, Debug)]
+struct Csr {
+    offsets: Vec<u32>,
+    edge_idx: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR in one counting pass over the edge list. `end`
+    /// selects which endpoint owns the edge (`from` for the forward CSR,
+    /// `to` for the reverse). Scanning edges in index order keeps every
+    /// row in insertion order.
+    fn build<E>(n: usize, edges: &[Edge<E>], end: impl Fn(&Edge<E>) -> u32) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for e in edges {
+            offsets[end(e) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edge_idx = vec![0u32; edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let c = &mut cursor[end(e) as usize];
+            edge_idx[*c as usize] = i as u32;
+            *c += 1;
+        }
+        Csr { offsets, edge_idx }
+    }
+
+    #[inline]
+    fn row(&self, v: u32) -> &[u32] {
+        &self.edge_idx[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+}
+
+/// Reusable shortest-path state: distance arrays, the predecessor array,
+/// and the Dijkstra binary heap, cleared — never freed — between queries.
+///
+/// One scratch serves any number of graphs of any size (buffers are
+/// `resize`d per query); a warm scratch makes [`PathGraph::best_cost_with`],
+/// [`PathGraph::shortest_path_with`], and
+/// [`PathGraph::optimal_subgraph_with`] allocation-free apart from the
+/// result values they return. [`crate::PropScratch`] embeds one per
+/// session / worker thread.
+#[derive(Debug, Default)]
+pub struct GraphScratch {
+    dist_fwd: Vec<u64>,
+    dist_rev: Vec<u64>,
+    pred: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
 /// A directed weighted graph with a start vertex and goal vertices.
 #[derive(Clone, Debug)]
 pub struct PathGraph<V, E> {
     vertices: Vec<V>,
     edges: Vec<Edge<E>>,
-    /// `out[v]` lists edge indices leaving `v`, in insertion order
-    /// (insertion order is the deterministic tie-break everywhere).
-    out: Vec<Vec<u32>>,
+    /// Forward CSR, built lazily on first adjacency query.
+    fwd: OnceLock<Csr>,
+    /// Reverse CSR, built lazily on first `dist_to_goal`-style query —
+    /// once per graph, not once per call.
+    rev: OnceLock<Csr>,
     start: u32,
     goal: Vec<bool>,
 }
@@ -56,13 +134,14 @@ impl<V, E> PathGraph<V, E> {
         PathGraph {
             vertices,
             edges: Vec::new(),
-            out: vec![Vec::new(); n],
+            fwd: OnceLock::new(),
+            rev: OnceLock::new(),
             start,
             goal: vec![false; n],
         }
     }
 
-    /// Adds an edge, returning its index.
+    /// Adds an edge, returning its index. Invalidates the memoised CSRs.
     pub fn add_edge(&mut self, from: u32, to: u32, weight: u64, payload: E) -> u32 {
         assert!(
             (to as usize) < self.vertices.len(),
@@ -75,7 +154,8 @@ impl<V, E> PathGraph<V, E> {
             weight,
             payload,
         });
-        self.out[from as usize].push(ix);
+        self.fwd.take();
+        self.rev.take();
         ix
     }
 
@@ -114,9 +194,19 @@ impl<V, E> PathGraph<V, E> {
         &self.edges[e as usize]
     }
 
-    /// Edge indices leaving `v`.
+    fn fwd_csr(&self) -> &Csr {
+        self.fwd
+            .get_or_init(|| Csr::build(self.vertices.len(), &self.edges, |e| e.from))
+    }
+
+    fn rev_csr(&self) -> &Csr {
+        self.rev
+            .get_or_init(|| Csr::build(self.vertices.len(), &self.edges, |e| e.to))
+    }
+
+    /// Edge indices leaving `v`, in insertion order (a CSR row).
     pub fn out_edges(&self, v: u32) -> &[u32] {
-        &self.out[v as usize]
+        self.fwd_csr().row(v)
     }
 
     /// Iterates over all edges with their indices.
@@ -133,45 +223,30 @@ impl<V, E> PathGraph<V, E> {
             .map(|(v, _)| v as u32)
     }
 
-    /// Dijkstra from the start vertex. Unreachable = [`UNREACHABLE`].
-    pub fn dist_from_start(&self) -> Vec<u64> {
-        self.dijkstra(std::iter::once(self.start), |v| {
-            self.out[v as usize].iter().map(|&e| {
-                let edge = &self.edges[e as usize];
-                (edge.to, edge.weight)
-            })
-        })
-    }
-
-    /// Reverse Dijkstra from all goal vertices: `dist[v]` = cheapest cost
-    /// from `v` to any goal.
-    pub fn dist_to_goal(&self) -> Vec<u64> {
-        // reverse adjacency
-        let mut rin: Vec<Vec<u32>> = vec![Vec::new(); self.vertices.len()];
-        for (i, e) in self.edges.iter().enumerate() {
-            rin[e.to as usize].push(i as u32);
+    /// Dijkstra over one CSR direction into caller-owned buffers. With
+    /// `reverse`, sources should be the goals and edges are walked
+    /// `to → from`. `pred`, when given, records the relaxing edge index
+    /// per vertex ([`EDGE_NONE`] = none).
+    fn dijkstra_into(
+        &self,
+        sources: impl Iterator<Item = u32>,
+        reverse: bool,
+        dist: &mut Vec<u64>,
+        heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+        mut pred: Option<&mut Vec<u32>>,
+    ) {
+        let csr = if reverse {
+            self.rev_csr()
+        } else {
+            self.fwd_csr()
+        };
+        dist.clear();
+        dist.resize(self.vertices.len(), UNREACHABLE);
+        if let Some(pred) = pred.as_deref_mut() {
+            pred.clear();
+            pred.resize(self.vertices.len(), EDGE_NONE);
         }
-        self.dijkstra(self.goals(), move |v| {
-            rin[v as usize]
-                .clone()
-                .into_iter()
-                .map(|e| {
-                    let edge = &self.edges[e as usize];
-                    (edge.from, edge.weight)
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-        })
-    }
-
-    fn dijkstra<I, N, It>(&self, sources: I, neighbours: N) -> Vec<u64>
-    where
-        I: Iterator<Item = u32>,
-        N: Fn(u32) -> It,
-        It: Iterator<Item = (u32, u64)>,
-    {
-        let mut dist = vec![UNREACHABLE; self.vertices.len()];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        heap.clear();
         for s in sources {
             dist[s as usize] = 0;
             heap.push(Reverse((0, s)));
@@ -180,23 +255,63 @@ impl<V, E> PathGraph<V, E> {
             if d > dist[v as usize] {
                 continue;
             }
-            for (to, w) in neighbours(v) {
-                let nd = d.saturating_add(w);
+            for &e in csr.row(v) {
+                let edge = &self.edges[e as usize];
+                let to = if reverse { edge.from } else { edge.to };
+                let nd = d.saturating_add(edge.weight);
                 if nd < dist[to as usize] && nd != UNREACHABLE {
                     dist[to as usize] = nd;
+                    if let Some(pred) = pred.as_deref_mut() {
+                        pred[to as usize] = e;
+                    }
                     heap.push(Reverse((nd, to)));
                 }
             }
         }
+    }
+
+    /// Dijkstra from the start vertex. Unreachable = [`UNREACHABLE`].
+    pub fn dist_from_start(&self) -> Vec<u64> {
+        let mut dist = Vec::new();
+        let mut heap = BinaryHeap::new();
+        self.dijkstra_into(
+            std::iter::once(self.start),
+            false,
+            &mut dist,
+            &mut heap,
+            None,
+        );
+        dist
+    }
+
+    /// Reverse Dijkstra from all goal vertices: `dist[v]` = cheapest cost
+    /// from `v` to any goal. The reverse CSR this walks is memoised on the
+    /// graph — built once, on the first call.
+    pub fn dist_to_goal(&self) -> Vec<u64> {
+        let mut dist = Vec::new();
+        let mut heap = BinaryHeap::new();
+        self.dijkstra_into(self.goals(), true, &mut dist, &mut heap, None);
         dist
     }
 
     /// Cost of the cheapest start→goal path, `None` if no goal is
     /// reachable.
     pub fn best_cost(&self) -> Option<u64> {
-        let d = self.dist_from_start();
+        self.best_cost_with(&mut GraphScratch::default())
+    }
+
+    /// [`PathGraph::best_cost`] over pooled scratch — allocation-free when
+    /// the scratch is warm.
+    pub fn best_cost_with(&self, s: &mut GraphScratch) -> Option<u64> {
+        self.dijkstra_into(
+            std::iter::once(self.start),
+            false,
+            &mut s.dist_fwd,
+            &mut s.heap,
+            None,
+        );
         self.goals()
-            .map(|g| d[g as usize])
+            .map(|g| s.dist_fwd[g as usize])
             .min()
             .filter(|&c| c != UNREACHABLE)
     }
@@ -204,33 +319,28 @@ impl<V, E> PathGraph<V, E> {
     /// A cheapest start→goal path as a sequence of edge indices (`None` if
     /// unreachable). Works on cyclic graphs.
     pub fn shortest_path(&self) -> Option<Vec<u32>> {
-        let mut dist = vec![UNREACHABLE; self.vertices.len()];
-        let mut pred: Vec<Option<u32>> = vec![None; self.vertices.len()];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        dist[self.start as usize] = 0;
-        heap.push(Reverse((0, self.start)));
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if d > dist[v as usize] {
-                continue;
-            }
-            for &e in &self.out[v as usize] {
-                let edge = &self.edges[e as usize];
-                let nd = d.saturating_add(edge.weight);
-                if nd < dist[edge.to as usize] && nd != UNREACHABLE {
-                    dist[edge.to as usize] = nd;
-                    pred[edge.to as usize] = Some(e);
-                    heap.push(Reverse((nd, edge.to)));
-                }
-            }
-        }
+        self.shortest_path_with(&mut GraphScratch::default())
+    }
+
+    /// [`PathGraph::shortest_path`] over pooled scratch; only the returned
+    /// path itself is allocated when the scratch is warm.
+    pub fn shortest_path_with(&self, s: &mut GraphScratch) -> Option<Vec<u32>> {
+        self.dijkstra_into(
+            std::iter::once(self.start),
+            false,
+            &mut s.dist_fwd,
+            &mut s.heap,
+            Some(&mut s.pred),
+        );
         let goal = self
             .goals()
-            .filter(|&g| dist[g as usize] != UNREACHABLE)
-            .min_by_key(|&g| dist[g as usize])?;
+            .filter(|&g| s.dist_fwd[g as usize] != UNREACHABLE)
+            .min_by_key(|&g| s.dist_fwd[g as usize])?;
         let mut path = Vec::new();
         let mut cur = goal;
         while cur != self.start {
-            let e = pred[cur as usize].expect("predecessor on reached vertex");
+            let e = s.pred[cur as usize];
+            debug_assert_ne!(e, EDGE_NONE, "predecessor on reached vertex");
             path.push(e);
             cur = self.edges[e as usize].from;
         }
@@ -247,8 +357,26 @@ impl<V, E> PathGraph<V, E> {
         V: Clone,
         E: Clone,
     {
-        let ds = self.dist_from_start();
-        let dg = self.dist_to_goal();
+        self.optimal_subgraph_with(&mut GraphScratch::default())
+    }
+
+    /// [`PathGraph::optimal_subgraph`] over pooled scratch: both Dijkstra
+    /// passes run in the scratch buffers; only the returned subgraph owns
+    /// fresh memory.
+    pub fn optimal_subgraph_with(&self, s: &mut GraphScratch) -> Option<PathGraph<V, E>>
+    where
+        V: Clone,
+        E: Clone,
+    {
+        let GraphScratch {
+            dist_fwd,
+            dist_rev,
+            heap,
+            ..
+        } = s;
+        self.dijkstra_into(std::iter::once(self.start), false, dist_fwd, heap, None);
+        self.dijkstra_into(self.goals(), true, dist_rev, heap, None);
+        let (ds, dg) = (&*dist_fwd, &*dist_rev);
         let best = self
             .goals()
             .map(|g| ds[g as usize])
@@ -282,6 +410,7 @@ impl<V, E> PathGraph<V, E> {
 
     /// A topological order of the vertices, `None` if cyclic.
     pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let csr = self.fwd_csr();
         let n = self.vertices.len();
         let mut indeg = vec![0usize; n];
         for e in &self.edges {
@@ -291,7 +420,7 @@ impl<V, E> PathGraph<V, E> {
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(v);
-            for &e in &self.out[v as usize] {
+            for &e in csr.row(v) {
                 let to = self.edges[e as usize].to as usize;
                 indeg[to] -= 1;
                 if indeg[to] == 0 {
@@ -308,6 +437,7 @@ impl<V, E> PathGraph<V, E> {
     /// count is infinite.
     pub fn count_paths(&self, mut factor: impl FnMut(&E) -> u128) -> Option<u128> {
         let order = self.topo_order()?;
+        let csr = self.fwd_csr();
         let mut ways = vec![0u128; self.vertices.len()];
         ways[self.start as usize] = 1;
         for &v in &order {
@@ -315,7 +445,7 @@ impl<V, E> PathGraph<V, E> {
             if wv == 0 {
                 continue;
             }
-            for &e in &self.out[v as usize] {
+            for &e in csr.row(v) {
                 let edge = &self.edges[e as usize];
                 let contrib = wv.saturating_mul(factor(&edge.payload));
                 let slot = &mut ways[edge.to as usize];
@@ -347,12 +477,15 @@ impl<V, E> PathGraph<V, E> {
         // guards against misuse on cyclic graphs.
         let max_steps = self.edges.len() + 1;
         while !self.goal[cur as usize] {
-            let outs = &self.out[cur as usize];
+            let outs = self.out_edges(cur);
             if outs.is_empty() || steps > max_steps {
                 return None;
             }
             let e = choose(self, outs);
-            debug_assert!(outs.contains(&e), "selector returned a foreign edge");
+            debug_assert!(
+                self.out_edges(cur).contains(&e),
+                "selector returned a foreign edge"
+            );
             path.push(e);
             cur = self.edges[e as usize].to;
             steps += 1;
@@ -393,7 +526,7 @@ impl<V, E> PathGraph<V, E> {
         if stack.len() >= max_len {
             return;
         }
-        for &e in &self.out[v as usize] {
+        for &e in self.out_edges(v) {
             stack.push(e);
             self.enum_rec(self.edges[e as usize].to, stack, result, cap, max_len);
             stack.pop();
@@ -435,6 +568,42 @@ mod tests {
         assert_eq!(ds, vec![0, 1, 1, 2]);
         let dg = g.dist_to_goal();
         assert_eq!(dg, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn csr_rows_preserve_insertion_order() {
+        let g = diamond();
+        // vertex 0 inserted edges 0 ('p'), 1 ('q'), 4 ('x') in that order
+        assert_eq!(g.out_edges(0), &[0, 1, 4]);
+        assert_eq!(g.out_edges(1), &[2]);
+        assert_eq!(g.out_edges(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn reverse_csr_is_memoised_and_invalidated_by_add_edge() {
+        let mut g = diamond();
+        assert_eq!(g.dist_to_goal(), vec![2, 1, 1, 0]);
+        // second call answers from the memoised reverse CSR
+        assert_eq!(g.dist_to_goal(), vec![2, 1, 1, 0]);
+        // mutation invalidates the memo: the cheaper bypass must be seen
+        g.add_edge(0, 3, 1, 'z');
+        assert_eq!(g.dist_to_goal(), vec![1, 1, 1, 0]);
+        assert_eq!(g.best_cost(), Some(1));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let mut s = GraphScratch::default();
+        let g = diamond();
+        // warm the scratch on one graph, then reuse it on another shape
+        assert_eq!(g.best_cost_with(&mut s), Some(2));
+        assert_eq!(g.shortest_path_with(&mut s), g.shortest_path());
+        let mut h: PathGraph<(), ()> = PathGraph::new(vec![(), ()], 0);
+        h.set_goal(1);
+        assert_eq!(h.best_cost_with(&mut s), None);
+        let opt = g.optimal_subgraph_with(&mut s).unwrap();
+        assert_eq!(opt.n_edges(), 4);
+        assert_eq!(opt.best_cost_with(&mut s), Some(2));
     }
 
     #[test]

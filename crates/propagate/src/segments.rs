@@ -14,6 +14,23 @@
 use crate::error::PropagateError;
 use xvu_tree::NodeId;
 
+/// Recyclable segmentation buffers: the sorted membership copies plus the
+/// vectors a [`Segmentation`] owns while alive. [`Segmentation::new_with`]
+/// takes them (clear-not-free) and [`Segmentation::recycle`] returns them,
+/// so a warm [`crate::PropScratch`] builds segmentations without transient
+/// allocation.
+#[derive(Debug, Default)]
+pub(crate) struct SegBufs {
+    t_sorted: Vec<NodeId>,
+    s_sorted: Vec<NodeId>,
+    common_s: Vec<NodeId>,
+    t_common: Vec<bool>,
+    s_common: Vec<bool>,
+    t_anchor: Vec<u32>,
+    s_anchor: Vec<u32>,
+    common: Vec<NodeId>,
+}
+
 /// The aligned segment decomposition of one preserved node's child
 /// sequences.
 ///
@@ -50,40 +67,67 @@ impl<'a> Segmentation<'a> {
         t_children: &'a [NodeId],
         s_children: &'a [NodeId],
     ) -> Result<Segmentation<'a>, PropagateError> {
-        let mut t_sorted: Vec<NodeId> = t_children.to_vec();
+        Segmentation::new_with(t_children, s_children, &mut SegBufs::default())
+    }
+
+    /// [`Segmentation::new`] over recycled buffers: every vector the
+    /// decomposition needs — transient sorted copies and the owned result
+    /// vectors alike — is taken from `bufs` with its capacity intact.
+    /// Hand the segmentation back via [`Segmentation::recycle`] when done.
+    pub(crate) fn new_with(
+        t_children: &'a [NodeId],
+        s_children: &'a [NodeId],
+        bufs: &mut SegBufs,
+    ) -> Result<Segmentation<'a>, PropagateError> {
+        let t_sorted = &mut bufs.t_sorted;
+        t_sorted.clear();
+        t_sorted.extend_from_slice(t_children);
         t_sorted.sort_unstable();
-        let mut s_sorted: Vec<NodeId> = s_children.to_vec();
+        let s_sorted = &mut bufs.s_sorted;
+        s_sorted.clear();
+        s_sorted.extend_from_slice(s_children);
         s_sorted.sort_unstable();
 
-        let t_common: Vec<bool> = t_children
-            .iter()
-            .map(|c| s_sorted.binary_search(c).is_ok())
-            .collect();
-        let s_common: Vec<bool> = s_children
-            .iter()
-            .map(|c| t_sorted.binary_search(c).is_ok())
-            .collect();
+        let mut t_common = std::mem::take(&mut bufs.t_common);
+        t_common.clear();
+        t_common.extend(t_children.iter().map(|c| s_sorted.binary_search(c).is_ok()));
+        let mut s_common = std::mem::take(&mut bufs.s_common);
+        s_common.clear();
+        s_common.extend(s_children.iter().map(|c| t_sorted.binary_search(c).is_ok()));
 
-        let common_t: Vec<NodeId> = t_children
-            .iter()
-            .zip(&t_common)
-            .filter(|(_, &c)| c)
-            .map(|(&n, _)| n)
-            .collect();
-        let common_s: Vec<NodeId> = s_children
-            .iter()
-            .zip(&s_common)
-            .filter(|(_, &c)| c)
-            .map(|(&n, _)| n)
-            .collect();
-        if common_t != common_s {
-            return Err(PropagateError::InvalidInstance(format!(
+        let mut common = std::mem::take(&mut bufs.common);
+        common.clear();
+        common.extend(
+            t_children
+                .iter()
+                .zip(&t_common)
+                .filter(|(_, &c)| c)
+                .map(|(&n, _)| n),
+        );
+        let common_s = &mut bufs.common_s;
+        common_s.clear();
+        common_s.extend(
+            s_children
+                .iter()
+                .zip(&s_common)
+                .filter(|(_, &c)| c)
+                .map(|(&n, _)| n),
+        );
+        if common != *common_s {
+            let err = PropagateError::InvalidInstance(format!(
                 "common children of a preserved node appear in different orders: \
-                 {common_t:?} in the source vs {common_s:?} in the update"
-            )));
+                 {common:?} in the source vs {common_s:?} in the update"
+            ));
+            // hand the taken buffers back so the scratch keeps its capacity
+            bufs.t_common = t_common;
+            bufs.s_common = s_common;
+            bufs.common = common;
+            return Err(err);
         }
 
-        let mut t_anchor = Vec::with_capacity(t_children.len() + 1);
+        let mut t_anchor = std::mem::take(&mut bufs.t_anchor);
+        t_anchor.clear();
+        t_anchor.reserve(t_children.len() + 1);
         t_anchor.push(0u32);
         let mut acc = 0u32;
         for &c in &t_common {
@@ -92,7 +136,9 @@ impl<'a> Segmentation<'a> {
             }
             t_anchor.push(acc);
         }
-        let mut s_anchor = Vec::with_capacity(s_children.len() + 1);
+        let mut s_anchor = std::mem::take(&mut bufs.s_anchor);
+        s_anchor.clear();
+        s_anchor.reserve(s_children.len() + 1);
         s_anchor.push(0u32);
         let mut acc = 0u32;
         for &c in &s_common {
@@ -109,8 +155,18 @@ impl<'a> Segmentation<'a> {
             s_anchor,
             t_common,
             s_common,
-            common: common_t,
+            common,
         })
+    }
+
+    /// Returns the owned vectors to `bufs` (capacity intact) for the next
+    /// [`Segmentation::new_with`].
+    pub(crate) fn recycle(self, bufs: &mut SegBufs) {
+        bufs.t_common = self.t_common;
+        bufs.s_common = self.s_common;
+        bufs.t_anchor = self.t_anchor;
+        bufs.s_anchor = self.s_anchor;
+        bufs.common = self.common;
     }
 
     /// Number of source children `k`.
@@ -136,24 +192,30 @@ impl<'a> Segmentation<'a> {
     /// |seg_S(c)|` pairs — without scanning the full `(k+1) × (ℓ+1)`
     /// grid (which is quadratic even when every child is common).
     pub fn aligned_pairs(&self) -> Vec<(u32, u32)> {
-        let n_segments = self.common.len() + 1;
-        let mut t_by_anchor: Vec<Vec<u32>> = vec![Vec::new(); n_segments];
-        for (i, &a) in self.t_anchor.iter().enumerate() {
-            t_by_anchor[a as usize].push(i as u32);
-        }
-        let mut s_by_anchor: Vec<Vec<u32>> = vec![Vec::new(); n_segments];
-        for (j, &a) in self.s_anchor.iter().enumerate() {
-            s_by_anchor[a as usize].push(j as u32);
-        }
         let mut pairs = Vec::new();
-        for c in 0..n_segments {
-            for &i in &t_by_anchor[c] {
-                for &j in &s_by_anchor[c] {
-                    pairs.push((i, j));
+        self.aligned_pairs_into(&mut pairs);
+        pairs
+    }
+
+    /// [`Segmentation::aligned_pairs`] into a recycled buffer. Anchor
+    /// sequences are monotone, so each segment's positions form one
+    /// contiguous run per side — a single two-pointer sweep enumerates the
+    /// pairs with no per-segment buckets at all.
+    pub(crate) fn aligned_pairs_into(&self, pairs: &mut Vec<(u32, u32)>) {
+        pairs.clear();
+        let n_segments = self.common.len() + 1;
+        let (ta, sa) = (&self.t_anchor, &self.s_anchor);
+        let (mut i0, mut j0) = (0usize, 0usize);
+        for c in 0..n_segments as u32 {
+            let i1 = i0 + ta[i0..].iter().take_while(|&&a| a == c).count();
+            let j1 = j0 + sa[j0..].iter().take_while(|&&a| a == c).count();
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    pairs.push((i as u32, j as u32));
                 }
             }
+            (i0, j0) = (i1, j1);
         }
-        pairs
     }
 }
 
@@ -208,6 +270,28 @@ mod tests {
         assert_eq!(seg.k(), 0);
         assert_eq!(seg.l(), 0);
         assert!(seg.aligned(0, 0));
+    }
+
+    #[test]
+    fn recycled_buffers_reproduce_fresh_segmentations() {
+        let mut bufs = SegBufs::default();
+        let (t, u) = (ids(&[1, 2, 3, 4, 5, 6]), ids(&[1, 3, 4, 11, 12, 6]));
+        let fresh = Segmentation::new(&t, &u).unwrap();
+        let expected_pairs = fresh.aligned_pairs();
+        for _ in 0..3 {
+            let seg = Segmentation::new_with(&t, &u, &mut bufs).unwrap();
+            assert_eq!(seg.t_anchor, fresh.t_anchor);
+            assert_eq!(seg.s_anchor, fresh.s_anchor);
+            assert_eq!(seg.common, fresh.common);
+            assert_eq!(seg.aligned_pairs(), expected_pairs);
+            seg.recycle(&mut bufs);
+        }
+        // a differently-shaped reuse of the same buffers must not leak
+        let (t2, u2) = (ids(&[7, 8]), ids(&[8]));
+        let seg = Segmentation::new_with(&t2, &u2, &mut bufs).unwrap();
+        assert_eq!(seg.common, ids(&[8]));
+        assert_eq!(seg.t_anchor, vec![0, 0, 1]);
+        seg.recycle(&mut bufs);
     }
 
     #[test]

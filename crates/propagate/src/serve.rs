@@ -55,9 +55,10 @@
 //! }
 //! ```
 
-use crate::algorithm::Propagation;
+use crate::algorithm::{propagate_with_cache, Propagation};
 use crate::engine::{Engine, Session};
 use crate::error::PropagateError;
+use crate::scratch::PropScratch;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::ops::{Deref, DerefMut};
@@ -97,7 +98,10 @@ impl Engine {
         requests: &[(DocTree, Script)],
         jobs: usize,
     ) -> Vec<Result<Propagation, PropagateError>> {
-        let one = |(doc, update): &(DocTree, Script)| {
+        // Each worker owns one `PropScratch`, reused across every request
+        // it serves — scratch is pure working memory, so reuse cannot leak
+        // state between requests (or change any result).
+        let one = |(doc, update): &(DocTree, Script), scratch: &mut PropScratch| {
             if self.shared_cache_enabled() {
                 // A short-lived session routes the request through the
                 // engine-owned shared memo tier: structurally repeated
@@ -107,11 +111,20 @@ impl Engine {
                 return self.open(doc)?.propagate(update);
             }
             let inst = self.instance(doc, update)?;
-            self.propagate(&inst)
+            propagate_with_cache(
+                &inst,
+                &self.cost_model(),
+                self.config(),
+                None,
+                None,
+                scratch,
+                None,
+            )
         };
         let jobs = jobs.clamp(1, requests.len().max(1));
         if jobs <= 1 {
-            return requests.iter().map(one).collect();
+            let mut scratch = PropScratch::new();
+            return requests.iter().map(|r| one(r, &mut scratch)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<Propagation, PropagateError>>> = Vec::new();
@@ -125,10 +138,11 @@ impl Engine {
                     // engine itself is shared by plain `&self`.
                     scope.spawn(|| {
                         let mut served = Vec::new();
+                        let mut scratch = PropScratch::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(req) = requests.get(i) else { break };
-                            served.push((i, one(req)));
+                            served.push((i, one(req, &mut scratch)));
                         }
                         served
                     })
